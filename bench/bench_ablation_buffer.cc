@@ -1,0 +1,43 @@
+// Ablation: LRU buffer pool size vs network disk pages (cache misses).
+// The paper fixes a 1 MB buffer (256 frames of 4 KB); this sweep shows how
+// each algorithm's access *locality* responds to smaller and larger pools
+// — CE's undirected wavefronts re-touch pages across query points, while
+// LBC's directional probes have a tighter working set.
+#include "bench_common.h"
+
+namespace msq::bench {
+namespace {
+
+void Run(const BenchEnv& env) {
+  PrintHeader("Ablation",
+              "buffer frames vs network pages (NA, |Q|=4, w=50%)", env);
+
+  TablePrinter table({"frames", "KB", "CE", "EDC", "LBC"});
+  for (const std::size_t frames : {8ul, 32ul, 128ul, 256ul, 1024ul}) {
+    WorkloadConfig config;
+    config.network = PaperNetworkConfig(NetworkClass::kNA, env.scale, 12);
+    config.object_density = 0.5;
+    config.graph_buffer_frames = frames;
+    Workload workload(config);
+
+    std::vector<std::string> row = {
+        std::to_string(frames),
+        std::to_string(frames * kPageSize / 1024)};
+    for (const FigureAlgo algo :
+         {FigureAlgo::kCe, FigureAlgo::kEdc, FigureAlgo::kLbc}) {
+      const auto acc = RunAveraged(workload, algo, 4, env.runs);
+      row.push_back(TablePrinter::Integer(acc.mean_network_pages()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace msq::bench
+
+int main() {
+  msq::bench::Run(msq::bench::GetBenchEnv());
+  return 0;
+}

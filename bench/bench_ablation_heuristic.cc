@@ -1,0 +1,60 @@
+// Ablation: Euclidean vs ALT-landmark lower bounds for LBC's A*/plb
+// machinery across the density classes. The paper restricts its algorithm
+// class to "no pre-computed distance information" (Theorem 1); this bench
+// quantifies what that restriction costs on high-detour networks (CA),
+// where the Euclidean bound is loose — exactly where Figure 4(c)/5 show
+// EDC/LBC losing ground.
+#include "bench_common.h"
+
+namespace msq::bench {
+namespace {
+
+void Run(const BenchEnv& env) {
+  PrintHeader("Ablation",
+              "LBC with Euclidean vs ALT landmark bounds (|Q|=4, w=50%, "
+              "8 landmarks)",
+              env);
+
+  TablePrinter table({"network", "delta", "settled(euclid)", "settled(alt)",
+                      "pages(euclid)", "pages(alt)"});
+  for (const NetworkClass cls :
+       {NetworkClass::kCA, NetworkClass::kAU, NetworkClass::kNA}) {
+    WorkloadConfig euclid_config;
+    euclid_config.network = PaperNetworkConfig(cls, env.scale, 12);
+    euclid_config.object_density = 0.5;
+    Workload euclid_workload(euclid_config);
+
+    WorkloadConfig alt_config = euclid_config;
+    alt_config.landmark_count = 8;
+    Workload alt_workload(alt_config);
+
+    StatsAccumulator euclid_acc, alt_acc;
+    for (std::size_t r = 0; r < env.runs; ++r) {
+      const auto spec_e = euclid_workload.SampleQuery(4, 1 + r);
+      euclid_workload.ResetBuffers();
+      euclid_acc.Add(RunLbc(euclid_workload.dataset(), spec_e).stats);
+      const auto spec_a = alt_workload.SampleQuery(4, 1 + r);
+      alt_workload.ResetBuffers();
+      alt_acc.Add(RunLbc(alt_workload.dataset(), spec_a).stats);
+    }
+    table.AddRow({NetworkClassName(cls),
+                  TablePrinter::Fixed(
+                      MeasureDetourRatio(euclid_workload.network(), 100, 5),
+                      2),
+                  TablePrinter::Integer(euclid_acc.mean_settled()),
+                  TablePrinter::Integer(alt_acc.mean_settled()),
+                  TablePrinter::Integer(euclid_acc.mean_network_pages()),
+                  TablePrinter::Integer(alt_acc.mean_network_pages())});
+  }
+  table.Print();
+  std::printf("\n(preprocessing cost — 8 full Dijkstra sweeps — is offline "
+              "and not included)\n\n");
+}
+
+}  // namespace
+}  // namespace msq::bench
+
+int main() {
+  msq::bench::Run(msq::bench::GetBenchEnv());
+  return 0;
+}

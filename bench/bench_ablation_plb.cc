@@ -1,0 +1,57 @@
+// Ablation: the contribution of the path-distance-lower-bound early
+// termination to LBC (Section 5's analysis / the Figure 5 discussion —
+// "LBC uses the path distance lower bound such that the network access is
+// minimized to a just-enough region"). Compares LBC, LBC without plb
+// (dominated candidates pay full network distances, as EDC's candidates
+// do), and the naive full-sweep baseline across the density classes.
+#include "bench_common.h"
+
+namespace msq::bench {
+namespace {
+
+void Run(const BenchEnv& env) {
+  PrintHeader("Ablation",
+              "plb early termination: settled network nodes / disk pages "
+              "(|Q|=4, w=50%)",
+              env);
+
+  TablePrinter table({"network", "metric", "LBC", "LBC-noplb", "naive"});
+  for (const NetworkClass cls :
+       {NetworkClass::kCA, NetworkClass::kAU, NetworkClass::kNA}) {
+    WorkloadConfig config;
+    config.network = PaperNetworkConfig(cls, env.scale, /*seed=*/12);
+    config.object_density = 0.5;
+    Workload workload(config);
+
+    StatsAccumulator with_plb, without_plb, naive;
+    for (std::size_t r = 0; r < env.runs; ++r) {
+      const auto spec = workload.SampleQuery(4, 1 + r);
+      workload.ResetBuffers();
+      with_plb.Add(RunLbc(workload.dataset(), spec).stats);
+      workload.ResetBuffers();
+      without_plb.Add(
+          RunLbc(workload.dataset(), spec, LbcOptions{.use_plb = false})
+              .stats);
+      workload.ResetBuffers();
+      naive.Add(RunNaive(workload.dataset(), spec).stats);
+    }
+    table.AddRow({NetworkClassName(cls), "settled nodes",
+                  TablePrinter::Integer(with_plb.mean_settled()),
+                  TablePrinter::Integer(without_plb.mean_settled()),
+                  TablePrinter::Integer(naive.mean_settled())});
+    table.AddRow({NetworkClassName(cls), "network pages",
+                  TablePrinter::Integer(with_plb.mean_network_pages()),
+                  TablePrinter::Integer(without_plb.mean_network_pages()),
+                  TablePrinter::Integer(naive.mean_network_pages())});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace msq::bench
+
+int main() {
+  msq::bench::Run(msq::bench::GetBenchEnv());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 4: candidate ratio |C|/|D| for CE, EDC, LBC
+//   (a) vs |Q|            (NA, ω = 50%)
+//   (b) vs object density ω (NA, |Q| = 4)
+//   (c) vs network density  (CA/AU/NA, |Q| = 4, ω = 50%)
+#include <memory>
+
+#include "bench_common.h"
+
+namespace msq::bench {
+namespace {
+
+constexpr FigureAlgo kAlgos[] = {FigureAlgo::kCe, FigureAlgo::kEdc,
+                                 FigureAlgo::kLbc};
+
+std::unique_ptr<Workload> BuildWorkload(NetworkClass cls, double scale,
+                                        double density) {
+  WorkloadConfig config;
+  config.network = PaperNetworkConfig(cls, scale, /*seed=*/12);
+  config.object_density = density;
+  return std::make_unique<Workload>(config);
+}
+
+void Fig4a(const BenchEnv& env) {
+  PrintHeader("Figure 4(a)", "candidate ratio |C|/|D| vs |Q| (NA, w=50%)",
+              env);
+  auto workload = BuildWorkload(NetworkClass::kNA, env.scale, 0.5);
+  const double d = static_cast<double>(workload->objects().size());
+  TablePrinter table({"|Q|", "CE", "EDC", "LBC"});
+  for (const std::size_t q : {2, 4, 6, 8, 10, 12, 15}) {
+    std::vector<std::string> row = {std::to_string(q)};
+    for (const FigureAlgo algo : kAlgos) {
+      const auto acc = RunAveraged(*workload, algo, q, env.runs);
+      row.push_back(TablePrinter::Fixed(acc.mean_candidates() / d, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Fig4b(const BenchEnv& env) {
+  PrintHeader("Figure 4(b)", "candidate ratio |C|/|D| vs w (NA, |Q|=4)",
+              env);
+  TablePrinter table({"w(%)", "CE", "EDC", "LBC"});
+  for (const double density : {0.05, 0.2, 0.5, 1.0, 2.0}) {
+    auto workload = BuildWorkload(NetworkClass::kNA, env.scale, density);
+    const double d = static_cast<double>(workload->objects().size());
+    std::vector<std::string> row = {
+        TablePrinter::Integer(density * 100.0)};
+    for (const FigureAlgo algo : kAlgos) {
+      const auto acc = RunAveraged(*workload, algo, 4, env.runs);
+      row.push_back(TablePrinter::Fixed(acc.mean_candidates() / d, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Fig4c(const BenchEnv& env) {
+  PrintHeader("Figure 4(c)",
+              "candidate ratio |C|/|D| vs network density (|Q|=4, w=50%)",
+              env);
+  TablePrinter table({"network", "delta", "CE", "EDC", "LBC"});
+  for (const NetworkClass cls :
+       {NetworkClass::kCA, NetworkClass::kAU, NetworkClass::kNA}) {
+    auto workload = BuildWorkload(cls, env.scale, 0.5);
+    const double d = static_cast<double>(workload->objects().size());
+    std::vector<std::string> row = {
+        NetworkClassName(cls),
+        TablePrinter::Fixed(
+            MeasureDetourRatio(workload->network(), 100, 5), 2)};
+    for (const FigureAlgo algo : kAlgos) {
+      const auto acc = RunAveraged(*workload, algo, 4, env.runs);
+      row.push_back(TablePrinter::Fixed(acc.mean_candidates() / d, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace msq::bench
+
+int main() {
+  const auto env = msq::bench::GetBenchEnv();
+  msq::bench::Fig4a(env);
+  msq::bench::Fig4b(env);
+  msq::bench::Fig4c(env);
+  return 0;
+}

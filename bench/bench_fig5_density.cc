@@ -1,0 +1,63 @@
+// Figure 5: effect of network density (CA/AU/NA; |Q| = 4, ω = 50%)
+//   (a) network disk pages accessed
+//   (b) total response time
+//   (c) initial response time
+#include <memory>
+
+#include "bench_common.h"
+
+namespace msq::bench {
+namespace {
+
+constexpr FigureAlgo kAlgos[] = {FigureAlgo::kCe, FigureAlgo::kEdc,
+                                 FigureAlgo::kLbc};
+
+void Run(const BenchEnv& env) {
+  PrintHeader("Figure 5",
+              "disk pages / total time / initial time vs network density "
+              "(|Q|=4, w=50%)",
+              env);
+
+  TablePrinter pages({"network", "CE", "EDC", "LBC"});
+  TablePrinter total({"network", "CE", "EDC", "LBC"});
+  TablePrinter initial({"network", "CE", "EDC", "LBC"});
+
+  for (const NetworkClass cls :
+       {NetworkClass::kCA, NetworkClass::kAU, NetworkClass::kNA}) {
+    WorkloadConfig config;
+    config.network = PaperNetworkConfig(cls, env.scale, /*seed=*/12);
+    config.object_density = 0.5;
+    Workload workload(config);
+
+    std::vector<std::string> row_pages = {NetworkClassName(cls)};
+    std::vector<std::string> row_total = {NetworkClassName(cls)};
+    std::vector<std::string> row_initial = {NetworkClassName(cls)};
+    for (const FigureAlgo algo : kAlgos) {
+      const auto acc = RunAveraged(workload, algo, 4, env.runs);
+      row_pages.push_back(TablePrinter::Integer(acc.mean_network_pages()));
+      row_total.push_back(
+          TablePrinter::Fixed(acc.mean_total_seconds() * 1000.0, 2));
+      row_initial.push_back(
+          TablePrinter::Fixed(acc.mean_initial_seconds() * 1000.0, 3));
+    }
+    pages.AddRow(std::move(row_pages));
+    total.AddRow(std::move(row_total));
+    initial.AddRow(std::move(row_initial));
+  }
+
+  std::printf("-- (a) network disk pages accessed --\n");
+  pages.Print();
+  std::printf("\n-- (b) total response time (ms) --\n");
+  total.Print();
+  std::printf("\n-- (c) initial response time (ms) --\n");
+  initial.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace msq::bench
+
+int main() {
+  msq::bench::Run(msq::bench::GetBenchEnv());
+  return 0;
+}

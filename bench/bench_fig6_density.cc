@@ -1,0 +1,61 @@
+// Figure 6(d)-(f): effect of object density ω on NA (|Q| = 4)
+//   (d) network disk pages accessed
+//   (e) total response time
+//   (f) initial response time
+#include <memory>
+
+#include "bench_common.h"
+
+namespace msq::bench {
+namespace {
+
+constexpr FigureAlgo kAlgos[] = {FigureAlgo::kCe, FigureAlgo::kEdc,
+                                 FigureAlgo::kLbc};
+
+void Run(const BenchEnv& env) {
+  PrintHeader("Figure 6(d)-(f)",
+              "disk pages / total time / initial time vs w (NA, |Q|=4)",
+              env);
+
+  TablePrinter pages({"w(%)", "CE", "EDC", "LBC"});
+  TablePrinter total({"w(%)", "CE", "EDC", "LBC"});
+  TablePrinter initial({"w(%)", "CE", "EDC", "LBC"});
+  for (const double density : {0.05, 0.2, 0.5, 1.0, 2.0}) {
+    WorkloadConfig config;
+    config.network = PaperNetworkConfig(NetworkClass::kNA, env.scale, 12);
+    config.object_density = density;
+    Workload workload(config);
+
+    std::vector<std::string> row_pages = {
+        TablePrinter::Integer(density * 100.0)};
+    std::vector<std::string> row_total = row_pages;
+    std::vector<std::string> row_initial = row_pages;
+    for (const FigureAlgo algo : kAlgos) {
+      const auto acc = RunAveraged(workload, algo, 4, env.runs);
+      row_pages.push_back(TablePrinter::Integer(acc.mean_network_pages()));
+      row_total.push_back(
+          TablePrinter::Fixed(acc.mean_total_seconds() * 1000.0, 2));
+      row_initial.push_back(
+          TablePrinter::Fixed(acc.mean_initial_seconds() * 1000.0, 3));
+    }
+    pages.AddRow(std::move(row_pages));
+    total.AddRow(std::move(row_total));
+    initial.AddRow(std::move(row_initial));
+  }
+
+  std::printf("-- (d) network disk pages accessed --\n");
+  pages.Print();
+  std::printf("\n-- (e) total response time (ms) --\n");
+  total.Print();
+  std::printf("\n-- (f) initial response time (ms) --\n");
+  initial.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace msq::bench
+
+int main() {
+  msq::bench::Run(msq::bench::GetBenchEnv());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6(a)-(c): effect of |Q| on NA (ω = 50%)
+//   (a) network disk pages accessed
+//   (b) total response time
+//   (c) initial response time
+#include "bench_common.h"
+
+namespace msq::bench {
+namespace {
+
+constexpr FigureAlgo kAlgos[] = {FigureAlgo::kCe, FigureAlgo::kEdc,
+                                 FigureAlgo::kLbc};
+
+void Run(const BenchEnv& env) {
+  PrintHeader("Figure 6(a)-(c)",
+              "disk pages / total time / initial time vs |Q| (NA, w=50%)",
+              env);
+
+  WorkloadConfig config;
+  config.network = PaperNetworkConfig(NetworkClass::kNA, env.scale, 12);
+  config.object_density = 0.5;
+  Workload workload(config);
+
+  TablePrinter pages({"|Q|", "CE", "EDC", "LBC"});
+  TablePrinter total({"|Q|", "CE", "EDC", "LBC"});
+  TablePrinter initial({"|Q|", "CE", "EDC", "LBC"});
+  for (const std::size_t q : {1, 2, 4, 6, 8, 10, 12, 15}) {
+    std::vector<std::string> row_pages = {std::to_string(q)};
+    std::vector<std::string> row_total = {std::to_string(q)};
+    std::vector<std::string> row_initial = {std::to_string(q)};
+    for (const FigureAlgo algo : kAlgos) {
+      const auto acc = RunAveraged(workload, algo, q, env.runs);
+      row_pages.push_back(TablePrinter::Integer(acc.mean_network_pages()));
+      row_total.push_back(
+          TablePrinter::Fixed(acc.mean_total_seconds() * 1000.0, 2));
+      row_initial.push_back(
+          TablePrinter::Fixed(acc.mean_initial_seconds() * 1000.0, 3));
+    }
+    pages.AddRow(std::move(row_pages));
+    total.AddRow(std::move(row_total));
+    initial.AddRow(std::move(row_initial));
+  }
+
+  std::printf("-- (a) network disk pages accessed --\n");
+  pages.Print();
+  std::printf("\n-- (b) total response time (ms) --\n");
+  total.Print();
+  std::printf("\n-- (c) initial response time (ms) --\n");
+  initial.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace msq::bench
+
+int main() {
+  msq::bench::Run(msq::bench::GetBenchEnv());
+  return 0;
+}

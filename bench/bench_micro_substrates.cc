@@ -1,0 +1,183 @@
+// google-benchmark microbenchmarks for the substrates the query algorithms
+// are built on: buffer pool, B+-tree probes, R-tree NN browsing, Dijkstra
+// and A* expansion, and the Euclidean skyline browser.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "euclid/bbs.h"
+#include "gen/network_gen.h"
+#include "gen/object_gen.h"
+#include "graph/astar.h"
+#include "graph/dijkstra.h"
+#include "graph/nn_stream.h"
+#include "graph/spatial_mapping.h"
+#include "index/bptree.h"
+#include "index/rtree.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+
+namespace msq {
+namespace {
+
+void BM_BufferFetchHit(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 16);
+  const PageId page = disk.Allocate();
+  buffer.Fetch(page);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.Fetch(page));
+  }
+}
+BENCHMARK(BM_BufferFetchHit);
+
+void BM_BufferFetchMissEvict(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 4);
+  PageId pages[8];
+  for (auto& p : pages) p = disk.Allocate();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.Fetch(pages[i++ & 7]));
+  }
+}
+BENCHMARK(BM_BufferFetchMissEvict);
+
+void BM_BpTreeLookup(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 1024);
+  BpTree tree(&buffer);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<BpTree::Item> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    items.emplace_back(i * 2, BpTreeValue{});
+  }
+  tree.BulkLoad(items);
+  Rng rng(1);
+  BpTreeValue out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(rng.NextBounded(n) * 2, &out));
+  }
+}
+BENCHMARK(BM_BpTreeLookup)->Arg(1000)->Arg(100000);
+
+void BM_RTreeWindowQuery(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 4096);
+  RTree tree(&buffer);
+  Rng rng(2);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<RTreeEntry> items;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    items.push_back(RTreeEntry{
+        Mbr::FromPoint({rng.NextDouble(), rng.NextDouble()}), i});
+  }
+  tree.BulkLoad(std::move(items));
+  std::vector<std::uint32_t> hits;
+  for (auto _ : state) {
+    hits.clear();
+    tree.WindowQuery(Mbr{0.4, 0.4, 0.6, 0.6}, &hits);
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_RTreeWindowQuery)->Arg(10000)->Arg(100000);
+
+void BM_RTreeNnBrowse10(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 4096);
+  RTree tree(&buffer);
+  Rng rng(3);
+  std::vector<RTreeEntry> items;
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    items.push_back(RTreeEntry{
+        Mbr::FromPoint({rng.NextDouble(), rng.NextDouble()}), i});
+  }
+  tree.BulkLoad(std::move(items));
+  for (auto _ : state) {
+    RTreeNnBrowser browser(&tree, Point{0.5, 0.5});
+    for (int i = 0; i < 10; ++i) {
+      benchmark::DoNotOptimize(browser.Next());
+    }
+  }
+}
+BENCHMARK(BM_RTreeNnBrowse10);
+
+struct GraphFixture {
+  explicit GraphFixture(std::size_t nodes)
+      : network(GenerateNetwork({.node_count = nodes,
+                                 .edge_count = nodes * 13 / 10,
+                                 .seed = 5})),
+        buffer(&disk, kDefaultBufferFrames),
+        pager(&network, &buffer) {}
+  RoadNetwork network;
+  InMemoryDiskManager disk;
+  BufferManager buffer;
+  GraphPager pager;
+};
+
+void BM_DijkstraFullSweep(benchmark::State& state) {
+  GraphFixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    DijkstraSearch search(&f.pager, Location{0, 0.0});
+    while (search.NextSettled().has_value()) {
+    }
+    benchmark::DoNotOptimize(search.settled_count());
+  }
+}
+BENCHMARK(BM_DijkstraFullSweep)->Arg(3000)->Arg(20000);
+
+void BM_AStarPointToPoint(benchmark::State& state) {
+  GraphFixture f(static_cast<std::size_t>(state.range(0)));
+  const EdgeId target_edge =
+      static_cast<EdgeId>(f.network.edge_count() / 2);
+  for (auto _ : state) {
+    AStarSearch search(&f.pager, Location{0, 0.0});
+    benchmark::DoNotOptimize(
+        search.DistanceTo(Location{target_edge, 0.0}));
+  }
+}
+BENCHMARK(BM_AStarPointToPoint)->Arg(3000)->Arg(20000);
+
+void BM_NnStreamFirst10(benchmark::State& state) {
+  GraphFixture f(10000);
+  InMemoryDiskManager index_disk;
+  BufferManager index_buffer(&index_disk, kDefaultBufferFrames);
+  const auto objects = GenerateObjects(f.network, 5000, 9);
+  SpatialMapping mapping(&f.network, &index_buffer, objects);
+  for (auto _ : state) {
+    NetworkNnStream stream(&f.pager, &mapping, Location{0, 0.0});
+    for (int i = 0; i < 10; ++i) {
+      benchmark::DoNotOptimize(stream.Next());
+    }
+  }
+}
+BENCHMARK(BM_NnStreamFirst10);
+
+void BM_EuclideanSkylineBrowse(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 4096);
+  RTree tree(&buffer);
+  Rng rng(7);
+  std::vector<RTreeEntry> items;
+  for (std::uint32_t i = 0; i < 50000; ++i) {
+    items.push_back(RTreeEntry{
+        Mbr::FromPoint({rng.NextDouble(), rng.NextDouble()}), i});
+  }
+  tree.BulkLoad(std::move(items));
+  const std::vector<Point> queries = {{0.2, 0.2}, {0.8, 0.3}, {0.5, 0.9}};
+  for (auto _ : state) {
+    EuclideanSkylineBrowser browser(&tree, queries);
+    std::size_t count = 0;
+    for (auto item = browser.Next(); item.found; item = browser.Next()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EuclideanSkylineBrowse);
+
+}  // namespace
+}  // namespace msq
+
+BENCHMARK_MAIN();

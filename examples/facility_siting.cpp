@@ -1,0 +1,63 @@
+// Facility siting: a logistics company must pick a depot location that is
+// simultaneously close (by road) to its three regional warehouses. The
+// skyline over candidate sites gives every Pareto-optimal choice; the
+// example also contrasts the cost of all three query algorithms on the
+// same instance — the comparison the paper's evaluation section runs at
+// scale.
+//
+//   $ ./build/examples/facility_siting
+#include <cstdio>
+
+#include "core/skyline_query.h"
+#include "gen/workloads.h"
+
+int main() {
+  using namespace msq;
+
+  // A regional road network: sparse and winding (high detour ratio), the
+  // regime where the choice of algorithm matters most.
+  WorkloadConfig config;
+  config.network = NetworkGenConfig{5000, 6200, /*seed=*/99, 0.5};
+  config.object_density = 0.3;  // candidate depot sites
+  Workload workload(config);
+
+  const double delta = MeasureDetourRatio(workload.network(), 100, 1);
+  std::printf("Network: %zu junctions, %zu roads, detour ratio delta=%.2f\n",
+              workload.network().node_count(),
+              workload.network().edge_count(), delta);
+
+  const SkylineQuerySpec query = workload.SampleQuery(3, /*seed=*/11);
+  std::printf("Candidate sites: %zu; warehouses: %zu\n\n",
+              workload.objects().size(), query.sources.size());
+
+  struct Row {
+    Algorithm algorithm;
+    const char* label;
+  };
+  const Row rows[] = {
+      {Algorithm::kNaive, "naive (full sweep)"},
+      {Algorithm::kCe, "CE   (collaborative expansion)"},
+      {Algorithm::kEdc, "EDC  (Euclidean constraint)"},
+      {Algorithm::kLbc, "LBC  (lower bound constraint)"},
+  };
+
+  std::printf("%-34s %8s %10s %10s %9s\n", "algorithm", "skyline",
+              "candidates", "pages", "time(ms)");
+  std::size_t skyline_size = 0;
+  for (const Row& row : rows) {
+    workload.ResetBuffers();
+    const SkylineResult result =
+        RunSkylineQuery(row.algorithm, workload.dataset(), query);
+    skyline_size = result.skyline.size();
+    std::printf("%-34s %8zu %10zu %10llu %9.2f\n", row.label,
+                result.skyline.size(), result.stats.candidate_count,
+                static_cast<unsigned long long>(result.stats.network_pages),
+                result.stats.total_seconds * 1000.0);
+  }
+
+  std::printf("\nAll four algorithms return the same %zu Pareto-optimal "
+              "depot sites; they differ only in how much of the road "
+              "network they touch.\n",
+              skyline_size);
+  return 0;
+}

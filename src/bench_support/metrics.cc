@@ -1,0 +1,40 @@
+#include "bench_support/metrics.h"
+
+namespace msq {
+
+void StatsAccumulator::Add(const QueryStats& stats) {
+  ++runs_;
+  candidates_ += static_cast<double>(stats.candidate_count);
+  skyline_ += static_cast<double>(stats.skyline_size);
+  network_pages_ += static_cast<double>(stats.network_pages);
+  index_pages_ += static_cast<double>(stats.index_pages);
+  settled_ += static_cast<double>(stats.settled_nodes);
+  total_seconds_ += stats.total_seconds;
+  initial_seconds_ += stats.initial_seconds;
+}
+
+namespace {
+double Mean(double sum, std::size_t n) {
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+}  // namespace
+
+double StatsAccumulator::mean_candidates() const {
+  return Mean(candidates_, runs_);
+}
+double StatsAccumulator::mean_skyline() const { return Mean(skyline_, runs_); }
+double StatsAccumulator::mean_network_pages() const {
+  return Mean(network_pages_, runs_);
+}
+double StatsAccumulator::mean_index_pages() const {
+  return Mean(index_pages_, runs_);
+}
+double StatsAccumulator::mean_settled() const { return Mean(settled_, runs_); }
+double StatsAccumulator::mean_total_seconds() const {
+  return Mean(total_seconds_, runs_);
+}
+double StatsAccumulator::mean_initial_seconds() const {
+  return Mean(initial_seconds_, runs_);
+}
+
+}  // namespace msq

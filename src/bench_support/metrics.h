@@ -1,0 +1,34 @@
+// Aggregation of QueryStats across repeated runs — the paper reports "the
+// average of ten tests" for every figure.
+#ifndef MSQ_BENCH_SUPPORT_METRICS_H_
+#define MSQ_BENCH_SUPPORT_METRICS_H_
+
+#include <cstddef>
+
+#include "core/query.h"
+
+namespace msq {
+
+// Running means of the per-query cost measures.
+class StatsAccumulator {
+ public:
+  void Add(const QueryStats& stats);
+
+  std::size_t runs() const { return runs_; }
+  double mean_candidates() const;
+  double mean_skyline() const;
+  double mean_network_pages() const;
+  double mean_index_pages() const;
+  double mean_settled() const;
+  double mean_total_seconds() const;
+  double mean_initial_seconds() const;
+
+ private:
+  std::size_t runs_ = 0;
+  double candidates_ = 0, skyline_ = 0, network_pages_ = 0, index_pages_ = 0,
+         settled_ = 0, total_seconds_ = 0, initial_seconds_ = 0;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_BENCH_SUPPORT_METRICS_H_

@@ -1,0 +1,56 @@
+#include "bench_support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace msq {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      if (i + 1 < row.size()) {
+        out.append(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+std::string TablePrinter::Fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Integer(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(std::llround(value)));
+  return buf;
+}
+
+}  // namespace msq

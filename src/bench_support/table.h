@@ -1,0 +1,35 @@
+// Minimal fixed-width table printer for the figure-reproduction benches.
+#ifndef MSQ_BENCH_SUPPORT_TABLE_H_
+#define MSQ_BENCH_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace msq {
+
+// Collects rows of string cells and prints them with aligned columns.
+// Example output:
+//
+//   |Q|   CE      EDC     LBC
+//   2     0.180   0.150   0.050
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Renders to stdout with two-space column gaps.
+  void Print() const;
+  // Renders to a string (tests).
+  std::string ToString() const;
+
+  // Cell formatting helpers.
+  static std::string Fixed(double value, int precision);
+  static std::string Integer(double value);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_BENCH_SUPPORT_TABLE_H_

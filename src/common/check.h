@@ -1,0 +1,47 @@
+// Lightweight invariant-checking macros.
+//
+// The query-processing code paths never throw; internal invariant violations
+// abort with a location message instead (the library is deterministic given
+// its inputs, so an invariant failure is always a programming error, not an
+// environmental one). Fallible operations (file loading, user input
+// validation) report through return values, not through these macros.
+#ifndef MSQ_COMMON_CHECK_H_
+#define MSQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `cond` is false. Enabled in all build types:
+// the checked conditions are cheap relative to the shortest-path work they
+// guard, and silent corruption of query results is worse than an abort.
+#define MSQ_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MSQ_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Check with a printf-style explanation appended.
+#define MSQ_CHECK_MSG(cond, ...)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MSQ_CHECK failed: %s at %s:%d: ", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Debug-only check for hot loops.
+#ifdef NDEBUG
+#define MSQ_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define MSQ_DCHECK(cond) MSQ_CHECK(cond)
+#endif
+
+#endif  // MSQ_COMMON_CHECK_H_

@@ -1,0 +1,45 @@
+// Deterministic random number generator used by the workload generators.
+//
+// All experiments in the paper are averages over randomized workloads; a
+// seeded, self-contained generator keeps every figure reproducible from the
+// command line.
+#ifndef MSQ_COMMON_RNG_H_
+#define MSQ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace msq {
+
+// Small, fast SplitMix64/xoshiro-style generator. Deliberately not
+// std::mt19937: the standard engines are not guaranteed to produce identical
+// streams across library versions for the distribution adaptors, and the
+// generators here must make benchmarks bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Next raw 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Gaussian sample with the given mean and standard deviation
+  // (Box-Muller; uses two uniform draws per pair of samples).
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+// Core identifier and numeric types shared across the library.
+#ifndef MSQ_COMMON_TYPES_H_
+#define MSQ_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace msq {
+
+// Identifier of a road-network node (junction). Dense, 0-based.
+using NodeId = std::uint32_t;
+// Identifier of a road-network edge (road segment). Dense, 0-based.
+using EdgeId = std::uint32_t;
+// Identifier of a data object in D. Dense, 0-based.
+using ObjectId = std::uint32_t;
+// Identifier of a disk page.
+using PageId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+// Network/Euclidean distances. `kInfDist` encodes "no path" (dN = infinity
+// in the paper's Section 3).
+using Dist = double;
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::infinity();
+
+}  // namespace msq
+
+#endif  // MSQ_COMMON_TYPES_H_

@@ -1,0 +1,58 @@
+// Aggregate (group) nearest-neighbor queries in road networks.
+//
+// The problem the paper positions itself against (Section 2): "group NN
+// [Papadias et al., ICDE 2004] and aggregate NN [Yiu, Mamoulis, Papadias,
+// TKDE 2005] queries find the k objects with the minimum aggregated
+// credit, such as the minimum total distance to a group of query points" —
+// e.g. a meeting place minimizing everyone's travel. The skyline returns
+// every Pareto-optimal trade-off; the aggregate NN collapses the vector to
+// one score.
+//
+// Two algorithms:
+//  * naive — full distance matrix, then top-k by score (oracle/baseline);
+//  * IER (Incremental Euclidean Restriction, the strategy of [26] that
+//    EDC step 1/2 borrows) — browse objects in ascending *aggregate
+//    Euclidean* distance via the R-tree, resolve each candidate's
+//    aggregate *network* distance with shared-label A*, and stop once the
+//    k-th best network score is no worse than the Euclidean lower bound
+//    of everything unfetched.
+#ifndef MSQ_CORE_AGGREGATE_NN_H_
+#define MSQ_CORE_AGGREGATE_NN_H_
+
+#include <vector>
+
+#include "core/query.h"
+
+namespace msq {
+
+enum class AggregateFn {
+  kSum,  // total travel distance of the group
+  kMax,  // worst member's travel distance
+};
+
+struct AggregateNnResult {
+  struct Entry {
+    ObjectId object = kInvalidObject;
+    Dist score = kInfDist;      // aggregate network distance
+    DistVector distances;       // per-query-point network distances
+  };
+  std::vector<Entry> entries;   // ascending score, at most k
+  QueryStats stats;
+};
+
+// Exact top-k by full sweep.
+AggregateNnResult RunAggregateNnNaive(const Dataset& dataset,
+                                      const SkylineQuerySpec& spec,
+                                      AggregateFn fn, std::size_t k);
+
+// Exact top-k by Incremental Euclidean Restriction.
+AggregateNnResult RunAggregateNnIer(const Dataset& dataset,
+                                    const SkylineQuerySpec& spec,
+                                    AggregateFn fn, std::size_t k);
+
+// The aggregate of a distance vector under `fn`.
+Dist AggregateScore(AggregateFn fn, const DistVector& distances);
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_AGGREGATE_NN_H_

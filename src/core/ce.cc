@@ -1,0 +1,356 @@
+#include "core/ce.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "graph/nn_stream.h"
+
+namespace msq {
+namespace {
+
+// Per-object bookkeeping shared by both phases.
+struct ObjectState {
+  DistVector dist;            // network distances; kInfDist until visited
+  std::uint32_t visit_count = 0;
+  bool candidate = false;     // member of C
+  bool determined = false;    // reported as skyline or pruned
+};
+
+// Whether skyline point `s` (complete vector, static attributes appended)
+// provably dominates candidate `c` given c's partially known distances.
+// For an unknown dimension i, dN(qi, c) >= s.dist[i] holds because query
+// point qi's stream emits in ascending order and it has already emitted s.
+// Returns true only when strict dominance is certain.
+bool ProvablyDominates(const DistVector& s_vec, const ObjectState& c,
+                       const DistVector& c_attrs, std::size_t n) {
+  bool strict = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isfinite(c.dist[i])) {
+      if (s_vec[i] > c.dist[i]) return false;
+      if (s_vec[i] < c.dist[i]) strict = true;
+    }
+    // Unknown dimension: s_vec[i] <= dN(qi, c), never contradicts, never
+    // certainly strict.
+  }
+  for (std::size_t j = 0; j < c_attrs.size(); ++j) {
+    if (s_vec[n + j] > c_attrs[j]) return false;
+    if (s_vec[n + j] < c_attrs[j]) strict = true;
+  }
+  return strict;
+}
+
+// Generalized CE for datasets with static attributes. The two-phase
+// paper formulation is wrong there: its filtering phase stops at the first
+// object visited by all query points and discards everything unvisited as
+// dominated — but with attribute dimensions an unvisited (farther) object
+// can still win on attributes. This variant keeps the collaborative
+// round-robin expansion and instead prunes each object individually, using
+// the streams' emission radii as distance lower bounds plus the statically
+// known attributes.
+SkylineResult RunCeGeneralized(const Dataset& dataset,
+                               const SkylineQuerySpec& spec,
+                               const ProgressiveCallback& on_skyline) {
+  StatsScope scope(dataset);
+  SkylineResult result;
+  const std::size_t n = spec.sources.size();
+  const std::size_t m = dataset.object_count();
+
+  std::vector<std::unique_ptr<NetworkNnStream>> streams;
+  for (const Location& source : spec.sources) {
+    streams.push_back(std::make_unique<NetworkNnStream>(
+        dataset.graph_pager, dataset.mapping, source));
+  }
+  std::vector<bool> exhausted(n, false);
+  // Emission radius per stream: a lower bound on every unvisited object's
+  // distance to that query point.
+  std::vector<Dist> radius(n, 0.0);
+
+  std::vector<ObjectState> state(m);
+  for (ObjectState& s : state) s.dist.assign(n, kInfDist);
+  std::vector<bool> visited_once(m, false);
+  std::size_t undetermined = m;
+
+  std::vector<DistVector> skyline_vectors;
+
+  auto full_vector = [&](ObjectId id) {
+    DistVector vec = state[id].dist;
+    const DistVector attrs = dataset.StaticAttributesOf(id);
+    vec.insert(vec.end(), attrs.begin(), attrs.end());
+    return vec;
+  };
+
+  // Whether skyline vector `s` provably dominates object `id` given the
+  // known distances, the per-stream radii, and the static attributes.
+  auto provably_dominated = [&](const DistVector& s, ObjectId id) {
+    const ObjectState& obj = state[id];
+    const DistVector attrs = dataset.StaticAttributesOf(id);
+    bool strict = false;
+    for (std::size_t q = 0; q < n; ++q) {
+      const Dist bound =
+          std::isfinite(obj.dist[q]) ? obj.dist[q] : radius[q];
+      if (s[q] > bound) return false;
+      if (s[q] < bound) strict = true;
+    }
+    for (std::size_t j = 0; j < attrs.size(); ++j) {
+      if (s[n + j] > attrs[j]) return false;
+      if (s[n + j] < attrs[j]) strict = true;
+    }
+    return strict;
+  };
+
+  auto prune_scan = [&]() {
+    for (ObjectId id = 0; id < m; ++id) {
+      if (state[id].determined) continue;
+      for (const DistVector& s : skyline_vectors) {
+        if (provably_dominated(s, id)) {
+          state[id].determined = true;
+          --undetermined;
+          break;
+        }
+      }
+    }
+  };
+
+  std::size_t turn = 0;
+  std::size_t exhausted_count = 0;
+  while (exhausted_count < n && undetermined > 0) {
+    const std::size_t qi = turn % n;
+    ++turn;
+    if (exhausted[qi]) continue;
+    const auto visit = streams[qi]->Next();
+    if (!visit.has_value()) {
+      exhausted[qi] = true;
+      ++exhausted_count;
+      continue;
+    }
+    radius[qi] = visit->distance;
+    ObjectState& obj = state[visit->object];
+    if (!visited_once[visit->object]) {
+      visited_once[visit->object] = true;
+      ++result.stats.candidate_count;
+    }
+    if (obj.determined) continue;
+    obj.dist[qi] = visit->distance;
+    ++obj.visit_count;
+    if (obj.visit_count == n) {
+      obj.determined = true;
+      --undetermined;
+      const DistVector vec = full_vector(visit->object);
+      bool dominated = false;
+      for (const DistVector& s : skyline_vectors) {
+        if (Dominates(s, vec)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        scope.MarkInitial();
+        SkylineEntry entry;
+        entry.object = visit->object;
+        entry.vector = vec;
+        if (on_skyline) on_skyline(entry);
+        result.skyline.push_back(entry);
+        skyline_vectors.push_back(vec);
+        prune_scan();
+      }
+    } else if ((turn & 63u) == 0) {
+      // Radii grew; give unfinished objects a chance to be pruned so the
+      // expansion can stop before full exhaustion.
+      prune_scan();
+    }
+  }
+
+  // Tie safety, as in the base variant.
+  std::vector<SkylineEntry> filtered;
+  for (const SkylineEntry& entry : result.skyline) {
+    bool dominated = false;
+    for (const SkylineEntry& other : result.skyline) {
+      if (other.object != entry.object &&
+          Dominates(other.vector, entry.vector)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) filtered.push_back(entry);
+  }
+  result.skyline = std::move(filtered);
+
+  result.stats.skyline_size = result.skyline.size();
+  std::size_t settled = 0;
+  for (const auto& stream : streams) settled += stream->settled_count();
+  result.stats.settled_nodes = settled;
+  scope.Finish(&result.stats);
+  return result;
+}
+
+}  // namespace
+
+SkylineResult RunCe(const Dataset& dataset, const SkylineQuerySpec& spec,
+                    const ProgressiveCallback& on_skyline) {
+  if (dataset.static_dims() > 0) {
+    ValidateQuery(dataset, spec);
+    return RunCeGeneralized(dataset, spec, on_skyline);
+  }
+  ValidateQuery(dataset, spec);
+  StatsScope scope(dataset);
+  SkylineResult result;
+
+  const std::size_t n = spec.sources.size();
+  const std::size_t m = dataset.object_count();
+
+  std::vector<std::unique_ptr<NetworkNnStream>> streams;
+  streams.reserve(n);
+  for (const Location& source : spec.sources) {
+    streams.push_back(std::make_unique<NetworkNnStream>(
+        dataset.graph_pager, dataset.mapping, source));
+  }
+  std::vector<bool> exhausted(n, false);
+
+  std::vector<ObjectState> state(m);
+  for (ObjectState& s : state) s.dist.assign(n, kInfDist);
+
+  std::vector<DistVector> skyline_vectors;  // with attributes appended
+  std::size_t candidates_open = 0;
+  bool filtering = true;
+  // Distance vector of the first skyline point (the object that ended the
+  // filtering phase). Every object first encountered afterwards is
+  // component-wise >= it, so such an object can only be skyline by tying
+  // it exactly — the one tie case the paper's "simply discarded" rule
+  // would lose.
+  DistVector first_skyline_vec;
+
+  // Builds the full comparison vector (distances + attributes) of `id`.
+  auto full_vector = [&](ObjectId id) {
+    DistVector vec = state[id].dist;
+    const DistVector attrs = dataset.StaticAttributesOf(id);
+    vec.insert(vec.end(), attrs.begin(), attrs.end());
+    return vec;
+  };
+
+  // Handles an object whose distance vector just became complete: reports
+  // it if undominated and prunes candidates it provably dominates.
+  auto determine = [&](ObjectId id) {
+    ObjectState& obj = state[id];
+    MSQ_CHECK(obj.candidate && !obj.determined);
+    obj.determined = true;
+    --candidates_open;
+    const DistVector vec = full_vector(id);
+    for (const DistVector& s : skyline_vectors) {
+      if (Dominates(s, vec)) return;  // dominated: silently pruned
+    }
+    scope.MarkInitial();
+    SkylineEntry entry;
+    entry.object = id;
+    entry.vector = vec;
+    if (on_skyline) on_skyline(entry);
+    result.skyline.push_back(entry);
+    skyline_vectors.push_back(vec);
+
+    // Prune candidates that the new skyline point provably dominates.
+    for (ObjectId c = 0; c < m; ++c) {
+      ObjectState& cand = state[c];
+      if (!cand.candidate || cand.determined) continue;
+      if (ProvablyDominates(vec, cand, dataset.StaticAttributesOf(c), n)) {
+        cand.determined = true;
+        --candidates_open;
+      }
+    }
+  };
+
+  // Round-robin expansion over the query points.
+  std::size_t turn = 0;
+  std::size_t exhausted_count = 0;
+  std::vector<Dist> last_emit(n, -1.0);
+  while (exhausted_count < n) {
+    const std::size_t qi = turn % n;
+    ++turn;
+    if (exhausted[qi]) continue;
+
+    const auto visit = streams[qi]->Next();
+    if (!visit.has_value()) {
+      exhausted[qi] = true;
+      ++exhausted_count;
+      continue;
+    }
+    last_emit[qi] = visit->distance;
+
+    ObjectState& obj = state[visit->object];
+    if (filtering) {
+      // Every object encountered during filtering becomes a candidate.
+      if (!obj.candidate) {
+        obj.candidate = true;
+        ++candidates_open;
+        ++result.stats.candidate_count;
+      }
+    } else if (!obj.candidate) {
+      // Refinement phase: a new object is component-wise >= the first
+      // skyline point, so unless this visit ties that point's distance it
+      // is strictly dominated and discarded (the paper's rule); exact ties
+      // stay live so co-located duplicates are not lost.
+      if (visit->distance != first_skyline_vec[qi]) continue;
+      obj.candidate = true;
+      ++candidates_open;
+    } else if (obj.determined) {
+      continue;
+    }
+
+    obj.dist[qi] = visit->distance;
+    ++obj.visit_count;
+    if (obj.visit_count == n) {
+      if (filtering) {
+        filtering = false;
+        first_skyline_vec = obj.dist;
+      }
+      determine(visit->object);
+    }
+
+    if (!filtering && candidates_open == 0) {
+      // All candidates determined. Keep polling only while a stream could
+      // still emit an exact tie of the first skyline point (a co-located
+      // duplicate encountered after the filtering phase); once every
+      // stream has moved strictly past that distance, nothing new can be
+      // skyline.
+      bool tie_possible = false;
+      for (std::size_t q = 0; q < n; ++q) {
+        if (!exhausted[q] && last_emit[q] <= first_skyline_vec[q]) {
+          tie_possible = true;
+          break;
+        }
+      }
+      if (!tie_possible) break;
+    }
+  }
+
+  // Streams exhausted with candidates still open: their vectors contain a
+  // kInfDist component (unreachable from some query point), which the
+  // library's skyline semantics exclude.
+
+  // Tie safety: when two objects tie in some distance dimension, stream
+  // emission order between them is arbitrary and a dominated object can
+  // complete before its dominator. A final pairwise pass removes such
+  // entries (a no-op in the generic, tie-free case).
+  {
+    std::vector<SkylineEntry> filtered;
+    for (const SkylineEntry& entry : result.skyline) {
+      bool dominated = false;
+      for (const SkylineEntry& other : result.skyline) {
+        if (other.object != entry.object &&
+            Dominates(other.vector, entry.vector)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) filtered.push_back(entry);
+    }
+    result.skyline = std::move(filtered);
+  }
+  result.stats.skyline_size = result.skyline.size();
+  std::size_t settled = 0;
+  for (const auto& stream : streams) settled += stream->settled_count();
+  result.stats.settled_nodes = settled;
+  scope.Finish(&result.stats);
+  return result;
+}
+
+}  // namespace msq

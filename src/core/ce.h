@@ -1,0 +1,30 @@
+// CE — Collaborative Expansion (paper Section 4.1).
+//
+// One resumable Dijkstra wavefront per query point visits objects in
+// ascending network distance; the wavefronts are expanded alternately
+// (round-robin).
+//
+// Filtering phase: runs until some object has been visited by ALL query
+// points — that object is the first skyline point, and every object visited
+// so far forms the candidate set C (anything unvisited is dominated by it).
+//
+// Refinement phase: expansion continues; each time a candidate completes
+// its distance vector (visited by all query points) it is compared against
+// the reported skyline, reported if undominated, and used to prune
+// provably-dominated candidates. Objects first encountered during
+// refinement are discarded. Terminates when C is exhausted.
+#ifndef MSQ_CORE_CE_H_
+#define MSQ_CORE_CE_H_
+
+#include "core/query.h"
+
+namespace msq {
+
+// Runs CE. `on_skyline` fires as each skyline point is confirmed
+// (progressive reporting; used for initial-response measurements).
+SkylineResult RunCe(const Dataset& dataset, const SkylineQuerySpec& spec,
+                    const ProgressiveCallback& on_skyline = nullptr);
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_CE_H_

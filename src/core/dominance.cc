@@ -1,0 +1,70 @@
+#include "core/dominance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace msq {
+
+bool Dominates(const DistVector& a, const DistVector& b) {
+  MSQ_CHECK(a.size() == b.size());
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+bool DominatesOrEqual(const DistVector& a, const DistVector& b) {
+  MSQ_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool DominatesWithMargin(const DistVector& a, const DistVector& b,
+                         double margin) {
+  MSQ_CHECK(a.size() == b.size());
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i] - margin) strict = true;
+  }
+  return strict;
+}
+
+bool AllFinite(const DistVector& v) {
+  for (const Dist d : v) {
+    if (!std::isfinite(d)) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> SkylineIndices(
+    const std::vector<DistVector>& vectors) {
+  std::vector<std::size_t> window;
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    if (!AllFinite(vectors[i])) continue;
+    bool dominated = false;
+    for (std::size_t w = 0; w < window.size();) {
+      if (Dominates(vectors[window[w]], vectors[i])) {
+        dominated = true;
+        break;
+      }
+      if (Dominates(vectors[i], vectors[window[w]])) {
+        window[w] = window.back();
+        window.pop_back();
+        continue;
+      }
+      ++w;
+    }
+    if (!dominated) window.push_back(i);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+}  // namespace msq

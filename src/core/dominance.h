@@ -1,0 +1,55 @@
+// Dominance tests and in-memory skyline computation over distance vectors.
+//
+// All optimization is minimization: vector `a` dominates `b` when a <= b in
+// every dimension and a < b in at least one. Vectors mix network distances
+// to the query points with optional static attributes (paper Section 4.3:
+// non-spatial attributes "can be treated as normal attributes which have
+// pre-computed 'network distances'").
+#ifndef MSQ_CORE_DOMINANCE_H_
+#define MSQ_CORE_DOMINANCE_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace msq {
+
+// Attribute/distance vector of one object.
+using DistVector = std::vector<Dist>;
+
+// Whether `a` dominates `b` (strictly better somewhere, nowhere worse).
+// Both vectors must have the same size.
+bool Dominates(const DistVector& a, const DistVector& b);
+
+// Whether `a` is component-wise <= `b`.
+bool DominatesOrEqual(const DistVector& a, const DistVector& b);
+
+// Safety margin for dominance tests that compare values computed through
+// different floating-point paths (e.g. a Euclidean lower bound — a sqrt —
+// against a network distance — a sum of offsets): two mathematically equal
+// values can differ by ulps, and a phantom "strictly better" dimension
+// must not prune an exact tie. Networks are normalized into the unit
+// square, so an absolute margin dwarfing accumulated rounding error while
+// staying far below any genuine distance difference is appropriate.
+inline constexpr double kFpTieMargin = 1e-9;
+
+// Dominance with the strict dimension required to win by more than
+// `margin`: a <= b everywhere and a[i] < b[i] - margin somewhere. Used by
+// the R-tree prune predicates, whose `b` is an optimistic bound computed
+// through a different FP path than `a`.
+bool DominatesWithMargin(const DistVector& a, const DistVector& b,
+                         double margin);
+
+// Whether every component is finite (the library's skyline semantics
+// exclude objects unreachable from any query point).
+bool AllFinite(const DistVector& v);
+
+// Block-nested-loops skyline of `vectors`: returns the indices (into
+// `vectors`) of the undominated entries, in input order. Entries with a
+// non-finite component are excluded.
+std::vector<std::size_t> SkylineIndices(
+    const std::vector<DistVector>& vectors);
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_DOMINANCE_H_

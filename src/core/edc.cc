@@ -1,0 +1,431 @@
+#include "core/edc.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "euclid/bbs.h"
+#include "graph/astar.h"
+
+namespace msq {
+namespace {
+
+// Shared machinery of the batch and incremental EDC variants.
+class EdcRunner {
+ public:
+  EdcRunner(const Dataset& dataset, const SkylineQuerySpec& spec)
+      : dataset_(dataset), spec_(spec) {
+    for (const Location& source : spec.sources) {
+      query_points_.push_back(dataset.network->LocationPosition(source));
+      searches_.push_back(std::make_unique<AStarSearch>(
+          dataset.graph_pager, source, dataset.landmarks));
+    }
+    min_attrs_ = dataset.MinStaticAttributes();
+  }
+
+  std::size_t n() const { return spec_.sources.size(); }
+  std::size_t attr_dims() const { return min_attrs_.size(); }
+
+  // Full comparison vector: exact network distances (A*, labels shared
+  // across all calls) followed by static attributes. Cached per object.
+  const DistVector& NetworkVector(ObjectId id) {
+    auto it = network_vectors_.find(id);
+    if (it != network_vectors_.end()) return it->second;
+    DistVector vec;
+    vec.reserve(n() + attr_dims());
+    const Location& loc = dataset_.mapping->ObjectLocation(id);
+    for (auto& search : searches_) {
+      vec.push_back(search->DistanceTo(loc));
+    }
+    const DistVector attrs = dataset_.StaticAttributesOf(id);
+    vec.insert(vec.end(), attrs.begin(), attrs.end());
+    return network_vectors_.emplace(id, std::move(vec)).first->second;
+  }
+
+  bool HasNetworkVector(ObjectId id) const {
+    return network_vectors_.count(id) != 0;
+  }
+
+  // Step 3's window fetch: every object o with dE(o, qi) <= window[i] for
+  // all query dims and attrs(o) <= window's attr dims — i.e. the objects
+  // that could dominate the shifted point `window`. Appends object ids not
+  // already in `candidates` and marks them.
+  void FetchWindow(const DistVector& window,
+                   std::vector<ObjectId>* order,
+                   std::unordered_map<ObjectId, bool>* candidates) {
+    std::vector<PageId> stack = {dataset_.object_rtree->root_page()};
+    while (!stack.empty()) {
+      const PageId page = stack.back();
+      stack.pop_back();
+      const RTreeNode node = dataset_.object_rtree->ReadNode(page);
+      for (const RTreeEntry& e : node.entries) {
+        // Subtree/object qualifies only if its optimistic vector fits
+        // inside the hypercube.
+        bool inside = true;
+        for (std::size_t i = 0; i < n(); ++i) {
+          if (e.mbr.MinDist(query_points_[i]) > window[i]) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside && attr_dims() > 0) {
+          const DistVector lb = node.is_leaf
+                                    ? dataset_.StaticAttributesOf(e.id)
+                                    : min_attrs_;
+          for (std::size_t j = 0; j < attr_dims(); ++j) {
+            if (lb[j] > window[n() + j]) {
+              inside = false;
+              break;
+            }
+          }
+        }
+        if (!inside) continue;
+        if (node.is_leaf) {
+          if (candidates->emplace(e.id, true).second) {
+            order->push_back(e.id);
+          }
+        } else {
+          stack.push_back(e.id);
+        }
+      }
+    }
+  }
+
+  // Whether point `o` (exact Euclidean distances + attrs) lies inside the
+  // hypercube of `window`.
+  bool InsideWindow(const DistVector& exact, const DistVector& window) const {
+    MSQ_CHECK(exact.size() == window.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      if (exact[i] > window[i]) return false;
+    }
+    return true;
+  }
+
+  // Euclidean vector (distances + attrs) of an entry MBR treated as fully
+  // contained: uses MaxDist so true only when the whole entry is inside.
+  bool EntirelyInsideSomeWindow(const RTreeEntry& entry, bool is_leaf,
+                                const std::vector<DistVector>& windows) const {
+    for (const DistVector& w : windows) {
+      bool inside = true;
+      for (std::size_t i = 0; i < n(); ++i) {
+        const Dist far = is_leaf ? entry.mbr.MinDist(query_points_[i])
+                                 : entry.mbr.MaxDist(query_points_[i]);
+        if (far > w[i]) {
+          inside = false;
+          break;
+        }
+      }
+      if (!inside) continue;
+      if (attr_dims() > 0) {
+        // Attributes of an internal entry are unbounded above; only leaf
+        // entries can be attribute-checked.
+        if (!is_leaf) continue;
+        const DistVector attrs = dataset_.StaticAttributesOf(entry.id);
+        for (std::size_t j = 0; j < attr_dims(); ++j) {
+          if (attrs[j] > w[n() + j]) {
+            inside = false;
+            break;
+          }
+        }
+        if (!inside) continue;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // Completion pass (EdcOptions::paper_faithful == false): fetches every
+  // object whose optimistic Euclidean vector (+ attribute lower bounds) is
+  // not dominated by any vector in `skyline_estimate`. Any object outside
+  // that region is provably network-dominated by a skyline-estimate member
+  // (s <= dE(o) <= dN(o) component-wise with a strict dimension), so
+  // fetching the region to a fixpoint makes EDC exact. Returns how many
+  // new candidates were added.
+  std::size_t FetchUndominatedRegion(
+      const std::vector<DistVector>& skyline_estimate,
+      std::vector<ObjectId>* order,
+      std::unordered_map<ObjectId, bool>* candidates) {
+    std::size_t added = 0;
+    std::vector<PageId> stack = {dataset_.object_rtree->root_page()};
+    while (!stack.empty()) {
+      const PageId page = stack.back();
+      stack.pop_back();
+      const RTreeNode node = dataset_.object_rtree->ReadNode(page);
+      for (const RTreeEntry& e : node.entries) {
+        DistVector lb;
+        lb.reserve(n() + attr_dims());
+        for (std::size_t i = 0; i < n(); ++i) {
+          lb.push_back(e.mbr.MinDist(query_points_[i]));
+        }
+        if (attr_dims() > 0) {
+          const DistVector attrs = node.is_leaf
+                                       ? dataset_.StaticAttributesOf(e.id)
+                                       : min_attrs_;
+          lb.insert(lb.end(), attrs.begin(), attrs.end());
+        }
+        bool dominated = false;
+        for (const DistVector& s : skyline_estimate) {
+          // Margin-strict: lb is a Euclidean bound compared against
+          // network distances (see dominance.h).
+          if (DominatesWithMargin(s, lb, kFpTieMargin)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        if (node.is_leaf) {
+          if (candidates->emplace(e.id, true).second) {
+            order->push_back(e.id);
+            ++added;
+          }
+        } else {
+          stack.push_back(e.id);
+        }
+      }
+    }
+    return added;
+  }
+
+  // Runs FetchUndominatedRegion to a fixpoint against the evolving
+  // skyline-of-candidates estimate.
+  void CompleteCandidates(std::vector<ObjectId>* order,
+                          std::unordered_map<ObjectId, bool>* candidates) {
+    for (;;) {
+      std::vector<DistVector> vectors;
+      vectors.reserve(order->size());
+      for (const ObjectId id : *order) vectors.push_back(NetworkVector(id));
+      const std::vector<std::size_t> sky = SkylineIndices(vectors);
+      std::vector<DistVector> estimate;
+      estimate.reserve(sky.size());
+      for (const std::size_t idx : sky) estimate.push_back(vectors[idx]);
+      if (FetchUndominatedRegion(estimate, order, candidates) == 0) break;
+    }
+  }
+
+  std::size_t TotalSettled() const {
+    std::size_t total = 0;
+    for (const auto& search : searches_) total += search->settled_count();
+    return total;
+  }
+
+  const Dataset& dataset_;
+  const SkylineQuerySpec& spec_;
+  std::vector<Point> query_points_;
+  std::vector<std::unique_ptr<AStarSearch>> searches_;
+  DistVector min_attrs_;
+  std::unordered_map<ObjectId, DistVector> network_vectors_;
+};
+
+SkylineResult RunEdcBatch(const Dataset& dataset,
+                          const SkylineQuerySpec& spec,
+                          const EdcOptions& options,
+                          const ProgressiveCallback& on_skyline) {
+  StatsScope scope(dataset);
+  SkylineResult result;
+  EdcRunner runner(dataset, spec);
+
+  // Step 1: all multi-source Euclidean skyline points.
+  EuclideanSkylineBrowser::AttributeProvider attr_of = nullptr;
+  if (dataset.static_dims() > 0) {
+    attr_of = [&dataset](ObjectId id) {
+      return dataset.StaticAttributesOf(id);
+    };
+  }
+  EuclideanSkylineBrowser browser(dataset.object_rtree, runner.query_points_,
+                                  nullptr, attr_of,
+                                  dataset.MinStaticAttributes());
+  std::vector<ObjectId> order;  // candidate ids in retrieval order
+  std::unordered_map<ObjectId, bool> candidates;
+  std::vector<ObjectId> euclid_skyline;
+  for (auto item = browser.Next(); item.found; item = browser.Next()) {
+    if (candidates.emplace(item.object, true).second) {
+      order.push_back(item.object);
+    }
+    euclid_skyline.push_back(item.object);
+  }
+
+  // Step 2 + 3: shift each Euclidean skyline point to its network-distance
+  // position and fetch the union-hypercube window.
+  for (const ObjectId id : euclid_skyline) {
+    const DistVector& shifted = runner.NetworkVector(id);
+    runner.FetchWindow(shifted, &order, &candidates);
+  }
+
+  // Completion pass (off in paper-faithful mode): grow C until it covers
+  // the entire region undominated by the skyline estimate.
+  if (!options.paper_faithful) {
+    runner.CompleteCandidates(&order, &candidates);
+  }
+
+  // Step 4: network distances for every candidate (A* labels from step 2
+  // are reused automatically).
+  std::vector<DistVector> vectors;
+  vectors.reserve(order.size());
+  for (const ObjectId id : order) {
+    vectors.push_back(runner.NetworkVector(id));
+  }
+
+  // Step 5: pairwise comparison.
+  const std::vector<std::size_t> skyline = SkylineIndices(vectors);
+  for (const std::size_t idx : skyline) {
+    scope.MarkInitial();
+    SkylineEntry entry;
+    entry.object = order[idx];
+    entry.vector = vectors[idx];
+    if (on_skyline) on_skyline(entry);
+    result.skyline.push_back(std::move(entry));
+  }
+
+  result.stats.candidate_count = order.size();
+  result.stats.skyline_size = result.skyline.size();
+  result.stats.settled_nodes = runner.TotalSettled();
+  scope.Finish(&result.stats);
+  return result;
+}
+
+SkylineResult RunEdcIncremental(const Dataset& dataset,
+                                const SkylineQuerySpec& spec,
+                                const EdcOptions& options,
+                                const ProgressiveCallback& on_skyline) {
+  StatsScope scope(dataset);
+  SkylineResult result;
+  EdcRunner runner(dataset, spec);
+
+  // Windows (shifted vectors) already processed; entries wholly inside any
+  // of them have been fetched and need not be re-browsed.
+  std::vector<DistVector> processed_windows;
+
+  EuclideanSkylineBrowser::AttributeProvider attr_of = nullptr;
+  if (dataset.static_dims() > 0) {
+    attr_of = [&dataset](ObjectId id) {
+      return dataset.StaticAttributesOf(id);
+    };
+  }
+  EuclideanSkylineBrowser browser(
+      dataset.object_rtree, runner.query_points_,
+      [&](const RTreeEntry& entry, bool is_leaf) {
+        return runner.EntirelyInsideSomeWindow(entry, is_leaf,
+                                               processed_windows);
+      },
+      attr_of, dataset.MinStaticAttributes());
+
+  std::vector<ObjectId> order;
+  std::unordered_map<ObjectId, bool> candidates;
+  std::vector<std::uint8_t> determined(dataset.object_count(), 0);
+  std::vector<DistVector> reported_vectors;
+
+  // Reports every undetermined candidate that (a) lies inside a processed
+  // window — so all of its potential dominators are already fetched — and
+  // (b) is dominated by nothing fetched or reported.
+  auto drain_determinable = [&]() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const ObjectId id : order) {
+        if (determined[id]) continue;
+        const DistVector& vec = runner.NetworkVector(id);
+        bool covered = false;
+        for (const DistVector& w : processed_windows) {
+          if (runner.InsideWindow(vec, w)) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) continue;
+        bool dominated = false;
+        for (const DistVector& s : reported_vectors) {
+          if (Dominates(s, vec)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          for (const ObjectId other : order) {
+            if (other != id &&
+                Dominates(runner.NetworkVector(other), vec)) {
+              dominated = true;
+              break;
+            }
+          }
+        }
+        determined[id] = 1;
+        changed = true;
+        if (dominated) continue;
+        scope.MarkInitial();
+        SkylineEntry entry;
+        entry.object = id;
+        entry.vector = vec;
+        if (on_skyline) on_skyline(entry);
+        result.skyline.push_back(entry);
+        reported_vectors.push_back(vec);
+      }
+    }
+  };
+
+  for (auto item = browser.Next(); item.found; item = browser.Next()) {
+    if (candidates.emplace(item.object, true).second) {
+      order.push_back(item.object);
+    }
+    const DistVector& shifted = runner.NetworkVector(item.object);
+    runner.FetchWindow(shifted, &order, &candidates);
+    processed_windows.push_back(shifted);
+    drain_determinable();
+  }
+
+  // Completion pass (off in paper-faithful mode) before the final report:
+  // late-fetched candidates can both add missed skyline points and expose
+  // false positives among the undetermined remainder.
+  if (!options.paper_faithful) {
+    runner.CompleteCandidates(&order, &candidates);
+  }
+
+  // Browser exhausted: remaining undetermined candidates are skyline unless
+  // dominated by something fetched.
+  for (const ObjectId id : order) {
+    if (determined[id]) continue;
+    const DistVector& vec = runner.NetworkVector(id);
+    bool dominated = false;
+    for (const DistVector& s : reported_vectors) {
+      if (Dominates(s, vec)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      for (const ObjectId other : order) {
+        if (other != id && Dominates(runner.NetworkVector(other), vec)) {
+          dominated = true;
+          break;
+        }
+      }
+    }
+    determined[id] = 1;
+    if (dominated) continue;
+    scope.MarkInitial();
+    SkylineEntry entry;
+    entry.object = id;
+    entry.vector = vec;
+    if (on_skyline) on_skyline(entry);
+    result.skyline.push_back(entry);
+    reported_vectors.push_back(vec);
+  }
+
+  result.stats.candidate_count = order.size();
+  result.stats.skyline_size = result.skyline.size();
+  result.stats.settled_nodes = runner.TotalSettled();
+  scope.Finish(&result.stats);
+  return result;
+}
+
+}  // namespace
+
+SkylineResult RunEdc(const Dataset& dataset, const SkylineQuerySpec& spec,
+                     const EdcOptions& options,
+                     const ProgressiveCallback& on_skyline) {
+  ValidateQuery(dataset, spec);
+  return options.incremental
+             ? RunEdcIncremental(dataset, spec, options, on_skyline)
+             : RunEdcBatch(dataset, spec, options, on_skyline);
+}
+
+}  // namespace msq

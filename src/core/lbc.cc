@@ -1,0 +1,358 @@
+#include "core/lbc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "common/check.h"
+#include "graph/astar.h"
+
+namespace msq {
+namespace {
+
+// Candidate buffered in step 1.2 with its exact distance to the source.
+struct SourceCandidate {
+  Dist source_dist;
+  ObjectId object;
+  bool operator>(const SourceCandidate& other) const {
+    return source_dist > other.source_dist;
+  }
+};
+
+}  // namespace
+
+SkylineResult RunLbc(const Dataset& dataset, const SkylineQuerySpec& spec,
+                     const LbcOptions& options,
+                     const ProgressiveCallback& on_skyline) {
+  ValidateQuery(dataset, spec);
+  StatsScope scope(dataset);
+  SkylineResult result;
+
+  const std::size_t n = spec.sources.size();
+  const std::size_t attr_dims = dataset.static_dims();
+  const DistVector min_attrs = dataset.MinStaticAttributes();
+
+  std::vector<Point> query_points;
+  query_points.reserve(n);
+  for (const Location& source : spec.sources) {
+    query_points.push_back(dataset.network->LocationPosition(source));
+  }
+
+  // One reusable A* search per query point (labels shared across all
+  // probes from that query point). Non-source searches are created lazily:
+  // with one query point LBC touches the network only from the source.
+  std::vector<std::unique_ptr<AStarSearch>> searches(n);
+  auto search_for = [&](std::size_t qi) -> AStarSearch& {
+    if (searches[qi] == nullptr) {
+      searches[qi] = std::make_unique<AStarSearch>(
+          dataset.graph_pager, spec.sources[qi], dataset.landmarks);
+    }
+    return *searches[qi];
+  };
+
+  // Reported skyline vectors (network distances + attributes).
+  std::vector<DistVector> skyline_vectors;
+
+  // Step 1.1's Euclidean NN browser with skyline-dominance pruning: an
+  // entry is skipped when some s in S is at least as good as the entry's
+  // optimistic vector in every dimension and strictly better somewhere.
+  // (The ith attribute of the entry is its *Euclidean* distance to qi while
+  // s carries *network* distances; dE <= dN makes the comparison sound.)
+  auto prune = [&](const RTreeEntry& entry, bool is_leaf) {
+    if (skyline_vectors.empty()) return false;
+    DistVector lb;
+    lb.reserve(n + attr_dims);
+    for (std::size_t i = 0; i < n; ++i) {
+      lb.push_back(entry.mbr.MinDist(query_points[i]));
+    }
+    if (attr_dims > 0) {
+      if (is_leaf) {
+        const DistVector attrs = dataset.StaticAttributesOf(entry.id);
+        lb.insert(lb.end(), attrs.begin(), attrs.end());
+      } else {
+        lb.insert(lb.end(), min_attrs.begin(), min_attrs.end());
+      }
+    }
+    for (const DistVector& s : skyline_vectors) {
+      if (DominatesWithMargin(s, lb, kFpTieMargin)) return true;
+    }
+    return false;
+  };
+  // Per-source discovery state. Single-source mode (the paper's primary
+  // formulation) uses only spec.lbc_source_index; alternation (§4.3
+  // extension) rotates through all of them.
+  struct Discovery {
+    std::size_t source_dim = 0;
+    std::unique_ptr<RTreeNnBrowser> browser;
+    // Candidates with exact source distance, pending network-NN ordering.
+    std::priority_queue<SourceCandidate, std::vector<SourceCandidate>,
+                        std::greater<>>
+        heap;
+    bool browser_exhausted = false;
+  };
+  std::vector<Discovery> discoveries;
+  if (options.alternate_sources && n > 1) {
+    discoveries.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      discoveries[i].source_dim = i;
+      discoveries[i].browser = std::make_unique<RTreeNnBrowser>(
+          dataset.object_rtree, query_points[i], prune);
+    }
+  } else {
+    discoveries.resize(1);
+    discoveries[0].source_dim = spec.lbc_source_index;
+    discoveries[0].browser = std::make_unique<RTreeNnBrowser>(
+        dataset.object_rtree, query_points[spec.lbc_source_index], prune);
+  }
+
+  // Each distinct object counts once toward |C| even when several sources
+  // fetch it; an object screened through one source is resolved for all.
+  std::vector<std::uint8_t> fetched(dataset.object_count(), 0);
+  std::vector<std::uint8_t> resolved(dataset.object_count(), 0);
+
+  // Step 1: the next network nearest neighbor of a discovery's source in
+  // the not-yet-dominated region. Returns kInvalidObject when none remain.
+  auto next_network_nn = [&](Discovery& d) -> SourceCandidate {
+    for (;;) {
+      while (!d.browser_exhausted) {
+        // Step 1.2 stop rule: once some buffered candidate's network
+        // distance does not exceed the Euclidean distance of everything
+        // not yet fetched, that candidate precedes every unfetched object
+        // (whose network distance >= its Euclidean distance >= the browser
+        // bound). Checked before fetching so an already-determined network
+        // NN never triggers extra candidate retrieval.
+        if (!d.heap.empty() &&
+            d.heap.top().source_dist <= d.browser->PeekLowerBound()) {
+          break;
+        }
+        const auto item = d.browser->Next();
+        if (!item.found) {
+          d.browser_exhausted = true;
+          break;
+        }
+        if (!fetched[item.id]) {
+          fetched[item.id] = 1;
+          ++result.stats.candidate_count;
+        }
+        if (resolved[item.id]) continue;  // another source settled it
+        const Dist d_net = search_for(d.source_dim)
+                               .DistanceTo(
+                                   dataset.mapping->ObjectLocation(item.id));
+        if (std::isfinite(d_net)) {
+          d.heap.push(SourceCandidate{d_net, item.id});
+        }
+      }
+      if (d.heap.empty()) return SourceCandidate{kInfDist, kInvalidObject};
+      const SourceCandidate top = d.heap.top();
+      d.heap.pop();
+      if (resolved[top.object]) continue;  // resolved since buffering
+      return top;
+    }
+  };
+
+  // Step 2: screen candidate p with path distance lower bounds.
+  // Returns p's full vector if it is a skyline point, empty if dominated.
+  //
+  // Domination bookkeeping is incremental: each potential dominator s in S
+  // keeps a bitmask of the distance dimensions where s[i] <= bound[i]
+  // already holds. Bounds only grow, so when a dimension advances only
+  // that dimension's bit needs re-checking — O(|S|) per expansion instead
+  // of O(|S| * n), which dominates at large |Q| where skylines are big.
+  auto screen = [&](const SourceCandidate& cand,
+                    std::size_t src) -> DistVector {
+    const Location& loc = dataset.mapping->ObjectLocation(cand.object);
+    const DistVector attrs = dataset.StaticAttributesOf(cand.object);
+
+    // Current bounds per dimension; exact[i] says bound is the true value.
+    DistVector bound(n, 0.0);
+    std::vector<bool> exact(n, false);
+    bound[src] = cand.source_dist;
+    exact[src] = true;
+    std::vector<std::unique_ptr<AStarSearch::Probe>> probes(n);
+    const Point p_pos = dataset.mapping->ObjectPosition(cand.object);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == src) continue;
+      if (options.use_plb) {
+        // Bounds start at the Euclidean distances (tightened by landmark
+        // bounds when available); probes are created (and network access
+        // paid) only if and when a dimension must advance.
+        bound[i] = EuclideanDistance(query_points[i], p_pos);
+        if (dataset.landmarks != nullptr) {
+          bound[i] = std::max(
+              bound[i], dataset.landmarks->LowerBound(spec.sources[i], loc));
+        }
+      } else {
+        // Ablation: full distances immediately, no early termination.
+        bound[i] = search_for(i).DistanceTo(loc);
+        exact[i] = true;
+      }
+    }
+
+    // Candidate dominators: s that are no worse on every static attribute
+    // (others can never dominate p, whatever the distances turn out to be).
+    struct Dominator {
+      const DistVector* vec;
+      std::uint64_t satisfied_mask = 0;  // dims with s[i] <= bound[i]
+      std::uint32_t satisfied = 0;
+      bool strict = false;
+    };
+    MSQ_CHECK(n <= 64);
+    std::vector<Dominator> dominators;
+    dominators.reserve(skyline_vectors.size());
+    for (const DistVector& s : skyline_vectors) {
+      bool attr_ok = true;
+      bool attr_strict = false;
+      for (std::size_t j = 0; j < attr_dims; ++j) {
+        if (s[n + j] > attrs[j]) {
+          attr_ok = false;
+          break;
+        }
+        if (s[n + j] < attrs[j]) attr_strict = true;
+      }
+      if (!attr_ok) continue;
+      Dominator d;
+      d.vec = &s;
+      d.strict = attr_strict;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (s[i] <= bound[i]) {
+          d.satisfied_mask |= std::uint64_t{1} << i;
+          ++d.satisfied;
+          // Strictness only from exact dimensions: a plb computed through
+          // a different floating-point path (Euclidean sqrt vs network
+          // offset sums) can exceed a mathematically equal distance by an
+          // ulp and fabricate a strict dimension against an exact
+          // duplicate. Exact dims compare network arithmetic to network
+          // arithmetic. (The "<=" side errs toward keeping candidates
+          // alive longer, never toward dropping them.)
+          if (exact[i] && s[i] < bound[i]) d.strict = true;
+        }
+      }
+      dominators.push_back(d);
+    }
+    auto is_dominating = [&](const Dominator& d) {
+      return d.satisfied == n && d.strict;
+    };
+    for (const Dominator& d : dominators) {
+      if (is_dominating(d)) return {};
+    }
+
+    // Re-checks dominators against a grown bound in dimension `dim`.
+    auto update_dim = [&](std::size_t dim) -> bool {
+      const std::uint64_t bit = std::uint64_t{1} << dim;
+      for (Dominator& d : dominators) {
+        const Dist s_val = (*d.vec)[dim];
+        if (s_val <= bound[dim]) {
+          if ((d.satisfied_mask & bit) == 0) {
+            d.satisfied_mask |= bit;
+            ++d.satisfied;
+          }
+          // See the Dominator-init comment: strict only from exact dims.
+          if (exact[dim] && s_val < bound[dim]) d.strict = true;
+          if (is_dominating(d)) return true;
+        }
+      }
+      return false;
+    };
+
+    for (;;) {
+      // All dimensions exact and undominated: skyline point.
+      std::size_t best_dim = n;
+      Dist best_bound = kInfDist;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!exact[i] && bound[i] < best_bound) {
+          best_bound = bound[i];
+          best_dim = i;
+        }
+      }
+      if (best_dim == n) break;
+
+      // Advance the non-source dimension with the minimum current plb by
+      // one expansion (Section 4.3: "choose a non-source query point q' to
+      // expand to p if q's current path distance lower bound to p is the
+      // minimum").
+      if (probes[best_dim] == nullptr) {
+        probes[best_dim] = std::make_unique<AStarSearch::Probe>(
+            search_for(best_dim).NewProbe(loc));
+      }
+      AStarSearch::Probe& probe = *probes[best_dim];
+      const Dist plb = probe.Advance();
+      const Dist old_bound = bound[best_dim];
+      bound[best_dim] = std::max(bound[best_dim], plb);
+      if (probe.done()) {
+        bound[best_dim] = probe.distance();
+        exact[best_dim] = true;
+        if (!std::isfinite(bound[best_dim])) {
+          // Unreachable from some query point: excluded by the library's
+          // skyline semantics.
+          return {};
+        }
+      }
+      if (bound[best_dim] > old_bound && update_dim(best_dim)) {
+        return {};  // dominated
+      }
+    }
+
+    DistVector vec = bound;
+    vec.insert(vec.end(), attrs.begin(), attrs.end());
+    return vec;
+  };
+
+  // Main loop: rotate across the discovery sources (a single iteration
+  // vector in single-source mode) until every source is exhausted.
+  std::size_t live = discoveries.size();
+  std::vector<std::uint8_t> done(discoveries.size(), 0);
+  std::size_t turn = 0;
+  while (live > 0) {
+    const std::size_t di = turn % discoveries.size();
+    ++turn;
+    if (done[di]) continue;
+    Discovery& discovery = discoveries[di];
+    const SourceCandidate cand = next_network_nn(discovery);
+    if (cand.object == kInvalidObject) {
+      done[di] = 1;
+      --live;
+      continue;
+    }
+    resolved[cand.object] = 1;
+    DistVector vec = screen(cand, discovery.source_dim);
+    if (vec.empty()) continue;
+    scope.MarkInitial();
+    SkylineEntry entry;
+    entry.object = cand.object;
+    entry.vector = vec;
+    if (on_skyline) on_skyline(entry);
+    result.skyline.push_back(entry);
+    skyline_vectors.push_back(std::move(vec));
+  }
+
+  // Tie safety (as in CE): with exactly equal source distances the pop
+  // order between two candidates is arbitrary and a dominated one can be
+  // reported before its dominator. No-op in the tie-free generic case.
+  {
+    std::vector<SkylineEntry> filtered;
+    for (const SkylineEntry& entry : result.skyline) {
+      bool dominated = false;
+      for (const SkylineEntry& other : result.skyline) {
+        if (other.object != entry.object &&
+            Dominates(other.vector, entry.vector)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) filtered.push_back(entry);
+    }
+    result.skyline = std::move(filtered);
+  }
+
+  result.stats.skyline_size = result.skyline.size();
+  std::size_t settled = 0;
+  for (const auto& search : searches) {
+    if (search != nullptr) settled += search->settled_count();
+  }
+  result.stats.settled_nodes = settled;
+  scope.Finish(&result.stats);
+  return result;
+}
+
+}  // namespace msq

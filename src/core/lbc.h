@@ -1,0 +1,44 @@
+// LBC — Lower Bound Constraint (paper Section 4.3), the instance-optimal
+// algorithm (Theorem 1).
+//
+// A single source query point q drives discovery: objects are fetched as
+// incremental Euclidean NNs of q, skipping R-tree subtrees dominated by the
+// known skyline set S (step 1.1); a fetched object's exact network distance
+// to q is computed with A* and buffered in a candidate heap until its
+// network distance provably precedes everything not yet fetched
+// (step 1.2). Each network NN p is then screened against S using only
+// *path distance lower bounds* to the non-source query points: starting
+// from the Euclidean distances, the bound with the smallest value is
+// advanced one A* expansion at a time, and p is discarded the moment some
+// s in S is provably at least as good in every dimension (step 2). Only
+// candidates that survive to full distance vectors are reported — so the
+// network access spent on a dominated candidate is just enough to prove it
+// dominated, which is what makes LBC instance optimal.
+#ifndef MSQ_CORE_LBC_H_
+#define MSQ_CORE_LBC_H_
+
+#include "core/query.h"
+
+namespace msq {
+
+struct LbcOptions {
+  // Disables the path-distance-lower-bound early termination: dominated
+  // candidates then pay full network distance computations to every query
+  // point, as EDC does. Exists for the ablation benchmark that isolates the
+  // plb contribution (Section 5 / Figure 5 discussion).
+  bool use_plb = true;
+  // Rotate the discovery source among all query points instead of using
+  // only SkylineQuerySpec::lbc_source_index — the paper's §4.3 extension
+  // ("selecting network nearest neighbor points from multiple query points
+  // alternatively"), which spreads early reported skyline points around
+  // every query point instead of clustering them near one.
+  bool alternate_sources = false;
+};
+
+SkylineResult RunLbc(const Dataset& dataset, const SkylineQuerySpec& spec,
+                     const LbcOptions& options = {},
+                     const ProgressiveCallback& on_skyline = nullptr);
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_LBC_H_

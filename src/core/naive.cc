@@ -1,0 +1,66 @@
+#include "core/naive.h"
+
+#include "graph/nn_stream.h"
+
+namespace msq {
+
+std::vector<DistVector> ComputeAllNetworkVectors(
+    const Dataset& dataset, const SkylineQuerySpec& spec,
+    std::size_t* settled_out) {
+  const std::size_t n = spec.sources.size();
+  const std::size_t m = dataset.object_count();
+  std::vector<DistVector> vectors(m, DistVector(n, kInfDist));
+  std::size_t settled = 0;
+  for (std::size_t qi = 0; qi < n; ++qi) {
+    // Drain a full NN stream: one Dijkstra sweep per query point reaches
+    // every reachable object with its exact distance.
+    NetworkNnStream stream(dataset.graph_pager, dataset.mapping,
+                           spec.sources[qi]);
+    while (const auto visit = stream.Next()) {
+      vectors[visit->object][qi] = visit->distance;
+    }
+    settled += stream.settled_count();
+  }
+  if (settled_out != nullptr) *settled_out = settled;
+  return vectors;
+}
+
+SkylineResult RunNaive(const Dataset& dataset, const SkylineQuerySpec& spec,
+                       const ProgressiveCallback& on_skyline) {
+  ValidateQuery(dataset, spec);
+  StatsScope scope(dataset);
+  SkylineResult result;
+
+  std::size_t settled = 0;
+  std::vector<DistVector> vectors =
+      ComputeAllNetworkVectors(dataset, spec, &settled);
+  result.stats.settled_nodes = settled;
+  // Append static attributes before the skyline pass.
+  if (dataset.static_dims() > 0) {
+    for (ObjectId id = 0; id < vectors.size(); ++id) {
+      const DistVector attrs = dataset.StaticAttributesOf(id);
+      vectors[id].insert(vectors[id].end(), attrs.begin(), attrs.end());
+    }
+  }
+
+  const std::vector<std::size_t> skyline = SkylineIndices(vectors);
+  // Everything was a candidate: the naive algorithm inspects all of D.
+  result.stats.candidate_count = dataset.object_count();
+  bool first = true;
+  for (const std::size_t idx : skyline) {
+    SkylineEntry entry;
+    entry.object = static_cast<ObjectId>(idx);
+    entry.vector = vectors[idx];
+    if (first) {
+      scope.MarkInitial();
+      first = false;
+    }
+    if (on_skyline) on_skyline(entry);
+    result.skyline.push_back(std::move(entry));
+  }
+  result.stats.skyline_size = result.skyline.size();
+  scope.Finish(&result.stats);
+  return result;
+}
+
+}  // namespace msq

@@ -1,0 +1,34 @@
+#include "core/network_queries.h"
+
+#include "common/check.h"
+
+namespace msq {
+
+std::vector<NetworkMatch> NetworkKnn(const Dataset& dataset,
+                                     const Location& source, std::size_t k) {
+  MSQ_CHECK(dataset.network->IsValidLocation(source));
+  NetworkNnStream stream(dataset.graph_pager, dataset.mapping, source);
+  std::vector<NetworkMatch> matches;
+  matches.reserve(k);
+  while (matches.size() < k) {
+    const auto visit = stream.Next();
+    if (!visit.has_value()) break;
+    matches.push_back(NetworkMatch{visit->object, visit->distance});
+  }
+  return matches;
+}
+
+std::vector<NetworkMatch> NetworkRange(const Dataset& dataset,
+                                       const Location& source, Dist radius) {
+  MSQ_CHECK(dataset.network->IsValidLocation(source));
+  MSQ_CHECK(radius >= 0.0);
+  NetworkNnStream stream(dataset.graph_pager, dataset.mapping, source);
+  std::vector<NetworkMatch> matches;
+  while (const auto visit = stream.Next()) {
+    if (visit->distance > radius) break;  // stream is ascending
+    matches.push_back(NetworkMatch{visit->object, visit->distance});
+  }
+  return matches;
+}
+
+}  // namespace msq

@@ -1,0 +1,33 @@
+// Single-source network proximity queries over a Dataset: k nearest
+// neighbors and range search by shortest-path distance. Thin wrappers over
+// the incremental NN stream, exposed because downstream users of a skyline
+// library invariably need them (and the examples use them).
+#ifndef MSQ_CORE_NETWORK_QUERIES_H_
+#define MSQ_CORE_NETWORK_QUERIES_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "graph/nn_stream.h"
+
+namespace msq {
+
+// An object with its exact network distance from the query location.
+struct NetworkMatch {
+  ObjectId object = kInvalidObject;
+  Dist distance = kInfDist;
+};
+
+// The k objects nearest to `source` by network distance, nearest first.
+// Fewer than k when the reachable object set is smaller.
+std::vector<NetworkMatch> NetworkKnn(const Dataset& dataset,
+                                     const Location& source, std::size_t k);
+
+// Every object within network distance `radius` of `source`, nearest
+// first (boundary inclusive).
+std::vector<NetworkMatch> NetworkRange(const Dataset& dataset,
+                                       const Location& source, Dist radius);
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_NETWORK_QUERIES_H_

@@ -1,0 +1,80 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace msq {
+
+DistVector Dataset::StaticAttributesOf(ObjectId id) const {
+  if (static_dims() == 0) return {};
+  MSQ_CHECK(id < static_attributes->size());
+  return (*static_attributes)[id];
+}
+
+DistVector Dataset::MinStaticAttributes() const {
+  const std::size_t dims = static_dims();
+  if (dims == 0) return {};
+  DistVector mins((*static_attributes)[0]);
+  for (const DistVector& v : *static_attributes) {
+    MSQ_CHECK(v.size() == dims);
+    for (std::size_t i = 0; i < dims; ++i) {
+      mins[i] = std::min(mins[i], v[i]);
+    }
+  }
+  return mins;
+}
+
+void ValidateQuery(const Dataset& dataset, const SkylineQuerySpec& spec) {
+  MSQ_CHECK(dataset.network != nullptr && dataset.graph_pager != nullptr &&
+            dataset.mapping != nullptr && dataset.object_rtree != nullptr);
+  MSQ_CHECK_MSG(!spec.sources.empty(), "query needs at least one source");
+  MSQ_CHECK(spec.lbc_source_index < spec.sources.size());
+  for (const Location& source : spec.sources) {
+    MSQ_CHECK_MSG(dataset.network->IsValidLocation(source),
+                  "query source (edge %u, offset %f) invalid", source.edge,
+                  source.offset);
+  }
+  if (dataset.static_attributes != nullptr &&
+      !dataset.static_attributes->empty()) {
+    MSQ_CHECK(dataset.static_attributes->size() == dataset.object_count());
+  }
+}
+
+double MonotonicSeconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+StatsScope::StatsScope(const Dataset& dataset) : dataset_(dataset) {
+  if (dataset.graph_buffer != nullptr) {
+    graph_misses_0_ = dataset.graph_buffer->stats().misses;
+    graph_accesses_0_ = dataset.graph_buffer->stats().accesses();
+  }
+  if (dataset.index_buffer != nullptr) {
+    index_misses_0_ = dataset.index_buffer->stats().misses;
+  }
+  start_ = MonotonicSeconds();
+}
+
+void StatsScope::MarkInitial() {
+  if (initial_ < 0.0) initial_ = MonotonicSeconds() - start_;
+}
+
+void StatsScope::Finish(QueryStats* stats) {
+  stats->total_seconds = MonotonicSeconds() - start_;
+  stats->initial_seconds = initial_ >= 0.0 ? initial_ : stats->total_seconds;
+  if (dataset_.graph_buffer != nullptr) {
+    stats->network_pages =
+        dataset_.graph_buffer->stats().misses - graph_misses_0_;
+    stats->network_page_accesses =
+        dataset_.graph_buffer->stats().accesses() - graph_accesses_0_;
+  }
+  if (dataset_.index_buffer != nullptr) {
+    stats->index_pages =
+        dataset_.index_buffer->stats().misses - index_misses_0_;
+  }
+}
+
+}  // namespace msq

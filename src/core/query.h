@@ -1,0 +1,121 @@
+// Query, dataset-view, and result types shared by CE, EDC, LBC and the
+// naive oracle.
+#ifndef MSQ_CORE_QUERY_H_
+#define MSQ_CORE_QUERY_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/dominance.h"
+#include "graph/graph_pager.h"
+#include "graph/landmarks.h"
+#include "graph/spatial_mapping.h"
+#include "index/rtree.h"
+#include "storage/buffer_manager.h"
+
+namespace msq {
+
+// Non-owning view over everything a skyline query runs against. The
+// workload builder (gen/workloads.h) assembles and owns the underlying
+// structures.
+struct Dataset {
+  const RoadNetwork* network = nullptr;
+  // Paged adjacency access; its buffer manager's misses are the paper's
+  // "network disk pages accessed".
+  const GraphPager* graph_pager = nullptr;
+  // Object -> edge middle layer (B+-tree behind `index_buffer`).
+  const SpatialMapping* mapping = nullptr;
+  // R-tree over object positions; entry ids are ObjectIds.
+  const RTree* object_rtree = nullptr;
+  // Buffer manager serving the network pages (for metrics snapshots).
+  BufferManager* graph_buffer = nullptr;
+  // Buffer manager serving index pages (R-trees + B+-tree).
+  BufferManager* index_buffer = nullptr;
+  // Optional static attributes, one vector per object, all the same size
+  // (empty => no static attributes). Appended to network-distance vectors
+  // for dominance.
+  const std::vector<DistVector>* static_attributes = nullptr;
+  // Optional ALT landmark index. When present, the A*-based algorithms
+  // (EDC, LBC, aggregate NN) use max(Euclidean, landmark) lower bounds —
+  // an extension outside the paper's no-precomputation algorithm class
+  // (graph/landmarks.h).
+  const LandmarkIndex* landmarks = nullptr;
+
+  std::size_t object_count() const { return mapping->object_count(); }
+  std::size_t static_dims() const {
+    return (static_attributes == nullptr || static_attributes->empty())
+               ? 0
+               : static_attributes->front().size();
+  }
+  // The static attribute vector of `id` (empty when none).
+  DistVector StaticAttributesOf(ObjectId id) const;
+  // Component-wise minimum of all static attribute vectors (empty when
+  // none); a valid lower bound for any object, used for subtree pruning.
+  DistVector MinStaticAttributes() const;
+};
+
+// A multi-source skyline query: the query points plus options.
+struct SkylineQuerySpec {
+  std::vector<Location> sources;
+  // LBC only: which source acts as the step-1 expansion origin.
+  std::size_t lbc_source_index = 0;
+};
+
+// One skyline answer entry. `vector` holds the network distances to each
+// query point (in SkylineQuerySpec order) followed by the static
+// attributes.
+struct SkylineEntry {
+  ObjectId object = kInvalidObject;
+  DistVector vector;
+};
+
+// Per-query cost metrics, aligned with the paper's measurements.
+struct QueryStats {
+  std::size_t candidate_count = 0;     // |C| (Figure 4)
+  std::size_t skyline_size = 0;
+  std::uint64_t network_pages = 0;     // buffer misses on adjacency pages
+  std::uint64_t network_page_accesses = 0;
+  std::uint64_t index_pages = 0;       // buffer misses on index pages
+  std::size_t settled_nodes = 0;       // network node accesses (Section 5)
+  double total_seconds = 0.0;          // Figures 5(b)/6(b)/6(e)
+  double initial_seconds = 0.0;        // Figures 5(c)/6(c)/6(f)
+};
+
+struct SkylineResult {
+  std::vector<SkylineEntry> skyline;
+  QueryStats stats;
+};
+
+// Progressive reporting hook: invoked as each skyline point is confirmed.
+using ProgressiveCallback = std::function<void(const SkylineEntry&)>;
+
+// Validates that the query spec is non-empty and every source location is
+// valid on the dataset's network. Aborts on violation (programming error).
+void ValidateQuery(const Dataset& dataset, const SkylineQuerySpec& spec);
+
+// Stopwatch + buffer snapshot helper used by all algorithms to fill
+// QueryStats uniformly.
+class StatsScope {
+ public:
+  explicit StatsScope(const Dataset& dataset);
+
+  // Marks the moment the first skyline point was reported.
+  void MarkInitial();
+  // Finalizes timing/I-O counters into `*stats`.
+  void Finish(QueryStats* stats);
+
+ private:
+  const Dataset& dataset_;
+  std::uint64_t graph_misses_0_ = 0;
+  std::uint64_t graph_accesses_0_ = 0;
+  std::uint64_t index_misses_0_ = 0;
+  double start_ = 0.0;
+  double initial_ = -1.0;
+};
+
+// Monotonic wall-clock seconds.
+double MonotonicSeconds();
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_QUERY_H_

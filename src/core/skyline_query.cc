@@ -1,0 +1,61 @@
+#include "core/skyline_query.h"
+
+#include "common/check.h"
+
+namespace msq {
+
+std::string_view AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      return "naive";
+    case Algorithm::kCe:
+      return "ce";
+    case Algorithm::kEdc:
+      return "edc";
+    case Algorithm::kEdcIncremental:
+      return "edc-inc";
+    case Algorithm::kLbc:
+      return "lbc";
+    case Algorithm::kLbcNoPlb:
+      return "lbc-noplb";
+  }
+  MSQ_CHECK(false);
+  return "";
+}
+
+bool ParseAlgorithm(std::string_view name, Algorithm* out) {
+  for (const Algorithm a :
+       {Algorithm::kNaive, Algorithm::kCe, Algorithm::kEdc,
+        Algorithm::kEdcIncremental, Algorithm::kLbc, Algorithm::kLbcNoPlb}) {
+    if (AlgorithmName(a) == name) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+SkylineResult RunSkylineQuery(Algorithm algorithm, const Dataset& dataset,
+                              const SkylineQuerySpec& spec,
+                              const ProgressiveCallback& on_skyline) {
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      return RunNaive(dataset, spec, on_skyline);
+    case Algorithm::kCe:
+      return RunCe(dataset, spec, on_skyline);
+    case Algorithm::kEdc:
+      return RunEdc(dataset, spec, EdcOptions{.incremental = false},
+                    on_skyline);
+    case Algorithm::kEdcIncremental:
+      return RunEdc(dataset, spec, EdcOptions{.incremental = true},
+                    on_skyline);
+    case Algorithm::kLbc:
+      return RunLbc(dataset, spec, LbcOptions{.use_plb = true}, on_skyline);
+    case Algorithm::kLbcNoPlb:
+      return RunLbc(dataset, spec, LbcOptions{.use_plb = false}, on_skyline);
+  }
+  MSQ_CHECK(false);
+  return {};
+}
+
+}  // namespace msq

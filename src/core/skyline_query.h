@@ -1,0 +1,39 @@
+// Unified entry point: pick an algorithm by enum and run it.
+#ifndef MSQ_CORE_SKYLINE_QUERY_H_
+#define MSQ_CORE_SKYLINE_QUERY_H_
+
+#include <string_view>
+
+#include "core/ce.h"
+#include "core/edc.h"
+#include "core/lbc.h"
+#include "core/naive.h"
+#include "core/query.h"
+
+namespace msq {
+
+enum class Algorithm {
+  kNaive,           // full distance matrix + BNL (oracle/baseline)
+  kCe,              // Collaborative Expansion
+  kEdc,             // Euclidean Distance Constraint, batch
+  kEdcIncremental,  // EDC, progressive variant
+  kLbc,             // Lower Bound Constraint (instance optimal)
+  kLbcNoPlb,        // LBC ablation: plb early termination disabled
+};
+
+// Short stable name for tables and CLI flags ("naive", "ce", "edc",
+// "edc-inc", "lbc", "lbc-noplb").
+std::string_view AlgorithmName(Algorithm algorithm);
+
+// Parses AlgorithmName output back; returns false on unknown name.
+bool ParseAlgorithm(std::string_view name, Algorithm* out);
+
+// Runs `algorithm` against the dataset.
+SkylineResult RunSkylineQuery(Algorithm algorithm, const Dataset& dataset,
+                              const SkylineQuerySpec& spec,
+                              const ProgressiveCallback& on_skyline =
+                                  nullptr);
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_SKYLINE_QUERY_H_

@@ -1,0 +1,25 @@
+#include "euclid/bnl.h"
+
+namespace msq {
+
+DistVector EuclideanVector(const Point& point,
+                           const std::vector<Point>& queries) {
+  DistVector vec;
+  vec.reserve(queries.size());
+  for (const Point& q : queries) {
+    vec.push_back(EuclideanDistance(point, q));
+  }
+  return vec;
+}
+
+std::vector<std::size_t> BnlEuclideanSkyline(
+    const std::vector<Point>& points, const std::vector<Point>& queries) {
+  std::vector<DistVector> vectors;
+  vectors.reserve(points.size());
+  for (const Point& p : points) {
+    vectors.push_back(EuclideanVector(p, queries));
+  }
+  return SkylineIndices(vectors);
+}
+
+}  // namespace msq

@@ -1,0 +1,26 @@
+// Block-nested-loops multi-source Euclidean skyline (Borzsonyi et al.,
+// ICDE 2001) over materialized points — the simplest reference algorithm
+// used in tests and as EDC's final pairwise comparison (step 5).
+#ifndef MSQ_EUCLID_BNL_H_
+#define MSQ_EUCLID_BNL_H_
+
+#include <vector>
+
+#include "core/dominance.h"
+#include "geom/point.h"
+
+namespace msq {
+
+// dE of `point` to every query point, in order.
+DistVector EuclideanVector(const Point& point,
+                           const std::vector<Point>& queries);
+
+// Multi-source Euclidean skyline over `points`: returns indices of the
+// undominated points with respect to their Euclidean distance vectors to
+// `queries`, ascending.
+std::vector<std::size_t> BnlEuclideanSkyline(
+    const std::vector<Point>& points, const std::vector<Point>& queries);
+
+}  // namespace msq
+
+#endif  // MSQ_EUCLID_BNL_H_

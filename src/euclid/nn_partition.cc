@@ -1,0 +1,116 @@
+#include "euclid/nn_partition.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+#include "euclid/bnl.h"
+
+namespace msq {
+namespace {
+
+// A to-do region: per-dimension exclusive upper bounds (kInfDist = open).
+using Region = DistVector;
+
+bool InsideRegion(const DistVector& vec, const Region& region) {
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    if (!(vec[i] < region[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::size_t> NnPartitionSkyline(
+    const std::vector<DistVector>& vectors, NnPartitionStats* stats) {
+  NnPartitionStats local;
+  std::vector<std::size_t> skyline;
+  if (vectors.empty()) {
+    if (stats != nullptr) *stats = local;
+    return skyline;
+  }
+  const std::size_t dims = vectors.front().size();
+  MSQ_CHECK(dims >= 1);
+
+  std::vector<bool> reported(vectors.size(), false);
+  std::deque<Region> todo;
+  // Splits in different dimension orders produce identical regions
+  // (the blowup behind the paper's "one object may be processed several
+  // times" remark); exact-duplicate regions are dropped at enqueue time.
+  std::set<Region> seen_regions;
+  todo.push_back(Region(dims, kInfDist));
+  seen_regions.insert(todo.front());
+
+  while (!todo.empty()) {
+    const Region region = todo.front();
+    todo.pop_front();
+    ++local.regions_processed;
+
+    // NN (minimum sum) within the region.
+    ++local.nn_probes;
+    std::size_t best = vectors.size();
+    Dist best_score = kInfDist;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      MSQ_CHECK(vectors[i].size() == dims);
+      if (!AllFinite(vectors[i])) continue;
+      if (!InsideRegion(vectors[i], region)) continue;
+      const Dist score = std::accumulate(vectors[i].begin(),
+                                         vectors[i].end(), 0.0);
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == vectors.size()) continue;  // empty region
+
+    // The region NN is a skyline point; different to-do regions can find
+    // the same one (the duplicated work the paper points out).
+    if (reported[best]) {
+      ++local.duplicate_reports;
+    } else {
+      reported[best] = true;
+      skyline.push_back(best);
+    }
+
+    // Split: one sub-region per dimension, bounded by the NN's value.
+    for (std::size_t d = 0; d < dims; ++d) {
+      Region sub = region;
+      sub[d] = std::min(sub[d], vectors[best][d]);
+      if (seen_regions.insert(sub).second) {
+        todo.push_back(std::move(sub));
+      }
+    }
+  }
+
+  // Exclusive region bounds drop exact duplicates of reported vectors;
+  // re-admit them for tie semantics consistent with SkylineIndices.
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    if (reported[i] || !AllFinite(vectors[i])) continue;
+    for (const std::size_t s : skyline) {
+      if (vectors[s] == vectors[i]) {
+        reported[i] = true;
+        skyline.push_back(i);
+        break;
+      }
+    }
+  }
+
+  std::sort(skyline.begin(), skyline.end());
+  if (stats != nullptr) *stats = local;
+  return skyline;
+}
+
+std::vector<std::size_t> NnPartitionEuclideanSkyline(
+    const std::vector<Point>& points, const std::vector<Point>& queries,
+    NnPartitionStats* stats) {
+  std::vector<DistVector> vectors;
+  vectors.reserve(points.size());
+  for (const Point& p : points) {
+    vectors.push_back(EuclideanVector(p, queries));
+  }
+  return NnPartitionSkyline(vectors, stats);
+}
+
+}  // namespace msq

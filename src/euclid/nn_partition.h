@@ -1,0 +1,47 @@
+// Nearest-neighbor-partition skyline (Kossmann, Ramsak, Rost — VLDB 2002),
+// the progressive algorithm the paper's Section 2 describes and that BBS
+// [21] was designed to improve on: "the 1st nearest neighbor to the query
+// point is always a skyline point. When a skyline point is found, the data
+// space is split at that point into one dominated subspace and several
+// independent non-determined subspaces ... the 1st NN in each to-do list
+// is a new skyline point and the subspace is recursively split".
+//
+// Reference-quality implementation (linear NN scans, no index): used as a
+// third Euclidean-skyline oracle and to demonstrate the duplicated-work
+// behaviour the paper criticizes ("one object may be processed several
+// times ... duplicate skyline points may be reported from different to-do
+// lists") — the stats expose how many NN probes and duplicate reports
+// occurred.
+#ifndef MSQ_EUCLID_NN_PARTITION_H_
+#define MSQ_EUCLID_NN_PARTITION_H_
+
+#include <vector>
+
+#include "core/dominance.h"
+#include "geom/point.h"
+
+namespace msq {
+
+struct NnPartitionStats {
+  std::size_t nn_probes = 0;          // NN-in-region scans performed
+  std::size_t duplicate_reports = 0;  // skyline points re-found in other
+                                      // to-do regions (the paper's
+                                      // criticism of this method)
+  std::size_t regions_processed = 0;
+};
+
+// Skyline of `vectors` (minimization) via NN partitioning. Returns indices
+// ascending. Entries with non-finite components are excluded. Duplicate
+// vectors are all reported (consistent with SkylineIndices).
+std::vector<std::size_t> NnPartitionSkyline(
+    const std::vector<DistVector>& vectors,
+    NnPartitionStats* stats = nullptr);
+
+// Multi-source Euclidean convenience wrapper.
+std::vector<std::size_t> NnPartitionEuclideanSkyline(
+    const std::vector<Point>& points, const std::vector<Point>& queries,
+    NnPartitionStats* stats = nullptr);
+
+}  // namespace msq
+
+#endif  // MSQ_EUCLID_NN_PARTITION_H_

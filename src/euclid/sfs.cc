@@ -1,0 +1,52 @@
+#include "euclid/sfs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "euclid/bnl.h"
+
+namespace msq {
+
+std::vector<std::size_t> SfsSkyline(const std::vector<DistVector>& vectors) {
+  std::vector<std::size_t> order;
+  order.reserve(vectors.size());
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    if (AllFinite(vectors[i])) order.push_back(i);
+  }
+  std::vector<Dist> score(vectors.size(), 0.0);
+  for (const std::size_t i : order) {
+    score[i] = std::accumulate(vectors[i].begin(), vectors[i].end(), 0.0);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return score[a] < score[b];
+  });
+
+  // In score order, an entry not dominated by any already-accepted skyline
+  // entry is itself skyline: a dominator would have a strictly smaller
+  // monotone score and would already have been accepted.
+  std::vector<std::size_t> skyline;
+  for (const std::size_t i : order) {
+    bool dominated = false;
+    for (const std::size_t s : skyline) {
+      if (Dominates(vectors[s], vectors[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(i);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+std::vector<std::size_t> SfsEuclideanSkyline(
+    const std::vector<Point>& points, const std::vector<Point>& queries) {
+  std::vector<DistVector> vectors;
+  vectors.reserve(points.size());
+  for (const Point& p : points) {
+    vectors.push_back(EuclideanVector(p, queries));
+  }
+  return SfsSkyline(vectors);
+}
+
+}  // namespace msq

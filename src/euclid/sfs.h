@@ -1,0 +1,28 @@
+// Sort-Filter-Skyline (Chomicki et al., ICDE 2003): pre-sort by a monotone
+// score, then a single filtering pass. Progressive — once an entry passes
+// the filter it is final. Related-work baseline and a second oracle for the
+// Euclidean skyline tests.
+#ifndef MSQ_EUCLID_SFS_H_
+#define MSQ_EUCLID_SFS_H_
+
+#include <vector>
+
+#include "core/dominance.h"
+#include "geom/point.h"
+
+namespace msq {
+
+// Multi-source Euclidean skyline over `points` via SFS, sorted by the sum
+// of the distance vector (a monotone preference function). Returns indices
+// ascending.
+std::vector<std::size_t> SfsEuclideanSkyline(
+    const std::vector<Point>& points, const std::vector<Point>& queries);
+
+// Generic SFS over arbitrary minimization vectors (used for tests that mix
+// distances with static attributes). Entries with non-finite components are
+// excluded.
+std::vector<std::size_t> SfsSkyline(const std::vector<DistVector>& vectors);
+
+}  // namespace msq
+
+#endif  // MSQ_EUCLID_SFS_H_

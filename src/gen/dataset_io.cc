@@ -1,0 +1,136 @@
+#include "gen/dataset_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace msq {
+namespace {
+
+// Shared line reader skipping blanks and '#' comments.
+bool NextLine(std::FILE* file, char* buffer, std::size_t size) {
+  while (std::fgets(buffer, static_cast<int>(size), file) != nullptr) {
+    const char* s = buffer;
+    while (*s == ' ' || *s == '\t') ++s;
+    if (*s == '\n' || *s == '\0' || *s == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SaveLocations(const std::string& path,
+                   const std::vector<Location>& objects) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fprintf(file, "%zu\n", objects.size());
+  for (const Location& loc : objects) {
+    std::fprintf(file, "%u %.17g\n", loc.edge, loc.offset);
+  }
+  std::fclose(file);
+  return true;
+}
+
+std::optional<std::vector<Location>> LoadLocations(
+    const std::string& path, const RoadNetwork& network,
+    std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  auto fail = [&](const std::string& msg) -> std::optional<std::vector<Location>> {
+    if (error != nullptr) *error = msg + " in " + path;
+    std::fclose(file);
+    return std::nullopt;
+  };
+
+  char line[256];
+  std::size_t count = 0;
+  if (!NextLine(file, line, sizeof(line)) ||
+      std::sscanf(line, "%zu", &count) != 1) {
+    return fail("malformed header (expected object count)");
+  }
+  std::vector<Location> objects;
+  objects.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    unsigned long edge;
+    double offset;
+    if (!NextLine(file, line, sizeof(line)) ||
+        std::sscanf(line, "%lu %lf", &edge, &offset) != 2) {
+      return fail("malformed object line");
+    }
+    const Location loc{static_cast<EdgeId>(edge), offset};
+    if (!network.IsValidLocation(loc)) {
+      return fail("object location outside the network");
+    }
+    objects.push_back(loc);
+  }
+  std::fclose(file);
+  return objects;
+}
+
+bool SaveAttributes(const std::string& path,
+                    const std::vector<DistVector>& attributes) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::size_t dims =
+      attributes.empty() ? 0 : attributes.front().size();
+  std::fprintf(file, "%zu %zu\n", attributes.size(), dims);
+  for (const DistVector& vec : attributes) {
+    if (vec.size() != dims) {
+      std::fclose(file);
+      return false;
+    }
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      std::fprintf(file, "%s%.17g", i ? " " : "", vec[i]);
+    }
+    std::fprintf(file, "\n");
+  }
+  std::fclose(file);
+  return true;
+}
+
+std::optional<std::vector<DistVector>> LoadAttributes(
+    const std::string& path, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  auto fail =
+      [&](const std::string& msg) -> std::optional<std::vector<DistVector>> {
+    if (error != nullptr) *error = msg + " in " + path;
+    std::fclose(file);
+    return std::nullopt;
+  };
+
+  char line[4096];
+  std::size_t count = 0, dims = 0;
+  if (!NextLine(file, line, sizeof(line)) ||
+      std::sscanf(line, "%zu %zu", &count, &dims) != 2) {
+    return fail("malformed header (expected 'count dims')");
+  }
+  std::vector<DistVector> attributes;
+  attributes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!NextLine(file, line, sizeof(line))) {
+      return fail("missing attribute line");
+    }
+    DistVector vec;
+    vec.reserve(dims);
+    const char* cursor = line;
+    for (std::size_t d = 0; d < dims; ++d) {
+      char* end = nullptr;
+      const double value = std::strtod(cursor, &end);
+      if (end == cursor) return fail("malformed attribute value");
+      vec.push_back(value);
+      cursor = end;
+    }
+    attributes.push_back(std::move(vec));
+  }
+  std::fclose(file);
+  return attributes;
+}
+
+}  // namespace msq

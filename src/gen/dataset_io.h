@@ -1,0 +1,41 @@
+// Plain-text persistence for object sets and static attributes, completing
+// the external-data path: networks load via
+// RoadNetwork::LoadFromEdgeListFile, objects/attributes via these.
+//
+// Object format:  one "edge_id offset" line per object, preceded by a
+//                 count header; '#' comments and blank lines are ignored.
+// Attribute format: header "count dims", then one line of `dims` values
+//                 per object.
+#ifndef MSQ_GEN_DATASET_IO_H_
+#define MSQ_GEN_DATASET_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dominance.h"
+#include "graph/road_network.h"
+
+namespace msq {
+
+// Writes `objects` to `path`. Returns false on I/O failure.
+bool SaveLocations(const std::string& path,
+                   const std::vector<Location>& objects);
+
+// Reads an object file. Validates every location against `network`;
+// returns std::nullopt with a message in *error on malformed input or
+// invalid locations.
+std::optional<std::vector<Location>> LoadLocations(
+    const std::string& path, const RoadNetwork& network, std::string* error);
+
+// Writes static attribute vectors (all the same dimensionality).
+bool SaveAttributes(const std::string& path,
+                    const std::vector<DistVector>& attributes);
+
+// Reads an attribute file; all rows must have the header's dimensionality.
+std::optional<std::vector<DistVector>> LoadAttributes(
+    const std::string& path, std::string* error);
+
+}  // namespace msq
+
+#endif  // MSQ_GEN_DATASET_IO_H_

@@ -1,0 +1,53 @@
+// Synthetic road-network generator.
+//
+// Substitutes for the Digital Chart of the World datasets the paper uses
+// (CA / AU / NA; see DESIGN.md §3). The construction mimics road topology:
+// |V| junction sites scattered in the unit square (the paper normalizes all
+// networks into a 1 km x 1 km region), a geometric spanning tree for
+// connectivity, then shortest-available extra edges up to the target |E|.
+// The edge/node ratio controls network density and thereby δ = avg(dN/dE),
+// the quantity Section 6.3 attributes the CA-vs-NA behaviour differences
+// to: near-tree networks give large detours (high δ), dense networks δ→1.
+#ifndef MSQ_GEN_NETWORK_GEN_H_
+#define MSQ_GEN_NETWORK_GEN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/road_network.h"
+
+namespace msq {
+
+struct NetworkGenConfig {
+  std::size_t node_count = 1000;
+  // Target edge count; clamped to at least node_count - 1 (spanning tree)
+  // and at most the number of distinct near-neighbor pairs available.
+  std::size_t edge_count = 1200;
+  std::uint64_t seed = 1;
+  // Extra length factor: each edge's network length is its Euclidean
+  // length times (1 + U[0, curvature]), emulating curved roads. 0 keeps
+  // straight-line lengths.
+  double curvature = 0.0;
+  // Junction edge/node ratio of the underlying road skeleton. Real road
+  // data (including the paper's DCW extracts) is dominated by degree-2
+  // polyline shape points: the raw |E|/|V| ≈ 1.2 hides junction topology
+  // with average degree 3-4. When > 1, the generator first builds a
+  // skeleton of J = (|E|-|V|)/(ratio-1) junctions with J*ratio edges and
+  // then subdivides edges with degree-2 nodes until the targets are met —
+  // distance structure (and hence δ) comes from the skeleton. 0 disables
+  // subdivision (every node is a junction).
+  double junction_edge_ratio = 0.0;
+};
+
+// Generates a connected network per `config`. The result is finalized.
+RoadNetwork GenerateNetwork(const NetworkGenConfig& config);
+
+// Measured average detour ratio δ = dN/dE over `samples` random node pairs
+// (reachable pairs only). Used by tests and the density benchmarks to
+// confirm the CA/AU/NA density ordering.
+double MeasureDetourRatio(const RoadNetwork& network, std::size_t samples,
+                          std::uint64_t seed);
+
+}  // namespace msq
+
+#endif  // MSQ_GEN_NETWORK_GEN_H_

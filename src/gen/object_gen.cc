@@ -1,0 +1,44 @@
+#include "gen/object_gen.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace msq {
+
+std::vector<Location> GenerateObjects(const RoadNetwork& network,
+                                      std::size_t count, std::uint64_t seed) {
+  MSQ_CHECK(network.edge_count() > 0 || count == 0);
+  Rng rng(seed);
+  std::vector<Location> objects;
+  objects.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const EdgeId edge =
+        static_cast<EdgeId>(rng.NextBounded(network.edge_count()));
+    const Dist length = network.EdgeAt(edge).length;
+    objects.push_back(Location{edge, rng.NextDouble() * length});
+  }
+  return objects;
+}
+
+std::vector<Location> GenerateObjectsWithDensity(const RoadNetwork& network,
+                                                 double density,
+                                                 std::uint64_t seed) {
+  const auto count = static_cast<std::size_t>(
+      std::llround(density * static_cast<double>(network.edge_count())));
+  return GenerateObjects(network, count, seed);
+}
+
+std::vector<DistVector> GenerateStaticAttributes(std::size_t count,
+                                                 std::size_t dims,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DistVector> attrs(count, DistVector(dims, 0.0));
+  for (auto& vec : attrs) {
+    for (auto& v : vec) v = rng.NextDouble();
+  }
+  return attrs;
+}
+
+}  // namespace msq

@@ -1,0 +1,34 @@
+// Data-object sampling, matching Section 6.1: "The data object set D
+// consists of the points extracted uniformly from the edges ... Thus, a
+// dense road network in an area means more objects in the area. The size
+// of D is a percentage ω = |D|/|E| of the number of network edges."
+#ifndef MSQ_GEN_OBJECT_GEN_H_
+#define MSQ_GEN_OBJECT_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dominance.h"
+#include "graph/road_network.h"
+
+namespace msq {
+
+// Samples `count` objects uniformly over edges (edge chosen uniformly,
+// offset uniform along the edge).
+std::vector<Location> GenerateObjects(const RoadNetwork& network,
+                                      std::size_t count, std::uint64_t seed);
+
+// Convenience: count = round(density * |E|); density is the paper's ω.
+std::vector<Location> GenerateObjectsWithDensity(const RoadNetwork& network,
+                                                 double density,
+                                                 std::uint64_t seed);
+
+// Independent uniform [0,1) static attributes (`dims` per object), the
+// "hotel price" style extension of Section 4.3.
+std::vector<DistVector> GenerateStaticAttributes(std::size_t count,
+                                                 std::size_t dims,
+                                                 std::uint64_t seed);
+
+}  // namespace msq
+
+#endif  // MSQ_GEN_OBJECT_GEN_H_

@@ -1,0 +1,53 @@
+#include "gen/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace msq {
+
+std::vector<Location> GenerateQueries(const RoadNetwork& network,
+                                      std::size_t count,
+                                      double region_fraction,
+                                      std::uint64_t seed) {
+  MSQ_CHECK(network.edge_count() > 0);
+  MSQ_CHECK(region_fraction > 0.0 && region_fraction <= 1.0);
+  Rng rng(seed);
+
+  const Mbr box = network.BoundingBox();
+  const double span_x = std::max(box.hi_x - box.lo_x, 1e-12);
+  const double span_y = std::max(box.hi_y - box.lo_y, 1e-12);
+  const double side = std::sqrt(region_fraction);
+  const double win_w = span_x * side;
+  const double win_h = span_y * side;
+
+  // Place the window so it stays inside the bounding box, then keep the
+  // edges whose midpoint falls inside it.
+  const double lo_x =
+      box.lo_x + rng.NextDouble() * std::max(span_x - win_w, 0.0);
+  const double lo_y =
+      box.lo_y + rng.NextDouble() * std::max(span_y - win_h, 0.0);
+  const Mbr window{lo_x, lo_y, lo_x + win_w, lo_y + win_h};
+
+  std::vector<EdgeId> pool;
+  for (EdgeId e = 0; e < network.edge_count(); ++e) {
+    if (window.Contains(network.EdgeMbr(e).Center())) pool.push_back(e);
+  }
+  if (pool.empty()) {
+    pool.resize(network.edge_count());
+    for (EdgeId e = 0; e < network.edge_count(); ++e) pool[e] = e;
+  }
+
+  std::vector<Location> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const EdgeId edge = pool[rng.NextBounded(pool.size())];
+    const Dist length = network.EdgeAt(edge).length;
+    queries.push_back(Location{edge, rng.NextDouble() * length});
+  }
+  return queries;
+}
+
+}  // namespace msq

@@ -1,0 +1,26 @@
+// Query-point sampling, matching Section 6.1: "the query points ranging
+// from 1 to 15 are selected within a relatively small region (10%) of the
+// network such that the maximum search region will not go beyond the given
+// network".
+#ifndef MSQ_GEN_QUERY_GEN_H_
+#define MSQ_GEN_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace msq {
+
+// Samples `count` query locations on edges whose midpoints fall inside a
+// randomly placed square window covering `region_fraction` of the
+// network's bounding box area. Falls back to network-wide sampling when the
+// window contains no edges (degenerate networks).
+std::vector<Location> GenerateQueries(const RoadNetwork& network,
+                                      std::size_t count,
+                                      double region_fraction,
+                                      std::uint64_t seed);
+
+}  // namespace msq
+
+#endif  // MSQ_GEN_QUERY_GEN_H_

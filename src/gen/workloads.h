@@ -1,0 +1,119 @@
+// Workload assembly: builds and owns a full experiment stack — network,
+// paged storage, indexes, middle layer, objects, attributes — and hands
+// out the non-owning Dataset view the algorithms run against. Includes the
+// CA/AU/NA presets of Section 6.1.
+#ifndef MSQ_GEN_WORKLOADS_H_
+#define MSQ_GEN_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/query.h"
+#include "gen/network_gen.h"
+#include "graph/landmarks.h"
+#include "gen/object_gen.h"
+#include "gen/query_gen.h"
+#include "index/rtree.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+
+namespace msq {
+
+// The paper's three real networks, by density class.
+enum class NetworkClass { kCA, kAU, kNA };
+
+// Name used in benchmark tables ("CA", "AU", "NA").
+std::string NetworkClassName(NetworkClass cls);
+
+// Node/edge counts of the paper's dataset for `cls`, scaled by `scale`
+// (scale=1.0 reproduces the published sizes: CA 3,044/3,607;
+// AU 23,269/30,289; NA 86,318/103,042).
+NetworkGenConfig PaperNetworkConfig(NetworkClass cls, double scale = 1.0,
+                                    std::uint64_t seed = 1);
+
+struct WorkloadConfig {
+  NetworkGenConfig network;
+  // ω = |D|/|E| (the paper sweeps {5%, 20%, 50%, 100%, 200%}).
+  double object_density = 0.5;
+  // Number of static attribute dimensions appended to distance vectors.
+  std::size_t static_attr_dims = 0;
+  std::uint64_t object_seed = 7;
+  // Build an ALT landmark index with this many landmarks (0 = none; the
+  // paper's algorithm class uses no precomputed distances).
+  std::size_t landmark_count = 0;
+  // When non-empty, back the page stores with files in this directory
+  // ("<dir>/graph.pages", "<dir>/index.pages") instead of memory — the
+  // configuration for datasets larger than RAM and for persistence tests.
+  // The directory must exist; existing page files are truncated.
+  std::string storage_dir;
+  std::size_t graph_buffer_frames = kDefaultBufferFrames;
+  std::size_t index_buffer_frames = kDefaultBufferFrames;
+};
+
+// Owns every structure a Dataset points into.
+class Workload {
+ public:
+  // Builds the full stack (generates the network unless `network` is
+  // supplied pre-built).
+  explicit Workload(const WorkloadConfig& config);
+  Workload(const WorkloadConfig& config, RoadNetwork network);
+  // Fully handcrafted stack: explicit object locations (and optionally
+  // explicit static attributes, overriding config.static_attr_dims). Used
+  // by the worked-example tests.
+  Workload(const WorkloadConfig& config, RoadNetwork network,
+           std::vector<Location> objects,
+           std::vector<DistVector> attrs = {});
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  // Non-owning view for the algorithms. Valid while the workload lives.
+  Dataset dataset();
+
+  // Samples a query spec: `count` query points inside a `region_fraction`
+  // window (paper default 10%).
+  SkylineQuerySpec SampleQuery(std::size_t count, std::uint64_t seed,
+                               double region_fraction = 0.1) const;
+
+  // Cold-cache reset: drops buffered pages and zeroes buffer statistics.
+  // Benchmarks call this before each measured run.
+  void ResetBuffers();
+
+  const RoadNetwork& network() const { return network_; }
+  const SpatialMapping& mapping() const { return *mapping_; }
+  const RTree& object_rtree() const { return *object_rtree_; }
+  const RTree& edge_rtree() const { return *edge_rtree_; }
+  const std::vector<Location>& objects() const { return objects_; }
+  const std::vector<DistVector>& static_attributes() const { return attrs_; }
+  // Null unless WorkloadConfig::landmark_count > 0.
+  const LandmarkIndex* landmarks() const { return landmarks_.get(); }
+  BufferManager& graph_buffer() { return *graph_buffer_; }
+  BufferManager& index_buffer() { return *index_buffer_; }
+
+ private:
+  void BuildStack(const WorkloadConfig& config);
+
+  RoadNetwork network_;
+  // Exactly one backend pair is active, selected by storage_dir.
+  InMemoryDiskManager graph_disk_;
+  InMemoryDiskManager index_disk_;
+  std::unique_ptr<FileDiskManager> graph_file_disk_;
+  std::unique_ptr<FileDiskManager> index_file_disk_;
+  std::unique_ptr<BufferManager> graph_buffer_;
+  std::unique_ptr<BufferManager> index_buffer_;
+  std::unique_ptr<GraphPager> graph_pager_;
+  std::unique_ptr<RTree> edge_rtree_;
+  std::vector<Location> objects_;
+  std::unique_ptr<SpatialMapping> mapping_;
+  std::unique_ptr<RTree> object_rtree_;
+  std::unique_ptr<LandmarkIndex> landmarks_;
+  std::vector<DistVector> attrs_;
+  std::uint64_t query_seed_mix_ = 0;
+  bool use_custom_objects_ = false;
+  std::vector<Location> custom_objects_;
+  std::vector<DistVector> custom_attrs_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_GEN_WORKLOADS_H_

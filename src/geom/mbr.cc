@@ -1,0 +1,82 @@
+#include "geom/mbr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msq {
+
+Mbr Mbr::Empty() { return Mbr{}; }
+
+Mbr Mbr::FromPoint(const Point& p) { return Mbr{p.x, p.y, p.x, p.y}; }
+
+Mbr Mbr::FromSegment(const Point& a, const Point& b) {
+  return Mbr{std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+             std::max(a.y, b.y)};
+}
+
+bool Mbr::Contains(const Point& p) const {
+  return p.x >= lo_x && p.x <= hi_x && p.y >= lo_y && p.y <= hi_y;
+}
+
+bool Mbr::Contains(const Mbr& other) const {
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  return other.lo_x >= lo_x && other.hi_x <= hi_x && other.lo_y >= lo_y &&
+         other.hi_y <= hi_y;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return lo_x <= other.hi_x && other.lo_x <= hi_x && lo_y <= other.hi_y &&
+         other.lo_y <= hi_y;
+}
+
+void Mbr::Extend(const Mbr& other) {
+  if (other.IsEmpty()) return;
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  lo_x = std::min(lo_x, other.lo_x);
+  lo_y = std::min(lo_y, other.lo_y);
+  hi_x = std::max(hi_x, other.hi_x);
+  hi_y = std::max(hi_y, other.hi_y);
+}
+
+void Mbr::Extend(const Point& p) { Extend(FromPoint(p)); }
+
+double Mbr::Area() const {
+  if (IsEmpty()) return 0.0;
+  return (hi_x - lo_x) * (hi_y - lo_y);
+}
+
+double Mbr::Enlargement(const Mbr& other) const {
+  Mbr merged = *this;
+  merged.Extend(other);
+  return merged.Area() - Area();
+}
+
+double Mbr::Margin() const {
+  if (IsEmpty()) return 0.0;
+  return (hi_x - lo_x) + (hi_y - lo_y);
+}
+
+Dist Mbr::MinDist(const Point& p) const {
+  if (IsEmpty()) return kInfDist;
+  const double dx = std::max({lo_x - p.x, 0.0, p.x - hi_x});
+  const double dy = std::max({lo_y - p.y, 0.0, p.y - hi_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Dist Mbr::MaxDist(const Point& p) const {
+  if (IsEmpty()) return kInfDist;
+  const double dx = std::max(std::abs(p.x - lo_x), std::abs(p.x - hi_x));
+  const double dy = std::max(std::abs(p.y - lo_y), std::abs(p.y - hi_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Point Mbr::Center() const {
+  return Point{(lo_x + hi_x) * 0.5, (lo_y + hi_y) * 0.5};
+}
+
+}  // namespace msq

@@ -1,0 +1,62 @@
+// Axis-aligned minimum bounding rectangle, the unit of R-tree geometry.
+#ifndef MSQ_GEOM_MBR_H_
+#define MSQ_GEOM_MBR_H_
+
+#include "common/types.h"
+#include "geom/point.h"
+
+namespace msq {
+
+// An axis-aligned rectangle. An "empty" MBR (default-constructed) has
+// lo > hi on both axes and behaves as the identity for Extend().
+struct Mbr {
+  double lo_x = 1.0;
+  double lo_y = 1.0;
+  double hi_x = -1.0;
+  double hi_y = -1.0;
+
+  // The empty rectangle, identity for Extend().
+  static Mbr Empty();
+  // The degenerate rectangle containing exactly `p`.
+  static Mbr FromPoint(const Point& p);
+  // The bounding box of segment ab.
+  static Mbr FromSegment(const Point& a, const Point& b);
+
+  bool IsEmpty() const { return lo_x > hi_x || lo_y > hi_y; }
+
+  // Whether `p` lies inside (boundary inclusive).
+  bool Contains(const Point& p) const;
+  // Whether `other` is fully inside this rectangle.
+  bool Contains(const Mbr& other) const;
+  // Whether the two rectangles overlap (boundary touch counts).
+  bool Intersects(const Mbr& other) const;
+
+  // Grows this rectangle to cover `other` / `p`.
+  void Extend(const Mbr& other);
+  void Extend(const Point& p);
+
+  // Area; 0 for empty or degenerate rectangles.
+  double Area() const;
+  // Area increase if this rectangle were extended to cover `other`.
+  double Enlargement(const Mbr& other) const;
+  // Half-perimeter (margin), used by split heuristics.
+  double Margin() const;
+
+  // Minimum Euclidean distance from `p` to any point of this rectangle
+  // (0 when `p` is inside). This is the MINDIST of [Roussopoulos et al.],
+  // the R-tree NN pruning bound used throughout Section 4 of the paper.
+  Dist MinDist(const Point& p) const;
+  // Maximum Euclidean distance from `p` to any point of this rectangle.
+  Dist MaxDist(const Point& p) const;
+
+  Point Center() const;
+
+  friend bool operator==(const Mbr& a, const Mbr& b) {
+    return a.lo_x == b.lo_x && a.lo_y == b.lo_y && a.hi_x == b.hi_x &&
+           a.hi_y == b.hi_y;
+  }
+};
+
+}  // namespace msq
+
+#endif  // MSQ_GEOM_MBR_H_

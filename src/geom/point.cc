@@ -1,0 +1,23 @@
+#include "geom/point.h"
+
+#include <cmath>
+
+namespace msq {
+
+Dist EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+Point Lerp(const Point& a, const Point& b, double t) {
+  return Point{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+}  // namespace msq

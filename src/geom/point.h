@@ -1,0 +1,31 @@
+// 2-D point in the plane the road network is embedded in.
+#ifndef MSQ_GEOM_POINT_H_
+#define MSQ_GEOM_POINT_H_
+
+#include "common/types.h"
+
+namespace msq {
+
+// A point in the unit square the networks are normalized into (the paper
+// unifies all datasets into a 1 km x 1 km region; coordinates are km).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+// Euclidean distance dE(a, b).
+Dist EuclideanDistance(const Point& a, const Point& b);
+
+// Squared Euclidean distance (avoids the sqrt when only comparing).
+double SquaredDistance(const Point& a, const Point& b);
+
+// Linear interpolation: the point at parameter t in [0,1] along segment ab.
+Point Lerp(const Point& a, const Point& b, double t);
+
+}  // namespace msq
+
+#endif  // MSQ_GEOM_POINT_H_

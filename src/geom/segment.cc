@@ -1,0 +1,31 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msq {
+
+Dist Segment::Length() const { return EuclideanDistance(a, b); }
+
+Point Segment::AtOffset(Dist offset) const {
+  const Dist len = Length();
+  if (len <= 0.0) return a;
+  const double t = std::clamp(offset / len, 0.0, 1.0);
+  return Lerp(a, b, t);
+}
+
+Dist Segment::ClosestOffset(const Point& p) const {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len_sq = dx * dx + dy * dy;
+  if (len_sq <= 0.0) return 0.0;
+  const double t =
+      std::clamp(((p.x - a.x) * dx + (p.y - a.y) * dy) / len_sq, 0.0, 1.0);
+  return t * std::sqrt(len_sq);
+}
+
+Dist Segment::DistanceTo(const Point& p) const {
+  return EuclideanDistance(p, AtOffset(ClosestOffset(p)));
+}
+
+}  // namespace msq

@@ -1,0 +1,30 @@
+// Line-segment geometry used when mapping objects onto polyline edges.
+#ifndef MSQ_GEOM_SEGMENT_H_
+#define MSQ_GEOM_SEGMENT_H_
+
+#include "common/types.h"
+#include "geom/point.h"
+
+namespace msq {
+
+// A straight road segment from `a` to `b`.
+struct Segment {
+  Point a;
+  Point b;
+
+  Dist Length() const;
+
+  // The point at arc-length offset `offset` from `a` along the segment.
+  // `offset` is clamped to [0, Length()].
+  Point AtOffset(Dist offset) const;
+
+  // Minimum Euclidean distance from `p` to the segment.
+  Dist DistanceTo(const Point& p) const;
+
+  // Arc-length offset (from `a`) of the point on the segment closest to `p`.
+  Dist ClosestOffset(const Point& p) const;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_GEOM_SEGMENT_H_

@@ -1,0 +1,161 @@
+// Resumable A* search with shared labels and path-distance-lower-bound
+// (plb) probes.
+//
+// This implements two ideas the paper builds LBC and EDC on:
+//
+//  1. Label reuse across targets ([26], adopted in Section 3): one
+//     AStarSearch per query point keeps every computed network distance
+//     ("each query point keeps a hash table to store the intermediate nodes
+//     visited, together with their network distances"), so successive
+//     distance computations from the same query point resume rather than
+//     restart.
+//
+//  2. The path distance lower bound of Section 4.3: while expanding toward
+//     a target t, the smallest f = d(vs,v) + dE(v,t) over the frontier can
+//     only grow, never exceeds dN(vs,t), and equals it at termination. A
+//     Probe exposes one expansion step at a time so LBC can abandon a
+//     dominated candidate after paying only as much network access as
+//     needed to prove domination — the mechanism behind the
+//     instance-optimality proof (Theorem 1).
+//
+// Multiple live probes of the same search cooperate: any probe's expansion
+// settles nodes (exact labels) that every other probe reuses. Correctness
+// of cross-probe settling holds because each probe re-synchronizes its
+// frontier heap with the shared label log before every pop, so the popped
+// node has the minimum f over the complete current frontier — the standard
+// A* exactness argument then applies regardless of which target's heuristic
+// ordered the pop.
+#ifndef MSQ_GRAPH_ASTAR_H_
+#define MSQ_GRAPH_ASTAR_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "graph/graph_pager.h"
+#include "graph/landmarks.h"
+#include "graph/road_network.h"
+
+namespace msq {
+
+class AStarSearch {
+ public:
+  // Starts a reusable search from `source`. Neither the pager nor the
+  // optional landmark index is owned. When `landmarks` is supplied, the
+  // heuristic is max(Euclidean, ALT landmark bound) — still consistent,
+  // but tighter on high-detour networks (see graph/landmarks.h for why
+  // this steps outside the paper's Theorem 1 algorithm class).
+  AStarSearch(const GraphPager* pager, Location source,
+              const LandmarkIndex* landmarks = nullptr);
+
+  AStarSearch(const AStarSearch&) = delete;
+  AStarSearch& operator=(const AStarSearch&) = delete;
+
+  // An incremental distance computation toward one target. Valid only
+  // while its parent AStarSearch is alive. Multiple probes may be live and
+  // interleaved arbitrarily.
+  class Probe {
+   public:
+    // Performs at most one node expansion and returns the updated path
+    // distance lower bound. Idempotent once done().
+    Dist Advance();
+
+    // Advances until the exact distance is known; returns it (kInfDist when
+    // the target is unreachable).
+    Dist Run();
+
+    // Whether the exact network distance has been determined.
+    bool done() const { return done_; }
+
+    // Current path distance lower bound: plb <= dN(source, target), and
+    // plb == dN(source, target) once done. Non-decreasing over time.
+    Dist plb() const { return plb_; }
+
+    // Exact distance; requires done().
+    Dist distance() const;
+
+   private:
+    friend class AStarSearch;
+    Probe(AStarSearch* parent, const Location& target);
+
+    // Builds the initial frontier heap (deferred until first needed).
+    void Seed();
+    // Pulls label events from the shared log into the local heap.
+    void Sync();
+    // Drops stale/settled heap tops.
+    void Clean();
+    // Best known complete path: settled endpoint labels + the direct
+    // along-edge path when source and target share an edge.
+    Dist CurrentBestTarget() const;
+    Dist Heuristic(NodeId node) const;
+
+    struct HeapItem {
+      Dist f;        // d + heuristic
+      Dist d;        // label snapshot used to build this item
+      NodeId node;
+      bool operator>(const HeapItem& other) const { return f > other.f; }
+    };
+
+    AStarSearch* parent_;
+    Location target_;
+    Point target_point_;
+    NodeId end_u_, end_v_;
+    Dist target_du_, target_dv_;  // along-edge offsets of the target
+    Dist direct_;                 // same-edge direct distance or kInfDist
+    std::size_t log_cursor_ = 0;
+    bool seeded_ = false;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
+        heap_;
+    Dist plb_;
+    bool done_ = false;
+    Dist distance_ = kInfDist;
+  };
+
+  // Creates a probe toward `target`.
+  Probe NewProbe(const Location& target);
+
+  // Convenience: exact network distance to `target` (expands as needed;
+  // all labels are retained for future probes).
+  Dist DistanceTo(const Location& target);
+
+  // Number of nodes settled so far across all probes (the paper's network
+  // node access measure for A*-based search).
+  std::size_t settled_count() const { return settled_count_; }
+
+  const Location& source() const { return source_; }
+  const GraphPager& pager() const { return *pager_; }
+
+ private:
+  friend class Probe;
+
+  // One (node, label) event; the log is append-only so probes can cursor
+  // through it.
+  struct LabelEvent {
+    NodeId node;
+    Dist dist;
+  };
+
+  // Applies a label improvement and logs it.
+  void Improve(NodeId node, Dist dist);
+  // Settles `node` at exact distance `dist` and relaxes its neighbors.
+  void Settle(NodeId node, Dist dist);
+
+  const GraphPager* pager_;
+  Location source_;
+  const LandmarkIndex* landmarks_;
+  std::vector<Dist> dist_;
+  std::vector<std::uint8_t> settled_;
+  std::vector<LabelEvent> log_;
+  // Every node labeled so far, each exactly once (in first-labeling
+  // order). New probes seed their heaps from this compact list with the
+  // *current* labels instead of replaying the whole event log — keeping
+  // probe creation linear in distinct labeled nodes, which matters for
+  // LBC's probe-per-(candidate, query point) pattern.
+  std::vector<NodeId> labeled_nodes_;
+  std::size_t settled_count_ = 0;
+  std::vector<AdjacencyEntry> scratch_adjacency_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_GRAPH_ASTAR_H_

@@ -1,0 +1,105 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace msq {
+
+DijkstraSearch::DijkstraSearch(const GraphPager* pager, Location source)
+    : pager_(pager), source_(source) {
+  MSQ_CHECK(pager != nullptr);
+  const RoadNetwork& network = pager->network();
+  MSQ_CHECK(network.IsValidLocation(source));
+  dist_.assign(network.node_count(), kInfDist);
+  settled_.assign(network.node_count(), 0);
+
+  // Seed the wavefront with the source edge's endpoints.
+  const RoadNetwork::Edge& e = network.EdgeAt(source.edge);
+  const auto [du, dv] = network.EndpointDistances(source);
+  if (du < dist_[e.u]) {
+    dist_[e.u] = du;
+    heap_.push(HeapItem{du, e.u});
+  }
+  if (dv < dist_[e.v]) {
+    dist_[e.v] = dv;
+    heap_.push(HeapItem{dv, e.v});
+  }
+}
+
+void DijkstraSearch::CleanTop() {
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.top();
+    if (settled_[top.node] || top.dist > dist_[top.node]) {
+      heap_.pop();
+      continue;
+    }
+    return;
+  }
+}
+
+Dist DijkstraSearch::Radius() {
+  CleanTop();
+  return heap_.empty() ? kInfDist : heap_.top().dist;
+}
+
+Dist DijkstraSearch::Label(NodeId node) const {
+  MSQ_CHECK(node < dist_.size());
+  return dist_[node];
+}
+
+bool DijkstraSearch::IsSettled(NodeId node) const {
+  MSQ_CHECK(node < settled_.size());
+  return settled_[node] != 0;
+}
+
+void DijkstraSearch::Expand(NodeId node, Dist dist) {
+  pager_->AdjacencyOf(node, &scratch_adjacency_);
+  for (const AdjacencyEntry& adj : scratch_adjacency_) {
+    if (settled_[adj.neighbor]) continue;
+    const Dist candidate = dist + adj.length;
+    if (candidate < dist_[adj.neighbor]) {
+      dist_[adj.neighbor] = candidate;
+      heap_.push(HeapItem{candidate, adj.neighbor});
+    }
+  }
+}
+
+std::optional<DijkstraSearch::Settled> DijkstraSearch::NextSettled() {
+  CleanTop();
+  if (heap_.empty()) return std::nullopt;
+  const HeapItem top = heap_.top();
+  heap_.pop();
+  settled_[top.node] = 1;
+  ++settled_count_;
+  Expand(top.node, top.dist);
+  return Settled{top.node, top.dist};
+}
+
+Dist DijkstraSearch::DistanceTo(const Location& target) {
+  const RoadNetwork& network = pager_->network();
+  MSQ_CHECK(network.IsValidLocation(target));
+  const RoadNetwork::Edge& e = network.EdgeAt(target.edge);
+  const auto [tu, tv] = network.EndpointDistances(target);
+
+  // Direct along-edge path when source and target share an edge.
+  Dist best = kInfDist;
+  if (target.edge == source_.edge) {
+    best = std::abs(target.offset - source_.offset);
+  }
+
+  if (settled_[e.u]) best = std::min(best, dist_[e.u] + tu);
+  if (settled_[e.v]) best = std::min(best, dist_[e.v] + tv);
+
+  // Expand until every remaining node is farther than the best known path:
+  // any later endpoint settlement would contribute >= Radius() >= best.
+  while (Radius() < best) {
+    const auto settled = NextSettled();
+    if (!settled.has_value()) break;
+    if (settled->node == e.u) best = std::min(best, settled->distance + tu);
+    if (settled->node == e.v) best = std::min(best, settled->distance + tv);
+  }
+  return best;
+}
+
+}  // namespace msq

@@ -1,0 +1,78 @@
+// Resumable Dijkstra wavefront expansion from a network location.
+//
+// Section 3 of the paper: the wavefront is kept in a heap and can be
+// expanded incrementally; "the frontier nodes on the wavefront are
+// maintained such that the expansion can continue from a previous state".
+// This incremental form is the engine of the CE algorithm, which alternates
+// expansion among the query points.
+#ifndef MSQ_GRAPH_DIJKSTRA_H_
+#define MSQ_GRAPH_DIJKSTRA_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "graph/graph_pager.h"
+#include "graph/road_network.h"
+
+namespace msq {
+
+class DijkstraSearch {
+ public:
+  // Starts a wavefront at `source`. The pager is not owned.
+  DijkstraSearch(const GraphPager* pager, Location source);
+
+  struct Settled {
+    NodeId node;
+    Dist distance;
+  };
+
+  // Settles and returns the next-nearest node, expanding the wavefront by
+  // one step. std::nullopt when the reachable network is exhausted.
+  std::optional<Settled> NextSettled();
+
+  // Distance of the next node to settle: a lower bound on the distance of
+  // every not-yet-settled node. kInfDist when exhausted.
+  Dist Radius();
+
+  // Current label of `node` (exact iff settled; kInfDist if unlabeled).
+  Dist Label(NodeId node) const;
+  bool IsSettled(NodeId node) const;
+
+  // Exact network distance from the source to `target`, expanding as far
+  // as needed. kInfDist when unreachable. Further incremental use of the
+  // search remains valid afterwards.
+  Dist DistanceTo(const Location& target);
+
+  // Number of nodes settled so far (the paper's per-query network node
+  // access measure for Dijkstra-based search).
+  std::size_t settled_count() const { return settled_count_; }
+
+  const Location& source() const { return source_; }
+
+ private:
+  struct HeapItem {
+    Dist dist;
+    NodeId node;
+    bool operator>(const HeapItem& other) const {
+      return dist > other.dist;
+    }
+  };
+
+  // Relaxes `node`'s neighbors given its exact distance `dist`.
+  void Expand(NodeId node, Dist dist);
+  // Pops stale heap entries.
+  void CleanTop();
+
+  const GraphPager* pager_;
+  Location source_;
+  std::vector<Dist> dist_;
+  std::vector<std::uint8_t> settled_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::size_t settled_count_ = 0;
+  std::vector<AdjacencyEntry> scratch_adjacency_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_GRAPH_DIJKSTRA_H_

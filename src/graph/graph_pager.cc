@@ -1,0 +1,128 @@
+#include "graph/graph_pager.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace msq {
+namespace {
+
+// Serialized adjacency record: u32 degree, then per neighbor
+// (u32 neighbor, u32 edge, double length).
+constexpr std::size_t kRecordHeaderBytes = sizeof(std::uint32_t);
+constexpr std::size_t kNeighborBytes =
+    2 * sizeof(std::uint32_t) + sizeof(double);
+
+std::size_t RecordBytes(std::size_t degree) {
+  return kRecordHeaderBytes + degree * kNeighborBytes;
+}
+
+// Interleaves the low 16 bits of x and y into a Morton (Z-order) key.
+std::uint32_t MortonKey(std::uint16_t x, std::uint16_t y) {
+  auto spread = [](std::uint32_t v) {
+    v &= 0xffff;
+    v = (v | (v << 8)) & 0x00ff00ff;
+    v = (v | (v << 4)) & 0x0f0f0f0f;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+}  // namespace
+
+GraphPager::GraphPager(const RoadNetwork* network, BufferManager* buffer)
+    : network_(network), buffer_(buffer) {
+  MSQ_CHECK(network != nullptr && buffer != nullptr);
+  MSQ_CHECK(network->finalized());
+  BuildLayout();
+}
+
+void GraphPager::BuildLayout() {
+  const std::size_t n = network_->node_count();
+  directory_.assign(n, Slot{});
+  if (n == 0) return;
+
+  // Cluster nodes by Z-order of their coordinates so that spatially close
+  // nodes — which a wavefront touches together — share pages.
+  const Mbr box = network_->BoundingBox();
+  const double span_x = std::max(box.hi_x - box.lo_x, 1e-12);
+  const double span_y = std::max(box.hi_y - box.lo_y, 1e-12);
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  std::vector<std::uint32_t> key(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const Point& p = network_->NodePosition(i);
+    const auto gx = static_cast<std::uint16_t>(
+        std::min(65535.0, (p.x - box.lo_x) / span_x * 65535.0));
+    const auto gy = static_cast<std::uint16_t>(
+        std::min(65535.0, (p.y - box.lo_y) / span_y * 65535.0));
+    key[i] = MortonKey(gx, gy);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return key[a] < key[b]; });
+
+  // Pack records first-fit in cluster order. A record never spans pages;
+  // road-network degrees are small so records always fit one page.
+  PageId current_page = kInvalidPage;
+  Page* raw = nullptr;
+  std::size_t used = 0;
+  for (const NodeId node : order) {
+    const std::size_t degree = network_->Adjacent(node).size();
+    const std::size_t bytes = RecordBytes(degree);
+    MSQ_CHECK_MSG(bytes <= kPageSize, "node degree %zu overflows a page",
+                  degree);
+    if (current_page == kInvalidPage || used + bytes > kPageSize) {
+      auto [page_id, page] = buffer_->AllocatePage();
+      current_page = page_id;
+      raw = page;
+      used = 0;
+      ++page_count_;
+    }
+    directory_[node] = Slot{current_page, static_cast<std::uint16_t>(used)};
+    std::byte* dst = raw->data.data() + used;
+    const auto adj = network_->Adjacent(node);
+    const std::uint32_t deg32 = static_cast<std::uint32_t>(degree);
+    std::memcpy(dst, &deg32, sizeof(deg32));
+    dst += sizeof(deg32);
+    for (const AdjacencyEntry& entry : adj) {
+      std::memcpy(dst, &entry.neighbor, sizeof(entry.neighbor));
+      dst += sizeof(entry.neighbor);
+      std::memcpy(dst, &entry.edge, sizeof(entry.edge));
+      dst += sizeof(entry.edge);
+      std::memcpy(dst, &entry.length, sizeof(entry.length));
+      dst += sizeof(entry.length);
+    }
+    used += bytes;
+  }
+  buffer_->FlushAll();
+}
+
+void GraphPager::AdjacencyOf(NodeId node,
+                             std::vector<AdjacencyEntry>* out) const {
+  MSQ_CHECK(node < directory_.size());
+  const Slot slot = directory_[node];
+  MSQ_CHECK(slot.page != kInvalidPage);
+  Page* raw = buffer_->Fetch(slot.page);
+  const std::byte* src = raw->data.data() + slot.offset;
+  std::uint32_t degree;
+  std::memcpy(&degree, src, sizeof(degree));
+  src += sizeof(degree);
+  out->clear();
+  out->reserve(degree);
+  for (std::uint32_t i = 0; i < degree; ++i) {
+    AdjacencyEntry entry;
+    std::memcpy(&entry.neighbor, src, sizeof(entry.neighbor));
+    src += sizeof(entry.neighbor);
+    std::memcpy(&entry.edge, src, sizeof(entry.edge));
+    src += sizeof(entry.edge);
+    std::memcpy(&entry.length, src, sizeof(entry.length));
+    src += sizeof(entry.length);
+    out->push_back(entry);
+  }
+}
+
+}  // namespace msq

@@ -1,0 +1,62 @@
+// ALT (A*, Landmarks, Triangle inequality) lower bounds.
+//
+// The paper's plb uses the Euclidean distance as the lower bound that
+// seeds and certifies A* — which is loose exactly where the evaluation
+// shows EDC/LBC losing ground: high-detour (large δ) networks like the CA
+// extract. Landmark bounds fix that: pre-compute exact network distances
+// from a few well-spread landmark nodes; by the triangle inequality
+//   dN(a, b) >= |dN(l, a) - dN(l, b)|
+// for every landmark l, and the max over landmarks (further maxed with the
+// Euclidean bound) is a consistent A* heuristic.
+//
+// This is an *extension* the paper's Theorem 1 deliberately excludes: its
+// instance-optimality class contains only algorithms that use "no
+// pre-computed distance information". The ablation benchmark
+// (bench_ablation_heuristic) quantifies what that restriction costs.
+#ifndef MSQ_GRAPH_LANDMARKS_H_
+#define MSQ_GRAPH_LANDMARKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace msq {
+
+class LandmarkIndex {
+ public:
+  // Builds an index with `count` landmarks chosen by farthest-point
+  // sampling (the classic "avoid" style spread), each with a full
+  // single-source distance array. Preprocessing runs on the in-memory
+  // adjacency — it is offline work, not query I/O. `count` is clamped to
+  // the node count; `seed` picks the sampling start.
+  LandmarkIndex(const RoadNetwork* network, std::size_t count,
+                std::uint64_t seed = 1);
+
+  std::size_t landmark_count() const { return landmarks_.size(); }
+  NodeId landmark(std::size_t i) const { return landmarks_[i]; }
+
+  // Exact network distance from landmark `i` to `node` (kInfDist when
+  // disconnected).
+  Dist LandmarkDistance(std::size_t i, NodeId node) const;
+
+  // Exact network distance from landmark `i` to a location on an edge.
+  Dist LandmarkDistance(std::size_t i, const Location& loc) const;
+
+  // max_l |d(l, node) - d(l, target)| — a lower bound on dN(node, target).
+  // Zero when either side is unreachable from every landmark.
+  Dist LowerBound(NodeId node, const Location& target) const;
+
+  // Lower bound between two locations.
+  Dist LowerBound(const Location& a, const Location& b) const;
+
+ private:
+  const RoadNetwork* network_;
+  std::vector<NodeId> landmarks_;
+  // distances_[i][v] = dN(landmarks_[i], v).
+  std::vector<std::vector<Dist>> distances_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_GRAPH_LANDMARKS_H_

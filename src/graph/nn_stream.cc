@@ -1,0 +1,78 @@
+#include "graph/nn_stream.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace msq {
+
+NetworkNnStream::NetworkNnStream(const GraphPager* pager,
+                                 const SpatialMapping* mapping,
+                                 Location source)
+    : search_(pager, source), pager_(pager), mapping_(mapping) {
+  MSQ_CHECK(mapping != nullptr);
+  best_.assign(mapping->object_count(), kInfDist);
+  emitted_.assign(mapping->object_count(), 0);
+
+  // Objects sharing the source edge are reachable directly along it.
+  mapping_->ObjectsOnEdge(source.edge, &scratch_objects_);
+  for (const EdgeObject& obj : scratch_objects_) {
+    Offer(obj.object, std::abs(obj.dist_u - source.offset));
+  }
+}
+
+void NetworkNnStream::Offer(ObjectId object, Dist dist) {
+  if (emitted_[object] || dist >= best_[object]) return;
+  best_[object] = dist;
+  heap_.push(HeapItem{dist, object});
+}
+
+void NetworkNnStream::ProbeEdge(EdgeId edge, NodeId node, Dist node_dist) {
+  scratch_objects_.clear();
+  mapping_->ObjectsOnEdge(edge, &scratch_objects_);
+  if (scratch_objects_.empty()) return;
+  const RoadNetwork::Edge& e = mapping_->network().EdgeAt(edge);
+  const bool node_is_u = (e.u == node);
+  MSQ_DCHECK(node_is_u || e.v == node);
+  for (const EdgeObject& obj : scratch_objects_) {
+    Offer(obj.object, node_dist + (node_is_u ? obj.dist_u : obj.dist_v));
+  }
+}
+
+std::optional<NetworkNnStream::Visit> NetworkNnStream::Next() {
+  for (;;) {
+    // Drop stale heap entries.
+    while (!heap_.empty()) {
+      const HeapItem& top = heap_.top();
+      if (emitted_[top.object] || top.dist > best_[top.object]) {
+        heap_.pop();
+        continue;
+      }
+      break;
+    }
+
+    // The top object's distance is final once it does not exceed the
+    // wavefront radius: any unsettled endpoint has distance >= radius, so
+    // no path through it can be shorter.
+    if (!heap_.empty() && heap_.top().dist <= search_.Radius()) {
+      const HeapItem top = heap_.top();
+      heap_.pop();
+      emitted_[top.object] = 1;
+      return Visit{top.object, top.dist};
+    }
+
+    const auto settled = search_.NextSettled();
+    if (!settled.has_value()) {
+      // Wavefront exhausted; everything still in the heap is final.
+      if (heap_.empty()) return std::nullopt;
+      continue;
+    }
+    // Probe every incident edge from this (now exact) endpoint.
+    pager_->AdjacencyOf(settled->node, &scratch_adjacency_);
+    for (const AdjacencyEntry& adj : scratch_adjacency_) {
+      ProbeEdge(adj.edge, settled->node, settled->distance);
+    }
+  }
+}
+
+}  // namespace msq

@@ -1,0 +1,70 @@
+// Incremental network nearest-neighbor stream from one query point.
+//
+// CE (Section 4.1) visits the objects around each query point "in the
+// ascending order according to their network distance to this query point".
+// This stream couples a resumable Dijkstra wavefront with middle-layer
+// probes: whenever a node settles, each incident edge is checked in the
+// B+-tree middle layer for resident objects, whose distances become exact
+// as soon as they drop below the wavefront radius.
+#ifndef MSQ_GRAPH_NN_STREAM_H_
+#define MSQ_GRAPH_NN_STREAM_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/spatial_mapping.h"
+
+namespace msq {
+
+class NetworkNnStream {
+ public:
+  // Streams objects of `mapping` by network distance from `source`.
+  // Neither pointer is owned.
+  NetworkNnStream(const GraphPager* pager, const SpatialMapping* mapping,
+                  Location source);
+
+  struct Visit {
+    ObjectId object;
+    Dist distance;  // exact network distance from the source
+  };
+
+  // Returns the next-nearest unvisited object, or std::nullopt when every
+  // object reachable from the source has been visited.
+  std::optional<Visit> Next();
+
+  // Nodes settled by the underlying wavefront so far.
+  std::size_t settled_count() const { return search_.settled_count(); }
+
+  const DijkstraSearch& search() const { return search_; }
+
+ private:
+  struct HeapItem {
+    Dist dist;
+    ObjectId object;
+    bool operator>(const HeapItem& other) const {
+      return dist > other.dist;
+    }
+  };
+
+  // Offers a candidate distance for `object`.
+  void Offer(ObjectId object, Dist dist);
+  // Probes `edge` given that endpoint-side distance `node_dist` is exact
+  // and the settled node is `node`.
+  void ProbeEdge(EdgeId edge, NodeId node, Dist node_dist);
+
+  DijkstraSearch search_;
+  const GraphPager* pager_;
+  const SpatialMapping* mapping_;
+  std::vector<Dist> best_;
+  std::vector<std::uint8_t> emitted_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
+      heap_;
+  std::vector<EdgeObject> scratch_objects_;
+  std::vector<AdjacencyEntry> scratch_adjacency_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_GRAPH_NN_STREAM_H_

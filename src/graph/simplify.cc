@@ -1,0 +1,127 @@
+#include "graph/simplify.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace msq {
+namespace {
+
+// One walked chain: the junction endpoints, total length, and the interior
+// degree-2 nodes in walk order.
+struct Chain {
+  NodeId from;
+  NodeId to;
+  Dist length = 0.0;
+  std::vector<NodeId> interior;
+  // Cumulative length up to (and including) each interior node.
+  std::vector<Dist> interior_offset;
+};
+
+}  // namespace
+
+SimplifyResult SimplifyDegree2Chains(const RoadNetwork& input) {
+  MSQ_CHECK(input.finalized());
+  const std::size_t node_count = input.node_count();
+
+  std::vector<bool> is_junction(node_count, false);
+  for (NodeId v = 0; v < node_count; ++v) {
+    is_junction[v] = input.Adjacent(v).size() != 2;
+  }
+
+  std::vector<bool> edge_visited(input.edge_count(), false);
+
+  // Walks a maximal chain starting at junction `from` through `first`,
+  // marking its edges visited.
+  auto walk = [&](NodeId from, const AdjacencyEntry& first) {
+    Chain chain;
+    chain.from = from;
+    chain.length = first.length;
+    edge_visited[first.edge] = true;
+    EdgeId incoming = first.edge;
+    NodeId current = first.neighbor;
+    while (!is_junction[current]) {
+      chain.interior.push_back(current);
+      chain.interior_offset.push_back(chain.length);
+      const auto adj = input.Adjacent(current);
+      MSQ_CHECK(adj.size() == 2);
+      const AdjacencyEntry& next =
+          adj[0].edge == incoming ? adj[1] : adj[0];
+      edge_visited[next.edge] = true;
+      chain.length += next.length;
+      incoming = next.edge;
+      current = next.neighbor;
+    }
+    chain.to = current;
+    return chain;
+  };
+
+  // Pure degree-2 cycles have no junction; anchor each at its lowest id.
+  // (Detected by scanning for unvisitable edges: both endpoints degree 2.)
+  {
+    std::vector<bool> cycle_seen(node_count, false);
+    for (NodeId v = 0; v < node_count; ++v) {
+      if (is_junction[v] || cycle_seen[v]) continue;
+      // Trace the cycle containing v.
+      bool pure_cycle = true;
+      NodeId current = v;
+      EdgeId incoming = kInvalidEdge;
+      std::vector<NodeId> members;
+      do {
+        members.push_back(current);
+        cycle_seen[current] = true;
+        const auto adj = input.Adjacent(current);
+        const AdjacencyEntry& next =
+            (incoming == kInvalidEdge || adj[0].edge != incoming) ? adj[0]
+                                                                  : adj[1];
+        incoming = next.edge;
+        current = next.neighbor;
+        if (is_junction[current]) {
+          pure_cycle = false;
+          break;
+        }
+      } while (current != v);
+      if (pure_cycle) is_junction[v] = true;
+    }
+  }
+
+  SimplifyResult result;
+  result.node_map.assign(node_count, kInvalidNode);
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (is_junction[v]) {
+      result.node_map[v] = result.network.AddNode(input.NodePosition(v));
+    }
+  }
+
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (!is_junction[v]) continue;
+    for (const AdjacencyEntry& adj : input.Adjacent(v)) {
+      if (edge_visited[adj.edge]) continue;
+      const Chain chain = walk(v, adj);
+      const NodeId from = result.node_map[chain.from];
+      const NodeId to = result.node_map[chain.to];
+      if (from != to) {
+        result.network.AddEdge(from, to, chain.length);
+        continue;
+      }
+      // A loop back to the same junction: keep one interior node so the
+      // contraction produces two proper edges instead of a self-loop.
+      MSQ_CHECK_MSG(!chain.interior.empty(),
+                    "self-loop edge in input network");
+      const std::size_t mid = chain.interior.size() / 2;
+      const NodeId pivot_original = chain.interior[mid];
+      NodeId& pivot = result.node_map[pivot_original];
+      if (pivot == kInvalidNode) {
+        pivot = result.network.AddNode(input.NodePosition(pivot_original));
+      }
+      const Dist first_part = chain.interior_offset[mid];
+      result.network.AddEdge(from, pivot, first_part);
+      result.network.AddEdge(pivot, to, chain.length - first_part);
+    }
+  }
+
+  result.network.Finalize();
+  return result;
+}
+
+}  // namespace msq

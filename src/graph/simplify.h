@@ -1,0 +1,33 @@
+// Topology simplification: contraction of degree-2 polyline chains.
+//
+// Real road datasets (including the DCW extracts the paper uses) are
+// dominated by degree-2 shape points that carry geometry but no routing
+// choices. Contracting every maximal chain of degree-2 nodes into a single
+// edge whose length is the chain's total length preserves all
+// junction-to-junction network distances while shrinking the graph — and
+// therefore the wavefront work — substantially.
+#ifndef MSQ_GRAPH_SIMPLIFY_H_
+#define MSQ_GRAPH_SIMPLIFY_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace msq {
+
+struct SimplifyResult {
+  // The contracted network (finalized). Nodes are the junctions of the
+  // input (degree != 2), in ascending original-id order; pure degree-2
+  // cycles keep one anchor node each.
+  RoadNetwork network;
+  // For each original node: its id in the simplified network, or
+  // kInvalidNode when it was contracted away.
+  std::vector<NodeId> node_map;
+};
+
+// Contracts all maximal degree-2 chains. The input must be finalized.
+SimplifyResult SimplifyDegree2Chains(const RoadNetwork& input);
+
+}  // namespace msq
+
+#endif  // MSQ_GRAPH_SIMPLIFY_H_

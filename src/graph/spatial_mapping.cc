@@ -1,0 +1,83 @@
+#include "graph/spatial_mapping.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace msq {
+namespace {
+
+// B+-tree payload for one middle-layer record.
+struct PackedEdgeObject {
+  ObjectId object;
+  double dist_u;
+  double dist_v;
+};
+
+BpTree::Key MakeKey(EdgeId edge, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(edge) << 32) | seq;
+}
+
+}  // namespace
+
+SpatialMapping::SpatialMapping(const RoadNetwork* network,
+                               BufferManager* buffer,
+                               const std::vector<Location>& objects)
+    : network_(network), locations_(objects), index_(buffer) {
+  MSQ_CHECK(network != nullptr);
+  positions_.reserve(objects.size());
+  for (const Location& loc : objects) {
+    MSQ_CHECK_MSG(network->IsValidLocation(loc),
+                  "object location (edge %u, offset %f) invalid", loc.edge,
+                  loc.offset);
+    positions_.push_back(network->LocationPosition(loc));
+  }
+
+  // Sort object ids by edge so keys are strictly increasing for BulkLoad.
+  std::vector<ObjectId> order(objects.size());
+  for (ObjectId i = 0; i < objects.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+    if (objects[a].edge != objects[b].edge) {
+      return objects[a].edge < objects[b].edge;
+    }
+    return a < b;
+  });
+
+  std::vector<BpTree::Item> items;
+  items.reserve(objects.size());
+  EdgeId current_edge = kInvalidEdge;
+  std::uint32_t seq = 0;
+  for (const ObjectId id : order) {
+    const Location& loc = objects[id];
+    if (loc.edge != current_edge) {
+      current_edge = loc.edge;
+      seq = 0;
+    }
+    const auto [du, dv] = network->EndpointDistances(loc);
+    items.emplace_back(MakeKey(loc.edge, seq++),
+                       BpTreeValue::Pack(PackedEdgeObject{id, du, dv}));
+  }
+  index_.BulkLoad(items);
+}
+
+void SpatialMapping::ObjectsOnEdge(EdgeId edge,
+                                   std::vector<EdgeObject>* out) const {
+  std::vector<BpTree::Item> items;
+  index_.ScanRange(MakeKey(edge, 0), MakeKey(edge, 0xffffffffu), &items);
+  for (const BpTree::Item& item : items) {
+    const auto record = item.second.Unpack<PackedEdgeObject>();
+    out->push_back(EdgeObject{record.object, record.dist_u, record.dist_v});
+  }
+}
+
+const Location& SpatialMapping::ObjectLocation(ObjectId id) const {
+  MSQ_CHECK(id < locations_.size());
+  return locations_[id];
+}
+
+Point SpatialMapping::ObjectPosition(ObjectId id) const {
+  MSQ_CHECK(id < positions_.size());
+  return positions_[id];
+}
+
+}  // namespace msq

@@ -1,0 +1,56 @@
+// The object<->network "middle layer" of Section 3.
+//
+// "If an object p is on a network edge e between two adjacent nodes v, v',
+// the distances d(v,p) and d(v',p) are pre-computed, and the id of e is
+// stored in the middle layer with the id of p and the two pre-computed
+// distances. This middle layer can be indexed using a B+-tree on edge ids"
+// — used by the wavefront algorithms to check each visited edge for
+// resident objects without online geometric mapping.
+#ifndef MSQ_GRAPH_SPATIAL_MAPPING_H_
+#define MSQ_GRAPH_SPATIAL_MAPPING_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+#include "index/bptree.h"
+#include "storage/buffer_manager.h"
+
+namespace msq {
+
+// One middle-layer record: an object resident on some edge with its
+// pre-computed distances to the edge's endpoints.
+struct EdgeObject {
+  ObjectId object = kInvalidObject;
+  Dist dist_u = 0.0;  // along-edge distance to the edge's u endpoint
+  Dist dist_v = 0.0;  // along-edge distance to the edge's v endpoint
+};
+
+class SpatialMapping {
+ public:
+  // Builds the middle layer for `objects` (Location per object id, indexed
+  // by position in the vector). Every location must be valid on `network`.
+  // The B+-tree pages live in `buffer`'s disk space.
+  SpatialMapping(const RoadNetwork* network, BufferManager* buffer,
+                 const std::vector<Location>& objects);
+
+  // Appends all objects resident on `edge` (B+-tree range probe; the probe
+  // I/O is counted by the buffer manager).
+  void ObjectsOnEdge(EdgeId edge, std::vector<EdgeObject>* out) const;
+
+  std::size_t object_count() const { return locations_.size(); }
+  const Location& ObjectLocation(ObjectId id) const;
+  Point ObjectPosition(ObjectId id) const;
+  const std::vector<Location>& locations() const { return locations_; }
+
+  const RoadNetwork& network() const { return *network_; }
+
+ private:
+  const RoadNetwork* network_;
+  std::vector<Location> locations_;
+  std::vector<Point> positions_;
+  BpTree index_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_GRAPH_SPATIAL_MAPPING_H_

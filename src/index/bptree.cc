@@ -1,0 +1,290 @@
+#include "index/bptree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace msq {
+namespace {
+
+// Node header: 1-byte leaf flag + 4-byte count; leaves add a 4-byte next
+// pointer.
+constexpr std::size_t kHeaderBytes = 1 + 4;
+constexpr std::size_t kLeafHeaderBytes = kHeaderBytes + 4;
+constexpr std::size_t kLeafItemBytes = sizeof(std::uint64_t) + 24;
+
+}  // namespace
+
+std::size_t BpTree::LeafCapacity() {
+  return (kPageSize - kLeafHeaderBytes) / kLeafItemBytes;
+}
+
+std::size_t BpTree::InternalCapacity() {
+  // count keys (8B) + count+1 children (4B): 8c + 4(c+1) <= page - header.
+  return (kPageSize - kHeaderBytes - 4) / 12;
+}
+
+BpTree::BpTree(BufferManager* buffer) : buffer_(buffer) {
+  MSQ_CHECK(buffer != nullptr);
+  root_ = NewLeaf(LeafNode{});
+}
+
+bool BpTree::IsLeafPage(PageId page) const {
+  Page* raw = buffer_->Fetch(page);
+  PageReader reader(raw);
+  return reader.Read<std::uint8_t>() != 0;
+}
+
+BpTree::LeafNode BpTree::ReadLeaf(PageId page) const {
+  Page* raw = buffer_->Fetch(page);
+  PageReader reader(raw);
+  const bool is_leaf = reader.Read<std::uint8_t>() != 0;
+  MSQ_CHECK(is_leaf);
+  const std::uint32_t count = reader.Read<std::uint32_t>();
+  MSQ_CHECK(count <= LeafCapacity());
+  LeafNode node;
+  node.next_leaf = reader.Read<std::uint32_t>();
+  node.items.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    node.items[i].first = reader.Read<std::uint64_t>();
+    node.items[i].second = reader.Read<BpTreeValue>();
+  }
+  return node;
+}
+
+BpTree::InternalNode BpTree::ReadInternal(PageId page) const {
+  Page* raw = buffer_->Fetch(page);
+  PageReader reader(raw);
+  const bool is_leaf = reader.Read<std::uint8_t>() != 0;
+  MSQ_CHECK(!is_leaf);
+  const std::uint32_t count = reader.Read<std::uint32_t>();
+  MSQ_CHECK(count <= InternalCapacity());
+  InternalNode node;
+  node.keys.resize(count);
+  node.children.resize(count + 1);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    node.keys[i] = reader.Read<std::uint64_t>();
+  }
+  for (std::uint32_t i = 0; i <= count; ++i) {
+    node.children[i] = reader.Read<std::uint32_t>();
+  }
+  return node;
+}
+
+void BpTree::WriteLeaf(PageId page, const LeafNode& node) {
+  MSQ_CHECK(node.items.size() <= LeafCapacity());
+  Page* raw = buffer_->Fetch(page, /*mark_dirty=*/true);
+  PageWriter writer(raw);
+  writer.Write<std::uint8_t>(1);
+  writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.items.size()));
+  writer.Write<std::uint32_t>(node.next_leaf);
+  for (const Item& item : node.items) {
+    writer.Write<std::uint64_t>(item.first);
+    writer.Write<BpTreeValue>(item.second);
+  }
+}
+
+void BpTree::WriteInternal(PageId page, const InternalNode& node) {
+  MSQ_CHECK(node.keys.size() + 1 == node.children.size());
+  MSQ_CHECK(node.keys.size() <= InternalCapacity());
+  Page* raw = buffer_->Fetch(page, /*mark_dirty=*/true);
+  PageWriter writer(raw);
+  writer.Write<std::uint8_t>(0);
+  writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.keys.size()));
+  for (const Key key : node.keys) writer.Write<std::uint64_t>(key);
+  for (const PageId child : node.children) {
+    writer.Write<std::uint32_t>(child);
+  }
+}
+
+PageId BpTree::NewLeaf(const LeafNode& node) {
+  auto [page_id, raw] = buffer_->AllocatePage();
+  (void)raw;
+  WriteLeaf(page_id, node);
+  return page_id;
+}
+
+PageId BpTree::NewInternal(const InternalNode& node) {
+  auto [page_id, raw] = buffer_->AllocatePage();
+  (void)raw;
+  WriteInternal(page_id, node);
+  return page_id;
+}
+
+void BpTree::BulkLoad(const std::vector<Item>& items) {
+  size_ = items.size();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    MSQ_CHECK_MSG(items[i - 1].first < items[i].first,
+                  "BulkLoad requires strictly increasing keys");
+  }
+  if (items.empty()) {
+    root_ = NewLeaf(LeafNode{});
+    height_ = 1;
+    return;
+  }
+
+  // Pack leaves left to right, remembering each leaf's smallest key.
+  const std::size_t leaf_cap = LeafCapacity();
+  std::vector<std::pair<Key, PageId>> level;  // (min key of subtree, page)
+  {
+    std::vector<LeafNode> leaves;
+    for (std::size_t i = 0; i < items.size(); i += leaf_cap) {
+      const std::size_t end = std::min(items.size(), i + leaf_cap);
+      LeafNode leaf;
+      leaf.items.assign(items.begin() + static_cast<std::ptrdiff_t>(i),
+                        items.begin() + static_cast<std::ptrdiff_t>(end));
+      leaves.push_back(std::move(leaf));
+    }
+    // Allocate pages first so next_leaf links can be set in one pass.
+    std::vector<PageId> pages;
+    pages.reserve(leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      pages.push_back(buffer_->AllocatePage().first);
+    }
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      leaves[i].next_leaf =
+          (i + 1 < leaves.size()) ? pages[i + 1] : kInvalidPage;
+      WriteLeaf(pages[i], leaves[i]);
+      level.emplace_back(leaves[i].items.front().first, pages[i]);
+    }
+  }
+  height_ = 1;
+
+  // Build internal levels until one node remains.
+  const std::size_t internal_cap = InternalCapacity();
+  while (level.size() > 1) {
+    std::vector<std::pair<Key, PageId>> next;
+    // Fan-in per node: capacity+1 children.
+    const std::size_t fanout = internal_cap + 1;
+    for (std::size_t i = 0; i < level.size(); i += fanout) {
+      const std::size_t end = std::min(level.size(), i + fanout);
+      InternalNode node;
+      node.children.push_back(level[i].second);
+      for (std::size_t j = i + 1; j < end; ++j) {
+        node.keys.push_back(level[j].first);
+        node.children.push_back(level[j].second);
+      }
+      next.emplace_back(level[i].first, NewInternal(node));
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level.front().second;
+}
+
+PageId BpTree::FindLeaf(Key key) const {
+  PageId page = root_;
+  while (!IsLeafPage(page)) {
+    const InternalNode node = ReadInternal(page);
+    const auto it =
+        std::upper_bound(node.keys.begin(), node.keys.end(), key);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - node.keys.begin());
+    page = node.children[idx];
+  }
+  return page;
+}
+
+bool BpTree::InsertRecursive(PageId page, std::uint32_t level_from_leaf,
+                             Key key, const BpTreeValue& value, Key* up_key,
+                             PageId* up_page) {
+  if (level_from_leaf == 0) {
+    LeafNode leaf = ReadLeaf(page);
+    const auto it = std::upper_bound(
+        leaf.items.begin(), leaf.items.end(), key,
+        [](Key k, const Item& item) { return k < item.first; });
+    leaf.items.insert(it, Item{key, value});
+    if (leaf.items.size() <= LeafCapacity()) {
+      WriteLeaf(page, leaf);
+      return false;
+    }
+    // Split: right half moves to a new leaf.
+    const std::size_t mid = leaf.items.size() / 2;
+    LeafNode right;
+    right.items.assign(leaf.items.begin() + static_cast<std::ptrdiff_t>(mid),
+                       leaf.items.end());
+    right.next_leaf = leaf.next_leaf;
+    leaf.items.resize(mid);
+    const PageId right_page = NewLeaf(right);
+    leaf.next_leaf = right_page;
+    WriteLeaf(page, leaf);
+    *up_key = right.items.front().first;
+    *up_page = right_page;
+    return true;
+  }
+
+  InternalNode node = ReadInternal(page);
+  const auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key);
+  const std::size_t idx = static_cast<std::size_t>(it - node.keys.begin());
+  Key child_key;
+  PageId child_page;
+  const bool split = InsertRecursive(node.children[idx], level_from_leaf - 1,
+                                     key, value, &child_key, &child_page);
+  if (!split) return false;
+  node.keys.insert(node.keys.begin() + static_cast<std::ptrdiff_t>(idx),
+                   child_key);
+  node.children.insert(
+      node.children.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+      child_page);
+  if (node.keys.size() <= InternalCapacity()) {
+    WriteInternal(page, node);
+    return false;
+  }
+  // Split internal: middle key moves up.
+  const std::size_t mid = node.keys.size() / 2;
+  InternalNode right;
+  right.keys.assign(node.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                    node.keys.end());
+  right.children.assign(
+      node.children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+      node.children.end());
+  *up_key = node.keys[mid];
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  WriteInternal(page, node);
+  *up_page = NewInternal(right);
+  return true;
+}
+
+void BpTree::Insert(Key key, const BpTreeValue& value) {
+  Key up_key;
+  PageId up_page;
+  const bool split =
+      InsertRecursive(root_, height_ - 1, key, value, &up_key, &up_page);
+  if (split) {
+    InternalNode new_root;
+    new_root.keys.push_back(up_key);
+    new_root.children.push_back(root_);
+    new_root.children.push_back(up_page);
+    root_ = NewInternal(new_root);
+    ++height_;
+  }
+  ++size_;
+}
+
+bool BpTree::Lookup(Key key, BpTreeValue* value) const {
+  const PageId page = FindLeaf(key);
+  const LeafNode leaf = ReadLeaf(page);
+  const auto it = std::lower_bound(
+      leaf.items.begin(), leaf.items.end(), key,
+      [](const Item& item, Key k) { return item.first < k; });
+  if (it == leaf.items.end() || it->first != key) return false;
+  *value = it->second;
+  return true;
+}
+
+void BpTree::ScanRange(Key lo, Key hi, std::vector<Item>* out) const {
+  PageId page = FindLeaf(lo);
+  while (page != kInvalidPage) {
+    const LeafNode leaf = ReadLeaf(page);
+    for (const Item& item : leaf.items) {
+      if (item.first < lo) continue;
+      if (item.first > hi) return;
+      out->push_back(item);
+    }
+    page = leaf.next_leaf;
+  }
+}
+
+}  // namespace msq

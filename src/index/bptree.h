@@ -1,0 +1,111 @@
+// Disk-paged B+-tree with 64-bit keys and small fixed-size payloads.
+//
+// The paper (Section 3) stores the object-to-network "middle layer" —
+// edge id -> (object id, distance to each edge endpoint) — "indexed using a
+// B+-tree on edge ids" so the wavefront can probe each visited edge for
+// resident objects cheaply. Keys here are (edge id << 32 | sequence) so all
+// objects of one edge form a contiguous key range.
+#ifndef MSQ_INDEX_BPTREE_H_
+#define MSQ_INDEX_BPTREE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/buffer_manager.h"
+
+namespace msq {
+
+// Opaque fixed-size payload. Callers pack/unpack trivially-copyable records.
+struct BpTreeValue {
+  std::array<std::byte, 24> bytes{};
+
+  template <typename T>
+  static BpTreeValue Pack(const T& record) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= sizeof(bytes));
+    BpTreeValue v;
+    std::memcpy(v.bytes.data(), &record, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  T Unpack() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= sizeof(bytes));
+    T record;
+    std::memcpy(&record, bytes.data(), sizeof(T));
+    return record;
+  }
+};
+
+class BpTree {
+ public:
+  using Key = std::uint64_t;
+  using Item = std::pair<Key, BpTreeValue>;
+
+  static std::size_t LeafCapacity();
+  static std::size_t InternalCapacity();
+
+  // Creates an empty tree whose nodes live in `buffer`'s disk space.
+  explicit BpTree(BufferManager* buffer);
+
+  // Replaces the contents with a bottom-up build from `items`, which must be
+  // sorted by key (strictly increasing).
+  void BulkLoad(const std::vector<Item>& items);
+
+  // Inserts one item. Duplicate keys are allowed; they are stored adjacent
+  // and all returned by range scans.
+  void Insert(Key key, const BpTreeValue& value);
+
+  // Returns whether some item with `key` exists; fills `*value` with the
+  // first one when found.
+  bool Lookup(Key key, BpTreeValue* value) const;
+
+  // Appends all items with lo <= key <= hi, in key order.
+  void ScanRange(Key lo, Key hi, std::vector<Item>* out) const;
+
+  std::size_t size() const { return size_; }
+  std::uint32_t height() const { return height_; }
+
+ private:
+  struct LeafNode {
+    std::vector<Item> items;
+    PageId next_leaf = kInvalidPage;
+  };
+  struct InternalNode {
+    // children.size() == keys.size() + 1; subtree children[i] holds keys
+    // < keys[i]; children.back() holds keys >= keys.back().
+    std::vector<Key> keys;
+    std::vector<PageId> children;
+  };
+
+  LeafNode ReadLeaf(PageId page) const;
+  InternalNode ReadInternal(PageId page) const;
+  bool IsLeafPage(PageId page) const;
+  void WriteLeaf(PageId page, const LeafNode& node);
+  void WriteInternal(PageId page, const InternalNode& node);
+  PageId NewLeaf(const LeafNode& node);
+  PageId NewInternal(const InternalNode& node);
+
+  // Descends to the leaf that should contain `key`.
+  PageId FindLeaf(Key key) const;
+
+  // Recursive insert; on child split returns true and fills the separator
+  // key + new right-sibling page.
+  bool InsertRecursive(PageId page, std::uint32_t level_from_leaf, Key key,
+                       const BpTreeValue& value, Key* up_key,
+                       PageId* up_page);
+
+  BufferManager* buffer_;
+  PageId root_;
+  std::uint32_t height_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_INDEX_BPTREE_H_

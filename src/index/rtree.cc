@@ -1,0 +1,481 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace msq {
+namespace {
+
+// Serialized sizes: 1-byte leaf flag + 4-byte count header; per entry four
+// doubles and one id.
+constexpr std::size_t kNodeHeaderBytes = 1 + 4;
+constexpr std::size_t kEntryBytes = 4 * sizeof(double) + sizeof(std::uint32_t);
+
+}  // namespace
+
+Mbr RTreeNode::BoundingBox() const {
+  Mbr box = Mbr::Empty();
+  for (const RTreeEntry& e : entries) box.Extend(e.mbr);
+  return box;
+}
+
+std::size_t RTree::MaxEntriesPerNode() {
+  return (kPageSize - kNodeHeaderBytes) / kEntryBytes;
+}
+
+RTree::RTree(BufferManager* buffer) : buffer_(buffer) {
+  MSQ_CHECK(buffer != nullptr);
+  RTreeNode empty_leaf;
+  root_ = WriteNewNode(empty_leaf);
+}
+
+RTreeNode RTree::ReadNode(PageId page) const {
+  Page* raw = buffer_->Fetch(page);
+  PageReader reader(raw);
+  RTreeNode node;
+  node.is_leaf = reader.Read<std::uint8_t>() != 0;
+  const std::uint32_t count = reader.Read<std::uint32_t>();
+  MSQ_CHECK(count <= MaxEntriesPerNode());
+  node.entries.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RTreeEntry& e = node.entries[i];
+    e.mbr.lo_x = reader.Read<double>();
+    e.mbr.lo_y = reader.Read<double>();
+    e.mbr.hi_x = reader.Read<double>();
+    e.mbr.hi_y = reader.Read<double>();
+    e.id = reader.Read<std::uint32_t>();
+  }
+  return node;
+}
+
+void RTree::WriteNode(PageId page, const RTreeNode& node) {
+  MSQ_CHECK(node.entries.size() <= MaxEntriesPerNode());
+  Page* raw = buffer_->Fetch(page, /*mark_dirty=*/true);
+  PageWriter writer(raw);
+  writer.Write<std::uint8_t>(node.is_leaf ? 1 : 0);
+  writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.entries.size()));
+  for (const RTreeEntry& e : node.entries) {
+    writer.Write<double>(e.mbr.lo_x);
+    writer.Write<double>(e.mbr.lo_y);
+    writer.Write<double>(e.mbr.hi_x);
+    writer.Write<double>(e.mbr.hi_y);
+    writer.Write<std::uint32_t>(e.id);
+  }
+}
+
+PageId RTree::WriteNewNode(const RTreeNode& node) {
+  auto [page_id, raw] = buffer_->AllocatePage();
+  (void)raw;
+  WriteNode(page_id, node);
+  return page_id;
+}
+
+std::size_t RTree::ChooseSubtree(const RTreeNode& node, const Mbr& mbr) {
+  MSQ_CHECK(!node.entries.empty());
+  std::size_t best = 0;
+  double best_enlargement = kInfDist;
+  double best_area = kInfDist;
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    const double enlargement = node.entries[i].mbr.Enlargement(mbr);
+    const double area = node.entries[i].mbr.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = i;
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+void RTree::QuadraticSplit(std::vector<RTreeEntry>* entries,
+                           std::vector<RTreeEntry>* group_a,
+                           std::vector<RTreeEntry>* group_b) {
+  MSQ_CHECK(entries->size() >= 2);
+  const std::size_t min_fill =
+      std::max<std::size_t>(1, MaxEntriesPerNode() * 2 / 5);
+
+  // PickSeeds: pair with the most "dead" area when merged.
+  std::size_t seed_a = 0, seed_b = 1;
+  double worst = -kInfDist;
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    for (std::size_t j = i + 1; j < entries->size(); ++j) {
+      Mbr merged = (*entries)[i].mbr;
+      merged.Extend((*entries)[j].mbr);
+      const double waste =
+          merged.Area() - (*entries)[i].mbr.Area() - (*entries)[j].mbr.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  group_a->clear();
+  group_b->clear();
+  group_a->push_back((*entries)[seed_a]);
+  group_b->push_back((*entries)[seed_b]);
+  Mbr box_a = (*entries)[seed_a].mbr;
+  Mbr box_b = (*entries)[seed_b].mbr;
+
+  std::vector<RTreeEntry> rest;
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back((*entries)[i]);
+  }
+
+  while (!rest.empty()) {
+    // Force-assign when one group must take everything left to reach the
+    // minimum fill.
+    if (group_a->size() + rest.size() <= min_fill) {
+      for (const RTreeEntry& e : rest) group_a->push_back(e);
+      break;
+    }
+    if (group_b->size() + rest.size() <= min_fill) {
+      for (const RTreeEntry& e : rest) group_b->push_back(e);
+      break;
+    }
+    // PickNext: entry with the maximum preference difference.
+    std::size_t pick = 0;
+    double max_diff = -kInfDist;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      const double da = box_a.Enlargement(rest[i].mbr);
+      const double db = box_b.Enlargement(rest[i].mbr);
+      const double diff = std::abs(da - db);
+      if (diff > max_diff) {
+        max_diff = diff;
+        pick = i;
+      }
+    }
+    const RTreeEntry chosen = rest[pick];
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(pick));
+    const double da = box_a.Enlargement(chosen.mbr);
+    const double db = box_b.Enlargement(chosen.mbr);
+    bool to_a;
+    if (da != db) {
+      to_a = da < db;
+    } else if (box_a.Area() != box_b.Area()) {
+      to_a = box_a.Area() < box_b.Area();
+    } else {
+      to_a = group_a->size() <= group_b->size();
+    }
+    if (to_a) {
+      group_a->push_back(chosen);
+      box_a.Extend(chosen.mbr);
+    } else {
+      group_b->push_back(chosen);
+      box_b.Extend(chosen.mbr);
+    }
+  }
+}
+
+bool RTree::InsertRecursive(PageId page, std::uint32_t level_from_leaf,
+                            std::uint32_t target_level,
+                            const RTreeEntry& entry,
+                            RTreeEntry* split_entry, Mbr* updated_mbr) {
+  RTreeNode node = ReadNode(page);
+  if (level_from_leaf == target_level) {
+    MSQ_CHECK(target_level == 0 ? node.is_leaf : !node.is_leaf);
+    node.entries.push_back(entry);
+  } else {
+    MSQ_CHECK(!node.is_leaf);
+    const std::size_t child = ChooseSubtree(node, entry.mbr);
+    RTreeEntry child_split;
+    Mbr child_mbr;
+    const bool split = InsertRecursive(node.entries[child].id,
+                                       level_from_leaf - 1, target_level,
+                                       entry, &child_split, &child_mbr);
+    node.entries[child].mbr = child_mbr;
+    if (split) node.entries.push_back(child_split);
+  }
+
+  if (node.entries.size() <= MaxEntriesPerNode()) {
+    WriteNode(page, node);
+    *updated_mbr = node.BoundingBox();
+    return false;
+  }
+
+  std::vector<RTreeEntry> group_a, group_b;
+  QuadraticSplit(&node.entries, &group_a, &group_b);
+  RTreeNode sibling;
+  sibling.is_leaf = node.is_leaf;
+  sibling.entries = std::move(group_b);
+  node.entries = std::move(group_a);
+  WriteNode(page, node);
+  const PageId sibling_page = WriteNewNode(sibling);
+  *updated_mbr = node.BoundingBox();
+  split_entry->mbr = sibling.BoundingBox();
+  split_entry->id = sibling_page;
+  return true;
+}
+
+void RTree::InsertAtLevel(const RTreeEntry& entry,
+                          std::uint32_t target_level) {
+  MSQ_CHECK(target_level < height_);
+  RTreeEntry split;
+  Mbr updated;
+  const bool did_split = InsertRecursive(root_, height_ - 1, target_level,
+                                         entry, &split, &updated);
+  if (did_split) {
+    RTreeNode new_root;
+    new_root.is_leaf = false;
+    new_root.entries.push_back(RTreeEntry{updated, root_});
+    new_root.entries.push_back(split);
+    root_ = WriteNewNode(new_root);
+    ++height_;
+  }
+}
+
+void RTree::Insert(const Mbr& mbr, std::uint32_t id) {
+  InsertAtLevel(RTreeEntry{mbr, id}, 0);
+  ++size_;
+}
+
+bool RTree::DeleteRecursive(PageId page, std::uint32_t level_from_leaf,
+                            const Mbr& mbr, std::uint32_t id,
+                            std::vector<Orphan>* orphans, bool* empty,
+                            Mbr* updated_mbr) {
+  RTreeNode node = ReadNode(page);
+  const std::size_t min_fill =
+      std::max<std::size_t>(1, MaxEntriesPerNode() * 2 / 5);
+  *empty = false;
+  bool found = false;
+
+  if (node.is_leaf) {
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      if (node.entries[i].id == id && node.entries[i].mbr == mbr) {
+        node.entries.erase(node.entries.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        found = true;
+        break;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < node.entries.size() && !found; ++i) {
+      if (!node.entries[i].mbr.Contains(mbr)) continue;
+      bool child_empty = false;
+      Mbr child_mbr;
+      found = DeleteRecursive(node.entries[i].id, level_from_leaf - 1, mbr,
+                              id, orphans, &child_empty, &child_mbr);
+      if (!found) continue;
+      if (child_empty) {
+        node.entries.erase(node.entries.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      } else {
+        node.entries[i].mbr = child_mbr;
+      }
+    }
+  }
+
+  if (!found) {
+    *updated_mbr = node.BoundingBox();
+    return false;
+  }
+
+  // Condense: a non-root node that dropped below the minimum fill is
+  // dissolved and its entries queued for reinsertion at their level.
+  if (page != root_ && node.entries.size() < min_fill) {
+    for (const RTreeEntry& e : node.entries) {
+      orphans->push_back(Orphan{e, level_from_leaf});
+    }
+    *empty = true;
+    // The page itself is abandoned (no free-space management; see the
+    // BulkLoad note about page reuse).
+    return true;
+  }
+
+  WriteNode(page, node);
+  *updated_mbr = node.BoundingBox();
+  return true;
+}
+
+bool RTree::Delete(const Mbr& mbr, std::uint32_t id) {
+  std::vector<Orphan> orphans;
+  bool empty = false;
+  Mbr updated;
+  const bool found =
+      DeleteRecursive(root_, height_ - 1, mbr, id, &orphans, &empty, &updated);
+  if (!found) return false;
+  --size_;
+
+  // Reinsert condensed entries, deepest level first so the tree height is
+  // stable while higher-level orphans go back in.
+  std::sort(orphans.begin(), orphans.end(),
+            [](const Orphan& a, const Orphan& b) { return a.level < b.level; });
+  for (const Orphan& orphan : orphans) {
+    InsertAtLevel(orphan.entry, orphan.level);
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  for (;;) {
+    const RTreeNode root = ReadNode(root_);
+    if (root.is_leaf || root.entries.size() != 1) break;
+    root_ = root.entries[0].id;
+    --height_;
+  }
+  return true;
+}
+
+void RTree::KnnQuery(const Point& query, std::size_t k,
+                     std::vector<std::uint32_t>* out) const {
+  RTreeNnBrowser browser(this, query);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto result = browser.Next();
+    if (!result.found) break;
+    out->push_back(result.id);
+  }
+}
+
+void RTree::BulkLoad(std::vector<RTreeEntry> items) {
+  size_ = items.size();
+  if (items.empty()) {
+    RTreeNode empty_leaf;
+    root_ = WriteNewNode(empty_leaf);
+    height_ = 1;
+    return;
+  }
+
+  const std::size_t cap = MaxEntriesPerNode();
+  bool leaf_level = true;
+  std::uint32_t levels = 0;
+
+  // Repeatedly pack the current level with Sort-Tile-Recursive until a
+  // single node remains.
+  while (true) {
+    ++levels;
+    const std::size_t n = items.size();
+    const std::size_t node_count = (n + cap - 1) / cap;
+    if (node_count == 1) {
+      RTreeNode root;
+      root.is_leaf = leaf_level;
+      root.entries = std::move(items);
+      root_ = WriteNewNode(root);
+      height_ = levels;
+      return;
+    }
+
+    const std::size_t slab_count = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(node_count))));
+    const std::size_t slab_size =
+        ((node_count + slab_count - 1) / slab_count) * cap;
+
+    std::sort(items.begin(), items.end(),
+              [](const RTreeEntry& a, const RTreeEntry& b) {
+                return a.mbr.Center().x < b.mbr.Center().x;
+              });
+
+    std::vector<RTreeEntry> next_level;
+    for (std::size_t slab_start = 0; slab_start < n; slab_start += slab_size) {
+      const std::size_t slab_end = std::min(n, slab_start + slab_size);
+      std::sort(items.begin() + static_cast<std::ptrdiff_t>(slab_start),
+                items.begin() + static_cast<std::ptrdiff_t>(slab_end),
+                [](const RTreeEntry& a, const RTreeEntry& b) {
+                  return a.mbr.Center().y < b.mbr.Center().y;
+                });
+      for (std::size_t i = slab_start; i < slab_end; i += cap) {
+        const std::size_t end = std::min(slab_end, i + cap);
+        RTreeNode node;
+        node.is_leaf = leaf_level;
+        node.entries.assign(
+            items.begin() + static_cast<std::ptrdiff_t>(i),
+            items.begin() + static_cast<std::ptrdiff_t>(end));
+        const PageId page = WriteNewNode(node);
+        next_level.push_back(RTreeEntry{node.BoundingBox(), page});
+      }
+    }
+    items = std::move(next_level);
+    leaf_level = false;
+  }
+}
+
+void RTree::WindowQuery(const Mbr& window,
+                        std::vector<std::uint32_t>* out) const {
+  std::vector<RTreeEntry> entries;
+  WindowQueryEntries(window, &entries);
+  for (const RTreeEntry& e : entries) out->push_back(e.id);
+}
+
+void RTree::WindowQueryEntries(const Mbr& window,
+                               std::vector<RTreeEntry>* out) const {
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const RTreeNode node = ReadNode(page);
+    for (const RTreeEntry& e : node.entries) {
+      if (!e.mbr.Intersects(window)) continue;
+      if (node.is_leaf) {
+        out->push_back(e);
+      } else {
+        stack.push_back(e.id);
+      }
+    }
+  }
+}
+
+void RTree::ForEachEntry(
+    const std::function<void(const RTreeEntry&)>& fn) const {
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const RTreeNode node = ReadNode(page);
+    for (const RTreeEntry& e : node.entries) {
+      if (node.is_leaf) {
+        fn(e);
+      } else {
+        stack.push_back(e.id);
+      }
+    }
+  }
+}
+
+RTreeNnBrowser::RTreeNnBrowser(const RTree* tree, Point query,
+                               PrunePredicate prune)
+    : tree_(tree), query_(query), prune_(std::move(prune)) {
+  EnqueueNode(tree_->root_page());
+}
+
+void RTreeNnBrowser::EnqueueNode(PageId page) {
+  const RTreeNode node = tree_->ReadNode(page);
+  for (const RTreeEntry& e : node.entries) {
+    if (prune_ && prune_(e, node.is_leaf)) continue;
+    QueueItem item;
+    item.dist = e.mbr.MinDist(query_);
+    item.is_node = !node.is_leaf;
+    item.page = node.is_leaf ? kInvalidPage : e.id;
+    item.entry = e;
+    queue_.push(item);
+  }
+}
+
+RTreeNnBrowser::Result RTreeNnBrowser::Next() {
+  while (!queue_.empty()) {
+    const QueueItem top = queue_.top();
+    queue_.pop();
+    // Re-check the prune predicate at pop time: the caller's pruning state
+    // (e.g. the set of known skyline points in LBC) may have grown since the
+    // entry was enqueued.
+    if (prune_ && prune_(top.entry, !top.is_node)) continue;
+    if (top.is_node) {
+      EnqueueNode(top.page);
+      continue;
+    }
+    Result result;
+    result.found = true;
+    result.id = top.entry.id;
+    result.location = top.entry.mbr.Center();
+    result.distance = top.dist;
+    return result;
+  }
+  return Result{};
+}
+
+Dist RTreeNnBrowser::PeekLowerBound() const {
+  if (queue_.empty()) return kInfDist;
+  return queue_.top().dist;
+}
+
+}  // namespace msq

@@ -1,0 +1,192 @@
+// Disk-paged R-tree over 2-D rectangles/points.
+//
+// Used three ways in the reproduction, mirroring Section 6.1 of the paper:
+//   * "The edges are indexed by an R-tree on edge MBRs" — object generation
+//     and spatial location mapping traverse it;
+//   * "The objects are also indexed by an R-tree" — EDC step 1/3 and LBC
+//     step 1.1 run Euclidean skyline / NN / window queries over it;
+//   * the Euclidean multi-source skyline browser (euclid/bbs) walks its
+//     nodes directly with aggregate mindist keys.
+//
+// One node per 4 KB page; all node reads go through a BufferManager so
+// index I/O is measured. Construction supports both one-at-a-time Guttman
+// insertion (quadratic split) and STR bulk loading.
+#ifndef MSQ_INDEX_RTREE_H_
+#define MSQ_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+#include "geom/mbr.h"
+#include "geom/point.h"
+#include "storage/buffer_manager.h"
+
+namespace msq {
+
+// One slot of an R-tree node: a rectangle plus either a child page id
+// (internal node) or a user object id (leaf node).
+struct RTreeEntry {
+  Mbr mbr;
+  std::uint32_t id = 0;
+};
+
+// Decoded node image. Nodes are value-decoded out of the buffer pool so
+// pool evictions cannot invalidate a traversal in progress.
+struct RTreeNode {
+  bool is_leaf = true;
+  std::vector<RTreeEntry> entries;
+
+  Mbr BoundingBox() const;
+};
+
+class RTree {
+ public:
+  // Maximum entries per node such that a node serializes into one page.
+  static std::size_t MaxEntriesPerNode();
+
+  // Creates an empty tree whose nodes live in `buffer`'s disk space. The
+  // tree does not own the buffer manager.
+  explicit RTree(BufferManager* buffer);
+
+  // Inserts one rectangle (Guttman insert, quadratic split).
+  void Insert(const Mbr& mbr, std::uint32_t id);
+
+  // Removes the entry with this exact (mbr, id) pair (Guttman delete with
+  // tree condensation and orphan reinsertion). Returns whether it existed.
+  bool Delete(const Mbr& mbr, std::uint32_t id);
+
+  // Appends the ids of the k nearest entries to `query` (by MBR MinDist;
+  // exact distance for point entries), nearest first. Fewer than k when
+  // the tree is smaller.
+  void KnnQuery(const Point& query, std::size_t k,
+                std::vector<std::uint32_t>* out) const;
+
+  // Replaces the tree contents with an STR bulk load of `items`.
+  void BulkLoad(std::vector<RTreeEntry> items);
+
+  // Appends the ids of all entries whose MBR intersects `window`.
+  void WindowQuery(const Mbr& window, std::vector<std::uint32_t>* out) const;
+
+  // Appends (id, mbr) of all entries whose MBR intersects `window`.
+  void WindowQueryEntries(const Mbr& window,
+                          std::vector<RTreeEntry>* out) const;
+
+  // Visits every leaf entry in an arbitrary order.
+  void ForEachEntry(
+      const std::function<void(const RTreeEntry&)>& fn) const;
+
+  std::size_t size() const { return size_; }
+  std::uint32_t height() const { return height_; }
+  PageId root_page() const { return root_; }
+
+  // Reads and decodes the node stored at `page` (public so skyline
+  // browsers can run their own best-first traversals).
+  RTreeNode ReadNode(PageId page) const;
+
+ private:
+  friend class RTreeNnBrowser;
+
+  PageId WriteNewNode(const RTreeNode& node);
+  void WriteNode(PageId page, const RTreeNode& node);
+
+  // Recursive insert of an entry destined for nodes at `target_level`
+  // (0 = leaf; reinsertion of condensed subtrees uses higher levels).
+  // Returns true and fills `*split_entry` when the child at `page` split
+  // and the caller must add the new sibling.
+  bool InsertRecursive(PageId page, std::uint32_t level_from_leaf,
+                       std::uint32_t target_level, const RTreeEntry& entry,
+                       RTreeEntry* split_entry, Mbr* updated_mbr);
+
+  // Inserts `entry` at `target_level`, handling root splits.
+  void InsertAtLevel(const RTreeEntry& entry, std::uint32_t target_level);
+
+  // An entry orphaned by tree condensation, remembered with the level it
+  // must be reinserted at.
+  struct Orphan {
+    RTreeEntry entry;
+    std::uint32_t level;
+  };
+
+  // Recursive delete. Returns true when the entry was found. Sets
+  // `*empty` when the node at `page` dropped below the minimum fill and
+  // its surviving entries were moved into `orphans`.
+  bool DeleteRecursive(PageId page, std::uint32_t level_from_leaf,
+                       const Mbr& mbr, std::uint32_t id,
+                       std::vector<Orphan>* orphans, bool* empty,
+                       Mbr* updated_mbr);
+
+  // Quadratic split of an overflowing entry set into two groups.
+  static void QuadraticSplit(std::vector<RTreeEntry>* entries,
+                             std::vector<RTreeEntry>* group_a,
+                             std::vector<RTreeEntry>* group_b);
+
+  // Child index with minimal enlargement (area tie-break).
+  static std::size_t ChooseSubtree(const RTreeNode& node, const Mbr& mbr);
+
+  BufferManager* buffer_;
+  PageId root_;
+  std::uint32_t height_ = 1;  // levels including the leaf level
+  std::size_t size_ = 0;
+};
+
+// Incremental best-first nearest-neighbor browser (Hjaltason & Samet
+// "distance browsing"). Yields leaf entries in non-decreasing Euclidean
+// distance from the query point. An optional prune predicate skips entries
+// (and whole subtrees) — LBC step 1.1 passes "is this region dominated by a
+// known network skyline point".
+class RTreeNnBrowser {
+ public:
+  // Decides whether an entry (and, for internal entries, its whole subtree)
+  // should be skipped. `is_leaf_entry` distinguishes data entries (id is an
+  // object id, mbr degenerate) from subtree entries.
+  using PrunePredicate =
+      std::function<bool(const RTreeEntry& entry, bool is_leaf_entry)>;
+
+  // `prune` may be empty. The predicate is evaluated both when an entry is
+  // enqueued and again when it is dequeued, so callers whose pruning state
+  // grows over time (e.g. LBC's skyline set) get retroactive pruning.
+  RTreeNnBrowser(const RTree* tree, Point query,
+                 PrunePredicate prune = nullptr);
+
+  // Result of one browsing step.
+  struct Result {
+    bool found = false;        // false => browsing exhausted
+    std::uint32_t id = 0;      // object id
+    Point location;            // entry MBR center (== the point for points)
+    Dist distance = kInfDist;  // Euclidean distance from the query point
+  };
+
+  // Returns the next-nearest not-pruned leaf entry.
+  Result Next();
+
+  // Distance key of the top of the search queue: a lower bound on every
+  // distance still to be returned. kInfDist when exhausted.
+  Dist PeekLowerBound() const;
+
+ private:
+  struct QueueItem {
+    Dist dist;
+    bool is_node;       // true: `page` is a node; false: leaf entry payload
+    PageId page;        // valid when is_node
+    RTreeEntry entry;   // valid when !is_node
+  };
+  struct QueueCmp {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      return a.dist > b.dist;
+    }
+  };
+
+  void EnqueueNode(PageId page);
+
+  const RTree* tree_;
+  Point query_;
+  PrunePredicate prune_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, QueueCmp> queue_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_INDEX_RTREE_H_

@@ -1,0 +1,72 @@
+#include "storage/buffer_manager.h"
+
+#include "common/check.h"
+
+namespace msq {
+
+BufferManager::BufferManager(DiskManager* disk, std::size_t frames)
+    : disk_(disk), frames_(frames) {
+  MSQ_CHECK(disk != nullptr);
+  MSQ_CHECK(frames >= 1);
+}
+
+Page* BufferManager::Fetch(PageId id, bool mark_dirty) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++stats_.hits;
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->dirty |= mark_dirty;
+    return &it->second->page;
+  }
+  ++stats_.misses;
+  if (lru_.size() >= frames_) EvictOne();
+  lru_.emplace_front();
+  Frame& frame = lru_.front();
+  frame.id = id;
+  frame.dirty = mark_dirty;
+  disk_->Read(id, &frame.page);
+  table_[id] = lru_.begin();
+  return &frame.page;
+}
+
+std::pair<PageId, Page*> BufferManager::AllocatePage() {
+  const PageId id = disk_->Allocate();
+  if (lru_.size() >= frames_) EvictOne();
+  lru_.emplace_front();
+  Frame& frame = lru_.front();
+  frame.id = id;
+  frame.dirty = true;
+  table_[id] = lru_.begin();
+  return {id, &frame.page};
+}
+
+void BufferManager::FlushAll() {
+  for (Frame& frame : lru_) {
+    if (frame.dirty) {
+      disk_->Write(frame.id, frame.page);
+      frame.dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+}
+
+void BufferManager::Clear() {
+  FlushAll();
+  lru_.clear();
+  table_.clear();
+}
+
+void BufferManager::EvictOne() {
+  MSQ_CHECK(!lru_.empty());
+  Frame& victim = lru_.back();
+  if (victim.dirty) {
+    disk_->Write(victim.id, victim.page);
+    ++stats_.dirty_writebacks;
+  }
+  table_.erase(victim.id);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+}  // namespace msq

@@ -1,0 +1,81 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace msq {
+
+PageId InMemoryDiskManager::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void InMemoryDiskManager::Read(PageId id, Page* out) {
+  MSQ_CHECK(id < pages_.size());
+  *out = *pages_[id];
+  ++reads_;
+}
+
+void InMemoryDiskManager::Write(PageId id, const Page& page) {
+  MSQ_CHECK(id < pages_.size());
+  *pages_[id] = page;
+  ++writes_;
+}
+
+std::unique_ptr<FileDiskManager> FileDiskManager::Open(const std::string& path,
+                                                       bool truncate) {
+  std::FILE* file = nullptr;
+  if (!truncate) {
+    file = std::fopen(path.c_str(), "r+b");
+  }
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+  }
+  if (file == nullptr) return nullptr;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  MSQ_CHECK(size >= 0);
+  MSQ_CHECK_MSG(static_cast<std::size_t>(size) % kPageSize == 0,
+                "file %s is not page-aligned", path.c_str());
+  return std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(file, static_cast<std::size_t>(size) / kPageSize));
+}
+
+FileDiskManager::FileDiskManager(std::FILE* file, std::size_t page_count)
+    : file_(file), page_count_(page_count) {}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageId FileDiskManager::Allocate() {
+  Page zero{};
+  std::fseek(file_, static_cast<long>(page_count_ * kPageSize), SEEK_SET);
+  const std::size_t written =
+      std::fwrite(zero.data.data(), 1, kPageSize, file_);
+  MSQ_CHECK(written == kPageSize);
+  return static_cast<PageId>(page_count_++);
+}
+
+void FileDiskManager::Read(PageId id, Page* out) {
+  MSQ_CHECK(id < page_count_);
+  std::fseek(file_, static_cast<long>(static_cast<std::size_t>(id) * kPageSize),
+             SEEK_SET);
+  const std::size_t got = std::fread(out->data.data(), 1, kPageSize, file_);
+  MSQ_CHECK(got == kPageSize);
+  ++reads_;
+}
+
+void FileDiskManager::Write(PageId id, const Page& page) {
+  MSQ_CHECK(id < page_count_);
+  std::fseek(file_, static_cast<long>(static_cast<std::size_t>(id) * kPageSize),
+             SEEK_SET);
+  const std::size_t written =
+      std::fwrite(page.data.data(), 1, kPageSize, file_);
+  MSQ_CHECK(written == kPageSize);
+  std::fflush(file_);
+  ++writes_;
+}
+
+}  // namespace msq

@@ -1,0 +1,76 @@
+// Fixed-size disk page, the unit of I/O accounting in all experiments.
+#ifndef MSQ_STORAGE_PAGE_H_
+#define MSQ_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace msq {
+
+// The paper's experiment setup: "The disk page size is set to 4KB".
+inline constexpr std::size_t kPageSize = 4096;
+
+// Raw page payload. Structured readers/writers (PageWriter/PageReader)
+// serialize typed records into it.
+struct Page {
+  std::array<std::byte, kPageSize> data{};
+};
+
+// Sequential typed writer into a page. Aborts on overflow — callers size
+// their records to the page before writing (the pagers compute capacity
+// up front).
+class PageWriter {
+ public:
+  explicit PageWriter(Page* page) : page_(page) {}
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MSQ_CHECK(offset_ + sizeof(T) <= kPageSize);
+    std::memcpy(page_->data.data() + offset_, &value, sizeof(T));
+    offset_ += sizeof(T);
+  }
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return kPageSize - offset_; }
+
+ private:
+  Page* page_;
+  std::size_t offset_ = 0;
+};
+
+// Sequential typed reader from a page.
+class PageReader {
+ public:
+  explicit PageReader(const Page* page) : page_(page) {}
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MSQ_CHECK(offset_ + sizeof(T) <= kPageSize);
+    T value;
+    std::memcpy(&value, page_->data.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  void Seek(std::size_t offset) {
+    MSQ_CHECK(offset <= kPageSize);
+    offset_ = offset;
+  }
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  const Page* page_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_STORAGE_PAGE_H_

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "bench_support/metrics.h"
+#include "bench_support/table.h"
+
+namespace msq {
+namespace {
+
+TEST(StatsAccumulatorTest, EmptyMeansZero) {
+  StatsAccumulator acc;
+  EXPECT_EQ(acc.runs(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean_candidates(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean_total_seconds(), 0.0);
+}
+
+TEST(StatsAccumulatorTest, MeansOverRuns) {
+  StatsAccumulator acc;
+  QueryStats a;
+  a.candidate_count = 10;
+  a.skyline_size = 2;
+  a.network_pages = 100;
+  a.index_pages = 4;
+  a.settled_nodes = 1000;
+  a.total_seconds = 1.0;
+  a.initial_seconds = 0.25;
+  QueryStats b;
+  b.candidate_count = 20;
+  b.skyline_size = 4;
+  b.network_pages = 200;
+  b.index_pages = 8;
+  b.settled_nodes = 3000;
+  b.total_seconds = 3.0;
+  b.initial_seconds = 0.75;
+  acc.Add(a);
+  acc.Add(b);
+  EXPECT_EQ(acc.runs(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean_candidates(), 15.0);
+  EXPECT_DOUBLE_EQ(acc.mean_skyline(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.mean_network_pages(), 150.0);
+  EXPECT_DOUBLE_EQ(acc.mean_index_pages(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.mean_settled(), 2000.0);
+  EXPECT_DOUBLE_EQ(acc.mean_total_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.mean_initial_seconds(), 0.5);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  EXPECT_EQ(table.ToString(),
+            "name    v\n"
+            "a       1\n"
+            "longer  22\n");
+}
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter table({"x", "y"});
+  EXPECT_EQ(table.ToString(), "x  y\n");
+}
+
+TEST(TablePrinterTest, RaggedRowsTolerated) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("1\n"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericFormatters) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fixed(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Integer(41.6), "42");
+  EXPECT_EQ(TablePrinter::Integer(-0.2), "0");
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,86 @@
+// Death tests: invariant violations must abort loudly rather than corrupt
+// query results (common/check.h's contract).
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "graph/dijkstra.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(MSQ_CHECK(1 == 2), "MSQ_CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckMsgIncludesExplanation) {
+  EXPECT_DEATH(MSQ_CHECK_MSG(false, "context %d", 42), "context 42");
+}
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  MSQ_CHECK(true);
+  MSQ_CHECK_MSG(1 + 1 == 2, "never printed");
+}
+
+TEST(CheckDeathTest, PageWriterOverflowAborts) {
+  EXPECT_DEATH(
+      {
+        Page page;
+        PageWriter writer(&page);
+        for (std::size_t i = 0; i <= kPageSize / 8; ++i) {
+          writer.Write<std::uint64_t>(i);
+        }
+      },
+      "MSQ_CHECK failed");
+}
+
+TEST(CheckDeathTest, DiskReadOutOfRangeAborts) {
+  EXPECT_DEATH(
+      {
+        InMemoryDiskManager disk;
+        Page page;
+        disk.Read(5, &page);
+      },
+      "MSQ_CHECK failed");
+}
+
+TEST(CheckDeathTest, DijkstraRejectsInvalidSource) {
+  const auto run = [] {
+    RoadNetwork network = testing::MakeLineNetwork(3);
+    InMemoryDiskManager disk;
+    BufferManager buffer(&disk, 16);
+    GraphPager pager(&network, &buffer);
+    Location bad;
+    bad.edge = 99;
+    DijkstraSearch search(&pager, bad);
+  };
+  EXPECT_DEATH(run(), "MSQ_CHECK failed");
+}
+
+TEST(CheckDeathTest, QueryValidationRejectsEmptySources) {
+  const auto run = [] {
+    auto workload = testing::MakeRandomWorkload(50, 60, 0.5, 1);
+    SkylineQuerySpec spec;  // no sources
+    ValidateQuery(workload->dataset(), spec);
+  };
+  EXPECT_DEATH(run(), "at least one source");
+}
+
+TEST(CheckDeathTest, QueryValidationRejectsInvalidLocation) {
+  const auto run = [] {
+    auto workload = testing::MakeRandomWorkload(50, 60, 0.5, 1);
+    SkylineQuerySpec spec;
+    Location bad;
+    bad.edge = 9999;
+    spec.sources.push_back(bad);
+    ValidateQuery(workload->dataset(), spec);
+  };
+  EXPECT_DEATH(run(), "invalid");
+}
+
+}  // namespace
+}  // namespace msq

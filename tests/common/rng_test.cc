@@ -1,0 +1,104 @@
+#include "common/rng.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace msq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleCoversRange) {
+  Rng rng(9);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(RngTest, NextBoundedWithinBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedHitsAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextInRange(5, 5), 5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,168 @@
+#include "core/aggregate_nn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+TEST(AggregateScoreTest, SumAndMax) {
+  EXPECT_DOUBLE_EQ(AggregateScore(AggregateFn::kSum, {1, 2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(AggregateScore(AggregateFn::kMax, {1, 5, 3}), 5.0);
+  EXPECT_DOUBLE_EQ(AggregateScore(AggregateFn::kSum, {}), 0.0);
+}
+
+TEST(AggregateNnTest, IerMatchesNaiveSum) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto workload = testing::MakeRandomWorkload(250, 350, 0.5, seed);
+    const auto spec = workload->SampleQuery(3, seed);
+    const auto naive = RunAggregateNnNaive(workload->dataset(), spec,
+                                           AggregateFn::kSum, 5);
+    const auto ier = RunAggregateNnIer(workload->dataset(), spec,
+                                       AggregateFn::kSum, 5);
+    ASSERT_EQ(ier.entries.size(), naive.entries.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < ier.entries.size(); ++i) {
+      // Ties can permute objects; scores must agree position-wise.
+      EXPECT_NEAR(ier.entries[i].score, naive.entries[i].score, 1e-9)
+          << "seed " << seed << " rank " << i;
+    }
+  }
+}
+
+TEST(AggregateNnTest, IerMatchesNaiveMax) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto workload = testing::MakeRandomWorkload(250, 350, 0.5, seed + 20);
+    const auto spec = workload->SampleQuery(4, seed);
+    const auto naive = RunAggregateNnNaive(workload->dataset(), spec,
+                                           AggregateFn::kMax, 3);
+    const auto ier = RunAggregateNnIer(workload->dataset(), spec,
+                                       AggregateFn::kMax, 3);
+    ASSERT_EQ(ier.entries.size(), naive.entries.size());
+    for (std::size_t i = 0; i < ier.entries.size(); ++i) {
+      EXPECT_NEAR(ier.entries[i].score, naive.entries[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(AggregateNnTest, ScoresAscending) {
+  auto workload = testing::MakeRandomWorkload(200, 280, 0.5, 11);
+  const auto spec = workload->SampleQuery(3, 2);
+  const auto result = RunAggregateNnIer(workload->dataset(), spec,
+                                        AggregateFn::kSum, 10);
+  for (std::size_t i = 1; i < result.entries.size(); ++i) {
+    EXPECT_LE(result.entries[i - 1].score,
+              result.entries[i].score + 1e-12);
+  }
+}
+
+TEST(AggregateNnTest, ScoreConsistentWithDistances) {
+  auto workload = testing::MakeRandomWorkload(200, 280, 0.5, 13);
+  const auto spec = workload->SampleQuery(3, 4);
+  const auto result = RunAggregateNnIer(workload->dataset(), spec,
+                                        AggregateFn::kSum, 5);
+  for (const auto& entry : result.entries) {
+    EXPECT_NEAR(entry.score, AggregateScore(AggregateFn::kSum,
+                                            entry.distances),
+                1e-12);
+    EXPECT_EQ(entry.distances.size(), spec.sources.size());
+  }
+}
+
+TEST(AggregateNnTest, KLargerThanObjects) {
+  RoadNetwork network = testing::MakeLineNetwork(4);
+  const Dist len = network.EdgeAt(0).length;
+  auto workload = testing::MakeWorkload(std::move(network),
+                                        {{0, len / 2}, {2, len / 2}});
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}, {2, len}};
+  const auto result = RunAggregateNnIer(workload->dataset(), spec,
+                                        AggregateFn::kSum, 10);
+  EXPECT_EQ(result.entries.size(), 2u);
+}
+
+TEST(AggregateNnTest, SingleQueryPointIsNetworkNn) {
+  auto workload = testing::MakeRandomWorkload(200, 280, 0.5, 17);
+  const auto spec = workload->SampleQuery(1, 3);
+  const auto ann = RunAggregateNnIer(workload->dataset(), spec,
+                                     AggregateFn::kSum, 1);
+  const auto naive = RunAggregateNnNaive(workload->dataset(), spec,
+                                         AggregateFn::kSum, 1);
+  ASSERT_EQ(ann.entries.size(), 1u);
+  EXPECT_NEAR(ann.entries[0].score, naive.entries[0].score, 1e-9);
+}
+
+TEST(AggregateNnTest, IerExaminesFewerCandidates) {
+  auto workload = testing::MakeRandomWorkload(400, 560, 1.0, 19);
+  const auto spec = workload->SampleQuery(3, 5);
+  const auto ier = RunAggregateNnIer(workload->dataset(), spec,
+                                     AggregateFn::kSum, 3);
+  EXPECT_LT(ier.stats.candidate_count, workload->objects().size());
+}
+
+TEST(AggregateNnTest, UnreachableObjectsExcluded) {
+  RoadNetwork network;
+  network.AddNode({0, 0});
+  network.AddNode({0.4, 0});
+  network.AddNode({0.6, 0.5});
+  network.AddNode({1.0, 0.5});
+  const EdgeId mainland = network.AddEdge(0, 1);
+  const EdgeId island = network.AddEdge(2, 3);
+  network.Finalize();
+  auto workload = testing::MakeWorkload(
+      std::move(network), {{mainland, 0.2}, {island, 0.2}});
+  SkylineQuerySpec spec;
+  spec.sources = {{mainland, 0.0}};
+  const auto result = RunAggregateNnIer(workload->dataset(), spec,
+                                        AggregateFn::kSum, 5);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].object, 0u);
+}
+
+// Property sweep: IER equals the naive oracle across aggregate functions,
+// k values, query counts, and seeds.
+struct AnnSweepParam {
+  std::uint64_t seed;
+  AggregateFn fn;
+  std::size_t k;
+  std::size_t query_count;
+};
+
+void PrintTo(const AnnSweepParam& p, std::ostream* os) {
+  *os << "seed" << p.seed << "_fn"
+      << (p.fn == AggregateFn::kSum ? "sum" : "max") << "_k" << p.k << "_q"
+      << p.query_count;
+}
+
+class AggregateNnSweepTest
+    : public ::testing::TestWithParam<AnnSweepParam> {};
+
+TEST_P(AggregateNnSweepTest, IerMatchesNaive) {
+  const AnnSweepParam& p = GetParam();
+  auto workload = testing::MakeRandomWorkload(220, 300, 0.5, p.seed);
+  const auto spec = workload->SampleQuery(p.query_count, p.seed + 3);
+  const auto naive =
+      RunAggregateNnNaive(workload->dataset(), spec, p.fn, p.k);
+  const auto ier = RunAggregateNnIer(workload->dataset(), spec, p.fn, p.k);
+  ASSERT_EQ(ier.entries.size(), naive.entries.size());
+  for (std::size_t i = 0; i < ier.entries.size(); ++i) {
+    EXPECT_NEAR(ier.entries[i].score, naive.entries[i].score, 1e-9)
+        << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AggregateNnSweepTest,
+    ::testing::Values(AnnSweepParam{201, AggregateFn::kSum, 1, 2},
+                      AnnSweepParam{202, AggregateFn::kSum, 5, 3},
+                      AnnSweepParam{203, AggregateFn::kSum, 20, 4},
+                      AnnSweepParam{204, AggregateFn::kMax, 1, 2},
+                      AnnSweepParam{205, AggregateFn::kMax, 5, 3},
+                      AnnSweepParam{206, AggregateFn::kMax, 20, 5},
+                      AnnSweepParam{207, AggregateFn::kSum, 3, 1},
+                      AnnSweepParam{208, AggregateFn::kMax, 3, 1}));
+
+}  // namespace
+}  // namespace msq

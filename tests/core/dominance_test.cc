@@ -1,0 +1,83 @@
+#include "core/dominance.h"
+
+#include <gtest/gtest.h>
+
+namespace msq {
+namespace {
+
+TEST(DominanceTest, StrictDominance) {
+  EXPECT_TRUE(Dominates({1, 2}, {2, 3}));
+  EXPECT_TRUE(Dominates({1, 3}, {2, 3}));  // tie in one dim, strict other
+  EXPECT_FALSE(Dominates({1, 2}, {1, 2}));  // equal: not dominance
+  EXPECT_FALSE(Dominates({1, 4}, {2, 3}));  // incomparable
+  EXPECT_FALSE(Dominates({2, 3}, {1, 4}));
+}
+
+TEST(DominanceTest, SingleDimension) {
+  EXPECT_TRUE(Dominates({1}, {2}));
+  EXPECT_FALSE(Dominates({2}, {1}));
+  EXPECT_FALSE(Dominates({1}, {1}));
+}
+
+TEST(DominanceTest, InfinityDominatedByFinite) {
+  EXPECT_TRUE(Dominates({1, 1}, {1, kInfDist}));
+  EXPECT_FALSE(Dominates({1, kInfDist}, {1, 1}));
+}
+
+TEST(DominanceTest, DominatesOrEqual) {
+  EXPECT_TRUE(DominatesOrEqual({1, 2}, {1, 2}));
+  EXPECT_TRUE(DominatesOrEqual({1, 2}, {2, 3}));
+  EXPECT_FALSE(DominatesOrEqual({1, 4}, {2, 3}));
+}
+
+TEST(DominanceTest, AllFinite) {
+  EXPECT_TRUE(AllFinite({1, 2, 3}));
+  EXPECT_FALSE(AllFinite({1, kInfDist}));
+  EXPECT_TRUE(AllFinite({}));
+}
+
+TEST(SkylineIndicesTest, BasicSkyline) {
+  const std::vector<DistVector> vectors = {
+      {1, 5}, {2, 4}, {3, 3}, {2, 6}, {5, 5}};
+  // {2,6} dominated by {1,5} and {2,4}; {5,5} dominated by {3,3}.
+  EXPECT_EQ(SkylineIndices(vectors), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SkylineIndicesTest, AllIncomparable) {
+  const std::vector<DistVector> vectors = {{1, 3}, {2, 2}, {3, 1}};
+  EXPECT_EQ(SkylineIndices(vectors).size(), 3u);
+}
+
+TEST(SkylineIndicesTest, SinglePoint) {
+  EXPECT_EQ(SkylineIndices({{7, 7}}), (std::vector<std::size_t>{0}));
+}
+
+TEST(SkylineIndicesTest, Empty) {
+  EXPECT_TRUE(SkylineIndices({}).empty());
+}
+
+TEST(SkylineIndicesTest, DuplicatesAllKept) {
+  const std::vector<DistVector> vectors = {{1, 1}, {1, 1}, {2, 2}};
+  EXPECT_EQ(SkylineIndices(vectors), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SkylineIndicesTest, NonFiniteExcluded) {
+  const std::vector<DistVector> vectors = {{kInfDist, 1}, {5, 5}};
+  EXPECT_EQ(SkylineIndices(vectors), (std::vector<std::size_t>{1}));
+}
+
+TEST(SkylineIndicesTest, ChainOfDominance) {
+  const std::vector<DistVector> vectors = {{3, 3}, {2, 2}, {1, 1}};
+  // Later entries dominate earlier ones; only the last survives.
+  EXPECT_EQ(SkylineIndices(vectors), (std::vector<std::size_t>{2}));
+}
+
+TEST(SkylineIndicesTest, HigherDimensions) {
+  const std::vector<DistVector> vectors = {
+      {1, 2, 3, 4}, {2, 1, 4, 3}, {1, 2, 3, 5}, {0, 9, 9, 9}};
+  // {1,2,3,5} dominated by {1,2,3,4}; others incomparable.
+  EXPECT_EQ(SkylineIndices(vectors), (std::vector<std::size_t>{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace msq

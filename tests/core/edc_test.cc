@@ -1,0 +1,154 @@
+#include "core/edc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+TEST(EdcTest, BatchMatchesNaiveOnRandomWorkloads) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto workload = testing::MakeRandomWorkload(250, 350, 0.4, seed);
+    const auto spec = workload->SampleQuery(3, seed);
+    const auto expected = RunNaive(workload->dataset(), spec);
+    const auto got = RunEdc(workload->dataset(), spec);
+    EXPECT_EQ(testing::SkylineIds(got), testing::SkylineIds(expected))
+        << "seed " << seed;
+  }
+}
+
+TEST(EdcTest, IncrementalMatchesBatch) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto workload = testing::MakeRandomWorkload(220, 300, 0.5, seed + 10);
+    const auto spec = workload->SampleQuery(3, seed);
+    const auto batch = RunEdc(workload->dataset(), spec,
+                              EdcOptions{.incremental = false});
+    const auto inc = RunEdc(workload->dataset(), spec,
+                            EdcOptions{.incremental = true});
+    EXPECT_EQ(testing::SkylineIds(inc), testing::SkylineIds(batch))
+        << "seed " << seed;
+  }
+}
+
+TEST(EdcTest, SingleQueryPoint) {
+  RoadNetwork network = testing::MakeLineNetwork(6);
+  const Dist len = network.EdgeAt(0).length;
+  auto workload = testing::MakeWorkload(
+      std::move(network), {{0, len * 0.5}, {3, len * 0.5}, {4, len * 0.5}});
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}};
+  const auto result = RunEdc(workload->dataset(), spec);
+  EXPECT_EQ(testing::SkylineIds(result), (std::vector<ObjectId>{0}));
+}
+
+TEST(EdcTest, CandidateCountAtLeastSkylineSize) {
+  auto workload = testing::MakeRandomWorkload(300, 400, 0.5, 13);
+  const auto spec = workload->SampleQuery(4, 4);
+  const auto result = RunEdc(workload->dataset(), spec);
+  EXPECT_GE(result.stats.candidate_count, result.skyline.size());
+}
+
+TEST(EdcTest, IncrementalReportsProgressively) {
+  auto workload = testing::MakeRandomWorkload(300, 420, 0.6, 29);
+  const auto spec = workload->SampleQuery(3, 5);
+  std::size_t reported = 0;
+  const auto result =
+      RunEdc(workload->dataset(), spec, EdcOptions{.incremental = true},
+             [&](const SkylineEntry&) { ++reported; });
+  EXPECT_EQ(reported, result.skyline.size());
+}
+
+TEST(EdcTest, StaticAttributesSupported) {
+  for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+    auto workload = testing::MakeRandomWorkload(150, 200, 0.5, seed,
+                                                /*attr_dims=*/1);
+    const auto spec = workload->SampleQuery(2, seed);
+    const auto expected = RunNaive(workload->dataset(), spec);
+    const auto got = RunEdc(workload->dataset(), spec);
+    EXPECT_EQ(testing::SkylineIds(got), testing::SkylineIds(expected))
+        << "seed " << seed;
+  }
+}
+
+TEST(EdcTest, DenseNetworkSmallCandidateSet) {
+  // On a dense grid, Euclidean and network distances are close (δ small),
+  // so EDC's candidate set should stay well below |D|.
+  auto workload = testing::MakeRandomWorkload(600, 1100, 1.0, 3);
+  const auto spec = workload->SampleQuery(3, 1);
+  const auto result = RunEdc(workload->dataset(), spec);
+  EXPECT_LT(result.stats.candidate_count, workload->objects().size());
+}
+
+// Demonstrates the published algorithm's intrinsic incompleteness (see
+// EdcOptions::paper_faithful): a network skyline point that is (a) not a
+// Euclidean skyline point and (b) outside every shifted hypercube window is
+// never fetched. Construction: object e Euclid-dominates o, but a winding
+// road makes e network-far from q2 while o has a fast road — o becomes an
+// incomparable network skyline point with dE(o,q1) > dN(e,q1), placing it
+// outside e's window.
+TEST(EdcTest, KnownLimitationPaperFaithfulMissesIncomparablePoint) {
+  RoadNetwork network;
+  const NodeId q1_node = network.AddNode({0.0, 0.0});
+  const NodeId pe = network.AddNode({0.1, 0.0});
+  const NodeId po = network.AddNode({0.0333, 0.1972});
+  const NodeId q2_node = network.AddNode({0.6, 0.0});
+  const EdgeId q1_pe = network.AddEdge(q1_node, pe, 0.15);    // winding
+  const EdgeId pe_q2 = network.AddEdge(pe, q2_node, 9.85);    // very slow
+  const EdgeId q1_po = network.AddEdge(q1_node, po, 0.2);
+  network.AddEdge(po, q2_node, 0.6);
+  network.Finalize();
+
+  // e at node pe (end of the winding road), o at node po.
+  auto workload = testing::MakeWorkload(std::move(network),
+                                        {{q1_pe, 0.15}, {q1_po, 0.2}});
+  SkylineQuerySpec spec;
+  spec.sources = {{q1_pe, 0.0}, {pe_q2, 9.85}};  // at q1_node and q2_node
+
+  // Ground truth: both objects are network skyline points.
+  const auto naive = RunNaive(workload->dataset(), spec);
+  ASSERT_EQ(testing::SkylineIds(naive), (std::vector<ObjectId>{0, 1}));
+
+  // The published algorithm misses o (object 1).
+  const auto faithful = RunEdc(workload->dataset(), spec,
+                               EdcOptions{.paper_faithful = true});
+  EXPECT_EQ(testing::SkylineIds(faithful), (std::vector<ObjectId>{0}));
+
+  // The default completion pass restores exactness, in both variants.
+  const auto completed = RunEdc(workload->dataset(), spec);
+  EXPECT_EQ(testing::SkylineIds(completed), (std::vector<ObjectId>{0, 1}));
+  const auto completed_inc = RunEdc(workload->dataset(), spec,
+                                    EdcOptions{.incremental = true});
+  EXPECT_EQ(testing::SkylineIds(completed_inc),
+            (std::vector<ObjectId>{0, 1}));
+}
+
+TEST(EdcTest, PaperFaithfulOftenExactOnLowDetourNetworks) {
+  // The published EDC misses incomparable points on many instances (a
+  // seed scan of this configuration shows ~half the seeds losing 1-5
+  // skyline points); on these fixed seeds it happens to be exact, which
+  // pins the faithful mode's behaviour and its agreement with the oracle
+  // when the candidate window suffices.
+  for (const std::uint64_t seed : {2, 3, 4}) {
+    auto workload = testing::MakeRandomWorkload(400, 1000, 0.5, seed);
+    const auto spec = workload->SampleQuery(3, seed);
+    const auto expected = RunNaive(workload->dataset(), spec);
+    const auto faithful = RunEdc(workload->dataset(), spec,
+                                 EdcOptions{.paper_faithful = true});
+    EXPECT_EQ(testing::SkylineIds(faithful), testing::SkylineIds(expected))
+        << "seed " << seed;
+  }
+}
+
+TEST(EdcTest, UsesAStarNotFullSweep) {
+  // EDC's settled-node count must stay below |Q| full network sweeps.
+  auto workload = testing::MakeRandomWorkload(800, 1150, 0.3, 37);
+  const auto spec = workload->SampleQuery(3, 6);
+  const auto result = RunEdc(workload->dataset(), spec);
+  EXPECT_LT(result.stats.settled_nodes,
+            3 * workload->network().node_count());
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,133 @@
+#include "core/naive.h"
+
+#include <gtest/gtest.h>
+
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+TEST(NaiveTest, SingleQuerySingleObject) {
+  RoadNetwork network = testing::MakeLineNetwork(3);
+  const Dist len = network.EdgeAt(0).length;
+  auto workload = testing::MakeWorkload(std::move(network), {{1, len / 2}});
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}};
+  const auto result = RunNaive(workload->dataset(), spec);
+  ASSERT_EQ(result.skyline.size(), 1u);
+  EXPECT_EQ(result.skyline[0].object, 0u);
+  EXPECT_NEAR(result.skyline[0].vector[0], len * 1.5, 1e-12);
+}
+
+TEST(NaiveTest, SingleQueryOnlyNearestSurvives) {
+  RoadNetwork network = testing::MakeLineNetwork(5);
+  const Dist len = network.EdgeAt(0).length;
+  auto workload = testing::MakeWorkload(
+      std::move(network), {{0, len * 0.5}, {2, len * 0.5}, {3, len * 0.5}});
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}};
+  const auto result = RunNaive(workload->dataset(), spec);
+  ASSERT_EQ(result.skyline.size(), 1u);
+  EXPECT_EQ(result.skyline[0].object, 0u);
+}
+
+TEST(NaiveTest, TwoQueriesLineNetworkHandComputed) {
+  // Line of 5 nodes (edges of length 0.25). Queries at the two ends.
+  // Objects at offsets 0.1, 0.5, 0.9 along the line: all three are skyline
+  // (distance vectors (0.1,0.9), (0.5,0.5), (0.9,0.1)).
+  RoadNetwork network = testing::MakeLineNetwork(5);
+  const Dist len = network.EdgeAt(0).length;  // 0.25
+  auto workload = testing::MakeWorkload(
+      std::move(network),
+      {{0, len * 0.4}, {2, 0.0}, {3, len * 0.6}});
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}, {3, len}};
+  const auto result = RunNaive(workload->dataset(), spec);
+  EXPECT_EQ(result.skyline.size(), 3u);
+}
+
+TEST(NaiveTest, DominatedMiddleObjectRemoved) {
+  // Objects at the same spot: one strictly farther from both queries.
+  RoadNetwork network = testing::MakeLineNetwork(5);
+  const Dist len = network.EdgeAt(0).length;
+  auto workload = testing::MakeWorkload(
+      std::move(network), {{1, len * 0.5}, {1, len * 0.5}, {2, len * 0.5}});
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}};
+  const auto result = RunNaive(workload->dataset(), spec);
+  // Both co-located nearest objects are skyline (equal vectors); the
+  // farther one is dominated.
+  EXPECT_EQ(testing::SkylineIds(result), (std::vector<ObjectId>{0, 1}));
+}
+
+TEST(NaiveTest, UnreachableObjectExcluded) {
+  RoadNetwork network;
+  network.AddNode({0, 0});
+  network.AddNode({0.5, 0});
+  network.AddNode({0, 1});
+  network.AddNode({0.5, 1});
+  const EdgeId main_edge = network.AddEdge(0, 1);
+  const EdgeId island = network.AddEdge(2, 3);
+  network.Finalize();
+  auto workload = testing::MakeWorkload(std::move(network),
+                                        {{main_edge, 0.1}, {island, 0.1}});
+  SkylineQuerySpec spec;
+  spec.sources = {{main_edge, 0.0}};
+  const auto result = RunNaive(workload->dataset(), spec);
+  EXPECT_EQ(testing::SkylineIds(result), (std::vector<ObjectId>{0}));
+}
+
+TEST(NaiveTest, StaticAttributesChangeSkyline) {
+  // Two objects: 1 is farther but cheaper; both skyline with attributes,
+  // only 0 without.
+  RoadNetwork network = testing::MakeLineNetwork(4);
+  const Dist len = network.EdgeAt(0).length;
+  std::vector<Location> objects = {{0, len * 0.5}, {2, len * 0.5}};
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}};
+  {
+    auto workload = testing::MakeWorkload(testing::MakeLineNetwork(4),
+                                          objects);
+    const auto result = RunNaive(workload->dataset(), spec);
+    EXPECT_EQ(testing::SkylineIds(result), (std::vector<ObjectId>{0}));
+  }
+  {
+    auto workload = testing::MakeWorkload(std::move(network), objects,
+                                          {{10.0}, {2.0}});
+    const auto result = RunNaive(workload->dataset(), spec);
+    EXPECT_EQ(testing::SkylineIds(result), (std::vector<ObjectId>{0, 1}));
+    // Vectors carry n + attr dims.
+    EXPECT_EQ(result.skyline[0].vector.size(), 2u);
+  }
+}
+
+TEST(NaiveTest, StatsPopulated) {
+  RoadNetwork network = testing::MakeGridNetwork(4);
+  auto workload = testing::MakeWorkload(std::move(network),
+                                        {{0, 0.1}, {5, 0.1}, {10, 0.1}});
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}, {20, 0.0}};
+  const auto result = RunNaive(workload->dataset(), spec);
+  EXPECT_EQ(result.stats.candidate_count, 3u);
+  EXPECT_EQ(result.stats.skyline_size, result.skyline.size());
+  EXPECT_GT(result.stats.network_pages, 0u);
+  EXPECT_GE(result.stats.total_seconds, 0.0);
+  EXPECT_LE(result.stats.initial_seconds,
+            result.stats.total_seconds + 1e-9);
+}
+
+TEST(NaiveTest, ProgressiveCallbackFires) {
+  RoadNetwork network = testing::MakeLineNetwork(4);
+  const Dist len = network.EdgeAt(0).length;
+  auto workload = testing::MakeWorkload(std::move(network),
+                                        {{0, len * 0.5}, {2, len * 0.5}});
+  SkylineQuerySpec spec;
+  spec.sources = {{0, 0.0}, {2, len}};
+  std::size_t reported = 0;
+  const auto result = RunNaive(workload->dataset(), spec,
+                               [&](const SkylineEntry&) { ++reported; });
+  EXPECT_EQ(reported, result.skyline.size());
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,119 @@
+#include "core/network_queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+// All (object, distance) pairs by brute force, ascending.
+std::vector<NetworkMatch> BruteForceAll(Workload& workload,
+                                        const Location& source) {
+  SkylineQuerySpec spec;
+  spec.sources = {source};
+  const auto vectors =
+      ComputeAllNetworkVectors(workload.dataset(), spec);
+  std::vector<NetworkMatch> all;
+  for (ObjectId id = 0; id < vectors.size(); ++id) {
+    if (std::isfinite(vectors[id][0])) {
+      all.push_back(NetworkMatch{id, vectors[id][0]});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const NetworkMatch& a, const NetworkMatch& b) {
+              return a.distance < b.distance;
+            });
+  return all;
+}
+
+TEST(NetworkKnnTest, MatchesBruteForce) {
+  auto workload = testing::MakeRandomWorkload(300, 420, 0.5, 3);
+  const Location source{0, 0.0};
+  const auto expected = BruteForceAll(*workload, source);
+  const auto got = NetworkKnn(workload->dataset(), source, 10);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9) << i;
+  }
+}
+
+TEST(NetworkKnnTest, KLargerThanObjectCount) {
+  RoadNetwork network = testing::MakeLineNetwork(4);
+  const Dist len = network.EdgeAt(0).length;
+  auto workload = testing::MakeWorkload(std::move(network),
+                                        {{0, len / 2}, {2, len / 2}});
+  const auto got = NetworkKnn(workload->dataset(), Location{0, 0.0}, 99);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(NetworkKnnTest, ZeroK) {
+  auto workload = testing::MakeRandomWorkload(100, 140, 0.5, 5);
+  EXPECT_TRUE(NetworkKnn(workload->dataset(), Location{0, 0.0}, 0).empty());
+}
+
+TEST(NetworkKnnTest, UnreachableObjectsSkipped) {
+  RoadNetwork network;
+  network.AddNode({0, 0});
+  network.AddNode({0.4, 0});
+  network.AddNode({0.6, 0.5});
+  network.AddNode({1.0, 0.5});
+  const EdgeId mainland = network.AddEdge(0, 1);
+  const EdgeId island = network.AddEdge(2, 3);
+  network.Finalize();
+  auto workload = testing::MakeWorkload(
+      std::move(network), {{mainland, 0.2}, {island, 0.2}});
+  const auto got = NetworkKnn(workload->dataset(), Location{mainland, 0.0},
+                              5);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].object, 0u);
+}
+
+TEST(NetworkRangeTest, MatchesBruteForce) {
+  auto workload = testing::MakeRandomWorkload(300, 420, 0.5, 7);
+  const Location source{3, 0.0};
+  const auto all = BruteForceAll(*workload, source);
+  const Dist radius = all[all.size() / 3].distance;  // a realized distance
+  const auto got = NetworkRange(workload->dataset(), source, radius);
+
+  std::size_t expected_count = 0;
+  for (const NetworkMatch& m : all) {
+    if (m.distance <= radius) ++expected_count;
+  }
+  EXPECT_EQ(got.size(), expected_count);
+  // Boundary inclusive: the object that defined the radius is included.
+  bool boundary_found = false;
+  for (const NetworkMatch& m : got) {
+    EXPECT_LE(m.distance, radius + 1e-12);
+    if (std::abs(m.distance - radius) < 1e-12) boundary_found = true;
+  }
+  EXPECT_TRUE(boundary_found);
+}
+
+TEST(NetworkRangeTest, ZeroRadius) {
+  RoadNetwork network = testing::MakeLineNetwork(3);
+  const Dist len = network.EdgeAt(0).length;
+  auto workload = testing::MakeWorkload(std::move(network),
+                                        {{0, len / 2}, {1, len / 2}});
+  // An object exactly at the query location has distance 0.
+  const auto got =
+      NetworkRange(workload->dataset(), Location{0, len / 2}, 0.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].object, 0u);
+}
+
+TEST(NetworkRangeTest, ResultsAscending) {
+  auto workload = testing::MakeRandomWorkload(200, 280, 1.0, 9);
+  const auto got =
+      NetworkRange(workload->dataset(), Location{0, 0.0}, 0.4);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].distance, got[i].distance + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,130 @@
+// Progressive-reporting invariants across the algorithms — the behaviour
+// behind the paper's initial-response-time measurements (Figures 5(c),
+// 6(c), 6(f)).
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/skyline_query.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+struct Report {
+  std::vector<SkylineEntry> entries;
+};
+
+Report Capture(Algorithm algorithm, Workload& workload,
+               const SkylineQuerySpec& spec) {
+  Report report;
+  RunSkylineQuery(algorithm, workload.dataset(), spec,
+                  [&](const SkylineEntry& entry) {
+                    report.entries.push_back(entry);
+                  });
+  return report;
+}
+
+class ProgressiveTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ProgressiveTest, CallbackEntriesAreFinalResults) {
+  auto workload = testing::MakeRandomWorkload(250, 350, 0.5, 7);
+  const auto spec = workload->SampleQuery(3, 4);
+  std::vector<SkylineEntry> streamed;
+  const auto result = RunSkylineQuery(
+      GetParam(), workload->dataset(), spec,
+      [&](const SkylineEntry& e) { streamed.push_back(e); });
+
+  // Every final entry was streamed (CE/LBC may stream tie-filtered
+  // extras, never fewer).
+  for (const SkylineEntry& entry : result.skyline) {
+    const bool found = std::any_of(
+        streamed.begin(), streamed.end(), [&](const SkylineEntry& s) {
+          return s.object == entry.object && s.vector == entry.vector;
+        });
+    EXPECT_TRUE(found) << "object " << entry.object << " not streamed by "
+                       << AlgorithmName(GetParam());
+  }
+  EXPECT_GE(streamed.size(), result.skyline.size());
+}
+
+TEST_P(ProgressiveTest, StreamedVectorsAreExact) {
+  auto workload = testing::MakeRandomWorkload(200, 280, 0.5, 11);
+  const auto spec = workload->SampleQuery(2, 6);
+  const auto oracle = RunNaive(workload->dataset(), spec);
+  const auto report = Capture(GetParam(), *workload, spec);
+  for (const SkylineEntry& entry : report.entries) {
+    bool matched = false;
+    for (const SkylineEntry& want : oracle.skyline) {
+      if (want.object != entry.object) continue;
+      matched = true;
+      ASSERT_EQ(entry.vector.size(), want.vector.size());
+      for (std::size_t d = 0; d < entry.vector.size(); ++d) {
+        EXPECT_NEAR(entry.vector[d], want.vector[d], 1e-9);
+      }
+    }
+    EXPECT_TRUE(matched) << AlgorithmName(GetParam()) << " streamed "
+                         << entry.object;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, ProgressiveTest,
+    ::testing::Values(Algorithm::kNaive, Algorithm::kCe, Algorithm::kEdc,
+                      Algorithm::kEdcIncremental, Algorithm::kLbc),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name{AlgorithmName(info.param)};
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(ProgressiveOrderTest, LbcReportsInAscendingSourceDistance) {
+  auto workload = testing::MakeRandomWorkload(300, 420, 0.5, 13);
+  auto spec = workload->SampleQuery(3, 8);
+  spec.lbc_source_index = 1;
+  std::vector<Dist> source_dists;
+  RunLbc(workload->dataset(), spec, LbcOptions{},
+         [&](const SkylineEntry& e) {
+           source_dists.push_back(e.vector[1]);
+         });
+  for (std::size_t i = 1; i < source_dists.size(); ++i) {
+    EXPECT_LE(source_dists[i - 1], source_dists[i] + 1e-9);
+  }
+}
+
+TEST(ProgressiveOrderTest, LbcFirstReportBeforeAnyOtherSearchWork) {
+  // Section 6.3: LBC's first skyline point involves only the source query
+  // point. With |Q| = 1 the whole query is the first report.
+  auto workload = testing::MakeRandomWorkload(200, 280, 0.5, 17);
+  const auto spec = workload->SampleQuery(1, 2);
+  std::size_t count = 0;
+  const auto result = RunLbc(workload->dataset(), spec, LbcOptions{},
+                             [&](const SkylineEntry&) { ++count; });
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(result.skyline.size(), 1u);
+}
+
+TEST(ProgressiveOrderTest, BatchEdcStreamsOnlyAtEnd) {
+  // Batch EDC cannot report before step 5: its initial response time is
+  // close to its total time.
+  auto workload = testing::MakeRandomWorkload(400, 560, 0.5, 19);
+  const auto spec = workload->SampleQuery(3, 3);
+  const auto result = RunSkylineQuery(Algorithm::kEdc, workload->dataset(),
+                                      spec);
+  EXPECT_GE(result.stats.initial_seconds,
+            result.stats.total_seconds * 0.5);
+}
+
+TEST(ProgressiveOrderTest, LbcInitialFarBelowTotal) {
+  auto workload = testing::MakeRandomWorkload(800, 1120, 0.5, 23);
+  const auto spec = workload->SampleQuery(4, 5);
+  const auto result = RunSkylineQuery(Algorithm::kLbc, workload->dataset(),
+                                      spec);
+  ASSERT_GT(result.skyline.size(), 1u);
+  EXPECT_LT(result.stats.initial_seconds,
+            result.stats.total_seconds * 0.5);
+}
+
+}  // namespace
+}  // namespace msq

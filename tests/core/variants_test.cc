@@ -1,0 +1,211 @@
+// Tests for the query variants beyond the paper: k-skyband and
+// range-constrained skyline.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/constrained.h"
+#include "core/naive.h"
+#include "core/skyband.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+std::vector<ObjectId> BandIds(const SkybandResult& result) {
+  std::vector<ObjectId> ids;
+  for (const auto& entry : result.entries) ids.push_back(entry.object);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// ----------------------------------------------------------- SkybandIndices
+
+TEST(SkybandIndicesTest, KOneIsSkyline) {
+  const std::vector<DistVector> vectors = {{1, 5}, {2, 4}, {3, 3}, {2, 6}};
+  const auto band = SkybandIndices(vectors, 1);
+  std::vector<std::size_t> ids;
+  for (const auto& [idx, count] : band) {
+    ids.push_back(idx);
+    EXPECT_EQ(count, 0u);
+  }
+  EXPECT_EQ(ids, SkylineIndices(vectors));
+}
+
+TEST(SkybandIndicesTest, KTwoAdmitsSinglyDominated) {
+  const std::vector<DistVector> vectors = {
+      {1, 1},   // skyline
+      {2, 2},   // dominated by {1,1} only -> in 2-band
+      {3, 3},   // dominated by two -> out
+  };
+  const auto band = SkybandIndices(vectors, 2);
+  ASSERT_EQ(band.size(), 2u);
+  EXPECT_EQ(band[0].first, 0u);
+  EXPECT_EQ(band[0].second, 0u);
+  EXPECT_EQ(band[1].first, 1u);
+  EXPECT_EQ(band[1].second, 1u);
+}
+
+TEST(SkybandIndicesTest, LargeKAdmitsEverything) {
+  const std::vector<DistVector> vectors = {{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_EQ(SkybandIndices(vectors, 100).size(), 3u);
+}
+
+TEST(SkybandIndicesTest, NonFiniteExcluded) {
+  const std::vector<DistVector> vectors = {{1, 1}, {kInfDist, 0}};
+  EXPECT_EQ(SkybandIndices(vectors, 5).size(), 1u);
+}
+
+// ----------------------------------------------------------- network skyband
+
+TEST(SkybandTest, KOneMatchesSkyline) {
+  auto workload = testing::MakeRandomWorkload(250, 350, 0.5, 5);
+  const auto spec = workload->SampleQuery(3, 2);
+  const auto skyline = RunNaive(workload->dataset(), spec);
+  const auto band = RunSkybandNaive(workload->dataset(), spec, 1);
+  EXPECT_EQ(BandIds(band), testing::SkylineIds(skyline));
+}
+
+TEST(SkybandTest, LbcMatchesNaiveAcrossK) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto workload = testing::MakeRandomWorkload(220, 300, 0.5, seed + 30);
+    const auto spec = workload->SampleQuery(3, seed);
+    for (const std::size_t k : {1, 2, 4}) {
+      const auto naive = RunSkybandNaive(workload->dataset(), spec, k);
+      const auto lbc = RunSkybandLbc(workload->dataset(), spec, k);
+      EXPECT_EQ(BandIds(lbc), BandIds(naive))
+          << "seed " << seed << " k " << k;
+      // Dominator counts agree entry-by-entry.
+      for (std::size_t i = 0; i < lbc.entries.size(); ++i) {
+        EXPECT_EQ(lbc.entries[i].object, naive.entries[i].object);
+        EXPECT_EQ(lbc.entries[i].dominator_count,
+                  naive.entries[i].dominator_count);
+      }
+    }
+  }
+}
+
+TEST(SkybandTest, BandsAreNested) {
+  auto workload = testing::MakeRandomWorkload(250, 340, 0.5, 41);
+  const auto spec = workload->SampleQuery(3, 3);
+  const auto band1 = BandIds(RunSkybandLbc(workload->dataset(), spec, 1));
+  const auto band2 = BandIds(RunSkybandLbc(workload->dataset(), spec, 2));
+  const auto band3 = BandIds(RunSkybandLbc(workload->dataset(), spec, 3));
+  EXPECT_TRUE(std::includes(band2.begin(), band2.end(), band1.begin(),
+                            band1.end()));
+  EXPECT_TRUE(std::includes(band3.begin(), band3.end(), band2.begin(),
+                            band2.end()));
+  EXPECT_LE(band1.size(), band2.size());
+  EXPECT_LE(band2.size(), band3.size());
+}
+
+TEST(SkybandTest, WithStaticAttributes) {
+  auto workload = testing::MakeRandomWorkload(150, 200, 0.5, 43,
+                                              /*attr_dims=*/1);
+  const auto spec = workload->SampleQuery(2, 2);
+  const auto naive = RunSkybandNaive(workload->dataset(), spec, 2);
+  const auto lbc = RunSkybandLbc(workload->dataset(), spec, 2);
+  EXPECT_EQ(BandIds(lbc), BandIds(naive));
+}
+
+TEST(SkybandTest, EntriesSortedByDominatorCount) {
+  auto workload = testing::MakeRandomWorkload(200, 280, 0.5, 47);
+  const auto spec = workload->SampleQuery(3, 5);
+  const auto band = RunSkybandLbc(workload->dataset(), spec, 3);
+  for (std::size_t i = 1; i < band.entries.size(); ++i) {
+    EXPECT_LE(band.entries[i - 1].dominator_count,
+              band.entries[i].dominator_count);
+  }
+}
+
+// ------------------------------------------------------ constrained skyline
+
+TEST(ConstrainedSkylineTest, LbcMatchesNaive) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto workload = testing::MakeRandomWorkload(250, 350, 0.5, seed + 50);
+    const auto spec = workload->SampleQuery(3, seed);
+    for (const Dist radius : {0.1, 0.3, 0.8}) {
+      const auto naive =
+          RunConstrainedSkylineNaive(workload->dataset(), spec, radius);
+      const auto lbc =
+          RunConstrainedSkylineLbc(workload->dataset(), spec, radius);
+      EXPECT_EQ(testing::SkylineIds(lbc), testing::SkylineIds(naive))
+          << "seed " << seed << " radius " << radius;
+    }
+  }
+}
+
+TEST(ConstrainedSkylineTest, AllResultsWithinRadius) {
+  auto workload = testing::MakeRandomWorkload(250, 350, 0.5, 61);
+  const auto spec = workload->SampleQuery(3, 4);
+  const Dist radius = 0.4;
+  const auto result =
+      RunConstrainedSkylineLbc(workload->dataset(), spec, radius);
+  for (const SkylineEntry& entry : result.skyline) {
+    for (std::size_t i = 0; i < spec.sources.size(); ++i) {
+      EXPECT_LE(entry.vector[i], radius + 1e-12);
+    }
+  }
+}
+
+TEST(ConstrainedSkylineTest, TinyRadiusYieldsEmpty) {
+  auto workload = testing::MakeRandomWorkload(200, 280, 0.1, 67);
+  const auto spec = workload->SampleQuery(3, 2);
+  const auto result =
+      RunConstrainedSkylineLbc(workload->dataset(), spec, 1e-9);
+  EXPECT_TRUE(result.skyline.empty());
+}
+
+TEST(ConstrainedSkylineTest, HugeRadiusMatchesUnconstrained) {
+  auto workload = testing::MakeRandomWorkload(250, 350, 0.5, 71);
+  const auto spec = workload->SampleQuery(3, 3);
+  const auto unconstrained = RunNaive(workload->dataset(), spec);
+  const auto constrained =
+      RunConstrainedSkylineLbc(workload->dataset(), spec, 1e9);
+  EXPECT_EQ(testing::SkylineIds(constrained),
+            testing::SkylineIds(unconstrained));
+}
+
+TEST(ConstrainedSkylineTest, EqualsInRangeSubsetOfSkyline) {
+  // A dominator of an in-range object is component-wise closer and so in
+  // range itself; hence the constrained skyline is exactly the in-range
+  // subset of the unconstrained skyline.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto workload = testing::MakeRandomWorkload(250, 350, 1.0, seed + 80);
+    const auto spec = workload->SampleQuery(3, seed);
+    const Dist radius = 0.35;
+    const auto unconstrained = RunNaive(workload->dataset(), spec);
+    std::vector<ObjectId> expected;
+    for (const SkylineEntry& entry : unconstrained.skyline) {
+      bool in_range = true;
+      for (std::size_t i = 0; i < spec.sources.size(); ++i) {
+        if (entry.vector[i] > radius) {
+          in_range = false;
+          break;
+        }
+      }
+      if (in_range) expected.push_back(entry.object);
+    }
+    std::sort(expected.begin(), expected.end());
+    const auto constrained = testing::SkylineIds(
+        RunConstrainedSkylineLbc(workload->dataset(), spec, radius));
+    EXPECT_EQ(constrained, expected) << "seed " << seed;
+  }
+}
+
+TEST(ConstrainedSkylineTest, WithAttributesAndLandmarks) {
+  WorkloadConfig config;
+  config.network = NetworkGenConfig{250, 330, 91, 0.4, 0.0};
+  config.object_density = 0.5;
+  config.static_attr_dims = 1;
+  config.landmark_count = 4;
+  Workload workload(config);
+  const auto spec = workload.SampleQuery(3, 2);
+  const auto naive =
+      RunConstrainedSkylineNaive(workload.dataset(), spec, 0.5);
+  const auto lbc = RunConstrainedSkylineLbc(workload.dataset(), spec, 0.5);
+  EXPECT_EQ(testing::SkylineIds(lbc), testing::SkylineIds(naive));
+}
+
+}  // namespace
+}  // namespace msq

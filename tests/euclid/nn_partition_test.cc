@@ -1,0 +1,85 @@
+#include "euclid/nn_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "euclid/bnl.h"
+
+namespace msq {
+namespace {
+
+std::vector<Point> RandomPoints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  return points;
+}
+
+TEST(NnPartitionTest, MatchesBnlTwoQueries) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto points = RandomPoints(200, seed);
+    const auto queries = RandomPoints(2, seed + 50);
+    EXPECT_EQ(NnPartitionEuclideanSkyline(points, queries),
+              BnlEuclideanSkyline(points, queries))
+        << "seed " << seed;
+  }
+}
+
+TEST(NnPartitionTest, MatchesBnlThreeQueries) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto points = RandomPoints(150, seed + 10);
+    const auto queries = RandomPoints(3, seed + 70);
+    EXPECT_EQ(NnPartitionEuclideanSkyline(points, queries),
+              BnlEuclideanSkyline(points, queries))
+        << "seed " << seed;
+  }
+}
+
+TEST(NnPartitionTest, GenericVectors) {
+  const std::vector<DistVector> vectors = {
+      {1, 5}, {2, 4}, {3, 3}, {2, 6}, {5, 5}};
+  EXPECT_EQ(NnPartitionSkyline(vectors), SkylineIndices(vectors));
+}
+
+TEST(NnPartitionTest, SinglePointAndEmpty) {
+  EXPECT_TRUE(NnPartitionSkyline({}).empty());
+  EXPECT_EQ(NnPartitionSkyline({{3, 4}}), (std::vector<std::size_t>{0}));
+}
+
+TEST(NnPartitionTest, DuplicateVectorsAllReported) {
+  const std::vector<DistVector> vectors = {{1, 1}, {1, 1}, {2, 2}};
+  EXPECT_EQ(NnPartitionSkyline(vectors), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(NnPartitionTest, NonFiniteExcluded) {
+  const std::vector<DistVector> vectors = {{kInfDist, 1}, {5, 5}};
+  EXPECT_EQ(NnPartitionSkyline(vectors), (std::vector<std::size_t>{1}));
+}
+
+TEST(NnPartitionTest, StatsExposeDuplicatedWork) {
+  // The paper's criticism of the NN-partition method: in >2 dimensions,
+  // duplicate skyline reports arise from independent to-do regions.
+  const auto points = RandomPoints(150, 9);
+  const auto queries = RandomPoints(4, 99);
+  NnPartitionStats stats;
+  const auto skyline = NnPartitionEuclideanSkyline(points, queries, &stats);
+  EXPECT_EQ(skyline, BnlEuclideanSkyline(points, queries));
+  EXPECT_GT(stats.regions_processed, skyline.size());
+  EXPECT_GT(stats.duplicate_reports, 0u);
+  EXPECT_GE(stats.nn_probes, stats.regions_processed);
+}
+
+TEST(NnPartitionTest, TwoDimensionsNoDuplicatesAfterDedup) {
+  // In 2-D the region dedupe leaves no duplicated reports — consistent
+  // with the paper noting the problem only "in a high dimensional space".
+  const auto points = RandomPoints(200, 13);
+  const auto queries = RandomPoints(2, 77);
+  NnPartitionStats stats;
+  NnPartitionEuclideanSkyline(points, queries, &stats);
+  EXPECT_EQ(stats.duplicate_reports, 0u);
+}
+
+}  // namespace
+}  // namespace msq

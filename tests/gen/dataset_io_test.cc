@@ -1,0 +1,160 @@
+#include "gen/dataset_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/skyline_query.h"
+#include "gen/network_gen.h"
+#include "gen/object_gen.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DatasetIoTest, LocationsRoundTrip) {
+  RoadNetwork network = testing::MakeGridNetwork(4);
+  const auto objects = GenerateObjects(network, 40, 3);
+  const std::string path = TempPath("msq_objects.txt");
+  ASSERT_TRUE(SaveLocations(path, objects));
+
+  std::string error;
+  const auto loaded = LoadLocations(path, network, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].edge, objects[i].edge);
+    EXPECT_DOUBLE_EQ((*loaded)[i].offset, objects[i].offset);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, EmptyLocations) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = TempPath("msq_empty_objects.txt");
+  ASSERT_TRUE(SaveLocations(path, {}));
+  std::string error;
+  const auto loaded = LoadLocations(path, network, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LocationsRejectInvalidEdge) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = TempPath("msq_bad_objects.txt");
+  std::ofstream(path) << "1\n999 0.0\n";
+  std::string error;
+  EXPECT_FALSE(LoadLocations(path, network, &error).has_value());
+  EXPECT_NE(error.find("outside the network"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LocationsRejectInvalidOffset) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = TempPath("msq_bad_offset.txt");
+  std::ofstream(path) << "1\n0 99.0\n";
+  std::string error;
+  EXPECT_FALSE(LoadLocations(path, network, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LocationsRejectTruncatedFile) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = TempPath("msq_truncated.txt");
+  std::ofstream(path) << "3\n0 0.0\n";
+  std::string error;
+  EXPECT_FALSE(LoadLocations(path, network, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LocationsMissingFile) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  std::string error;
+  EXPECT_FALSE(
+      LoadLocations("/no/such/objects.txt", network, &error).has_value());
+}
+
+TEST(DatasetIoTest, AttributesRoundTrip) {
+  const auto attrs = GenerateStaticAttributes(25, 3, 9);
+  const std::string path = TempPath("msq_attrs.txt");
+  ASSERT_TRUE(SaveAttributes(path, attrs));
+  std::string error;
+  const auto loaded = LoadAttributes(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), attrs.size());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    ASSERT_EQ((*loaded)[i].size(), attrs[i].size());
+    for (std::size_t d = 0; d < attrs[i].size(); ++d) {
+      EXPECT_DOUBLE_EQ((*loaded)[i][d], attrs[i][d]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, AttributesRejectRaggedRows) {
+  const std::string path = TempPath("msq_ragged.txt");
+  std::ofstream(path) << "2 2\n0.1 0.2\n0.3\n";
+  std::string error;
+  EXPECT_FALSE(LoadAttributes(path, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CommentsAndBlanksIgnored) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = TempPath("msq_comments.txt");
+  std::ofstream(path) << "# objects\n\n2\n0 0.0\n# middle\n1 0.1\n";
+  std::string error;
+  const auto loaded = LoadLocations(path, network, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadedDatasetRunsQueries) {
+  // Full external-data path: save network + objects + attributes, reload
+  // everything, and run a query.
+  RoadNetwork network = GenerateNetwork({.node_count = 200,
+                                         .edge_count = 280,
+                                         .seed = 5});
+  const auto objects = GenerateObjects(network, 100, 7);
+  const auto attrs = GenerateStaticAttributes(100, 1, 9);
+
+  const std::string net_path = TempPath("msq_full_net.txt");
+  const std::string obj_path = TempPath("msq_full_obj.txt");
+  const std::string attr_path = TempPath("msq_full_attr.txt");
+  ASSERT_TRUE(network.SaveToEdgeListFile(net_path));
+  ASSERT_TRUE(SaveLocations(obj_path, objects));
+  ASSERT_TRUE(SaveAttributes(attr_path, attrs));
+
+  std::string error;
+  auto net2 = RoadNetwork::LoadFromEdgeListFile(net_path, &error);
+  ASSERT_TRUE(net2.has_value()) << error;
+  auto obj2 = LoadLocations(obj_path, *net2, &error);
+  ASSERT_TRUE(obj2.has_value()) << error;
+  auto attr2 = LoadAttributes(attr_path, &error);
+  ASSERT_TRUE(attr2.has_value()) << error;
+
+  WorkloadConfig config;
+  Workload workload(config, std::move(*net2), std::move(*obj2),
+                    std::move(*attr2));
+  const auto spec = workload.SampleQuery(3, 2);
+  const auto naive =
+      RunSkylineQuery(Algorithm::kNaive, workload.dataset(), spec);
+  const auto lbc =
+      RunSkylineQuery(Algorithm::kLbc, workload.dataset(), spec);
+  EXPECT_EQ(testing::SkylineIds(lbc), testing::SkylineIds(naive));
+
+  std::remove(net_path.c_str());
+  std::remove(obj_path.c_str());
+  std::remove(attr_path.c_str());
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,200 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/network_gen.h"
+#include "gen/object_gen.h"
+#include "gen/query_gen.h"
+#include "gen/workloads.h"
+
+namespace msq {
+namespace {
+
+TEST(NetworkGenTest, ExactNodeAndEdgeCounts) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 500,
+                                               .edge_count = 700,
+                                               .seed = 1});
+  EXPECT_EQ(network.node_count(), 500u);
+  EXPECT_EQ(network.edge_count(), 700u);
+}
+
+TEST(NetworkGenTest, AlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const RoadNetwork network = GenerateNetwork({.node_count = 300,
+                                                 .edge_count = 310,
+                                                 .seed = seed});
+    EXPECT_TRUE(network.IsConnected()) << "seed " << seed;
+  }
+}
+
+TEST(NetworkGenTest, TreeEdgeCountClamped) {
+  // Requesting fewer edges than n-1 still yields a connected tree.
+  const RoadNetwork network = GenerateNetwork({.node_count = 100,
+                                               .edge_count = 10,
+                                               .seed = 2});
+  EXPECT_EQ(network.edge_count(), 99u);
+  EXPECT_TRUE(network.IsConnected());
+}
+
+TEST(NetworkGenTest, DeterministicForSeed) {
+  const RoadNetwork a = GenerateNetwork({.node_count = 200,
+                                         .edge_count = 260,
+                                         .seed = 9});
+  const RoadNetwork b = GenerateNetwork({.node_count = 200,
+                                         .edge_count = 260,
+                                         .seed = 9});
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.EdgeAt(e).u, b.EdgeAt(e).u);
+    EXPECT_EQ(a.EdgeAt(e).v, b.EdgeAt(e).v);
+    EXPECT_DOUBLE_EQ(a.EdgeAt(e).length, b.EdgeAt(e).length);
+  }
+}
+
+TEST(NetworkGenTest, NodesInsideUnitSquare) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 400,
+                                               .edge_count = 520,
+                                               .seed = 4});
+  const Mbr box = network.BoundingBox();
+  EXPECT_GE(box.lo_x, 0.0);
+  EXPECT_LE(box.hi_x, 1.0);
+  EXPECT_GE(box.lo_y, 0.0);
+  EXPECT_LE(box.hi_y, 1.0);
+}
+
+TEST(NetworkGenTest, CurvatureLengthensEdges) {
+  const RoadNetwork curved = GenerateNetwork({.node_count = 200,
+                                              .edge_count = 260,
+                                              .seed = 6,
+                                              .curvature = 0.5});
+  std::size_t longer = 0;
+  for (EdgeId e = 0; e < curved.edge_count(); ++e) {
+    const auto& edge = curved.EdgeAt(e);
+    const Dist euclid = EuclideanDistance(curved.NodePosition(edge.u),
+                                          curved.NodePosition(edge.v));
+    EXPECT_GE(edge.length + 1e-12, euclid);
+    if (edge.length > euclid * 1.0001) ++longer;
+  }
+  EXPECT_GT(longer, curved.edge_count() / 2);
+}
+
+TEST(NetworkGenTest, DensityControlsDetourRatio) {
+  // Sparse (tree-like) networks detour more than dense ones — the δ
+  // mechanism Section 6.3 relies on.
+  const RoadNetwork sparse = GenerateNetwork({.node_count = 800,
+                                              .edge_count = 800,
+                                              .seed = 10});
+  const RoadNetwork dense = GenerateNetwork({.node_count = 800,
+                                             .edge_count = 2000,
+                                             .seed = 10});
+  const double delta_sparse = MeasureDetourRatio(sparse, 60, 5);
+  const double delta_dense = MeasureDetourRatio(dense, 60, 5);
+  EXPECT_GT(delta_sparse, delta_dense);
+  EXPECT_GE(delta_dense, 1.0);
+}
+
+TEST(ObjectGenTest, CountAndValidity) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 200,
+                                               .edge_count = 300,
+                                               .seed = 3});
+  const auto objects = GenerateObjects(network, 150, 7);
+  EXPECT_EQ(objects.size(), 150u);
+  for (const Location& loc : objects) {
+    EXPECT_TRUE(network.IsValidLocation(loc));
+  }
+}
+
+TEST(ObjectGenTest, DensityScalesWithEdges) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 200,
+                                               .edge_count = 300,
+                                               .seed = 3});
+  EXPECT_EQ(GenerateObjectsWithDensity(network, 0.5, 1).size(), 150u);
+  EXPECT_EQ(GenerateObjectsWithDensity(network, 2.0, 1).size(), 600u);
+}
+
+TEST(ObjectGenTest, StaticAttributesShape) {
+  const auto attrs = GenerateStaticAttributes(50, 3, 11);
+  ASSERT_EQ(attrs.size(), 50u);
+  for (const auto& vec : attrs) {
+    ASSERT_EQ(vec.size(), 3u);
+    for (const Dist v : vec) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(QueryGenTest, QueriesValidAndClustered) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 2000,
+                                               .edge_count = 2800,
+                                               .seed = 5});
+  const auto queries = GenerateQueries(network, 10, 0.1, 13);
+  ASSERT_EQ(queries.size(), 10u);
+  Mbr box = Mbr::Empty();
+  for (const Location& loc : queries) {
+    ASSERT_TRUE(network.IsValidLocation(loc));
+    box.Extend(network.LocationPosition(loc));
+  }
+  // All queries fit a window of ~sqrt(0.1) side (plus edge slack).
+  EXPECT_LE(box.hi_x - box.lo_x, std::sqrt(0.1) + 0.25);
+  EXPECT_LE(box.hi_y - box.lo_y, std::sqrt(0.1) + 0.25);
+}
+
+TEST(WorkloadsTest, PaperPresetSizes) {
+  const auto ca = PaperNetworkConfig(NetworkClass::kCA);
+  EXPECT_EQ(ca.node_count, 3044u);
+  EXPECT_EQ(ca.edge_count, 3607u);
+  const auto na = PaperNetworkConfig(NetworkClass::kNA, 0.1);
+  EXPECT_EQ(na.node_count, 8632u);
+  EXPECT_EQ(na.edge_count, 10304u);
+  EXPECT_EQ(NetworkClassName(NetworkClass::kAU), "AU");
+}
+
+TEST(WorkloadsTest, BuildsConsistentDataset) {
+  WorkloadConfig config;
+  config.network = NetworkGenConfig{300, 420, 21, 0.0};
+  config.object_density = 0.5;
+  Workload workload(config);
+  Dataset d = workload.dataset();
+  EXPECT_EQ(d.object_count(), 210u);
+  EXPECT_EQ(d.object_rtree->size(), 210u);
+  EXPECT_EQ(workload.edge_rtree().size(), 420u);
+  EXPECT_EQ(d.static_dims(), 0u);
+  const auto spec = workload.SampleQuery(4, 2);
+  EXPECT_EQ(spec.sources.size(), 4u);
+}
+
+TEST(WorkloadsTest, ResetBuffersGivesColdCache) {
+  WorkloadConfig config;
+  config.network = NetworkGenConfig{300, 400, 22, 0.0};
+  Workload workload(config);
+  // Touch some pages.
+  std::vector<AdjacencyEntry> adj;
+  Dataset d = workload.dataset();
+  d.graph_pager->AdjacencyOf(0, &adj);
+  EXPECT_GT(d.graph_buffer->stats().accesses(), 0u);
+  workload.ResetBuffers();
+  EXPECT_EQ(d.graph_buffer->stats().accesses(), 0u);
+  EXPECT_EQ(d.graph_buffer->resident_pages(), 0u);
+}
+
+TEST(WorkloadsTest, StaticAttrsWired) {
+  WorkloadConfig config;
+  config.network = NetworkGenConfig{200, 260, 23, 0.0};
+  config.static_attr_dims = 2;
+  Workload workload(config);
+  Dataset d = workload.dataset();
+  EXPECT_EQ(d.static_dims(), 2u);
+  EXPECT_EQ(d.StaticAttributesOf(0).size(), 2u);
+  const DistVector mins = d.MinStaticAttributes();
+  ASSERT_EQ(mins.size(), 2u);
+  for (ObjectId id = 0; id < d.object_count(); ++id) {
+    const auto attrs = d.StaticAttributesOf(id);
+    EXPECT_LE(mins[0], attrs[0]);
+    EXPECT_LE(mins[1], attrs[1]);
+  }
+}
+
+}  // namespace
+}  // namespace msq

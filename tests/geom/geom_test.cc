@@ -1,0 +1,166 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/mbr.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace msq {
+namespace {
+
+// ---------------------------------------------------------------- Point
+
+TEST(PointTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, LerpEndpointsAndMidpoint) {
+  const Point a{0, 0}, b{2, 4};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  const Point mid = Lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 1.0);
+  EXPECT_DOUBLE_EQ(mid.y, 2.0);
+}
+
+// ---------------------------------------------------------------- Mbr
+
+TEST(MbrTest, EmptyBehaviour) {
+  Mbr empty = Mbr::Empty();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_DOUBLE_EQ(empty.Area(), 0.0);
+  EXPECT_FALSE(empty.Intersects(empty));
+  // Extending an empty box adopts the other box.
+  Mbr box = Mbr::FromPoint({1, 2});
+  empty.Extend(box);
+  EXPECT_EQ(empty, box);
+}
+
+TEST(MbrTest, FromSegmentNormalizesCorners) {
+  const Mbr box = Mbr::FromSegment({3, 1}, {0, 2});
+  EXPECT_DOUBLE_EQ(box.lo_x, 0.0);
+  EXPECT_DOUBLE_EQ(box.hi_x, 3.0);
+  EXPECT_DOUBLE_EQ(box.lo_y, 1.0);
+  EXPECT_DOUBLE_EQ(box.hi_y, 2.0);
+}
+
+TEST(MbrTest, ContainsPoint) {
+  const Mbr box{0, 0, 2, 2};
+  EXPECT_TRUE(box.Contains(Point{1, 1}));
+  EXPECT_TRUE(box.Contains(Point{0, 0}));  // boundary inclusive
+  EXPECT_TRUE(box.Contains(Point{2, 2}));
+  EXPECT_FALSE(box.Contains(Point{2.01, 1}));
+}
+
+TEST(MbrTest, ContainsMbr) {
+  const Mbr outer{0, 0, 4, 4};
+  EXPECT_TRUE(outer.Contains(Mbr{1, 1, 2, 2}));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Mbr{3, 3, 5, 5}));
+  EXPECT_TRUE(outer.Contains(Mbr::Empty()));
+  EXPECT_FALSE(Mbr::Empty().Contains(outer));
+}
+
+TEST(MbrTest, Intersects) {
+  const Mbr a{0, 0, 2, 2};
+  EXPECT_TRUE(a.Intersects(Mbr{1, 1, 3, 3}));
+  EXPECT_TRUE(a.Intersects(Mbr{2, 2, 3, 3}));  // corner touch
+  EXPECT_FALSE(a.Intersects(Mbr{2.1, 0, 3, 2}));
+  EXPECT_FALSE(a.Intersects(Mbr::Empty()));
+}
+
+TEST(MbrTest, ExtendGrowsToCover) {
+  Mbr box = Mbr::FromPoint({1, 1});
+  box.Extend(Point{3, 0});
+  EXPECT_TRUE(box.Contains(Point{2, 0.5}));
+  EXPECT_DOUBLE_EQ(box.Area(), 2.0);
+}
+
+TEST(MbrTest, EnlargementZeroWhenContained) {
+  const Mbr box{0, 0, 4, 4};
+  EXPECT_DOUBLE_EQ(box.Enlargement(Mbr{1, 1, 2, 2}), 0.0);
+  EXPECT_GT(box.Enlargement(Mbr{4, 4, 5, 5}), 0.0);
+}
+
+TEST(MbrTest, MarginIsHalfPerimeter) {
+  EXPECT_DOUBLE_EQ((Mbr{0, 0, 2, 3}).Margin(), 5.0);
+}
+
+TEST(MbrTest, MinDistZeroInside) {
+  const Mbr box{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(box.MinDist(Point{1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(box.MinDist(Point{2, 2}), 0.0);
+}
+
+TEST(MbrTest, MinDistOutside) {
+  const Mbr box{0, 0, 2, 2};
+  // Straight out along x.
+  EXPECT_DOUBLE_EQ(box.MinDist(Point{4, 1}), 2.0);
+  // Diagonal from the corner.
+  EXPECT_DOUBLE_EQ(box.MinDist(Point{5, 6}), 5.0);
+}
+
+TEST(MbrTest, MaxDistIsFarthestCorner) {
+  const Mbr box{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(box.MaxDist(Point{0, 0}), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(box.MaxDist(Point{1, 1}), std::sqrt(2.0));
+}
+
+TEST(MbrTest, MinDistNeverExceedsMaxDist) {
+  const Mbr box{0.2, 0.3, 0.8, 0.9};
+  for (double x = -1.0; x <= 2.0; x += 0.37) {
+    for (double y = -1.0; y <= 2.0; y += 0.41) {
+      const Point p{x, y};
+      EXPECT_LE(box.MinDist(p), box.MaxDist(p) + 1e-12);
+    }
+  }
+}
+
+TEST(MbrTest, Center) {
+  const Point c = (Mbr{0, 0, 2, 4}).Center();
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 2.0);
+}
+
+// ---------------------------------------------------------------- Segment
+
+TEST(SegmentTest, Length) {
+  EXPECT_DOUBLE_EQ((Segment{{0, 0}, {3, 4}}).Length(), 5.0);
+}
+
+TEST(SegmentTest, AtOffsetClamped) {
+  const Segment seg{{0, 0}, {2, 0}};
+  EXPECT_EQ(seg.AtOffset(-1.0), (Point{0, 0}));
+  EXPECT_EQ(seg.AtOffset(1.0), (Point{1, 0}));
+  EXPECT_EQ(seg.AtOffset(99.0), (Point{2, 0}));
+}
+
+TEST(SegmentTest, DegenerateSegment) {
+  const Segment seg{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(seg.Length(), 0.0);
+  EXPECT_EQ(seg.AtOffset(0.5), (Point{1, 1}));
+  EXPECT_DOUBLE_EQ(seg.ClosestOffset({5, 5}), 0.0);
+}
+
+TEST(SegmentTest, ClosestOffsetProjection) {
+  const Segment seg{{0, 0}, {4, 0}};
+  EXPECT_DOUBLE_EQ(seg.ClosestOffset({1, 7}), 1.0);
+  EXPECT_DOUBLE_EQ(seg.ClosestOffset({-3, 2}), 0.0);  // clamped to a
+  EXPECT_DOUBLE_EQ(seg.ClosestOffset({9, 2}), 4.0);   // clamped to b
+}
+
+TEST(SegmentTest, DistanceTo) {
+  const Segment seg{{0, 0}, {4, 0}};
+  EXPECT_DOUBLE_EQ(seg.DistanceTo({2, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(seg.DistanceTo({7, 4}), 5.0);  // beyond endpoint b
+  EXPECT_DOUBLE_EQ(seg.DistanceTo({2, 0}), 0.0);  // on the segment
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,129 @@
+// Parameterized stress suite for the A* engine: exactness against
+// Dijkstra and plb invariants across network shapes, plus randomized probe
+// interleavings (the access pattern LBC generates).
+#include <queue>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/network_gen.h"
+#include "graph/astar.h"
+#include "graph/dijkstra.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+
+namespace msq {
+namespace {
+
+struct ShapeParam {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t edges;
+  double curvature;
+  double junction_ratio;
+};
+
+void PrintTo(const ShapeParam& p, std::ostream* os) {
+  *os << "seed" << p.seed << "_n" << p.nodes << "_m" << p.edges << "_c"
+      << p.curvature << "_j" << p.junction_ratio;
+}
+
+class AStarStressTest : public ::testing::TestWithParam<ShapeParam> {
+ protected:
+  AStarStressTest()
+      : network_(GenerateNetwork({.node_count = GetParam().nodes,
+                                  .edge_count = GetParam().edges,
+                                  .seed = GetParam().seed,
+                                  .curvature = GetParam().curvature,
+                                  .junction_edge_ratio =
+                                      GetParam().junction_ratio})),
+        buffer_(&disk_, 1024),
+        pager_(&network_, &buffer_) {}
+
+  Location RandomLocation(Rng& rng) const {
+    const EdgeId edge =
+        static_cast<EdgeId>(rng.NextBounded(network_.edge_count()));
+    return Location{edge,
+                    rng.NextDouble() * network_.EdgeAt(edge).length};
+  }
+
+  RoadNetwork network_;
+  InMemoryDiskManager disk_;
+  BufferManager buffer_;
+  GraphPager pager_;
+};
+
+TEST_P(AStarStressTest, ExactAgainstDijkstraManyTargets) {
+  Rng rng(GetParam().seed * 77 + 1);
+  const Location source = RandomLocation(rng);
+  DijkstraSearch oracle(&pager_, source);
+  AStarSearch astar(&pager_, source);
+  for (int i = 0; i < 25; ++i) {
+    const Location target = RandomLocation(rng);
+    EXPECT_NEAR(astar.DistanceTo(target), oracle.DistanceTo(target), 1e-9);
+  }
+}
+
+TEST_P(AStarStressTest, RandomProbeInterleavingStaysExact) {
+  Rng rng(GetParam().seed * 131 + 5);
+  const Location source = RandomLocation(rng);
+  DijkstraSearch oracle(&pager_, source);
+  AStarSearch astar(&pager_, source);
+
+  // A rolling set of live probes advanced in random order.
+  struct Live {
+    Location target;
+    AStarSearch::Probe probe;
+  };
+  std::vector<Live> live;
+  int created = 0;
+  Dist last_plb_check = 0.0;
+  (void)last_plb_check;
+  while (created < 20 || !live.empty()) {
+    const bool spawn = created < 20 && (live.empty() || rng.NextBounded(3) == 0);
+    if (spawn) {
+      const Location target = RandomLocation(rng);
+      live.push_back(Live{target, astar.NewProbe(target)});
+      ++created;
+      continue;
+    }
+    const std::size_t pick = rng.NextBounded(live.size());
+    Live& l = live[pick];
+    const Dist before = l.probe.plb();
+    const Dist plb = l.probe.Advance();
+    EXPECT_GE(plb + 1e-9, before) << "plb decreased";
+    if (l.probe.done()) {
+      EXPECT_NEAR(l.probe.distance(), oracle.DistanceTo(l.target), 1e-9);
+      live[pick] = std::move(live.back());
+      live.pop_back();
+    }
+  }
+}
+
+TEST_P(AStarStressTest, PlbNeverExceedsTrueDistance) {
+  Rng rng(GetParam().seed * 211 + 9);
+  const Location source = RandomLocation(rng);
+  DijkstraSearch oracle(&pager_, source);
+  AStarSearch astar(&pager_, source);
+  for (int i = 0; i < 8; ++i) {
+    const Location target = RandomLocation(rng);
+    const Dist truth = oracle.DistanceTo(target);
+    auto probe = astar.NewProbe(target);
+    while (!probe.done()) {
+      EXPECT_LE(probe.Advance(), truth + 1e-9);
+    }
+    EXPECT_NEAR(probe.distance(), truth, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AStarStressTest,
+    ::testing::Values(ShapeParam{1, 200, 199, 0.0, 0.0},   // tree
+                      ShapeParam{2, 300, 390, 0.0, 0.0},   // sparse
+                      ShapeParam{3, 300, 390, 1.0, 0.0},   // curved
+                      ShapeParam{4, 400, 900, 0.0, 0.0},   // dense
+                      ShapeParam{5, 500, 600, 0.3, 1.8},   // polyline
+                      ShapeParam{6, 250, 330, 0.6, 1.4}));
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,129 @@
+#include "graph/nn_stream.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gen/network_gen.h"
+#include "gen/object_gen.h"
+#include "graph/dijkstra.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+struct StreamFixture {
+  StreamFixture(RoadNetwork n, std::vector<Location> objs)
+      : network(std::move(n)),
+        graph_buffer(&graph_disk, 512),
+        index_buffer(&index_disk, 512),
+        pager(&network, &graph_buffer),
+        mapping(&network, &index_buffer, objs) {}
+
+  RoadNetwork network;
+  InMemoryDiskManager graph_disk, index_disk;
+  BufferManager graph_buffer, index_buffer;
+  GraphPager pager;
+  SpatialMapping mapping;
+};
+
+TEST(NetworkNnStreamTest, EmitsAllObjectsAscending) {
+  RoadNetwork network = GenerateNetwork({.node_count = 300,
+                                         .edge_count = 420,
+                                         .seed = 61});
+  auto objects = GenerateObjects(network, 80, 17);
+  StreamFixture f(std::move(network), objects);
+
+  const Location source{0, 0.0};
+  NetworkNnStream stream(&f.pager, &f.mapping, source);
+  Dist last = 0.0;
+  std::vector<bool> seen(objects.size(), false);
+  std::size_t count = 0;
+  while (const auto visit = stream.Next()) {
+    EXPECT_GE(visit->distance + 1e-12, last);
+    EXPECT_FALSE(seen[visit->object]) << "duplicate emission";
+    seen[visit->object] = true;
+    last = visit->distance;
+    ++count;
+  }
+  EXPECT_EQ(count, objects.size());  // generated network is connected
+}
+
+TEST(NetworkNnStreamTest, DistancesMatchDijkstraOracle) {
+  RoadNetwork network = GenerateNetwork({.node_count = 200,
+                                         .edge_count = 300,
+                                         .seed = 67});
+  auto objects = GenerateObjects(network, 40, 23);
+  StreamFixture f(std::move(network), objects);
+
+  const Location source{5, 0.0};
+  NetworkNnStream stream(&f.pager, &f.mapping, source);
+  DijkstraSearch oracle(&f.pager, source);
+  while (const auto visit = stream.Next()) {
+    EXPECT_NEAR(visit->distance, oracle.DistanceTo(objects[visit->object]),
+                1e-9)
+        << "object " << visit->object;
+  }
+}
+
+TEST(NetworkNnStreamTest, SourceEdgeObjectsDirect) {
+  RoadNetwork network = testing::MakeLineNetwork(4);
+  const Dist len = network.EdgeAt(1).length;
+  std::vector<Location> objects = {{1, len * 0.9}, {1, len * 0.1}};
+  StreamFixture f(std::move(network), objects);
+
+  NetworkNnStream stream(&f.pager, &f.mapping, Location{1, len * 0.2});
+  const auto first = stream.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->object, 1u);
+  EXPECT_NEAR(first->distance, len * 0.1, 1e-12);
+  const auto second = stream.Next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->object, 0u);
+  EXPECT_NEAR(second->distance, len * 0.7, 1e-12);
+}
+
+TEST(NetworkNnStreamTest, UnreachableObjectsNeverEmitted) {
+  RoadNetwork network;
+  network.AddNode({0, 0});
+  network.AddNode({1, 0});
+  network.AddNode({0, 1});
+  network.AddNode({1, 1});
+  const EdgeId reachable = network.AddEdge(0, 1);
+  const EdgeId island = network.AddEdge(2, 3);
+  network.Finalize();
+  std::vector<Location> objects = {{reachable, 0.5}, {island, 0.5}};
+  StreamFixture f(std::move(network), objects);
+
+  NetworkNnStream stream(&f.pager, &f.mapping, Location{reachable, 0.0});
+  const auto visit = stream.Next();
+  ASSERT_TRUE(visit.has_value());
+  EXPECT_EQ(visit->object, 0u);
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(NetworkNnStreamTest, CoLocatedObjectsBothEmitted) {
+  RoadNetwork network = testing::MakeLineNetwork(3);
+  const Dist len = network.EdgeAt(0).length;
+  std::vector<Location> objects = {{0, len * 0.5}, {0, len * 0.5}};
+  StreamFixture f(std::move(network), objects);
+  NetworkNnStream stream(&f.pager, &f.mapping, Location{0, 0.0});
+  const auto a = stream.Next();
+  const auto b = stream.Next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NEAR(a->distance, b->distance, 1e-12);
+  EXPECT_NE(a->object, b->object);
+}
+
+TEST(NetworkNnStreamTest, NoObjects) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  StreamFixture f(std::move(network), {});
+  NetworkNnStream stream(&f.pager, &f.mapping, Location{0, 0.0});
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+}  // namespace
+}  // namespace msq

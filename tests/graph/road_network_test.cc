@@ -1,0 +1,197 @@
+#include "graph/road_network.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+TEST(RoadNetworkTest, AddNodesAndEdges) {
+  RoadNetwork network;
+  const NodeId a = network.AddNode({0, 0});
+  const NodeId b = network.AddNode({1, 0});
+  const EdgeId e = network.AddEdge(a, b);
+  EXPECT_EQ(network.node_count(), 2u);
+  EXPECT_EQ(network.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(network.EdgeAt(e).length, 1.0);
+}
+
+TEST(RoadNetworkTest, SelfLoopRejected) {
+  RoadNetwork network;
+  const NodeId a = network.AddNode({0, 0});
+  EXPECT_EQ(network.AddEdge(a, a), kInvalidEdge);
+  EXPECT_EQ(network.edge_count(), 0u);
+}
+
+TEST(RoadNetworkTest, ShortLengthClampedToEuclidean) {
+  RoadNetwork network;
+  const NodeId a = network.AddNode({0, 0});
+  const NodeId b = network.AddNode({3, 4});
+  const EdgeId e = network.AddEdge(a, b, 1.0);  // shorter than dE = 5
+  EXPECT_DOUBLE_EQ(network.EdgeAt(e).length, 5.0);
+  EXPECT_EQ(network.clamped_edge_count(), 1u);
+}
+
+TEST(RoadNetworkTest, LongerLengthKept) {
+  RoadNetwork network;
+  const NodeId a = network.AddNode({0, 0});
+  const NodeId b = network.AddNode({3, 4});
+  const EdgeId e = network.AddEdge(a, b, 7.5);  // curved road
+  EXPECT_DOUBLE_EQ(network.EdgeAt(e).length, 7.5);
+  EXPECT_EQ(network.clamped_edge_count(), 0u);
+}
+
+TEST(RoadNetworkTest, AdjacencyBothDirections) {
+  RoadNetwork network = testing::MakeLineNetwork(3);
+  // Middle node sees both neighbors.
+  const auto adj = network.Adjacent(1);
+  ASSERT_EQ(adj.size(), 2u);
+  EXPECT_TRUE((adj[0].neighbor == 0 && adj[1].neighbor == 2) ||
+              (adj[0].neighbor == 2 && adj[1].neighbor == 0));
+  // Endpoints see one.
+  EXPECT_EQ(network.Adjacent(0).size(), 1u);
+  EXPECT_EQ(network.Adjacent(2).size(), 1u);
+}
+
+TEST(RoadNetworkTest, GridDegrees) {
+  RoadNetwork network = testing::MakeGridNetwork(4);
+  EXPECT_EQ(network.node_count(), 16u);
+  EXPECT_EQ(network.edge_count(), 24u);
+  EXPECT_EQ(network.Adjacent(0).size(), 2u);   // corner
+  EXPECT_EQ(network.Adjacent(1).size(), 3u);   // border
+  EXPECT_EQ(network.Adjacent(5).size(), 4u);   // interior
+}
+
+TEST(RoadNetworkTest, LocationValidation) {
+  RoadNetwork network = testing::MakeLineNetwork(2);
+  const Dist len = network.EdgeAt(0).length;
+  EXPECT_TRUE(network.IsValidLocation({0, 0.0}));
+  EXPECT_TRUE(network.IsValidLocation({0, len}));
+  EXPECT_FALSE(network.IsValidLocation({0, len + 0.1}));
+  EXPECT_FALSE(network.IsValidLocation({0, -0.1}));
+  EXPECT_FALSE(network.IsValidLocation({5, 0.0}));
+}
+
+TEST(RoadNetworkTest, LocationPositionInterpolates) {
+  RoadNetwork network;
+  network.AddNode({0, 0});
+  network.AddNode({2, 0});
+  network.AddEdge(0, 1);
+  network.Finalize();
+  const Point p = network.LocationPosition({0, 0.5});
+  EXPECT_DOUBLE_EQ(p.x, 0.5);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(RoadNetworkTest, EndpointDistances) {
+  RoadNetwork network = testing::MakeLineNetwork(2);
+  const Dist len = network.EdgeAt(0).length;
+  const auto [du, dv] = network.EndpointDistances({0, len * 0.25});
+  EXPECT_DOUBLE_EQ(du, len * 0.25);
+  EXPECT_DOUBLE_EQ(dv, len * 0.75);
+}
+
+TEST(RoadNetworkTest, SnapToEdge) {
+  RoadNetwork network;
+  network.AddNode({0, 0});
+  network.AddNode({4, 0});
+  network.AddEdge(0, 1);
+  network.Finalize();
+  const Location loc = network.SnapToEdge(0, Point{1.0, 3.0});
+  EXPECT_DOUBLE_EQ(loc.offset, 1.0);
+  const Location clamped = network.SnapToEdge(0, Point{9.0, 1.0});
+  EXPECT_DOUBLE_EQ(clamped.offset, 4.0);
+}
+
+TEST(RoadNetworkTest, BoundingBox) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const Mbr box = network.BoundingBox();
+  EXPECT_DOUBLE_EQ(box.lo_x, 0.0);
+  EXPECT_DOUBLE_EQ(box.hi_x, 1.0);
+  EXPECT_DOUBLE_EQ(box.hi_y, 1.0);
+}
+
+TEST(RoadNetworkTest, ConnectedComponents) {
+  RoadNetwork network;
+  for (int i = 0; i < 4; ++i) {
+    network.AddNode({static_cast<double>(i), 0});
+  }
+  network.AddEdge(0, 1);
+  network.AddEdge(2, 3);
+  network.Finalize();
+  const auto [labels, count] = network.ConnectedComponents();
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_FALSE(network.IsConnected());
+  EXPECT_TRUE(testing::MakeGridNetwork(3).IsConnected());
+}
+
+TEST(RoadNetworkTest, SaveLoadRoundTrip) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = ::testing::TempDir() + "/msq_net.txt";
+  ASSERT_TRUE(network.SaveToEdgeListFile(path));
+
+  std::string error;
+  auto loaded = RoadNetwork::LoadFromEdgeListFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->node_count(), network.node_count());
+  EXPECT_EQ(loaded->edge_count(), network.edge_count());
+  for (EdgeId e = 0; e < network.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(loaded->EdgeAt(e).length, network.EdgeAt(e).length);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RoadNetworkTest, LoadRejectsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(
+      RoadNetwork::LoadFromEdgeListFile("/no/such/file.txt", &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RoadNetworkTest, LoadRejectsMalformedHeader) {
+  const std::string path = ::testing::TempDir() + "/msq_bad1.txt";
+  std::ofstream(path) << "garbage\n";
+  std::string error;
+  EXPECT_FALSE(RoadNetwork::LoadFromEdgeListFile(path, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(RoadNetworkTest, LoadRejectsOutOfRangeEdge) {
+  const std::string path = ::testing::TempDir() + "/msq_bad2.txt";
+  std::ofstream(path) << "2 1\n0 0\n1 1\n0 7\n";
+  std::string error;
+  EXPECT_FALSE(RoadNetwork::LoadFromEdgeListFile(path, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RoadNetworkTest, LoadRejectsSelfLoop) {
+  const std::string path = ::testing::TempDir() + "/msq_bad3.txt";
+  std::ofstream(path) << "2 1\n0 0\n1 1\n1 1\n";
+  std::string error;
+  EXPECT_FALSE(RoadNetwork::LoadFromEdgeListFile(path, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(RoadNetworkTest, LoadAcceptsCommentsAndOptionalLength) {
+  const std::string path = ::testing::TempDir() + "/msq_ok.txt";
+  std::ofstream(path) << "# comment\n2 1\n0 0\n3 4\n\n0 1\n";
+  std::string error;
+  auto loaded = RoadNetwork::LoadFromEdgeListFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  // Omitted length defaults to Euclidean.
+  EXPECT_DOUBLE_EQ(loaded->EdgeAt(0).length, 5.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,111 @@
+#include "graph/spatial_mapping.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+class SpatialMappingTest : public ::testing::Test {
+ protected:
+  SpatialMappingTest()
+      : network_(testing::MakeGridNetwork(4)), buffer_(&disk_, 256) {}
+
+  RoadNetwork network_;
+  InMemoryDiskManager disk_;
+  BufferManager buffer_;
+};
+
+TEST_F(SpatialMappingTest, ObjectsOnTheirEdges) {
+  const Dist len = network_.EdgeAt(0).length;
+  std::vector<Location> objects = {
+      {0, len * 0.25}, {0, len * 0.75}, {3, len * 0.5}};
+  SpatialMapping mapping(&network_, &buffer_, objects);
+  EXPECT_EQ(mapping.object_count(), 3u);
+
+  std::vector<EdgeObject> on_edge;
+  mapping.ObjectsOnEdge(0, &on_edge);
+  ASSERT_EQ(on_edge.size(), 2u);
+  std::sort(on_edge.begin(), on_edge.end(),
+            [](const EdgeObject& a, const EdgeObject& b) {
+              return a.dist_u < b.dist_u;
+            });
+  EXPECT_EQ(on_edge[0].object, 0u);
+  EXPECT_DOUBLE_EQ(on_edge[0].dist_u, len * 0.25);
+  EXPECT_DOUBLE_EQ(on_edge[0].dist_v, len * 0.75);
+  EXPECT_EQ(on_edge[1].object, 1u);
+
+  on_edge.clear();
+  mapping.ObjectsOnEdge(1, &on_edge);
+  EXPECT_TRUE(on_edge.empty());
+}
+
+TEST_F(SpatialMappingTest, EndpointDistancesSumToLength) {
+  std::vector<Location> objects;
+  for (EdgeId e = 0; e < network_.edge_count(); ++e) {
+    objects.push_back({e, network_.EdgeAt(e).length * 0.3});
+  }
+  SpatialMapping mapping(&network_, &buffer_, objects);
+  std::vector<EdgeObject> on_edge;
+  for (EdgeId e = 0; e < network_.edge_count(); ++e) {
+    on_edge.clear();
+    mapping.ObjectsOnEdge(e, &on_edge);
+    ASSERT_EQ(on_edge.size(), 1u);
+    EXPECT_NEAR(on_edge[0].dist_u + on_edge[0].dist_v,
+                network_.EdgeAt(e).length, 1e-12);
+  }
+}
+
+TEST_F(SpatialMappingTest, ManyObjectsPerEdge) {
+  const Dist len = network_.EdgeAt(2).length;
+  std::vector<Location> objects;
+  for (int i = 0; i < 50; ++i) {
+    objects.push_back({2, len * static_cast<double>(i) / 50.0});
+  }
+  SpatialMapping mapping(&network_, &buffer_, objects);
+  std::vector<EdgeObject> on_edge;
+  mapping.ObjectsOnEdge(2, &on_edge);
+  EXPECT_EQ(on_edge.size(), 50u);
+  // Every object id present exactly once.
+  std::vector<ObjectId> ids;
+  for (const auto& o : on_edge) ids.push_back(o.object);
+  std::sort(ids.begin(), ids.end());
+  for (ObjectId i = 0; i < 50; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST_F(SpatialMappingTest, PositionsMatchNetworkInterpolation) {
+  const Dist len = network_.EdgeAt(5).length;
+  std::vector<Location> objects = {{5, len * 0.5}};
+  SpatialMapping mapping(&network_, &buffer_, objects);
+  const Point expected = network_.LocationPosition(objects[0]);
+  EXPECT_EQ(mapping.ObjectPosition(0), expected);
+  EXPECT_EQ(mapping.ObjectLocation(0), objects[0]);
+}
+
+TEST_F(SpatialMappingTest, EmptyObjectSet) {
+  SpatialMapping mapping(&network_, &buffer_, {});
+  EXPECT_EQ(mapping.object_count(), 0u);
+  std::vector<EdgeObject> on_edge;
+  mapping.ObjectsOnEdge(0, &on_edge);
+  EXPECT_TRUE(on_edge.empty());
+}
+
+TEST_F(SpatialMappingTest, ProbesGoThroughBuffer) {
+  std::vector<Location> objects;
+  for (EdgeId e = 0; e < network_.edge_count(); ++e) {
+    objects.push_back({e, 0.0});
+  }
+  SpatialMapping mapping(&network_, &buffer_, objects);
+  buffer_.ResetStats();
+  std::vector<EdgeObject> on_edge;
+  mapping.ObjectsOnEdge(0, &on_edge);
+  EXPECT_GT(buffer_.stats().accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,218 @@
+#include "index/bptree.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+
+namespace msq {
+namespace {
+
+struct Payload {
+  std::uint32_t a;
+  double b;
+};
+
+BpTreeValue Val(std::uint32_t a, double b = 0.0) {
+  return BpTreeValue::Pack(Payload{a, b});
+}
+
+class BpTreeTest : public ::testing::Test {
+ protected:
+  BpTreeTest() : buffer_(&disk_, 2048) {}
+  InMemoryDiskManager disk_;
+  BufferManager buffer_;
+};
+
+TEST_F(BpTreeTest, EmptyLookupFails) {
+  BpTree tree(&buffer_);
+  BpTreeValue out;
+  EXPECT_FALSE(tree.Lookup(42, &out));
+  std::vector<BpTree::Item> items;
+  tree.ScanRange(0, 100, &items);
+  EXPECT_TRUE(items.empty());
+}
+
+TEST_F(BpTreeTest, InsertLookupSingle) {
+  BpTree tree(&buffer_);
+  tree.Insert(7, Val(70));
+  BpTreeValue out;
+  ASSERT_TRUE(tree.Lookup(7, &out));
+  EXPECT_EQ(out.Unpack<Payload>().a, 70u);
+  EXPECT_FALSE(tree.Lookup(8, &out));
+}
+
+TEST_F(BpTreeTest, ValuePackUnpackRoundTrip) {
+  const BpTreeValue v = Val(123, 4.5);
+  const Payload p = v.Unpack<Payload>();
+  EXPECT_EQ(p.a, 123u);
+  EXPECT_DOUBLE_EQ(p.b, 4.5);
+}
+
+TEST_F(BpTreeTest, ManyRandomInsertsLookupAll) {
+  BpTree tree(&buffer_);
+  Rng rng(42);
+  std::map<std::uint64_t, std::uint32_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.NextBounded(1000000);
+    if (truth.count(key)) continue;
+    truth[key] = static_cast<std::uint32_t>(i);
+    tree.Insert(key, Val(static_cast<std::uint32_t>(i)));
+  }
+  EXPECT_GT(tree.height(), 1u);
+  for (const auto& [key, value] : truth) {
+    BpTreeValue out;
+    ASSERT_TRUE(tree.Lookup(key, &out)) << key;
+    EXPECT_EQ(out.Unpack<Payload>().a, value);
+  }
+  BpTreeValue out;
+  EXPECT_FALSE(tree.Lookup(2000000, &out));
+}
+
+TEST_F(BpTreeTest, SequentialInsertsSplitCorrectly) {
+  BpTree tree(&buffer_);
+  const std::size_t n = BpTree::LeafCapacity() * 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.Insert(i, Val(static_cast<std::uint32_t>(i * 2)));
+  }
+  EXPECT_EQ(tree.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BpTreeValue out;
+    ASSERT_TRUE(tree.Lookup(i, &out));
+    EXPECT_EQ(out.Unpack<Payload>().a, i * 2);
+  }
+}
+
+TEST_F(BpTreeTest, ReverseSequentialInserts) {
+  BpTree tree(&buffer_);
+  const std::size_t n = BpTree::LeafCapacity() * 3;
+  for (std::size_t i = n; i > 0; --i) {
+    tree.Insert(i, Val(static_cast<std::uint32_t>(i)));
+  }
+  std::vector<BpTree::Item> items;
+  tree.ScanRange(1, n, &items);
+  ASSERT_EQ(items.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(items[i].first, i + 1);
+  }
+}
+
+TEST_F(BpTreeTest, ScanRangeSubset) {
+  BpTree tree(&buffer_);
+  for (std::uint64_t k = 0; k < 100; k += 2) tree.Insert(k, Val(0));
+  std::vector<BpTree::Item> items;
+  tree.ScanRange(10, 20, &items);
+  std::vector<std::uint64_t> keys;
+  for (const auto& item : items) keys.push_back(item.first);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST_F(BpTreeTest, ScanRangeAcrossLeaves) {
+  BpTree tree(&buffer_);
+  const std::size_t n = BpTree::LeafCapacity() * 4;
+  for (std::size_t i = 0; i < n; ++i) tree.Insert(i, Val(0));
+  std::vector<BpTree::Item> items;
+  const std::uint64_t lo = BpTree::LeafCapacity() - 3;
+  const std::uint64_t hi = BpTree::LeafCapacity() * 2 + 3;
+  tree.ScanRange(lo, hi, &items);
+  ASSERT_EQ(items.size(), hi - lo + 1);
+  EXPECT_EQ(items.front().first, lo);
+  EXPECT_EQ(items.back().first, hi);
+}
+
+TEST_F(BpTreeTest, DuplicateKeysAllReturned) {
+  BpTree tree(&buffer_);
+  tree.Insert(5, Val(1));
+  tree.Insert(5, Val(2));
+  tree.Insert(5, Val(3));
+  std::vector<BpTree::Item> items;
+  tree.ScanRange(5, 5, &items);
+  EXPECT_EQ(items.size(), 3u);
+  std::vector<std::uint32_t> values;
+  for (const auto& item : items) {
+    values.push_back(item.second.Unpack<Payload>().a);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST_F(BpTreeTest, BulkLoadLookupAndScan) {
+  BpTree tree(&buffer_);
+  const std::size_t n = BpTree::LeafCapacity() * 7 + 13;
+  std::vector<BpTree::Item> input;
+  for (std::size_t i = 0; i < n; ++i) {
+    input.emplace_back(i * 3, Val(static_cast<std::uint32_t>(i)));
+  }
+  tree.BulkLoad(input);
+  EXPECT_EQ(tree.size(), n);
+
+  BpTreeValue out;
+  EXPECT_TRUE(tree.Lookup(0, &out));
+  EXPECT_TRUE(tree.Lookup((n - 1) * 3, &out));
+  EXPECT_FALSE(tree.Lookup(1, &out));
+
+  std::vector<BpTree::Item> items;
+  tree.ScanRange(0, n * 3, &items);
+  EXPECT_EQ(items.size(), n);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LT(items[i - 1].first, items[i].first);
+  }
+}
+
+TEST_F(BpTreeTest, BulkLoadEmpty) {
+  BpTree tree(&buffer_);
+  tree.BulkLoad({});
+  EXPECT_EQ(tree.size(), 0u);
+  BpTreeValue out;
+  EXPECT_FALSE(tree.Lookup(0, &out));
+}
+
+TEST_F(BpTreeTest, InsertAfterBulkLoad) {
+  BpTree tree(&buffer_);
+  std::vector<BpTree::Item> input;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    input.emplace_back(i * 10, Val(static_cast<std::uint32_t>(i)));
+  }
+  tree.BulkLoad(input);
+  tree.Insert(55, Val(999));
+  BpTreeValue out;
+  ASSERT_TRUE(tree.Lookup(55, &out));
+  EXPECT_EQ(out.Unpack<Payload>().a, 999u);
+  // Pre-existing keys still present.
+  EXPECT_TRUE(tree.Lookup(50, &out));
+  EXPECT_TRUE(tree.Lookup(60, &out));
+}
+
+TEST_F(BpTreeTest, HeightStaysLogarithmic) {
+  BpTree tree(&buffer_);
+  const std::size_t n = BpTree::LeafCapacity() * 20;
+  for (std::size_t i = 0; i < n; ++i) tree.Insert(i, Val(0));
+  EXPECT_LE(tree.height(), 3u);
+}
+
+TEST_F(BpTreeTest, EdgeKeyCompositeRangeConvention) {
+  // The spatial-mapping convention: (edge << 32 | seq) keys make one edge's
+  // records a contiguous range.
+  BpTree tree(&buffer_);
+  auto key = [](std::uint32_t edge, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(edge) << 32) | seq;
+  };
+  tree.Insert(key(5, 0), Val(50));
+  tree.Insert(key(5, 1), Val(51));
+  tree.Insert(key(4, 0), Val(40));
+  tree.Insert(key(6, 0), Val(60));
+
+  std::vector<BpTree::Item> items;
+  tree.ScanRange(key(5, 0), key(5, 0xffffffffu), &items);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].second.Unpack<Payload>().a, 50u);
+  EXPECT_EQ(items[1].second.Unpack<Payload>().a, 51u);
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,100 @@
+// Model-based stress test: the R-tree against a brute-force reference
+// under randomized insert/delete/window/kNN streams, including rectangle
+// (non-point) entries.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/rtree.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+
+namespace msq {
+namespace {
+
+struct ModelEntry {
+  Mbr mbr;
+  std::uint32_t id;
+};
+
+Mbr RandomRect(Rng& rng, double max_extent) {
+  const double x = rng.NextDouble();
+  const double y = rng.NextDouble();
+  const double w = rng.NextDouble() * max_extent;
+  const double h = rng.NextDouble() * max_extent;
+  return Mbr{x, y, std::min(1.0, x + w), std::min(1.0, y + h)};
+}
+
+class RTreeStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RTreeStressTest, MatchesBruteForce) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 4096);
+  RTree tree(&buffer);
+  std::vector<ModelEntry> model;
+  Rng rng(GetParam());
+  std::uint32_t next_id = 0;
+
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t kind = rng.NextBounded(10);
+    if (kind < 5 || model.empty()) {
+      // Insert (points and small rectangles).
+      const Mbr mbr = rng.NextBounded(2) == 0
+                          ? Mbr::FromPoint(
+                                {rng.NextDouble(), rng.NextDouble()})
+                          : RandomRect(rng, 0.05);
+      tree.Insert(mbr, next_id);
+      model.push_back(ModelEntry{mbr, next_id});
+      ++next_id;
+    } else if (kind < 7) {
+      // Delete a random live entry.
+      const std::size_t pick = rng.NextBounded(model.size());
+      ASSERT_TRUE(tree.Delete(model[pick].mbr, model[pick].id));
+      model[pick] = model.back();
+      model.pop_back();
+    } else if (kind < 9) {
+      // Window query.
+      const Mbr window = RandomRect(rng, 0.4);
+      std::vector<std::uint32_t> got;
+      tree.WindowQuery(window, &got);
+      std::sort(got.begin(), got.end());
+      std::vector<std::uint32_t> expected;
+      for (const ModelEntry& e : model) {
+        if (e.mbr.Intersects(window)) expected.push_back(e.id);
+      }
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(got, expected) << "window mismatch at op " << op;
+    } else {
+      // kNN (by MBR MinDist).
+      const Point query{rng.NextDouble(), rng.NextDouble()};
+      const std::size_t k = 1 + rng.NextBounded(8);
+      std::vector<std::uint32_t> got;
+      tree.KnnQuery(query, k, &got);
+      // Compare realized distances against the brute-force order.
+      std::vector<Dist> expected_dists;
+      for (const ModelEntry& e : model) {
+        expected_dists.push_back(e.mbr.MinDist(query));
+      }
+      std::sort(expected_dists.begin(), expected_dists.end());
+      ASSERT_EQ(got.size(), std::min(k, model.size()));
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        // Find the got entry's distance in the model.
+        Dist got_dist = kInfDist;
+        for (const ModelEntry& e : model) {
+          if (e.id == got[i]) got_dist = e.mbr.MinDist(query);
+        }
+        EXPECT_NEAR(got_dist, expected_dists[i], 1e-12)
+            << "knn rank " << i << " at op " << op;
+      }
+    }
+    ASSERT_EQ(tree.size(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeStressTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace msq

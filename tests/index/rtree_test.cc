@@ -1,0 +1,409 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+
+namespace msq {
+namespace {
+
+class RTreeTest : public ::testing::Test {
+ protected:
+  RTreeTest() : buffer_(&disk_, 1024) {}
+
+  std::vector<Point> RandomPoints(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Point> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+    }
+    return points;
+  }
+
+  InMemoryDiskManager disk_;
+  BufferManager buffer_;
+};
+
+TEST_F(RTreeTest, EmptyTree) {
+  RTree tree(&buffer_);
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0, 0, 1, 1}, &hits);
+  EXPECT_TRUE(hits.empty());
+  RTreeNnBrowser browser(&tree, Point{0.5, 0.5});
+  EXPECT_FALSE(browser.Next().found);
+}
+
+TEST_F(RTreeTest, InsertAndWindowQuery) {
+  RTree tree(&buffer_);
+  tree.Insert(Mbr::FromPoint({0.1, 0.1}), 1);
+  tree.Insert(Mbr::FromPoint({0.9, 0.9}), 2);
+  tree.Insert(Mbr::FromPoint({0.5, 0.5}), 3);
+  EXPECT_EQ(tree.size(), 3u);
+
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0.0, 0.0, 0.6, 0.6}, &hits);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST_F(RTreeTest, WindowBoundaryInclusive) {
+  RTree tree(&buffer_);
+  tree.Insert(Mbr::FromPoint({0.5, 0.5}), 9);
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0.5, 0.5, 0.6, 0.6}, &hits);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_F(RTreeTest, ManyInsertsAllRetrievable) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(2000, 42);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  EXPECT_EQ(tree.size(), points.size());
+  EXPECT_GT(tree.height(), 1u);
+
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0, 0, 1, 1}, &hits);
+  EXPECT_EQ(hits.size(), points.size());
+  std::sort(hits.begin(), hits.end());
+  for (std::uint32_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], i);
+}
+
+TEST_F(RTreeTest, WindowQueryMatchesLinearScanAfterInserts) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(500, 7);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  const Mbr window{0.2, 0.3, 0.6, 0.8};
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(window, &hits);
+  std::sort(hits.begin(), hits.end());
+
+  std::vector<std::uint32_t> expected;
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    if (window.Contains(points[i])) expected.push_back(i);
+  }
+  EXPECT_EQ(hits, expected);
+}
+
+TEST_F(RTreeTest, BulkLoadMatchesLinearScan) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(3000, 99);
+  std::vector<RTreeEntry> items;
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    items.push_back(RTreeEntry{Mbr::FromPoint(points[i]), i});
+  }
+  tree.BulkLoad(std::move(items));
+  EXPECT_EQ(tree.size(), points.size());
+
+  const Mbr window{0.1, 0.1, 0.35, 0.9};
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(window, &hits);
+  std::sort(hits.begin(), hits.end());
+  std::vector<std::uint32_t> expected;
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    if (window.Contains(points[i])) expected.push_back(i);
+  }
+  EXPECT_EQ(hits, expected);
+}
+
+TEST_F(RTreeTest, BulkLoadEmpty) {
+  RTree tree(&buffer_);
+  tree.BulkLoad({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST_F(RTreeTest, BulkLoadSingleItem) {
+  RTree tree(&buffer_);
+  tree.BulkLoad({RTreeEntry{Mbr::FromPoint({0.3, 0.3}), 5}});
+  EXPECT_EQ(tree.size(), 1u);
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0, 0, 1, 1}, &hits);
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{5}));
+}
+
+TEST_F(RTreeTest, RectangleEntriesIntersectionSemantics) {
+  RTree tree(&buffer_);
+  tree.Insert(Mbr{0.0, 0.0, 0.4, 0.4}, 1);
+  tree.Insert(Mbr{0.6, 0.6, 0.9, 0.9}, 2);
+  std::vector<std::uint32_t> hits;
+  // Window overlapping entry 1 only partially still reports it.
+  tree.WindowQuery(Mbr{0.3, 0.3, 0.5, 0.5}, &hits);
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{1}));
+}
+
+TEST_F(RTreeTest, ForEachEntryVisitsAll) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(300, 3);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  std::vector<bool> seen(points.size(), false);
+  tree.ForEachEntry([&](const RTreeEntry& e) { seen[e.id] = true; });
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](bool b) { return b; }));
+}
+
+TEST_F(RTreeTest, NnBrowserAscendingOrder) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(800, 11);
+  std::vector<RTreeEntry> items;
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    items.push_back(RTreeEntry{Mbr::FromPoint(points[i]), i});
+  }
+  tree.BulkLoad(std::move(items));
+
+  const Point query{0.5, 0.5};
+  RTreeNnBrowser browser(&tree, query);
+  Dist last = 0.0;
+  std::size_t count = 0;
+  for (auto r = browser.Next(); r.found; r = browser.Next()) {
+    EXPECT_GE(r.distance + 1e-12, last);
+    EXPECT_NEAR(r.distance, EuclideanDistance(points[r.id], query), 1e-12);
+    last = r.distance;
+    ++count;
+  }
+  EXPECT_EQ(count, points.size());
+}
+
+TEST_F(RTreeTest, NnBrowserMatchesLinearScanOrder) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(200, 21);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  const Point query{0.1, 0.9};
+  std::vector<std::uint32_t> expected(points.size());
+  for (std::uint32_t i = 0; i < points.size(); ++i) expected[i] = i;
+  std::sort(expected.begin(), expected.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return SquaredDistance(points[a], query) <
+                     SquaredDistance(points[b], query);
+            });
+
+  RTreeNnBrowser browser(&tree, query);
+  for (const std::uint32_t want : expected) {
+    const auto r = browser.Next();
+    ASSERT_TRUE(r.found);
+    // Ties can swap; compare distances, not ids.
+    EXPECT_NEAR(r.distance, EuclideanDistance(points[want], query), 1e-12);
+  }
+  EXPECT_FALSE(browser.Next().found);
+}
+
+TEST_F(RTreeTest, NnBrowserPrunePredicateSkips) {
+  RTree tree(&buffer_);
+  tree.Insert(Mbr::FromPoint({0.2, 0.5}), 1);
+  tree.Insert(Mbr::FromPoint({0.4, 0.5}), 2);
+  tree.Insert(Mbr::FromPoint({0.6, 0.5}), 3);
+
+  // Prune everything with x < 0.5.
+  RTreeNnBrowser browser(&tree, Point{0.0, 0.5},
+                         [](const RTreeEntry& e, bool is_leaf) {
+                           return is_leaf && e.mbr.hi_x < 0.5;
+                         });
+  const auto r = browser.Next();
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.id, 3u);
+  EXPECT_FALSE(browser.Next().found);
+}
+
+TEST_F(RTreeTest, NnBrowserRetroactivePrune) {
+  RTree tree(&buffer_);
+  tree.Insert(Mbr::FromPoint({0.2, 0.5}), 1);
+  tree.Insert(Mbr::FromPoint({0.4, 0.5}), 2);
+
+  bool prune_all = false;
+  RTreeNnBrowser browser(&tree, Point{0.0, 0.5},
+                         [&](const RTreeEntry&, bool is_leaf) {
+                           return is_leaf && prune_all;
+                         });
+  EXPECT_TRUE(browser.Next().found);
+  prune_all = true;  // state grows between calls, as S does in LBC
+  EXPECT_FALSE(browser.Next().found);
+}
+
+TEST_F(RTreeTest, PeekLowerBoundIsLowerBound) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(100, 5);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  RTreeNnBrowser browser(&tree, Point{0.5, 0.5});
+  for (;;) {
+    const Dist bound = browser.PeekLowerBound();
+    const auto r = browser.Next();
+    if (!r.found) break;
+    EXPECT_LE(bound, r.distance + 1e-12);
+  }
+}
+
+TEST_F(RTreeTest, HeightGrowsLogarithmically) {
+  RTree tree(&buffer_);
+  const std::size_t cap = RTree::MaxEntriesPerNode();
+  const auto points = RandomPoints(cap * 3, 13);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  EXPECT_GE(tree.height(), 2u);
+  EXPECT_LE(tree.height(), 4u);
+}
+
+TEST_F(RTreeTest, DeleteSingleEntry) {
+  RTree tree(&buffer_);
+  tree.Insert(Mbr::FromPoint({0.5, 0.5}), 7);
+  EXPECT_TRUE(tree.Delete(Mbr::FromPoint({0.5, 0.5}), 7));
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0, 0, 1, 1}, &hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(RTreeTest, DeleteMissingEntryReturnsFalse) {
+  RTree tree(&buffer_);
+  tree.Insert(Mbr::FromPoint({0.5, 0.5}), 7);
+  EXPECT_FALSE(tree.Delete(Mbr::FromPoint({0.5, 0.5}), 8));   // wrong id
+  EXPECT_FALSE(tree.Delete(Mbr::FromPoint({0.4, 0.5}), 7));   // wrong mbr
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(RTreeTest, DeleteHalfThenQueriesStillExact) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(1500, 77);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  // Delete every even id.
+  for (std::uint32_t i = 0; i < points.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(Mbr::FromPoint(points[i]), i)) << i;
+  }
+  EXPECT_EQ(tree.size(), points.size() / 2);
+
+  const Mbr window{0.1, 0.2, 0.7, 0.9};
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(window, &hits);
+  std::sort(hits.begin(), hits.end());
+  std::vector<std::uint32_t> expected;
+  for (std::uint32_t i = 1; i < points.size(); i += 2) {
+    if (window.Contains(points[i])) expected.push_back(i);
+  }
+  EXPECT_EQ(hits, expected);
+}
+
+TEST_F(RTreeTest, DeleteEverythingThenReinsert) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(600, 31);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(tree.Delete(Mbr::FromPoint(points[i]), i));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  // The condensed tree accepts new inserts.
+  tree.Insert(Mbr::FromPoint({0.3, 0.3}), 999);
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0, 0, 1, 1}, &hits);
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{999}));
+}
+
+TEST_F(RTreeTest, DeleteCondensesHeight) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(2000, 13);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  const std::uint32_t tall = tree.height();
+  for (std::uint32_t i = 0; i < 1990; ++i) {
+    ASSERT_TRUE(tree.Delete(Mbr::FromPoint(points[i]), i));
+  }
+  EXPECT_LT(tree.height(), tall);
+  // Remaining entries all retrievable.
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0, 0, 1, 1}, &hits);
+  EXPECT_EQ(hits.size(), 10u);
+}
+
+TEST_F(RTreeTest, DeleteInterleavedWithInserts) {
+  RTree tree(&buffer_);
+  Rng rng(5);
+  std::vector<Point> live_points;
+  std::vector<std::uint32_t> live_ids;
+  std::uint32_t next_id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (live_ids.empty() || rng.NextBounded(3) != 0) {
+      const Point p{rng.NextDouble(), rng.NextDouble()};
+      tree.Insert(Mbr::FromPoint(p), next_id);
+      live_points.push_back(p);
+      live_ids.push_back(next_id++);
+    } else {
+      const std::size_t pick = rng.NextBounded(live_ids.size());
+      ASSERT_TRUE(tree.Delete(Mbr::FromPoint(live_points[pick]),
+                              live_ids[pick]));
+      live_points[pick] = live_points.back();
+      live_points.pop_back();
+      live_ids[pick] = live_ids.back();
+      live_ids.pop_back();
+    }
+  }
+  EXPECT_EQ(tree.size(), live_ids.size());
+  std::vector<std::uint32_t> hits;
+  tree.WindowQuery(Mbr{0, 0, 1, 1}, &hits);
+  std::sort(hits.begin(), hits.end());
+  std::vector<std::uint32_t> expected = live_ids;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(hits, expected);
+}
+
+TEST_F(RTreeTest, KnnQueryMatchesLinearScan) {
+  RTree tree(&buffer_);
+  const auto points = RandomPoints(400, 3);
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    tree.Insert(Mbr::FromPoint(points[i]), i);
+  }
+  const Point query{0.4, 0.6};
+  std::vector<std::uint32_t> got;
+  tree.KnnQuery(query, 10, &got);
+  ASSERT_EQ(got.size(), 10u);
+
+  std::vector<std::uint32_t> order(points.size());
+  for (std::uint32_t i = 0; i < points.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return SquaredDistance(points[a], query) <
+                     SquaredDistance(points[b], query);
+            });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(EuclideanDistance(points[got[i]], query),
+                EuclideanDistance(points[order[i]], query), 1e-12);
+  }
+}
+
+TEST_F(RTreeTest, KnnQueryMoreThanSize) {
+  RTree tree(&buffer_);
+  tree.Insert(Mbr::FromPoint({0.1, 0.1}), 1);
+  tree.Insert(Mbr::FromPoint({0.2, 0.2}), 2);
+  std::vector<std::uint32_t> got;
+  tree.KnnQuery(Point{0, 0}, 10, &got);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST_F(RTreeTest, NodeFitsInOnePage) {
+  // A full node must serialize into a 4 KB page.
+  const std::size_t cap = RTree::MaxEntriesPerNode();
+  EXPECT_GT(cap, 50u);
+  EXPECT_LE(5 + cap * 36, kPageSize);
+}
+
+}  // namespace
+}  // namespace msq

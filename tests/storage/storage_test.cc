@@ -1,0 +1,233 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace msq {
+namespace {
+
+Page MakePattern(std::uint8_t value) {
+  Page page;
+  for (auto& b : page.data) b = static_cast<std::byte>(value);
+  return page;
+}
+
+// ------------------------------------------------------------ PageWriter
+
+TEST(PageIoTest, WriteReadRoundTrip) {
+  Page page;
+  PageWriter writer(&page);
+  writer.Write<std::uint32_t>(0xdeadbeef);
+  writer.Write<double>(3.25);
+  writer.Write<std::uint8_t>(7);
+
+  PageReader reader(&page);
+  EXPECT_EQ(reader.Read<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(reader.Read<double>(), 3.25);
+  EXPECT_EQ(reader.Read<std::uint8_t>(), 7);
+}
+
+TEST(PageIoTest, SeekRepositionsReader) {
+  Page page;
+  PageWriter writer(&page);
+  writer.Write<std::uint64_t>(11);
+  writer.Write<std::uint64_t>(22);
+  PageReader reader(&page);
+  reader.Seek(8);
+  EXPECT_EQ(reader.Read<std::uint64_t>(), 22u);
+}
+
+TEST(PageIoTest, RemainingTracksCapacity) {
+  Page page;
+  PageWriter writer(&page);
+  EXPECT_EQ(writer.remaining(), kPageSize);
+  writer.Write<std::uint32_t>(1);
+  EXPECT_EQ(writer.remaining(), kPageSize - 4);
+}
+
+// ----------------------------------------------------- InMemoryDiskManager
+
+TEST(InMemoryDiskManagerTest, AllocateReadWrite) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate();
+  const PageId b = disk.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(disk.PageCount(), 2u);
+
+  disk.Write(a, MakePattern(0xaa));
+  disk.Write(b, MakePattern(0xbb));
+  Page out;
+  disk.Read(a, &out);
+  EXPECT_EQ(out.data[100], static_cast<std::byte>(0xaa));
+  disk.Read(b, &out);
+  EXPECT_EQ(out.data[4095], static_cast<std::byte>(0xbb));
+}
+
+TEST(InMemoryDiskManagerTest, CountersTrackOps) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate();
+  Page page;
+  disk.Write(a, page);
+  disk.Read(a, &page);
+  disk.Read(a, &page);
+  EXPECT_EQ(disk.writes(), 1u);
+  EXPECT_EQ(disk.reads(), 2u);
+  disk.ResetCounters();
+  EXPECT_EQ(disk.reads(), 0u);
+  EXPECT_EQ(disk.writes(), 0u);
+}
+
+TEST(InMemoryDiskManagerTest, FreshPageIsZeroed) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate();
+  Page out = MakePattern(0xff);
+  disk.Read(a, &out);
+  EXPECT_EQ(out.data[0], static_cast<std::byte>(0));
+  EXPECT_EQ(out.data[kPageSize - 1], static_cast<std::byte>(0));
+}
+
+// ------------------------------------------------------- FileDiskManager
+
+TEST(FileDiskManagerTest, PersistsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/msq_disk_test.bin";
+  {
+    auto disk = FileDiskManager::Open(path, /*truncate=*/true);
+    ASSERT_NE(disk, nullptr);
+    const PageId a = disk->Allocate();
+    disk->Write(a, MakePattern(0x5c));
+  }
+  {
+    auto disk = FileDiskManager::Open(path, /*truncate=*/false);
+    ASSERT_NE(disk, nullptr);
+    EXPECT_EQ(disk->PageCount(), 1u);
+    Page out;
+    disk->Read(0, &out);
+    EXPECT_EQ(out.data[17], static_cast<std::byte>(0x5c));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, TruncateDiscardsContents) {
+  const std::string path = ::testing::TempDir() + "/msq_disk_trunc.bin";
+  {
+    auto disk = FileDiskManager::Open(path, /*truncate=*/true);
+    ASSERT_NE(disk, nullptr);
+    disk->Allocate();
+  }
+  {
+    auto disk = FileDiskManager::Open(path, /*truncate=*/true);
+    ASSERT_NE(disk, nullptr);
+    EXPECT_EQ(disk->PageCount(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, OpenFailureReturnsNull) {
+  auto disk =
+      FileDiskManager::Open("/nonexistent_dir_msq/file.bin", true);
+  EXPECT_EQ(disk, nullptr);
+}
+
+// --------------------------------------------------------- BufferManager
+
+TEST(BufferManagerTest, HitAfterMiss) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate();
+  BufferManager buffer(&disk, 4);
+  buffer.Fetch(a);
+  EXPECT_EQ(buffer.stats().misses, 1u);
+  buffer.Fetch(a);
+  EXPECT_EQ(buffer.stats().hits, 1u);
+  EXPECT_EQ(buffer.stats().misses, 1u);
+}
+
+TEST(BufferManagerTest, EvictsLeastRecentlyUsed) {
+  InMemoryDiskManager disk;
+  PageId pages[3];
+  for (auto& p : pages) p = disk.Allocate();
+  BufferManager buffer(&disk, 2);
+
+  buffer.Fetch(pages[0]);
+  buffer.Fetch(pages[1]);
+  buffer.Fetch(pages[0]);  // 1 is now LRU
+  buffer.Fetch(pages[2]);  // evicts 1
+  EXPECT_EQ(buffer.stats().evictions, 1u);
+  buffer.Fetch(pages[0]);  // still resident
+  EXPECT_EQ(buffer.stats().misses, 3u);
+  buffer.Fetch(pages[1]);  // was evicted -> miss
+  EXPECT_EQ(buffer.stats().misses, 4u);
+}
+
+TEST(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate();
+  const PageId b = disk.Allocate();
+  BufferManager buffer(&disk, 1);
+
+  Page* page = buffer.Fetch(a, /*mark_dirty=*/true);
+  page->data[0] = static_cast<std::byte>(0x42);
+  buffer.Fetch(b);  // evicts a, must write it back
+
+  Page out;
+  disk.Read(a, &out);
+  EXPECT_EQ(out.data[0], static_cast<std::byte>(0x42));
+  EXPECT_EQ(buffer.stats().dirty_writebacks, 1u);
+}
+
+TEST(BufferManagerTest, CleanPageNotWrittenBack) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate();
+  const PageId b = disk.Allocate();
+  BufferManager buffer(&disk, 1);
+  buffer.Fetch(a);
+  buffer.Fetch(b);
+  EXPECT_EQ(buffer.stats().dirty_writebacks, 0u);
+  EXPECT_EQ(disk.writes(), 0u);
+}
+
+TEST(BufferManagerTest, AllocatePageIsResidentAndDirty) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 2);
+  auto [id, page] = buffer.AllocatePage();
+  page->data[7] = static_cast<std::byte>(0x99);
+  buffer.FlushAll();
+  Page out;
+  disk.Read(id, &out);
+  EXPECT_EQ(out.data[7], static_cast<std::byte>(0x99));
+}
+
+TEST(BufferManagerTest, ClearDropsResidency) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate();
+  BufferManager buffer(&disk, 4);
+  buffer.Fetch(a);
+  buffer.Clear();
+  EXPECT_EQ(buffer.resident_pages(), 0u);
+  buffer.ResetStats();
+  buffer.Fetch(a);
+  EXPECT_EQ(buffer.stats().misses, 1u);
+}
+
+TEST(BufferManagerTest, DefaultFramesMatchPaperSetup) {
+  // 1 MB buffer of 4 KB pages = 256 frames.
+  EXPECT_EQ(kDefaultBufferFrames, 256u);
+}
+
+TEST(BufferManagerTest, ModificationsVisibleWhileResident) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate();
+  BufferManager buffer(&disk, 4);
+  Page* page = buffer.Fetch(a, true);
+  page->data[3] = static_cast<std::byte>(0x17);
+  // Same pooled image on re-fetch.
+  Page* again = buffer.Fetch(a);
+  EXPECT_EQ(again->data[3], static_cast<std::byte>(0x17));
+}
+
+}  // namespace
+}  // namespace msq

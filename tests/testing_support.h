@@ -1,0 +1,93 @@
+// Shared helpers for the msq test suite.
+#ifndef MSQ_TESTS_TESTING_SUPPORT_H_
+#define MSQ_TESTS_TESTING_SUPPORT_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "gen/workloads.h"
+#include "graph/road_network.h"
+
+namespace msq::testing {
+
+// k x k grid network in the unit square, unit-square spacing 1/(k-1);
+// horizontal and vertical edges with Euclidean lengths. Node (r, c) has id
+// r * k + c. Finalized.
+inline RoadNetwork MakeGridNetwork(std::size_t k) {
+  RoadNetwork network;
+  const double step = k > 1 ? 1.0 / static_cast<double>(k - 1) : 1.0;
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      network.AddNode(Point{static_cast<double>(c) * step,
+                            static_cast<double>(r) * step});
+    }
+  }
+  auto id = [k](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * k + c);
+  };
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c + 1 < k) network.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < k) network.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  network.Finalize();
+  return network;
+}
+
+// Straight-line network: n nodes equally spaced on the x axis, n-1 edges.
+inline RoadNetwork MakeLineNetwork(std::size_t n) {
+  RoadNetwork network;
+  const double step = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    network.AddNode(Point{static_cast<double>(i) * step, 0.5});
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    network.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  network.Finalize();
+  return network;
+}
+
+// Object ids of a result, sorted.
+inline std::vector<ObjectId> SkylineIds(const SkylineResult& result) {
+  std::vector<ObjectId> ids;
+  ids.reserve(result.skyline.size());
+  for (const SkylineEntry& entry : result.skyline) {
+    ids.push_back(entry.object);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Builds a workload around a handcrafted network + objects with default
+// buffer sizes.
+inline std::unique_ptr<Workload> MakeWorkload(
+    RoadNetwork network, std::vector<Location> objects,
+    std::vector<DistVector> attrs = {}) {
+  WorkloadConfig config;
+  return std::make_unique<Workload>(config, std::move(network),
+                                    std::move(objects), std::move(attrs));
+}
+
+// Random connected workload (generated network + uniform objects).
+inline std::unique_ptr<Workload> MakeRandomWorkload(std::size_t nodes,
+                                                    std::size_t edges,
+                                                    double object_density,
+                                                    std::uint64_t seed,
+                                                    std::size_t attr_dims =
+                                                        0) {
+  WorkloadConfig config;
+  config.network =
+      NetworkGenConfig{nodes, edges, seed, /*curvature=*/0.0};
+  config.object_density = object_density;
+  config.object_seed = seed * 31 + 7;
+  config.static_attr_dims = attr_dims;
+  return std::make_unique<Workload>(config);
+}
+
+}  // namespace msq::testing
+
+#endif  // MSQ_TESTS_TESTING_SUPPORT_H_

@@ -1,0 +1,16 @@
+#include <cstdio>
+#include <algorithm>
+#include "gen/network_gen.h"
+#include "gen/workloads.h"
+using namespace msq;
+int main() {
+  for (NetworkClass cls :
+       {NetworkClass::kCA, NetworkClass::kAU, NetworkClass::kNA}) {
+    const auto cfg = PaperNetworkConfig(cls, 0.3, 1);
+    const RoadNetwork net = GenerateNetwork(cfg);
+    std::printf("%s (scale 0.3): |V|=%zu |E|=%zu delta=%.3f\n",
+                NetworkClassName(cls).c_str(), net.node_count(),
+                net.edge_count(), MeasureDetourRatio(net, 200, 9));
+  }
+  return 0;
+}

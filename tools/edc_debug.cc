@@ -1,0 +1,62 @@
+// Throwaway diagnostic: is each naive-skyline point missed by EDC inside
+// the union window (implementation bug) or outside it (intrinsic gap)?
+#include <cstdio>
+#include <unordered_set>
+#include "core/edc.h"
+#include "core/naive.h"
+#include "euclid/bbs.h"
+#include "euclid/bnl.h"
+#include "gen/workloads.h"
+#include "graph/astar.h"
+
+using namespace msq;
+
+int main() {
+  WorkloadConfig config;
+  config.network = NetworkGenConfig{240, 330, 107, 0.0};
+  config.object_density = 0.5;
+  config.object_seed = 107 * 31 + 7;
+  Workload workload(config);
+  auto spec = workload.SampleQuery(4, 107 + 1000);
+  Dataset d = workload.dataset();
+
+  auto naive = RunNaive(d, spec);
+  auto edc = RunEdc(d, spec);
+  std::unordered_set<ObjectId> edc_ids;
+  for (auto& e : edc.skyline) edc_ids.insert(e.object);
+
+  // Recompute Euclid skyline + shifted vectors.
+  std::vector<Point> qpts;
+  for (auto& s : spec.sources) qpts.push_back(d.network->LocationPosition(s));
+  std::vector<Point> opts_;
+  for (ObjectId i = 0; i < d.object_count(); ++i)
+    opts_.push_back(d.mapping->ObjectPosition(i));
+  auto esky = BnlEuclideanSkyline(opts_, qpts);
+  std::vector<DistVector> windows;
+  std::vector<std::unique_ptr<AStarSearch>> searches;
+  for (auto& s : spec.sources)
+    searches.push_back(std::make_unique<AStarSearch>(d.graph_pager, s));
+  for (auto idx : esky) {
+    DistVector w;
+    for (auto& s : searches)
+      w.push_back(s->DistanceTo(d.mapping->ObjectLocation((ObjectId)idx)));
+    windows.push_back(w);
+  }
+  std::printf("euclid skyline size %zu, naive %zu, edc %zu\n", esky.size(),
+              naive.skyline.size(), edc.skyline.size());
+  for (auto& entry : naive.skyline) {
+    if (edc_ids.count(entry.object)) continue;
+    // inside any window? (Euclid vector vs window)
+    DistVector ev = EuclideanVector(opts_[entry.object], qpts);
+    bool inside = false;
+    for (auto& w : windows) {
+      bool in = true;
+      for (size_t i = 0; i < ev.size(); ++i)
+        if (ev[i] > w[i]) { in = false; break; }
+      if (in) { inside = true; break; }
+    }
+    std::printf("missed object %u: inside union window = %d\n", entry.object,
+                (int)inside);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "core/edc.h"
+#include "core/naive.h"
+#include "gen/workloads.h"
+using namespace msq;
+int main() {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    WorkloadConfig config;
+    config.network = NetworkGenConfig{400, 1000, seed, 0.0};
+    config.object_density = 0.5;
+    config.object_seed = seed * 31 + 7;
+    Workload w(config);
+    auto spec = w.SampleQuery(3, seed);
+    auto naive = RunNaive(w.dataset(), spec);
+    auto faithful =
+        RunEdc(w.dataset(), spec, EdcOptions{.paper_faithful = true});
+    std::printf("seed %llu: naive %zu faithful %zu\n",
+                (unsigned long long)seed, naive.skyline.size(),
+                faithful.skyline.size());
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Replays FuzzTest.AllAlgorithmsMatchOracleOnAdversarialInstances for a
+// given seed, printing full instance details on any divergence.
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include "common/rng.h"
+#include "core/skyline_query.h"
+#include "gen/network_gen.h"
+#include "gen/workloads.h"
+
+using namespace msq;
+
+static RoadNetwork MakeGridNetwork(std::size_t k) {
+  RoadNetwork network;
+  const double step = k > 1 ? 1.0 / static_cast<double>(k - 1) : 1.0;
+  for (std::size_t r = 0; r < k; ++r)
+    for (std::size_t c = 0; c < k; ++c)
+      network.AddNode(Point{c * step, r * step});
+  auto id = [k](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * k + c);
+  };
+  for (std::size_t r = 0; r < k; ++r)
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c + 1 < k) network.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < k) network.AddEdge(id(r, c), id(r + 1, c));
+    }
+  network.Finalize();
+  return network;
+}
+
+static std::vector<ObjectId> Ids(const SkylineResult& r) {
+  std::vector<ObjectId> ids;
+  for (auto& e : r.skyline) ids.push_back(e.object);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2;
+  Rng rng(seed * 7919 + 13);
+  for (int instance = 0; instance < 12; ++instance) {
+    RoadNetwork network =
+        (instance % 2 == 0)
+            ? MakeGridNetwork(3 + rng.NextBounded(4))
+            : GenerateNetwork({.node_count = 20 + rng.NextBounded(60),
+                               .edge_count = 25 + rng.NextBounded(90),
+                               .seed = rng.Next(),
+                               .curvature = rng.NextDouble()});
+    const std::size_t object_count = 1 + rng.NextBounded(25);
+    std::vector<Location> objects;
+    while (objects.size() < object_count) {
+      const EdgeId edge = (EdgeId)rng.NextBounded(network.edge_count());
+      const Dist length = network.EdgeAt(edge).length;
+      switch (rng.NextBounded(6)) {
+        case 0: objects.push_back({edge, 0.0}); break;
+        case 1: objects.push_back({edge, length}); break;
+        case 2: objects.push_back({edge, length * 0.5}); break;
+        case 3:
+          if (!objects.empty()) {
+            objects.push_back(objects[rng.NextBounded(objects.size())]);
+            break;
+          }
+          [[fallthrough]];
+        default: objects.push_back({edge, rng.NextDouble() * length}); break;
+      }
+    }
+    SkylineQuerySpec spec;
+    const std::size_t qn = 1 + rng.NextBounded(4);
+    while (spec.sources.size() < qn) {
+      if (!objects.empty() && rng.NextBounded(3) == 0) {
+        spec.sources.push_back(objects[rng.NextBounded(objects.size())]);
+      } else {
+        const EdgeId edge = (EdgeId)rng.NextBounded(network.edge_count());
+        spec.sources.push_back(
+            {edge, rng.NextDouble() * network.EdgeAt(edge).length});
+      }
+    }
+
+    WorkloadConfig config;
+    Workload workload(config, std::move(network), objects);
+    auto naive = RunSkylineQuery(Algorithm::kNaive, workload.dataset(), spec);
+    auto lbc = RunSkylineQuery(Algorithm::kLbc, workload.dataset(), spec);
+    if (Ids(naive) != Ids(lbc)) {
+      std::printf("instance %d diverges\n", instance);
+      std::printf("objects (%zu):\n", objects.size());
+      for (std::size_t i = 0; i < objects.size(); ++i)
+        std::printf("  %zu: edge %u off %.9f\n", i, objects[i].edge,
+                    objects[i].offset);
+      std::printf("queries:\n");
+      for (auto& q : spec.sources)
+        std::printf("  edge %u off %.9f\n", q.edge, q.offset);
+      std::printf("naive:");
+      for (auto& e : naive.skyline) {
+        std::printf(" %u[", e.object);
+        for (std::size_t d = 0; d < e.vector.size(); ++d)
+          std::printf("%s%.9f", d ? "," : "", e.vector[d]);
+        std::printf("]");
+      }
+      std::printf("\nlbc:  ");
+      for (auto& e : lbc.skyline) {
+        std::printf(" %u[", e.object);
+        for (std::size_t d = 0; d < e.vector.size(); ++d)
+          std::printf("%s%.9f", d ? "," : "", e.vector[d]);
+        std::printf("]");
+      }
+      std::printf("\n");
+      return 1;
+    }
+  }
+  std::printf("seed %llu: all instances agree\n",
+              (unsigned long long)seed);
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include <cstdio>
+#include "core/lbc.h"
+#include "core/query.h"
+#include "gen/workloads.h"
+using namespace msq;
+int main() {
+  WorkloadConfig config;
+  config.network = PaperNetworkConfig(NetworkClass::kNA, 0.2, 12);
+  config.object_density = 0.5;
+  Workload w(config);
+  const auto spec = w.SampleQuery(12, 1);
+  w.ResetBuffers();
+  const double t0 = MonotonicSeconds();
+  auto r = RunLbc(w.dataset(), spec);
+  std::printf("lbc: %.1f ms, skyline %zu, candidates %zu, settled %zu\n",
+              (MonotonicSeconds() - t0) * 1e3, r.skyline.size(),
+              r.stats.candidate_count, r.stats.settled_nodes);
+  return 0;
+}
