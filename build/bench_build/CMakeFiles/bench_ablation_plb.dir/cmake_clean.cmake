@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_plb"
+  "../bench/bench_ablation_plb.pdb"
+  "CMakeFiles/bench_ablation_plb.dir/bench_ablation_plb.cc.o"
+  "CMakeFiles/bench_ablation_plb.dir/bench_ablation_plb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_plb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_qsize"
+  "../bench/bench_fig6_qsize.pdb"
+  "CMakeFiles/bench_fig6_qsize.dir/bench_fig6_qsize.cc.o"
+  "CMakeFiles/bench_fig6_qsize.dir/bench_fig6_qsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_qsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_siting.dir/facility_siting.cpp.o"
+  "CMakeFiles/facility_siting.dir/facility_siting.cpp.o.d"
+  "facility_siting"
+  "facility_siting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_siting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meeting_point.dir/meeting_point.cpp.o"
+  "CMakeFiles/meeting_point.dir/meeting_point.cpp.o.d"
+  "meeting_point"
+  "meeting_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meeting_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

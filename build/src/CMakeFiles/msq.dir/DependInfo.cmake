@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/metrics.cc" "src/CMakeFiles/msq.dir/bench_support/metrics.cc.o" "gcc" "src/CMakeFiles/msq.dir/bench_support/metrics.cc.o.d"
+  "/root/repo/src/bench_support/table.cc" "src/CMakeFiles/msq.dir/bench_support/table.cc.o" "gcc" "src/CMakeFiles/msq.dir/bench_support/table.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/msq.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/msq.dir/common/rng.cc.o.d"
+  "/root/repo/src/core/aggregate_nn.cc" "src/CMakeFiles/msq.dir/core/aggregate_nn.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/aggregate_nn.cc.o.d"
+  "/root/repo/src/core/ce.cc" "src/CMakeFiles/msq.dir/core/ce.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/ce.cc.o.d"
+  "/root/repo/src/core/constrained.cc" "src/CMakeFiles/msq.dir/core/constrained.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/constrained.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/CMakeFiles/msq.dir/core/dominance.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/dominance.cc.o.d"
+  "/root/repo/src/core/edc.cc" "src/CMakeFiles/msq.dir/core/edc.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/edc.cc.o.d"
+  "/root/repo/src/core/lbc.cc" "src/CMakeFiles/msq.dir/core/lbc.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/lbc.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/CMakeFiles/msq.dir/core/naive.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/naive.cc.o.d"
+  "/root/repo/src/core/network_queries.cc" "src/CMakeFiles/msq.dir/core/network_queries.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/network_queries.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/msq.dir/core/query.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/query.cc.o.d"
+  "/root/repo/src/core/skyband.cc" "src/CMakeFiles/msq.dir/core/skyband.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/skyband.cc.o.d"
+  "/root/repo/src/core/skyline_query.cc" "src/CMakeFiles/msq.dir/core/skyline_query.cc.o" "gcc" "src/CMakeFiles/msq.dir/core/skyline_query.cc.o.d"
+  "/root/repo/src/euclid/bbs.cc" "src/CMakeFiles/msq.dir/euclid/bbs.cc.o" "gcc" "src/CMakeFiles/msq.dir/euclid/bbs.cc.o.d"
+  "/root/repo/src/euclid/bnl.cc" "src/CMakeFiles/msq.dir/euclid/bnl.cc.o" "gcc" "src/CMakeFiles/msq.dir/euclid/bnl.cc.o.d"
+  "/root/repo/src/euclid/nn_partition.cc" "src/CMakeFiles/msq.dir/euclid/nn_partition.cc.o" "gcc" "src/CMakeFiles/msq.dir/euclid/nn_partition.cc.o.d"
+  "/root/repo/src/euclid/sfs.cc" "src/CMakeFiles/msq.dir/euclid/sfs.cc.o" "gcc" "src/CMakeFiles/msq.dir/euclid/sfs.cc.o.d"
+  "/root/repo/src/gen/dataset_io.cc" "src/CMakeFiles/msq.dir/gen/dataset_io.cc.o" "gcc" "src/CMakeFiles/msq.dir/gen/dataset_io.cc.o.d"
+  "/root/repo/src/gen/network_gen.cc" "src/CMakeFiles/msq.dir/gen/network_gen.cc.o" "gcc" "src/CMakeFiles/msq.dir/gen/network_gen.cc.o.d"
+  "/root/repo/src/gen/object_gen.cc" "src/CMakeFiles/msq.dir/gen/object_gen.cc.o" "gcc" "src/CMakeFiles/msq.dir/gen/object_gen.cc.o.d"
+  "/root/repo/src/gen/query_gen.cc" "src/CMakeFiles/msq.dir/gen/query_gen.cc.o" "gcc" "src/CMakeFiles/msq.dir/gen/query_gen.cc.o.d"
+  "/root/repo/src/gen/workloads.cc" "src/CMakeFiles/msq.dir/gen/workloads.cc.o" "gcc" "src/CMakeFiles/msq.dir/gen/workloads.cc.o.d"
+  "/root/repo/src/geom/mbr.cc" "src/CMakeFiles/msq.dir/geom/mbr.cc.o" "gcc" "src/CMakeFiles/msq.dir/geom/mbr.cc.o.d"
+  "/root/repo/src/geom/point.cc" "src/CMakeFiles/msq.dir/geom/point.cc.o" "gcc" "src/CMakeFiles/msq.dir/geom/point.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "src/CMakeFiles/msq.dir/geom/segment.cc.o" "gcc" "src/CMakeFiles/msq.dir/geom/segment.cc.o.d"
+  "/root/repo/src/graph/astar.cc" "src/CMakeFiles/msq.dir/graph/astar.cc.o" "gcc" "src/CMakeFiles/msq.dir/graph/astar.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/CMakeFiles/msq.dir/graph/dijkstra.cc.o" "gcc" "src/CMakeFiles/msq.dir/graph/dijkstra.cc.o.d"
+  "/root/repo/src/graph/graph_pager.cc" "src/CMakeFiles/msq.dir/graph/graph_pager.cc.o" "gcc" "src/CMakeFiles/msq.dir/graph/graph_pager.cc.o.d"
+  "/root/repo/src/graph/landmarks.cc" "src/CMakeFiles/msq.dir/graph/landmarks.cc.o" "gcc" "src/CMakeFiles/msq.dir/graph/landmarks.cc.o.d"
+  "/root/repo/src/graph/nn_stream.cc" "src/CMakeFiles/msq.dir/graph/nn_stream.cc.o" "gcc" "src/CMakeFiles/msq.dir/graph/nn_stream.cc.o.d"
+  "/root/repo/src/graph/road_network.cc" "src/CMakeFiles/msq.dir/graph/road_network.cc.o" "gcc" "src/CMakeFiles/msq.dir/graph/road_network.cc.o.d"
+  "/root/repo/src/graph/simplify.cc" "src/CMakeFiles/msq.dir/graph/simplify.cc.o" "gcc" "src/CMakeFiles/msq.dir/graph/simplify.cc.o.d"
+  "/root/repo/src/graph/spatial_mapping.cc" "src/CMakeFiles/msq.dir/graph/spatial_mapping.cc.o" "gcc" "src/CMakeFiles/msq.dir/graph/spatial_mapping.cc.o.d"
+  "/root/repo/src/index/bptree.cc" "src/CMakeFiles/msq.dir/index/bptree.cc.o" "gcc" "src/CMakeFiles/msq.dir/index/bptree.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/msq.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/msq.dir/index/rtree.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/msq.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/msq.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/msq.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/msq.dir/storage/disk_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bench_support/bench_support_test.cc" "tests/CMakeFiles/msq_tests.dir/bench_support/bench_support_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/bench_support/bench_support_test.cc.o.d"
+  "/root/repo/tests/common/check_test.cc" "tests/CMakeFiles/msq_tests.dir/common/check_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/common/check_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/msq_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/core/aggregate_nn_test.cc" "tests/CMakeFiles/msq_tests.dir/core/aggregate_nn_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/aggregate_nn_test.cc.o.d"
+  "/root/repo/tests/core/ce_test.cc" "tests/CMakeFiles/msq_tests.dir/core/ce_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/ce_test.cc.o.d"
+  "/root/repo/tests/core/cross_algorithm_test.cc" "tests/CMakeFiles/msq_tests.dir/core/cross_algorithm_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/cross_algorithm_test.cc.o.d"
+  "/root/repo/tests/core/dominance_test.cc" "tests/CMakeFiles/msq_tests.dir/core/dominance_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/dominance_test.cc.o.d"
+  "/root/repo/tests/core/edc_test.cc" "tests/CMakeFiles/msq_tests.dir/core/edc_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/edc_test.cc.o.d"
+  "/root/repo/tests/core/lbc_test.cc" "tests/CMakeFiles/msq_tests.dir/core/lbc_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/lbc_test.cc.o.d"
+  "/root/repo/tests/core/naive_test.cc" "tests/CMakeFiles/msq_tests.dir/core/naive_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/naive_test.cc.o.d"
+  "/root/repo/tests/core/network_queries_test.cc" "tests/CMakeFiles/msq_tests.dir/core/network_queries_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/network_queries_test.cc.o.d"
+  "/root/repo/tests/core/paper_examples_test.cc" "tests/CMakeFiles/msq_tests.dir/core/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/paper_examples_test.cc.o.d"
+  "/root/repo/tests/core/progressive_test.cc" "tests/CMakeFiles/msq_tests.dir/core/progressive_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/progressive_test.cc.o.d"
+  "/root/repo/tests/core/variants_test.cc" "tests/CMakeFiles/msq_tests.dir/core/variants_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/core/variants_test.cc.o.d"
+  "/root/repo/tests/euclid/euclid_test.cc" "tests/CMakeFiles/msq_tests.dir/euclid/euclid_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/euclid/euclid_test.cc.o.d"
+  "/root/repo/tests/euclid/nn_partition_test.cc" "tests/CMakeFiles/msq_tests.dir/euclid/nn_partition_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/euclid/nn_partition_test.cc.o.d"
+  "/root/repo/tests/gen/dataset_io_test.cc" "tests/CMakeFiles/msq_tests.dir/gen/dataset_io_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/gen/dataset_io_test.cc.o.d"
+  "/root/repo/tests/gen/gen_test.cc" "tests/CMakeFiles/msq_tests.dir/gen/gen_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/gen/gen_test.cc.o.d"
+  "/root/repo/tests/geom/geom_test.cc" "tests/CMakeFiles/msq_tests.dir/geom/geom_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/geom/geom_test.cc.o.d"
+  "/root/repo/tests/graph/astar_stress_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/astar_stress_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/astar_stress_test.cc.o.d"
+  "/root/repo/tests/graph/astar_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/astar_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/astar_test.cc.o.d"
+  "/root/repo/tests/graph/dijkstra_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/dijkstra_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/dijkstra_test.cc.o.d"
+  "/root/repo/tests/graph/graph_pager_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/graph_pager_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/graph_pager_test.cc.o.d"
+  "/root/repo/tests/graph/landmarks_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/landmarks_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/landmarks_test.cc.o.d"
+  "/root/repo/tests/graph/nn_stream_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/nn_stream_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/nn_stream_test.cc.o.d"
+  "/root/repo/tests/graph/road_network_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/road_network_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/road_network_test.cc.o.d"
+  "/root/repo/tests/graph/simplify_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/simplify_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/simplify_test.cc.o.d"
+  "/root/repo/tests/graph/spatial_mapping_test.cc" "tests/CMakeFiles/msq_tests.dir/graph/spatial_mapping_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/graph/spatial_mapping_test.cc.o.d"
+  "/root/repo/tests/index/bptree_test.cc" "tests/CMakeFiles/msq_tests.dir/index/bptree_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/index/bptree_test.cc.o.d"
+  "/root/repo/tests/index/rtree_stress_test.cc" "tests/CMakeFiles/msq_tests.dir/index/rtree_stress_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/index/rtree_stress_test.cc.o.d"
+  "/root/repo/tests/index/rtree_test.cc" "tests/CMakeFiles/msq_tests.dir/index/rtree_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/index/rtree_test.cc.o.d"
+  "/root/repo/tests/integration/determinism_test.cc" "tests/CMakeFiles/msq_tests.dir/integration/determinism_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/integration/determinism_test.cc.o.d"
+  "/root/repo/tests/integration/file_backed_test.cc" "tests/CMakeFiles/msq_tests.dir/integration/file_backed_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/integration/file_backed_test.cc.o.d"
+  "/root/repo/tests/integration/fuzz_test.cc" "tests/CMakeFiles/msq_tests.dir/integration/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/integration/fuzz_test.cc.o.d"
+  "/root/repo/tests/integration/integration_test.cc" "tests/CMakeFiles/msq_tests.dir/integration/integration_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/integration/integration_test.cc.o.d"
+  "/root/repo/tests/storage/buffer_stress_test.cc" "tests/CMakeFiles/msq_tests.dir/storage/buffer_stress_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/storage/buffer_stress_test.cc.o.d"
+  "/root/repo/tests/storage/storage_test.cc" "tests/CMakeFiles/msq_tests.dir/storage/storage_test.cc.o" "gcc" "tests/CMakeFiles/msq_tests.dir/storage/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

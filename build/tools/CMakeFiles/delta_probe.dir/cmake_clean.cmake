@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_probe.dir/delta_probe.cc.o"
+  "CMakeFiles/delta_probe.dir/delta_probe.cc.o.d"
+  "delta_probe"
+  "delta_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_debug.dir/edc_debug.cc.o"
+  "CMakeFiles/edc_debug.dir/edc_debug.cc.o.d"
+  "edc_debug"
+  "edc_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_seed_scan.dir/edc_seed_scan.cc.o"
+  "CMakeFiles/edc_seed_scan.dir/edc_seed_scan.cc.o.d"
+  "edc_seed_scan"
+  "edc_seed_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_seed_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_repro.dir/fuzz_repro.cc.o"
+  "CMakeFiles/fuzz_repro.dir/fuzz_repro.cc.o.d"
+  "fuzz_repro"
+  "fuzz_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

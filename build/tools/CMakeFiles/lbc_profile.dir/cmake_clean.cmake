@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_profile.dir/lbc_profile.cc.o"
+  "CMakeFiles/lbc_profile.dir/lbc_profile.cc.o.d"
+  "lbc_profile"
+  "lbc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
