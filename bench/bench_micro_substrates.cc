@@ -24,7 +24,7 @@ namespace {
 void BM_BufferFetchHit(benchmark::State& state) {
   InMemoryDiskManager disk;
   BufferManager buffer(&disk, 16);
-  const PageId page = disk.Allocate();
+  const PageId page = disk.Allocate().value();
   buffer.Fetch(page);
   for (auto _ : state) {
     benchmark::DoNotOptimize(buffer.Fetch(page));
@@ -36,7 +36,7 @@ void BM_BufferFetchMissEvict(benchmark::State& state) {
   InMemoryDiskManager disk;
   BufferManager buffer(&disk, 4);
   PageId pages[8];
-  for (auto& p : pages) p = disk.Allocate();
+  for (auto& p : pages) p = disk.Allocate().value();
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(buffer.Fetch(pages[i++ & 7]));

@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--algo") == 0) {
       const char* name = need_value("--algo");
       if (!ParseAlgorithm(name, &algorithm)) {
-        std::fprintf(stderr, "unknown algorithm '%s'\n", name);
+        std::fprintf(stderr, "unknown algorithm '%s' (valid: %s)\n", name,
+                     AlgorithmNames().c_str());
         return 2;
       }
     } else if (std::strcmp(argv[i], "--queries") == 0) {

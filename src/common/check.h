@@ -1,10 +1,13 @@
 // Lightweight invariant-checking macros.
 //
-// The query-processing code paths never throw; internal invariant violations
-// abort with a location message instead (the library is deterministic given
-// its inputs, so an invariant failure is always a programming error, not an
-// environmental one). Fallible operations (file loading, user input
-// validation) report through return values, not through these macros.
+// Internal invariant violations abort with a location message (the library
+// is deterministic given its inputs, so an invariant failure is always a
+// programming error, not an environmental one). Environmental failures —
+// I/O errors, checksum mismatches, invalid user input, exhausted query
+// budgets — report through common/status.h instead: Status/StatusOr at the
+// storage layer, the StorageFault funnel inside deep read paths, and an
+// error SkylineResult at the query entry points. Never use these macros on
+// a condition the outside world can make false.
 #ifndef MSQ_COMMON_CHECK_H_
 #define MSQ_COMMON_CHECK_H_
 

@@ -1,0 +1,21 @@
+// CRC-32C (Castagnoli) over byte buffers, used for page integrity trailers.
+//
+// Software slice-by-one implementation: page checksumming is a 4 KB pass per
+// physical I/O, far below the cost of the I/O itself, so portability beats
+// SSE4.2 intrinsics here.
+#ifndef MSQ_COMMON_CRC32_H_
+#define MSQ_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msq {
+
+// CRC of `size` bytes starting at `data`, seeded with `seed` (pass the
+// previous CRC to checksum a buffer in chunks; 0 for a fresh computation).
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+}  // namespace msq
+
+#endif  // MSQ_COMMON_CRC32_H_

@@ -1,0 +1,53 @@
+#include "common/status.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace msq {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status IoErrorFromErrno(const std::string& context) {
+  const int err = errno;
+  std::string msg = context;
+  msg += ": ";
+  msg += std::strerror(err);
+  msg += " (errno ";
+  msg += std::to_string(err);
+  msg += ")";
+  return Status::IoError(std::move(msg));
+}
+
+}  // namespace msq

@@ -1,0 +1,146 @@
+// Error propagation for fallible operations (I/O, corrupt input, query
+// limits).
+//
+// The storage layers (DiskManager, BufferManager) return Status/StatusOr
+// directly. The paged structures (GraphPager, RTree, BpTree, SpatialMapping)
+// expose Status-returning public read APIs; their recursive internals funnel
+// failures through the StorageFault exception, which the query entry points
+// (RunSkylineQuery and the per-algorithm Run* functions) catch and convert
+// into an error SkylineResult. Invariant violations — programming errors,
+// not environmental failures — still abort via common/check.h.
+#ifndef MSQ_COMMON_STATUS_H_
+#define MSQ_COMMON_STATUS_H_
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace msq {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,    // caller-supplied input is unusable
+  kNotFound,           // a named resource does not exist
+  kIoError,            // the operating system failed a read/write/open
+  kCorruption,         // stored bytes fail checksum or structural validation
+  kUnavailable,        // transient failure; retrying may succeed
+  kResourceExhausted,  // a budget (e.g. page accesses) ran out
+  kDeadlineExceeded,   // a wall-clock deadline passed
+  kInternal,           // invariant-adjacent failure surfaced as an error
+};
+
+// Stable upper-case name ("IO_ERROR", ...) for logs and test assertions.
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  // Whether a retry of the failed operation may succeed.
+  bool transient() const { return code_ == StatusCode::kUnavailable; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  // "CODE_NAME: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Appends errno context ("...: <strerror> (errno N)") to `context`.
+Status IoErrorFromErrno(const std::string& context);
+
+// Value-or-error return. Engaged exactly when status().ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    MSQ_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Aborts when not ok (programming error at the call site; fallible
+  // callers must check ok() or use ValueOrThrow).
+  T& value() {
+    MSQ_CHECK_MSG(ok(), "StatusOr::value on error: %s",
+                  status_.ToString().c_str());
+    return *value_;
+  }
+  const T& value() const {
+    MSQ_CHECK_MSG(ok(), "StatusOr::value on error: %s",
+                  status_.ToString().c_str());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Exception carrying a Status through deep read paths (tree recursions,
+// wavefront loops) whose signatures stay value-oriented. Thrown only via
+// OkOrThrow/ValueOrThrow; caught at Status-returning API boundaries and at
+// the query entry points. Never escapes the library's public surface.
+class StorageFault : public std::exception {
+ public:
+  explicit StorageFault(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
+};
+
+inline void OkOrThrow(const Status& status) {
+  if (!status.ok()) throw StorageFault(status);
+}
+
+template <typename T>
+T ValueOrThrow(StatusOr<T> status_or) {
+  if (!status_or.ok()) throw StorageFault(status_or.status());
+  return std::move(status_or.value());
+}
+
+}  // namespace msq
+
+#endif  // MSQ_COMMON_STATUS_H_

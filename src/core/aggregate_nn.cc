@@ -79,7 +79,9 @@ Dist AggregateScore(AggregateFn fn, const DistVector& distances) {
 AggregateNnResult RunAggregateNnNaive(const Dataset& dataset,
                                       const SkylineQuerySpec& spec,
                                       AggregateFn fn, std::size_t k) {
-  ValidateQuery(dataset, spec);
+  // Extension algorithms keep the abort-on-invalid contract; only the
+  // paper's main entry points degrade gracefully.
+  MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   StatsScope scope(dataset);
   AggregateNnResult result;
 
@@ -103,7 +105,9 @@ AggregateNnResult RunAggregateNnNaive(const Dataset& dataset,
 AggregateNnResult RunAggregateNnIer(const Dataset& dataset,
                                     const SkylineQuerySpec& spec,
                                     AggregateFn fn, std::size_t k) {
-  ValidateQuery(dataset, spec);
+  // Extension algorithms keep the abort-on-invalid contract; only the
+  // paper's main entry points degrade gracefully.
+  MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   StatsScope scope(dataset);
   AggregateNnResult result;
 

@@ -53,6 +53,7 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
                                const ProgressiveCallback& on_skyline) {
   StatsScope scope(dataset);
   SkylineResult result;
+  QueryGuard guard(dataset, spec.limits);
   const std::size_t n = spec.sources.size();
   const std::size_t m = dataset.object_count();
 
@@ -115,6 +116,13 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
   std::size_t turn = 0;
   std::size_t exhausted_count = 0;
   while (exhausted_count < n && undetermined > 0) {
+    if (guard.Exceeded()) {
+      // Progressive cut-off: everything already in result.skyline was
+      // confirmed at emission, so the prefix stands.
+      result.truncated = true;
+      result.truncation_reason = guard.reason();
+      break;
+    }
     const std::size_t qi = turn % n;
     ++turn;
     if (exhausted[qi]) continue;
@@ -184,17 +192,14 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
   return result;
 }
 
-}  // namespace
-
-SkylineResult RunCe(const Dataset& dataset, const SkylineQuerySpec& spec,
-                    const ProgressiveCallback& on_skyline) {
-  if (dataset.static_dims() > 0) {
-    ValidateQuery(dataset, spec);
-    return RunCeGeneralized(dataset, spec, on_skyline);
-  }
-  ValidateQuery(dataset, spec);
+// The paper's two-phase (filtering + refinement) CE for purely
+// distance-dimension queries.
+SkylineResult RunCeFiltering(const Dataset& dataset,
+                             const SkylineQuerySpec& spec,
+                             const ProgressiveCallback& on_skyline) {
   StatsScope scope(dataset);
   SkylineResult result;
+  QueryGuard guard(dataset, spec.limits);
 
   const std::size_t n = spec.sources.size();
   const std::size_t m = dataset.object_count();
@@ -263,6 +268,12 @@ SkylineResult RunCe(const Dataset& dataset, const SkylineQuerySpec& spec,
   std::size_t exhausted_count = 0;
   std::vector<Dist> last_emit(n, -1.0);
   while (exhausted_count < n) {
+    if (guard.Exceeded()) {
+      // Progressive cut-off: emitted entries were confirmed, keep them.
+      result.truncated = true;
+      result.truncation_reason = guard.reason();
+      break;
+    }
     const std::size_t qi = turn % n;
     ++turn;
     if (exhausted[qi]) continue;
@@ -351,6 +362,18 @@ SkylineResult RunCe(const Dataset& dataset, const SkylineQuerySpec& spec,
   result.stats.settled_nodes = settled;
   scope.Finish(&result.stats);
   return result;
+}
+
+}  // namespace
+
+SkylineResult RunCe(const Dataset& dataset, const SkylineQuerySpec& spec,
+                    const ProgressiveCallback& on_skyline) {
+  return RunQueryBody(dataset, spec, [&] {
+    if (dataset.static_dims() > 0) {
+      return RunCeGeneralized(dataset, spec, on_skyline);
+    }
+    return RunCeFiltering(dataset, spec, on_skyline);
+  });
 }
 
 }  // namespace msq

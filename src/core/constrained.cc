@@ -15,7 +15,9 @@ namespace msq {
 SkylineResult RunConstrainedSkylineNaive(const Dataset& dataset,
                                          const SkylineQuerySpec& spec,
                                          Dist radius) {
-  ValidateQuery(dataset, spec);
+  // Extension algorithms keep the abort-on-invalid contract; only the
+  // paper's main entry points degrade gracefully.
+  MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   MSQ_CHECK(radius >= 0.0);
   StatsScope scope(dataset);
   SkylineResult result;
@@ -61,7 +63,9 @@ SkylineResult RunConstrainedSkylineNaive(const Dataset& dataset,
 SkylineResult RunConstrainedSkylineLbc(const Dataset& dataset,
                                        const SkylineQuerySpec& spec,
                                        Dist radius) {
-  ValidateQuery(dataset, spec);
+  // Extension algorithms keep the abort-on-invalid contract; only the
+  // paper's main entry points degrade gracefully.
+  MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   MSQ_CHECK(radius >= 0.0);
   StatsScope scope(dataset);
   SkylineResult result;

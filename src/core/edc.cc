@@ -222,7 +222,19 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
                           const ProgressiveCallback& on_skyline) {
   StatsScope scope(dataset);
   SkylineResult result;
+  QueryGuard guard(dataset, spec.limits);
   EdcRunner runner(dataset, spec);
+
+  // Batch cut-off: nothing can be confirmed mid-run, so a tripped guard
+  // yields an empty result flagged truncated.
+  auto truncate = [&]() {
+    result.skyline.clear();
+    result.truncated = true;
+    result.truncation_reason = guard.reason();
+    result.stats.settled_nodes = runner.TotalSettled();
+    scope.Finish(&result.stats);
+    return result;
+  };
 
   // Step 1: all multi-source Euclidean skyline points.
   EuclideanSkylineBrowser::AttributeProvider attr_of = nullptr;
@@ -238,6 +250,7 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
   std::unordered_map<ObjectId, bool> candidates;
   std::vector<ObjectId> euclid_skyline;
   for (auto item = browser.Next(); item.found; item = browser.Next()) {
+    if (guard.Exceeded()) return truncate();
     if (candidates.emplace(item.object, true).second) {
       order.push_back(item.object);
     }
@@ -247,6 +260,7 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
   // Step 2 + 3: shift each Euclidean skyline point to its network-distance
   // position and fetch the union-hypercube window.
   for (const ObjectId id : euclid_skyline) {
+    if (guard.Exceeded()) return truncate();
     const DistVector& shifted = runner.NetworkVector(id);
     runner.FetchWindow(shifted, &order, &candidates);
   }
@@ -262,6 +276,7 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
   std::vector<DistVector> vectors;
   vectors.reserve(order.size());
   for (const ObjectId id : order) {
+    if (guard.Exceeded()) return truncate();
     vectors.push_back(runner.NetworkVector(id));
   }
 
@@ -289,6 +304,7 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
                                 const ProgressiveCallback& on_skyline) {
   StatsScope scope(dataset);
   SkylineResult result;
+  QueryGuard guard(dataset, spec.limits);
   EdcRunner runner(dataset, spec);
 
   // Windows (shifted vectors) already processed; entries wholly inside any
@@ -363,6 +379,15 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
   };
 
   for (auto item = browser.Next(); item.found; item = browser.Next()) {
+    if (guard.Exceeded()) {
+      // Progressive cut-off: entries reported by drain_determinable were
+      // confirmed (all their potential dominators fetched), so the prefix
+      // stands. The final drain below assumes an exhausted browser and
+      // must be skipped.
+      result.truncated = true;
+      result.truncation_reason = guard.reason();
+      break;
+    }
     if (candidates.emplace(item.object, true).second) {
       order.push_back(item.object);
     }
@@ -370,6 +395,14 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
     runner.FetchWindow(shifted, &order, &candidates);
     processed_windows.push_back(shifted);
     drain_determinable();
+  }
+
+  if (result.truncated) {
+    result.stats.candidate_count = order.size();
+    result.stats.skyline_size = result.skyline.size();
+    result.stats.settled_nodes = runner.TotalSettled();
+    scope.Finish(&result.stats);
+    return result;
   }
 
   // Completion pass (off in paper-faithful mode) before the final report:
@@ -422,10 +455,11 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
 SkylineResult RunEdc(const Dataset& dataset, const SkylineQuerySpec& spec,
                      const EdcOptions& options,
                      const ProgressiveCallback& on_skyline) {
-  ValidateQuery(dataset, spec);
-  return options.incremental
-             ? RunEdcIncremental(dataset, spec, options, on_skyline)
-             : RunEdcBatch(dataset, spec, options, on_skyline);
+  return RunQueryBody(dataset, spec, [&] {
+    return options.incremental
+               ? RunEdcIncremental(dataset, spec, options, on_skyline)
+               : RunEdcBatch(dataset, spec, options, on_skyline);
+  });
 }
 
 }  // namespace msq

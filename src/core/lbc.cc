@@ -20,14 +20,12 @@ struct SourceCandidate {
   }
 };
 
-}  // namespace
-
-SkylineResult RunLbc(const Dataset& dataset, const SkylineQuerySpec& spec,
-                     const LbcOptions& options,
-                     const ProgressiveCallback& on_skyline) {
-  ValidateQuery(dataset, spec);
+SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
+                         const LbcOptions& options,
+                         const ProgressiveCallback& on_skyline) {
   StatsScope scope(dataset);
   SkylineResult result;
+  QueryGuard guard(dataset, spec.limits);
 
   const std::size_t n = spec.sources.size();
   const std::size_t attr_dims = dataset.static_dims();
@@ -304,6 +302,13 @@ SkylineResult RunLbc(const Dataset& dataset, const SkylineQuerySpec& spec,
   std::vector<std::uint8_t> done(discoveries.size(), 0);
   std::size_t turn = 0;
   while (live > 0) {
+    if (guard.Exceeded()) {
+      // Progressive cut-off: reported entries were confirmed skyline points
+      // at emission, so the prefix stands.
+      result.truncated = true;
+      result.truncation_reason = guard.reason();
+      break;
+    }
     const std::size_t di = turn % discoveries.size();
     ++turn;
     if (done[di]) continue;
@@ -353,6 +358,16 @@ SkylineResult RunLbc(const Dataset& dataset, const SkylineQuerySpec& spec,
   result.stats.settled_nodes = settled;
   scope.Finish(&result.stats);
   return result;
+}
+
+}  // namespace
+
+SkylineResult RunLbc(const Dataset& dataset, const SkylineQuerySpec& spec,
+                     const LbcOptions& options,
+                     const ProgressiveCallback& on_skyline) {
+  return RunQueryBody(dataset, spec, [&] {
+    return RunLbcBody(dataset, spec, options, on_skyline);
+  });
 }
 
 }  // namespace msq

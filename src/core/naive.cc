@@ -6,35 +6,53 @@ namespace msq {
 
 std::vector<DistVector> ComputeAllNetworkVectors(
     const Dataset& dataset, const SkylineQuerySpec& spec,
-    std::size_t* settled_out) {
+    std::size_t* settled_out, QueryGuard* guard, bool* truncated) {
   const std::size_t n = spec.sources.size();
   const std::size_t m = dataset.object_count();
   std::vector<DistVector> vectors(m, DistVector(n, kInfDist));
   std::size_t settled = 0;
-  for (std::size_t qi = 0; qi < n; ++qi) {
+  bool cut = false;
+  for (std::size_t qi = 0; qi < n && !cut; ++qi) {
     // Drain a full NN stream: one Dijkstra sweep per query point reaches
     // every reachable object with its exact distance.
     NetworkNnStream stream(dataset.graph_pager, dataset.mapping,
                            spec.sources[qi]);
     while (const auto visit = stream.Next()) {
       vectors[visit->object][qi] = visit->distance;
+      if (guard != nullptr && guard->Exceeded()) {
+        cut = true;
+        break;
+      }
     }
     settled += stream.settled_count();
   }
   if (settled_out != nullptr) *settled_out = settled;
+  if (truncated != nullptr) *truncated = cut;
   return vectors;
 }
 
-SkylineResult RunNaive(const Dataset& dataset, const SkylineQuerySpec& spec,
-                       const ProgressiveCallback& on_skyline) {
-  ValidateQuery(dataset, spec);
+namespace {
+
+SkylineResult RunNaiveBody(const Dataset& dataset,
+                           const SkylineQuerySpec& spec,
+                           const ProgressiveCallback& on_skyline) {
   StatsScope scope(dataset);
   SkylineResult result;
+  QueryGuard guard(dataset, spec.limits);
 
   std::size_t settled = 0;
+  bool cut = false;
   std::vector<DistVector> vectors =
-      ComputeAllNetworkVectors(dataset, spec, &settled);
+      ComputeAllNetworkVectors(dataset, spec, &settled, &guard, &cut);
   result.stats.settled_nodes = settled;
+  if (cut) {
+    // Batch algorithm: an incomplete distance matrix cannot confirm any
+    // skyline point, so a truncated run returns an empty, flagged result.
+    result.truncated = true;
+    result.truncation_reason = guard.reason();
+    scope.Finish(&result.stats);
+    return result;
+  }
   // Append static attributes before the skyline pass.
   if (dataset.static_dims() > 0) {
     for (ObjectId id = 0; id < vectors.size(); ++id) {
@@ -61,6 +79,15 @@ SkylineResult RunNaive(const Dataset& dataset, const SkylineQuerySpec& spec,
   result.stats.skyline_size = result.skyline.size();
   scope.Finish(&result.stats);
   return result;
+}
+
+}  // namespace
+
+SkylineResult RunNaive(const Dataset& dataset, const SkylineQuerySpec& spec,
+                       const ProgressiveCallback& on_skyline) {
+  return RunQueryBody(dataset, spec, [&] {
+    return RunNaiveBody(dataset, spec, on_skyline);
+  });
 }
 
 }  // namespace msq

@@ -26,20 +26,66 @@ DistVector Dataset::MinStaticAttributes() const {
   return mins;
 }
 
-void ValidateQuery(const Dataset& dataset, const SkylineQuerySpec& spec) {
+Status ValidateQuery(const Dataset& dataset, const SkylineQuerySpec& spec) {
+  // Missing dataset wiring is a programming error, not query input.
   MSQ_CHECK(dataset.network != nullptr && dataset.graph_pager != nullptr &&
             dataset.mapping != nullptr && dataset.object_rtree != nullptr);
-  MSQ_CHECK_MSG(!spec.sources.empty(), "query needs at least one source");
-  MSQ_CHECK(spec.lbc_source_index < spec.sources.size());
+  if (spec.sources.empty()) {
+    return Status::InvalidArgument("query needs at least one source");
+  }
+  if (spec.lbc_source_index >= spec.sources.size()) {
+    return Status::InvalidArgument(
+        "lbc_source_index " + std::to_string(spec.lbc_source_index) +
+        " out of range for " + std::to_string(spec.sources.size()) +
+        " sources");
+  }
   for (const Location& source : spec.sources) {
-    MSQ_CHECK_MSG(dataset.network->IsValidLocation(source),
-                  "query source (edge %u, offset %f) invalid", source.edge,
-                  source.offset);
+    if (!dataset.network->IsValidLocation(source)) {
+      return Status::InvalidArgument(
+          "query source (edge " + std::to_string(source.edge) + ", offset " +
+          std::to_string(source.offset) + ") invalid");
+    }
+  }
+  if (spec.limits.max_seconds < 0.0) {
+    return Status::InvalidArgument("negative query deadline");
   }
   if (dataset.static_attributes != nullptr &&
       !dataset.static_attributes->empty()) {
     MSQ_CHECK(dataset.static_attributes->size() == dataset.object_count());
   }
+  return Status();
+}
+
+QueryGuard::QueryGuard(const Dataset& dataset, const QueryLimits& limits)
+    : dataset_(dataset), limits_(limits) {
+  if (limits_.max_page_accesses > 0) accesses_0_ = PageAccesses();
+  if (limits_.max_seconds > 0.0) start_ = MonotonicSeconds();
+}
+
+std::uint64_t QueryGuard::PageAccesses() const {
+  std::uint64_t accesses = 0;
+  if (dataset_.graph_buffer != nullptr) {
+    accesses += dataset_.graph_buffer->stats().accesses();
+  }
+  if (dataset_.index_buffer != nullptr) {
+    accesses += dataset_.index_buffer->stats().accesses();
+  }
+  return accesses;
+}
+
+bool QueryGuard::Exceeded() {
+  if (reason_ != StatusCode::kOk) return true;
+  if (limits_.max_page_accesses > 0 &&
+      PageAccesses() - accesses_0_ > limits_.max_page_accesses) {
+    reason_ = StatusCode::kResourceExhausted;
+    return true;
+  }
+  if (limits_.max_seconds > 0.0 &&
+      MonotonicSeconds() - start_ > limits_.max_seconds) {
+    reason_ = StatusCode::kDeadlineExceeded;
+    return true;
+  }
+  return false;
 }
 
 double MonotonicSeconds() {

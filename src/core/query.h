@@ -4,8 +4,10 @@
 #define MSQ_CORE_QUERY_H_
 
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/dominance.h"
 #include "graph/graph_pager.h"
 #include "graph/landmarks.h"
@@ -54,11 +56,28 @@ struct Dataset {
   DistVector MinStaticAttributes() const;
 };
 
+// Resource guardrails for one query. Zero means "unlimited" — the default
+// keeps benchmark behavior identical to the unguarded implementation.
+struct QueryLimits {
+  // Maximum buffer page accesses (graph + index) before the query is cut
+  // off with kResourceExhausted.
+  std::uint64_t max_page_accesses = 0;
+  // Wall-clock deadline in seconds before the query is cut off with
+  // kDeadlineExceeded.
+  double max_seconds = 0.0;
+
+  bool unlimited() const {
+    return max_page_accesses == 0 && max_seconds == 0.0;
+  }
+};
+
 // A multi-source skyline query: the query points plus options.
 struct SkylineQuerySpec {
   std::vector<Location> sources;
   // LBC only: which source acts as the step-1 expansion origin.
   std::size_t lbc_source_index = 0;
+  // Optional resource guardrails (see QueryLimits).
+  QueryLimits limits;
 };
 
 // One skyline answer entry. `vector` holds the network distances to each
@@ -84,14 +103,69 @@ struct QueryStats {
 struct SkylineResult {
   std::vector<SkylineEntry> skyline;
   QueryStats stats;
+  // Overall outcome. !ok() means the query failed cleanly (bad input or a
+  // storage fault survived retries); `skyline` is empty then.
+  Status status;
+  // True when a QueryLimits budget/deadline cut the query short. The
+  // skyline then holds the confirmed prefix for progressive algorithms
+  // (every entry is a true skyline point) and is empty for batch
+  // algorithms, which cannot confirm anything mid-run.
+  bool truncated = false;
+  // kResourceExhausted or kDeadlineExceeded when truncated; kOk otherwise.
+  StatusCode truncation_reason = StatusCode::kOk;
 };
 
 // Progressive reporting hook: invoked as each skyline point is confirmed.
 using ProgressiveCallback = std::function<void(const SkylineEntry&)>;
 
 // Validates that the query spec is non-empty and every source location is
-// valid on the dataset's network. Aborts on violation (programming error).
-void ValidateQuery(const Dataset& dataset, const SkylineQuerySpec& spec);
+// valid on the dataset's network. Returns kInvalidArgument on violation —
+// query inputs are external data, not programmer state. Missing dataset
+// pointers still abort (wiring bug).
+Status ValidateQuery(const Dataset& dataset, const SkylineQuerySpec& spec);
+
+// Budget/deadline tracker for one query run. Algorithms poll Exceeded() at
+// the top of their main loops; the first limit crossing latches a reason so
+// the result can be flagged truncated consistently.
+class QueryGuard {
+ public:
+  QueryGuard(const Dataset& dataset, const QueryLimits& limits);
+
+  // True once the page budget or the deadline is crossed. Cheap when no
+  // limit is set.
+  bool Exceeded();
+
+  // kOk until a limit is crossed, then kResourceExhausted or
+  // kDeadlineExceeded (whichever latched first).
+  StatusCode reason() const { return reason_; }
+
+ private:
+  std::uint64_t PageAccesses() const;
+
+  const Dataset& dataset_;
+  QueryLimits limits_;
+  std::uint64_t accesses_0_ = 0;
+  double start_ = 0.0;
+  StatusCode reason_ = StatusCode::kOk;
+};
+
+// Shared query boundary: validates the spec, runs `body`, and converts a
+// StorageFault escaping it into an error result. All Run* entry points
+// funnel through this so "clean typed error, never a crash" holds uniformly.
+template <typename Body>
+SkylineResult RunQueryBody(const Dataset& dataset,
+                           const SkylineQuerySpec& spec, Body&& body) {
+  SkylineResult result;
+  result.status = ValidateQuery(dataset, spec);
+  if (!result.status.ok()) return result;
+  try {
+    return std::forward<Body>(body)();
+  } catch (const StorageFault& fault) {
+    result.skyline.clear();
+    result.status = fault.status();
+    return result;
+  }
+}
 
 // Stopwatch + buffer snapshot helper used by all algorithms to fill
 // QueryStats uniformly.

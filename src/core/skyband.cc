@@ -51,7 +51,9 @@ std::vector<std::pair<std::size_t, std::size_t>> SkybandIndices(
 
 SkybandResult RunSkybandNaive(const Dataset& dataset,
                               const SkylineQuerySpec& spec, std::size_t k) {
-  ValidateQuery(dataset, spec);
+  // Extension algorithms keep the abort-on-invalid contract; only the
+  // paper's main entry points degrade gracefully.
+  MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   MSQ_CHECK(k >= 1);
   StatsScope scope(dataset);
   SkybandResult result;
@@ -89,7 +91,9 @@ SkybandResult RunSkybandNaive(const Dataset& dataset,
 
 SkybandResult RunSkybandLbc(const Dataset& dataset,
                             const SkylineQuerySpec& spec, std::size_t k) {
-  ValidateQuery(dataset, spec);
+  // Extension algorithms keep the abort-on-invalid contract; only the
+  // paper's main entry points degrade gracefully.
+  MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   MSQ_CHECK(k >= 1);
   StatsScope scope(dataset);
   SkybandResult result;

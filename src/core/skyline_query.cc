@@ -23,16 +23,31 @@ std::string_view AlgorithmName(Algorithm algorithm) {
   return "";
 }
 
+namespace {
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kNaive, Algorithm::kCe,  Algorithm::kEdc,
+    Algorithm::kEdcIncremental, Algorithm::kLbc, Algorithm::kLbcNoPlb};
+
+}  // namespace
+
 bool ParseAlgorithm(std::string_view name, Algorithm* out) {
-  for (const Algorithm a :
-       {Algorithm::kNaive, Algorithm::kCe, Algorithm::kEdc,
-        Algorithm::kEdcIncremental, Algorithm::kLbc, Algorithm::kLbcNoPlb}) {
+  for (const Algorithm a : kAllAlgorithms) {
     if (AlgorithmName(a) == name) {
       *out = a;
       return true;
     }
   }
   return false;
+}
+
+std::string AlgorithmNames() {
+  std::string names;
+  for (const Algorithm a : kAllAlgorithms) {
+    if (!names.empty()) names += ", ";
+    names += AlgorithmName(a);
+  }
+  return names;
 }
 
 SkylineResult RunSkylineQuery(Algorithm algorithm, const Dataset& dataset,

@@ -2,6 +2,7 @@
 #ifndef MSQ_CORE_SKYLINE_QUERY_H_
 #define MSQ_CORE_SKYLINE_QUERY_H_
 
+#include <string>
 #include <string_view>
 
 #include "core/ce.h"
@@ -27,6 +28,10 @@ std::string_view AlgorithmName(Algorithm algorithm);
 
 // Parses AlgorithmName output back; returns false on unknown name.
 bool ParseAlgorithm(std::string_view name, Algorithm* out);
+
+// All valid algorithm names, comma-separated ("naive, ce, ..."), for CLI
+// error messages next to a failed ParseAlgorithm.
+std::string AlgorithmNames();
 
 // Runs `algorithm` against the dataset.
 SkylineResult RunSkylineQuery(Algorithm algorithm, const Dataset& dataset,

@@ -1,10 +1,16 @@
 #include "gen/dataset_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 namespace msq {
 namespace {
+
+// A lying header must not drive allocation: never reserve more entries up
+// front than this, regardless of the declared count. Real rows still grow
+// the vector past it normally.
+constexpr std::size_t kMaxHeaderReserve = 1u << 20;
 
 // Shared line reader skipping blanks and '#' comments.
 bool NextLine(std::FILE* file, char* buffer, std::size_t size) {
@@ -52,7 +58,7 @@ std::optional<std::vector<Location>> LoadLocations(
     return fail("malformed header (expected object count)");
   }
   std::vector<Location> objects;
-  objects.reserve(count);
+  objects.reserve(std::min(count, kMaxHeaderReserve));
   for (std::size_t i = 0; i < count; ++i) {
     unsigned long edge;
     double offset;
@@ -112,13 +118,13 @@ std::optional<std::vector<DistVector>> LoadAttributes(
     return fail("malformed header (expected 'count dims')");
   }
   std::vector<DistVector> attributes;
-  attributes.reserve(count);
+  attributes.reserve(std::min(count, kMaxHeaderReserve));
   for (std::size_t i = 0; i < count; ++i) {
     if (!NextLine(file, line, sizeof(line))) {
       return fail("missing attribute line");
     }
     DistVector vec;
-    vec.reserve(dims);
+    vec.reserve(std::min(dims, kMaxHeaderReserve));
     const char* cursor = line;
     for (std::size_t d = 0; d < dims; ++d) {
       char* end = nullptr;

@@ -86,20 +86,32 @@ void Workload::BuildStack(const WorkloadConfig& config) {
   DiskManager* graph_disk = &graph_disk_;
   DiskManager* index_disk = &index_disk_;
   if (!config.storage_dir.empty()) {
-    graph_file_disk_ = FileDiskManager::Open(
+    auto graph_open = FileDiskManager::Open(
         config.storage_dir + "/graph.pages", /*truncate=*/true);
-    index_file_disk_ = FileDiskManager::Open(
+    auto index_open = FileDiskManager::Open(
         config.storage_dir + "/index.pages", /*truncate=*/true);
-    MSQ_CHECK_MSG(graph_file_disk_ != nullptr && index_file_disk_ != nullptr,
+    MSQ_CHECK_MSG(graph_open.ok() && index_open.ok(),
                   "cannot create page files under %s",
                   config.storage_dir.c_str());
+    graph_file_disk_ = std::move(graph_open.value());
+    index_file_disk_ = std::move(index_open.value());
     graph_disk = graph_file_disk_.get();
     index_disk = index_file_disk_.get();
   }
+  if (config.fault_injection.has_value()) {
+    FaultInjectionConfig index_cfg = *config.fault_injection;
+    index_cfg.seed ^= 0x1d8afULL;
+    graph_faults_ = std::make_unique<FaultInjectingDiskManager>(
+        graph_disk, *config.fault_injection);
+    index_faults_ =
+        std::make_unique<FaultInjectingDiskManager>(index_disk, index_cfg);
+    graph_disk = graph_faults_.get();
+    index_disk = index_faults_.get();
+  }
   graph_buffer_ = std::make_unique<BufferManager>(
-      graph_disk, config.graph_buffer_frames);
+      graph_disk, config.graph_buffer_frames, config.retry);
   index_buffer_ = std::make_unique<BufferManager>(
-      index_disk, config.index_buffer_frames);
+      index_disk, config.index_buffer_frames, config.retry);
   graph_pager_ = std::make_unique<GraphPager>(&network_, graph_buffer_.get());
 
   // Edge R-tree (Section 6.1: "The edges are indexed by an R-tree on edge
@@ -173,9 +185,11 @@ SkylineQuerySpec Workload::SampleQuery(std::size_t count, std::uint64_t seed,
 }
 
 void Workload::ResetBuffers() {
-  graph_buffer_->Clear();
+  // The stack is fault-free at this point (faults, if any, are armed by the
+  // caller after construction), so a failed flush is a programming error.
+  MSQ_CHECK(graph_buffer_->Clear().ok());
   graph_buffer_->ResetStats();
-  index_buffer_->Clear();
+  MSQ_CHECK(index_buffer_->Clear().ok());
   index_buffer_->ResetStats();
   graph_buffer_->disk()->ResetCounters();
   index_buffer_->disk()->ResetCounters();

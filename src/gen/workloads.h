@@ -6,6 +6,7 @@
 #define MSQ_GEN_WORKLOADS_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/query.h"
@@ -16,6 +17,7 @@
 #include "index/rtree.h"
 #include "storage/buffer_manager.h"
 #include "storage/disk_manager.h"
+#include "storage/fault_injection.h"
 
 namespace msq {
 
@@ -48,6 +50,13 @@ struct WorkloadConfig {
   std::string storage_dir;
   std::size_t graph_buffer_frames = kDefaultBufferFrames;
   std::size_t index_buffer_frames = kDefaultBufferFrames;
+  // When set, both page stores are wrapped in seeded
+  // FaultInjectingDiskManager decorators (the index store derives its seed
+  // from the configured one). Decorators start disarmed, so the stack build
+  // stays fault-free; arm them through graph_faults()/index_faults().
+  std::optional<FaultInjectionConfig> fault_injection;
+  // Retry policy handed to both buffer managers.
+  RetryPolicy retry;
 };
 
 // Owns every structure a Dataset points into.
@@ -89,6 +98,9 @@ class Workload {
   const LandmarkIndex* landmarks() const { return landmarks_.get(); }
   BufferManager& graph_buffer() { return *graph_buffer_; }
   BufferManager& index_buffer() { return *index_buffer_; }
+  // Null unless WorkloadConfig::fault_injection is set.
+  FaultInjectingDiskManager* graph_faults() { return graph_faults_.get(); }
+  FaultInjectingDiskManager* index_faults() { return index_faults_.get(); }
 
  private:
   void BuildStack(const WorkloadConfig& config);
@@ -99,6 +111,8 @@ class Workload {
   InMemoryDiskManager index_disk_;
   std::unique_ptr<FileDiskManager> graph_file_disk_;
   std::unique_ptr<FileDiskManager> index_file_disk_;
+  std::unique_ptr<FaultInjectingDiskManager> graph_faults_;
+  std::unique_ptr<FaultInjectingDiskManager> index_faults_;
   std::unique_ptr<BufferManager> graph_buffer_;
   std::unique_ptr<BufferManager> index_buffer_;
   std::unique_ptr<GraphPager> graph_pager_;

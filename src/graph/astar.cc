@@ -33,7 +33,7 @@ void AStarSearch::Settle(NodeId node, Dist dist) {
   MSQ_CHECK(!settled_[node]);
   settled_[node] = 1;
   ++settled_count_;
-  pager_->AdjacencyOf(node, &scratch_adjacency_);
+  OkOrThrow(pager_->AdjacencyOf(node, &scratch_adjacency_));
   for (const AdjacencyEntry& adj : scratch_adjacency_) {
     Improve(adj.neighbor, dist + adj.length);
   }

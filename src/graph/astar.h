@@ -38,6 +38,8 @@
 
 namespace msq {
 
+// Settling reads adjacency pages through the pager and throws StorageFault
+// on I/O failure; run inside a query boundary (see common/status.h).
 class AStarSearch {
  public:
   // Starts a reusable search from `source`. Neither the pager nor the

@@ -54,7 +54,7 @@ bool DijkstraSearch::IsSettled(NodeId node) const {
 }
 
 void DijkstraSearch::Expand(NodeId node, Dist dist) {
-  pager_->AdjacencyOf(node, &scratch_adjacency_);
+  OkOrThrow(pager_->AdjacencyOf(node, &scratch_adjacency_));
   for (const AdjacencyEntry& adj : scratch_adjacency_) {
     if (settled_[adj.neighbor]) continue;
     const Dist candidate = dist + adj.length;

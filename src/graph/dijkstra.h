@@ -17,6 +17,8 @@
 
 namespace msq {
 
+// Expansion reads adjacency pages through the pager and throws StorageFault
+// on I/O failure; run inside a query boundary (see common/status.h).
 class DijkstraSearch {
  public:
   // Starts a wavefront at `source`. The pager is not owned.

@@ -76,7 +76,7 @@ void GraphPager::BuildLayout() {
     MSQ_CHECK_MSG(bytes <= kPageSize, "node degree %zu overflows a page",
                   degree);
     if (current_page == kInvalidPage || used + bytes > kPageSize) {
-      auto [page_id, page] = buffer_->AllocatePage();
+      auto [page_id, page] = ValueOrThrow(buffer_->AllocatePage());
       current_page = page_id;
       raw = page;
       used = 0;
@@ -98,20 +98,29 @@ void GraphPager::BuildLayout() {
     }
     used += bytes;
   }
-  buffer_->FlushAll();
+  OkOrThrow(buffer_->FlushAll());
 }
 
-void GraphPager::AdjacencyOf(NodeId node,
-                             std::vector<AdjacencyEntry>* out) const {
+Status GraphPager::AdjacencyOf(NodeId node,
+                               std::vector<AdjacencyEntry>* out) const {
+  out->clear();
   MSQ_CHECK(node < directory_.size());
   const Slot slot = directory_[node];
   MSQ_CHECK(slot.page != kInvalidPage);
-  Page* raw = buffer_->Fetch(slot.page);
-  const std::byte* src = raw->data.data() + slot.offset;
+  StatusOr<Page*> raw = buffer_->Fetch(slot.page);
+  if (!raw.ok()) return raw.status();
+  // Defensive decode: the page came from storage, so bound every field
+  // against the in-memory network before trusting it. A page that passed
+  // the checksum can still be logically stale or misdirected.
+  const std::byte* src = (*raw)->data.data() + slot.offset;
   std::uint32_t degree;
   std::memcpy(&degree, src, sizeof(degree));
   src += sizeof(degree);
-  out->clear();
+  const std::size_t bytes = RecordBytes(degree);
+  if (slot.offset + bytes > kPageSize) {
+    return Status::Corruption("adjacency record for node " +
+                              std::to_string(node) + " overflows its page");
+  }
   out->reserve(degree);
   for (std::uint32_t i = 0; i < degree; ++i) {
     AdjacencyEntry entry;
@@ -121,8 +130,16 @@ void GraphPager::AdjacencyOf(NodeId node,
     src += sizeof(entry.edge);
     std::memcpy(&entry.length, src, sizeof(entry.length));
     src += sizeof(entry.length);
+    if (entry.neighbor >= network_->node_count() ||
+        entry.edge >= network_->edge_count()) {
+      out->clear();
+      return Status::Corruption("adjacency record for node " +
+                                std::to_string(node) +
+                                " references out-of-range neighbor/edge");
+    }
     out->push_back(entry);
   }
+  return Status();
 }
 
 }  // namespace msq

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "graph/road_network.h"
 #include "storage/buffer_manager.h"
 
@@ -25,10 +26,15 @@ class GraphPager {
  public:
   // Lays out `network` (must be finalized) into pages of `buffer`'s disk
   // space. Neither pointer is owned; both must outlive the pager.
+  // Layout happens at build time, before faults are armed, so construction
+  // aborts on I/O failure rather than returning a status.
   GraphPager(const RoadNetwork* network, BufferManager* buffer);
 
-  // Adjacency list of `node`, read through the buffer pool.
-  void AdjacencyOf(NodeId node, std::vector<AdjacencyEntry>* out) const;
+  // Adjacency list of `node`, read through the buffer pool. Fails with the
+  // buffer's read error, or kCorruption when the decoded record is
+  // inconsistent with the network (degree overflowing the page, neighbor or
+  // edge ids out of range). `*out` is cleared on failure.
+  Status AdjacencyOf(NodeId node, std::vector<AdjacencyEntry>* out) const;
 
   const RoadNetwork& network() const { return *network_; }
   BufferManager* buffer() const { return buffer_; }

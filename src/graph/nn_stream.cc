@@ -15,7 +15,7 @@ NetworkNnStream::NetworkNnStream(const GraphPager* pager,
   emitted_.assign(mapping->object_count(), 0);
 
   // Objects sharing the source edge are reachable directly along it.
-  mapping_->ObjectsOnEdge(source.edge, &scratch_objects_);
+  OkOrThrow(mapping_->ObjectsOnEdge(source.edge, &scratch_objects_));
   for (const EdgeObject& obj : scratch_objects_) {
     Offer(obj.object, std::abs(obj.dist_u - source.offset));
   }
@@ -29,7 +29,7 @@ void NetworkNnStream::Offer(ObjectId object, Dist dist) {
 
 void NetworkNnStream::ProbeEdge(EdgeId edge, NodeId node, Dist node_dist) {
   scratch_objects_.clear();
-  mapping_->ObjectsOnEdge(edge, &scratch_objects_);
+  OkOrThrow(mapping_->ObjectsOnEdge(edge, &scratch_objects_));
   if (scratch_objects_.empty()) return;
   const RoadNetwork::Edge& e = mapping_->network().EdgeAt(edge);
   const bool node_is_u = (e.u == node);
@@ -68,7 +68,7 @@ std::optional<NetworkNnStream::Visit> NetworkNnStream::Next() {
       continue;
     }
     // Probe every incident edge from this (now exact) endpoint.
-    pager_->AdjacencyOf(settled->node, &scratch_adjacency_);
+    OkOrThrow(pager_->AdjacencyOf(settled->node, &scratch_adjacency_));
     for (const AdjacencyEntry& adj : scratch_adjacency_) {
       ProbeEdge(adj.edge, settled->node, settled->distance);
     }

@@ -18,6 +18,9 @@
 
 namespace msq {
 
+// Construction and Next() read graph/middle-layer pages and throw
+// StorageFault on I/O failure; run inside a query boundary (see
+// common/status.h).
 class NetworkNnStream {
  public:
   // Streams objects of `mapping` by network distance from `source`.

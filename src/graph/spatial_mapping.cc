@@ -60,14 +60,27 @@ SpatialMapping::SpatialMapping(const RoadNetwork* network,
   index_.BulkLoad(items);
 }
 
-void SpatialMapping::ObjectsOnEdge(EdgeId edge,
-                                   std::vector<EdgeObject>* out) const {
+Status SpatialMapping::ObjectsOnEdge(EdgeId edge,
+                                     std::vector<EdgeObject>* out) const {
   std::vector<BpTree::Item> items;
-  index_.ScanRange(MakeKey(edge, 0), MakeKey(edge, 0xffffffffu), &items);
+  if (Status status =
+          index_.ScanRange(MakeKey(edge, 0), MakeKey(edge, 0xffffffffu),
+                           &items);
+      !status.ok()) {
+    return status;
+  }
   for (const BpTree::Item& item : items) {
     const auto record = item.second.Unpack<PackedEdgeObject>();
+    if (record.object >= locations_.size()) {
+      out->clear();
+      return Status::Corruption("middle-layer record on edge " +
+                                std::to_string(edge) +
+                                " references unknown object " +
+                                std::to_string(record.object));
+    }
     out->push_back(EdgeObject{record.object, record.dist_u, record.dist_v});
   }
+  return Status();
 }
 
 const Location& SpatialMapping::ObjectLocation(ObjectId id) const {

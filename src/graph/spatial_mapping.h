@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "graph/road_network.h"
 #include "index/bptree.h"
 #include "storage/buffer_manager.h"
@@ -34,8 +35,10 @@ class SpatialMapping {
                  const std::vector<Location>& objects);
 
   // Appends all objects resident on `edge` (B+-tree range probe; the probe
-  // I/O is counted by the buffer manager).
-  void ObjectsOnEdge(EdgeId edge, std::vector<EdgeObject>* out) const;
+  // I/O is counted by the buffer manager). Fails with the underlying read
+  // error, or kCorruption when a stored record references an unknown
+  // object. `*out` is cleared on failure.
+  Status ObjectsOnEdge(EdgeId edge, std::vector<EdgeObject>* out) const;
 
   std::size_t object_count() const { return locations_.size(); }
   const Location& ObjectLocation(ObjectId id) const;

@@ -31,18 +31,27 @@ BpTree::BpTree(BufferManager* buffer) : buffer_(buffer) {
 }
 
 bool BpTree::IsLeafPage(PageId page) const {
-  Page* raw = buffer_->Fetch(page);
+  Page* raw = ValueOrThrow(buffer_->Fetch(page));
   PageReader reader(raw);
   return reader.Read<std::uint8_t>() != 0;
 }
 
 BpTree::LeafNode BpTree::ReadLeaf(PageId page) const {
-  Page* raw = buffer_->Fetch(page);
+  Page* raw = ValueOrThrow(buffer_->Fetch(page));
   PageReader reader(raw);
   const bool is_leaf = reader.Read<std::uint8_t>() != 0;
-  MSQ_CHECK(is_leaf);
+  // Node flags and counts come from storage, so treat violations as
+  // corruption rather than programmer error.
+  if (!is_leaf) {
+    throw StorageFault(Status::Corruption(
+        "b+-tree page " + std::to_string(page) + " is not a leaf"));
+  }
   const std::uint32_t count = reader.Read<std::uint32_t>();
-  MSQ_CHECK(count <= LeafCapacity());
+  if (count > LeafCapacity()) {
+    throw StorageFault(Status::Corruption(
+        "b+-tree leaf at page " + std::to_string(page) + " declares " +
+        std::to_string(count) + " items"));
+  }
   LeafNode node;
   node.next_leaf = reader.Read<std::uint32_t>();
   node.items.resize(count);
@@ -54,12 +63,19 @@ BpTree::LeafNode BpTree::ReadLeaf(PageId page) const {
 }
 
 BpTree::InternalNode BpTree::ReadInternal(PageId page) const {
-  Page* raw = buffer_->Fetch(page);
+  Page* raw = ValueOrThrow(buffer_->Fetch(page));
   PageReader reader(raw);
   const bool is_leaf = reader.Read<std::uint8_t>() != 0;
-  MSQ_CHECK(!is_leaf);
+  if (is_leaf) {
+    throw StorageFault(Status::Corruption(
+        "b+-tree page " + std::to_string(page) + " is not internal"));
+  }
   const std::uint32_t count = reader.Read<std::uint32_t>();
-  MSQ_CHECK(count <= InternalCapacity());
+  if (count > InternalCapacity()) {
+    throw StorageFault(Status::Corruption(
+        "b+-tree internal node at page " + std::to_string(page) +
+        " declares " + std::to_string(count) + " keys"));
+  }
   InternalNode node;
   node.keys.resize(count);
   node.children.resize(count + 1);
@@ -74,7 +90,7 @@ BpTree::InternalNode BpTree::ReadInternal(PageId page) const {
 
 void BpTree::WriteLeaf(PageId page, const LeafNode& node) {
   MSQ_CHECK(node.items.size() <= LeafCapacity());
-  Page* raw = buffer_->Fetch(page, /*mark_dirty=*/true);
+  Page* raw = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
   PageWriter writer(raw);
   writer.Write<std::uint8_t>(1);
   writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.items.size()));
@@ -88,7 +104,7 @@ void BpTree::WriteLeaf(PageId page, const LeafNode& node) {
 void BpTree::WriteInternal(PageId page, const InternalNode& node) {
   MSQ_CHECK(node.keys.size() + 1 == node.children.size());
   MSQ_CHECK(node.keys.size() <= InternalCapacity());
-  Page* raw = buffer_->Fetch(page, /*mark_dirty=*/true);
+  Page* raw = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
   PageWriter writer(raw);
   writer.Write<std::uint8_t>(0);
   writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.keys.size()));
@@ -99,14 +115,14 @@ void BpTree::WriteInternal(PageId page, const InternalNode& node) {
 }
 
 PageId BpTree::NewLeaf(const LeafNode& node) {
-  auto [page_id, raw] = buffer_->AllocatePage();
+  auto [page_id, raw] = ValueOrThrow(buffer_->AllocatePage());
   (void)raw;
   WriteLeaf(page_id, node);
   return page_id;
 }
 
 PageId BpTree::NewInternal(const InternalNode& node) {
-  auto [page_id, raw] = buffer_->AllocatePage();
+  auto [page_id, raw] = ValueOrThrow(buffer_->AllocatePage());
   (void)raw;
   WriteInternal(page_id, node);
   return page_id;
@@ -140,7 +156,7 @@ void BpTree::BulkLoad(const std::vector<Item>& items) {
     std::vector<PageId> pages;
     pages.reserve(leaves.size());
     for (std::size_t i = 0; i < leaves.size(); ++i) {
-      pages.push_back(buffer_->AllocatePage().first);
+      pages.push_back(ValueOrThrow(buffer_->AllocatePage()).first);
     }
     for (std::size_t i = 0; i < leaves.size(); ++i) {
       leaves[i].next_leaf =
@@ -263,28 +279,37 @@ void BpTree::Insert(Key key, const BpTreeValue& value) {
   ++size_;
 }
 
-bool BpTree::Lookup(Key key, BpTreeValue* value) const {
-  const PageId page = FindLeaf(key);
-  const LeafNode leaf = ReadLeaf(page);
-  const auto it = std::lower_bound(
-      leaf.items.begin(), leaf.items.end(), key,
-      [](const Item& item, Key k) { return item.first < k; });
-  if (it == leaf.items.end() || it->first != key) return false;
-  *value = it->second;
-  return true;
+StatusOr<bool> BpTree::Lookup(Key key, BpTreeValue* value) const {
+  try {
+    const PageId page = FindLeaf(key);
+    const LeafNode leaf = ReadLeaf(page);
+    const auto it = std::lower_bound(
+        leaf.items.begin(), leaf.items.end(), key,
+        [](const Item& item, Key k) { return item.first < k; });
+    if (it == leaf.items.end() || it->first != key) return false;
+    *value = it->second;
+    return true;
+  } catch (const StorageFault& fault) {
+    return fault.status();
+  }
 }
 
-void BpTree::ScanRange(Key lo, Key hi, std::vector<Item>* out) const {
-  PageId page = FindLeaf(lo);
-  while (page != kInvalidPage) {
-    const LeafNode leaf = ReadLeaf(page);
-    for (const Item& item : leaf.items) {
-      if (item.first < lo) continue;
-      if (item.first > hi) return;
-      out->push_back(item);
+Status BpTree::ScanRange(Key lo, Key hi, std::vector<Item>* out) const {
+  try {
+    PageId page = FindLeaf(lo);
+    while (page != kInvalidPage) {
+      const LeafNode leaf = ReadLeaf(page);
+      for (const Item& item : leaf.items) {
+        if (item.first < lo) continue;
+        if (item.first > hi) return Status();
+        out->push_back(item);
+      }
+      page = leaf.next_leaf;
     }
-    page = leaf.next_leaf;
+  } catch (const StorageFault& fault) {
+    return fault.status();
   }
+  return Status();
 }
 
 }  // namespace msq

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/buffer_manager.h"
 
@@ -54,19 +55,22 @@ class BpTree {
   explicit BpTree(BufferManager* buffer);
 
   // Replaces the contents with a bottom-up build from `items`, which must be
-  // sorted by key (strictly increasing).
+  // sorted by key (strictly increasing). Build-time operation: throws
+  // StorageFault on I/O failure.
   void BulkLoad(const std::vector<Item>& items);
 
   // Inserts one item. Duplicate keys are allowed; they are stored adjacent
-  // and all returned by range scans.
+  // and all returned by range scans. Throws StorageFault on I/O failure.
   void Insert(Key key, const BpTreeValue& value);
 
   // Returns whether some item with `key` exists; fills `*value` with the
-  // first one when found.
-  bool Lookup(Key key, BpTreeValue* value) const;
+  // first one when found. Fails with the underlying read error or
+  // kCorruption for a structurally invalid node.
+  StatusOr<bool> Lookup(Key key, BpTreeValue* value) const;
 
-  // Appends all items with lo <= key <= hi, in key order.
-  void ScanRange(Key lo, Key hi, std::vector<Item>* out) const;
+  // Appends all items with lo <= key <= hi, in key order. `*out` may hold a
+  // prefix of the answer on failure.
+  Status ScanRange(Key lo, Key hi, std::vector<Item>* out) const;
 
   std::size_t size() const { return size_; }
   std::uint32_t height() const { return height_; }

@@ -32,12 +32,18 @@ RTree::RTree(BufferManager* buffer) : buffer_(buffer) {
 }
 
 RTreeNode RTree::ReadNode(PageId page) const {
-  Page* raw = buffer_->Fetch(page);
+  Page* raw = ValueOrThrow(buffer_->Fetch(page));
   PageReader reader(raw);
   RTreeNode node;
   node.is_leaf = reader.Read<std::uint8_t>() != 0;
   const std::uint32_t count = reader.Read<std::uint32_t>();
-  MSQ_CHECK(count <= MaxEntriesPerNode());
+  if (count > MaxEntriesPerNode()) {
+    // Storage-born data: a count that cannot fit the page is corruption,
+    // not a programming error.
+    throw StorageFault(Status::Corruption(
+        "r-tree node at page " + std::to_string(page) +
+        " declares " + std::to_string(count) + " entries"));
+  }
   node.entries.resize(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     RTreeEntry& e = node.entries[i];
@@ -50,9 +56,17 @@ RTreeNode RTree::ReadNode(PageId page) const {
   return node;
 }
 
+StatusOr<RTreeNode> RTree::TryReadNode(PageId page) const {
+  try {
+    return ReadNode(page);
+  } catch (const StorageFault& fault) {
+    return fault.status();
+  }
+}
+
 void RTree::WriteNode(PageId page, const RTreeNode& node) {
   MSQ_CHECK(node.entries.size() <= MaxEntriesPerNode());
-  Page* raw = buffer_->Fetch(page, /*mark_dirty=*/true);
+  Page* raw = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
   PageWriter writer(raw);
   writer.Write<std::uint8_t>(node.is_leaf ? 1 : 0);
   writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.entries.size()));
@@ -66,7 +80,7 @@ void RTree::WriteNode(PageId page, const RTreeNode& node) {
 }
 
 PageId RTree::WriteNewNode(const RTreeNode& node) {
-  auto [page_id, raw] = buffer_->AllocatePage();
+  auto [page_id, raw] = ValueOrThrow(buffer_->AllocatePage());
   (void)raw;
   WriteNode(page_id, node);
   return page_id;
@@ -318,14 +332,19 @@ bool RTree::Delete(const Mbr& mbr, std::uint32_t id) {
   return true;
 }
 
-void RTree::KnnQuery(const Point& query, std::size_t k,
-                     std::vector<std::uint32_t>* out) const {
-  RTreeNnBrowser browser(this, query);
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto result = browser.Next();
-    if (!result.found) break;
-    out->push_back(result.id);
+Status RTree::KnnQuery(const Point& query, std::size_t k,
+                       std::vector<std::uint32_t>* out) const {
+  try {
+    RTreeNnBrowser browser(this, query);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto result = browser.Next();
+      if (!result.found) break;
+      out->push_back(result.id);
+    }
+  } catch (const StorageFault& fault) {
+    return fault.status();
   }
+  return Status();
 }
 
 void RTree::BulkLoad(std::vector<RTreeEntry> items) {
@@ -390,46 +409,59 @@ void RTree::BulkLoad(std::vector<RTreeEntry> items) {
   }
 }
 
-void RTree::WindowQuery(const Mbr& window,
-                        std::vector<std::uint32_t>* out) const {
+Status RTree::WindowQuery(const Mbr& window,
+                          std::vector<std::uint32_t>* out) const {
   std::vector<RTreeEntry> entries;
-  WindowQueryEntries(window, &entries);
+  if (Status status = WindowQueryEntries(window, &entries); !status.ok()) {
+    return status;
+  }
   for (const RTreeEntry& e : entries) out->push_back(e.id);
+  return Status();
 }
 
-void RTree::WindowQueryEntries(const Mbr& window,
-                               std::vector<RTreeEntry>* out) const {
-  std::vector<PageId> stack = {root_};
-  while (!stack.empty()) {
-    const PageId page = stack.back();
-    stack.pop_back();
-    const RTreeNode node = ReadNode(page);
-    for (const RTreeEntry& e : node.entries) {
-      if (!e.mbr.Intersects(window)) continue;
-      if (node.is_leaf) {
-        out->push_back(e);
-      } else {
-        stack.push_back(e.id);
+Status RTree::WindowQueryEntries(const Mbr& window,
+                                 std::vector<RTreeEntry>* out) const {
+  try {
+    std::vector<PageId> stack = {root_};
+    while (!stack.empty()) {
+      const PageId page = stack.back();
+      stack.pop_back();
+      const RTreeNode node = ReadNode(page);
+      for (const RTreeEntry& e : node.entries) {
+        if (!e.mbr.Intersects(window)) continue;
+        if (node.is_leaf) {
+          out->push_back(e);
+        } else {
+          stack.push_back(e.id);
+        }
       }
     }
+  } catch (const StorageFault& fault) {
+    return fault.status();
   }
+  return Status();
 }
 
-void RTree::ForEachEntry(
+Status RTree::ForEachEntry(
     const std::function<void(const RTreeEntry&)>& fn) const {
-  std::vector<PageId> stack = {root_};
-  while (!stack.empty()) {
-    const PageId page = stack.back();
-    stack.pop_back();
-    const RTreeNode node = ReadNode(page);
-    for (const RTreeEntry& e : node.entries) {
-      if (node.is_leaf) {
-        fn(e);
-      } else {
-        stack.push_back(e.id);
+  try {
+    std::vector<PageId> stack = {root_};
+    while (!stack.empty()) {
+      const PageId page = stack.back();
+      stack.pop_back();
+      const RTreeNode node = ReadNode(page);
+      for (const RTreeEntry& e : node.entries) {
+        if (node.is_leaf) {
+          fn(e);
+        } else {
+          stack.push_back(e.id);
+        }
       }
     }
+  } catch (const StorageFault& fault) {
+    return fault.status();
   }
+  return Status();
 }
 
 RTreeNnBrowser::RTreeNnBrowser(const RTree* tree, Point query,

@@ -19,6 +19,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "geom/mbr.h"
 #include "geom/point.h"
@@ -51,7 +52,9 @@ class RTree {
   // tree does not own the buffer manager.
   explicit RTree(BufferManager* buffer);
 
-  // Inserts one rectangle (Guttman insert, quadratic split).
+  // Inserts one rectangle (Guttman insert, quadratic split). Construction
+  // paths (Insert/Delete/BulkLoad) run at build time, before faults are
+  // armed, and throw StorageFault on I/O failure.
   void Insert(const Mbr& mbr, std::uint32_t id);
 
   // Removes the entry with this exact (mbr, id) pair (Guttman delete with
@@ -60,22 +63,24 @@ class RTree {
 
   // Appends the ids of the k nearest entries to `query` (by MBR MinDist;
   // exact distance for point entries), nearest first. Fewer than k when
-  // the tree is smaller.
-  void KnnQuery(const Point& query, std::size_t k,
-                std::vector<std::uint32_t>* out) const;
+  // the tree is smaller. Fails with the underlying read error; `*out`
+  // may hold a prefix of the answer on failure.
+  Status KnnQuery(const Point& query, std::size_t k,
+                  std::vector<std::uint32_t>* out) const;
 
   // Replaces the tree contents with an STR bulk load of `items`.
   void BulkLoad(std::vector<RTreeEntry> items);
 
   // Appends the ids of all entries whose MBR intersects `window`.
-  void WindowQuery(const Mbr& window, std::vector<std::uint32_t>* out) const;
+  Status WindowQuery(const Mbr& window,
+                     std::vector<std::uint32_t>* out) const;
 
   // Appends (id, mbr) of all entries whose MBR intersects `window`.
-  void WindowQueryEntries(const Mbr& window,
-                          std::vector<RTreeEntry>* out) const;
+  Status WindowQueryEntries(const Mbr& window,
+                            std::vector<RTreeEntry>* out) const;
 
   // Visits every leaf entry in an arbitrary order.
-  void ForEachEntry(
+  Status ForEachEntry(
       const std::function<void(const RTreeEntry&)>& fn) const;
 
   std::size_t size() const { return size_; }
@@ -83,8 +88,14 @@ class RTree {
   PageId root_page() const { return root_; }
 
   // Reads and decodes the node stored at `page` (public so skyline
-  // browsers can run their own best-first traversals).
+  // browsers can run their own best-first traversals). Throws StorageFault
+  // on read failure or when the stored node is structurally invalid — deep
+  // traversal loops funnel errors to the query boundary this way (see
+  // common/status.h).
   RTreeNode ReadNode(PageId page) const;
+
+  // Non-throwing variant of ReadNode for callers outside the funnel.
+  StatusOr<RTreeNode> TryReadNode(PageId page) const;
 
  private:
   friend class RTreeNnBrowser;
@@ -159,7 +170,9 @@ class RTreeNnBrowser {
     Dist distance = kInfDist;  // Euclidean distance from the query point
   };
 
-  // Returns the next-nearest not-pruned leaf entry.
+  // Returns the next-nearest not-pruned leaf entry. Throws StorageFault
+  // when a node read fails; callers run inside a query boundary that
+  // converts the throw to an error result.
   Result Next();
 
   // Distance key of the top of the search queue: a lower bound on every

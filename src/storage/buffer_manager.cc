@@ -1,16 +1,55 @@
 #include "storage/buffer_manager.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/check.h"
 
 namespace msq {
 
-BufferManager::BufferManager(DiskManager* disk, std::size_t frames)
-    : disk_(disk), frames_(frames) {
+BufferManager::BufferManager(DiskManager* disk, std::size_t frames,
+                             RetryPolicy retry)
+    : disk_(disk), frames_(frames), retry_(retry) {
   MSQ_CHECK(disk != nullptr);
   MSQ_CHECK(frames >= 1);
+  MSQ_CHECK(retry.max_read_attempts >= 1);
+  MSQ_CHECK(retry.max_write_attempts >= 1);
 }
 
-Page* BufferManager::Fetch(PageId id, bool mark_dirty) {
+Status BufferManager::ReadWithRetry(PageId id, Page* out) {
+  Status status;
+  for (int attempt = 0; attempt < retry_.max_read_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.read_retries;
+      if (retry_.backoff_micros > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(retry_.backoff_micros << (attempt - 1)));
+      }
+    }
+    status = disk_->Read(id, out);
+    if (status.ok() || !status.transient()) break;
+  }
+  if (!status.ok()) ++stats_.failed_reads;
+  return status;
+}
+
+Status BufferManager::WriteWithRetry(PageId id, const Page& page) {
+  Status status;
+  for (int attempt = 0; attempt < retry_.max_write_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.write_retries;
+      if (retry_.backoff_micros > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(retry_.backoff_micros << (attempt - 1)));
+      }
+    }
+    status = disk_->Write(id, page);
+    if (status.ok() || !status.transient()) break;
+  }
+  return status;
+}
+
+StatusOr<Page*> BufferManager::Fetch(PageId id, bool mark_dirty) {
   auto it = table_.find(id);
   if (it != table_.end()) {
     ++stats_.hits;
@@ -20,53 +59,76 @@ Page* BufferManager::Fetch(PageId id, bool mark_dirty) {
     return &it->second->page;
   }
   ++stats_.misses;
-  if (lru_.size() >= frames_) EvictOne();
+  if (lru_.size() >= frames_) {
+    if (Status status = EvictOne(); !status.ok()) return status;
+  }
+  // Read into a scratch frame first so a failed read leaves no stale entry
+  // in the pool.
   lru_.emplace_front();
   Frame& frame = lru_.front();
   frame.id = id;
   frame.dirty = mark_dirty;
-  disk_->Read(id, &frame.page);
+  if (Status status = ReadWithRetry(id, &frame.page); !status.ok()) {
+    lru_.pop_front();
+    return status;
+  }
   table_[id] = lru_.begin();
   return &frame.page;
 }
 
-std::pair<PageId, Page*> BufferManager::AllocatePage() {
-  const PageId id = disk_->Allocate();
-  if (lru_.size() >= frames_) EvictOne();
+StatusOr<std::pair<PageId, Page*>> BufferManager::AllocatePage() {
+  StatusOr<PageId> id = disk_->Allocate();
+  if (!id.ok()) return id.status();
+  if (lru_.size() >= frames_) {
+    if (Status status = EvictOne(); !status.ok()) return status;
+  }
   lru_.emplace_front();
   Frame& frame = lru_.front();
-  frame.id = id;
+  frame.id = *id;
   frame.dirty = true;
-  table_[id] = lru_.begin();
-  return {id, &frame.page};
+  table_[*id] = lru_.begin();
+  return std::pair<PageId, Page*>{*id, &frame.page};
 }
 
-void BufferManager::FlushAll() {
+Status BufferManager::FlushAll() {
+  Status first_error;
   for (Frame& frame : lru_) {
-    if (frame.dirty) {
-      disk_->Write(frame.id, frame.page);
+    if (!frame.dirty) continue;
+    Status status = WriteWithRetry(frame.id, frame.page);
+    if (status.ok()) {
       frame.dirty = false;
       ++stats_.dirty_writebacks;
+    } else {
+      ++stats_.failed_writebacks;
+      if (first_error.ok()) first_error = status;
     }
   }
+  return first_error;
 }
 
-void BufferManager::Clear() {
-  FlushAll();
+Status BufferManager::Clear() {
+  if (Status status = FlushAll(); !status.ok()) return status;
   lru_.clear();
   table_.clear();
+  return Status();
 }
 
-void BufferManager::EvictOne() {
+Status BufferManager::EvictOne() {
   MSQ_CHECK(!lru_.empty());
   Frame& victim = lru_.back();
   if (victim.dirty) {
-    disk_->Write(victim.id, victim.page);
+    Status status = WriteWithRetry(victim.id, victim.page);
+    if (!status.ok()) {
+      ++stats_.failed_writebacks;
+      return status;
+    }
+    victim.dirty = false;
     ++stats_.dirty_writebacks;
   }
   table_.erase(victim.id);
   lru_.pop_back();
   ++stats_.evictions;
+  return Status();
 }
 
 }  // namespace msq

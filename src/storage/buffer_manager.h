@@ -3,6 +3,12 @@
 // The paper's setup: "The disk page size is set to 4KB and a 1MB LRU buffer
 // is used in all experiments." Buffer misses are the "disk pages accessed"
 // reported in Figures 5 and 6.
+//
+// All operations that touch the disk return Status/StatusOr: a failed read
+// is reported to the caller instead of caching garbage, and a failed
+// writeback keeps the dirty frame resident so no acknowledged write is
+// silently dropped. Transient (kUnavailable) disk errors are retried per
+// RetryPolicy before surfacing.
 #ifndef MSQ_STORAGE_BUFFER_MANAGER_H_
 #define MSQ_STORAGE_BUFFER_MANAGER_H_
 
@@ -10,8 +16,10 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -26,8 +34,24 @@ struct BufferStats {
   std::uint64_t misses = 0;      // == physical page reads
   std::uint64_t evictions = 0;
   std::uint64_t dirty_writebacks = 0;
+  std::uint64_t read_retries = 0;   // transient read faults retried
+  std::uint64_t write_retries = 0;  // transient write faults retried
+  std::uint64_t failed_reads = 0;   // reads that failed after retries
+  std::uint64_t failed_writebacks = 0;  // writebacks that failed after retries
 
   std::uint64_t accesses() const { return hits + misses; }
+};
+
+// How the pool reacts to transient (kUnavailable) disk errors. Permanent
+// errors (kIoError, kCorruption, kInvalidArgument) are never retried — a
+// checksum mismatch does not heal on re-read from the same cold medium.
+struct RetryPolicy {
+  // Total attempts per physical read/write, including the first.
+  int max_read_attempts = 3;
+  int max_write_attempts = 3;
+  // Sleep between attempts. Zero (default) keeps tests and benchmarks fast;
+  // real deployments would use a small exponential backoff.
+  std::uint64_t backoff_micros = 0;
 };
 
 // Single-threaded LRU buffer pool. Pages are accessed through Fetch(),
@@ -38,7 +62,8 @@ class BufferManager {
  public:
   // `frames` is the pool capacity in pages; must be >= 1. The manager does
   // not own `disk`.
-  BufferManager(DiskManager* disk, std::size_t frames);
+  BufferManager(DiskManager* disk, std::size_t frames,
+                RetryPolicy retry = RetryPolicy{});
 
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
@@ -46,17 +71,23 @@ class BufferManager {
   // Returns the in-pool image of page `id`, reading it from disk on a miss
   // and evicting the least-recently-used frame if the pool is full.
   // If `mark_dirty` is true the page is written back before eviction.
-  Page* Fetch(PageId id, bool mark_dirty = false);
+  // Fails when the miss read fails (after retries) or when making room
+  // requires a writeback that fails; the pool is left unchanged on failure.
+  StatusOr<Page*> Fetch(PageId id, bool mark_dirty = false);
 
   // Allocates a fresh page on disk and returns its pooled image (dirty).
-  std::pair<PageId, Page*> AllocatePage();
+  StatusOr<std::pair<PageId, Page*>> AllocatePage();
 
-  // Writes back every dirty page (pool keeps its contents).
-  void FlushAll();
+  // Writes back every dirty page (pool keeps its contents). On failure the
+  // affected frame stays dirty and the first error is returned after
+  // attempting the remaining frames.
+  Status FlushAll();
 
   // Drops all pooled pages after flushing — the next Fetch of any page is a
   // miss. Benchmarks call this between runs for cold-cache measurements.
-  void Clear();
+  // If any writeback fails, NO frame is dropped (the dirty data survives in
+  // the pool) and the error is returned.
+  Status Clear();
 
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats{}; }
@@ -73,11 +104,17 @@ class BufferManager {
     Page page;
   };
 
-  // Evicts the LRU frame (back of the list).
-  void EvictOne();
+  // Evicts the LRU frame (back of the list). If the victim is dirty and its
+  // writeback fails, the frame is NOT evicted and the error is returned.
+  Status EvictOne();
+
+  // Physical I/O with transient-fault retries per retry_.
+  Status ReadWithRetry(PageId id, Page* out);
+  Status WriteWithRetry(PageId id, const Page& page);
 
   DiskManager* disk_;
   std::size_t frames_;
+  RetryPolicy retry_;
   // Most-recently-used at front.
   std::list<Frame> lru_;
   std::unordered_map<PageId, std::list<Frame>::iterator> table_;

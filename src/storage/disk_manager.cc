@@ -3,28 +3,45 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace msq {
+namespace {
 
-PageId InMemoryDiskManager::Allocate() {
+std::string PageContext(const std::string& path, PageId id,
+                        const char* what) {
+  return std::string(what) + " page " + std::to_string(id) + " of " + path;
+}
+
+}  // namespace
+
+StatusOr<PageId> InMemoryDiskManager::Allocate() {
   pages_.push_back(std::make_unique<Page>());
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-void InMemoryDiskManager::Read(PageId id, Page* out) {
-  MSQ_CHECK(id < pages_.size());
+Status InMemoryDiskManager::Read(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(id));
+  }
   *out = *pages_[id];
   ++reads_;
+  return Status();
 }
 
-void InMemoryDiskManager::Write(PageId id, const Page& page) {
-  MSQ_CHECK(id < pages_.size());
+Status InMemoryDiskManager::Write(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("write of unallocated page " +
+                                   std::to_string(id));
+  }
   *pages_[id] = page;
   ++writes_;
+  return Status();
 }
 
-std::unique_ptr<FileDiskManager> FileDiskManager::Open(const std::string& path,
-                                                       bool truncate) {
+StatusOr<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path, bool truncate) {
   std::FILE* file = nullptr;
   if (!truncate) {
     file = std::fopen(path.c_str(), "r+b");
@@ -32,50 +49,123 @@ std::unique_ptr<FileDiskManager> FileDiskManager::Open(const std::string& path,
   if (file == nullptr) {
     file = std::fopen(path.c_str(), "w+b");
   }
-  if (file == nullptr) return nullptr;
-  std::fseek(file, 0, SEEK_END);
+  if (file == nullptr) {
+    return IoErrorFromErrno("cannot open " + path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    const Status status = IoErrorFromErrno("cannot seek to end of " + path);
+    std::fclose(file);
+    return status;
+  }
   const long size = std::ftell(file);
-  MSQ_CHECK(size >= 0);
-  MSQ_CHECK_MSG(static_cast<std::size_t>(size) % kPageSize == 0,
-                "file %s is not page-aligned", path.c_str());
-  return std::unique_ptr<FileDiskManager>(
-      new FileDiskManager(file, static_cast<std::size_t>(size) / kPageSize));
+  if (size < 0) {
+    const Status status = IoErrorFromErrno("cannot tell size of " + path);
+    std::fclose(file);
+    return status;
+  }
+  if (static_cast<std::size_t>(size) % kSlotSize != 0) {
+    std::fclose(file);
+    return Status::Corruption("file " + path + " is not slot-aligned (" +
+                              std::to_string(size) + " bytes)");
+  }
+  return std::unique_ptr<FileDiskManager>(new FileDiskManager(
+      file, path, static_cast<std::size_t>(size) / kSlotSize));
 }
 
-FileDiskManager::FileDiskManager(std::FILE* file, std::size_t page_count)
-    : file_(file), page_count_(page_count) {}
+FileDiskManager::FileDiskManager(std::FILE* file, std::string path,
+                                 std::size_t page_count)
+    : file_(file), path_(std::move(path)), page_count_(page_count) {}
 
 FileDiskManager::~FileDiskManager() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-PageId FileDiskManager::Allocate() {
-  Page zero{};
-  std::fseek(file_, static_cast<long>(page_count_ * kPageSize), SEEK_SET);
-  const std::size_t written =
-      std::fwrite(zero.data.data(), 1, kPageSize, file_);
-  MSQ_CHECK(written == kPageSize);
-  return static_cast<PageId>(page_count_++);
-}
-
-void FileDiskManager::Read(PageId id, Page* out) {
-  MSQ_CHECK(id < page_count_);
-  std::fseek(file_, static_cast<long>(static_cast<std::size_t>(id) * kPageSize),
-             SEEK_SET);
-  const std::size_t got = std::fread(out->data.data(), 1, kPageSize, file_);
-  MSQ_CHECK(got == kPageSize);
-  ++reads_;
-}
-
-void FileDiskManager::Write(PageId id, const Page& page) {
-  MSQ_CHECK(id < page_count_);
-  std::fseek(file_, static_cast<long>(static_cast<std::size_t>(id) * kPageSize),
-             SEEK_SET);
-  const std::size_t written =
+Status FileDiskManager::WriteSlot(PageId id, const Page& page) {
+  if (std::fseek(file_,
+                 static_cast<long>(static_cast<std::size_t>(id) * kSlotSize),
+                 SEEK_SET) != 0) {
+    return IoErrorFromErrno(PageContext(path_, id, "cannot seek to"));
+  }
+  PageTrailer trailer;
+  trailer.magic = kPageMagic;
+  trailer.page_id = id;
+  trailer.payload_crc = Crc32c(page.data.data(), kPageSize);
+  const std::size_t wrote_payload =
       std::fwrite(page.data.data(), 1, kPageSize, file_);
-  MSQ_CHECK(written == kPageSize);
-  std::fflush(file_);
+  if (wrote_payload != kPageSize) {
+    return IoErrorFromErrno(PageContext(path_, id, "short write of"));
+  }
+  const std::size_t wrote_trailer =
+      std::fwrite(&trailer, 1, sizeof(trailer), file_);
+  if (wrote_trailer != sizeof(trailer)) {
+    return IoErrorFromErrno(PageContext(path_, id, "short trailer write of"));
+  }
+  if (std::fflush(file_) != 0) {
+    return IoErrorFromErrno(PageContext(path_, id, "cannot flush"));
+  }
+  return Status();
+}
+
+StatusOr<PageId> FileDiskManager::Allocate() {
+  const Page zero{};
+  const PageId id = static_cast<PageId>(page_count_);
+  if (Status status = WriteSlot(id, zero); !status.ok()) return status;
+  ++page_count_;
+  return id;
+}
+
+Status FileDiskManager::Read(PageId id, Page* out) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(id) + " of " + path_);
+  }
+  if (std::fseek(file_,
+                 static_cast<long>(static_cast<std::size_t>(id) * kSlotSize),
+                 SEEK_SET) != 0) {
+    return IoErrorFromErrno(PageContext(path_, id, "cannot seek to"));
+  }
+  const std::size_t got = std::fread(out->data.data(), 1, kPageSize, file_);
+  if (got != kPageSize) {
+    if (std::ferror(file_) != 0) {
+      std::clearerr(file_);
+      return IoErrorFromErrno(PageContext(path_, id, "cannot read"));
+    }
+    return Status::IoError(PageContext(path_, id, "short read of"));
+  }
+  PageTrailer trailer;
+  const std::size_t got_trailer =
+      std::fread(&trailer, 1, sizeof(trailer), file_);
+  if (got_trailer != sizeof(trailer)) {
+    if (std::ferror(file_) != 0) {
+      std::clearerr(file_);
+      return IoErrorFromErrno(PageContext(path_, id, "cannot read trailer of"));
+    }
+    return Status::IoError(PageContext(path_, id, "short trailer read of"));
+  }
+  if (trailer.magic != kPageMagic) {
+    return Status::Corruption(PageContext(path_, id, "bad trailer magic on"));
+  }
+  if (trailer.page_id != id) {
+    return Status::Corruption(PageContext(path_, id, "misdirected page at") +
+                              " (trailer says page " +
+                              std::to_string(trailer.page_id) + ")");
+  }
+  const std::uint32_t crc = Crc32c(out->data.data(), kPageSize);
+  if (crc != trailer.payload_crc) {
+    return Status::Corruption(PageContext(path_, id, "checksum mismatch on"));
+  }
+  ++reads_;
+  return Status();
+}
+
+Status FileDiskManager::Write(PageId id, const Page& page) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("write of unallocated page " +
+                                   std::to_string(id) + " of " + path_);
+  }
+  if (Status status = WriteSlot(id, page); !status.ok()) return status;
   ++writes_;
+  return Status();
 }
 
 }  // namespace msq

@@ -7,6 +7,11 @@
 // metric of interest is the page-access count, which is identical) and a
 // file-backed one (for datasets larger than memory and for persistence
 // tests).
+//
+// Every operation reports failure through Status instead of aborting: I/O
+// errors are environmental, and the query stack above degrades to a clean
+// typed error rather than crashing (see common/status.h and DESIGN.md's
+// "Failure model").
 #ifndef MSQ_STORAGE_DISK_MANAGER_H_
 #define MSQ_STORAGE_DISK_MANAGER_H_
 
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/page.h"
 
 namespace msq {
@@ -26,17 +32,18 @@ class DiskManager {
   virtual ~DiskManager() = default;
 
   // Appends a zeroed page and returns its id.
-  virtual PageId Allocate() = 0;
-  // Reads page `id` into `*out`. `id` must have been allocated.
-  virtual void Read(PageId id, Page* out) = 0;
-  // Writes `page` at `id`. `id` must have been allocated.
-  virtual void Write(PageId id, const Page& page) = 0;
+  virtual StatusOr<PageId> Allocate() = 0;
+  // Reads page `id` into `*out`. Fails with kInvalidArgument for an
+  // unallocated id, kIoError/kCorruption for environmental failures.
+  virtual Status Read(PageId id, Page* out) = 0;
+  // Writes `page` at `id`. Same failure taxonomy as Read.
+  virtual Status Write(PageId id, const Page& page) = 0;
   // Number of allocated pages.
   virtual std::size_t PageCount() const = 0;
 
-  // Cumulative physical read/write counters (for I/O accounting tests; the
-  // benchmark metric is buffer-miss counts from BufferManager, which equal
-  // physical reads here).
+  // Cumulative successful physical read/write counters (for I/O accounting
+  // tests; the benchmark metric is buffer-miss counts from BufferManager,
+  // which equal physical reads here).
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
   void ResetCounters() {
@@ -49,12 +56,12 @@ class DiskManager {
   std::uint64_t writes_ = 0;
 };
 
-// Heap-backed page store.
+// Heap-backed page store. Never fails except on out-of-range ids.
 class InMemoryDiskManager final : public DiskManager {
  public:
-  PageId Allocate() override;
-  void Read(PageId id, Page* out) override;
-  void Write(PageId id, const Page& page) override;
+  StatusOr<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
   std::size_t PageCount() const override { return pages_.size(); }
 
  private:
@@ -63,26 +70,48 @@ class InMemoryDiskManager final : public DiskManager {
 
 // File-backed page store. The file is created (truncated) on construction
 // when `truncate` is true, otherwise existing pages are adopted.
+//
+// On-disk format: each page occupies a fixed-size slot — the 4 KB payload
+// followed by a PageTrailer {magic+version, page id, CRC-32C of the
+// payload}. Every Read verifies the trailer, so torn writes, bit flips, and
+// misdirected pages surface as kCorruption instead of silently feeding bad
+// bytes to the structures above.
 class FileDiskManager final : public DiskManager {
  public:
-  // Opens (or creates) `path`. Returns nullptr when the file cannot be
-  // opened.
-  static std::unique_ptr<FileDiskManager> Open(const std::string& path,
-                                               bool truncate);
+  // Versioned on-disk page trailer. Bump kPageMagic when the layout changes.
+  struct PageTrailer {
+    std::uint32_t magic = 0;
+    std::uint32_t page_id = 0;
+    std::uint32_t payload_crc = 0;
+    std::uint32_t reserved = 0;
+  };
+  static constexpr std::uint32_t kPageMagic = 0x4d535131;  // "MSQ1"
+  // On-disk bytes per page slot (payload + trailer); tests use this to
+  // compute raw file offsets when injecting corruption.
+  static constexpr std::size_t kSlotSize = kPageSize + sizeof(PageTrailer);
+
+  // Opens (or creates) `path`. Fails with kIoError when the file cannot be
+  // opened and kCorruption when an adopted file is not slot-aligned.
+  static StatusOr<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path, bool truncate);
   ~FileDiskManager() override;
 
   FileDiskManager(const FileDiskManager&) = delete;
   FileDiskManager& operator=(const FileDiskManager&) = delete;
 
-  PageId Allocate() override;
-  void Read(PageId id, Page* out) override;
-  void Write(PageId id, const Page& page) override;
+  StatusOr<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
   std::size_t PageCount() const override { return page_count_; }
 
  private:
-  FileDiskManager(std::FILE* file, std::size_t page_count);
+  FileDiskManager(std::FILE* file, std::string path, std::size_t page_count);
+
+  // Seeks to `id`'s slot and writes payload + trailer.
+  Status WriteSlot(PageId id, const Page& page);
 
   std::FILE* file_;
+  std::string path_;  // for error messages
   std::size_t page_count_;
 };
 

@@ -1,0 +1,92 @@
+#include "storage/fault_injection.h"
+
+#include <string>
+
+namespace msq {
+
+FaultInjectingDiskManager::FaultInjectingDiskManager(
+    DiskManager* inner, FaultInjectionConfig config)
+    : inner_(inner), config_(config), rng_(config.seed) {}
+
+void FaultInjectingDiskManager::FailNextReads(int count, StatusCode code) {
+  for (int i = 0; i < count; ++i) scripted_read_faults_.push_back(code);
+}
+
+void FaultInjectingDiskManager::FailNextWrites(int count, StatusCode code) {
+  for (int i = 0; i < count; ++i) scripted_write_faults_.push_back(code);
+}
+
+Status FaultInjectingDiskManager::MakeFault(StatusCode code, const char* op,
+                                            PageId id) {
+  const std::string msg = std::string("injected fault: ") + op + " page " +
+                          std::to_string(id);
+  switch (code) {
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(msg);
+    case StatusCode::kCorruption:
+      return Status::Corruption(msg);
+    case StatusCode::kIoError:
+    default:
+      return Status::IoError(msg);
+  }
+}
+
+StatusOr<PageId> FaultInjectingDiskManager::Allocate() {
+  return inner_->Allocate();
+}
+
+std::size_t FaultInjectingDiskManager::PageCount() const {
+  return inner_->PageCount();
+}
+
+Status FaultInjectingDiskManager::Read(PageId id, Page* out) {
+  if (!scripted_read_faults_.empty()) {
+    const StatusCode code = scripted_read_faults_.front();
+    scripted_read_faults_.pop_front();
+    ++fault_stats_.injected_scripted_faults;
+    return MakeFault(code, "read", id);
+  }
+  if (armed_) {
+    if (dead_pages_.count(id) > 0) {
+      ++fault_stats_.injected_persistent_reads;
+      return MakeFault(StatusCode::kIoError, "read (dead page)", id);
+    }
+    // One uniform draw per read, carved into disjoint intervals, keeps the
+    // schedule a pure function of the seed and the read sequence.
+    const double roll = rng_.NextDouble();
+    double edge = config_.transient_read_rate;
+    if (roll < edge) {
+      ++fault_stats_.injected_transient_reads;
+      return MakeFault(StatusCode::kUnavailable, "read", id);
+    }
+    edge += config_.persistent_read_rate;
+    if (roll < edge) {
+      dead_pages_.insert(id);
+      ++fault_stats_.injected_persistent_reads;
+      return MakeFault(StatusCode::kIoError, "read (dead page)", id);
+    }
+    edge += config_.corrupt_read_rate;
+    if (roll < edge) {
+      ++fault_stats_.injected_corrupt_reads;
+      return MakeFault(StatusCode::kCorruption, "read", id);
+    }
+  }
+  return inner_->Read(id, out);
+}
+
+Status FaultInjectingDiskManager::Write(PageId id, const Page& page) {
+  if (!scripted_write_faults_.empty()) {
+    const StatusCode code = scripted_write_faults_.front();
+    scripted_write_faults_.pop_front();
+    ++fault_stats_.injected_scripted_faults;
+    return MakeFault(code, "write", id);
+  }
+  if (armed_ && config_.write_error_rate > 0.0 &&
+      rng_.NextDouble() < config_.write_error_rate) {
+    ++fault_stats_.injected_write_errors;
+    return MakeFault(StatusCode::kIoError, "write", id);
+  }
+  return inner_->Write(id, page);
+}
+
+}  // namespace msq

@@ -1,0 +1,104 @@
+// Deterministic fault-injecting DiskManager decorator.
+//
+// Wraps any DiskManager and, while armed, fails a seeded random subset of
+// operations so the stack above can be stress-tested under storage faults:
+// the acceptance bar is "identical result to the fault-free run, or a clean
+// typed error — never a crash, never a wrong skyline".
+//
+// Two fault sources compose:
+//   * Probabilistic faults from FaultInjectionConfig rates, driven by the
+//     seeded Rng — reproducible schedules for the stress suite.
+//   * Scripted faults queued with FailNextReads/FailNextWrites — exact
+//     failure placement for unit tests (e.g. "the next eviction writeback
+//     fails with kIoError").
+// Scripted faults fire first; probabilistic faults apply only while armed.
+//
+// Fault flavours:
+//   * transient read  -> kUnavailable (succeeds if retried; models a flaky
+//     interconnect, exercises BufferManager's retry policy)
+//   * persistent read -> the chosen page fails with kIoError forever
+//     (models a dead sector)
+//   * corrupt read    -> kCorruption (models a checksum mismatch as
+//     FileDiskManager would report it; the payload is never delivered)
+//   * write error     -> kIoError on Write (models a full or failing disk)
+#ifndef MSQ_STORAGE_FAULT_INJECTION_H_
+#define MSQ_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace msq {
+
+// Per-operation fault probabilities in [0, 1]. All default to zero, so a
+// default-constructed config injects nothing even while armed.
+struct FaultInjectionConfig {
+  std::uint64_t seed = 1;
+  double transient_read_rate = 0.0;
+  double persistent_read_rate = 0.0;
+  double corrupt_read_rate = 0.0;
+  double write_error_rate = 0.0;
+};
+
+// Counters for asserting that a schedule actually exercised faults.
+struct FaultInjectionStats {
+  std::uint64_t injected_transient_reads = 0;
+  std::uint64_t injected_persistent_reads = 0;
+  std::uint64_t injected_corrupt_reads = 0;
+  std::uint64_t injected_write_errors = 0;
+  std::uint64_t injected_scripted_faults = 0;
+
+  std::uint64_t total() const {
+    return injected_transient_reads + injected_persistent_reads +
+           injected_corrupt_reads + injected_write_errors +
+           injected_scripted_faults;
+  }
+};
+
+// Decorator over an unowned inner DiskManager. Allocate passes through
+// untouched (allocation happens at build time, before faults are armed).
+class FaultInjectingDiskManager final : public DiskManager {
+ public:
+  // `inner` must outlive this decorator.
+  FaultInjectingDiskManager(DiskManager* inner, FaultInjectionConfig config);
+
+  // Probabilistic injection gate. Construction starts disarmed so the
+  // structure build phase runs fault-free; tests arm after the stack is
+  // built and flushed.
+  void Arm() { armed_ = true; }
+  void Disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  // Scripted faults: the next `count` Read/Write calls fail with `code`
+  // regardless of the armed state. Queued codes fire in FIFO order.
+  void FailNextReads(int count, StatusCode code);
+  void FailNextWrites(int count, StatusCode code);
+
+  const FaultInjectionStats& fault_stats() const { return fault_stats_; }
+  DiskManager* inner() { return inner_; }
+
+  StatusOr<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  std::size_t PageCount() const override;
+
+ private:
+  static Status MakeFault(StatusCode code, const char* op, PageId id);
+
+  DiskManager* inner_;
+  FaultInjectionConfig config_;
+  Rng rng_;
+  bool armed_ = false;
+  std::deque<StatusCode> scripted_read_faults_;
+  std::deque<StatusCode> scripted_write_faults_;
+  std::unordered_set<PageId> dead_pages_;
+  FaultInjectionStats fault_stats_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_STORAGE_FAULT_INJECTION_H_

@@ -1,6 +1,9 @@
 // Death tests: invariant violations must abort loudly rather than corrupt
-// query results (common/check.h's contract).
+// query results (common/check.h's contract) — while environmental failures
+// (out-of-range page ids, invalid query input) surface as Status errors.
 #include "common/check.h"
+
+#include "common/status.h"
 
 #include <gtest/gtest.h>
 
@@ -38,14 +41,12 @@ TEST(CheckDeathTest, PageWriterOverflowAborts) {
       "MSQ_CHECK failed");
 }
 
-TEST(CheckDeathTest, DiskReadOutOfRangeAborts) {
-  EXPECT_DEATH(
-      {
-        InMemoryDiskManager disk;
-        Page page;
-        disk.Read(5, &page);
-      },
-      "MSQ_CHECK failed");
+TEST(CheckTest, DiskReadOutOfRangeIsAStatusError) {
+  InMemoryDiskManager disk;
+  Page page;
+  const Status status = disk.Read(5, &page);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(CheckDeathTest, DijkstraRejectsInvalidSource) {
@@ -61,25 +62,25 @@ TEST(CheckDeathTest, DijkstraRejectsInvalidSource) {
   EXPECT_DEATH(run(), "MSQ_CHECK failed");
 }
 
-TEST(CheckDeathTest, QueryValidationRejectsEmptySources) {
-  const auto run = [] {
-    auto workload = testing::MakeRandomWorkload(50, 60, 0.5, 1);
-    SkylineQuerySpec spec;  // no sources
-    ValidateQuery(workload->dataset(), spec);
-  };
-  EXPECT_DEATH(run(), "at least one source");
+TEST(CheckTest, QueryValidationRejectsEmptySources) {
+  auto workload = testing::MakeRandomWorkload(50, 60, 0.5, 1);
+  SkylineQuerySpec spec;  // no sources
+  const Status status = ValidateQuery(workload->dataset(), spec);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("at least one source"), std::string::npos);
 }
 
-TEST(CheckDeathTest, QueryValidationRejectsInvalidLocation) {
-  const auto run = [] {
-    auto workload = testing::MakeRandomWorkload(50, 60, 0.5, 1);
-    SkylineQuerySpec spec;
-    Location bad;
-    bad.edge = 9999;
-    spec.sources.push_back(bad);
-    ValidateQuery(workload->dataset(), spec);
-  };
-  EXPECT_DEATH(run(), "invalid");
+TEST(CheckTest, QueryValidationRejectsInvalidLocation) {
+  auto workload = testing::MakeRandomWorkload(50, 60, 0.5, 1);
+  SkylineQuerySpec spec;
+  Location bad;
+  bad.edge = 9999;
+  spec.sources.push_back(bad);
+  const Status status = ValidateQuery(workload->dataset(), spec);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("invalid"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// Query-level guardrails: page-access budgets and wall-clock deadlines cut
+// queries short with a truncated-but-correct partial result (progressive
+// algorithms) or an empty flagged result (batch algorithms), and invalid
+// query input comes back as a typed error instead of an abort.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/skyline_query.h"
+#include "gen/workloads.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+bool IsSubsetOf(const std::vector<ObjectId>& sub,
+                const std::vector<ObjectId>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+class GuardrailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = testing::MakeRandomWorkload(300, 400, 1.0, 21);
+    spec_ = workload_->SampleQuery(3, 4);
+    const auto oracle =
+        RunSkylineQuery(Algorithm::kNaive, workload_->dataset(), spec_);
+    ASSERT_TRUE(oracle.status.ok());
+    true_skyline_ = testing::SkylineIds(oracle);
+  }
+
+  std::unique_ptr<Workload> workload_;
+  SkylineQuerySpec spec_;
+  std::vector<ObjectId> true_skyline_;
+};
+
+TEST_F(GuardrailTest, ProgressivePrefixUnderPageBudgetIsTrueSkyline) {
+  for (const Algorithm algorithm :
+       {Algorithm::kCe, Algorithm::kLbc, Algorithm::kEdcIncremental}) {
+    for (const std::uint64_t budget : {1ull, 20ull, 200ull}) {
+      SkylineQuerySpec limited = spec_;
+      limited.limits.max_page_accesses = budget;
+      std::vector<ObjectId> emitted;
+      const auto result = RunSkylineQuery(
+          algorithm, workload_->dataset(), limited,
+          [&](const SkylineEntry& entry) { emitted.push_back(entry.object); });
+      ASSERT_TRUE(result.status.ok()) << AlgorithmName(algorithm);
+      if (result.truncated) {
+        EXPECT_EQ(result.truncation_reason, StatusCode::kResourceExhausted);
+      } else {
+        // Budget was enough: the answer must be the full skyline.
+        EXPECT_EQ(testing::SkylineIds(result), true_skyline_)
+            << AlgorithmName(algorithm) << " budget " << budget;
+      }
+      // Guardrail contract: everything reported — result entries and
+      // progressive callbacks alike — is a true skyline object.
+      EXPECT_TRUE(IsSubsetOf(testing::SkylineIds(result), true_skyline_))
+          << AlgorithmName(algorithm) << " budget " << budget;
+      std::sort(emitted.begin(), emitted.end());
+      EXPECT_TRUE(IsSubsetOf(emitted, true_skyline_))
+          << AlgorithmName(algorithm) << " budget " << budget;
+    }
+  }
+}
+
+TEST_F(GuardrailTest, TinyBudgetActuallyTruncates) {
+  SkylineQuerySpec limited = spec_;
+  limited.limits.max_page_accesses = 1;
+  for (const Algorithm algorithm :
+       {Algorithm::kCe, Algorithm::kLbc, Algorithm::kEdcIncremental}) {
+    const auto result =
+        RunSkylineQuery(algorithm, workload_->dataset(), limited);
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_TRUE(result.truncated) << AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(GuardrailTest, BatchAlgorithmsReturnEmptyWhenTruncated) {
+  SkylineQuerySpec limited = spec_;
+  limited.limits.max_page_accesses = 1;
+  for (const Algorithm algorithm : {Algorithm::kNaive, Algorithm::kEdc}) {
+    const auto result =
+        RunSkylineQuery(algorithm, workload_->dataset(), limited);
+    ASSERT_TRUE(result.status.ok());
+    ASSERT_TRUE(result.truncated) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.truncation_reason, StatusCode::kResourceExhausted);
+    // Batch algorithms cannot confirm points mid-run, so a truncated batch
+    // result reports nothing rather than an unvetted candidate set.
+    EXPECT_TRUE(result.skyline.empty()) << AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(GuardrailTest, DeadlineTruncatesWithItsOwnReason) {
+  SkylineQuerySpec limited = spec_;
+  limited.limits.max_seconds = 1e-12;
+  for (const Algorithm algorithm :
+       {Algorithm::kCe, Algorithm::kEdc, Algorithm::kLbc}) {
+    const auto result =
+        RunSkylineQuery(algorithm, workload_->dataset(), limited);
+    ASSERT_TRUE(result.status.ok());
+    ASSERT_TRUE(result.truncated) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.truncation_reason, StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(IsSubsetOf(testing::SkylineIds(result), true_skyline_));
+  }
+}
+
+TEST_F(GuardrailTest, UnlimitedByDefaultMatchesOracle) {
+  for (const Algorithm algorithm :
+       {Algorithm::kCe, Algorithm::kEdc, Algorithm::kLbc}) {
+    const auto result = RunSkylineQuery(algorithm, workload_->dataset(), spec_);
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_FALSE(result.truncated);
+    EXPECT_EQ(result.truncation_reason, StatusCode::kOk);
+    EXPECT_EQ(testing::SkylineIds(result), true_skyline_)
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(GuardrailTest, NegativeDeadlineIsInvalidArgument) {
+  SkylineQuerySpec bad = spec_;
+  bad.limits.max_seconds = -1.0;
+  const auto result = RunSkylineQuery(Algorithm::kCe, workload_->dataset(), bad);
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(result.skyline.empty());
+}
+
+TEST_F(GuardrailTest, OutOfRangeLbcSourceIsInvalidArgument) {
+  SkylineQuerySpec bad = spec_;
+  bad.lbc_source_index = bad.sources.size();
+  const auto result =
+      RunSkylineQuery(Algorithm::kLbc, workload_->dataset(), bad);
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace msq

@@ -81,6 +81,61 @@ TEST(DatasetIoTest, LocationsMissingFile) {
       LoadLocations("/no/such/objects.txt", network, &error).has_value());
 }
 
+TEST(DatasetIoTest, LocationsRejectGarbageHeader) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = TempPath("msq_garbage_header.txt");
+  std::ofstream(path) << "not-a-count\n0 0.0\n";
+  std::string error;
+  EXPECT_FALSE(LoadLocations(path, network, &error).has_value());
+  EXPECT_NE(error.find("malformed header"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LocationsRejectGarbageRow) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = TempPath("msq_garbage_row.txt");
+  std::ofstream(path) << "2\n0 0.0\nzzz qqq\n";
+  std::string error;
+  EXPECT_FALSE(LoadLocations(path, network, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LyingHugeHeaderFailsWithoutHugeAllocation) {
+  // A header claiming 2^60 rows over a two-line file must fail on the
+  // missing data, not attempt a multi-exabyte reserve.
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  const std::string path = TempPath("msq_huge_header.txt");
+  std::ofstream(path) << "1152921504606846976\n0 0.0\n";
+  std::string error;
+  EXPECT_FALSE(LoadLocations(path, network, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, AttributesRejectLyingHugeHeader) {
+  const std::string path = TempPath("msq_huge_attr_header.txt");
+  std::ofstream(path) << "1152921504606846976 1152921504606846976\n0.5\n";
+  std::string error;
+  EXPECT_FALSE(LoadAttributes(path, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, AttributesRejectTruncatedFile) {
+  const std::string path = TempPath("msq_attr_truncated.txt");
+  std::ofstream(path) << "3 2\n0.1 0.2\n";
+  std::string error;
+  EXPECT_FALSE(LoadAttributes(path, &error).has_value());
+  EXPECT_NE(error.find("missing attribute line"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, AttributesRejectGarbageValue) {
+  const std::string path = TempPath("msq_attr_garbage.txt");
+  std::ofstream(path) << "1 2\n0.1 banana\n";
+  std::string error;
+  EXPECT_FALSE(LoadAttributes(path, &error).has_value());
+  std::remove(path.c_str());
+}
+
 TEST(DatasetIoTest, AttributesRoundTrip) {
   const auto attrs = GenerateStaticAttributes(25, 3, 9);
   const std::string path = TempPath("msq_attrs.txt");

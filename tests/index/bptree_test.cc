@@ -32,7 +32,7 @@ class BpTreeTest : public ::testing::Test {
 TEST_F(BpTreeTest, EmptyLookupFails) {
   BpTree tree(&buffer_);
   BpTreeValue out;
-  EXPECT_FALSE(tree.Lookup(42, &out));
+  EXPECT_FALSE(tree.Lookup(42, &out).value());
   std::vector<BpTree::Item> items;
   tree.ScanRange(0, 100, &items);
   EXPECT_TRUE(items.empty());
@@ -42,9 +42,9 @@ TEST_F(BpTreeTest, InsertLookupSingle) {
   BpTree tree(&buffer_);
   tree.Insert(7, Val(70));
   BpTreeValue out;
-  ASSERT_TRUE(tree.Lookup(7, &out));
+  ASSERT_TRUE(tree.Lookup(7, &out).value());
   EXPECT_EQ(out.Unpack<Payload>().a, 70u);
-  EXPECT_FALSE(tree.Lookup(8, &out));
+  EXPECT_FALSE(tree.Lookup(8, &out).value());
 }
 
 TEST_F(BpTreeTest, ValuePackUnpackRoundTrip) {
@@ -67,11 +67,11 @@ TEST_F(BpTreeTest, ManyRandomInsertsLookupAll) {
   EXPECT_GT(tree.height(), 1u);
   for (const auto& [key, value] : truth) {
     BpTreeValue out;
-    ASSERT_TRUE(tree.Lookup(key, &out)) << key;
+    ASSERT_TRUE(tree.Lookup(key, &out).value()) << key;
     EXPECT_EQ(out.Unpack<Payload>().a, value);
   }
   BpTreeValue out;
-  EXPECT_FALSE(tree.Lookup(2000000, &out));
+  EXPECT_FALSE(tree.Lookup(2000000, &out).value());
 }
 
 TEST_F(BpTreeTest, SequentialInsertsSplitCorrectly) {
@@ -83,7 +83,7 @@ TEST_F(BpTreeTest, SequentialInsertsSplitCorrectly) {
   EXPECT_EQ(tree.size(), n);
   for (std::size_t i = 0; i < n; ++i) {
     BpTreeValue out;
-    ASSERT_TRUE(tree.Lookup(i, &out));
+    ASSERT_TRUE(tree.Lookup(i, &out).value());
     EXPECT_EQ(out.Unpack<Payload>().a, i * 2);
   }
 }
@@ -152,9 +152,9 @@ TEST_F(BpTreeTest, BulkLoadLookupAndScan) {
   EXPECT_EQ(tree.size(), n);
 
   BpTreeValue out;
-  EXPECT_TRUE(tree.Lookup(0, &out));
-  EXPECT_TRUE(tree.Lookup((n - 1) * 3, &out));
-  EXPECT_FALSE(tree.Lookup(1, &out));
+  EXPECT_TRUE(tree.Lookup(0, &out).value());
+  EXPECT_TRUE(tree.Lookup((n - 1) * 3, &out).value());
+  EXPECT_FALSE(tree.Lookup(1, &out).value());
 
   std::vector<BpTree::Item> items;
   tree.ScanRange(0, n * 3, &items);
@@ -169,7 +169,7 @@ TEST_F(BpTreeTest, BulkLoadEmpty) {
   tree.BulkLoad({});
   EXPECT_EQ(tree.size(), 0u);
   BpTreeValue out;
-  EXPECT_FALSE(tree.Lookup(0, &out));
+  EXPECT_FALSE(tree.Lookup(0, &out).value());
 }
 
 TEST_F(BpTreeTest, InsertAfterBulkLoad) {
@@ -181,11 +181,11 @@ TEST_F(BpTreeTest, InsertAfterBulkLoad) {
   tree.BulkLoad(input);
   tree.Insert(55, Val(999));
   BpTreeValue out;
-  ASSERT_TRUE(tree.Lookup(55, &out));
+  ASSERT_TRUE(tree.Lookup(55, &out).value());
   EXPECT_EQ(out.Unpack<Payload>().a, 999u);
   // Pre-existing keys still present.
-  EXPECT_TRUE(tree.Lookup(50, &out));
-  EXPECT_TRUE(tree.Lookup(60, &out));
+  EXPECT_TRUE(tree.Lookup(50, &out).value());
+  EXPECT_TRUE(tree.Lookup(60, &out).value());
 }
 
 TEST_F(BpTreeTest, HeightStaysLogarithmic) {

@@ -65,8 +65,10 @@ TEST(FileBackedWorkloadTest, PageFilesCreatedAndSized) {
   ASSERT_EQ(::stat((dir + "/index.pages").c_str(), &index_stat), 0);
   EXPECT_GT(graph_stat.st_size, 0);
   EXPECT_GT(index_stat.st_size, 0);
-  EXPECT_EQ(graph_stat.st_size % static_cast<long>(kPageSize), 0);
-  EXPECT_EQ(index_stat.st_size % static_cast<long>(kPageSize), 0);
+  // Each on-disk slot is a payload plus its integrity trailer.
+  const long slot = static_cast<long>(FileDiskManager::kSlotSize);
+  EXPECT_EQ(graph_stat.st_size % slot, 0);
+  EXPECT_EQ(index_stat.st_size % slot, 0);
   RemoveStorage(dir);
 }
 

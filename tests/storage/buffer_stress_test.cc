@@ -95,7 +95,7 @@ TEST_P(BufferStressTest, MatchesReferenceModel) {
     const bool write = rng.NextBounded(3) == 0;
     const int value = write ? static_cast<int>(rng.NextBounded(1 << 20)) : -1;
 
-    Page* page = buffer.Fetch(static_cast<PageId>(id), write);
+    Page* page = buffer.Fetch(static_cast<PageId>(id), write).value();
     const int visible_before = ReadInt(*page);
     const int expected =
         write ? value

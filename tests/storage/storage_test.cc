@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "storage/buffer_manager.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -53,8 +54,8 @@ TEST(PageIoTest, RemainingTracksCapacity) {
 
 TEST(InMemoryDiskManagerTest, AllocateReadWrite) {
   InMemoryDiskManager disk;
-  const PageId a = disk.Allocate();
-  const PageId b = disk.Allocate();
+  const PageId a = disk.Allocate().value();
+  const PageId b = disk.Allocate().value();
   EXPECT_EQ(a, 0u);
   EXPECT_EQ(b, 1u);
   EXPECT_EQ(disk.PageCount(), 2u);
@@ -70,7 +71,7 @@ TEST(InMemoryDiskManagerTest, AllocateReadWrite) {
 
 TEST(InMemoryDiskManagerTest, CountersTrackOps) {
   InMemoryDiskManager disk;
-  const PageId a = disk.Allocate();
+  const PageId a = disk.Allocate().value();
   Page page;
   disk.Write(a, page);
   disk.Read(a, &page);
@@ -84,7 +85,7 @@ TEST(InMemoryDiskManagerTest, CountersTrackOps) {
 
 TEST(InMemoryDiskManagerTest, FreshPageIsZeroed) {
   InMemoryDiskManager disk;
-  const PageId a = disk.Allocate();
+  const PageId a = disk.Allocate().value();
   Page out = MakePattern(0xff);
   disk.Read(a, &out);
   EXPECT_EQ(out.data[0], static_cast<std::byte>(0));
@@ -96,17 +97,15 @@ TEST(InMemoryDiskManagerTest, FreshPageIsZeroed) {
 TEST(FileDiskManagerTest, PersistsAcrossReopen) {
   const std::string path = ::testing::TempDir() + "/msq_disk_test.bin";
   {
-    auto disk = FileDiskManager::Open(path, /*truncate=*/true);
-    ASSERT_NE(disk, nullptr);
-    const PageId a = disk->Allocate();
-    disk->Write(a, MakePattern(0x5c));
+    auto disk = ValueOrThrow(FileDiskManager::Open(path, /*truncate=*/true));
+    const PageId a = disk->Allocate().value();
+    ASSERT_TRUE(disk->Write(a, MakePattern(0x5c)).ok());
   }
   {
-    auto disk = FileDiskManager::Open(path, /*truncate=*/false);
-    ASSERT_NE(disk, nullptr);
+    auto disk = ValueOrThrow(FileDiskManager::Open(path, /*truncate=*/false));
     EXPECT_EQ(disk->PageCount(), 1u);
     Page out;
-    disk->Read(0, &out);
+    ASSERT_TRUE(disk->Read(0, &out).ok());
     EXPECT_EQ(out.data[17], static_cast<std::byte>(0x5c));
   }
   std::remove(path.c_str());
@@ -115,29 +114,29 @@ TEST(FileDiskManagerTest, PersistsAcrossReopen) {
 TEST(FileDiskManagerTest, TruncateDiscardsContents) {
   const std::string path = ::testing::TempDir() + "/msq_disk_trunc.bin";
   {
-    auto disk = FileDiskManager::Open(path, /*truncate=*/true);
-    ASSERT_NE(disk, nullptr);
-    disk->Allocate();
+    auto disk = ValueOrThrow(FileDiskManager::Open(path, /*truncate=*/true));
+    disk->Allocate().value();
   }
   {
-    auto disk = FileDiskManager::Open(path, /*truncate=*/true);
-    ASSERT_NE(disk, nullptr);
+    auto disk = ValueOrThrow(FileDiskManager::Open(path, /*truncate=*/true));
     EXPECT_EQ(disk->PageCount(), 0u);
   }
   std::remove(path.c_str());
 }
 
-TEST(FileDiskManagerTest, OpenFailureReturnsNull) {
+TEST(FileDiskManagerTest, OpenFailureReturnsIoError) {
   auto disk =
       FileDiskManager::Open("/nonexistent_dir_msq/file.bin", true);
-  EXPECT_EQ(disk, nullptr);
+  ASSERT_FALSE(disk.ok());
+  EXPECT_EQ(disk.status().code(), StatusCode::kIoError);
+  EXPECT_NE(disk.status().message().find("file.bin"), std::string::npos);
 }
 
 // --------------------------------------------------------- BufferManager
 
 TEST(BufferManagerTest, HitAfterMiss) {
   InMemoryDiskManager disk;
-  const PageId a = disk.Allocate();
+  const PageId a = disk.Allocate().value();
   BufferManager buffer(&disk, 4);
   buffer.Fetch(a);
   EXPECT_EQ(buffer.stats().misses, 1u);
@@ -149,7 +148,7 @@ TEST(BufferManagerTest, HitAfterMiss) {
 TEST(BufferManagerTest, EvictsLeastRecentlyUsed) {
   InMemoryDiskManager disk;
   PageId pages[3];
-  for (auto& p : pages) p = disk.Allocate();
+  for (auto& p : pages) p = disk.Allocate().value();
   BufferManager buffer(&disk, 2);
 
   buffer.Fetch(pages[0]);
@@ -165,11 +164,11 @@ TEST(BufferManagerTest, EvictsLeastRecentlyUsed) {
 
 TEST(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
   InMemoryDiskManager disk;
-  const PageId a = disk.Allocate();
-  const PageId b = disk.Allocate();
+  const PageId a = disk.Allocate().value();
+  const PageId b = disk.Allocate().value();
   BufferManager buffer(&disk, 1);
 
-  Page* page = buffer.Fetch(a, /*mark_dirty=*/true);
+  Page* page = buffer.Fetch(a, /*mark_dirty=*/true).value();
   page->data[0] = static_cast<std::byte>(0x42);
   buffer.Fetch(b);  // evicts a, must write it back
 
@@ -181,8 +180,8 @@ TEST(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
 
 TEST(BufferManagerTest, CleanPageNotWrittenBack) {
   InMemoryDiskManager disk;
-  const PageId a = disk.Allocate();
-  const PageId b = disk.Allocate();
+  const PageId a = disk.Allocate().value();
+  const PageId b = disk.Allocate().value();
   BufferManager buffer(&disk, 1);
   buffer.Fetch(a);
   buffer.Fetch(b);
@@ -193,9 +192,9 @@ TEST(BufferManagerTest, CleanPageNotWrittenBack) {
 TEST(BufferManagerTest, AllocatePageIsResidentAndDirty) {
   InMemoryDiskManager disk;
   BufferManager buffer(&disk, 2);
-  auto [id, page] = buffer.AllocatePage();
+  auto [id, page] = buffer.AllocatePage().value();
   page->data[7] = static_cast<std::byte>(0x99);
-  buffer.FlushAll();
+  ASSERT_TRUE(buffer.FlushAll().ok());
   Page out;
   disk.Read(id, &out);
   EXPECT_EQ(out.data[7], static_cast<std::byte>(0x99));
@@ -203,10 +202,10 @@ TEST(BufferManagerTest, AllocatePageIsResidentAndDirty) {
 
 TEST(BufferManagerTest, ClearDropsResidency) {
   InMemoryDiskManager disk;
-  const PageId a = disk.Allocate();
+  const PageId a = disk.Allocate().value();
   BufferManager buffer(&disk, 4);
   buffer.Fetch(a);
-  buffer.Clear();
+  ASSERT_TRUE(buffer.Clear().ok());
   EXPECT_EQ(buffer.resident_pages(), 0u);
   buffer.ResetStats();
   buffer.Fetch(a);
@@ -220,12 +219,12 @@ TEST(BufferManagerTest, DefaultFramesMatchPaperSetup) {
 
 TEST(BufferManagerTest, ModificationsVisibleWhileResident) {
   InMemoryDiskManager disk;
-  const PageId a = disk.Allocate();
+  const PageId a = disk.Allocate().value();
   BufferManager buffer(&disk, 4);
-  Page* page = buffer.Fetch(a, true);
+  Page* page = buffer.Fetch(a, true).value();
   page->data[3] = static_cast<std::byte>(0x17);
   // Same pooled image on re-fetch.
-  Page* again = buffer.Fetch(a);
+  Page* again = buffer.Fetch(a).value();
   EXPECT_EQ(again->data[3], static_cast<std::byte>(0x17));
 }
 

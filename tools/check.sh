@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure, build, and run the full test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (the MSQ_SANITIZE CMake
+# option). Usage:
+#
+#   tools/check.sh [build-dir]
+#
+# Defaults to build-asan/ next to the source tree. Exits non-zero on the
+# first configure, build, or test failure.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMSQ_SANITIZE="address;undefined"
+cmake --build "$build_dir" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: sanitizer build + tests clean"
