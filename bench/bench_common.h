@@ -7,6 +7,9 @@
 //   MSQ_BENCH_SCALE  scales the CA/AU/NA node/edge counts (default 0.2;
 //                    1.0 = the paper's exact dataset sizes)
 //   MSQ_BENCH_RUNS   query sets averaged per point (default 3; paper: 10)
+//   MSQ_BENCH_METRICS_OUT  when set to a path, every individual run's
+//                    QueryStats is appended there as one JSON line (the
+//                    printed tables stay aggregates)
 #ifndef MSQ_BENCH_BENCH_COMMON_H_
 #define MSQ_BENCH_BENCH_COMMON_H_
 
@@ -78,20 +81,46 @@ inline SkylineResult RunFigureAlgo(FigureAlgo algo, const Dataset& dataset,
   return {};
 }
 
+// Per-run JSONL sink, opened once from MSQ_BENCH_METRICS_OUT (append mode
+// so several bench binaries can share one log). Null when unset.
+inline std::FILE* MetricsOut() {
+  static std::FILE* file = [] {
+    const char* path = std::getenv("MSQ_BENCH_METRICS_OUT");
+    return path == nullptr ? nullptr : std::fopen(path, "a");
+  }();
+  return file;
+}
+
 // Runs `algo` over `runs` query sets of size `query_count` with cold
-// buffers, averaging the stats.
+// buffers, averaging the stats. `label` tags the per-run JSONL records
+// (run index appended); empty skips the export even when the sink is open.
 inline StatsAccumulator RunAveraged(Workload& workload, FigureAlgo algo,
                                     std::size_t query_count,
                                     std::size_t runs,
-                                    std::uint64_t seed_base = 1) {
+                                    std::uint64_t seed_base = 1,
+                                    const std::string& label = "") {
   StatsAccumulator acc;
   for (std::size_t r = 0; r < runs; ++r) {
     const auto spec = workload.SampleQuery(query_count, seed_base + r);
     workload.ResetBuffers();
     const auto result = RunFigureAlgo(algo, workload.dataset(), spec);
     acc.Add(result.stats);
+    if (std::FILE* out = MetricsOut(); out != nullptr && !label.empty()) {
+      const std::string line = QueryStatsJsonLine(
+          label + ".run" + std::to_string(r), result.stats);
+      std::fprintf(out, "%s\n", line.c_str());
+      std::fflush(out);
+    }
   }
   return acc;
+}
+
+// "mean+-sd" cell for the time tables, both values scaled (e.g. 1000 for
+// ms) and printed with `precision` decimals.
+inline std::string MeanSd(const Series& series, double scale,
+                          int precision) {
+  return TablePrinter::Fixed(series.mean() * scale, precision) + "+-" +
+         TablePrinter::Fixed(series.stddev() * scale, precision);
 }
 
 inline void PrintHeader(const char* figure, const char* what,

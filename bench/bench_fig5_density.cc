@@ -33,12 +33,12 @@ void Run(const BenchEnv& env) {
     std::vector<std::string> row_total = {NetworkClassName(cls)};
     std::vector<std::string> row_initial = {NetworkClassName(cls)};
     for (const FigureAlgo algo : kAlgos) {
-      const auto acc = RunAveraged(workload, algo, 4, env.runs);
+      const std::string label = std::string("fig5.") + FigureAlgoName(algo) +
+                                "." + NetworkClassName(cls);
+      const auto acc = RunAveraged(workload, algo, 4, env.runs, 1, label);
       row_pages.push_back(TablePrinter::Integer(acc.mean_network_pages()));
-      row_total.push_back(
-          TablePrinter::Fixed(acc.mean_total_seconds() * 1000.0, 2));
-      row_initial.push_back(
-          TablePrinter::Fixed(acc.mean_initial_seconds() * 1000.0, 3));
+      row_total.push_back(MeanSd(acc.total_seconds(), 1000.0, 2));
+      row_initial.push_back(MeanSd(acc.initial_seconds(), 1000.0, 3));
     }
     pages.AddRow(std::move(row_pages));
     total.AddRow(std::move(row_total));
@@ -47,9 +47,9 @@ void Run(const BenchEnv& env) {
 
   std::printf("-- (a) network disk pages accessed --\n");
   pages.Print();
-  std::printf("\n-- (b) total response time (ms) --\n");
+  std::printf("\n-- (b) total response time (ms, mean+-sd) --\n");
   total.Print();
-  std::printf("\n-- (c) initial response time (ms) --\n");
+  std::printf("\n-- (c) initial response time (ms, mean+-sd) --\n");
   initial.Print();
   std::printf("\n");
 }

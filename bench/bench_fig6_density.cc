@@ -31,12 +31,12 @@ void Run(const BenchEnv& env) {
     std::vector<std::string> row_total = row_pages;
     std::vector<std::string> row_initial = row_pages;
     for (const FigureAlgo algo : kAlgos) {
-      const auto acc = RunAveraged(workload, algo, 4, env.runs);
+      const std::string label = std::string("fig6d.") + FigureAlgoName(algo) +
+                                ".w" + TablePrinter::Integer(density * 100.0);
+      const auto acc = RunAveraged(workload, algo, 4, env.runs, 1, label);
       row_pages.push_back(TablePrinter::Integer(acc.mean_network_pages()));
-      row_total.push_back(
-          TablePrinter::Fixed(acc.mean_total_seconds() * 1000.0, 2));
-      row_initial.push_back(
-          TablePrinter::Fixed(acc.mean_initial_seconds() * 1000.0, 3));
+      row_total.push_back(MeanSd(acc.total_seconds(), 1000.0, 2));
+      row_initial.push_back(MeanSd(acc.initial_seconds(), 1000.0, 3));
     }
     pages.AddRow(std::move(row_pages));
     total.AddRow(std::move(row_total));
@@ -45,9 +45,9 @@ void Run(const BenchEnv& env) {
 
   std::printf("-- (d) network disk pages accessed --\n");
   pages.Print();
-  std::printf("\n-- (e) total response time (ms) --\n");
+  std::printf("\n-- (e) total response time (ms, mean+-sd) --\n");
   total.Print();
-  std::printf("\n-- (f) initial response time (ms) --\n");
+  std::printf("\n-- (f) initial response time (ms, mean+-sd) --\n");
   initial.Print();
   std::printf("\n");
 }

@@ -28,12 +28,12 @@ void Run(const BenchEnv& env) {
     std::vector<std::string> row_total = {std::to_string(q)};
     std::vector<std::string> row_initial = {std::to_string(q)};
     for (const FigureAlgo algo : kAlgos) {
-      const auto acc = RunAveraged(workload, algo, q, env.runs);
+      const std::string label = std::string("fig6a.") + FigureAlgoName(algo) +
+                                ".q" + std::to_string(q);
+      const auto acc = RunAveraged(workload, algo, q, env.runs, 1, label);
       row_pages.push_back(TablePrinter::Integer(acc.mean_network_pages()));
-      row_total.push_back(
-          TablePrinter::Fixed(acc.mean_total_seconds() * 1000.0, 2));
-      row_initial.push_back(
-          TablePrinter::Fixed(acc.mean_initial_seconds() * 1000.0, 3));
+      row_total.push_back(MeanSd(acc.total_seconds(), 1000.0, 2));
+      row_initial.push_back(MeanSd(acc.initial_seconds(), 1000.0, 3));
     }
     pages.AddRow(std::move(row_pages));
     total.AddRow(std::move(row_total));
@@ -42,9 +42,9 @@ void Run(const BenchEnv& env) {
 
   std::printf("-- (a) network disk pages accessed --\n");
   pages.Print();
-  std::printf("\n-- (b) total response time (ms) --\n");
+  std::printf("\n-- (b) total response time (ms, mean+-sd) --\n");
   total.Print();
-  std::printf("\n-- (c) initial response time (ms) --\n");
+  std::printf("\n-- (c) initial response time (ms, mean+-sd) --\n");
   initial.Print();
   std::printf("\n");
 }

@@ -4,30 +4,66 @@
 #define MSQ_BENCH_SUPPORT_METRICS_H_
 
 #include <cstddef>
+#include <string>
 
 #include "core/query.h"
 
 namespace msq {
 
-// Running means of the per-query cost measures.
+// Running summary of one scalar measure: mean via Welford's algorithm (the
+// sum-of-squares shortcut cancels catastrophically for tightly clustered
+// timings), plus min/max extremes.
+class Series {
+ public:
+  void Add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Sample standard deviation (n-1 denominator); 0 for fewer than two runs.
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Per-measure summaries of the per-query cost measures.
 class StatsAccumulator {
  public:
   void Add(const QueryStats& stats);
 
-  std::size_t runs() const { return runs_; }
-  double mean_candidates() const;
-  double mean_skyline() const;
-  double mean_network_pages() const;
-  double mean_index_pages() const;
-  double mean_settled() const;
-  double mean_total_seconds() const;
-  double mean_initial_seconds() const;
+  std::size_t runs() const { return total_seconds_.count(); }
+  double mean_candidates() const { return candidates_.mean(); }
+  double mean_skyline() const { return skyline_.mean(); }
+  double mean_network_pages() const { return network_pages_.mean(); }
+  double mean_index_pages() const { return index_pages_.mean(); }
+  double mean_settled() const { return settled_.mean(); }
+  double mean_total_seconds() const { return total_seconds_.mean(); }
+  double mean_initial_seconds() const { return initial_seconds_.mean(); }
+
+  const Series& candidates() const { return candidates_; }
+  const Series& skyline() const { return skyline_; }
+  const Series& network_pages() const { return network_pages_; }
+  const Series& index_pages() const { return index_pages_; }
+  const Series& settled() const { return settled_; }
+  const Series& total_seconds() const { return total_seconds_; }
+  const Series& initial_seconds() const { return initial_seconds_; }
 
  private:
-  std::size_t runs_ = 0;
-  double candidates_ = 0, skyline_ = 0, network_pages_ = 0, index_pages_ = 0,
-         settled_ = 0, total_seconds_ = 0, initial_seconds_ = 0;
+  Series candidates_, skyline_, network_pages_, index_pages_, settled_,
+      total_seconds_, initial_seconds_;
 };
+
+// One QueryStats as a single-line JSON object (stable key order), for
+// machine-readable benchmark logs. `label` tags the emitting measurement
+// (e.g. "fig5.CE.q4").
+std::string QueryStatsJsonLine(const std::string& label,
+                               const QueryStats& stats);
 
 }  // namespace msq
 

@@ -82,7 +82,7 @@ AggregateNnResult RunAggregateNnNaive(const Dataset& dataset,
   // Extension algorithms keep the abort-on-invalid contract; only the
   // paper's main entry points degrade gracefully.
   MSQ_CHECK(ValidateQuery(dataset, spec).ok());
-  StatsScope scope(dataset);
+  StatsScope scope(dataset, spec.trace, "ann.naive");
   AggregateNnResult result;
 
   std::size_t settled = 0;
@@ -108,7 +108,7 @@ AggregateNnResult RunAggregateNnIer(const Dataset& dataset,
   // Extension algorithms keep the abort-on-invalid contract; only the
   // paper's main entry points degrade gracefully.
   MSQ_CHECK(ValidateQuery(dataset, spec).ok());
-  StatsScope scope(dataset);
+  StatsScope scope(dataset, spec.trace, "ann.ier");
   AggregateNnResult result;
 
   const std::size_t n = spec.sources.size();

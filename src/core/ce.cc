@@ -51,7 +51,8 @@ bool ProvablyDominates(const DistVector& s_vec, const ObjectState& c,
 SkylineResult RunCeGeneralized(const Dataset& dataset,
                                const SkylineQuerySpec& spec,
                                const ProgressiveCallback& on_skyline) {
-  StatsScope scope(dataset);
+  obs::TraceSession* const trace = spec.trace;
+  StatsScope scope(dataset, trace, "ce");
   SkylineResult result;
   QueryGuard guard(dataset, spec.limits);
   const std::size_t n = spec.sources.size();
@@ -101,6 +102,7 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
   };
 
   auto prune_scan = [&]() {
+    obs::Span span(trace, "ce.prune");
     for (ObjectId id = 0; id < m; ++id) {
       if (state[id].determined) continue;
       for (const DistVector& s : skyline_vectors) {
@@ -115,6 +117,7 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
 
   std::size_t turn = 0;
   std::size_t exhausted_count = 0;
+  obs::Span expand_span(trace, "ce.expand");
   while (exhausted_count < n && undetermined > 0) {
     if (guard.Exceeded()) {
       // Progressive cut-off: everything already in result.skyline was
@@ -169,7 +172,10 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
     }
   }
 
+  expand_span.Close();
+
   // Tie safety, as in the base variant.
+  obs::Span finalize_span(trace, "ce.finalize");
   std::vector<SkylineEntry> filtered;
   for (const SkylineEntry& entry : result.skyline) {
     bool dominated = false;
@@ -183,6 +189,7 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
     if (!dominated) filtered.push_back(entry);
   }
   result.skyline = std::move(filtered);
+  finalize_span.Close();
 
   result.stats.skyline_size = result.skyline.size();
   std::size_t settled = 0;
@@ -197,7 +204,8 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
 SkylineResult RunCeFiltering(const Dataset& dataset,
                              const SkylineQuerySpec& spec,
                              const ProgressiveCallback& on_skyline) {
-  StatsScope scope(dataset);
+  obs::TraceSession* const trace = spec.trace;
+  StatsScope scope(dataset, trace, "ce");
   SkylineResult result;
   QueryGuard guard(dataset, spec.limits);
 
@@ -263,10 +271,12 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
     }
   };
 
-  // Round-robin expansion over the query points.
+  // Round-robin expansion over the query points. The filtering phase span
+  // flips to refinement when the first complete object ends it.
   std::size_t turn = 0;
   std::size_t exhausted_count = 0;
   std::vector<Dist> last_emit(n, -1.0);
+  obs::Span phase_span(trace, "ce.filter");
   while (exhausted_count < n) {
     if (guard.Exceeded()) {
       // Progressive cut-off: emitted entries were confirmed, keep them.
@@ -312,6 +322,8 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
       if (filtering) {
         filtering = false;
         first_skyline_vec = obj.dist;
+        phase_span.Close();
+        phase_span = obs::Span(trace, "ce.refine");
       }
       determine(visit->object);
     }
@@ -337,11 +349,14 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
   // kInfDist component (unreachable from some query point), which the
   // library's skyline semantics exclude.
 
+  phase_span.Close();
+
   // Tie safety: when two objects tie in some distance dimension, stream
   // emission order between them is arbitrary and a dominated object can
   // complete before its dominator. A final pairwise pass removes such
   // entries (a no-op in the generic, tie-free case).
   {
+    obs::Span finalize_span(trace, "ce.finalize");
     std::vector<SkylineEntry> filtered;
     for (const SkylineEntry& entry : result.skyline) {
       bool dominated = false;

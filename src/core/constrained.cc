@@ -19,7 +19,7 @@ SkylineResult RunConstrainedSkylineNaive(const Dataset& dataset,
   // paper's main entry points degrade gracefully.
   MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   MSQ_CHECK(radius >= 0.0);
-  StatsScope scope(dataset);
+  StatsScope scope(dataset, spec.trace, "constrained.naive");
   SkylineResult result;
 
   const std::size_t n = spec.sources.size();
@@ -67,7 +67,7 @@ SkylineResult RunConstrainedSkylineLbc(const Dataset& dataset,
   // paper's main entry points degrade gracefully.
   MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   MSQ_CHECK(radius >= 0.0);
-  StatsScope scope(dataset);
+  StatsScope scope(dataset, spec.trace, "constrained.lbc");
   SkylineResult result;
 
   const std::size_t n = spec.sources.size();

@@ -4,11 +4,21 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace msq {
+namespace {
+
+// Cached at load: Dominates is the innermost loop of every skyline filter,
+// so the count costs one load + increment per call.
+obs::Counter* const g_dominance_tests = obs::GlobalMetrics().counter(
+    obs::metric::kDominanceTests);
+
+}  // namespace
 
 bool Dominates(const DistVector& a, const DistVector& b) {
   MSQ_CHECK(a.size() == b.size());
+  g_dominance_tests->Inc();
   bool strict = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] > b[i]) return false;
@@ -28,6 +38,7 @@ bool DominatesOrEqual(const DistVector& a, const DistVector& b) {
 bool DominatesWithMargin(const DistVector& a, const DistVector& b,
                          double margin) {
   MSQ_CHECK(a.size() == b.size());
+  g_dominance_tests->Inc();
   bool strict = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] > b[i]) return false;

@@ -220,7 +220,8 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
                           const SkylineQuerySpec& spec,
                           const EdcOptions& options,
                           const ProgressiveCallback& on_skyline) {
-  StatsScope scope(dataset);
+  obs::TraceSession* const trace = spec.trace;
+  StatsScope scope(dataset, trace, "edc");
   SkylineResult result;
   QueryGuard guard(dataset, spec.limits);
   EdcRunner runner(dataset, spec);
@@ -249,30 +250,38 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
   std::vector<ObjectId> order;  // candidate ids in retrieval order
   std::unordered_map<ObjectId, bool> candidates;
   std::vector<ObjectId> euclid_skyline;
-  for (auto item = browser.Next(); item.found; item = browser.Next()) {
-    if (guard.Exceeded()) return truncate();
-    if (candidates.emplace(item.object, true).second) {
-      order.push_back(item.object);
+  {
+    obs::Span span(trace, "edc.euclid_prune");
+    for (auto item = browser.Next(); item.found; item = browser.Next()) {
+      if (guard.Exceeded()) return truncate();
+      if (candidates.emplace(item.object, true).second) {
+        order.push_back(item.object);
+      }
+      euclid_skyline.push_back(item.object);
     }
-    euclid_skyline.push_back(item.object);
   }
 
   // Step 2 + 3: shift each Euclidean skyline point to its network-distance
   // position and fetch the union-hypercube window.
-  for (const ObjectId id : euclid_skyline) {
-    if (guard.Exceeded()) return truncate();
-    const DistVector& shifted = runner.NetworkVector(id);
-    runner.FetchWindow(shifted, &order, &candidates);
+  {
+    obs::Span span(trace, "edc.window_fetch");
+    for (const ObjectId id : euclid_skyline) {
+      if (guard.Exceeded()) return truncate();
+      const DistVector& shifted = runner.NetworkVector(id);
+      runner.FetchWindow(shifted, &order, &candidates);
+    }
   }
 
   // Completion pass (off in paper-faithful mode): grow C until it covers
   // the entire region undominated by the skyline estimate.
   if (!options.paper_faithful) {
+    obs::Span span(trace, "edc.complete");
     runner.CompleteCandidates(&order, &candidates);
   }
 
-  // Step 4: network distances for every candidate (A* labels from step 2
-  // are reused automatically).
+  // Step 4 + 5: network distances for every candidate (A* labels from
+  // step 2 are reused automatically), then pairwise comparison.
+  obs::Span refine_span(trace, "edc.refine");
   std::vector<DistVector> vectors;
   vectors.reserve(order.size());
   for (const ObjectId id : order) {
@@ -280,7 +289,6 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
     vectors.push_back(runner.NetworkVector(id));
   }
 
-  // Step 5: pairwise comparison.
   const std::vector<std::size_t> skyline = SkylineIndices(vectors);
   for (const std::size_t idx : skyline) {
     scope.MarkInitial();
@@ -302,7 +310,8 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
                                 const SkylineQuerySpec& spec,
                                 const EdcOptions& options,
                                 const ProgressiveCallback& on_skyline) {
-  StatsScope scope(dataset);
+  obs::TraceSession* const trace = spec.trace;
+  StatsScope scope(dataset, trace, "edc");
   SkylineResult result;
   QueryGuard guard(dataset, spec.limits);
   EdcRunner runner(dataset, spec);
@@ -378,23 +387,30 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
     }
   };
 
-  for (auto item = browser.Next(); item.found; item = browser.Next()) {
-    if (guard.Exceeded()) {
-      // Progressive cut-off: entries reported by drain_determinable were
-      // confirmed (all their potential dominators fetched), so the prefix
-      // stands. The final drain below assumes an exhausted browser and
-      // must be skipped.
-      result.truncated = true;
-      result.truncation_reason = guard.reason();
-      break;
+  {
+    obs::Span browse_span(trace, "edc.euclid_prune");
+    for (auto item = browser.Next(); item.found; item = browser.Next()) {
+      if (guard.Exceeded()) {
+        // Progressive cut-off: entries reported by drain_determinable were
+        // confirmed (all their potential dominators fetched), so the prefix
+        // stands. The final drain below assumes an exhausted browser and
+        // must be skipped.
+        result.truncated = true;
+        result.truncation_reason = guard.reason();
+        break;
+      }
+      if (candidates.emplace(item.object, true).second) {
+        order.push_back(item.object);
+      }
+      {
+        obs::Span span(trace, "edc.window_fetch");
+        const DistVector& shifted = runner.NetworkVector(item.object);
+        runner.FetchWindow(shifted, &order, &candidates);
+        processed_windows.push_back(shifted);
+      }
+      obs::Span span(trace, "edc.drain");
+      drain_determinable();
     }
-    if (candidates.emplace(item.object, true).second) {
-      order.push_back(item.object);
-    }
-    const DistVector& shifted = runner.NetworkVector(item.object);
-    runner.FetchWindow(shifted, &order, &candidates);
-    processed_windows.push_back(shifted);
-    drain_determinable();
   }
 
   if (result.truncated) {
@@ -409,11 +425,13 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
   // late-fetched candidates can both add missed skyline points and expose
   // false positives among the undetermined remainder.
   if (!options.paper_faithful) {
+    obs::Span span(trace, "edc.complete");
     runner.CompleteCandidates(&order, &candidates);
   }
 
   // Browser exhausted: remaining undetermined candidates are skyline unless
   // dominated by something fetched.
+  obs::Span refine_span(trace, "edc.refine");
   for (const ObjectId id : order) {
     if (determined[id]) continue;
     const DistVector& vec = runner.NetworkVector(id);

@@ -23,7 +23,8 @@ struct SourceCandidate {
 SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
                          const LbcOptions& options,
                          const ProgressiveCallback& on_skyline) {
-  StatsScope scope(dataset);
+  obs::TraceSession* const trace = spec.trace;
+  StatsScope scope(dataset, trace, "lbc");
   SkylineResult result;
   QueryGuard guard(dataset, spec.limits);
 
@@ -313,14 +314,22 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     ++turn;
     if (done[di]) continue;
     Discovery& discovery = discoveries[di];
-    const SourceCandidate cand = next_network_nn(discovery);
+    SourceCandidate cand;
+    {
+      obs::Span span(trace, "lbc.filter");
+      cand = next_network_nn(discovery);
+    }
     if (cand.object == kInvalidObject) {
       done[di] = 1;
       --live;
       continue;
     }
     resolved[cand.object] = 1;
-    DistVector vec = screen(cand, discovery.source_dim);
+    DistVector vec;
+    {
+      obs::Span span(trace, "lbc.confirm");
+      vec = screen(cand, discovery.source_dim);
+    }
     if (vec.empty()) continue;
     scope.MarkInitial();
     SkylineEntry entry;
@@ -335,6 +344,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
   // order between two candidates is arbitrary and a dominated one can be
   // reported before its dominator. No-op in the tie-free generic case.
   {
+    obs::Span finalize_span(trace, "lbc.finalize");
     std::vector<SkylineEntry> filtered;
     for (const SkylineEntry& entry : result.skyline) {
       bool dominated = false;

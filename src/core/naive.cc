@@ -36,7 +36,7 @@ namespace {
 SkylineResult RunNaiveBody(const Dataset& dataset,
                            const SkylineQuerySpec& spec,
                            const ProgressiveCallback& on_skyline) {
-  StatsScope scope(dataset);
+  StatsScope scope(dataset, spec.trace, "naive");
   SkylineResult result;
   QueryGuard guard(dataset, spec.limits);
 

@@ -93,13 +93,16 @@ double MonotonicSeconds() {
   return std::chrono::duration<double>(now).count();
 }
 
-StatsScope::StatsScope(const Dataset& dataset) : dataset_(dataset) {
+StatsScope::StatsScope(const Dataset& dataset, obs::TraceSession* trace,
+                       std::string_view root_name)
+    : dataset_(dataset), root_span_(trace, root_name) {
   if (dataset.graph_buffer != nullptr) {
     graph_misses_0_ = dataset.graph_buffer->stats().misses;
     graph_accesses_0_ = dataset.graph_buffer->stats().accesses();
   }
   if (dataset.index_buffer != nullptr) {
     index_misses_0_ = dataset.index_buffer->stats().misses;
+    index_accesses_0_ = dataset.index_buffer->stats().accesses();
   }
   start_ = MonotonicSeconds();
 }
@@ -109,6 +112,9 @@ void StatsScope::MarkInitial() {
 }
 
 void StatsScope::Finish(QueryStats* stats) {
+  // Close the root span first: everything the stats window counted is then
+  // attributed to some span, and nothing after this call can leak in.
+  root_span_.Close();
   stats->total_seconds = MonotonicSeconds() - start_;
   stats->initial_seconds = initial_ >= 0.0 ? initial_ : stats->total_seconds;
   if (dataset_.graph_buffer != nullptr) {
@@ -116,10 +122,14 @@ void StatsScope::Finish(QueryStats* stats) {
         dataset_.graph_buffer->stats().misses - graph_misses_0_;
     stats->network_page_accesses =
         dataset_.graph_buffer->stats().accesses() - graph_accesses_0_;
+    MSQ_CHECK(stats->network_page_accesses >= stats->network_pages);
   }
   if (dataset_.index_buffer != nullptr) {
     stats->index_pages =
         dataset_.index_buffer->stats().misses - index_misses_0_;
+    stats->index_page_accesses =
+        dataset_.index_buffer->stats().accesses() - index_accesses_0_;
+    MSQ_CHECK(stats->index_page_accesses >= stats->index_pages);
   }
 }
 

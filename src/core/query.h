@@ -4,6 +4,8 @@
 #define MSQ_CORE_QUERY_H_
 
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "graph/landmarks.h"
 #include "graph/spatial_mapping.h"
 #include "index/rtree.h"
+#include "obs/trace.h"
 #include "storage/buffer_manager.h"
 
 namespace msq {
@@ -78,6 +81,10 @@ struct SkylineQuerySpec {
   std::size_t lbc_source_index = 0;
   // Optional resource guardrails (see QueryLimits).
   QueryLimits limits;
+  // Optional query-phase tracing (not owned). When set, the algorithms
+  // record per-phase spans into it and the result carries a QueryProfile.
+  // Null (the default) runs untraced at near-zero overhead.
+  obs::TraceSession* trace = nullptr;
 };
 
 // One skyline answer entry. `vector` holds the network distances to each
@@ -89,12 +96,19 @@ struct SkylineEntry {
 };
 
 // Per-query cost metrics, aligned with the paper's measurements.
+//
+// The `*_pages` fields count buffer MISSES — physical page reads, the
+// paper's "disk pages accessed" of Figures 5 and 6. The `*_page_accesses`
+// fields count every buffer lookup (hits + misses), so
+// `*_page_accesses >= *_pages` always holds (asserted in
+// StatsScope::Finish); the difference is the buffer pool's hit traffic.
 struct QueryStats {
   std::size_t candidate_count = 0;     // |C| (Figure 4)
   std::size_t skyline_size = 0;
-  std::uint64_t network_pages = 0;     // buffer misses on adjacency pages
-  std::uint64_t network_page_accesses = 0;
-  std::uint64_t index_pages = 0;       // buffer misses on index pages
+  std::uint64_t network_pages = 0;     // adjacency-page buffer misses
+  std::uint64_t network_page_accesses = 0;  // adjacency hits + misses
+  std::uint64_t index_pages = 0;       // index-page buffer misses
+  std::uint64_t index_page_accesses = 0;    // index hits + misses
   std::size_t settled_nodes = 0;       // network node accesses (Section 5)
   double total_seconds = 0.0;          // Figures 5(b)/6(b)/6(e)
   double initial_seconds = 0.0;        // Figures 5(c)/6(c)/6(f)
@@ -103,6 +117,10 @@ struct QueryStats {
 struct SkylineResult {
   std::vector<SkylineEntry> skyline;
   QueryStats stats;
+  // Per-phase trace, present iff the spec carried a TraceSession. The sum
+  // of the spans' self counters reconciles exactly with `stats` (the root
+  // span covers the whole StatsScope window).
+  std::optional<obs::QueryProfile> profile;
   // Overall outcome. !ok() means the query failed cleanly (bad input or a
   // storage fault survived retries); `skyline` is empty then.
   Status status;
@@ -149,8 +167,9 @@ class QueryGuard {
   StatusCode reason_ = StatusCode::kOk;
 };
 
-// Shared query boundary: validates the spec, runs `body`, and converts a
-// StorageFault escaping it into an error result. All Run* entry points
+// Shared query boundary: validates the spec, runs `body`, converts a
+// StorageFault escaping it into an error result, and collects the trace
+// profile when the spec carries a TraceSession. All Run* entry points
 // funnel through this so "clean typed error, never a crash" holds uniformly.
 template <typename Body>
 SkylineResult RunQueryBody(const Dataset& dataset,
@@ -159,30 +178,40 @@ SkylineResult RunQueryBody(const Dataset& dataset,
   result.status = ValidateQuery(dataset, spec);
   if (!result.status.ok()) return result;
   try {
-    return std::forward<Body>(body)();
+    result = std::forward<Body>(body)();
   } catch (const StorageFault& fault) {
     result.skyline.clear();
     result.status = fault.status();
-    return result;
   }
+  // Take() force-closes whatever a fault unwind left open, so the error
+  // path still yields a coherent (if truncated) profile.
+  if (spec.trace != nullptr) result.profile = spec.trace->Take();
+  return result;
 }
 
 // Stopwatch + buffer snapshot helper used by all algorithms to fill
-// QueryStats uniformly.
+// QueryStats uniformly. When a TraceSession is supplied it also opens the
+// query's root span (named `root_name`) for the same window the stats
+// cover, so span counter deltas reconcile exactly with QueryStats; the
+// root closes in Finish, or at destruction if a fault unwinds the query.
 class StatsScope {
  public:
-  explicit StatsScope(const Dataset& dataset);
+  explicit StatsScope(const Dataset& dataset,
+                      obs::TraceSession* trace = nullptr,
+                      std::string_view root_name = "query");
 
   // Marks the moment the first skyline point was reported.
   void MarkInitial();
-  // Finalizes timing/I-O counters into `*stats`.
+  // Finalizes timing/I-O counters into `*stats` and closes the root span.
   void Finish(QueryStats* stats);
 
  private:
   const Dataset& dataset_;
+  obs::Span root_span_;
   std::uint64_t graph_misses_0_ = 0;
   std::uint64_t graph_accesses_0_ = 0;
   std::uint64_t index_misses_0_ = 0;
+  std::uint64_t index_accesses_0_ = 0;
   double start_ = 0.0;
   double initial_ = -1.0;
 };

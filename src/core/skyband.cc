@@ -55,7 +55,7 @@ SkybandResult RunSkybandNaive(const Dataset& dataset,
   // paper's main entry points degrade gracefully.
   MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   MSQ_CHECK(k >= 1);
-  StatsScope scope(dataset);
+  StatsScope scope(dataset, spec.trace, "skyband.naive");
   SkybandResult result;
 
   std::size_t settled = 0;
@@ -95,7 +95,7 @@ SkybandResult RunSkybandLbc(const Dataset& dataset,
   // paper's main entry points degrade gracefully.
   MSQ_CHECK(ValidateQuery(dataset, spec).ok());
   MSQ_CHECK(k >= 1);
-  StatsScope scope(dataset);
+  StatsScope scope(dataset, spec.trace, "skyband.lbc");
   SkybandResult result;
 
   const std::size_t n = spec.sources.size();

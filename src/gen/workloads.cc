@@ -112,6 +112,12 @@ void Workload::BuildStack(const WorkloadConfig& config) {
       graph_disk, config.graph_buffer_frames, config.retry);
   index_buffer_ = std::make_unique<BufferManager>(
       index_disk, config.index_buffer_frames, config.retry);
+  // Role-split registry mirroring: query-phase tracing reads these to
+  // attribute network- vs index-page traffic to spans.
+  graph_buffer_->AttachMetrics(&obs::GlobalMetrics(),
+                               obs::metric::kNetworkBufferPrefix);
+  index_buffer_->AttachMetrics(&obs::GlobalMetrics(),
+                               obs::metric::kIndexBufferPrefix);
   graph_pager_ = std::make_unique<GraphPager>(&network_, graph_buffer_.get());
 
   // Edge R-tree (Section 6.1: "The edges are indexed by an R-tree on edge

@@ -4,8 +4,18 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace msq {
+namespace {
+
+// Cached at load so the settle path pays one load + increment.
+obs::Counter* const g_settled = obs::GlobalMetrics().counter(
+    obs::metric::kSettledNodes);
+obs::Gauge* const g_heap_peak = obs::GlobalMetrics().gauge(
+    obs::metric::kHeapPeak);
+
+}  // namespace
 
 AStarSearch::AStarSearch(const GraphPager* pager, Location source,
                          const LandmarkIndex* landmarks)
@@ -33,6 +43,7 @@ void AStarSearch::Settle(NodeId node, Dist dist) {
   MSQ_CHECK(!settled_[node]);
   settled_[node] = 1;
   ++settled_count_;
+  g_settled->Inc();
   OkOrThrow(pager_->AdjacencyOf(node, &scratch_adjacency_));
   for (const AdjacencyEntry& adj : scratch_adjacency_) {
     Improve(adj.neighbor, dist + adj.length);
@@ -167,6 +178,8 @@ Dist AStarSearch::Probe::Advance() {
   parent_->Settle(top.node, top.d);
   Sync();
   Clean();
+  // Per-expansion granularity keeps the gauge off the relaxation path.
+  g_heap_peak->Update(static_cast<double>(heap_.size()));
 
   const Dist new_best = CurrentBestTarget();
   const Dist frontier_bound = heap_.empty() ? kInfDist : heap_.top().f;

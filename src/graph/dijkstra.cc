@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace msq {
+namespace {
+
+// Cached at load so the settle path pays one load + increment.
+obs::Counter* const g_settled = obs::GlobalMetrics().counter(
+    obs::metric::kSettledNodes);
+obs::Gauge* const g_heap_peak = obs::GlobalMetrics().gauge(
+    obs::metric::kHeapPeak);
+
+}  // namespace
 
 DijkstraSearch::DijkstraSearch(const GraphPager* pager, Location source)
     : pager_(pager), source_(source) {
@@ -72,7 +82,11 @@ std::optional<DijkstraSearch::Settled> DijkstraSearch::NextSettled() {
   heap_.pop();
   settled_[top.node] = 1;
   ++settled_count_;
+  g_settled->Inc();
   Expand(top.node, top.dist);
+  // Settle granularity keeps the gauge off the per-relaxation path; the
+  // heap grows by at most one node degree between settles.
+  g_heap_peak->Update(static_cast<double>(heap_.size()));
   return Settled{top.node, top.dist};
 }
 

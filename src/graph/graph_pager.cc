@@ -5,9 +5,13 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace msq {
 namespace {
+
+obs::Counter* const g_adjacency_reads = obs::GlobalMetrics().counter(
+    obs::metric::kAdjacencyReads);
 
 // Serialized adjacency record: u32 degree, then per neighbor
 // (u32 neighbor, u32 edge, double length).
@@ -105,6 +109,7 @@ Status GraphPager::AdjacencyOf(NodeId node,
                                std::vector<AdjacencyEntry>* out) const {
   out->clear();
   MSQ_CHECK(node < directory_.size());
+  g_adjacency_reads->Inc();
   const Slot slot = directory_[node];
   MSQ_CHECK(slot.page != kInvalidPage);
   StatusOr<Page*> raw = buffer_->Fetch(slot.page);

@@ -3,8 +3,15 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace msq {
+namespace {
+
+obs::Gauge* const g_heap_peak = obs::GlobalMetrics().gauge(
+    obs::metric::kHeapPeak);
+
+}  // namespace
 
 NetworkNnStream::NetworkNnStream(const GraphPager* pager,
                                  const SpatialMapping* mapping,
@@ -58,6 +65,8 @@ std::optional<NetworkNnStream::Visit> NetworkNnStream::Next() {
       const HeapItem top = heap_.top();
       heap_.pop();
       emitted_[top.object] = 1;
+      // Emission granularity keeps the gauge off the per-offer path.
+      g_heap_peak->Update(static_cast<double>(heap_.size()));
       return Visit{top.object, top.dist};
     }
 

@@ -1,0 +1,162 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace msq::obs {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToChromeTrace(const QueryProfile& profile) {
+  std::string out = "[";
+  bool first = true;
+  for (const SpanRecord& span : profile.spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"" + JsonEscape(span.name) + "\"";
+    out += ",\"cat\":\"msq\",\"ph\":\"X\",\"pid\":1,\"tid\":1";
+    AppendF(&out, ",\"ts\":%.3f", span.start_seconds * 1e6);
+    AppendF(&out, ",\"dur\":%.3f", span.duration_seconds() * 1e6);
+    out += ",\"args\":{";
+    AppendF(&out, "\"network_hits\":%" PRIu64, span.self.network_hits);
+    AppendF(&out, ",\"network_misses\":%" PRIu64, span.self.network_misses);
+    AppendF(&out, ",\"index_hits\":%" PRIu64, span.self.index_hits);
+    AppendF(&out, ",\"index_misses\":%" PRIu64, span.self.index_misses);
+    AppendF(&out, ",\"settled_nodes\":%" PRIu64, span.self.settled_nodes);
+    AppendF(&out, ",\"dominance_tests\":%" PRIu64, span.self.dominance_tests);
+    AppendF(&out, ",\"heap_peak\":%.0f", span.heap_peak);
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string ProfileReport(const QueryProfile& profile) {
+  // Aggregate spans by name, preserving first-open order.
+  struct Agg {
+    int order = 0;
+    int depth = 0;
+    std::size_t calls = 0;
+    double wall = 0.0;
+    double self_wall = 0.0;
+    SpanCounters self;
+    double heap_peak = 0.0;
+  };
+  std::map<std::string, Agg> by_name;
+  int next_order = 0;
+  for (const SpanRecord& span : profile.spans) {
+    Agg& agg = by_name[span.name];
+    if (agg.calls == 0) {
+      agg.order = next_order++;
+      agg.depth = span.depth;
+    }
+    ++agg.calls;
+    agg.wall += span.duration_seconds();
+    agg.self_wall += span.self_seconds();
+    agg.self += span.self;
+    if (span.heap_peak > agg.heap_peak) agg.heap_peak = span.heap_peak;
+  }
+  std::vector<const std::pair<const std::string, Agg>*> rows;
+  rows.reserve(by_name.size());
+  for (const auto& entry : by_name) rows.push_back(&entry);
+  std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    return a->second.order < b->second.order;
+  });
+
+  std::string out;
+  AppendF(&out, "%-28s %7s %10s %10s %9s %9s %9s %9s %9s %9s\n", "span",
+          "calls", "wall ms", "self ms", "net.miss", "net.hit", "idx.miss",
+          "idx.hit", "settled", "dom.test");
+  SpanCounters total;
+  for (const auto* row : rows) {
+    const Agg& agg = row->second;
+    total += agg.self;
+    std::string label(static_cast<std::size_t>(agg.depth) * 2, ' ');
+    label += row->first;
+    AppendF(&out,
+            "%-28s %7zu %10.3f %10.3f %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+            " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 "\n",
+            label.c_str(), agg.calls, agg.wall * 1e3, agg.self_wall * 1e3,
+            agg.self.network_misses, agg.self.network_hits,
+            agg.self.index_misses, agg.self.index_hits,
+            agg.self.settled_nodes, agg.self.dominance_tests);
+  }
+  AppendF(&out,
+          "%-28s %7s %10s %10s %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+          " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 "\n",
+          "total (self sum)", "", "", "", total.network_misses,
+          total.network_hits, total.index_misses, total.index_hits,
+          total.settled_nodes, total.dominance_tests);
+  if (profile.dropped_spans > 0) {
+    AppendF(&out, "(%zu spans dropped at the session cap)\n",
+            profile.dropped_spans);
+  }
+  return out;
+}
+
+std::string MetricsJsonl(const MetricsRegistry& registry) {
+  std::string out;
+  registry.ForEachCounter([&](const std::string& name, const Counter& c) {
+    out += "{\"type\":\"counter\",\"name\":\"" + JsonEscape(name) + "\"";
+    AppendF(&out, ",\"value\":%" PRIu64 "}\n", c.value());
+  });
+  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + JsonEscape(name) + "\"";
+    AppendF(&out, ",\"value\":%.6g,\"peak\":%.6g}\n", g.value(), g.peak());
+  });
+  return out;
+}
+
+}  // namespace msq::obs

@@ -1,0 +1,34 @@
+// Profile/metrics exporters: Chrome trace_event JSON, a human-readable
+// per-phase report, and a JSONL dump of a metrics registry.
+#ifndef MSQ_OBS_EXPORT_H_
+#define MSQ_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace msq::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes,
+// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+// Chrome trace_event format: a JSON array of complete ("ph":"X") events,
+// one per span, with the span's self counters in "args". Loads directly in
+// chrome://tracing / Perfetto.
+std::string ToChromeTrace(const QueryProfile& profile);
+
+// Human-readable per-phase table: spans aggregated by name with call
+// counts, inclusive/self wall time, and self counter totals. The footer
+// line sums the self columns — by construction it equals the root span's
+// inclusive totals.
+std::string ProfileReport(const QueryProfile& profile);
+
+// One JSON object per line for every counter and gauge in `registry`.
+std::string MetricsJsonl(const MetricsRegistry& registry);
+
+}  // namespace msq::obs
+
+#endif  // MSQ_OBS_EXPORT_H_

@@ -1,0 +1,105 @@
+// Named counter/gauge registry — the cross-layer observability substrate.
+//
+// Components (BufferManager, GraphPager, the Dijkstra/A* wavefronts, the
+// dominance kernel) report into named metrics here; TraceSession
+// (obs/trace.h) snapshots a tracked subset at span boundaries to attribute
+// work to query phases, and obs/export.h dumps the whole registry as JSONL.
+//
+// Counters are plain uint64 increments behind a stable pointer, so the hot
+// paths pay one add (plus a null check where attachment is optional) —
+// cheap enough to stay always-on, like the existing BufferStats. Like the
+// rest of the storage/query stack, the registry is single-threaded.
+//
+// Naming scheme (DESIGN.md §9): `<layer>.<component>.<event>`, e.g.
+// `buffer.network.misses` or `graph.settled_nodes`.
+#ifndef MSQ_OBS_METRICS_H_
+#define MSQ_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace msq::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Instantaneous level with a high-water mark. TraceSession scopes the peak
+// to a span by saving/merging it around the span's lifetime.
+class Gauge {
+ public:
+  void Update(double value) {
+    value_ = value;
+    if (value > peak_) peak_ = value;
+  }
+  // Restarts peak tracking from the current level.
+  void ResetPeak() { peak_ = value_; }
+  // Folds an externally saved peak back in (span unwinding).
+  void MergePeak(double peak) {
+    if (peak > peak_) peak_ = peak;
+  }
+
+  double value() const { return value_; }
+  double peak() const { return peak_; }
+
+ private:
+  double value_ = 0.0;
+  double peak_ = 0.0;
+};
+
+// Find-or-create registry of named metrics. Returned pointers are stable
+// for the registry's lifetime, so components cache them once and increment
+// without lookups.
+class MetricsRegistry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+
+  // Iteration in name order (export, tests).
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, counter] : counters_) fn(name, *counter);
+  }
+  template <typename Fn>
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, gauge] : gauges_) fn(name, *gauge);
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+// The process-wide registry every built-in metric lives in. Components that
+// exist once per role (the two buffer pools) register themselves under
+// role-specific prefixes; per-instance structures (searches, pagers) share
+// one counter per event kind.
+MetricsRegistry& GlobalMetrics();
+
+// Well-known metric names. The buffer prefixes are what Workload attaches
+// its two pools under; TraceSession tracks the counters listed here.
+namespace metric {
+inline constexpr char kNetworkBufferPrefix[] = "buffer.network";
+inline constexpr char kIndexBufferPrefix[] = "buffer.index";
+inline constexpr char kNetworkBufferHits[] = "buffer.network.hits";
+inline constexpr char kNetworkBufferMisses[] = "buffer.network.misses";
+inline constexpr char kIndexBufferHits[] = "buffer.index.hits";
+inline constexpr char kIndexBufferMisses[] = "buffer.index.misses";
+inline constexpr char kAdjacencyReads[] = "graph.pager.adjacency_reads";
+inline constexpr char kSettledNodes[] = "graph.settled_nodes";
+inline constexpr char kDominanceTests[] = "core.dominance_tests";
+inline constexpr char kHeapPeak[] = "core.heap_peak";
+}  // namespace metric
+
+}  // namespace msq::obs
+
+#endif  // MSQ_OBS_METRICS_H_

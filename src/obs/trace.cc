@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace msq::obs {
+namespace {
+
+// Bounds a runaway span tree (e.g. a per-candidate span in a huge query);
+// far above any profile a human or the Chrome viewer can use.
+constexpr std::size_t kMaxSpans = 1 << 17;
+
+double NowSeconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace
+
+SpanCounters& SpanCounters::operator+=(const SpanCounters& other) {
+  network_hits += other.network_hits;
+  network_misses += other.network_misses;
+  index_hits += other.index_hits;
+  index_misses += other.index_misses;
+  settled_nodes += other.settled_nodes;
+  dominance_tests += other.dominance_tests;
+  return *this;
+}
+
+SpanCounters QueryProfile::InclusiveCounters(std::size_t i) const {
+  SpanCounters total = spans[i].self;
+  // Children appear after their parent (spans are in open order), so one
+  // forward sweep over descendants suffices.
+  for (std::size_t j = i + 1; j < spans.size(); ++j) {
+    int p = spans[j].parent;
+    while (p > static_cast<int>(i)) p = spans[p].parent;
+    if (p == static_cast<int>(i)) total += spans[j].self;
+  }
+  return total;
+}
+
+SpanCounters QueryProfile::TotalCounters() const {
+  SpanCounters total;
+  for (const SpanRecord& span : spans) total += span.self;
+  return total;
+}
+
+TraceSession::TraceSession(MetricsRegistry* registry)
+    : network_hits_(registry->counter(metric::kNetworkBufferHits)),
+      network_misses_(registry->counter(metric::kNetworkBufferMisses)),
+      index_hits_(registry->counter(metric::kIndexBufferHits)),
+      index_misses_(registry->counter(metric::kIndexBufferMisses)),
+      settled_nodes_(registry->counter(metric::kSettledNodes)),
+      dominance_tests_(registry->counter(metric::kDominanceTests)),
+      heap_peak_(registry->gauge(metric::kHeapPeak)) {}
+
+TraceSession::Snapshot TraceSession::Read() const {
+  Snapshot snap;
+  snap.network_hits = network_hits_->value();
+  snap.network_misses = network_misses_->value();
+  snap.index_hits = index_hits_->value();
+  snap.index_misses = index_misses_->value();
+  snap.settled_nodes = settled_nodes_->value();
+  snap.dominance_tests = dominance_tests_->value();
+  return snap;
+}
+
+void TraceSession::Attribute() {
+  const Snapshot now = Read();
+  if (!stack_.empty()) {
+    SpanCounters& self = spans_[stack_.back()].self;
+    self.network_hits += now.network_hits - last_.network_hits;
+    self.network_misses += now.network_misses - last_.network_misses;
+    self.index_hits += now.index_hits - last_.index_hits;
+    self.index_misses += now.index_misses - last_.index_misses;
+    self.settled_nodes += now.settled_nodes - last_.settled_nodes;
+    self.dominance_tests += now.dominance_tests - last_.dominance_tests;
+  }
+  last_ = now;
+}
+
+int TraceSession::OpenSpan(std::string_view name) {
+  Attribute();
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return -1;
+  }
+  const double now = NowSeconds();
+  if (stack_.empty() && spans_.empty()) epoch_ = now;
+  SpanRecord span;
+  span.name = std::string(name);
+  span.parent = stack_.empty() ? -1 : stack_.back();
+  span.depth = static_cast<int>(stack_.size());
+  span.start_seconds = now - epoch_;
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  stack_.push_back(id);
+  // Scope the heap high-water mark to this span; the outer peak is folded
+  // back in at close.
+  saved_peaks_.push_back(heap_peak_->peak());
+  heap_peak_->ResetPeak();
+  return id;
+}
+
+void TraceSession::CloseTop(double now) {
+  SpanRecord& span = spans_[stack_.back()];
+  span.end_seconds = now - epoch_;
+  span.heap_peak = heap_peak_->peak();
+  heap_peak_->MergePeak(saved_peaks_.back());
+  if (span.parent >= 0) {
+    spans_[span.parent].child_seconds += span.duration_seconds();
+  }
+  stack_.pop_back();
+  saved_peaks_.pop_back();
+}
+
+void TraceSession::CloseSpan(int id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) return;
+  bool open = false;
+  for (const int sid : stack_) {
+    if (sid == id) {
+      open = true;
+      break;
+    }
+  }
+  if (!open) return;  // already closed (possibly force-closed by a parent)
+  Attribute();
+  const double now = NowSeconds();
+  while (!stack_.empty()) {
+    const bool was_target = stack_.back() == id;
+    CloseTop(now);
+    if (was_target) break;
+  }
+}
+
+QueryProfile TraceSession::Take() {
+  Attribute();
+  const double now = NowSeconds();
+  while (!stack_.empty()) CloseTop(now);
+  QueryProfile profile;
+  profile.spans = std::move(spans_);
+  profile.dropped_spans = dropped_;
+  spans_.clear();
+  dropped_ = 0;
+  epoch_ = 0.0;
+  return profile;
+}
+
+}  // namespace msq::obs

@@ -1,0 +1,169 @@
+// Query-phase tracing: TraceSession + RAII Span.
+//
+// A TraceSession records a tree of named spans. At every span open/close it
+// snapshots the tracked cross-layer counters (obs/metrics.h) and attributes
+// the delta since the previous snapshot to the span that was innermost over
+// that interval ("self" attribution). Because the deltas partition the
+// session's counter consumption, the self counters of all spans sum
+// *exactly* to the root span's inclusive totals — which is what lets a
+// query profile reconcile against the run's top-level QueryStats.
+//
+// Tracing is opt-in per query (SkylineQuerySpec::trace). With a null
+// session every Span operation is a pointer test, so the instrumented
+// algorithms pay near-zero overhead when profiling is off.
+#ifndef MSQ_OBS_TRACE_H_
+#define MSQ_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace msq::obs {
+
+// Deltas of the tracked counters over one attribution interval.
+struct SpanCounters {
+  std::uint64_t network_hits = 0;    // buffer.network.hits
+  std::uint64_t network_misses = 0;  // buffer.network.misses
+  std::uint64_t index_hits = 0;      // buffer.index.hits
+  std::uint64_t index_misses = 0;    // buffer.index.misses
+  std::uint64_t settled_nodes = 0;   // graph.settled_nodes
+  std::uint64_t dominance_tests = 0;  // core.dominance_tests
+
+  SpanCounters& operator+=(const SpanCounters& other);
+};
+
+// One finished span. Spans appear in open order; spans[0] of a profile is
+// the root covering the whole query.
+struct SpanRecord {
+  std::string name;
+  int parent = -1;  // index into the profile's spans; -1 for the root
+  int depth = 0;
+  double start_seconds = 0.0;  // relative to the session epoch
+  double end_seconds = 0.0;
+  // Counter deltas attributed exclusively to this span (intervals where it
+  // was the innermost open span).
+  SpanCounters self;
+  // Wall time spent in direct children (self wall = duration - children).
+  double child_seconds = 0.0;
+  // High-water mark of the core.heap_peak gauge while this span was open
+  // (children included).
+  double heap_peak = 0.0;
+
+  double duration_seconds() const { return end_seconds - start_seconds; }
+  double self_seconds() const { return duration_seconds() - child_seconds; }
+};
+
+// The finished trace of one query, carried on SkylineResult.
+struct QueryProfile {
+  std::vector<SpanRecord> spans;
+  // Spans not recorded because the session hit its span cap. Counter
+  // attribution stays exact: dropped spans' activity folds into the
+  // innermost recorded ancestor.
+  std::size_t dropped_spans = 0;
+
+  // Inclusive counters of span `i`: its self deltas plus all descendants'.
+  SpanCounters InclusiveCounters(std::size_t i) const;
+  // Sum of self counters across every span (== root inclusive totals).
+  SpanCounters TotalCounters() const;
+};
+
+// Records one span tree. Reusable: Take() returns the finished profile and
+// resets the session for the next query. Spans must not outlive the Take()
+// of the session they were opened in. Single-threaded, like the stack it
+// instruments.
+class TraceSession {
+ public:
+  // Tracked counters are resolved from `registry` once at construction.
+  explicit TraceSession(MetricsRegistry* registry = &GlobalMetrics());
+
+  // Opens a span as a child of the innermost open span. Returns an id for
+  // CloseSpan, or -1 when the span cap was hit (activity then accrues to
+  // the nearest recorded ancestor).
+  int OpenSpan(std::string_view name);
+
+  // Closes `id`, force-closing any still-open descendants first (an
+  // unbalanced close is handled, not UB). No-op for -1 or already-closed
+  // ids.
+  void CloseSpan(int id);
+
+  // Force-closes every open span, returns the finished profile, and resets
+  // the session for reuse.
+  QueryProfile Take();
+
+  bool idle() const { return stack_.empty(); }
+  std::size_t open_depth() const { return stack_.size(); }
+
+ private:
+  struct Snapshot {
+    std::uint64_t network_hits = 0, network_misses = 0;
+    std::uint64_t index_hits = 0, index_misses = 0;
+    std::uint64_t settled_nodes = 0, dominance_tests = 0;
+  };
+
+  Snapshot Read() const;
+  // Attributes the counter delta since the last snapshot to the innermost
+  // open span (dropped if none) and advances the snapshot.
+  void Attribute();
+  void CloseTop(double now);
+
+  Counter* network_hits_;
+  Counter* network_misses_;
+  Counter* index_hits_;
+  Counter* index_misses_;
+  Counter* settled_nodes_;
+  Counter* dominance_tests_;
+  Gauge* heap_peak_;
+
+  std::vector<SpanRecord> spans_;
+  std::vector<int> stack_;          // indices of open spans, root first
+  std::vector<double> saved_peaks_;  // outer heap peaks, parallel to stack_
+  Snapshot last_;
+  double epoch_ = 0.0;
+  std::size_t dropped_ = 0;
+};
+
+// RAII handle for one span. All operations are no-ops when constructed with
+// a null session, which is how algorithms run untraced.
+class Span {
+ public:
+  Span() = default;
+  Span(TraceSession* session, std::string_view name)
+      : session_(session) {
+    if (session_ != nullptr) id_ = session_->OpenSpan(name);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept : session_(other.session_), id_(other.id_) {
+    other.session_ = nullptr;
+    other.id_ = -1;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      Close();
+      session_ = other.session_;
+      id_ = other.id_;
+      other.session_ = nullptr;
+      other.id_ = -1;
+    }
+    return *this;
+  }
+  ~Span() { Close(); }
+
+  void Close() {
+    if (session_ != nullptr) session_->CloseSpan(id_);
+    session_ = nullptr;
+    id_ = -1;
+  }
+
+ private:
+  TraceSession* session_ = nullptr;
+  int id_ = -1;
+};
+
+}  // namespace msq::obs
+
+#endif  // MSQ_OBS_TRACE_H_

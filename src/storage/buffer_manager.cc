@@ -1,6 +1,7 @@
 #include "storage/buffer_manager.h"
 
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "common/check.h"
@@ -14,6 +15,16 @@ BufferManager::BufferManager(DiskManager* disk, std::size_t frames,
   MSQ_CHECK(frames >= 1);
   MSQ_CHECK(retry.max_read_attempts >= 1);
   MSQ_CHECK(retry.max_write_attempts >= 1);
+}
+
+void BufferManager::AttachMetrics(obs::MetricsRegistry* registry,
+                                  std::string_view prefix) {
+  MSQ_CHECK(registry != nullptr);
+  const std::string base(prefix);
+  metric_hits_ = registry->counter(base + ".hits");
+  metric_misses_ = registry->counter(base + ".misses");
+  metric_evictions_ = registry->counter(base + ".evictions");
+  metric_writebacks_ = registry->counter(base + ".writebacks");
 }
 
 Status BufferManager::ReadWithRetry(PageId id, Page* out) {
@@ -53,12 +64,14 @@ StatusOr<Page*> BufferManager::Fetch(PageId id, bool mark_dirty) {
   auto it = table_.find(id);
   if (it != table_.end()) {
     ++stats_.hits;
+    if (metric_hits_ != nullptr) metric_hits_->Inc();
     // Move to MRU position.
     lru_.splice(lru_.begin(), lru_, it->second);
     it->second->dirty |= mark_dirty;
     return &it->second->page;
   }
   ++stats_.misses;
+  if (metric_misses_ != nullptr) metric_misses_->Inc();
   if (lru_.size() >= frames_) {
     if (Status status = EvictOne(); !status.ok()) return status;
   }
@@ -98,6 +111,7 @@ Status BufferManager::FlushAll() {
     if (status.ok()) {
       frame.dirty = false;
       ++stats_.dirty_writebacks;
+      if (metric_writebacks_ != nullptr) metric_writebacks_->Inc();
     } else {
       ++stats_.failed_writebacks;
       if (first_error.ok()) first_error = status;
@@ -124,10 +138,12 @@ Status BufferManager::EvictOne() {
     }
     victim.dirty = false;
     ++stats_.dirty_writebacks;
+    if (metric_writebacks_ != nullptr) metric_writebacks_->Inc();
   }
   table_.erase(victim.id);
   lru_.pop_back();
   ++stats_.evictions;
+  if (metric_evictions_ != nullptr) metric_evictions_->Inc();
   return Status();
 }
 

@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -92,6 +94,14 @@ class BufferManager {
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats{}; }
 
+  // Mirrors hit/miss/eviction/writeback counts into `registry` counters
+  // named "<prefix>.hits" etc (prefix: obs::metric::kNetworkBufferPrefix or
+  // kIndexBufferPrefix for the two query-stack roles). Registry counters
+  // are cumulative across pools attached under the same prefix — span
+  // attribution (obs/trace.h) only ever reads deltas. Unattached pools
+  // (raw tests) skip the mirroring entirely.
+  void AttachMetrics(obs::MetricsRegistry* registry, std::string_view prefix);
+
   std::size_t frame_count() const { return frames_; }
   std::size_t resident_pages() const { return table_.size(); }
 
@@ -119,6 +129,11 @@ class BufferManager {
   std::list<Frame> lru_;
   std::unordered_map<PageId, std::list<Frame>::iterator> table_;
   BufferStats stats_;
+  // Null until AttachMetrics.
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
+  obs::Counter* metric_writebacks_ = nullptr;
 };
 
 }  // namespace msq

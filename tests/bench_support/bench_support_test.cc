@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "bench_support/metrics.h"
@@ -41,6 +43,71 @@ TEST(StatsAccumulatorTest, MeansOverRuns) {
   EXPECT_DOUBLE_EQ(acc.mean_settled(), 2000.0);
   EXPECT_DOUBLE_EQ(acc.mean_total_seconds(), 2.0);
   EXPECT_DOUBLE_EQ(acc.mean_initial_seconds(), 0.5);
+}
+
+TEST(SeriesTest, EmptySeriesIsAllZero) {
+  Series s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SeriesTest, TracksMinMaxMeanStddev) {
+  Series s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sum of squared deviations is 32; sample variance 32/7.
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SeriesTest, SingleValueHasZeroSpread) {
+  Series s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsAccumulatorTest, SeriesAccessorsExposeSpread) {
+  StatsAccumulator acc;
+  QueryStats a;
+  a.total_seconds = 1.0;
+  QueryStats b;
+  b.total_seconds = 3.0;
+  acc.Add(a);
+  acc.Add(b);
+  EXPECT_DOUBLE_EQ(acc.total_seconds().min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.total_seconds().max(), 3.0);
+  EXPECT_NEAR(acc.total_seconds().stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(QueryStatsJsonLineTest, EmitsAllFieldsAndEscapesLabel) {
+  QueryStats stats;
+  stats.candidate_count = 7;
+  stats.skyline_size = 3;
+  stats.network_pages = 10;
+  stats.network_page_accesses = 40;
+  stats.index_pages = 2;
+  stats.index_page_accesses = 5;
+  stats.settled_nodes = 123;
+  stats.total_seconds = 0.5;
+  stats.initial_seconds = 0.125;
+  const std::string line = QueryStatsJsonLine("fig5.\"CE\"", stats);
+  EXPECT_NE(line.find("\"label\":\"fig5.\\\"CE\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"candidates\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"network_pages\":10"), std::string::npos);
+  EXPECT_NE(line.find("\"network_page_accesses\":40"), std::string::npos);
+  EXPECT_NE(line.find("\"index_page_accesses\":5"), std::string::npos);
+  EXPECT_NE(line.find("\"settled_nodes\":123"), std::string::npos);
+  EXPECT_NE(line.find("\"total_seconds\":0.500000"), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

@@ -1,0 +1,223 @@
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+
+namespace msq::obs {
+namespace {
+
+// ------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, CounterFindOrCreateIsStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x.events");
+  Counter* b = registry.counter("x.events");
+  EXPECT_EQ(a, b);
+  a->Inc();
+  a->Inc(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_NE(registry.counter("y.events"), a);
+}
+
+TEST(MetricsRegistryTest, GaugeTracksPeakAcrossResets) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("heap");
+  g->Update(3.0);
+  g->Update(9.0);
+  g->Update(5.0);
+  EXPECT_DOUBLE_EQ(g->value(), 5.0);
+  EXPECT_DOUBLE_EQ(g->peak(), 9.0);
+  g->ResetPeak();
+  EXPECT_DOUBLE_EQ(g->peak(), 5.0);  // restarts from the current level
+  g->MergePeak(9.0);
+  EXPECT_DOUBLE_EQ(g->peak(), 9.0);
+}
+
+TEST(MetricsRegistryTest, IterationInNameOrder) {
+  MetricsRegistry registry;
+  registry.counter("b")->Inc(2);
+  registry.counter("a")->Inc(1);
+  std::string names;
+  registry.ForEachCounter([&](const std::string& name, const Counter&) {
+    names += name;
+    names += ",";
+  });
+  EXPECT_EQ(names, "a,b,");
+}
+
+// ------------------------------------------------------------ JsonEscape
+
+TEST(JsonEscapeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(JsonEscape("\b\f"), "\\b\\f");
+}
+
+// ----------------------------------------------------------- TraceSession
+
+TEST(TraceSessionTest, AttributesDeltasToInnermostSpan) {
+  MetricsRegistry registry;
+  Counter* settled = registry.counter(metric::kSettledNodes);
+  TraceSession session(&registry);
+
+  const int outer = session.OpenSpan("outer");
+  settled->Inc(10);
+  const int inner = session.OpenSpan("inner");
+  settled->Inc(3);
+  session.CloseSpan(inner);
+  settled->Inc(7);
+  session.CloseSpan(outer);
+
+  const QueryProfile profile = session.Take();
+  ASSERT_EQ(profile.spans.size(), 2u);
+  EXPECT_EQ(profile.spans[0].name, "outer");
+  EXPECT_EQ(profile.spans[0].parent, -1);
+  EXPECT_EQ(profile.spans[0].depth, 0);
+  EXPECT_EQ(profile.spans[1].name, "inner");
+  EXPECT_EQ(profile.spans[1].parent, 0);
+  EXPECT_EQ(profile.spans[1].depth, 1);
+  // 10 before inner + 7 after it are the outer span's own work.
+  EXPECT_EQ(profile.spans[0].self.settled_nodes, 17u);
+  EXPECT_EQ(profile.spans[1].self.settled_nodes, 3u);
+  EXPECT_EQ(profile.InclusiveCounters(0).settled_nodes, 20u);
+  EXPECT_EQ(profile.TotalCounters().settled_nodes, 20u);
+}
+
+TEST(TraceSessionTest, UnbalancedCloseForceClosesDescendants) {
+  MetricsRegistry registry;
+  Counter* settled = registry.counter(metric::kSettledNodes);
+  TraceSession session(&registry);
+
+  const int outer = session.OpenSpan("outer");
+  const int child = session.OpenSpan("child");
+  session.OpenSpan("grandchild");
+  settled->Inc(5);
+  EXPECT_EQ(session.open_depth(), 3u);
+  session.CloseSpan(outer);  // closes grandchild and child first
+  EXPECT_TRUE(session.idle());
+
+  session.CloseSpan(child);   // already closed: no-op
+  session.CloseSpan(-1);      // dropped id: no-op
+  session.CloseSpan(999);     // out of range: no-op
+
+  const QueryProfile profile = session.Take();
+  ASSERT_EQ(profile.spans.size(), 3u);
+  // The delta was pending at the unbalanced close and belongs to the
+  // innermost open span at that moment.
+  EXPECT_EQ(profile.spans[2].self.settled_nodes, 5u);
+  EXPECT_EQ(profile.TotalCounters().settled_nodes, 5u);
+  for (const SpanRecord& span : profile.spans) {
+    EXPECT_GE(span.end_seconds, span.start_seconds);
+  }
+}
+
+TEST(TraceSessionTest, TakeForceClosesAndResets) {
+  MetricsRegistry registry;
+  TraceSession session(&registry);
+  session.OpenSpan("left.open");
+  const QueryProfile profile = session.Take();
+  ASSERT_EQ(profile.spans.size(), 1u);
+  EXPECT_TRUE(session.idle());
+
+  // Session is reusable after Take.
+  const int id = session.OpenSpan("second.query");
+  session.CloseSpan(id);
+  const QueryProfile next = session.Take();
+  ASSERT_EQ(next.spans.size(), 1u);
+  EXPECT_EQ(next.spans[0].name, "second.query");
+}
+
+TEST(TraceSessionTest, GaugePeakIsScopedPerSpan) {
+  MetricsRegistry registry;
+  Gauge* heap = registry.gauge(metric::kHeapPeak);
+  TraceSession session(&registry);
+
+  const int outer = session.OpenSpan("outer");
+  heap->Update(2.0);
+  const int inner = session.OpenSpan("inner");
+  heap->Update(7.0);
+  heap->Update(1.0);
+  session.CloseSpan(inner);
+  session.CloseSpan(outer);
+
+  const QueryProfile profile = session.Take();
+  ASSERT_EQ(profile.spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile.spans[1].heap_peak, 7.0);
+  // The child's high-water mark folds back into the parent.
+  EXPECT_DOUBLE_EQ(profile.spans[0].heap_peak, 7.0);
+}
+
+TEST(SpanTest, NullSessionIsNoOp) {
+  Span null_span(nullptr, "ignored");
+  null_span.Close();  // must not crash
+
+  MetricsRegistry registry;
+  TraceSession session(&registry);
+  {
+    Span outer(&session, "outer");
+    Span moved = std::move(outer);
+    // `outer` no longer closes anything; `moved` closes at scope exit.
+  }
+  EXPECT_TRUE(session.idle());
+  EXPECT_EQ(session.Take().spans.size(), 1u);
+}
+
+// -------------------------------------- BufferManager counter attribution
+
+TEST(BufferAttributionTest, ScriptedFetchesLandInTheRightSpans) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, /*frames=*/4);
+  MetricsRegistry registry;
+  buffer.AttachMetrics(&registry, metric::kNetworkBufferPrefix);
+
+  PageId pages[3];
+  for (PageId& id : pages) {
+    auto alloc = buffer.AllocatePage();
+    ASSERT_TRUE(alloc.ok());
+    id = alloc.value().first;
+  }
+  ASSERT_TRUE(buffer.Clear().ok());  // next fetch of any page is a miss
+
+  TraceSession session(&registry);
+  const int cold = session.OpenSpan("cold");
+  for (const PageId id : pages) ASSERT_TRUE(buffer.Fetch(id).ok());
+  session.CloseSpan(cold);
+  const int warm = session.OpenSpan("warm");
+  ASSERT_TRUE(buffer.Fetch(pages[0]).ok());
+  ASSERT_TRUE(buffer.Fetch(pages[1]).ok());
+  session.CloseSpan(warm);
+
+  const QueryProfile profile = session.Take();
+  ASSERT_EQ(profile.spans.size(), 2u);
+  EXPECT_EQ(profile.spans[0].self.network_misses, 3u);
+  EXPECT_EQ(profile.spans[0].self.network_hits, 0u);
+  EXPECT_EQ(profile.spans[1].self.network_misses, 0u);
+  EXPECT_EQ(profile.spans[1].self.network_hits, 2u);
+  // Registry totals match the pool's own statistics.
+  EXPECT_EQ(registry.counter(metric::kNetworkBufferMisses)->value(),
+            buffer.stats().misses);
+  EXPECT_EQ(registry.counter(metric::kNetworkBufferHits)->value(),
+            buffer.stats().hits);
+}
+
+TEST(BufferAttributionTest, UnattachedPoolReportsNothing) {
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, /*frames=*/2);
+  auto alloc = buffer.AllocatePage();
+  ASSERT_TRUE(alloc.ok());
+  ASSERT_TRUE(buffer.Fetch(alloc.value().first).ok());
+  EXPECT_GT(buffer.stats().accesses(), 0u);  // pool counts, registry silent
+}
+
+}  // namespace
+}  // namespace msq::obs
