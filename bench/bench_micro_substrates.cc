@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "core/dominance.h"
 #include "euclid/bbs.h"
 #include "gen/network_gen.h"
 #include "gen/object_gen.h"
@@ -153,6 +154,26 @@ void BM_NnStreamFirst10(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NnStreamFirst10);
+
+// The in-memory BNL skyline whose window comparisons use the min/max
+// summary early exit. Arg(0) = vector count, Arg(1) = dimensions;
+// correlated uniform components keep a realistically small skyline.
+void BM_SkylineIndices(benchmark::State& state) {
+  Rng rng(11);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dims = static_cast<std::size_t>(state.range(1));
+  std::vector<DistVector> vectors(n, DistVector(dims));
+  for (auto& v : vectors) {
+    for (auto& x : v) x = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineIndices(vectors).size());
+  }
+}
+BENCHMARK(BM_SkylineIndices)
+    ->Args({1000, 3})
+    ->Args({10000, 3})
+    ->Args({10000, 6});
 
 void BM_EuclideanSkylineBrowse(benchmark::State& state) {
   InMemoryDiskManager disk;

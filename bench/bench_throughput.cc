@@ -1,0 +1,203 @@
+// Concurrent throughput benchmark: a fixed mixed CE/EDC/LBC batch on the
+// Figure-5 (CA) and Figure-6 (NA) workloads, replayed through QueryExecutor
+// at 1/2/4/8 workers. Reports QPS and per-query latency percentiles, checks
+// every concurrent result byte-for-byte against the single-threaded run,
+// and writes the numbers as JSON for the committed BENCH_throughput.json.
+//
+// Environment:
+//   MSQ_BENCH_SCALE        dataset scale (bench_common.h; default 0.2)
+//   MSQ_THROUGHPUT_BATCH   requests per batch (default 48)
+//   MSQ_THROUGHPUT_OUT     JSON output path (default BENCH_throughput.json
+//                          in the working directory; empty string disables)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/skyline_query.h"
+#include "exec/query_executor.h"
+#include "gen/workloads.h"
+
+namespace msq::bench {
+namespace {
+
+constexpr Algorithm kAlgorithms[] = {Algorithm::kCe, Algorithm::kEdc,
+                                     Algorithm::kLbc};
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+struct Point {
+  std::size_t workers = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double speedup = 1.0;
+  bool matches_oracle = true;
+};
+
+struct WorkloadReport {
+  std::string network;
+  std::size_t query_count = 0;
+  double density = 0.0;
+  std::vector<Point> points;
+};
+
+double PercentileMs(std::vector<double> seconds, double q) {
+  std::sort(seconds.begin(), seconds.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(seconds.size() - 1) + 0.5);
+  return seconds[rank] * 1000.0;
+}
+
+bool SameSkyline(const SkylineResult& a, const SkylineResult& b) {
+  if (!a.status.ok() || !b.status.ok()) return false;
+  if (a.skyline.size() != b.skyline.size()) return false;
+  for (std::size_t i = 0; i < a.skyline.size(); ++i) {
+    if (a.skyline[i].object != b.skyline[i].object) return false;
+    if (a.skyline[i].vector != b.skyline[i].vector) return false;
+  }
+  return true;
+}
+
+WorkloadReport RunOne(NetworkClass cls, const BenchEnv& env,
+                      std::size_t batch) {
+  WorkloadReport report;
+  report.network = NetworkClassName(cls);
+  report.query_count = 4;
+  report.density = 0.5;
+
+  WorkloadConfig config;
+  config.network = PaperNetworkConfig(cls, env.scale, 12);
+  config.object_density = report.density;
+  Workload workload(config);
+
+  std::vector<QueryRequest> requests;
+  requests.reserve(batch);
+  for (std::size_t i = 0; i < requests.capacity(); ++i) {
+    QueryRequest request;
+    request.algorithm = kAlgorithms[i % std::size(kAlgorithms)];
+    request.spec =
+        workload.SampleQuery(report.query_count, 100 + i / 3);
+    requests.push_back(request);
+  }
+
+  // Single-threaded reference results, also warming the pools.
+  std::vector<SkylineResult> oracle;
+  oracle.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    oracle.push_back(
+        RunSkylineQuery(request.algorithm, workload.dataset(), request.spec));
+  }
+
+  TablePrinter table(
+      {"workers", "QPS", "p50(ms)", "p99(ms)", "wall(s)", "speedup", "match"});
+  for (const std::size_t workers : kWorkerCounts) {
+    QueryExecutor executor(workload.dataset(), workers);
+    executor.RunBatch(requests);  // untimed warm-up over the warm pools
+
+    const double start = MonotonicSeconds();
+    const std::vector<SkylineResult> results = executor.RunBatch(requests);
+    const double wall = MonotonicSeconds() - start;
+
+    Point point;
+    point.workers = workers;
+    point.wall_seconds = wall;
+    point.qps = static_cast<double>(results.size()) / wall;
+    std::vector<double> latencies;
+    latencies.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      latencies.push_back(results[i].stats.total_seconds);
+      point.matches_oracle =
+          point.matches_oracle && SameSkyline(results[i], oracle[i]);
+    }
+    point.p50_ms = PercentileMs(latencies, 0.50);
+    point.p99_ms = PercentileMs(latencies, 0.99);
+    point.speedup = report.points.empty()
+                        ? 1.0
+                        : report.points.front().wall_seconds / wall;
+    report.points.push_back(point);
+
+    table.AddRow({std::to_string(workers), TablePrinter::Fixed(point.qps, 1),
+                  TablePrinter::Fixed(point.p50_ms, 2),
+                  TablePrinter::Fixed(point.p99_ms, 2),
+                  TablePrinter::Fixed(wall, 3),
+                  TablePrinter::Fixed(point.speedup, 2),
+                  point.matches_oracle ? "yes" : "NO"});
+  }
+  std::printf("-- %s (|Q|=%zu, w=%.0f%%, batch=%zu) --\n",
+              report.network.c_str(), report.query_count,
+              report.density * 100.0, requests.size());
+  table.Print();
+  std::printf("\n");
+  return report;
+}
+
+void WriteJson(const std::vector<WorkloadReport>& reports,
+               const BenchEnv& env, std::size_t batch, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"throughput\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"scale\": %g,\n  \"requests_per_batch\": %zu,\n",
+               env.scale, batch);
+  std::fprintf(out,
+               "  \"note\": \"latency = per-query wall clock inside the "
+               "worker; speedup relative to the 1-worker batch\",\n");
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (std::size_t w = 0; w < reports.size(); ++w) {
+    const WorkloadReport& report = reports[w];
+    std::fprintf(out,
+                 "    {\"network\": \"%s\", \"query_count\": %zu, "
+                 "\"object_density\": %g, \"points\": [\n",
+                 report.network.c_str(), report.query_count, report.density);
+    for (std::size_t p = 0; p < report.points.size(); ++p) {
+      const Point& point = report.points[p];
+      std::fprintf(out,
+                   "      {\"workers\": %zu, \"qps\": %.2f, \"p50_ms\": %.3f,"
+                   " \"p99_ms\": %.3f, \"wall_seconds\": %.4f,"
+                   " \"speedup_vs_1\": %.3f, \"results_match_oracle\": %s}%s\n",
+                   point.workers, point.qps, point.p50_ms, point.p99_ms,
+                   point.wall_seconds, point.speedup,
+                   point.matches_oracle ? "true" : "false",
+                   p + 1 < report.points.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", w + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
+void Run(const BenchEnv& env) {
+  std::size_t batch = 48;
+  if (const char* s = std::getenv("MSQ_THROUGHPUT_BATCH")) {
+    const long value = std::atol(s);
+    if (value > 0) batch = static_cast<std::size_t>(value);
+  }
+  std::printf("=== Throughput: mixed CE/EDC/LBC batches via QueryExecutor "
+              "===\n(scale=%.2f, batch=%zu, host cores=%u)\n\n",
+              env.scale, batch, std::thread::hardware_concurrency());
+
+  std::vector<WorkloadReport> reports;
+  reports.push_back(RunOne(NetworkClass::kCA, env, batch));
+  reports.push_back(RunOne(NetworkClass::kNA, env, batch));
+
+  const char* path = std::getenv("MSQ_THROUGHPUT_OUT");
+  if (path == nullptr) path = "BENCH_throughput.json";
+  if (path[0] != '\0') WriteJson(reports, env, batch, path);
+}
+
+}  // namespace
+}  // namespace msq::bench
+
+int main() {
+  msq::bench::Run(msq::bench::GetBenchEnv());
+  return 0;
+}

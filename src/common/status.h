@@ -96,18 +96,26 @@ class StatusOr {
 
   // Aborts when not ok (programming error at the call site; fallible
   // callers must check ok() or use ValueOrThrow).
-  T& value() {
+  T& value() & {
     MSQ_CHECK_MSG(ok(), "StatusOr::value on error: %s",
                   status_.ToString().c_str());
     return *value_;
   }
-  const T& value() const {
+  const T& value() const& {
     MSQ_CHECK_MSG(ok(), "StatusOr::value on error: %s",
                   status_.ToString().c_str());
     return *value_;
   }
-  T& operator*() { return value(); }
-  const T& operator*() const { return value(); }
+  // Move-out overload so move-only payloads (e.g. PageGuard) can be taken
+  // straight from a returned temporary.
+  T&& value() && {
+    MSQ_CHECK_MSG(ok(), "StatusOr::value on error: %s",
+                  status_.ToString().c_str());
+    return *std::move(value_);
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
 
  private:
   Status status_;

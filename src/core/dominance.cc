@@ -16,9 +16,20 @@ obs::Counter* const g_dominance_tests = obs::GlobalMetrics().counter(
 
 }  // namespace
 
+namespace {
+
+// Every test bumps the global counter and the calling thread's block so
+// per-query attribution stays exact under the concurrent executor.
+inline void CountDominanceTest() {
+  g_dominance_tests->Inc();
+  ++obs::ThreadLocalCounters().dominance_tests;
+}
+
+}  // namespace
+
 bool Dominates(const DistVector& a, const DistVector& b) {
   MSQ_CHECK(a.size() == b.size());
-  g_dominance_tests->Inc();
+  CountDominanceTest();
   bool strict = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] > b[i]) return false;
@@ -38,7 +49,7 @@ bool DominatesOrEqual(const DistVector& a, const DistVector& b) {
 bool DominatesWithMargin(const DistVector& a, const DistVector& b,
                          double margin) {
   MSQ_CHECK(a.size() == b.size());
-  g_dominance_tests->Inc();
+  CountDominanceTest();
   bool strict = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] > b[i]) return false;
@@ -54,25 +65,58 @@ bool AllFinite(const DistVector& v) {
   return true;
 }
 
+DistSummary Summarize(const DistVector& v) {
+  DistSummary s;
+  if (v.empty()) return s;
+  s.min = v[0];
+  s.max = v[0];
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    s.min = std::min(s.min, v[i]);
+    s.max = std::max(s.max, v[i]);
+  }
+  return s;
+}
+
+bool DominatesWithSummary(const DistVector& a, const DistSummary& sa,
+                          const DistVector& b, const DistSummary& sb) {
+  MSQ_CHECK(a.size() == b.size());
+  // a <= b component-wise forces min(a) <= min(b) and max(a) <= max(b);
+  // the contrapositive refutes dominance without touching the components.
+  if (sa.min > sb.min || sa.max > sb.max) {
+    CountDominanceTest();
+    return false;
+  }
+  return Dominates(a, b);
+}
+
 std::vector<std::size_t> SkylineIndices(
     const std::vector<DistVector>& vectors) {
   std::vector<std::size_t> window;
+  std::vector<DistSummary> window_summaries;  // parallel to `window`
   for (std::size_t i = 0; i < vectors.size(); ++i) {
     if (!AllFinite(vectors[i])) continue;
+    const DistSummary si = Summarize(vectors[i]);
     bool dominated = false;
     for (std::size_t w = 0; w < window.size();) {
-      if (Dominates(vectors[window[w]], vectors[i])) {
+      if (DominatesWithSummary(vectors[window[w]], window_summaries[w],
+                               vectors[i], si)) {
         dominated = true;
         break;
       }
-      if (Dominates(vectors[i], vectors[window[w]])) {
+      if (DominatesWithSummary(vectors[i], si, vectors[window[w]],
+                               window_summaries[w])) {
         window[w] = window.back();
         window.pop_back();
+        window_summaries[w] = window_summaries.back();
+        window_summaries.pop_back();
         continue;
       }
       ++w;
     }
-    if (!dominated) window.push_back(i);
+    if (!dominated) {
+      window.push_back(i);
+      window_summaries.push_back(si);
+    }
   }
   std::sort(window.begin(), window.end());
   return window;

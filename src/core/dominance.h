@@ -44,9 +44,27 @@ bool DominatesWithMargin(const DistVector& a, const DistVector& b,
 // exclude objects unreachable from any query point).
 bool AllFinite(const DistVector& v);
 
+// Component range of one vector, computed once per candidate so repeated
+// dominance tests against it can skip their component loops.
+struct DistSummary {
+  Dist min = 0.0;
+  Dist max = 0.0;
+};
+DistSummary Summarize(const DistVector& v);
+
+// Dominates(a, b) given precomputed summaries. If a dominates b then
+// min(a) <= min(b) and max(a) <= max(b), so either inequality failing — in
+// particular the candidate's min exceeding the incumbent's max — refutes
+// dominance in O(1) and the component loop is skipped. Counts as one
+// dominance test either way, so QueryStats/trace reconciliation is
+// unaffected by which path resolves it.
+bool DominatesWithSummary(const DistVector& a, const DistSummary& sa,
+                          const DistVector& b, const DistSummary& sb);
+
 // Block-nested-loops skyline of `vectors`: returns the indices (into
 // `vectors`) of the undominated entries, in input order. Entries with a
-// non-finite component are excluded.
+// non-finite component are excluded. Window comparisons go through
+// DominatesWithSummary, pruning most full component scans.
 std::vector<std::size_t> SkylineIndices(
     const std::vector<DistVector>& vectors);
 

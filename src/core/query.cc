@@ -56,6 +56,36 @@ Status ValidateQuery(const Dataset& dataset, const SkylineQuerySpec& spec) {
   return Status();
 }
 
+namespace {
+
+// `buffer`'s miss/access counts as seen by the calling thread. Pools
+// attached to a query-stack role (Workload's two pools) are read from the
+// thread-local counter block, which is exact per query even while other
+// executor workers hammer the same pools; unattached pools (raw test
+// setups) fall back to pool-wide totals, which are exact only when the
+// pool is used from one thread — the historical behavior.
+void ThreadBufferCounts(const BufferManager& buffer, std::uint64_t* misses,
+                        std::uint64_t* accesses) {
+  const obs::ThreadCounters& tc = obs::ThreadLocalCounters();
+  switch (buffer.role()) {
+    case BufferRole::kNetwork:
+      *misses = tc.network_misses;
+      *accesses = tc.network_accesses();
+      return;
+    case BufferRole::kIndex:
+      *misses = tc.index_misses;
+      *accesses = tc.index_accesses();
+      return;
+    case BufferRole::kNone:
+      break;
+  }
+  const BufferStats stats = buffer.stats();
+  *misses = stats.misses;
+  *accesses = stats.accesses();
+}
+
+}  // namespace
+
 QueryGuard::QueryGuard(const Dataset& dataset, const QueryLimits& limits)
     : dataset_(dataset), limits_(limits) {
   if (limits_.max_page_accesses > 0) accesses_0_ = PageAccesses();
@@ -64,11 +94,14 @@ QueryGuard::QueryGuard(const Dataset& dataset, const QueryLimits& limits)
 
 std::uint64_t QueryGuard::PageAccesses() const {
   std::uint64_t accesses = 0;
+  std::uint64_t misses = 0, count = 0;
   if (dataset_.graph_buffer != nullptr) {
-    accesses += dataset_.graph_buffer->stats().accesses();
+    ThreadBufferCounts(*dataset_.graph_buffer, &misses, &count);
+    accesses += count;
   }
   if (dataset_.index_buffer != nullptr) {
-    accesses += dataset_.index_buffer->stats().accesses();
+    ThreadBufferCounts(*dataset_.index_buffer, &misses, &count);
+    accesses += count;
   }
   return accesses;
 }
@@ -97,12 +130,12 @@ StatsScope::StatsScope(const Dataset& dataset, obs::TraceSession* trace,
                        std::string_view root_name)
     : dataset_(dataset), root_span_(trace, root_name) {
   if (dataset.graph_buffer != nullptr) {
-    graph_misses_0_ = dataset.graph_buffer->stats().misses;
-    graph_accesses_0_ = dataset.graph_buffer->stats().accesses();
+    ThreadBufferCounts(*dataset.graph_buffer, &graph_misses_0_,
+                       &graph_accesses_0_);
   }
   if (dataset.index_buffer != nullptr) {
-    index_misses_0_ = dataset.index_buffer->stats().misses;
-    index_accesses_0_ = dataset.index_buffer->stats().accesses();
+    ThreadBufferCounts(*dataset.index_buffer, &index_misses_0_,
+                       &index_accesses_0_);
   }
   start_ = MonotonicSeconds();
 }
@@ -117,18 +150,17 @@ void StatsScope::Finish(QueryStats* stats) {
   root_span_.Close();
   stats->total_seconds = MonotonicSeconds() - start_;
   stats->initial_seconds = initial_ >= 0.0 ? initial_ : stats->total_seconds;
+  std::uint64_t misses = 0, accesses = 0;
   if (dataset_.graph_buffer != nullptr) {
-    stats->network_pages =
-        dataset_.graph_buffer->stats().misses - graph_misses_0_;
-    stats->network_page_accesses =
-        dataset_.graph_buffer->stats().accesses() - graph_accesses_0_;
+    ThreadBufferCounts(*dataset_.graph_buffer, &misses, &accesses);
+    stats->network_pages = misses - graph_misses_0_;
+    stats->network_page_accesses = accesses - graph_accesses_0_;
     MSQ_CHECK(stats->network_page_accesses >= stats->network_pages);
   }
   if (dataset_.index_buffer != nullptr) {
-    stats->index_pages =
-        dataset_.index_buffer->stats().misses - index_misses_0_;
-    stats->index_page_accesses =
-        dataset_.index_buffer->stats().accesses() - index_accesses_0_;
+    ThreadBufferCounts(*dataset_.index_buffer, &misses, &accesses);
+    stats->index_pages = misses - index_misses_0_;
+    stats->index_page_accesses = accesses - index_accesses_0_;
     MSQ_CHECK(stats->index_page_accesses >= stats->index_pages);
   }
 }

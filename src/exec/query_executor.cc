@@ -1,0 +1,90 @@
+#include "exec/query_executor.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace msq {
+
+QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers)
+    : dataset_(dataset) {
+  MSQ_CHECK(workers >= 1);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<SkylineResult> QueryExecutor::Submit(QueryRequest request) {
+  MSQ_CHECK(request.spec.trace == nullptr);
+  Job job;
+  job.request = std::move(request);
+  std::future<SkylineResult> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MSQ_CHECK(!stopping_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<SkylineResult> QueryExecutor::RunBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<SkylineResult>> futures;
+  futures.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  std::vector<SkylineResult> results;
+  results.reserve(futures.size());
+  for (std::future<SkylineResult>& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+std::size_t QueryExecutor::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void QueryExecutor::WorkerLoop() {
+  // The worker's private trace session. It tracks the global registry, so
+  // it snapshots this thread's ThreadCounters (obs/trace.h) — per-query
+  // span deltas stay exact while other workers share the pools.
+  obs::TraceSession trace;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    SkylineQuerySpec spec = std::move(job.request.spec);
+    if (job.request.collect_profile) spec.trace = &trace;
+    // RunSkylineQuery funnels every failure into the result's status, so
+    // nothing throws across the promise. Anything unexpected still must not
+    // kill the process via a promise left unset.
+    try {
+      job.promise.set_value(
+          RunSkylineQuery(job.request.algorithm, dataset_, spec));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace msq

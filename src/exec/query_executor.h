@@ -1,0 +1,96 @@
+// Concurrent skyline query execution over one shared dataset.
+//
+// QueryExecutor owns a fixed pool of worker threads that drain a queue of
+// skyline query requests. All workers run against the same Dataset — the
+// same paged road network, R-tree, B+-tree, and the two shared buffer
+// pools — which the sharded, pinned BufferManager (storage/buffer_manager.h)
+// makes safe. Everything mutable a query needs beyond the pools (wavefront
+// search state, candidate sets, the TraceSession) is private to the worker
+// running it, so queries never synchronize with each other above the
+// storage layer.
+//
+// Per-query accounting stays exact under concurrency: a query executes
+// entirely on one worker thread, and the per-thread counter substrate
+// (obs::ThreadCounters) gives its StatsScope/QueryGuard/TraceSession
+// windows a view only that thread advances. Results therefore carry the
+// same QueryStats — and, when requested, the same exactly-reconciling
+// QueryProfile — as a single-threaded run of the same query.
+//
+// Failure model is unchanged from the synchronous entry points: a request
+// never throws across the queue; its SkylineResult carries a typed error
+// status instead (core/query.h).
+#ifndef MSQ_EXEC_QUERY_EXECUTOR_H_
+#define MSQ_EXEC_QUERY_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "core/skyline_query.h"
+
+namespace msq {
+
+// One unit of work for the executor.
+struct QueryRequest {
+  Algorithm algorithm = Algorithm::kCe;
+  // The query to run. `spec.trace` must be null — tracing is requested via
+  // `collect_profile`, and the executor supplies the worker's own session
+  // (a caller-held session would be shared across threads).
+  SkylineQuerySpec spec;
+  // When true the result carries a QueryProfile recorded by the worker's
+  // private TraceSession.
+  bool collect_profile = false;
+};
+
+// Fixed-size worker pool running skyline queries concurrently against one
+// shared dataset. Thread-safe: any thread may Submit; RunBatch may be
+// called from several threads at once (their results don't interleave).
+// Destruction drains nothing — it finishes jobs already queued, then joins.
+class QueryExecutor {
+ public:
+  // `dataset` is a non-owning view, copied in (so a Workload::dataset()
+  // temporary is fine); the structures it points into must outlive the
+  // executor. `workers` must be >= 1.
+  QueryExecutor(Dataset dataset, std::size_t workers);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  // Enqueues one query; the future resolves to its result. Never blocks on
+  // query execution.
+  std::future<SkylineResult> Submit(QueryRequest request);
+
+  // Enqueues the whole batch and waits for completion. Results are in
+  // request order regardless of which worker finished when.
+  std::vector<SkylineResult> RunBatch(std::vector<QueryRequest> requests);
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  // Queued-but-unstarted jobs (diagnostics; racy by nature).
+  std::size_t pending() const;
+
+ private:
+  struct Job {
+    QueryRequest request;
+    std::promise<SkylineResult> promise;
+  };
+
+  void WorkerLoop();
+
+  const Dataset dataset_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_EXEC_QUERY_EXECUTOR_H_

@@ -44,6 +44,7 @@ void AStarSearch::Settle(NodeId node, Dist dist) {
   settled_[node] = 1;
   ++settled_count_;
   g_settled->Inc();
+  ++obs::ThreadLocalCounters().settled_nodes;
   OkOrThrow(pager_->AdjacencyOf(node, &scratch_adjacency_));
   for (const AdjacencyEntry& adj : scratch_adjacency_) {
     Improve(adj.neighbor, dist + adj.length);
@@ -180,6 +181,7 @@ Dist AStarSearch::Probe::Advance() {
   Clean();
   // Per-expansion granularity keeps the gauge off the relaxation path.
   g_heap_peak->Update(static_cast<double>(heap_.size()));
+  obs::ThreadLocalCounters().UpdateHeap(static_cast<double>(heap_.size()));
 
   const Dist new_best = CurrentBestTarget();
   const Dist frontier_bound = heap_.empty() ? kInfDist : heap_.top().f;

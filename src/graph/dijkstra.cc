@@ -83,10 +83,12 @@ std::optional<DijkstraSearch::Settled> DijkstraSearch::NextSettled() {
   settled_[top.node] = 1;
   ++settled_count_;
   g_settled->Inc();
+  ++obs::ThreadLocalCounters().settled_nodes;
   Expand(top.node, top.dist);
   // Settle granularity keeps the gauge off the per-relaxation path; the
   // heap grows by at most one node degree between settles.
   g_heap_peak->Update(static_cast<double>(heap_.size()));
+  obs::ThreadLocalCounters().UpdateHeap(static_cast<double>(heap_.size()));
   return Settled{top.node, top.dist};
 }
 

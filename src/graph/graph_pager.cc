@@ -70,9 +70,11 @@ void GraphPager::BuildLayout() {
             [&](NodeId a, NodeId b) { return key[a] < key[b]; });
 
   // Pack records first-fit in cluster order. A record never spans pages;
-  // road-network degrees are small so records always fit one page.
+  // road-network degrees are small so records always fit one page. The
+  // guard pins the page being filled so its image stays valid across the
+  // loop; moving to the next page drops the previous pin.
   PageId current_page = kInvalidPage;
-  Page* raw = nullptr;
+  PageGuard guard;
   std::size_t used = 0;
   for (const NodeId node : order) {
     const std::size_t degree = network_->Adjacent(node).size();
@@ -80,14 +82,13 @@ void GraphPager::BuildLayout() {
     MSQ_CHECK_MSG(bytes <= kPageSize, "node degree %zu overflows a page",
                   degree);
     if (current_page == kInvalidPage || used + bytes > kPageSize) {
-      auto [page_id, page] = ValueOrThrow(buffer_->AllocatePage());
-      current_page = page_id;
-      raw = page;
+      guard = ValueOrThrow(buffer_->AllocatePage());
+      current_page = guard.id();
       used = 0;
       ++page_count_;
     }
     directory_[node] = Slot{current_page, static_cast<std::uint16_t>(used)};
-    std::byte* dst = raw->data.data() + used;
+    std::byte* dst = guard.page()->data.data() + used;
     const auto adj = network_->Adjacent(node);
     const std::uint32_t deg32 = static_cast<std::uint32_t>(degree);
     std::memcpy(dst, &deg32, sizeof(deg32));
@@ -102,6 +103,7 @@ void GraphPager::BuildLayout() {
     }
     used += bytes;
   }
+  guard.Release();
   OkOrThrow(buffer_->FlushAll());
 }
 
@@ -112,12 +114,13 @@ Status GraphPager::AdjacencyOf(NodeId node,
   g_adjacency_reads->Inc();
   const Slot slot = directory_[node];
   MSQ_CHECK(slot.page != kInvalidPage);
-  StatusOr<Page*> raw = buffer_->Fetch(slot.page);
+  // The guard pins the page only for the duration of this copy-out.
+  StatusOr<PageGuard> raw = buffer_->Fetch(slot.page);
   if (!raw.ok()) return raw.status();
   // Defensive decode: the page came from storage, so bound every field
   // against the in-memory network before trusting it. A page that passed
   // the checksum can still be logically stale or misdirected.
-  const std::byte* src = (*raw)->data.data() + slot.offset;
+  const std::byte* src = (*raw).page()->data.data() + slot.offset;
   std::uint32_t degree;
   std::memcpy(&degree, src, sizeof(degree));
   src += sizeof(degree);

@@ -67,6 +67,7 @@ std::optional<NetworkNnStream::Visit> NetworkNnStream::Next() {
       emitted_[top.object] = 1;
       // Emission granularity keeps the gauge off the per-offer path.
       g_heap_peak->Update(static_cast<double>(heap_.size()));
+      obs::ThreadLocalCounters().UpdateHeap(static_cast<double>(heap_.size()));
       return Visit{top.object, top.dist};
     }
 

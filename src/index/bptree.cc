@@ -31,14 +31,16 @@ BpTree::BpTree(BufferManager* buffer) : buffer_(buffer) {
 }
 
 bool BpTree::IsLeafPage(PageId page) const {
-  Page* raw = ValueOrThrow(buffer_->Fetch(page));
-  PageReader reader(raw);
+  PageGuard guard = ValueOrThrow(buffer_->Fetch(page));
+  PageReader reader(guard.page());
   return reader.Read<std::uint8_t>() != 0;
 }
 
+// Read/Write helpers hold the page pin only while (de)serializing — the
+// node structs are copies, never views into the pool.
 BpTree::LeafNode BpTree::ReadLeaf(PageId page) const {
-  Page* raw = ValueOrThrow(buffer_->Fetch(page));
-  PageReader reader(raw);
+  PageGuard guard = ValueOrThrow(buffer_->Fetch(page));
+  PageReader reader(guard.page());
   const bool is_leaf = reader.Read<std::uint8_t>() != 0;
   // Node flags and counts come from storage, so treat violations as
   // corruption rather than programmer error.
@@ -63,8 +65,8 @@ BpTree::LeafNode BpTree::ReadLeaf(PageId page) const {
 }
 
 BpTree::InternalNode BpTree::ReadInternal(PageId page) const {
-  Page* raw = ValueOrThrow(buffer_->Fetch(page));
-  PageReader reader(raw);
+  PageGuard guard = ValueOrThrow(buffer_->Fetch(page));
+  PageReader reader(guard.page());
   const bool is_leaf = reader.Read<std::uint8_t>() != 0;
   if (is_leaf) {
     throw StorageFault(Status::Corruption(
@@ -90,8 +92,8 @@ BpTree::InternalNode BpTree::ReadInternal(PageId page) const {
 
 void BpTree::WriteLeaf(PageId page, const LeafNode& node) {
   MSQ_CHECK(node.items.size() <= LeafCapacity());
-  Page* raw = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
-  PageWriter writer(raw);
+  PageGuard guard = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
+  PageWriter writer(guard.page());
   writer.Write<std::uint8_t>(1);
   writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.items.size()));
   writer.Write<std::uint32_t>(node.next_leaf);
@@ -104,8 +106,8 @@ void BpTree::WriteLeaf(PageId page, const LeafNode& node) {
 void BpTree::WriteInternal(PageId page, const InternalNode& node) {
   MSQ_CHECK(node.keys.size() + 1 == node.children.size());
   MSQ_CHECK(node.keys.size() <= InternalCapacity());
-  Page* raw = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
-  PageWriter writer(raw);
+  PageGuard guard = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
+  PageWriter writer(guard.page());
   writer.Write<std::uint8_t>(0);
   writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.keys.size()));
   for (const Key key : node.keys) writer.Write<std::uint64_t>(key);
@@ -115,15 +117,13 @@ void BpTree::WriteInternal(PageId page, const InternalNode& node) {
 }
 
 PageId BpTree::NewLeaf(const LeafNode& node) {
-  auto [page_id, raw] = ValueOrThrow(buffer_->AllocatePage());
-  (void)raw;
+  const PageId page_id = ValueOrThrow(buffer_->AllocatePage()).id();
   WriteLeaf(page_id, node);
   return page_id;
 }
 
 PageId BpTree::NewInternal(const InternalNode& node) {
-  auto [page_id, raw] = ValueOrThrow(buffer_->AllocatePage());
-  (void)raw;
+  const PageId page_id = ValueOrThrow(buffer_->AllocatePage()).id();
   WriteInternal(page_id, node);
   return page_id;
 }
@@ -156,7 +156,7 @@ void BpTree::BulkLoad(const std::vector<Item>& items) {
     std::vector<PageId> pages;
     pages.reserve(leaves.size());
     for (std::size_t i = 0; i < leaves.size(); ++i) {
-      pages.push_back(ValueOrThrow(buffer_->AllocatePage()).first);
+      pages.push_back(ValueOrThrow(buffer_->AllocatePage()).id());
     }
     for (std::size_t i = 0; i < leaves.size(); ++i) {
       leaves[i].next_leaf =

@@ -32,8 +32,9 @@ RTree::RTree(BufferManager* buffer) : buffer_(buffer) {
 }
 
 RTreeNode RTree::ReadNode(PageId page) const {
-  Page* raw = ValueOrThrow(buffer_->Fetch(page));
-  PageReader reader(raw);
+  // The guard pins the page only while this copy-out deserializes it.
+  PageGuard guard = ValueOrThrow(buffer_->Fetch(page));
+  PageReader reader(guard.page());
   RTreeNode node;
   node.is_leaf = reader.Read<std::uint8_t>() != 0;
   const std::uint32_t count = reader.Read<std::uint32_t>();
@@ -66,8 +67,8 @@ StatusOr<RTreeNode> RTree::TryReadNode(PageId page) const {
 
 void RTree::WriteNode(PageId page, const RTreeNode& node) {
   MSQ_CHECK(node.entries.size() <= MaxEntriesPerNode());
-  Page* raw = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
-  PageWriter writer(raw);
+  PageGuard guard = ValueOrThrow(buffer_->Fetch(page, /*mark_dirty=*/true));
+  PageWriter writer(guard.page());
   writer.Write<std::uint8_t>(node.is_leaf ? 1 : 0);
   writer.Write<std::uint32_t>(static_cast<std::uint32_t>(node.entries.size()));
   for (const RTreeEntry& e : node.entries) {
@@ -80,8 +81,7 @@ void RTree::WriteNode(PageId page, const RTreeNode& node) {
 }
 
 PageId RTree::WriteNewNode(const RTreeNode& node) {
-  auto [page_id, raw] = ValueOrThrow(buffer_->AllocatePage());
-  (void)raw;
+  const PageId page_id = ValueOrThrow(buffer_->AllocatePage()).id();
   WriteNode(page_id, node);
   return page_id;
 }

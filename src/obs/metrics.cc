@@ -3,6 +3,7 @@
 namespace msq::obs {
 
 Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -12,6 +13,7 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -22,6 +24,11 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
 MetricsRegistry& GlobalMetrics() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
+}
+
+ThreadCounters& ThreadLocalCounters() {
+  thread_local ThreadCounters counters;
+  return counters;
 }
 
 }  // namespace msq::obs

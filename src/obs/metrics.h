@@ -5,60 +5,89 @@
 // (obs/trace.h) snapshots a tracked subset at span boundaries to attribute
 // work to query phases, and obs/export.h dumps the whole registry as JSONL.
 //
-// Counters are plain uint64 increments behind a stable pointer, so the hot
-// paths pay one add (plus a null check where attachment is optional) —
-// cheap enough to stay always-on, like the existing BufferStats. Like the
-// rest of the storage/query stack, the registry is single-threaded.
+// Counters are relaxed-atomic uint64 increments behind a stable pointer, so
+// the hot paths pay one uncontended atomic add (plus a null check where
+// attachment is optional) — cheap enough to stay always-on, like the
+// existing BufferStats. The registry itself is thread-safe: concurrent
+// queries running in a QueryExecutor pool all report into the same global
+// registry, whose totals stay exact under contention.
+//
+// Per-thread attribution lives next to the global totals: ThreadCounters is
+// a thread-local block the same hot paths bump alongside the registry.
+// Because a query runs entirely on one worker thread, per-query deltas of
+// the thread-local block are exact even while other workers hammer the
+// shared pools — this is what keeps QueryStats and trace reconciliation
+// (obs/trace.h) byte-exact per query under concurrency.
 //
 // Naming scheme (DESIGN.md §9): `<layer>.<component>.<event>`, e.g.
 // `buffer.network.misses` or `graph.settled_nodes`.
 #ifndef MSQ_OBS_METRICS_H_
 #define MSQ_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
 namespace msq::obs {
 
-// Monotonically increasing event count.
+// Monotonically increasing event count. Thread-safe; relaxed ordering is
+// sufficient because readers only consume totals/deltas, never ordering.
 class Counter {
  public:
-  void Inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void Inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 // Instantaneous level with a high-water mark. TraceSession scopes the peak
-// to a span by saving/merging it around the span's lifetime.
+// to a span by saving/merging it around the span's lifetime. Thread-safe:
+// Update publishes the level with a relaxed store and raises the peak via a
+// CAS loop (concurrent peaks race benignly to the same maximum).
 class Gauge {
  public:
   void Update(double value) {
-    value_ = value;
-    if (value > peak_) peak_ = value;
+    value_.store(value, std::memory_order_relaxed);
+    RaiseToAtLeast(&peak_, value);
   }
   // Restarts peak tracking from the current level.
-  void ResetPeak() { peak_ = value_; }
-  // Folds an externally saved peak back in (span unwinding).
-  void MergePeak(double peak) {
-    if (peak > peak_) peak_ = peak;
+  void ResetPeak() {
+    peak_.store(value_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
   }
+  // Folds an externally saved peak back in (span unwinding).
+  void MergePeak(double peak) { RaiseToAtLeast(&peak_, peak); }
 
-  double value() const { return value_; }
-  double peak() const { return peak_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  double peak() const { return peak_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
-  double peak_ = 0.0;
+  static void RaiseToAtLeast(std::atomic<double>* target, double value) {
+    double current = target->load(std::memory_order_relaxed);
+    while (value > current &&
+           !target->compare_exchange_weak(current, value,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<double> value_{0.0};
+  std::atomic<double> peak_{0.0};
 };
 
 // Find-or-create registry of named metrics. Returned pointers are stable
 // for the registry's lifetime, so components cache them once and increment
-// without lookups.
+// without lookups. find-or-create and iteration are mutex-guarded (they
+// are off the hot path); the iteration callbacks must not call back into
+// the same registry.
 class MetricsRegistry {
  public:
   Counter* counter(std::string_view name);
@@ -67,14 +96,17 @@ class MetricsRegistry {
   // Iteration in name order (export, tests).
   template <typename Fn>
   void ForEachCounter(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, counter] : counters_) fn(name, *counter);
   }
   template <typename Fn>
   void ForEachGauge(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, gauge] : gauges_) fn(name, *gauge);
   }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
 };
@@ -84,6 +116,43 @@ class MetricsRegistry {
 // role-specific prefixes; per-instance structures (searches, pagers) share
 // one counter per event kind.
 MetricsRegistry& GlobalMetrics();
+
+// Per-thread mirror of the tracked cross-layer counters. The instrumented
+// hot paths (BufferManager hits/misses via its attached role, wavefront
+// settles, dominance tests, the search-heap gauge) bump the calling
+// thread's block in addition to the global registry. A query executes on
+// exactly one thread, so deltas of this block taken around a query window
+// count that query's work and nothing else — the substrate for per-query
+// QueryStats and span attribution under a concurrent executor.
+struct ThreadCounters {
+  std::uint64_t network_hits = 0;     // buffer.network.hits
+  std::uint64_t network_misses = 0;   // buffer.network.misses
+  std::uint64_t index_hits = 0;       // buffer.index.hits
+  std::uint64_t index_misses = 0;     // buffer.index.misses
+  std::uint64_t settled_nodes = 0;    // graph.settled_nodes
+  std::uint64_t dominance_tests = 0;  // core.dominance_tests
+  // Thread-scoped view of the core.heap_peak gauge, with the same
+  // level+high-water semantics.
+  double heap_value = 0.0;
+  double heap_peak = 0.0;
+
+  void UpdateHeap(double value) {
+    heap_value = value;
+    if (value > heap_peak) heap_peak = value;
+  }
+  void ResetHeapPeak() { heap_peak = heap_value; }
+  void MergeHeapPeak(double peak) {
+    if (peak > heap_peak) heap_peak = peak;
+  }
+
+  std::uint64_t network_accesses() const {
+    return network_hits + network_misses;
+  }
+  std::uint64_t index_accesses() const { return index_hits + index_misses; }
+};
+
+// The calling thread's counter block.
+ThreadCounters& ThreadLocalCounters();
 
 // Well-known metric names. The buffer prefixes are what Workload attaches
 // its two pools under; TraceSession tracks the counters listed here.

@@ -45,7 +45,8 @@ SpanCounters QueryProfile::TotalCounters() const {
 }
 
 TraceSession::TraceSession(MetricsRegistry* registry)
-    : network_hits_(registry->counter(metric::kNetworkBufferHits)),
+    : per_thread_(registry == &GlobalMetrics()),
+      network_hits_(registry->counter(metric::kNetworkBufferHits)),
       network_misses_(registry->counter(metric::kNetworkBufferMisses)),
       index_hits_(registry->counter(metric::kIndexBufferHits)),
       index_misses_(registry->counter(metric::kIndexBufferMisses)),
@@ -55,6 +56,19 @@ TraceSession::TraceSession(MetricsRegistry* registry)
 
 TraceSession::Snapshot TraceSession::Read() const {
   Snapshot snap;
+  if (per_thread_) {
+    // The instrumented hot paths bump the thread-local block alongside the
+    // global counters, so this thread's view is exact even while other
+    // workers advance the shared totals.
+    const ThreadCounters& tc = ThreadLocalCounters();
+    snap.network_hits = tc.network_hits;
+    snap.network_misses = tc.network_misses;
+    snap.index_hits = tc.index_hits;
+    snap.index_misses = tc.index_misses;
+    snap.settled_nodes = tc.settled_nodes;
+    snap.dominance_tests = tc.dominance_tests;
+    return snap;
+  }
   snap.network_hits = network_hits_->value();
   snap.network_misses = network_misses_->value();
   snap.index_hits = index_hits_->value();
@@ -62,6 +76,26 @@ TraceSession::Snapshot TraceSession::Read() const {
   snap.settled_nodes = settled_nodes_->value();
   snap.dominance_tests = dominance_tests_->value();
   return snap;
+}
+
+double TraceSession::HeapPeak() const {
+  return per_thread_ ? ThreadLocalCounters().heap_peak : heap_peak_->peak();
+}
+
+void TraceSession::HeapResetPeak() {
+  if (per_thread_) {
+    ThreadLocalCounters().ResetHeapPeak();
+  } else {
+    heap_peak_->ResetPeak();
+  }
+}
+
+void TraceSession::HeapMergePeak(double peak) {
+  if (per_thread_) {
+    ThreadLocalCounters().MergeHeapPeak(peak);
+  } else {
+    heap_peak_->MergePeak(peak);
+  }
 }
 
 void TraceSession::Attribute() {
@@ -96,16 +130,16 @@ int TraceSession::OpenSpan(std::string_view name) {
   stack_.push_back(id);
   // Scope the heap high-water mark to this span; the outer peak is folded
   // back in at close.
-  saved_peaks_.push_back(heap_peak_->peak());
-  heap_peak_->ResetPeak();
+  saved_peaks_.push_back(HeapPeak());
+  HeapResetPeak();
   return id;
 }
 
 void TraceSession::CloseTop(double now) {
   SpanRecord& span = spans_[stack_.back()];
   span.end_seconds = now - epoch_;
-  span.heap_peak = heap_peak_->peak();
-  heap_peak_->MergePeak(saved_peaks_.back());
+  span.heap_peak = HeapPeak();
+  HeapMergePeak(saved_peaks_.back());
   if (span.parent >= 0) {
     spans_[span.parent].child_seconds += span.duration_seconds();
   }

@@ -73,8 +73,15 @@ struct QueryProfile {
 
 // Records one span tree. Reusable: Take() returns the finished profile and
 // resets the session for the next query. Spans must not outlive the Take()
-// of the session they were opened in. Single-threaded, like the stack it
-// instruments.
+// of the session they were opened in.
+//
+// A session is owned by one thread (each QueryExecutor worker constructs
+// its own). When tracking the global registry it snapshots the calling
+// thread's obs::ThreadCounters instead of the shared totals, so span deltas
+// cover exactly the owning thread's work — other workers hammering the same
+// buffer pools never leak into this query's profile, and the exact
+// self-sum == root-inclusive reconciliation survives concurrency. A custom
+// registry (isolated tests) is snapshotted directly, as before.
 class TraceSession {
  public:
   // Tracked counters are resolved from `registry` once at construction.
@@ -110,6 +117,15 @@ class TraceSession {
   void Attribute();
   void CloseTop(double now);
 
+  // Heap-gauge scoping, routed to the thread-local block or the registry
+  // gauge depending on the mode.
+  double HeapPeak() const;
+  void HeapResetPeak();
+  void HeapMergePeak(double peak);
+
+  // True when tracking the global registry: snapshots come from the calling
+  // thread's ThreadCounters rather than the shared atomic totals.
+  bool per_thread_;
   Counter* network_hits_;
   Counter* network_misses_;
   Counter* index_hits_;

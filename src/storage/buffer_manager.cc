@@ -1,5 +1,6 @@
 #include "storage/buffer_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -8,13 +9,35 @@
 
 namespace msq {
 
+void PageGuard::Release() {
+  if (pool_ != nullptr && frame_ != nullptr) {
+    pool_->Unpin(shard_, frame_);
+  }
+  pool_ = nullptr;
+  frame_ = nullptr;
+  page_ = nullptr;
+  id_ = kInvalidPage;
+}
+
 BufferManager::BufferManager(DiskManager* disk, std::size_t frames,
-                             RetryPolicy retry)
+                             RetryPolicy retry, std::size_t shards)
     : disk_(disk), frames_(frames), retry_(retry) {
   MSQ_CHECK(disk != nullptr);
   MSQ_CHECK(frames >= 1);
   MSQ_CHECK(retry.max_read_attempts >= 1);
   MSQ_CHECK(retry.max_write_attempts >= 1);
+  if (shards == 0) {
+    shards = std::clamp<std::size_t>(frames / 8, 1, 16);
+  }
+  shard_count_ = std::clamp<std::size_t>(shards, 1, frames);
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  // Distribute capacity round-robin so every shard can hold at least one
+  // frame and the caps sum exactly to `frames`.
+  const std::size_t base = frames / shard_count_;
+  const std::size_t extra = frames % shard_count_;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    shards_[i].capacity = base + (i < extra ? 1 : 0);
+  }
 }
 
 void BufferManager::AttachMetrics(obs::MetricsRegistry* registry,
@@ -25,13 +48,48 @@ void BufferManager::AttachMetrics(obs::MetricsRegistry* registry,
   metric_misses_ = registry->counter(base + ".misses");
   metric_evictions_ = registry->counter(base + ".evictions");
   metric_writebacks_ = registry->counter(base + ".writebacks");
+  if (prefix == obs::metric::kNetworkBufferPrefix) {
+    role_ = BufferRole::kNetwork;
+  } else if (prefix == obs::metric::kIndexBufferPrefix) {
+    role_ = BufferRole::kIndex;
+  }
+}
+
+void BufferManager::CountHit() {
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  if (metric_hits_ != nullptr) metric_hits_->Inc();
+  switch (role_) {
+    case BufferRole::kNetwork:
+      ++obs::ThreadLocalCounters().network_hits;
+      break;
+    case BufferRole::kIndex:
+      ++obs::ThreadLocalCounters().index_hits;
+      break;
+    case BufferRole::kNone:
+      break;
+  }
+}
+
+void BufferManager::CountMiss() {
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  if (metric_misses_ != nullptr) metric_misses_->Inc();
+  switch (role_) {
+    case BufferRole::kNetwork:
+      ++obs::ThreadLocalCounters().network_misses;
+      break;
+    case BufferRole::kIndex:
+      ++obs::ThreadLocalCounters().index_misses;
+      break;
+    case BufferRole::kNone:
+      break;
+  }
 }
 
 Status BufferManager::ReadWithRetry(PageId id, Page* out) {
   Status status;
   for (int attempt = 0; attempt < retry_.max_read_attempts; ++attempt) {
     if (attempt > 0) {
-      ++stats_.read_retries;
+      stats_.read_retries.fetch_add(1, std::memory_order_relaxed);
       if (retry_.backoff_micros > 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(retry_.backoff_micros << (attempt - 1)));
@@ -40,7 +98,7 @@ Status BufferManager::ReadWithRetry(PageId id, Page* out) {
     status = disk_->Read(id, out);
     if (status.ok() || !status.transient()) break;
   }
-  if (!status.ok()) ++stats_.failed_reads;
+  if (!status.ok()) stats_.failed_reads.fetch_add(1, std::memory_order_relaxed);
   return status;
 }
 
@@ -48,7 +106,7 @@ Status BufferManager::WriteWithRetry(PageId id, const Page& page) {
   Status status;
   for (int attempt = 0; attempt < retry_.max_write_attempts; ++attempt) {
     if (attempt > 0) {
-      ++stats_.write_retries;
+      stats_.write_retries.fetch_add(1, std::memory_order_relaxed);
       if (retry_.backoff_micros > 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(retry_.backoff_micros << (attempt - 1)));
@@ -60,61 +118,111 @@ Status BufferManager::WriteWithRetry(PageId id, const Page& page) {
   return status;
 }
 
-StatusOr<Page*> BufferManager::Fetch(PageId id, bool mark_dirty) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    ++stats_.hits;
-    if (metric_hits_ != nullptr) metric_hits_->Inc();
-    // Move to MRU position.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    it->second->dirty |= mark_dirty;
-    return &it->second->page;
+StatusOr<PageGuard> BufferManager::Fetch(PageId id, bool mark_dirty) {
+  const std::size_t shard_index = id % shard_count_;
+  Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.table.find(id); it != shard.table.end()) {
+    CountHit();
+    // Move to MRU position; list splice keeps the frame's address stable,
+    // which is what lets outstanding guards survive the reordering.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    Frame& frame = *it->second;
+    frame.dirty |= mark_dirty;
+    ++frame.pins;
+    return PageGuard(this, shard_index, &frame, &frame.page, id);
   }
-  ++stats_.misses;
-  if (metric_misses_ != nullptr) metric_misses_->Inc();
-  if (lru_.size() >= frames_) {
-    if (Status status = EvictOne(); !status.ok()) return status;
-  }
+  CountMiss();
+  if (Status status = EvictLocked(shard); !status.ok()) return status;
   // Read into a scratch frame first so a failed read leaves no stale entry
   // in the pool.
-  lru_.emplace_front();
-  Frame& frame = lru_.front();
+  shard.lru.emplace_front();
+  Frame& frame = shard.lru.front();
   frame.id = id;
   frame.dirty = mark_dirty;
   if (Status status = ReadWithRetry(id, &frame.page); !status.ok()) {
-    lru_.pop_front();
+    shard.lru.pop_front();
     return status;
   }
-  table_[id] = lru_.begin();
-  return &frame.page;
+  frame.pins = 1;
+  shard.table[id] = shard.lru.begin();
+  return PageGuard(this, shard_index, &frame, &frame.page, id);
 }
 
-StatusOr<std::pair<PageId, Page*>> BufferManager::AllocatePage() {
+StatusOr<PageGuard> BufferManager::AllocatePage() {
   StatusOr<PageId> id = disk_->Allocate();
   if (!id.ok()) return id.status();
-  if (lru_.size() >= frames_) {
-    if (Status status = EvictOne(); !status.ok()) return status;
-  }
-  lru_.emplace_front();
-  Frame& frame = lru_.front();
+  const std::size_t shard_index = *id % shard_count_;
+  Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (Status status = EvictLocked(shard); !status.ok()) return status;
+  shard.lru.emplace_front();
+  Frame& frame = shard.lru.front();
   frame.id = *id;
   frame.dirty = true;
-  table_[*id] = lru_.begin();
-  return std::pair<PageId, Page*>{*id, &frame.page};
+  frame.pins = 1;
+  shard.table[*id] = shard.lru.begin();
+  return PageGuard(this, shard_index, &frame, &frame.page, *id);
+}
+
+void BufferManager::Unpin(std::size_t shard_index, void* frame) {
+  Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Frame* f = static_cast<Frame*>(frame);
+  MSQ_CHECK(f->pins > 0);
+  --f->pins;
+}
+
+Status BufferManager::EvictLocked(Shard& shard) {
+  while (shard.lru.size() >= shard.capacity) {
+    // Victim: the least-recently-used unpinned frame. The back of the list
+    // is normally unpinned, so this scan is O(1) in the steady state.
+    auto victim = shard.lru.end();
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      if (it->pins == 0) {
+        victim = std::prev(it.base());
+        break;
+      }
+    }
+    if (victim == shard.lru.end()) {
+      // Every frame is pinned: overflow temporarily rather than deadlock or
+      // fail — later fetches shrink the shard back under capacity.
+      return Status();
+    }
+    if (victim->dirty) {
+      Status status = WriteWithRetry(victim->id, victim->page);
+      if (!status.ok()) {
+        stats_.failed_writebacks.fetch_add(1, std::memory_order_relaxed);
+        return status;
+      }
+      victim->dirty = false;
+      stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+      if (metric_writebacks_ != nullptr) metric_writebacks_->Inc();
+    }
+    shard.table.erase(victim->id);
+    shard.lru.erase(victim);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (metric_evictions_ != nullptr) metric_evictions_->Inc();
+  }
+  return Status();
 }
 
 Status BufferManager::FlushAll() {
   Status first_error;
-  for (Frame& frame : lru_) {
-    if (!frame.dirty) continue;
-    Status status = WriteWithRetry(frame.id, frame.page);
-    if (status.ok()) {
-      frame.dirty = false;
-      ++stats_.dirty_writebacks;
-      if (metric_writebacks_ != nullptr) metric_writebacks_->Inc();
-    } else {
-      ++stats_.failed_writebacks;
-      if (first_error.ok()) first_error = status;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Frame& frame : shard.lru) {
+      if (!frame.dirty) continue;
+      Status status = WriteWithRetry(frame.id, frame.page);
+      if (status.ok()) {
+        frame.dirty = false;
+        stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+        if (metric_writebacks_ != nullptr) metric_writebacks_->Inc();
+      } else {
+        stats_.failed_writebacks.fetch_add(1, std::memory_order_relaxed);
+        if (first_error.ok()) first_error = status;
+      }
     }
   }
   return first_error;
@@ -122,29 +230,66 @@ Status BufferManager::FlushAll() {
 
 Status BufferManager::Clear() {
   if (Status status = FlushAll(); !status.ok()) return status;
-  lru_.clear();
-  table_.clear();
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->pins > 0) {
+        ++it;
+        continue;
+      }
+      shard.table.erase(it->id);
+      it = shard.lru.erase(it);
+    }
+  }
   return Status();
 }
 
-Status BufferManager::EvictOne() {
-  MSQ_CHECK(!lru_.empty());
-  Frame& victim = lru_.back();
-  if (victim.dirty) {
-    Status status = WriteWithRetry(victim.id, victim.page);
-    if (!status.ok()) {
-      ++stats_.failed_writebacks;
-      return status;
-    }
-    victim.dirty = false;
-    ++stats_.dirty_writebacks;
-    if (metric_writebacks_ != nullptr) metric_writebacks_->Inc();
+BufferStats BufferManager::stats() const {
+  BufferStats snapshot;
+  snapshot.hits = stats_.hits.load(std::memory_order_relaxed);
+  snapshot.misses = stats_.misses.load(std::memory_order_relaxed);
+  snapshot.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  snapshot.dirty_writebacks =
+      stats_.dirty_writebacks.load(std::memory_order_relaxed);
+  snapshot.read_retries = stats_.read_retries.load(std::memory_order_relaxed);
+  snapshot.write_retries =
+      stats_.write_retries.load(std::memory_order_relaxed);
+  snapshot.failed_reads = stats_.failed_reads.load(std::memory_order_relaxed);
+  snapshot.failed_writebacks =
+      stats_.failed_writebacks.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void BufferManager::ResetStats() {
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.dirty_writebacks.store(0, std::memory_order_relaxed);
+  stats_.read_retries.store(0, std::memory_order_relaxed);
+  stats_.write_retries.store(0, std::memory_order_relaxed);
+  stats_.failed_reads.store(0, std::memory_order_relaxed);
+  stats_.failed_writebacks.store(0, std::memory_order_relaxed);
+}
+
+std::size_t BufferManager::resident_pages() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].table.size();
   }
-  table_.erase(victim.id);
-  lru_.pop_back();
-  ++stats_.evictions;
-  if (metric_evictions_ != nullptr) metric_evictions_->Inc();
-  return Status();
+  return total;
+}
+
+std::size_t BufferManager::pinned_pages() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    for (const Frame& frame : shards_[i].lru) {
+      if (frame.pins > 0) ++total;
+    }
+  }
+  return total;
 }
 
 }  // namespace msq

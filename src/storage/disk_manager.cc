@@ -25,8 +25,10 @@ Status InMemoryDiskManager::Read(PageId id, Page* out) {
     return Status::InvalidArgument("read of unallocated page " +
                                    std::to_string(id));
   }
+  // Distinct pages live in distinct heap allocations and same-page access is
+  // serialized by the buffer shard that owns the page, so no lock is needed.
   *out = *pages_[id];
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status();
 }
 
@@ -36,7 +38,7 @@ Status InMemoryDiskManager::Write(PageId id, const Page& page) {
                                    std::to_string(id));
   }
   *pages_[id] = page;
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status();
 }
 
@@ -107,18 +109,21 @@ Status FileDiskManager::WriteSlot(PageId id, const Page& page) {
 }
 
 StatusOr<PageId> FileDiskManager::Allocate() {
+  std::lock_guard<std::mutex> lock(io_mu_);
   const Page zero{};
-  const PageId id = static_cast<PageId>(page_count_);
+  const PageId id =
+      static_cast<PageId>(page_count_.load(std::memory_order_relaxed));
   if (Status status = WriteSlot(id, zero); !status.ok()) return status;
-  ++page_count_;
+  page_count_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
 Status FileDiskManager::Read(PageId id, Page* out) {
-  if (id >= page_count_) {
+  if (id >= page_count_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("read of unallocated page " +
                                    std::to_string(id) + " of " + path_);
   }
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (std::fseek(file_,
                  static_cast<long>(static_cast<std::size_t>(id) * kSlotSize),
                  SEEK_SET) != 0) {
@@ -154,17 +159,18 @@ Status FileDiskManager::Read(PageId id, Page* out) {
   if (crc != trailer.payload_crc) {
     return Status::Corruption(PageContext(path_, id, "checksum mismatch on"));
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status();
 }
 
 Status FileDiskManager::Write(PageId id, const Page& page) {
-  if (id >= page_count_) {
+  if (id >= page_count_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("write of unallocated page " +
                                    std::to_string(id) + " of " + path_);
   }
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (Status status = WriteSlot(id, page); !status.ok()) return status;
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status();
 }
 

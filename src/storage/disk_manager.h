@@ -15,8 +15,10 @@
 #ifndef MSQ_STORAGE_DISK_MANAGER_H_
 #define MSQ_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,8 +27,9 @@
 
 namespace msq {
 
-// Abstract page store. Not thread-safe; queries in this library are
-// single-threaded, as in the paper.
+// Abstract page store. Concurrent Read/Write calls on distinct pages are
+// safe (the sharded BufferManager above serializes same-page access);
+// Allocate happens at build time, before queries run concurrently.
 class DiskManager {
  public:
   virtual ~DiskManager() = default;
@@ -44,16 +47,20 @@ class DiskManager {
   // Cumulative successful physical read/write counters (for I/O accounting
   // tests; the benchmark metric is buffer-miss counts from BufferManager,
   // which equal physical reads here).
-  std::uint64_t reads() const { return reads_; }
-  std::uint64_t writes() const { return writes_; }
+  std::uint64_t reads() const {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t writes() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
-    reads_ = 0;
-    writes_ = 0;
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
   }
 
  protected:
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
 };
 
 // Heap-backed page store. Never fails except on out-of-range ids.
@@ -102,17 +109,22 @@ class FileDiskManager final : public DiskManager {
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) override;
   Status Write(PageId id, const Page& page) override;
-  std::size_t PageCount() const override { return page_count_; }
+  std::size_t PageCount() const override {
+    return page_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   FileDiskManager(std::FILE* file, std::string path, std::size_t page_count);
 
-  // Seeks to `id`'s slot and writes payload + trailer.
+  // Seeks to `id`'s slot and writes payload + trailer. Caller holds io_mu_.
   Status WriteSlot(PageId id, const Page& page);
 
+  // The single FILE* carries one seek position, so concurrent page I/O from
+  // different buffer shards must serialize around seek+read/write pairs.
+  std::mutex io_mu_;
   std::FILE* file_;
   std::string path_;  // for error messages
-  std::size_t page_count_;
+  std::atomic<std::size_t> page_count_;
 };
 
 }  // namespace msq

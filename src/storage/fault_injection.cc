@@ -9,11 +9,18 @@ FaultInjectingDiskManager::FaultInjectingDiskManager(
     : inner_(inner), config_(config), rng_(config.seed) {}
 
 void FaultInjectingDiskManager::FailNextReads(int count, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (int i = 0; i < count; ++i) scripted_read_faults_.push_back(code);
 }
 
 void FaultInjectingDiskManager::FailNextWrites(int count, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (int i = 0; i < count; ++i) scripted_write_faults_.push_back(code);
+}
+
+FaultInjectionStats FaultInjectingDiskManager::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_stats_;
 }
 
 Status FaultInjectingDiskManager::MakeFault(StatusCode code, const char* op,
@@ -40,51 +47,57 @@ std::size_t FaultInjectingDiskManager::PageCount() const {
 }
 
 Status FaultInjectingDiskManager::Read(PageId id, Page* out) {
-  if (!scripted_read_faults_.empty()) {
-    const StatusCode code = scripted_read_faults_.front();
-    scripted_read_faults_.pop_front();
-    ++fault_stats_.injected_scripted_faults;
-    return MakeFault(code, "read", id);
-  }
-  if (armed_) {
-    if (dead_pages_.count(id) > 0) {
-      ++fault_stats_.injected_persistent_reads;
-      return MakeFault(StatusCode::kIoError, "read (dead page)", id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!scripted_read_faults_.empty()) {
+      const StatusCode code = scripted_read_faults_.front();
+      scripted_read_faults_.pop_front();
+      ++fault_stats_.injected_scripted_faults;
+      return MakeFault(code, "read", id);
     }
-    // One uniform draw per read, carved into disjoint intervals, keeps the
-    // schedule a pure function of the seed and the read sequence.
-    const double roll = rng_.NextDouble();
-    double edge = config_.transient_read_rate;
-    if (roll < edge) {
-      ++fault_stats_.injected_transient_reads;
-      return MakeFault(StatusCode::kUnavailable, "read", id);
-    }
-    edge += config_.persistent_read_rate;
-    if (roll < edge) {
-      dead_pages_.insert(id);
-      ++fault_stats_.injected_persistent_reads;
-      return MakeFault(StatusCode::kIoError, "read (dead page)", id);
-    }
-    edge += config_.corrupt_read_rate;
-    if (roll < edge) {
-      ++fault_stats_.injected_corrupt_reads;
-      return MakeFault(StatusCode::kCorruption, "read", id);
+    if (armed()) {
+      if (dead_pages_.count(id) > 0) {
+        ++fault_stats_.injected_persistent_reads;
+        return MakeFault(StatusCode::kIoError, "read (dead page)", id);
+      }
+      // One uniform draw per read, carved into disjoint intervals, keeps the
+      // schedule a pure function of the seed and the read sequence.
+      const double roll = rng_.NextDouble();
+      double edge = config_.transient_read_rate;
+      if (roll < edge) {
+        ++fault_stats_.injected_transient_reads;
+        return MakeFault(StatusCode::kUnavailable, "read", id);
+      }
+      edge += config_.persistent_read_rate;
+      if (roll < edge) {
+        dead_pages_.insert(id);
+        ++fault_stats_.injected_persistent_reads;
+        return MakeFault(StatusCode::kIoError, "read (dead page)", id);
+      }
+      edge += config_.corrupt_read_rate;
+      if (roll < edge) {
+        ++fault_stats_.injected_corrupt_reads;
+        return MakeFault(StatusCode::kCorruption, "read", id);
+      }
     }
   }
   return inner_->Read(id, out);
 }
 
 Status FaultInjectingDiskManager::Write(PageId id, const Page& page) {
-  if (!scripted_write_faults_.empty()) {
-    const StatusCode code = scripted_write_faults_.front();
-    scripted_write_faults_.pop_front();
-    ++fault_stats_.injected_scripted_faults;
-    return MakeFault(code, "write", id);
-  }
-  if (armed_ && config_.write_error_rate > 0.0 &&
-      rng_.NextDouble() < config_.write_error_rate) {
-    ++fault_stats_.injected_write_errors;
-    return MakeFault(StatusCode::kIoError, "write", id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!scripted_write_faults_.empty()) {
+      const StatusCode code = scripted_write_faults_.front();
+      scripted_write_faults_.pop_front();
+      ++fault_stats_.injected_scripted_faults;
+      return MakeFault(code, "write", id);
+    }
+    if (armed() && config_.write_error_rate > 0.0 &&
+        rng_.NextDouble() < config_.write_error_rate) {
+      ++fault_stats_.injected_write_errors;
+      return MakeFault(StatusCode::kIoError, "write", id);
+    }
   }
   return inner_->Write(id, page);
 }

@@ -24,8 +24,10 @@
 #ifndef MSQ_STORAGE_FAULT_INJECTION_H_
 #define MSQ_STORAGE_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <unordered_set>
 
 #include "common/rng.h"
@@ -61,6 +63,12 @@ struct FaultInjectionStats {
 
 // Decorator over an unowned inner DiskManager. Allocate passes through
 // untouched (allocation happens at build time, before faults are armed).
+//
+// Thread-safe: concurrent reads/writes from the sharded buffer pool draw
+// faults under an internal mutex, so the injected-fault accounting stays
+// exact under the hammer tests. The fault *schedule* is deterministic per
+// seed only for a deterministic operation order — single-threaded tests
+// keep exact reproducibility, concurrent tests assert on invariants.
 class FaultInjectingDiskManager final : public DiskManager {
  public:
   // `inner` must outlive this decorator.
@@ -69,16 +77,18 @@ class FaultInjectingDiskManager final : public DiskManager {
   // Probabilistic injection gate. Construction starts disarmed so the
   // structure build phase runs fault-free; tests arm after the stack is
   // built and flushed.
-  void Arm() { armed_ = true; }
-  void Disarm() { armed_ = false; }
-  bool armed() const { return armed_; }
+  void Arm() { armed_.store(true, std::memory_order_relaxed); }
+  void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
   // Scripted faults: the next `count` Read/Write calls fail with `code`
   // regardless of the armed state. Queued codes fire in FIFO order.
   void FailNextReads(int count, StatusCode code);
   void FailNextWrites(int count, StatusCode code);
 
-  const FaultInjectionStats& fault_stats() const { return fault_stats_; }
+  // Snapshot of the injected-fault counters (by value: the live counters
+  // may advance concurrently).
+  FaultInjectionStats fault_stats() const;
   DiskManager* inner() { return inner_; }
 
   StatusOr<PageId> Allocate() override;
@@ -91,8 +101,11 @@ class FaultInjectingDiskManager final : public DiskManager {
 
   DiskManager* inner_;
   FaultInjectionConfig config_;
+  std::atomic<bool> armed_{false};
+  // Guards the rng, scripted queues, dead-page set, and stats — everything
+  // that makes a fault decision. Inner I/O happens outside the lock.
+  mutable std::mutex mu_;
   Rng rng_;
-  bool armed_ = false;
   std::deque<StatusCode> scripted_read_faults_;
   std::deque<StatusCode> scripted_write_faults_;
   std::unordered_set<PageId> dead_pages_;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "obs/metrics.h"
+
 namespace msq {
 namespace {
 
@@ -34,6 +37,62 @@ TEST(DominanceTest, AllFinite) {
   EXPECT_TRUE(AllFinite({1, 2, 3}));
   EXPECT_FALSE(AllFinite({1, kInfDist}));
   EXPECT_TRUE(AllFinite({}));
+}
+
+TEST(DominanceSummaryTest, SummarizeComputesComponentRange) {
+  const DistSummary s = Summarize({3, 1, 2});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(DominanceSummaryTest, EarlyExitCasesRefuteWithoutComponentScan) {
+  // Candidate min above incumbent max: the issue's canonical fast refute.
+  const DistVector a = {5, 6};
+  const DistVector b = {1, 2};
+  EXPECT_FALSE(DominatesWithSummary(a, Summarize(a), b, Summarize(b)));
+  // min(a) > min(b) alone refutes even when the ranges overlap.
+  const DistVector c = {2, 9};
+  const DistVector d = {1, 10};
+  EXPECT_FALSE(DominatesWithSummary(c, Summarize(c), d, Summarize(d)));
+  // max(a) > max(b) alone refutes too.
+  const DistVector e = {1, 11};
+  EXPECT_FALSE(DominatesWithSummary(e, Summarize(e), d, Summarize(d)));
+}
+
+TEST(DominanceSummaryTest, AgreesWithDominatesOnRandomVectors) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::size_t dims = 1 + rng.NextBounded(5);
+    DistVector a(dims), b(dims);
+    for (std::size_t i = 0; i < dims; ++i) {
+      // A tiny value domain makes ties, dominance, and summary-overlap
+      // cases all frequent.
+      a[i] = static_cast<Dist>(rng.NextBounded(4));
+      b[i] = static_cast<Dist>(rng.NextBounded(4));
+    }
+    EXPECT_EQ(DominatesWithSummary(a, Summarize(a), b, Summarize(b)),
+              Dominates(a, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(DominanceSummaryTest, FastPathStillCountsAsOneDominanceTest) {
+  // Whether the summary refutes in O(1) or the component loop runs, the
+  // dominance-test accounting must advance identically, or QueryStats and
+  // profiles would depend on which path resolved the comparison.
+  const DistVector lo = {1, 2};
+  const DistVector hi = {5, 6};
+  const obs::ThreadCounters& tc = obs::ThreadLocalCounters();
+
+  std::uint64_t before = tc.dominance_tests;
+  EXPECT_FALSE(
+      DominatesWithSummary(hi, Summarize(hi), lo, Summarize(lo)));  // fast
+  EXPECT_EQ(tc.dominance_tests, before + 1);
+
+  before = tc.dominance_tests;
+  EXPECT_TRUE(
+      DominatesWithSummary(lo, Summarize(lo), hi, Summarize(hi)));  // loop
+  EXPECT_EQ(tc.dominance_tests, before + 1);
 }
 
 TEST(SkylineIndicesTest, BasicSkyline) {

@@ -184,7 +184,7 @@ TEST(BufferAttributionTest, ScriptedFetchesLandInTheRightSpans) {
   for (PageId& id : pages) {
     auto alloc = buffer.AllocatePage();
     ASSERT_TRUE(alloc.ok());
-    id = alloc.value().first;
+    id = alloc.value().id();
   }
   ASSERT_TRUE(buffer.Clear().ok());  // next fetch of any page is a miss
 
@@ -215,7 +215,9 @@ TEST(BufferAttributionTest, UnattachedPoolReportsNothing) {
   BufferManager buffer(&disk, /*frames=*/2);
   auto alloc = buffer.AllocatePage();
   ASSERT_TRUE(alloc.ok());
-  ASSERT_TRUE(buffer.Fetch(alloc.value().first).ok());
+  const PageId id = alloc.value().id();
+  alloc.value().Release();
+  ASSERT_TRUE(buffer.Fetch(id).ok());
   EXPECT_GT(buffer.stats().accesses(), 0u);  // pool counts, registry silent
 }
 

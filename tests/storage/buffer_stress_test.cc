@@ -95,14 +95,14 @@ TEST_P(BufferStressTest, MatchesReferenceModel) {
     const bool write = rng.NextBounded(3) == 0;
     const int value = write ? static_cast<int>(rng.NextBounded(1 << 20)) : -1;
 
-    Page* page = buffer.Fetch(static_cast<PageId>(id), write).value();
+    PageGuard page = buffer.Fetch(static_cast<PageId>(id), write).value();
     const int visible_before = ReadInt(*page);
     const int expected =
         write ? value
               : reference.Access(id, -1);
     if (write) {
       reference.Access(id, value);
-      WriteInt(page, value);
+      WriteInt(page.page(), value);
     } else {
       EXPECT_EQ(visible_before, expected) << "op " << op << " page " << id;
     }

@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -103,6 +104,7 @@ TEST(BufferFaultTest, TransientReadIsRetriedToSuccess) {
   auto fetched = buffer.Fetch(a);
   ASSERT_TRUE(fetched.ok());
   EXPECT_EQ((*fetched)->data[0], static_cast<std::byte>(0x7e));
+  (*fetched).Release();
   EXPECT_EQ(buffer.stats().read_retries, 2u);
   EXPECT_EQ(buffer.stats().failed_reads, 0u);
 }
@@ -121,6 +123,26 @@ TEST(BufferFaultTest, TransientReadBeyondPolicyFailsCleanly) {
   // The failed miss must not leave a stale frame behind.
   EXPECT_EQ(buffer.resident_pages(), 0u);
   EXPECT_TRUE(buffer.Fetch(a).ok());  // next attempt is a clean miss
+}
+
+TEST(BufferFaultTest, NonzeroBackoffActuallySleepsBetweenRetries) {
+  InMemoryDiskManager inner;
+  FaultInjectingDiskManager disk(&inner, FaultInjectionConfig{});
+  const PageId a = disk.Allocate().value();
+
+  RetryPolicy retry;
+  retry.backoff_micros = 2000;  // retries sleep 2ms, then 4ms
+  BufferManager buffer(&disk, 4, retry);
+  disk.FailNextReads(2, StatusCode::kUnavailable);
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(buffer.Fetch(a).ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(buffer.stats().read_retries, 2u);
+  // Two exponential backoff sleeps total >= 6ms; allow scheduler slop but
+  // catch a backoff that never sleeps at all.
+  EXPECT_GE(elapsed.count(), 5000);
 }
 
 TEST(BufferFaultTest, CorruptionIsNotRetried) {
@@ -143,8 +165,10 @@ TEST(BufferFaultTest, FailedWritebackKeepsDirtyPageResident) {
   const PageId b = disk.Allocate().value();
 
   BufferManager buffer(&disk, 1);
-  Page* page = buffer.Fetch(a, /*mark_dirty=*/true).value();
-  page->data[0] = static_cast<std::byte>(0x42);
+  {
+    PageGuard page = buffer.Fetch(a, /*mark_dirty=*/true).value();
+    page->data[0] = static_cast<std::byte>(0x42);
+  }  // unpin so fetching `b` must try to evict `a`
 
   // Eviction of `a` needs a writeback; make it fail (non-transient, so the
   // retry policy does not mask it).
@@ -156,8 +180,9 @@ TEST(BufferFaultTest, FailedWritebackKeepsDirtyPageResident) {
 
   // Regression: the dirty frame must survive the failed eviction...
   EXPECT_EQ(buffer.resident_pages(), 1u);
-  Page* again = buffer.Fetch(a).value();
+  PageGuard again = buffer.Fetch(a).value();
   EXPECT_EQ(again->data[0], static_cast<std::byte>(0x42));
+  again.Release();
   // ...and reach the disk once writes heal.
   ASSERT_TRUE(buffer.FlushAll().ok());
   Page out;
@@ -171,8 +196,10 @@ TEST(BufferFaultTest, ClearFailureDropsNothing) {
   const PageId a = disk.Allocate().value();
 
   BufferManager buffer(&disk, 4);
-  Page* page = buffer.Fetch(a, /*mark_dirty=*/true).value();
-  page->data[5] = static_cast<std::byte>(0x66);
+  {
+    PageGuard page = buffer.Fetch(a, /*mark_dirty=*/true).value();
+    page->data[5] = static_cast<std::byte>(0x66);
+  }  // unpin so Clear may drop the frame once the writeback succeeds
 
   disk.FailNextWrites(1, StatusCode::kIoError);
   ASSERT_FALSE(buffer.Clear().ok());

@@ -1,5 +1,7 @@
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -168,9 +170,11 @@ TEST(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
   const PageId b = disk.Allocate().value();
   BufferManager buffer(&disk, 1);
 
-  Page* page = buffer.Fetch(a, /*mark_dirty=*/true).value();
-  page->data[0] = static_cast<std::byte>(0x42);
-  buffer.Fetch(b);  // evicts a, must write it back
+  {
+    PageGuard guard = buffer.Fetch(a, /*mark_dirty=*/true).value();
+    guard.page()->data[0] = static_cast<std::byte>(0x42);
+  }                  // unpin so the one-frame pool may evict `a`
+  buffer.Fetch(b);   // evicts a, must write it back
 
   Page out;
   disk.Read(a, &out);
@@ -192,8 +196,9 @@ TEST(BufferManagerTest, CleanPageNotWrittenBack) {
 TEST(BufferManagerTest, AllocatePageIsResidentAndDirty) {
   InMemoryDiskManager disk;
   BufferManager buffer(&disk, 2);
-  auto [id, page] = buffer.AllocatePage().value();
-  page->data[7] = static_cast<std::byte>(0x99);
+  PageGuard guard = buffer.AllocatePage().value();
+  const PageId id = guard.id();
+  guard.page()->data[7] = static_cast<std::byte>(0x99);
   ASSERT_TRUE(buffer.FlushAll().ok());
   Page out;
   disk.Read(id, &out);
@@ -221,11 +226,89 @@ TEST(BufferManagerTest, ModificationsVisibleWhileResident) {
   InMemoryDiskManager disk;
   const PageId a = disk.Allocate().value();
   BufferManager buffer(&disk, 4);
-  Page* page = buffer.Fetch(a, true).value();
-  page->data[3] = static_cast<std::byte>(0x17);
+  PageGuard page = buffer.Fetch(a, true).value();
+  page.page()->data[3] = static_cast<std::byte>(0x17);
   // Same pooled image on re-fetch.
-  Page* again = buffer.Fetch(a).value();
-  EXPECT_EQ(again->data[3], static_cast<std::byte>(0x17));
+  PageGuard again = buffer.Fetch(a).value();
+  EXPECT_EQ(again.page()->data[3], static_cast<std::byte>(0x17));
+}
+
+TEST(BufferManagerTest, PinnedFrameIsNeverEvicted) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate().value();
+  const PageId b = disk.Allocate().value();
+  const PageId c = disk.Allocate().value();
+  BufferManager buffer(&disk, 1);
+
+  PageGuard pin = buffer.Fetch(a, /*mark_dirty=*/true).value();
+  pin.page()->data[0] = static_cast<std::byte>(0x7f);
+  EXPECT_EQ(buffer.pinned_pages(), 1u);
+
+  // The only frame is pinned: the shard overflows temporarily instead of
+  // evicting the pinned page or failing.
+  ASSERT_TRUE(buffer.Fetch(b).ok());
+  ASSERT_TRUE(buffer.Fetch(c).ok());
+  EXPECT_EQ(buffer.stats().dirty_writebacks, 0u);
+  EXPECT_EQ(pin.page()->data[0], static_cast<std::byte>(0x7f));
+
+  // Unpinning lets later fetches shrink the shard back under capacity.
+  pin.Release();
+  EXPECT_EQ(buffer.pinned_pages(), 0u);
+  ASSERT_TRUE(buffer.Fetch(b).ok());
+  EXPECT_EQ(buffer.resident_pages(), 1u);
+}
+
+TEST(BufferManagerTest, ClearKeepsPinnedFrames) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate().value();
+  const PageId b = disk.Allocate().value();
+  BufferManager buffer(&disk, 4);
+  PageGuard pin = buffer.Fetch(a).value();
+  buffer.Fetch(b);
+  ASSERT_TRUE(buffer.Clear().ok());
+  EXPECT_EQ(buffer.resident_pages(), 1u);  // only the pinned frame survives
+  buffer.ResetStats();
+  buffer.Fetch(a);
+  EXPECT_EQ(buffer.stats().hits, 1u);  // still resident
+}
+
+TEST(BufferManagerTest, MovedGuardTransfersThePin) {
+  InMemoryDiskManager disk;
+  const PageId a = disk.Allocate().value();
+  BufferManager buffer(&disk, 2);
+  PageGuard outer;
+  {
+    PageGuard inner = buffer.Fetch(a).value();
+    outer = std::move(inner);
+    EXPECT_FALSE(inner.valid());
+  }  // inner's destruction must not unpin — outer owns the pin now
+  EXPECT_EQ(buffer.pinned_pages(), 1u);
+  ASSERT_TRUE(outer.valid());
+  outer.Release();
+  EXPECT_EQ(buffer.pinned_pages(), 0u);
+}
+
+TEST(BufferManagerTest, ShardCountHeuristicAndOverride) {
+  InMemoryDiskManager disk;
+  // Small pools collapse to one shard (exact-LRU unit-test semantics).
+  EXPECT_EQ(BufferManager(&disk, 8).shard_count(), 1u);
+  // The experiment default spreads across 16 shards.
+  EXPECT_EQ(BufferManager(&disk, 256).shard_count(), 16u);
+  // Explicit override wins, clamped to the frame count.
+  EXPECT_EQ(BufferManager(&disk, 16, RetryPolicy{}, 4).shard_count(), 4u);
+  EXPECT_EQ(BufferManager(&disk, 2, RetryPolicy{}, 8).shard_count(), 2u);
+}
+
+TEST(BufferManagerTest, ShardedPoolKeepsExactCounts) {
+  InMemoryDiskManager disk;
+  std::vector<PageId> pages;
+  for (int i = 0; i < 32; ++i) pages.push_back(disk.Allocate().value());
+  BufferManager buffer(&disk, 32, RetryPolicy{}, 8);
+  for (const PageId id : pages) buffer.Fetch(id);
+  for (const PageId id : pages) buffer.Fetch(id);
+  EXPECT_EQ(buffer.stats().misses, 32u);
+  EXPECT_EQ(buffer.stats().hits, 32u);
+  EXPECT_EQ(buffer.resident_pages(), 32u);
 }
 
 }  // namespace

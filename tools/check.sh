@@ -1,24 +1,53 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure, build, and run the full test suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer (the MSQ_SANITIZE CMake
-# option). Usage:
+# Sanitizer gate: configure, build, and run tests under a sanitizer build
+# (the MSQ_SANITIZE CMake option). Usage:
 #
-#   tools/check.sh [build-dir]
+#   tools/check.sh [build-dir] [mode]
 #
-# Defaults to build-asan/ next to the source tree. Exits non-zero on the
-# first configure, build, or test failure.
+# Modes:
+#   asan (default)  address+undefined over the full test suite
+#   tsan            thread sanitizer over the concurrency suites
+#                   (BufferManagerConcurrency / QueryExecutor /
+#                   ConcurrentHammer tests — the multi-threaded code paths)
+#
+# The build dir defaults to build-asan/ or build-tsan/ next to the source
+# tree, so `tools/check.sh build-asan` (the CI invocation) keeps working.
+# Exits non-zero on the first configure, build, or test failure.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-asan}"
+mode="${2:-asan}"
+case "$mode" in
+  asan)
+    build_dir="${1:-$repo_root/build-asan}"
+    sanitize="address;undefined"
+    ;;
+  tsan)
+    build_dir="${1:-$repo_root/build-tsan}"
+    sanitize="thread"
+    ;;
+  *)
+    echo "check.sh: unknown mode '$mode' (expected asan or tsan)" >&2
+    exit 2
+    ;;
+esac
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DMSQ_SANITIZE="address;undefined"
+  -DMSQ_SANITIZE="$sanitize"
 cmake --build "$build_dir" -j "$(nproc)"
 
-# halt_on_error makes UBSan findings fail the run instead of just logging.
-UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+if [[ "$mode" == "tsan" ]]; then
+  # TSan's scheduler interleaving makes the full suite slow; the
+  # single-threaded tests gain nothing from it, so gate on the suites that
+  # actually run threads. second_deadlock_stack aids lock-order reports.
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+      -R "Concurrency|Executor|Hammer"
+else
+  # halt_on_error makes UBSan findings fail the run instead of just logging.
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+fi
 
-echo "check.sh: sanitizer build + tests clean"
+echo "check.sh: $mode build + tests clean"
