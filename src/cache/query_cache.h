@@ -1,0 +1,200 @@
+// Cross-query reuse layer (DESIGN.md §11).
+//
+// Two tiers, one byte budget:
+//
+//  * Wavefront snapshots — when a query finishes, the per-source
+//    NetworkNnStream (CE's expansion engine) is checkpointed: settled
+//    labels, frontier heap, per-object distance estimates. A later query
+//    from the same source resumes the stream instead of re-expanding from
+//    scratch. Snapshots are immutable and handed out as
+//    shared_ptr<const Snapshot>, so a reader keeps its copy alive across
+//    eviction or invalidation.
+//
+//  * Distance memo — exact (source Location, ObjectId) -> Dist pairs
+//    harvested from settled searches (CE emissions, EDC/LBC probe
+//    completions). Consulted before any expansion; a memo hit costs zero
+//    page accesses.
+//
+// A partially expanded wavefront still helps queries it cannot answer
+// exactly: ProbeCheckpoint derives an admissible network-distance lower
+// bound from the settled labels and the frontier radius, tightening the
+// Euclidean/landmark bounds LBC screens with.
+//
+// Concurrency: lock-striped like BufferManager — the key hash picks a
+// shard, each shard serializes its map + LRU list under its own mutex.
+// Eviction is LRU by bytes within each shard (budget / shard_count each).
+// Invalidate() empties every shard and bumps the epoch; callers that
+// swapped the dataset must call it before reusing the cache.
+//
+// Counting discipline: hits and misses are a DISTINCT access class,
+// reported through cache.* metrics and ThreadCounters — never folded into
+// buffer page accesses. QueryStats reconciliation (obs/trace.h) depends on
+// this separation.
+#ifndef MSQ_CACHE_QUERY_CACHE_H_
+#define MSQ_CACHE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/nn_stream.h"
+#include "graph/road_network.h"
+
+namespace msq {
+
+struct QueryCacheConfig {
+  // Total byte budget across both tiers and all shards.
+  std::size_t max_bytes = 64u << 20;
+  // Lock stripes. Keys map to shards by hash; each shard owns
+  // max_bytes / shard_count.
+  std::size_t shard_count = 8;
+};
+
+// Lower bound on the distance from the checkpoint's source to every
+// not-yet-settled node (the wavefront radius at checkpoint time).
+// kInfDist when the frontier is exhausted — every reachable node settled.
+// O(frontier); compute once per checkpoint and pass to ProbeCheckpoint.
+Dist CheckpointRadius(const DijkstraSearch::Checkpoint& checkpoint);
+
+struct WavefrontProbe {
+  // Admissible lower bound on net_dist(source, target): never exceeds the
+  // true distance, so it can tighten any lower-bound screen.
+  Dist bound = 0;
+  // True when `bound` IS the exact network distance (both target-edge
+  // endpoints settled, or an exact candidate provably beats every path
+  // through the unsettled frontier).
+  bool exact = false;
+};
+
+// Probes a checkpointed wavefront for the distance from its source to
+// `target`. `radius` must be CheckpointRadius(checkpoint). `source` must be
+// the location the checkpoint was expanded from.
+WavefrontProbe ProbeCheckpoint(const RoadNetwork& network,
+                               const DijkstraSearch::Checkpoint& checkpoint,
+                               Dist radius, Location source, Location target);
+
+// Thread-safe, byte-budgeted, two-tier cross-query cache. One instance is
+// shared by every worker of a QueryExecutor (Dataset::cache).
+class QueryCache {
+ public:
+  using WavefrontPtr = std::shared_ptr<const NetworkNnStream::Snapshot>;
+
+  explicit QueryCache(QueryCacheConfig config = QueryCacheConfig{});
+
+  // --- Wavefront tier ---------------------------------------------------
+
+  // Snapshot for `source`, or null on miss. Counts one wavefront hit or
+  // miss (global metrics + calling thread's ThreadCounters).
+  WavefrontPtr FindWavefront(const Location& source);
+
+  // Stores (or replaces) the snapshot for `source`. A snapshot larger than
+  // one shard's budget is rejected and counted as an eviction.
+  void StoreWavefront(const Location& source,
+                      NetworkNnStream::Snapshot snapshot);
+
+  // --- Distance memo tier -----------------------------------------------
+
+  // Exact network distance for (source, object) if memoized. Counts one
+  // memo hit or miss.
+  std::optional<Dist> FindDistance(const Location& source, ObjectId object);
+
+  // Memoizes an EXACT network distance. Callers must never store bounds.
+  void StoreDistance(const Location& source, ObjectId object, Dist dist);
+
+  // --- Lifecycle --------------------------------------------------------
+
+  // Drops every entry in both tiers and advances the epoch. Required after
+  // a dataset reload: cached distances are meaningless against a new graph.
+  void Invalidate();
+
+  struct Stats {
+    std::uint64_t wavefront_hits = 0;
+    std::uint64_t wavefront_misses = 0;
+    std::uint64_t wavefront_inserts = 0;
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    std::uint64_t memo_inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+  };
+  // Instance-scoped totals (the cache.* global metrics aggregate across
+  // instances; tests use this to stay isolated).
+  Stats stats() const;
+
+  // Current resident bytes across all shards.
+  std::size_t bytes() const;
+
+  // Generation count, advanced by Invalidate().
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  const QueryCacheConfig& config() const { return config_; }
+
+ private:
+  // One key namespace for both tiers: memo entries carry the object id,
+  // wavefront entries use kInvalidObject. Offsets are compared bit-for-bit
+  // after normalizing -0.0, the cache's source canonicalization.
+  struct Key {
+    EdgeId edge = 0;
+    Dist offset = 0;
+    ObjectId object = kInvalidObject;
+
+    bool operator==(const Key& other) const {
+      return edge == other.edge && offset == other.offset &&
+             object == other.object;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  struct Entry {
+    Key key;
+    WavefrontPtr snapshot;  // null for memo entries
+    Dist dist = 0;          // memo value
+    std::size_t bytes = 0;
+  };
+
+  // front = most recently used.
+  using LruList = std::list<Entry>;
+
+  struct Shard {
+    std::mutex mu;
+    LruList lru;
+    std::unordered_map<Key, LruList::iterator, KeyHash> map;
+    std::size_t bytes = 0;
+  };
+
+  static Key Canonical(const Location& source, ObjectId object);
+  Shard& ShardFor(const Key& key);
+  // Inserts/replaces under the shard lock, then evicts LRU entries until
+  // the shard fits its budget slice.
+  void Insert(const Key& key, Entry entry);
+  void AccountBytesDelta(std::ptrdiff_t delta);
+
+  const QueryCacheConfig config_;
+  const std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+
+  std::atomic<std::uint64_t> wavefront_hits_{0};
+  std::atomic<std::uint64_t> wavefront_misses_{0};
+  std::atomic<std::uint64_t> wavefront_inserts_{0};
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_misses_{0};
+  std::atomic<std::uint64_t> memo_inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CACHE_QUERY_CACHE_H_

@@ -3,11 +3,53 @@
 #include <cmath>
 #include <memory>
 
+#include "cache/query_cache.h"
 #include "common/check.h"
 #include "graph/nn_stream.h"
 
 namespace msq {
 namespace {
+
+// Opens one NN stream per query point, resuming each from the cross-query
+// cache when a wavefront snapshot for its source is present. `resumes`
+// records the consulted snapshots (null on miss) so the close path can
+// tell whether a stream actually grew.
+std::vector<std::unique_ptr<NetworkNnStream>> OpenStreams(
+    const Dataset& dataset, const SkylineQuerySpec& spec,
+    std::vector<QueryCache::WavefrontPtr>* resumes) {
+  std::vector<std::unique_ptr<NetworkNnStream>> streams;
+  streams.reserve(spec.sources.size());
+  resumes->clear();
+  for (const Location& source : spec.sources) {
+    QueryCache::WavefrontPtr resume;
+    if (dataset.cache != nullptr) {
+      resume = dataset.cache->FindWavefront(source);
+    }
+    streams.push_back(std::make_unique<NetworkNnStream>(
+        dataset.graph_pager, dataset.mapping, source, resume.get()));
+    resumes->push_back(std::move(resume));
+  }
+  return streams;
+}
+
+// Checkpoints every stream back into the cache. Streams that resumed a
+// snapshot and never expanded past it are skipped — re-storing an
+// identical snapshot would only churn bytes and LRU order (the find
+// already refreshed recency).
+void StoreStreams(
+    const Dataset& dataset, const SkylineQuerySpec& spec,
+    const std::vector<std::unique_ptr<NetworkNnStream>>& streams,
+    const std::vector<QueryCache::WavefrontPtr>& resumes) {
+  if (dataset.cache == nullptr) return;
+  for (std::size_t q = 0; q < streams.size(); ++q) {
+    if (resumes[q] != nullptr &&
+        streams[q]->settled_count() == resumes[q]->search.settled_count) {
+      continue;
+    }
+    dataset.cache->StoreWavefront(spec.sources[q],
+                                  streams[q]->MakeSnapshot());
+  }
+}
 
 // Per-object bookkeeping shared by both phases.
 struct ObjectState {
@@ -58,11 +100,9 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
   const std::size_t n = spec.sources.size();
   const std::size_t m = dataset.object_count();
 
-  std::vector<std::unique_ptr<NetworkNnStream>> streams;
-  for (const Location& source : spec.sources) {
-    streams.push_back(std::make_unique<NetworkNnStream>(
-        dataset.graph_pager, dataset.mapping, source));
-  }
+  std::vector<QueryCache::WavefrontPtr> resumes;
+  std::vector<std::unique_ptr<NetworkNnStream>> streams =
+      OpenStreams(dataset, spec, &resumes);
   std::vector<bool> exhausted(n, false);
   // Emission radius per stream: a lower bound on every unvisited object's
   // distance to that query point.
@@ -136,6 +176,12 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
       continue;
     }
     radius[qi] = visit->distance;
+    if (dataset.cache != nullptr) {
+      // Emissions are exact network distances — harvest into the memo for
+      // the point-to-point paths EDC/LBC would otherwise recompute.
+      dataset.cache->StoreDistance(spec.sources[qi], visit->object,
+                                   visit->distance);
+    }
     ObjectState& obj = state[visit->object];
     if (!visited_once[visit->object]) {
       visited_once[visit->object] = true;
@@ -195,6 +241,7 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
   std::size_t settled = 0;
   for (const auto& stream : streams) settled += stream->settled_count();
   result.stats.settled_nodes = settled;
+  StoreStreams(dataset, spec, streams, resumes);
   scope.Finish(&result.stats);
   return result;
 }
@@ -212,12 +259,9 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
   const std::size_t n = spec.sources.size();
   const std::size_t m = dataset.object_count();
 
-  std::vector<std::unique_ptr<NetworkNnStream>> streams;
-  streams.reserve(n);
-  for (const Location& source : spec.sources) {
-    streams.push_back(std::make_unique<NetworkNnStream>(
-        dataset.graph_pager, dataset.mapping, source));
-  }
+  std::vector<QueryCache::WavefrontPtr> resumes;
+  std::vector<std::unique_ptr<NetworkNnStream>> streams =
+      OpenStreams(dataset, spec, &resumes);
   std::vector<bool> exhausted(n, false);
 
   std::vector<ObjectState> state(m);
@@ -295,6 +339,11 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
       continue;
     }
     last_emit[qi] = visit->distance;
+    if (dataset.cache != nullptr) {
+      // Exact emission distance — harvest into the cross-query memo.
+      dataset.cache->StoreDistance(spec.sources[qi], visit->object,
+                                   visit->distance);
+    }
 
     ObjectState& obj = state[visit->object];
     if (filtering) {
@@ -375,6 +424,7 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
   std::size_t settled = 0;
   for (const auto& stream : streams) settled += stream->settled_count();
   result.stats.settled_nodes = settled;
+  StoreStreams(dataset, spec, streams, resumes);
   scope.Finish(&result.stats);
   return result;
 }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "cache/query_cache.h"
 #include "common/check.h"
 #include "euclid/bbs.h"
 #include "graph/astar.h"
@@ -19,12 +20,48 @@ class EdcRunner {
       query_points_.push_back(dataset.network->LocationPosition(source));
       searches_.push_back(std::make_unique<AStarSearch>(
           dataset.graph_pager, source, dataset.landmarks));
+      // Cached wavefront for this source (typically left behind by a CE
+      // run): exact distances for targets inside its settled region
+      // without any A* expansion.
+      CachedWavefront wavefront;
+      if (dataset.cache != nullptr) {
+        wavefront.snapshot = dataset.cache->FindWavefront(source);
+        if (wavefront.snapshot != nullptr) {
+          wavefront.radius = CheckpointRadius(wavefront.snapshot->search);
+        }
+      }
+      wavefronts_.push_back(std::move(wavefront));
     }
     min_attrs_ = dataset.MinStaticAttributes();
   }
 
   std::size_t n() const { return spec_.sources.size(); }
   std::size_t attr_dims() const { return min_attrs_.size(); }
+
+  // Exact network distance from source `i` to object `id` at `loc`:
+  // distance memo first, then an exact cached-wavefront probe, and only
+  // then the A* search.
+  Dist SourceDistance(std::size_t i, ObjectId id, const Location& loc) {
+    QueryCache* const cache = dataset_.cache;
+    if (cache == nullptr) return searches_[i]->DistanceTo(loc);
+    if (const std::optional<Dist> memo =
+            cache->FindDistance(spec_.sources[i], id)) {
+      return *memo;
+    }
+    const CachedWavefront& wavefront = wavefronts_[i];
+    if (wavefront.snapshot != nullptr) {
+      const WavefrontProbe probe =
+          ProbeCheckpoint(*dataset_.network, wavefront.snapshot->search,
+                          wavefront.radius, spec_.sources[i], loc);
+      if (probe.exact) {
+        cache->StoreDistance(spec_.sources[i], id, probe.bound);
+        return probe.bound;
+      }
+    }
+    const Dist dist = searches_[i]->DistanceTo(loc);
+    cache->StoreDistance(spec_.sources[i], id, dist);
+    return dist;
+  }
 
   // Full comparison vector: exact network distances (A*, labels shared
   // across all calls) followed by static attributes. Cached per object.
@@ -34,8 +71,8 @@ class EdcRunner {
     DistVector vec;
     vec.reserve(n() + attr_dims());
     const Location& loc = dataset_.mapping->ObjectLocation(id);
-    for (auto& search : searches_) {
-      vec.push_back(search->DistanceTo(loc));
+    for (std::size_t i = 0; i < searches_.size(); ++i) {
+      vec.push_back(SourceDistance(i, id, loc));
     }
     const DistVector attrs = dataset_.StaticAttributesOf(id);
     vec.insert(vec.end(), attrs.begin(), attrs.end());
@@ -208,10 +245,16 @@ class EdcRunner {
     return total;
   }
 
+  struct CachedWavefront {
+    QueryCache::WavefrontPtr snapshot;
+    Dist radius = 0;
+  };
+
   const Dataset& dataset_;
   const SkylineQuerySpec& spec_;
   std::vector<Point> query_points_;
   std::vector<std::unique_ptr<AStarSearch>> searches_;
+  std::vector<CachedWavefront> wavefronts_;
   DistVector min_attrs_;
   std::unordered_map<ObjectId, DistVector> network_vectors_;
 };

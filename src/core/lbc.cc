@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <queue>
 
+#include "cache/query_cache.h"
 #include "common/check.h"
 #include "graph/astar.h"
 
@@ -48,6 +50,56 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
           dataset.graph_pager, spec.sources[qi], dataset.landmarks);
     }
     return *searches[qi];
+  };
+
+  // Cached wavefronts per source (typically left behind by CE runs over
+  // the same query points): exact distances inside the settled region,
+  // admissible lower bounds beyond it.
+  std::vector<QueryCache::WavefrontPtr> wavefronts(n);
+  std::vector<Dist> wavefront_radius(n, 0.0);
+  if (dataset.cache != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      wavefronts[i] = dataset.cache->FindWavefront(spec.sources[i]);
+      if (wavefronts[i] != nullptr) {
+        wavefront_radius[i] = CheckpointRadius(wavefronts[i]->search);
+      }
+    }
+  }
+
+  // Exact cached distance from source `qi` to `id`, if the memo or an
+  // exact wavefront probe can supply one without touching the graph.
+  auto exact_cached = [&](std::size_t qi, ObjectId id,
+                          const Location& loc) -> std::optional<Dist> {
+    QueryCache* const cache = dataset.cache;
+    if (cache == nullptr) return std::nullopt;
+    if (const std::optional<Dist> memo =
+            cache->FindDistance(spec.sources[qi], id)) {
+      return memo;
+    }
+    if (wavefronts[qi] != nullptr) {
+      const WavefrontProbe probe =
+          ProbeCheckpoint(*dataset.network, wavefronts[qi]->search,
+                          wavefront_radius[qi], spec.sources[qi], loc);
+      if (probe.exact) {
+        cache->StoreDistance(spec.sources[qi], id, probe.bound);
+        return probe.bound;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Exact network distance from source `qi` to `id`: cache first, A* only
+  // on a full miss (harvesting the result back into the memo).
+  auto source_distance = [&](std::size_t qi, ObjectId id,
+                             const Location& loc) -> Dist {
+    if (const std::optional<Dist> cached = exact_cached(qi, id, loc)) {
+      return *cached;
+    }
+    const Dist dist = search_for(qi).DistanceTo(loc);
+    if (dataset.cache != nullptr) {
+      dataset.cache->StoreDistance(spec.sources[qi], id, dist);
+    }
+    return dist;
   };
 
   // Reported skyline vectors (network distances + attributes).
@@ -135,9 +187,8 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
           ++result.stats.candidate_count;
         }
         if (resolved[item.id]) continue;  // another source settled it
-        const Dist d_net = search_for(d.source_dim)
-                               .DistanceTo(
-                                   dataset.mapping->ObjectLocation(item.id));
+        const Dist d_net = source_distance(
+            d.source_dim, item.id, dataset.mapping->ObjectLocation(item.id));
         if (std::isfinite(d_net)) {
           d.heap.push(SourceCandidate{d_net, item.id});
         }
@@ -173,17 +224,40 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     for (std::size_t i = 0; i < n; ++i) {
       if (i == src) continue;
       if (options.use_plb) {
+        // Cache first: a memoized or wavefront-exact distance makes the
+        // dimension exact with zero expansion; a partial wavefront still
+        // contributes an admissible lower bound below.
+        Dist wavefront_lb = 0.0;
+        if (const std::optional<Dist> cached =
+                exact_cached(i, cand.object, loc)) {
+          bound[i] = *cached;
+          exact[i] = true;
+          if (!std::isfinite(bound[i])) {
+            // Unreachable from some query point (the cold run would learn
+            // this at probe completion): excluded by skyline semantics.
+            return {};
+          }
+          continue;
+        }
+        if (wavefronts[i] != nullptr) {
+          wavefront_lb =
+              ProbeCheckpoint(*dataset.network, wavefronts[i]->search,
+                              wavefront_radius[i], spec.sources[i], loc)
+                  .bound;
+        }
         // Bounds start at the Euclidean distances (tightened by landmark
-        // bounds when available); probes are created (and network access
-        // paid) only if and when a dimension must advance.
-        bound[i] = EuclideanDistance(query_points[i], p_pos);
+        // and cached-wavefront bounds when available); probes are created
+        // (and network access paid) only if and when a dimension must
+        // advance.
+        bound[i] =
+            std::max(wavefront_lb, EuclideanDistance(query_points[i], p_pos));
         if (dataset.landmarks != nullptr) {
           bound[i] = std::max(
               bound[i], dataset.landmarks->LowerBound(spec.sources[i], loc));
         }
       } else {
         // Ablation: full distances immediately, no early termination.
-        bound[i] = search_for(i).DistanceTo(loc);
+        bound[i] = source_distance(i, cand.object, loc);
         exact[i] = true;
       }
     }
@@ -281,6 +355,12 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
       if (probe.done()) {
         bound[best_dim] = probe.distance();
         exact[best_dim] = true;
+        if (dataset.cache != nullptr) {
+          // Probe completion yields an exact distance — harvest it (inf
+          // included, so unreachability is also remembered).
+          dataset.cache->StoreDistance(spec.sources[best_dim], cand.object,
+                                       bound[best_dim]);
+        }
         if (!std::isfinite(bound[best_dim])) {
           // Unreachable from some query point: excluded by the library's
           // skyline semantics.

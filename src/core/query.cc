@@ -137,6 +137,11 @@ StatsScope::StatsScope(const Dataset& dataset, obs::TraceSession* trace,
     ThreadBufferCounts(*dataset.index_buffer, &index_misses_0_,
                        &index_accesses_0_);
   }
+  const obs::ThreadCounters& tc = obs::ThreadLocalCounters();
+  cache_wf_hits_0_ = tc.cache_wavefront_hits;
+  cache_wf_misses_0_ = tc.cache_wavefront_misses;
+  cache_memo_hits_0_ = tc.cache_memo_hits;
+  cache_memo_misses_0_ = tc.cache_memo_misses;
   start_ = MonotonicSeconds();
 }
 
@@ -163,6 +168,15 @@ void StatsScope::Finish(QueryStats* stats) {
     stats->index_page_accesses = accesses - index_accesses_0_;
     MSQ_CHECK(stats->index_page_accesses >= stats->index_pages);
   }
+  // Cache consultations are a separate access class (never part of the
+  // page counters above); the same thread-local delta discipline keeps
+  // them exact per query under a concurrent executor.
+  const obs::ThreadCounters& tc = obs::ThreadLocalCounters();
+  stats->cache_wavefront_hits = tc.cache_wavefront_hits - cache_wf_hits_0_;
+  stats->cache_wavefront_misses =
+      tc.cache_wavefront_misses - cache_wf_misses_0_;
+  stats->cache_memo_hits = tc.cache_memo_hits - cache_memo_hits_0_;
+  stats->cache_memo_misses = tc.cache_memo_misses - cache_memo_misses_0_;
 }
 
 }  // namespace msq

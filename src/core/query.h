@@ -20,6 +20,8 @@
 
 namespace msq {
 
+class QueryCache;
+
 // Non-owning view over everything a skyline query runs against. The
 // workload builder (gen/workloads.h) assembles and owns the underlying
 // structures.
@@ -45,6 +47,10 @@ struct Dataset {
   // an extension outside the paper's no-precomputation algorithm class
   // (graph/landmarks.h).
   const LandmarkIndex* landmarks = nullptr;
+  // Optional cross-query reuse cache (cache/query_cache.h), shared across
+  // the queries of one executor. Null (the default) disables reuse — cold
+  // behavior is byte-identical to a cacheless build.
+  QueryCache* cache = nullptr;
 
   std::size_t object_count() const { return mapping->object_count(); }
   std::size_t static_dims() const {
@@ -112,6 +118,13 @@ struct QueryStats {
   std::size_t settled_nodes = 0;       // network node accesses (Section 5)
   double total_seconds = 0.0;          // Figures 5(b)/6(b)/6(e)
   double initial_seconds = 0.0;        // Figures 5(c)/6(c)/6(f)
+  // Cross-query cache consultations (cache/query_cache.h) — an access
+  // class of their own: a cache hit never touches a buffer pool and is
+  // never counted in the page fields above.
+  std::uint64_t cache_wavefront_hits = 0;
+  std::uint64_t cache_wavefront_misses = 0;
+  std::uint64_t cache_memo_hits = 0;
+  std::uint64_t cache_memo_misses = 0;
 };
 
 struct SkylineResult {
@@ -212,6 +225,10 @@ class StatsScope {
   std::uint64_t graph_accesses_0_ = 0;
   std::uint64_t index_misses_0_ = 0;
   std::uint64_t index_accesses_0_ = 0;
+  std::uint64_t cache_wf_hits_0_ = 0;
+  std::uint64_t cache_wf_misses_0_ = 0;
+  std::uint64_t cache_memo_hits_0_ = 0;
+  std::uint64_t cache_memo_misses_0_ = 0;
   double start_ = 0.0;
   double initial_ = -1.0;
 };

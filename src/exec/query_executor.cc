@@ -8,7 +8,25 @@
 namespace msq {
 
 QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers)
-    : dataset_(dataset) {
+    : QueryExecutor(std::move(dataset), workers,
+                    std::unique_ptr<QueryCache>()) {}
+
+QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers,
+                             const QueryCacheConfig& cache_config)
+    : QueryExecutor(std::move(dataset), workers,
+                    std::make_unique<QueryCache>(cache_config)) {}
+
+QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers,
+                             std::unique_ptr<QueryCache> cache)
+    : cache_(std::move(cache)), dataset_([&] {
+        // An owned cache overrides nothing: the caller either passes a
+        // cacheless view or wires their own shared cache instead.
+        if (cache_ != nullptr) {
+          MSQ_CHECK(dataset.cache == nullptr);
+          dataset.cache = cache_.get();
+        }
+        return dataset;
+      }()) {
   MSQ_CHECK(workers >= 1);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {

@@ -26,10 +26,12 @@
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "core/query.h"
 #include "core/skyline_query.h"
 
@@ -55,8 +57,16 @@ class QueryExecutor {
  public:
   // `dataset` is a non-owning view, copied in (so a Workload::dataset()
   // temporary is fine); the structures it points into must outlive the
-  // executor. `workers` must be >= 1.
+  // executor. `workers` must be >= 1. Queries reuse nothing across each
+  // other unless the dataset view already carries a QueryCache.
   QueryExecutor(Dataset dataset, std::size_t workers);
+
+  // Same, plus an executor-owned cross-query cache (cache/query_cache.h)
+  // shared by all workers: the dataset view handed to every query carries
+  // it, so wavefronts and exact distances flow between queries.
+  QueryExecutor(Dataset dataset, std::size_t workers,
+                const QueryCacheConfig& cache_config);
+
   ~QueryExecutor();
 
   QueryExecutor(const QueryExecutor&) = delete;
@@ -75,14 +85,24 @@ class QueryExecutor {
   // Queued-but-unstarted jobs (diagnostics; racy by nature).
   std::size_t pending() const;
 
+  // The executor-owned cross-query cache, or null when constructed without
+  // one. Callers use it for stats and for Invalidate() on dataset reload.
+  QueryCache* cache() const { return cache_.get(); }
+
  private:
   struct Job {
     QueryRequest request;
     std::promise<SkylineResult> promise;
   };
 
+  QueryExecutor(Dataset dataset, std::size_t workers,
+                std::unique_ptr<QueryCache> cache);
+
   void WorkerLoop();
 
+  // Declared before dataset_: the dataset view is rewired to point at the
+  // owned cache during construction.
+  std::unique_ptr<QueryCache> cache_;
   const Dataset dataset_;
   mutable std::mutex mu_;
   std::condition_variable cv_;

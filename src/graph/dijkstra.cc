@@ -1,6 +1,7 @@
 #include "graph/dijkstra.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -29,19 +30,52 @@ DijkstraSearch::DijkstraSearch(const GraphPager* pager, Location source)
   const auto [du, dv] = network.EndpointDistances(source);
   if (du < dist_[e.u]) {
     dist_[e.u] = du;
-    heap_.push(HeapItem{du, e.u});
+    HeapPush(HeapItem{du, e.u});
   }
   if (dv < dist_[e.v]) {
     dist_[e.v] = dv;
-    heap_.push(HeapItem{dv, e.v});
+    HeapPush(HeapItem{dv, e.v});
   }
+}
+
+DijkstraSearch::DijkstraSearch(const GraphPager* pager, Location source,
+                               const Checkpoint& checkpoint)
+    : pager_(pager), source_(source) {
+  MSQ_CHECK(pager != nullptr);
+  const RoadNetwork& network = pager->network();
+  MSQ_CHECK(network.IsValidLocation(source));
+  MSQ_CHECK(checkpoint.dist.size() == network.node_count());
+  MSQ_CHECK(checkpoint.settled.size() == network.node_count());
+  dist_ = checkpoint.dist;
+  settled_ = checkpoint.settled;
+  heap_ = checkpoint.frontier;
+  settled_count_ = checkpoint.settled_count;
+}
+
+DijkstraSearch::Checkpoint DijkstraSearch::MakeCheckpoint() const {
+  Checkpoint checkpoint;
+  checkpoint.dist = dist_;
+  checkpoint.settled = settled_;
+  checkpoint.frontier = heap_;
+  checkpoint.settled_count = settled_count_;
+  return checkpoint;
+}
+
+void DijkstraSearch::HeapPush(HeapItem item) {
+  heap_.push_back(item);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+void DijkstraSearch::HeapPop() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  heap_.pop_back();
 }
 
 void DijkstraSearch::CleanTop() {
   while (!heap_.empty()) {
-    const HeapItem top = heap_.top();
+    const HeapItem top = heap_.front();
     if (settled_[top.node] || top.dist > dist_[top.node]) {
-      heap_.pop();
+      HeapPop();
       continue;
     }
     return;
@@ -50,7 +84,7 @@ void DijkstraSearch::CleanTop() {
 
 Dist DijkstraSearch::Radius() {
   CleanTop();
-  return heap_.empty() ? kInfDist : heap_.top().dist;
+  return heap_.empty() ? kInfDist : heap_.front().dist;
 }
 
 Dist DijkstraSearch::Label(NodeId node) const {
@@ -70,7 +104,7 @@ void DijkstraSearch::Expand(NodeId node, Dist dist) {
     const Dist candidate = dist + adj.length;
     if (candidate < dist_[adj.neighbor]) {
       dist_[adj.neighbor] = candidate;
-      heap_.push(HeapItem{candidate, adj.neighbor});
+      HeapPush(HeapItem{candidate, adj.neighbor});
     }
   }
 }
@@ -78,8 +112,8 @@ void DijkstraSearch::Expand(NodeId node, Dist dist) {
 std::optional<DijkstraSearch::Settled> DijkstraSearch::NextSettled() {
   CleanTop();
   if (heap_.empty()) return std::nullopt;
-  const HeapItem top = heap_.top();
-  heap_.pop();
+  const HeapItem top = heap_.front();
+  HeapPop();
   settled_[top.node] = 1;
   ++settled_count_;
   g_settled->Inc();

@@ -5,11 +5,17 @@
 // maintained such that the expansion can continue from a previous state".
 // This incremental form is the engine of the CE algorithm, which alternates
 // expansion among the query points.
+//
+// A search can be checkpointed (labels + frontier heap) and a later search
+// from the same source resumed from the checkpoint — the substrate of the
+// cross-query wavefront cache (cache/query_cache.h). Heap ordering breaks
+// distance ties by node id, so settle order — and everything derived from
+// it — is deterministic and identical between a cold run and a resumed one.
 #ifndef MSQ_GRAPH_DIJKSTRA_H_
 #define MSQ_GRAPH_DIJKSTRA_H_
 
+#include <cstddef>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "graph/graph_pager.h"
@@ -21,8 +27,42 @@ namespace msq {
 // on I/O failure; run inside a query boundary (see common/status.h).
 class DijkstraSearch {
  public:
+  // One frontier heap entry. Ties in distance are broken by node id (lower
+  // id settles first) so expansion order is deterministic regardless of
+  // insertion history — required for byte-identical resumed searches.
+  struct HeapItem {
+    Dist dist;
+    NodeId node;
+    bool operator>(const HeapItem& other) const {
+      if (dist != other.dist) return dist > other.dist;
+      return node > other.node;
+    }
+  };
+
+  // Checkpoint of a wavefront: labels, settled flags, and the frontier
+  // heap, sufficient to resume expansion exactly where it stopped. Plain
+  // data — immutable copies are shared across threads by the query cache.
+  struct Checkpoint {
+    std::vector<Dist> dist;
+    std::vector<std::uint8_t> settled;
+    std::vector<HeapItem> frontier;  // heap-ordered (std::make_heap layout)
+    std::size_t settled_count = 0;
+
+    // Approximate heap footprint, for cache byte budgeting.
+    std::size_t bytes() const {
+      return dist.capacity() * sizeof(Dist) +
+             settled.capacity() * sizeof(std::uint8_t) +
+             frontier.capacity() * sizeof(HeapItem) + sizeof(Checkpoint);
+    }
+  };
+
   // Starts a wavefront at `source`. The pager is not owned.
   DijkstraSearch(const GraphPager* pager, Location source);
+
+  // Resumes from `checkpoint`, which must have been taken from a search
+  // with the same source on the same network (asserted by size).
+  DijkstraSearch(const GraphPager* pager, Location source,
+                 const Checkpoint& checkpoint);
 
   struct Settled {
     NodeId node;
@@ -46,6 +86,10 @@ class DijkstraSearch {
   // search remains valid afterwards.
   Dist DistanceTo(const Location& target);
 
+  // Copies the current wavefront state (labels + frontier) into a
+  // checkpoint a later DijkstraSearch can resume from.
+  Checkpoint MakeCheckpoint() const;
+
   // Number of nodes settled so far (the paper's per-query network node
   // access measure for Dijkstra-based search).
   std::size_t settled_count() const { return settled_count_; }
@@ -53,24 +97,20 @@ class DijkstraSearch {
   const Location& source() const { return source_; }
 
  private:
-  struct HeapItem {
-    Dist dist;
-    NodeId node;
-    bool operator>(const HeapItem& other) const {
-      return dist > other.dist;
-    }
-  };
-
   // Relaxes `node`'s neighbors given its exact distance `dist`.
   void Expand(NodeId node, Dist dist);
   // Pops stale heap entries.
   void CleanTop();
+  void HeapPush(HeapItem item);
+  void HeapPop();
 
   const GraphPager* pager_;
   Location source_;
   std::vector<Dist> dist_;
   std::vector<std::uint8_t> settled_;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  // Min-heap via std::push_heap/pop_heap so the underlying vector is
+  // directly checkpointable.
+  std::vector<HeapItem> heap_;
   std::size_t settled_count_ = 0;
   std::vector<AdjacencyEntry> scratch_adjacency_;
 };

@@ -1,6 +1,8 @@
 #include "graph/nn_stream.h"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -15,12 +17,31 @@ obs::Gauge* const g_heap_peak = obs::GlobalMetrics().gauge(
 
 NetworkNnStream::NetworkNnStream(const GraphPager* pager,
                                  const SpatialMapping* mapping,
-                                 Location source)
-    : search_(pager, source), pager_(pager), mapping_(mapping) {
+                                 Location source, const Snapshot* resume)
+    : search_(resume != nullptr
+                  ? DijkstraSearch(pager, source, resume->search)
+                  : DijkstraSearch(pager, source)),
+      pager_(pager),
+      mapping_(mapping) {
   MSQ_CHECK(mapping != nullptr);
-  best_.assign(mapping->object_count(), kInfDist);
   emitted_.assign(mapping->object_count(), 0);
 
+  if (resume != nullptr) {
+    // Resume: the snapshot's per-object estimates already include every
+    // offer made while its wavefront grew (source-edge objects included).
+    // Re-seed the emission heap from them; expansion continues from the
+    // checkpointed frontier only when the radius must grow.
+    MSQ_CHECK(resume->object_best.size() == mapping->object_count());
+    best_ = resume->object_best;
+    heap_.reserve(best_.size());
+    for (ObjectId id = 0; id < best_.size(); ++id) {
+      if (std::isfinite(best_[id])) heap_.push_back(HeapItem{best_[id], id});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+    return;
+  }
+
+  best_.assign(mapping->object_count(), kInfDist);
   // Objects sharing the source edge are reachable directly along it.
   OkOrThrow(mapping_->ObjectsOnEdge(source.edge, &scratch_objects_));
   for (const EdgeObject& obj : scratch_objects_) {
@@ -28,10 +49,27 @@ NetworkNnStream::NetworkNnStream(const GraphPager* pager,
   }
 }
 
+NetworkNnStream::Snapshot NetworkNnStream::MakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.search = search_.MakeCheckpoint();
+  snapshot.object_best = best_;
+  return snapshot;
+}
+
+void NetworkNnStream::HeapPush(HeapItem item) {
+  heap_.push_back(item);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+void NetworkNnStream::HeapPop() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  heap_.pop_back();
+}
+
 void NetworkNnStream::Offer(ObjectId object, Dist dist) {
   if (emitted_[object] || dist >= best_[object]) return;
   best_[object] = dist;
-  heap_.push(HeapItem{dist, object});
+  HeapPush(HeapItem{dist, object});
 }
 
 void NetworkNnStream::ProbeEdge(EdgeId edge, NodeId node, Dist node_dist) {
@@ -50,20 +88,26 @@ std::optional<NetworkNnStream::Visit> NetworkNnStream::Next() {
   for (;;) {
     // Drop stale heap entries.
     while (!heap_.empty()) {
-      const HeapItem& top = heap_.top();
+      const HeapItem& top = heap_.front();
       if (emitted_[top.object] || top.dist > best_[top.object]) {
-        heap_.pop();
+        HeapPop();
         continue;
       }
       break;
     }
 
-    // The top object's distance is final once it does not exceed the
+    // The top object's distance is final once it is strictly inside the
     // wavefront radius: any unsettled endpoint has distance >= radius, so
-    // no path through it can be shorter.
-    if (!heap_.empty() && heap_.top().dist <= search_.Radius()) {
-      const HeapItem top = heap_.top();
-      heap_.pop();
+    // no path through it can be shorter. STRICT < matters: once radius
+    // exceeds d, every node with label <= d has settled and therefore
+    // every object at distance d has been offered — ties then emit in
+    // ascending id, making the whole sequence lexicographic in (dist, id).
+    // Emitting at equality (<=) would release an already-offered object
+    // ahead of its not-yet-discovered distance twins, an order a resumed
+    // stream (which seeds all known objects at once) cannot reproduce.
+    if (!heap_.empty() && heap_.front().dist < search_.Radius()) {
+      const HeapItem top = heap_.front();
+      HeapPop();
       emitted_[top.object] = 1;
       // Emission granularity keeps the gauge off the per-offer path.
       g_heap_peak->Update(static_cast<double>(heap_.size()));

@@ -6,11 +6,18 @@
 // probes: whenever a node settles, each incident edge is checked in the
 // B+-tree middle layer for resident objects, whose distances become exact
 // as soon as they drop below the wavefront radius.
+//
+// A finished (or truncated) stream can be snapshotted — Dijkstra checkpoint
+// plus the per-object distance estimates — and a later stream from the same
+// source resumed from the snapshot: already-discovered objects re-emit in
+// ascending order without touching the graph, and the wavefront resumes
+// expansion only when the emission radius must grow past the checkpoint.
+// Emission ties are broken by object id, so a resumed stream emits exactly
+// the sequence a cold stream would.
 #ifndef MSQ_GRAPH_NN_STREAM_H_
 #define MSQ_GRAPH_NN_STREAM_H_
 
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "graph/dijkstra.h"
@@ -23,10 +30,28 @@ namespace msq {
 // common/status.h).
 class NetworkNnStream {
  public:
+  // Checkpoint of one stream: the wavefront plus the best-known distance
+  // per object (exact for objects within the settled radius, an upper
+  // bound beyond it). Plain data, shareable across threads as an immutable
+  // copy. The consumed-emission state is deliberately NOT captured: a
+  // resumed stream re-emits from distance zero.
+  struct Snapshot {
+    DijkstraSearch::Checkpoint search;
+    std::vector<Dist> object_best;
+
+    std::size_t bytes() const {
+      return search.bytes() + object_best.capacity() * sizeof(Dist) +
+             sizeof(Snapshot) - sizeof(DijkstraSearch::Checkpoint);
+    }
+  };
+
   // Streams objects of `mapping` by network distance from `source`.
-  // Neither pointer is owned.
+  // Neither pointer is owned. When `resume` is non-null it must have been
+  // snapshotted from a stream with the same source over the same network
+  // and object set (asserted by size); the new stream copies it and the
+  // snapshot may be freed afterwards.
   NetworkNnStream(const GraphPager* pager, const SpatialMapping* mapping,
-                  Location source);
+                  Location source, const Snapshot* resume = nullptr);
 
   struct Visit {
     ObjectId object;
@@ -34,11 +59,17 @@ class NetworkNnStream {
   };
 
   // Returns the next-nearest unvisited object, or std::nullopt when every
-  // object reachable from the source has been visited.
+  // object reachable from the source has been visited. The full emission
+  // sequence is lexicographic in (distance, object id): an object emits
+  // only once the wavefront radius strictly exceeds its distance, at which
+  // point all of its distance twins are guaranteed discovered too.
   std::optional<Visit> Next();
 
   // Nodes settled by the underlying wavefront so far.
   std::size_t settled_count() const { return search_.settled_count(); }
+
+  // Snapshot of the current stream state for the cross-query cache.
+  Snapshot MakeSnapshot() const;
 
   const DijkstraSearch& search() const { return search_; }
 
@@ -46,8 +77,11 @@ class NetworkNnStream {
   struct HeapItem {
     Dist dist;
     ObjectId object;
+    // Distance ties emit in ascending object id — deterministic across
+    // cold and resumed streams regardless of heap insertion history.
     bool operator>(const HeapItem& other) const {
-      return dist > other.dist;
+      if (dist != other.dist) return dist > other.dist;
+      return object > other.object;
     }
   };
 
@@ -56,14 +90,17 @@ class NetworkNnStream {
   // Probes `edge` given that endpoint-side distance `node_dist` is exact
   // and the settled node is `node`.
   void ProbeEdge(EdgeId edge, NodeId node, Dist node_dist);
+  void HeapPush(HeapItem item);
+  void HeapPop();
 
   DijkstraSearch search_;
   const GraphPager* pager_;
   const SpatialMapping* mapping_;
   std::vector<Dist> best_;
   std::vector<std::uint8_t> emitted_;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
-      heap_;
+  // Min-heap via std::push_heap/pop_heap (vector is directly rebuildable
+  // from a snapshot).
+  std::vector<HeapItem> heap_;
   std::vector<EdgeObject> scratch_objects_;
   std::vector<AdjacencyEntry> scratch_adjacency_;
 };

@@ -76,6 +76,10 @@ std::string ToChromeTrace(const QueryProfile& profile) {
     AppendF(&out, ",\"index_misses\":%" PRIu64, span.self.index_misses);
     AppendF(&out, ",\"settled_nodes\":%" PRIu64, span.self.settled_nodes);
     AppendF(&out, ",\"dominance_tests\":%" PRIu64, span.self.dominance_tests);
+    AppendF(&out, ",\"cache_hits\":%" PRIu64,
+            span.self.cache_wavefront_hits + span.self.cache_memo_hits);
+    AppendF(&out, ",\"cache_misses\":%" PRIu64,
+            span.self.cache_wavefront_misses + span.self.cache_memo_misses);
     AppendF(&out, ",\"heap_peak\":%.0f", span.heap_peak);
     out += "}}";
   }
@@ -116,9 +120,9 @@ std::string ProfileReport(const QueryProfile& profile) {
   });
 
   std::string out;
-  AppendF(&out, "%-28s %7s %10s %10s %9s %9s %9s %9s %9s %9s\n", "span",
-          "calls", "wall ms", "self ms", "net.miss", "net.hit", "idx.miss",
-          "idx.hit", "settled", "dom.test");
+  AppendF(&out, "%-28s %7s %10s %10s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+          "span", "calls", "wall ms", "self ms", "net.miss", "net.hit",
+          "idx.miss", "idx.hit", "settled", "dom.test", "c.hit", "c.miss");
   SpanCounters total;
   for (const auto* row : rows) {
     const Agg& agg = row->second;
@@ -127,18 +131,24 @@ std::string ProfileReport(const QueryProfile& profile) {
     label += row->first;
     AppendF(&out,
             "%-28s %7zu %10.3f %10.3f %9" PRIu64 " %9" PRIu64 " %9" PRIu64
-            " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 "\n",
+            " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+            "\n",
             label.c_str(), agg.calls, agg.wall * 1e3, agg.self_wall * 1e3,
             agg.self.network_misses, agg.self.network_hits,
             agg.self.index_misses, agg.self.index_hits,
-            agg.self.settled_nodes, agg.self.dominance_tests);
+            agg.self.settled_nodes, agg.self.dominance_tests,
+            agg.self.cache_wavefront_hits + agg.self.cache_memo_hits,
+            agg.self.cache_wavefront_misses + agg.self.cache_memo_misses);
   }
   AppendF(&out,
           "%-28s %7s %10s %10s %9" PRIu64 " %9" PRIu64 " %9" PRIu64
-          " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 "\n",
+          " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+          "\n",
           "total (self sum)", "", "", "", total.network_misses,
           total.network_hits, total.index_misses, total.index_hits,
-          total.settled_nodes, total.dominance_tests);
+          total.settled_nodes, total.dominance_tests,
+          total.cache_wavefront_hits + total.cache_memo_hits,
+          total.cache_wavefront_misses + total.cache_memo_misses);
   if (profile.dropped_spans > 0) {
     AppendF(&out, "(%zu spans dropped at the session cap)\n",
             profile.dropped_spans);

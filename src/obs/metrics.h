@@ -131,6 +131,13 @@ struct ThreadCounters {
   std::uint64_t index_misses = 0;     // buffer.index.misses
   std::uint64_t settled_nodes = 0;    // graph.settled_nodes
   std::uint64_t dominance_tests = 0;  // core.dominance_tests
+  // Cross-query cache consultations (src/cache). A distinct access class
+  // from the buffer counters: a cache hit never touches a buffer pool, so
+  // it must never be folded into page accesses.
+  std::uint64_t cache_wavefront_hits = 0;    // cache.wavefront.hits
+  std::uint64_t cache_wavefront_misses = 0;  // cache.wavefront.misses
+  std::uint64_t cache_memo_hits = 0;         // cache.memo.hits
+  std::uint64_t cache_memo_misses = 0;       // cache.memo.misses
   // Thread-scoped view of the core.heap_peak gauge, with the same
   // level+high-water semantics.
   double heap_value = 0.0;
@@ -167,6 +174,18 @@ inline constexpr char kAdjacencyReads[] = "graph.pager.adjacency_reads";
 inline constexpr char kSettledNodes[] = "graph.settled_nodes";
 inline constexpr char kDominanceTests[] = "core.dominance_tests";
 inline constexpr char kHeapPeak[] = "core.heap_peak";
+// Cross-query cache (src/cache/query_cache.h).
+inline constexpr char kCacheWavefrontHits[] = "cache.wavefront.hits";
+inline constexpr char kCacheWavefrontMisses[] = "cache.wavefront.misses";
+inline constexpr char kCacheWavefrontInserts[] = "cache.wavefront.inserts";
+inline constexpr char kCacheWavefrontEvictions[] =
+    "cache.wavefront.evictions";
+inline constexpr char kCacheMemoHits[] = "cache.memo.hits";
+inline constexpr char kCacheMemoMisses[] = "cache.memo.misses";
+inline constexpr char kCacheMemoInserts[] = "cache.memo.inserts";
+inline constexpr char kCacheMemoEvictions[] = "cache.memo.evictions";
+inline constexpr char kCacheInvalidations[] = "cache.invalidations";
+inline constexpr char kCacheBytes[] = "cache.bytes";
 }  // namespace metric
 
 }  // namespace msq::obs

@@ -23,6 +23,10 @@ SpanCounters& SpanCounters::operator+=(const SpanCounters& other) {
   index_misses += other.index_misses;
   settled_nodes += other.settled_nodes;
   dominance_tests += other.dominance_tests;
+  cache_wavefront_hits += other.cache_wavefront_hits;
+  cache_wavefront_misses += other.cache_wavefront_misses;
+  cache_memo_hits += other.cache_memo_hits;
+  cache_memo_misses += other.cache_memo_misses;
   return *this;
 }
 
@@ -52,6 +56,12 @@ TraceSession::TraceSession(MetricsRegistry* registry)
       index_misses_(registry->counter(metric::kIndexBufferMisses)),
       settled_nodes_(registry->counter(metric::kSettledNodes)),
       dominance_tests_(registry->counter(metric::kDominanceTests)),
+      cache_wavefront_hits_(
+          registry->counter(metric::kCacheWavefrontHits)),
+      cache_wavefront_misses_(
+          registry->counter(metric::kCacheWavefrontMisses)),
+      cache_memo_hits_(registry->counter(metric::kCacheMemoHits)),
+      cache_memo_misses_(registry->counter(metric::kCacheMemoMisses)),
       heap_peak_(registry->gauge(metric::kHeapPeak)) {}
 
 TraceSession::Snapshot TraceSession::Read() const {
@@ -67,6 +77,10 @@ TraceSession::Snapshot TraceSession::Read() const {
     snap.index_misses = tc.index_misses;
     snap.settled_nodes = tc.settled_nodes;
     snap.dominance_tests = tc.dominance_tests;
+    snap.cache_wavefront_hits = tc.cache_wavefront_hits;
+    snap.cache_wavefront_misses = tc.cache_wavefront_misses;
+    snap.cache_memo_hits = tc.cache_memo_hits;
+    snap.cache_memo_misses = tc.cache_memo_misses;
     return snap;
   }
   snap.network_hits = network_hits_->value();
@@ -75,6 +89,10 @@ TraceSession::Snapshot TraceSession::Read() const {
   snap.index_misses = index_misses_->value();
   snap.settled_nodes = settled_nodes_->value();
   snap.dominance_tests = dominance_tests_->value();
+  snap.cache_wavefront_hits = cache_wavefront_hits_->value();
+  snap.cache_wavefront_misses = cache_wavefront_misses_->value();
+  snap.cache_memo_hits = cache_memo_hits_->value();
+  snap.cache_memo_misses = cache_memo_misses_->value();
   return snap;
 }
 
@@ -108,6 +126,13 @@ void TraceSession::Attribute() {
     self.index_misses += now.index_misses - last_.index_misses;
     self.settled_nodes += now.settled_nodes - last_.settled_nodes;
     self.dominance_tests += now.dominance_tests - last_.dominance_tests;
+    self.cache_wavefront_hits +=
+        now.cache_wavefront_hits - last_.cache_wavefront_hits;
+    self.cache_wavefront_misses +=
+        now.cache_wavefront_misses - last_.cache_wavefront_misses;
+    self.cache_memo_hits += now.cache_memo_hits - last_.cache_memo_hits;
+    self.cache_memo_misses +=
+        now.cache_memo_misses - last_.cache_memo_misses;
   }
   last_ = now;
 }

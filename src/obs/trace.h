@@ -32,6 +32,12 @@ struct SpanCounters {
   std::uint64_t index_misses = 0;    // buffer.index.misses
   std::uint64_t settled_nodes = 0;   // graph.settled_nodes
   std::uint64_t dominance_tests = 0;  // core.dominance_tests
+  // Cross-query cache consultations — a distinct access class, never part
+  // of the page-access counters above.
+  std::uint64_t cache_wavefront_hits = 0;    // cache.wavefront.hits
+  std::uint64_t cache_wavefront_misses = 0;  // cache.wavefront.misses
+  std::uint64_t cache_memo_hits = 0;         // cache.memo.hits
+  std::uint64_t cache_memo_misses = 0;       // cache.memo.misses
 
   SpanCounters& operator+=(const SpanCounters& other);
 };
@@ -109,6 +115,8 @@ class TraceSession {
     std::uint64_t network_hits = 0, network_misses = 0;
     std::uint64_t index_hits = 0, index_misses = 0;
     std::uint64_t settled_nodes = 0, dominance_tests = 0;
+    std::uint64_t cache_wavefront_hits = 0, cache_wavefront_misses = 0;
+    std::uint64_t cache_memo_hits = 0, cache_memo_misses = 0;
   };
 
   Snapshot Read() const;
@@ -132,6 +140,10 @@ class TraceSession {
   Counter* index_misses_;
   Counter* settled_nodes_;
   Counter* dominance_tests_;
+  Counter* cache_wavefront_hits_;
+  Counter* cache_wavefront_misses_;
+  Counter* cache_memo_hits_;
+  Counter* cache_memo_misses_;
   Gauge* heap_peak_;
 
   std::vector<SpanRecord> spans_;

@@ -1,0 +1,147 @@
+// Cache under concurrency: eight workers sharing one QueryCache must
+// produce byte-identical results to sequential cacheless runs, the
+// instance-level cache stats must conserve exactly against the per-query
+// QueryStats sums, and Invalidate racing live queries must stay safe.
+// Runs under TSan in CI (tools/check.sh matches "Cache").
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/query_cache.h"
+#include "core/skyline_query.h"
+#include "exec/query_executor.h"
+#include "gen/workloads.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+constexpr Algorithm kAlgorithms[] = {Algorithm::kCe, Algorithm::kEdc,
+                                     Algorithm::kLbc};
+
+std::unique_ptr<Workload> SharedWorkload() {
+  WorkloadConfig config;
+  config.network = NetworkGenConfig{220, 290, 5, 0.0};
+  config.object_density = 1.0;
+  config.object_seed = 11;
+  // Pools small enough that concurrent queries evict each other's pages.
+  config.graph_buffer_frames = 32;
+  config.index_buffer_frames = 32;
+  return std::make_unique<Workload>(config);
+}
+
+std::vector<QueryRequest> MixedRequests(const Workload& workload,
+                                        std::size_t queries) {
+  std::vector<QueryRequest> requests;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const SkylineQuerySpec spec = workload.SampleQuery(3, 40 + q);
+    for (const Algorithm algorithm : kAlgorithms) {
+      QueryRequest request;
+      request.algorithm = algorithm;
+      request.spec = spec;
+      requests.push_back(request);
+    }
+  }
+  return requests;
+}
+
+TEST(CacheHammerTest, WarmConcurrentBatchesStayByteIdentical) {
+  auto workload = SharedWorkload();
+  const std::vector<QueryRequest> requests = MixedRequests(*workload, 4);
+
+  std::vector<SkylineResult> expected;
+  for (const QueryRequest& request : requests) {
+    expected.push_back(
+        RunSkylineQuery(request.algorithm, workload->dataset(), request.spec));
+    ASSERT_TRUE(expected.back().status.ok());
+  }
+
+  QueryExecutor executor(workload->dataset(), /*workers=*/8,
+                         QueryCacheConfig{});
+  ASSERT_NE(executor.cache(), nullptr);
+
+  std::uint64_t wavefront_hits = 0, wavefront_misses = 0;
+  std::uint64_t memo_hits = 0, memo_misses = 0;
+  // Three rounds of the same batch: round one populates concurrently
+  // (queries sharing sources race to store), later rounds reuse. Whatever
+  // the interleaving — partial snapshots, racing stores, evict-while-read —
+  // every result must equal the sequential cacheless run bit for bit.
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<SkylineResult> results = executor.RunBatch(requests);
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const SkylineResult& got = results[i];
+      const SkylineResult& want = expected[i];
+      ASSERT_TRUE(got.status.ok()) << "round " << round << " request " << i;
+      EXPECT_FALSE(got.truncated);
+      ASSERT_EQ(got.skyline.size(), want.skyline.size())
+          << "round " << round << " request " << i;
+      for (std::size_t j = 0; j < got.skyline.size(); ++j) {
+        EXPECT_EQ(got.skyline[j].object, want.skyline[j].object)
+            << "round " << round << " request " << i;
+        EXPECT_EQ(got.skyline[j].vector, want.skyline[j].vector)
+            << "round " << round << " request " << i;
+      }
+      wavefront_hits += got.stats.cache_wavefront_hits;
+      wavefront_misses += got.stats.cache_wavefront_misses;
+      memo_hits += got.stats.cache_memo_hits;
+      memo_misses += got.stats.cache_memo_misses;
+    }
+  }
+
+  // Conservation: every cache consultation happens inside exactly one
+  // query on exactly one worker thread, so the per-query counters must sum
+  // to the instance totals — no lost or double-counted consultations under
+  // contention.
+  const QueryCache::Stats stats = executor.cache()->stats();
+  EXPECT_EQ(stats.wavefront_hits, wavefront_hits);
+  EXPECT_EQ(stats.wavefront_misses, wavefront_misses);
+  EXPECT_EQ(stats.memo_hits, memo_hits);
+  EXPECT_EQ(stats.memo_misses, memo_misses);
+  // The warm rounds actually reused: plenty of hits across the run.
+  EXPECT_GT(stats.wavefront_hits + stats.memo_hits, 0u);
+}
+
+TEST(CacheHammerTest, InvalidateRacingQueriesKeepsResultsExact) {
+  auto workload = SharedWorkload();
+  const std::vector<QueryRequest> requests = MixedRequests(*workload, 3);
+
+  std::vector<SkylineResult> expected;
+  for (const QueryRequest& request : requests) {
+    expected.push_back(
+        RunSkylineQuery(request.algorithm, workload->dataset(), request.spec));
+    ASSERT_TRUE(expected.back().status.ok());
+  }
+
+  QueryExecutor executor(workload->dataset(), /*workers=*/8,
+                         QueryCacheConfig{});
+  // Same dataset throughout, so Invalidate only discards reusable state —
+  // queries holding snapshot pointers must keep them alive and correct.
+  std::vector<std::future<SkylineResult>> futures;
+  for (int round = 0; round < 3; ++round) {
+    for (const QueryRequest& request : requests) {
+      futures.push_back(executor.Submit(request));
+    }
+    executor.cache()->Invalidate();
+  }
+
+  ASSERT_EQ(futures.size(), 3 * expected.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const SkylineResult got = futures[i].get();
+    const SkylineResult& want = expected[i % expected.size()];
+    ASSERT_TRUE(got.status.ok()) << "request " << i;
+    ASSERT_EQ(got.skyline.size(), want.skyline.size()) << "request " << i;
+    for (std::size_t j = 0; j < got.skyline.size(); ++j) {
+      EXPECT_EQ(got.skyline[j].object, want.skyline[j].object);
+      EXPECT_EQ(got.skyline[j].vector, want.skyline[j].vector);
+    }
+  }
+  EXPECT_GE(executor.cache()->epoch(), 3u);
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,311 @@
+// QueryCache unit tests: both tiers' round trips, LRU-by-bytes eviction,
+// invalidation, key canonicalization, checkpoint probing math, and the
+// cache.* counter discipline (instance stats + per-thread counters).
+#include "cache/query_cache.h"
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/network_gen.h"
+#include "gen/object_gen.h"
+#include "graph/dijkstra.h"
+#include "graph/nn_stream.h"
+#include "obs/metrics.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk_manager.h"
+#include "testing_support.h"
+
+namespace msq {
+namespace {
+
+struct StreamFixture {
+  StreamFixture(RoadNetwork n, std::vector<Location> objs)
+      : network(std::move(n)),
+        graph_buffer(&graph_disk, 512),
+        index_buffer(&index_disk, 512),
+        pager(&network, &graph_buffer),
+        mapping(&network, &index_buffer, objs) {}
+
+  RoadNetwork network;
+  InMemoryDiskManager graph_disk, index_disk;
+  BufferManager graph_buffer, index_buffer;
+  GraphPager pager;
+  SpatialMapping mapping;
+};
+
+// Bytes one memo entry occupies — probed, because the accounting constant
+// is private to the implementation.
+std::size_t MemoEntryBytes() {
+  QueryCache probe;
+  probe.StoreDistance(Location{0, 0.0}, 0, 1.0);
+  return probe.bytes();
+}
+
+TEST(QueryCacheTest, MemoRoundTripCountsHitsAndMisses) {
+  QueryCache cache;
+  const Location source{3, 0.25};
+
+  EXPECT_FALSE(cache.FindDistance(source, 7).has_value());
+  cache.StoreDistance(source, 7, 1.5);
+  const auto found = cache.FindDistance(source, 7);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 1.5);
+  // Distinct object id on the same source is a different memo line.
+  EXPECT_FALSE(cache.FindDistance(source, 8).has_value());
+
+  const QueryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.memo_hits, 1u);
+  EXPECT_EQ(stats.memo_misses, 2u);
+  EXPECT_EQ(stats.memo_inserts, 1u);
+  EXPECT_EQ(stats.wavefront_hits, 0u);
+  EXPECT_EQ(stats.wavefront_misses, 0u);
+  EXPECT_GT(cache.bytes(), 0u);
+}
+
+TEST(QueryCacheTest, NegativeZeroOffsetSharesEntry) {
+  QueryCache cache;
+  cache.StoreDistance(Location{2, 0.0}, 4, 2.0);
+  const auto found = cache.FindDistance(Location{2, -0.0}, 4);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 2.0);
+}
+
+TEST(QueryCacheTest, WavefrontRoundTripResumesIdentically) {
+  RoadNetwork network = GenerateNetwork({.node_count = 120,
+                                         .edge_count = 170,
+                                         .seed = 51});
+  auto objects = GenerateObjects(network, 25, 13);
+  StreamFixture f(std::move(network), objects);
+  const Location source{1, 0.0};
+
+  std::vector<std::pair<ObjectId, Dist>> cold;
+  NetworkNnStream warmup(&f.pager, &f.mapping, source);
+  for (int i = 0; i < 10; ++i) {
+    const auto visit = warmup.Next();
+    ASSERT_TRUE(visit.has_value());
+    cold.push_back({visit->object, visit->distance});
+  }
+
+  QueryCache cache;
+  cache.StoreWavefront(source, warmup.MakeSnapshot());
+  EXPECT_EQ(cache.stats().wavefront_inserts, 1u);
+
+  const QueryCache::WavefrontPtr snapshot = cache.FindWavefront(source);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(cache.stats().wavefront_hits, 1u);
+
+  // The cached snapshot resumes a stream that replays the cold prefix
+  // bitwise.
+  NetworkNnStream resumed(&f.pager, &f.mapping, source, snapshot.get());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    const auto visit = resumed.Next();
+    ASSERT_TRUE(visit.has_value());
+    EXPECT_EQ(visit->object, cold[i].first) << "position " << i;
+    EXPECT_EQ(visit->distance, cold[i].second) << "position " << i;
+  }
+
+  // A different source is a miss.
+  EXPECT_EQ(cache.FindWavefront(Location{0, 0.0}), nullptr);
+  EXPECT_EQ(cache.stats().wavefront_misses, 1u);
+}
+
+TEST(QueryCacheTest, HeldSnapshotSurvivesInvalidate) {
+  RoadNetwork network = testing::MakeGridNetwork(4);
+  std::vector<Location> objects = {{0, 0.0}, {5, 0.0}};
+  StreamFixture f(std::move(network), objects);
+  const Location source{0, 0.0};
+
+  NetworkNnStream stream(&f.pager, &f.mapping, source);
+  while (stream.Next()) {
+  }
+  QueryCache cache;
+  cache.StoreWavefront(source, stream.MakeSnapshot());
+  cache.StoreDistance(source, 0, 0.5);
+
+  const QueryCache::WavefrontPtr held = cache.FindWavefront(source);
+  ASSERT_NE(held, nullptr);
+  const std::size_t held_objects = held->object_best.size();
+
+  EXPECT_EQ(cache.epoch(), 0u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.epoch(), 1u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.FindWavefront(source), nullptr);
+  EXPECT_FALSE(cache.FindDistance(source, 0).has_value());
+
+  // The reader's shared_ptr keeps the evicted snapshot alive and intact.
+  EXPECT_EQ(held->object_best.size(), held_objects);
+  EXPECT_EQ(held_objects, 2u);
+}
+
+TEST(QueryCacheTest, LruEvictionRespectsByteBudget) {
+  const std::size_t entry = MemoEntryBytes();
+  QueryCacheConfig config;
+  config.shard_count = 1;
+  config.max_bytes = entry * 3 + entry / 2;  // room for exactly 3 entries
+  QueryCache cache(config);
+
+  const Location source{0, 0.0};
+  for (ObjectId id = 0; id < 10; ++id) {
+    cache.StoreDistance(source, id, static_cast<Dist>(id));
+  }
+  EXPECT_LE(cache.bytes(), config.max_bytes);
+  EXPECT_EQ(cache.stats().evictions, 7u);
+  EXPECT_EQ(cache.stats().memo_inserts, 10u);
+
+  // The three most recent entries survive; the oldest were evicted.
+  EXPECT_TRUE(cache.FindDistance(source, 9).has_value());
+  EXPECT_TRUE(cache.FindDistance(source, 8).has_value());
+  EXPECT_TRUE(cache.FindDistance(source, 7).has_value());
+  EXPECT_FALSE(cache.FindDistance(source, 0).has_value());
+  EXPECT_FALSE(cache.FindDistance(source, 6).has_value());
+}
+
+TEST(QueryCacheTest, FindRefreshesLruRecency) {
+  const std::size_t entry = MemoEntryBytes();
+  QueryCacheConfig config;
+  config.shard_count = 1;
+  config.max_bytes = entry * 3;
+  QueryCache cache(config);
+
+  const Location source{0, 0.0};
+  cache.StoreDistance(source, 0, 0.0);
+  cache.StoreDistance(source, 1, 1.0);
+  cache.StoreDistance(source, 2, 2.0);
+  // Touch the oldest entry, then overflow: the untouched middle entry is
+  // now least-recently used and must be the victim.
+  ASSERT_TRUE(cache.FindDistance(source, 0).has_value());
+  cache.StoreDistance(source, 3, 3.0);
+
+  EXPECT_TRUE(cache.FindDistance(source, 0).has_value());
+  EXPECT_FALSE(cache.FindDistance(source, 1).has_value());
+  EXPECT_TRUE(cache.FindDistance(source, 2).has_value());
+  EXPECT_TRUE(cache.FindDistance(source, 3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(QueryCacheTest, ReplacingAnEntryDoesNotLeakBytes) {
+  QueryCache cache;
+  const Location source{1, 0.5};
+  cache.StoreDistance(source, 2, 1.0);
+  const std::size_t bytes_after_first = cache.bytes();
+  cache.StoreDistance(source, 2, 1.0);
+  EXPECT_EQ(cache.bytes(), bytes_after_first);
+  EXPECT_EQ(cache.stats().memo_inserts, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(QueryCacheTest, OversizedWavefrontIsRejected) {
+  RoadNetwork network = GenerateNetwork({.node_count = 200,
+                                         .edge_count = 280,
+                                         .seed = 53});
+  auto objects = GenerateObjects(network, 40, 19);
+  StreamFixture f(std::move(network), objects);
+  const Location source{0, 0.0};
+  NetworkNnStream stream(&f.pager, &f.mapping, source);
+  while (stream.Next()) {
+  }
+  NetworkNnStream::Snapshot snapshot = stream.MakeSnapshot();
+
+  QueryCacheConfig config;
+  config.shard_count = 1;
+  config.max_bytes = 256;  // far below any 200-node snapshot
+  ASSERT_GT(snapshot.bytes(), config.max_bytes);
+  QueryCache cache(config);
+  cache.StoreWavefront(source, std::move(snapshot));
+
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().wavefront_inserts, 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.FindWavefront(source), nullptr);
+}
+
+TEST(QueryCacheTest, ProbeCheckpointBoundsAndExactness) {
+  // Line of 5 nodes (4 edges of length 0.25); source sits on node 0.
+  RoadNetwork network = testing::MakeLineNetwork(5);
+  const Dist len = network.EdgeAt(0).length;
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 512);
+  GraphPager pager(&network, &buffer);
+  const Location source{0, 0.0};
+
+  DijkstraSearch search(&pager, source);
+  search.NextSettled();  // node 0 at 0
+  search.NextSettled();  // node 1 at len
+  const DijkstraSearch::Checkpoint checkpoint = search.MakeCheckpoint();
+  const Dist radius = CheckpointRadius(checkpoint);
+  EXPECT_DOUBLE_EQ(radius, 2 * len);  // node 2 is the frontier minimum
+
+  // Both endpoints settled: exact, and the same-edge direct path wins.
+  const WavefrontProbe settled = ProbeCheckpoint(
+      network, checkpoint, radius, source, Location{0, len * 0.5});
+  EXPECT_TRUE(settled.exact);
+  EXPECT_DOUBLE_EQ(settled.bound, len * 0.5);
+
+  // One endpoint settled, and its route provably beats anything through
+  // the unsettled frontier: still exact.
+  const WavefrontProbe one_side = ProbeCheckpoint(
+      network, checkpoint, radius, source, Location{1, len * 0.2});
+  EXPECT_TRUE(one_side.exact);
+  EXPECT_DOUBLE_EQ(one_side.bound, len * 1.2);
+
+  // Both endpoints beyond the frontier: an admissible (non-exact) lower
+  // bound derived from the radius.
+  const Location far{3, len * 0.4};
+  const WavefrontProbe beyond =
+      ProbeCheckpoint(network, checkpoint, radius, source, far);
+  EXPECT_FALSE(beyond.exact);
+  EXPECT_DOUBLE_EQ(beyond.bound, 2 * len + len * 0.4);
+  DijkstraSearch oracle(&pager, source);
+  EXPECT_LE(beyond.bound, oracle.DistanceTo(far));
+}
+
+TEST(QueryCacheTest, ExhaustedCheckpointProbesExactlyEverywhere) {
+  RoadNetwork network = GenerateNetwork({.node_count = 80,
+                                         .edge_count = 120,
+                                         .seed = 59});
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 512);
+  GraphPager pager(&network, &buffer);
+  const Location source{2, network.EdgeAt(2).length * 0.5};
+
+  DijkstraSearch search(&pager, source);
+  while (search.NextSettled()) {
+  }
+  const DijkstraSearch::Checkpoint checkpoint = search.MakeCheckpoint();
+  const Dist radius = CheckpointRadius(checkpoint);
+  EXPECT_EQ(radius, kInfDist);
+
+  for (const EdgeId edge : {EdgeId{0}, EdgeId{17}, EdgeId{63}, EdgeId{119}}) {
+    const Location target{edge, network.EdgeAt(edge).length * 0.25};
+    const WavefrontProbe probe =
+        ProbeCheckpoint(network, checkpoint, radius, source, target);
+    EXPECT_TRUE(probe.exact) << "edge " << edge;
+    EXPECT_EQ(probe.bound, search.DistanceTo(target)) << "edge " << edge;
+  }
+}
+
+TEST(QueryCacheTest, FindsBumpThreadLocalCounters) {
+  QueryCache cache;
+  const obs::ThreadCounters before = obs::ThreadLocalCounters();
+
+  cache.FindWavefront(Location{0, 0.0});                 // miss
+  cache.StoreDistance(Location{0, 0.0}, 1, 1.0);
+  cache.FindDistance(Location{0, 0.0}, 1);               // hit
+  cache.FindDistance(Location{0, 0.0}, 2);               // miss
+
+  const obs::ThreadCounters& after = obs::ThreadLocalCounters();
+  EXPECT_EQ(after.cache_wavefront_hits - before.cache_wavefront_hits, 0u);
+  EXPECT_EQ(after.cache_wavefront_misses - before.cache_wavefront_misses,
+            1u);
+  EXPECT_EQ(after.cache_memo_hits - before.cache_memo_hits, 1u);
+  EXPECT_EQ(after.cache_memo_misses - before.cache_memo_misses, 1u);
+}
+
+}  // namespace
+}  // namespace msq

@@ -174,5 +174,64 @@ TEST(DijkstraTest, MultipleTargetsOneTraversal) {
   }
 }
 
+// A search resumed from a mid-expansion checkpoint must settle the exact
+// same remaining sequence — same nodes, same order, bitwise-equal
+// distances — as the cold search it was taken from. Distance ties are the
+// hazard: the (dist, id) heap tie-break must make settle order independent
+// of insertion history, which a checkpoint reshuffles.
+TEST(DijkstraTest, CheckpointResumeReplaysSettleSequence) {
+  // Grid networks maximize equal-distance plateaus.
+  PagedFixture f(testing::MakeGridNetwork(8));
+  const Location source{0, 0.0};
+
+  std::vector<DijkstraSearch::Settled> cold;
+  {
+    DijkstraSearch search(&f.pager, source);
+    while (const auto settled = search.NextSettled()) {
+      cold.push_back(*settled);
+    }
+  }
+  ASSERT_EQ(cold.size(), f.network.node_count());
+
+  for (const std::size_t consume : {std::size_t{0}, cold.size() / 3,
+                                    cold.size() - 1, cold.size()}) {
+    DijkstraSearch warmup(&f.pager, source);
+    for (std::size_t i = 0; i < consume; ++i) warmup.NextSettled();
+    const DijkstraSearch::Checkpoint checkpoint = warmup.MakeCheckpoint();
+    EXPECT_EQ(checkpoint.settled_count, consume);
+    EXPECT_GT(checkpoint.bytes(), 0u);
+
+    DijkstraSearch resumed(&f.pager, source, checkpoint);
+    EXPECT_EQ(resumed.settled_count(), consume);
+    std::size_t at = consume;
+    while (const auto settled = resumed.NextSettled()) {
+      ASSERT_LT(at, cold.size());
+      EXPECT_EQ(settled->node, cold[at].node) << "position " << at;
+      EXPECT_EQ(settled->distance, cold[at].distance) << "position " << at;
+      ++at;
+    }
+    EXPECT_EQ(at, cold.size()) << "consumed " << consume;
+  }
+}
+
+// Labels of already-settled nodes survive a checkpoint round trip, so
+// DistanceTo on a resumed search answers from the copied labels.
+TEST(DijkstraTest, CheckpointPreservesLabels) {
+  PagedFixture f(GenerateNetwork({.node_count = 200,
+                                  .edge_count = 300,
+                                  .seed = 41}));
+  const Location source{2, 0.0};
+  DijkstraSearch search(&f.pager, source);
+  while (search.NextSettled()) {
+  }
+  const DijkstraSearch::Checkpoint checkpoint = search.MakeCheckpoint();
+
+  DijkstraSearch resumed(&f.pager, source, checkpoint);
+  for (NodeId node = 0; node < f.network.node_count(); ++node) {
+    EXPECT_EQ(resumed.IsSettled(node), search.IsSettled(node));
+    EXPECT_EQ(resumed.Label(node), search.Label(node));
+  }
+}
+
 }  // namespace
 }  // namespace msq

@@ -125,5 +125,125 @@ TEST(NetworkNnStreamTest, NoObjects) {
   EXPECT_FALSE(stream.Next().has_value());
 }
 
+// Distance-tie regression: several objects at exactly the same distance
+// (co-located pairs plus a symmetric twin across the source) must emit in
+// ascending object id, independent of heap insertion history.
+TEST(NetworkNnStreamTest, EqualDistanceTiesEmitInAscendingObjectId) {
+  RoadNetwork network = testing::MakeLineNetwork(5);
+  const Dist len = network.EdgeAt(0).length;
+  // Source mid-network; objects 0..3 all at distance len * 0.5, placed so
+  // discovery order (left/right, co-located duplicates) differs from id
+  // order.
+  const Location source{1, len * 0.5};
+  std::vector<Location> objects = {
+      {2, 0.0},          // right of source, on node 2: distance len * 0.5
+      {1, 0.0},          // left of source, on node 1: distance len * 0.5
+      {2, 0.0},          // co-located duplicate of object 0
+      {0, len * 1.0},    // on node 1 via edge 0's far end: also len * 0.5
+      {3, len * 0.25},   // strictly farther: len * 1.25
+  };
+  StreamFixture f(std::move(network), objects);
+  NetworkNnStream stream(&f.pager, &f.mapping, source);
+  std::vector<ObjectId> order;
+  while (const auto visit = stream.Next()) order.push_back(visit->object);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 3u);
+  EXPECT_EQ(order[4], 4u);
+}
+
+// Zero-length offsets put objects exactly on nodes, so emission distances
+// coincide exactly with wavefront radii — the boundary where the strict-<
+// emission condition must hold an object back until its distance twins are
+// all discovered, on both cold and resumed runs.
+TEST(NetworkNnStreamTest, ObjectsOnNodesEmitAtRadiusBoundary) {
+  RoadNetwork network = testing::MakeLineNetwork(6);
+  const Dist len = network.EdgeAt(0).length;
+  std::vector<Location> objects = {
+      {0, 0.0}, {1, 0.0}, {2, 0.0}, {3, 0.0}, {4, 0.0},
+  };
+  StreamFixture f(std::move(network), objects);
+  NetworkNnStream stream(&f.pager, &f.mapping, Location{0, 0.0});
+  std::vector<std::pair<ObjectId, Dist>> emitted;
+  while (const auto visit = stream.Next()) {
+    emitted.push_back({visit->object, visit->distance});
+  }
+  ASSERT_EQ(emitted.size(), 5u);
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    EXPECT_EQ(emitted[i].first, static_cast<ObjectId>(i));
+    EXPECT_NEAR(emitted[i].second, len * static_cast<double>(i), 1e-12);
+  }
+}
+
+// A stream resumed from a snapshot must replay the cold emission sequence
+// byte for byte — same objects, same order, bitwise-equal distances —
+// regardless of where in the stream the snapshot was taken.
+TEST(NetworkNnStreamTest, ResumedStreamReplaysColdSequenceExactly) {
+  RoadNetwork network = GenerateNetwork({.node_count = 250,
+                                         .edge_count = 360,
+                                         .seed = 91});
+  auto objects = GenerateObjects(network, 60, 29);
+  StreamFixture f(std::move(network), objects);
+  const Location source{3, 0.0};
+
+  std::vector<std::pair<ObjectId, Dist>> cold;
+  {
+    NetworkNnStream stream(&f.pager, &f.mapping, source);
+    while (const auto visit = stream.Next()) {
+      cold.push_back({visit->object, visit->distance});
+    }
+  }
+  ASSERT_FALSE(cold.empty());
+
+  // Snapshot points: untouched, mid-stream, and fully exhausted.
+  for (const std::size_t consume : {std::size_t{0}, cold.size() / 2,
+                                    cold.size()}) {
+    NetworkNnStream warmup(&f.pager, &f.mapping, source);
+    for (std::size_t i = 0; i < consume; ++i) warmup.Next();
+    const NetworkNnStream::Snapshot snapshot = warmup.MakeSnapshot();
+    EXPECT_GT(snapshot.bytes(), 0u);
+
+    NetworkNnStream resumed(&f.pager, &f.mapping, source, &snapshot);
+    std::vector<std::pair<ObjectId, Dist>> warm;
+    while (const auto visit = resumed.Next()) {
+      warm.push_back({visit->object, visit->distance});
+    }
+    ASSERT_EQ(warm.size(), cold.size()) << "consumed " << consume;
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+      EXPECT_EQ(warm[i].first, cold[i].first) << "position " << i;
+      // Bitwise equality: resumed labels are copies of cold labels.
+      EXPECT_EQ(warm[i].second, cold[i].second) << "position " << i;
+    }
+  }
+}
+
+// Resuming from a fully exhausted snapshot must not touch the graph pager
+// at all: every emission comes from the snapshot's object distances.
+TEST(NetworkNnStreamTest, ExhaustedSnapshotResumeReadsNoPages) {
+  RoadNetwork network = GenerateNetwork({.node_count = 150,
+                                         .edge_count = 210,
+                                         .seed = 97});
+  auto objects = GenerateObjects(network, 30, 31);
+  StreamFixture f(std::move(network), objects);
+  const Location source{2, 0.0};
+
+  NetworkNnStream warmup(&f.pager, &f.mapping, source);
+  std::size_t cold_count = 0;
+  while (warmup.Next()) ++cold_count;
+  const NetworkNnStream::Snapshot snapshot = warmup.MakeSnapshot();
+
+  const std::uint64_t accesses_before = f.graph_buffer.stats().accesses();
+  NetworkNnStream resumed(&f.pager, &f.mapping, source, &snapshot);
+  std::size_t warm_count = 0;
+  while (resumed.Next()) ++warm_count;
+  EXPECT_EQ(warm_count, cold_count);
+  // The only expansion allowed is the final frontier-exhaustion check,
+  // which pops nothing new when the snapshot was exhausted; no adjacency
+  // page reads should occur.
+  EXPECT_EQ(f.graph_buffer.stats().accesses(), accesses_before);
+}
+
 }  // namespace
 }  // namespace msq

@@ -176,6 +176,13 @@ void ExpectProfileMatchesStats(Algorithm algorithm, std::uint64_t seed) {
   EXPECT_EQ(total.index_hits + total.index_misses,
             result.stats.index_page_accesses);
   EXPECT_EQ(total.settled_nodes, result.stats.settled_nodes);
+  // Cache consultations reconcile as their own access class (zero in this
+  // cacheless harness, non-zero coverage lives in tests/cache/).
+  EXPECT_EQ(total.cache_wavefront_hits, result.stats.cache_wavefront_hits);
+  EXPECT_EQ(total.cache_wavefront_misses,
+            result.stats.cache_wavefront_misses);
+  EXPECT_EQ(total.cache_memo_hits, result.stats.cache_memo_hits);
+  EXPECT_EQ(total.cache_memo_misses, result.stats.cache_memo_misses);
 
   // Self counters are an exact partition: summing them must also equal the
   // root span's inclusive view.

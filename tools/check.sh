@@ -8,7 +8,12 @@
 #   asan (default)  address+undefined over the full test suite
 #   tsan            thread sanitizer over the concurrency suites
 #                   (BufferManagerConcurrency / QueryExecutor /
-#                   ConcurrentHammer tests — the multi-threaded code paths)
+#                   ConcurrentHammer / Cache tests — the multi-threaded
+#                   code paths)
+#
+# Also validates that the committed BENCH_throughput.json carries its host
+# metadata (hardware_concurrency), so benchmark numbers are never read
+# without knowing the core count they were measured on.
 #
 # The build dir defaults to build-asan/ or build-tsan/ next to the source
 # tree, so `tools/check.sh build-asan` (the CI invocation) keeps working.
@@ -32,6 +37,17 @@ case "$mode" in
     ;;
 esac
 
+# Bench metadata gate: the committed throughput numbers must state the core
+# count of the host that produced them (bench_throughput embeds it; a file
+# without it predates the field or was hand-edited).
+bench_json="$repo_root/BENCH_throughput.json"
+if [[ -f "$bench_json" ]] && \
+   ! grep -q '"hardware_concurrency"' "$bench_json"; then
+  echo "check.sh: $bench_json lacks \"hardware_concurrency\" —" \
+       "re-run bench_throughput to regenerate it" >&2
+  exit 1
+fi
+
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMSQ_SANITIZE="$sanitize"
@@ -43,7 +59,7 @@ if [[ "$mode" == "tsan" ]]; then
   # actually run threads. second_deadlock_stack aids lock-order reports.
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
     ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-      -R "Concurrency|Executor|Hammer"
+      -R "Concurrency|Executor|Hammer|Cache"
 else
   # halt_on_error makes UBSan findings fail the run instead of just logging.
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
