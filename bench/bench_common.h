@@ -19,6 +19,7 @@
 
 #include "bench_support/metrics.h"
 #include "bench_support/table.h"
+#include "obs/build_info.h"
 #include "core/ce.h"
 #include "core/edc.h"
 #include "core/lbc.h"
@@ -82,11 +83,20 @@ inline SkylineResult RunFigureAlgo(FigureAlgo algo, const Dataset& dataset,
 }
 
 // Per-run JSONL sink, opened once from MSQ_BENCH_METRICS_OUT (append mode
-// so several bench binaries can share one log). Null when unset.
+// so several bench binaries can share one log). Null when unset. The first
+// line each binary appends is its build-info stamp, so every run block in
+// a shared log states what produced it.
 inline std::FILE* MetricsOut() {
   static std::FILE* file = [] {
     const char* path = std::getenv("MSQ_BENCH_METRICS_OUT");
-    return path == nullptr ? nullptr : std::fopen(path, "a");
+    std::FILE* f = path == nullptr ? nullptr : std::fopen(path, "a");
+    if (f != nullptr) {
+      // BuildInfoJson() is "{...}"; splice a type tag into the object.
+      std::fprintf(f, "{\"type\":\"build_info\",%s\n",
+                   obs::BuildInfoJson().c_str() + 1);
+      std::fflush(f);
+    }
+    return f;
   }();
   return file;
 }

@@ -1,13 +1,18 @@
 // Concurrent throughput benchmark: a fixed mixed CE/EDC/LBC batch on the
 // Figure-5 (CA) and Figure-6 (NA) workloads, replayed through QueryExecutor
-// at 1/2/4/8 workers. Reports QPS and per-query latency percentiles, checks
-// every concurrent result byte-for-byte against the single-threaded run,
-// and writes the numbers as JSON for the committed BENCH_throughput.json.
+// at 1/2/4/8 workers. Reports QPS and per-query latency percentiles (from
+// the log-bucketed obs::Histogram — the same substrate serving telemetry
+// uses), checks every concurrent result byte-for-byte against the
+// single-threaded run, and writes the numbers as JSON for the committed
+// BENCH_throughput.json.
 //
-// Each worker count is measured twice: cold (no cross-query reuse, the
-// baseline) and warm (executor-owned QueryCache populated by an untimed
-// pass, then the same batch timed) — the warm columns quantify the
-// cross-query cache's page-access reduction and QPS gain on repeated
+// Each worker count is measured three ways: cold with default always-on
+// telemetry (the serving configuration), cold with telemetry disabled
+// (the PR-4-equivalent baseline the <2% overhead budget is measured
+// against; both cold passes take the best of kTimedReps timed batches to
+// damp scheduler noise), and warm (executor-owned QueryCache populated by
+// an untimed pass, then the same batch timed) — the warm columns quantify
+// the cross-query cache's page-access reduction and QPS gain on repeated
 // queries, with results still checked byte-for-byte against the oracle.
 //
 // Environment:
@@ -15,7 +20,7 @@
 //   MSQ_THROUGHPUT_BATCH   requests per batch (default 48)
 //   MSQ_THROUGHPUT_OUT     JSON output path (default BENCH_throughput.json
 //                          in the working directory; empty string disables)
-#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +32,9 @@
 #include "core/skyline_query.h"
 #include "exec/query_executor.h"
 #include "gen/workloads.h"
+#include "obs/build_info.h"
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
 
 namespace msq::bench {
 namespace {
@@ -34,6 +42,10 @@ namespace {
 constexpr Algorithm kAlgorithms[] = {Algorithm::kCe, Algorithm::kEdc,
                                      Algorithm::kLbc};
 constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
+// Timed batch repetitions per cold mode; the best (min-wall) repetition is
+// reported, damping one-off scheduler hiccups that would otherwise swamp
+// the sub-2% telemetry-overhead comparison.
+constexpr std::size_t kTimedReps = 3;
 
 struct Point {
   std::size_t workers = 0;
@@ -43,6 +55,11 @@ struct Point {
   double p99_ms = 0.0;
   double speedup = 1.0;
   bool matches_oracle = true;
+  // Cold pass re-run with TelemetryConfig{enabled=false}: the PR-4
+  // baseline the always-on overhead budget is measured against.
+  double telemetry_off_wall_seconds = 0.0;
+  double qps_telemetry_off = 0.0;
+  double telemetry_overhead_pct = 0.0;
   // Warm-cache replay of the same batch through a cache-carrying executor.
   double warm_wall_seconds = 0.0;
   double warm_qps = 0.0;
@@ -61,11 +78,21 @@ struct WorkloadReport {
   std::vector<Point> points;
 };
 
-double PercentileMs(std::vector<double> seconds, double q) {
-  std::sort(seconds.begin(), seconds.end());
-  const std::size_t rank = static_cast<std::size_t>(
-      q * static_cast<double>(seconds.size() - 1) + 0.5);
-  return seconds[rank] * 1000.0;
+// Runs `reps` timed batches through `executor`, returning the minimum wall
+// seconds; `results` receives the last repetition's results.
+double TimedBatches(QueryExecutor& executor,
+                    const std::vector<QueryRequest>& requests,
+                    std::size_t reps,
+                    std::vector<SkylineResult>* results) {
+  double best = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const double start = MonotonicSeconds();
+    std::vector<SkylineResult> batch = executor.RunBatch(requests);
+    const double wall = MonotonicSeconds() - start;
+    if (rep == 0 || wall < best) best = wall;
+    if (rep + 1 == reps) *results = std::move(batch);
+  }
+  return best;
 }
 
 bool SameSkyline(const SkylineResult& a, const SkylineResult& b) {
@@ -109,34 +136,58 @@ WorkloadReport RunOne(NetworkClass cls, const BenchEnv& env,
   }
 
   TablePrinter table({"workers", "QPS", "p50(ms)", "p99(ms)", "wall(s)",
-                      "speedup", "warmQPS", "netacc-", "match"});
+                      "speedup", "teleQPS", "tele%", "warmQPS", "netacc-",
+                      "match"});
   for (const std::size_t workers : kWorkerCounts) {
     Point point;
     point.workers = workers;
     {
-      // Cold: no cross-query reuse, buffer pools warmed untimed.
+      // Cold, serving configuration: default always-on telemetry, no
+      // cross-query reuse, buffer pools warmed untimed.
       QueryExecutor executor(workload.dataset(), workers);
       executor.RunBatch(requests);
 
-      const double start = MonotonicSeconds();
-      const std::vector<SkylineResult> results = executor.RunBatch(requests);
-      const double wall = MonotonicSeconds() - start;
+      std::vector<SkylineResult> results;
+      const double wall =
+          TimedBatches(executor, requests, kTimedReps, &results);
 
       point.wall_seconds = wall;
       point.qps = static_cast<double>(results.size()) / wall;
-      std::vector<double> latencies;
-      latencies.reserve(results.size());
+      // Per-query latency distribution through the same log-bucketed
+      // histogram substrate the telemetry layer exports (obs/histogram.h):
+      // quantile estimates are within one log2 bucket of the exact order
+      // statistic, plenty for a ms-resolution table.
+      obs::Histogram latency_hist;
       for (std::size_t i = 0; i < results.size(); ++i) {
-        latencies.push_back(results[i].stats.total_seconds);
+        latency_hist.Observe(static_cast<std::uint64_t>(
+            std::llround(results[i].stats.total_seconds * 1e6)));
         point.cold_network_accesses += results[i].stats.network_page_accesses;
         point.matches_oracle =
             point.matches_oracle && SameSkyline(results[i], oracle[i]);
       }
-      point.p50_ms = PercentileMs(latencies, 0.50);
-      point.p99_ms = PercentileMs(latencies, 0.99);
+      const obs::Histogram::Snapshot latencies = latency_hist.TakeSnapshot();
+      point.p50_ms = latencies.Quantile(0.50) / 1e3;
+      point.p99_ms = latencies.Quantile(0.99) / 1e3;
       point.speedup = report.points.empty()
                           ? 1.0
                           : report.points.front().wall_seconds / wall;
+    }
+    {
+      // Cold again with telemetry disabled — the PR-4-equivalent baseline.
+      // The QPS delta against the pass above is the always-on overhead the
+      // <2% budget in ISSUE/DESIGN refers to.
+      obs::TelemetryConfig off;
+      off.enabled = false;
+      QueryExecutor executor(workload.dataset(), workers, off);
+      executor.RunBatch(requests);
+
+      std::vector<SkylineResult> results;
+      point.telemetry_off_wall_seconds =
+          TimedBatches(executor, requests, kTimedReps, &results);
+      point.qps_telemetry_off = static_cast<double>(results.size()) /
+                                point.telemetry_off_wall_seconds;
+      point.telemetry_overhead_pct =
+          100.0 * (1.0 - point.qps / point.qps_telemetry_off);
     }
     {
       // Warm: same batch, executor-owned cache populated by an untimed
@@ -172,6 +223,8 @@ WorkloadReport RunOne(NetworkClass cls, const BenchEnv& env,
                   TablePrinter::Fixed(point.p99_ms, 2),
                   TablePrinter::Fixed(point.wall_seconds, 3),
                   TablePrinter::Fixed(point.speedup, 2),
+                  TablePrinter::Fixed(point.qps_telemetry_off, 1),
+                  TablePrinter::Fixed(point.telemetry_overhead_pct, 2),
                   TablePrinter::Fixed(point.warm_qps, 1),
                   TablePrinter::Fixed(point.warm_access_reduction_pct, 1),
                   point.matches_oracle && point.warm_matches_oracle ? "yes"
@@ -193,6 +246,8 @@ void WriteJson(const std::vector<WorkloadReport>& reports,
     return;
   }
   std::fprintf(out, "{\n  \"bench\": \"throughput\",\n");
+  std::fprintf(out, "  \"build_info\": %s,\n",
+               obs::BuildInfoJson().c_str());
   const unsigned cores = std::thread::hardware_concurrency();
   std::fprintf(out, "  \"hardware_concurrency\": %u,\n", cores);
   std::fprintf(out, "  \"single_core_host\": %s,\n",
@@ -201,7 +256,11 @@ void WriteJson(const std::vector<WorkloadReport>& reports,
                env.scale, batch);
   std::fprintf(out,
                "  \"note\": \"latency = per-query wall clock inside the "
-               "worker; speedup relative to the 1-worker batch\",\n");
+               "worker (log-bucketed histogram quantiles); speedup relative "
+               "to the 1-worker batch; qps vs qps_telemetry_off = always-on "
+               "serving telemetry vs disabled, best-of-%zu batches "
+               "each\",\n",
+               kTimedReps);
   std::fprintf(out, "  \"workloads\": [\n");
   for (std::size_t w = 0; w < reports.size(); ++w) {
     const WorkloadReport& report = reports[w];
@@ -215,6 +274,9 @@ void WriteJson(const std::vector<WorkloadReport>& reports,
                    "      {\"workers\": %zu, \"qps\": %.2f, \"p50_ms\": %.3f,"
                    " \"p99_ms\": %.3f, \"wall_seconds\": %.4f,"
                    " \"speedup_vs_1\": %.3f, \"results_match_oracle\": %s,"
+                   " \"qps_telemetry_off\": %.2f,"
+                   " \"telemetry_off_wall_seconds\": %.4f,"
+                   " \"telemetry_overhead_pct\": %.2f,"
                    " \"warm_qps\": %.2f, \"warm_wall_seconds\": %.4f,"
                    " \"network_page_accesses_cold\": %llu,"
                    " \"network_page_accesses_warm\": %llu,"
@@ -224,7 +286,9 @@ void WriteJson(const std::vector<WorkloadReport>& reports,
                    " \"warm_results_match_oracle\": %s}%s\n",
                    point.workers, point.qps, point.p50_ms, point.p99_ms,
                    point.wall_seconds, point.speedup,
-                   point.matches_oracle ? "true" : "false", point.warm_qps,
+                   point.matches_oracle ? "true" : "false",
+                   point.qps_telemetry_off, point.telemetry_off_wall_seconds,
+                   point.telemetry_overhead_pct, point.warm_qps,
                    point.warm_wall_seconds,
                    static_cast<unsigned long long>(point.cold_network_accesses),
                    static_cast<unsigned long long>(point.warm_network_accesses),

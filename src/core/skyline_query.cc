@@ -1,5 +1,8 @@
 #include "core/skyline_query.h"
 
+#include <cstdint>
+#include <cstring>
+
 #include "common/check.h"
 
 namespace msq {
@@ -71,6 +74,42 @@ SkylineResult RunSkylineQuery(Algorithm algorithm, const Dataset& dataset,
   }
   MSQ_CHECK(false);
   return {};
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t state = 14695981039346656037ull;
+
+  void Mix(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      state ^= (value >> (byte * 8)) & 0xff;
+      state *= 1099511628211ull;
+    }
+  }
+  void MixDouble(double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    Mix(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t QuerySpecDigest(Algorithm algorithm,
+                              const SkylineQuerySpec& spec) {
+  Fnv1a hash;
+  hash.Mix(static_cast<std::uint64_t>(algorithm));
+  hash.Mix(spec.sources.size());
+  for (const Location& source : spec.sources) {
+    hash.Mix(source.edge);
+    hash.MixDouble(source.offset);
+  }
+  hash.Mix(spec.lbc_source_index);
+  hash.Mix(spec.limits.max_page_accesses);
+  hash.MixDouble(spec.limits.max_seconds);
+  return hash.state;
 }
 
 }  // namespace msq

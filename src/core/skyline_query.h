@@ -2,6 +2,7 @@
 #ifndef MSQ_CORE_SKYLINE_QUERY_H_
 #define MSQ_CORE_SKYLINE_QUERY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -38,6 +39,15 @@ SkylineResult RunSkylineQuery(Algorithm algorithm, const Dataset& dataset,
                               const SkylineQuerySpec& spec,
                               const ProgressiveCallback& on_skyline =
                                   nullptr);
+
+// Stable 64-bit digest of (algorithm, query spec) — the identity stamped
+// on flight-recorder entries so the last-N-queries log can say *which*
+// query a record describes without retaining the spec. FNV-1a over the
+// algorithm, the sources (edge ids and offset bit patterns), the LBC
+// origin index, and the limits; identical specs digest identically across
+// runs and processes.
+std::uint64_t QuerySpecDigest(Algorithm algorithm,
+                              const SkylineQuerySpec& spec);
 
 }  // namespace msq
 

@@ -3,21 +3,73 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace msq {
+namespace {
+
+// Translates one completed query into the flight-recorder summary the
+// telemetry layer consumes: result-level fields plus the worker thread's
+// ThreadCounters deltas over the query window (exact — the query ran
+// entirely on this thread).
+obs::FlightRecord MakeFlightRecord(Algorithm algorithm,
+                                   const SkylineQuerySpec& spec,
+                                   const SkylineResult& result,
+                                   const obs::ThreadCounters& before,
+                                   const obs::ThreadCounters& after) {
+  obs::FlightRecord record;
+  record.spec_digest = QuerySpecDigest(algorithm, spec);
+  record.algorithm = static_cast<std::uint32_t>(algorithm);
+  record.status_code = static_cast<std::int32_t>(result.status.code());
+  record.truncation =
+      result.truncated
+          ? static_cast<std::uint32_t>(result.truncation_reason)
+          : 0;
+  record.source_count = static_cast<std::uint32_t>(spec.sources.size());
+  record.skyline_size = result.skyline.size();
+  record.wall_seconds = result.stats.total_seconds;
+  record.network_hits = after.network_hits - before.network_hits;
+  record.network_misses = after.network_misses - before.network_misses;
+  record.index_hits = after.index_hits - before.index_hits;
+  record.index_misses = after.index_misses - before.index_misses;
+  record.settled_nodes = after.settled_nodes - before.settled_nodes;
+  record.dominance_tests = after.dominance_tests - before.dominance_tests;
+  record.cache_hits = (after.cache_wavefront_hits + after.cache_memo_hits) -
+                      (before.cache_wavefront_hits + before.cache_memo_hits);
+  record.cache_misses =
+      (after.cache_wavefront_misses + after.cache_memo_misses) -
+      (before.cache_wavefront_misses + before.cache_memo_misses);
+  return record;
+}
+
+}  // namespace
 
 QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers)
     : QueryExecutor(std::move(dataset), workers,
-                    std::unique_ptr<QueryCache>()) {}
+                    std::unique_ptr<QueryCache>(), obs::TelemetryConfig{}) {}
 
 QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers,
                              const QueryCacheConfig& cache_config)
     : QueryExecutor(std::move(dataset), workers,
-                    std::make_unique<QueryCache>(cache_config)) {}
+                    std::make_unique<QueryCache>(cache_config),
+                    obs::TelemetryConfig{}) {}
 
 QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers,
-                             std::unique_ptr<QueryCache> cache)
+                             const obs::TelemetryConfig& telemetry_config)
+    : QueryExecutor(std::move(dataset), workers,
+                    std::unique_ptr<QueryCache>(), telemetry_config) {}
+
+QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers,
+                             const QueryCacheConfig& cache_config,
+                             const obs::TelemetryConfig& telemetry_config)
+    : QueryExecutor(std::move(dataset), workers,
+                    std::make_unique<QueryCache>(cache_config),
+                    telemetry_config) {}
+
+QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers,
+                             std::unique_ptr<QueryCache> cache,
+                             const obs::TelemetryConfig& telemetry_config)
     : cache_(std::move(cache)), dataset_([&] {
         // An owned cache overrides nothing: the caller either passes a
         // cacheless view or wires their own shared cache instead.
@@ -26,7 +78,8 @@ QueryExecutor::QueryExecutor(Dataset dataset, std::size_t workers,
           dataset.cache = cache_.get();
         }
         return dataset;
-      }()) {
+      }()),
+      telemetry_(std::make_unique<obs::ServingTelemetry>(telemetry_config)) {
   MSQ_CHECK(workers >= 1);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
@@ -77,6 +130,11 @@ std::size_t QueryExecutor::pending() const {
   return queue_.size();
 }
 
+void QueryExecutor::Quiesce() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
 void QueryExecutor::WorkerLoop() {
   // The worker's private trace session. It tracks the global registry, so
   // it snapshots this thread's ThreadCounters (obs/trace.h) — per-query
@@ -90,6 +148,7 @@ void QueryExecutor::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     SkylineQuerySpec spec = std::move(job.request.spec);
     if (job.request.collect_profile) spec.trace = &trace;
@@ -97,10 +156,52 @@ void QueryExecutor::WorkerLoop() {
     // nothing throws across the promise. Anything unexpected still must not
     // kill the process via a promise left unset.
     try {
-      job.promise.set_value(
-          RunSkylineQuery(job.request.algorithm, dataset_, spec));
+      const bool telemetry_on = telemetry_->enabled();
+      obs::ThreadCounters before;
+      if (telemetry_on) before = obs::ThreadLocalCounters();
+      SkylineResult result =
+          RunSkylineQuery(job.request.algorithm, dataset_, spec);
+      obs::FlightRecord record;
+      std::optional<obs::QueryProfile> caller_profile;
+      if (telemetry_on) {
+        record = MakeFlightRecord(job.request.algorithm, spec, result,
+                                  before, obs::ThreadLocalCounters());
+        caller_profile = result.profile;
+        record.sequence = telemetry_->RecordQuery(
+            AlgorithmName(job.request.algorithm), record);
+      }
+      job.promise.set_value(std::move(result));
+      // Slow-query auto-capture runs after the caller is unblocked: the
+      // re-run (or the profile the caller already requested) only costs
+      // this worker's time.
+      if (telemetry_on && telemetry_->ShouldCaptureSlow(record)) {
+        obs::SlowQueryRecord slow;
+        slow.summary = record;
+        if (caller_profile.has_value()) {
+          // The slow query was already traced; retain that profile
+          // instead of paying for a re-run.
+          slow.recapture_wall_seconds = record.wall_seconds;
+          slow.profile = *std::move(caller_profile);
+          telemetry_->RetainSlowQuery(std::move(slow));
+        } else {
+          SkylineQuerySpec traced = spec;
+          traced.trace = &trace;
+          const SkylineResult rerun =
+              RunSkylineQuery(job.request.algorithm, dataset_, traced);
+          if (rerun.profile.has_value()) {
+            slow.recapture_wall_seconds = rerun.stats.total_seconds;
+            slow.profile = *rerun.profile;
+            telemetry_->RetainSlowQuery(std::move(slow));
+          }
+        }
+      }
     } catch (...) {
       job.promise.set_exception(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
 }

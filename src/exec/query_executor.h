@@ -34,6 +34,7 @@
 #include "cache/query_cache.h"
 #include "core/query.h"
 #include "core/skyline_query.h"
+#include "obs/telemetry.h"
 
 namespace msq {
 
@@ -58,7 +59,10 @@ class QueryExecutor {
   // `dataset` is a non-owning view, copied in (so a Workload::dataset()
   // temporary is fine); the structures it points into must outlive the
   // executor. `workers` must be >= 1. Queries reuse nothing across each
-  // other unless the dataset view already carries a QueryCache.
+  // other unless the dataset view already carries a QueryCache. Serving
+  // telemetry (obs/telemetry.h) runs with default config: every completion
+  // feeds the per-algorithm histograms and the flight recorder;
+  // slow-query auto-capture stays off until thresholds are configured.
   QueryExecutor(Dataset dataset, std::size_t workers);
 
   // Same, plus an executor-owned cross-query cache (cache/query_cache.h)
@@ -66,6 +70,14 @@ class QueryExecutor {
   // it, so wavefronts and exact distances flow between queries.
   QueryExecutor(Dataset dataset, std::size_t workers,
                 const QueryCacheConfig& cache_config);
+
+  // Explicit telemetry config: histogram registry override, flight-ring
+  // size, slow-query thresholds, or enabled=false for a bare executor.
+  QueryExecutor(Dataset dataset, std::size_t workers,
+                const obs::TelemetryConfig& telemetry_config);
+  QueryExecutor(Dataset dataset, std::size_t workers,
+                const QueryCacheConfig& cache_config,
+                const obs::TelemetryConfig& telemetry_config);
 
   ~QueryExecutor();
 
@@ -85,9 +97,21 @@ class QueryExecutor {
   // Queued-but-unstarted jobs (diagnostics; racy by nature).
   std::size_t pending() const;
 
+  // Blocks until no queued or in-flight work remains — including the
+  // post-completion slow-query captures, which outlive the futures that
+  // RunBatch waits on. Telemetry reads (flight recorder, slow log,
+  // histograms) are stable afterwards, provided no other thread is still
+  // submitting.
+  void Quiesce() const;
+
   // The executor-owned cross-query cache, or null when constructed without
   // one. Callers use it for stats and for Invalidate() on dataset reload.
   QueryCache* cache() const { return cache_.get(); }
+
+  // The executor-owned serving-telemetry layer (always constructed; a
+  // disabled config makes it inert). Flight records, slow-query profiles,
+  // and the histogram registry hang off it.
+  obs::ServingTelemetry& telemetry() const { return *telemetry_; }
 
  private:
   struct Job {
@@ -96,7 +120,8 @@ class QueryExecutor {
   };
 
   QueryExecutor(Dataset dataset, std::size_t workers,
-                std::unique_ptr<QueryCache> cache);
+                std::unique_ptr<QueryCache> cache,
+                const obs::TelemetryConfig& telemetry_config);
 
   void WorkerLoop();
 
@@ -104,9 +129,14 @@ class QueryExecutor {
   // owned cache during construction.
   std::unique_ptr<QueryCache> cache_;
   const Dataset dataset_;
+  std::unique_ptr<obs::ServingTelemetry> telemetry_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  // Signalled each time a worker finishes a job (and its slow capture)
+  // with nothing left queued or running; Quiesce waits on it.
+  mutable std::condition_variable idle_cv_;
   std::deque<Job> queue_;
+  std::size_t active_ = 0;  // jobs dequeued but not fully finished
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

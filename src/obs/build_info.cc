@@ -1,0 +1,37 @@
+#include "obs/build_info.h"
+
+#include "obs/export.h"
+
+// The definitions come from set_source_files_properties in
+// src/CMakeLists.txt; the fallbacks keep non-CMake builds compiling.
+#ifndef MSQ_BUILD_GIT_SHA
+#define MSQ_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef MSQ_BUILD_COMPILER
+#define MSQ_BUILD_COMPILER "unknown"
+#endif
+#ifndef MSQ_BUILD_FLAGS
+#define MSQ_BUILD_FLAGS "unknown"
+#endif
+#ifndef MSQ_BUILD_TYPE
+#define MSQ_BUILD_TYPE "unknown"
+#endif
+
+namespace msq::obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {MSQ_BUILD_GIT_SHA, MSQ_BUILD_COMPILER,
+                                 MSQ_BUILD_FLAGS, MSQ_BUILD_TYPE};
+  return info;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  std::string out = "{\"git_sha\":\"" + JsonEscape(info.git_sha) + "\"";
+  out += ",\"compiler\":\"" + JsonEscape(info.compiler) + "\"";
+  out += ",\"flags\":\"" + JsonEscape(info.flags) + "\"";
+  out += ",\"build_type\":\"" + JsonEscape(info.build_type) + "\"}";
+  return out;
+}
+
+}  // namespace msq::obs

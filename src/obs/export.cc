@@ -1,5 +1,7 @@
 #include "obs/export.h"
 
+#include "obs/build_info.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
@@ -157,7 +159,12 @@ std::string ProfileReport(const QueryProfile& profile) {
 }
 
 std::string MetricsJsonl(const MetricsRegistry& registry) {
-  std::string out;
+  const BuildInfo& build = GetBuildInfo();
+  std::string out = "{\"type\":\"build_info\",\"git_sha\":\"" +
+                    JsonEscape(build.git_sha) + "\",\"compiler\":\"" +
+                    JsonEscape(build.compiler) + "\",\"flags\":\"" +
+                    JsonEscape(build.flags) + "\",\"build_type\":\"" +
+                    JsonEscape(build.build_type) + "\"}\n";
   registry.ForEachCounter([&](const std::string& name, const Counter& c) {
     out += "{\"type\":\"counter\",\"name\":\"" + JsonEscape(name) + "\"";
     AppendF(&out, ",\"value\":%" PRIu64 "}\n", c.value());
@@ -166,6 +173,105 @@ std::string MetricsJsonl(const MetricsRegistry& registry) {
     out += "{\"type\":\"gauge\",\"name\":\"" + JsonEscape(name) + "\"";
     AppendF(&out, ",\"value\":%.6g,\"peak\":%.6g}\n", g.value(), g.peak());
   });
+  registry.ForEachHistogram(
+      [&](const std::string& name, const Histogram& h) {
+        const Histogram::Snapshot snapshot = h.TakeSnapshot();
+        out += "{\"type\":\"histogram\",\"name\":\"" + JsonEscape(name) +
+               "\"";
+        AppendF(&out, ",\"count\":%" PRIu64 ",\"sum\":%" PRIu64,
+                snapshot.count, snapshot.sum);
+        out += ",\"buckets\":[";
+        bool first = true;
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          if (snapshot.buckets[i] == 0) continue;
+          if (!first) out += ",";
+          first = false;
+          AppendF(&out, "[%" PRIu64 ",%" PRIu64 "]",
+                  Histogram::BucketUpper(i), snapshot.buckets[i]);
+        }
+        out += "]}\n";
+      });
+  return out;
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "msq_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus label values escape only backslash, double-quote, and
+// newline (unlike JSON, no \uXXXX forms).
+std::string PromLabelEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  const BuildInfo& build = GetBuildInfo();
+  std::string out = "# TYPE msq_build_info gauge\n";
+  out += "msq_build_info{git_sha=\"" + PromLabelEscape(build.git_sha) +
+         "\",compiler=\"" + PromLabelEscape(build.compiler) +
+         "\",flags=\"" + PromLabelEscape(build.flags) +
+         "\",build_type=\"" + PromLabelEscape(build.build_type) +
+         "\"} 1\n";
+  registry.ForEachCounter([&](const std::string& name, const Counter& c) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    AppendF(&out, "%s %" PRIu64 "\n", prom.c_str(), c.value());
+  });
+  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    AppendF(&out, "%s %.6g\n", prom.c_str(), g.value());
+    out += "# TYPE " + prom + "_peak gauge\n";
+    AppendF(&out, "%s_peak %.6g\n", prom.c_str(), g.peak());
+  });
+  registry.ForEachHistogram(
+      [&](const std::string& name, const Histogram& h) {
+        const Histogram::Snapshot snapshot = h.TakeSnapshot();
+        const std::string prom = PrometheusName(name);
+        out += "# TYPE " + prom + " histogram\n";
+        // Cumulative buckets up to the highest populated one (bucket 64
+        // folds into +Inf: its finite upper bound exceeds what most
+        // scrapers parse losslessly anyway).
+        std::size_t top = 0;
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          if (snapshot.buckets[i] != 0) top = i;
+        }
+        if (top >= 64) top = 63;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= top; ++i) {
+          cumulative += snapshot.buckets[i];
+          AppendF(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                  prom.c_str(), Histogram::BucketUpper(i), cumulative);
+        }
+        AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", prom.c_str(),
+                snapshot.count);
+        AppendF(&out, "%s_sum %" PRIu64 "\n", prom.c_str(), snapshot.sum);
+        AppendF(&out, "%s_count %" PRIu64 "\n", prom.c_str(),
+                snapshot.count);
+      });
   return out;
 }
 

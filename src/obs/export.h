@@ -26,8 +26,22 @@ std::string ToChromeTrace(const QueryProfile& profile);
 // inclusive totals.
 std::string ProfileReport(const QueryProfile& profile);
 
-// One JSON object per line for every counter and gauge in `registry`.
+// One JSON object per line: a build-info stamp, then every counter, gauge,
+// and histogram in `registry` (histograms carry count/sum plus the
+// non-empty log2 buckets as [upper_bound, count] pairs).
 std::string MetricsJsonl(const MetricsRegistry& registry);
+
+// Prometheus metric name for a registry name: `msq_` prefix, then every
+// character outside [a-zA-Z0-9_] replaced with '_' (the §9 mangling rule:
+// `buffer.network.hits` -> `msq_buffer_network_hits`,
+// `exec.edc-inc.latency_us_hist` -> `msq_exec_edc_inc_latency_us_hist`).
+std::string PrometheusName(std::string_view name);
+
+// Prometheus text exposition (format 0.0.4) of the whole registry: a
+// `msq_build_info` gauge carrying the build stamp as labels, counters,
+// gauges (the peak as a separate `<name>_peak` family), and histograms as
+// cumulative `<name>_bucket{le="..."}` series with `_sum` and `_count`.
+std::string PrometheusText(const MetricsRegistry& registry);
 
 }  // namespace msq::obs
 

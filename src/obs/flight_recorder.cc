@@ -1,0 +1,82 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace msq::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity), slots_(new Slot[capacity]) {
+  MSQ_CHECK(capacity >= 1);
+}
+
+std::uint64_t FlightRecorder::Record(const FlightRecord& record) {
+  const std::uint64_t sequence =
+      next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(sequence - 1) % capacity_];
+  // Invalidate first so a concurrent Snapshot never pairs the old sequence
+  // with a half-written payload.
+  slot.committed.store(0, std::memory_order_release);
+  slot.spec_digest.store(record.spec_digest, std::memory_order_relaxed);
+  slot.algorithm.store(record.algorithm, std::memory_order_relaxed);
+  slot.status_code.store(record.status_code, std::memory_order_relaxed);
+  slot.truncation.store(record.truncation, std::memory_order_relaxed);
+  slot.source_count.store(record.source_count, std::memory_order_relaxed);
+  slot.skyline_size.store(record.skyline_size, std::memory_order_relaxed);
+  slot.wall_seconds.store(record.wall_seconds, std::memory_order_relaxed);
+  slot.network_hits.store(record.network_hits, std::memory_order_relaxed);
+  slot.network_misses.store(record.network_misses,
+                            std::memory_order_relaxed);
+  slot.index_hits.store(record.index_hits, std::memory_order_relaxed);
+  slot.index_misses.store(record.index_misses, std::memory_order_relaxed);
+  slot.settled_nodes.store(record.settled_nodes, std::memory_order_relaxed);
+  slot.dominance_tests.store(record.dominance_tests,
+                             std::memory_order_relaxed);
+  slot.cache_hits.store(record.cache_hits, std::memory_order_relaxed);
+  slot.cache_misses.store(record.cache_misses, std::memory_order_relaxed);
+  slot.committed.store(sequence, std::memory_order_release);
+  return sequence;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> records;
+  records.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t sequence =
+        slot.committed.load(std::memory_order_acquire);
+    if (sequence == 0) continue;  // empty or write in flight
+    FlightRecord record;
+    record.sequence = sequence;
+    record.spec_digest = slot.spec_digest.load(std::memory_order_relaxed);
+    record.algorithm = slot.algorithm.load(std::memory_order_relaxed);
+    record.status_code = slot.status_code.load(std::memory_order_relaxed);
+    record.truncation = slot.truncation.load(std::memory_order_relaxed);
+    record.source_count = slot.source_count.load(std::memory_order_relaxed);
+    record.skyline_size = slot.skyline_size.load(std::memory_order_relaxed);
+    record.wall_seconds = slot.wall_seconds.load(std::memory_order_relaxed);
+    record.network_hits = slot.network_hits.load(std::memory_order_relaxed);
+    record.network_misses =
+        slot.network_misses.load(std::memory_order_relaxed);
+    record.index_hits = slot.index_hits.load(std::memory_order_relaxed);
+    record.index_misses = slot.index_misses.load(std::memory_order_relaxed);
+    record.settled_nodes =
+        slot.settled_nodes.load(std::memory_order_relaxed);
+    record.dominance_tests =
+        slot.dominance_tests.load(std::memory_order_relaxed);
+    record.cache_hits = slot.cache_hits.load(std::memory_order_relaxed);
+    record.cache_misses = slot.cache_misses.load(std::memory_order_relaxed);
+    // A writer that claimed this slot mid-copy invalidated or replaced the
+    // sequence; drop the (possibly torn) copy.
+    if (slot.committed.load(std::memory_order_acquire) != sequence) continue;
+    records.push_back(record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.sequence < b.sequence;
+            });
+  return records;
+}
+
+}  // namespace msq::obs

@@ -1,0 +1,59 @@
+#include "obs/histogram.h"
+
+namespace msq::obs {
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  // Derive the count from the buckets themselves so the quantile walk is
+  // internally consistent even if a concurrent Observe lands between the
+  // bucket pass and the count_ load.
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snapshot.buckets[i] = bucket(i);
+    snapshot.count += snapshot.buckets[i];
+  }
+  snapshot.sum = sum();
+  return snapshot;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Same rank convention as the sorted-vector percentile it replaces.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (rank < seen + in_bucket) {
+      const double lower = static_cast<double>(BucketLower(i));
+      const double upper = static_cast<double>(BucketUpper(i));
+      const double position =
+          (static_cast<double>(rank - seen) + 0.5) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * position;
+    }
+    seen += in_bucket;
+  }
+  // rank == count - 1 landed past the loop only via concurrent mutation;
+  // fall back to the top of the highest populated bucket.
+  for (std::size_t i = kBucketCount; i-- > 0;) {
+    if (buckets[i] != 0) return static_cast<double>(BucketUpper(i));
+  }
+  return 0.0;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  std::uint64_t merged_count = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.bucket(i);
+    if (n == 0) continue;
+    buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    merged_count += n;
+  }
+  count_.fetch_add(merged_count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+}  // namespace msq::obs

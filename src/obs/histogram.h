@@ -1,0 +1,98 @@
+// Lock-free log2-bucketed histogram — the distribution substrate of the
+// serving-telemetry layer.
+//
+// Fixed layout: 65 buckets indexed by bit width. Bucket 0 holds the value
+// 0; bucket i (i >= 1) holds [2^(i-1), 2^i - 1]. The layout is identical
+// for every instance, so histograms merge bucket-by-bucket and export with
+// one shared bound list. Observe is two relaxed atomic adds plus a
+// bit_width — cheap enough to run on every query completion, always on,
+// like the Counter it sits next to in MetricsRegistry.
+//
+// Quantile estimates interpolate inside the bucket containing the ranked
+// observation, so an estimate is always within that observation's log2
+// bucket: relative error is bounded by the bucket width (a factor of 2),
+// asserted over adversarial distributions in tests/obs/histogram_test.cc.
+//
+// `count`/`sum` are exact (integers, relaxed adds): once writers are
+// quiescent they reconcile exactly with the counter registry and with
+// QueryStats totals. Concurrent snapshots are best-effort consistent: a
+// reader may see a bucket increment before the matching sum add, never a
+// torn value.
+#ifndef MSQ_OBS_HISTOGRAM_H_
+#define MSQ_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace msq::obs {
+
+class Histogram {
+ public:
+  // Bit widths 0..64 — value 0 plus one bucket per leading-bit position.
+  static constexpr std::size_t kBucketCount = 65;
+
+  // Bucket index of `value` (its bit width).
+  static constexpr std::size_t BucketIndex(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  // Smallest value bucket `i` holds.
+  static constexpr std::uint64_t BucketLower(std::size_t i) {
+    return i <= 1 ? i : std::uint64_t{1} << (i - 1);
+  }
+  // Largest value bucket `i` holds (inclusive).
+  static constexpr std::uint64_t BucketUpper(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void Observe(std::uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Plain-value copy for exporters and merging (one pass over the atomics).
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBucketCount> buckets{};
+
+    // Quantile estimate over the snapshot, same contract as
+    // Histogram::Quantile.
+    double Quantile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  // Estimated q-quantile (q in [0, 1], clamped). Uses the same rank
+  // convention as a sorted-array lookup — rank = round(q * (n - 1)) — and
+  // linearly interpolates inside the rank's bucket, so the estimate lies
+  // in the same log2 bucket as the exact order statistic. Returns 0 on an
+  // empty histogram.
+  double Quantile(double q) const { return TakeSnapshot().Quantile(q); }
+
+  // Folds `other`'s observations into this histogram (layout is fixed, so
+  // buckets add position-wise).
+  void MergeFrom(const Histogram& other);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace msq::obs
+
+#endif  // MSQ_OBS_HISTOGRAM_H_

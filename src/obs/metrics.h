@@ -32,6 +32,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.h"
+
 namespace msq::obs {
 
 // Monotonically increasing event count. Thread-safe; relaxed ordering is
@@ -92,6 +94,9 @@ class MetricsRegistry {
  public:
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
+  // Distribution metrics (obs/histogram.h); named `<...>_hist` by the §9
+  // scheme. Same find-or-create and pointer-stability contract as counters.
+  Histogram* histogram(std::string_view name);
 
   // Iteration in name order (export, tests).
   template <typename Fn>
@@ -104,11 +109,18 @@ class MetricsRegistry {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, gauge] : gauges_) fn(name, *gauge);
   }
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, histogram] : histograms_) fn(name, *histogram);
+  }
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
 };
 
 // The process-wide registry every built-in metric lives in. Components that
@@ -186,6 +198,19 @@ inline constexpr char kCacheMemoInserts[] = "cache.memo.inserts";
 inline constexpr char kCacheMemoEvictions[] = "cache.memo.evictions";
 inline constexpr char kCacheInvalidations[] = "cache.invalidations";
 inline constexpr char kCacheBytes[] = "cache.bytes";
+// Serving telemetry (obs/telemetry.h). The per-query distribution
+// histograms are per algorithm — `exec.<algo>.<event>_hist`, e.g.
+// `exec.ce.latency_us_hist` — built from these suffixes.
+inline constexpr char kExecQueries[] = "exec.queries";
+inline constexpr char kExecSlowQueries[] = "exec.slow_queries";
+inline constexpr char kExecSlowQueriesCaptured[] =
+    "exec.slow_queries_captured";
+inline constexpr char kLatencyUsHist[] = "latency_us_hist";
+inline constexpr char kNetworkPageAccessesHist[] =
+    "network_page_accesses_hist";
+inline constexpr char kIndexPageAccessesHist[] = "index_page_accesses_hist";
+inline constexpr char kSettledNodesHist[] = "settled_nodes_hist";
+inline constexpr char kCacheHitsHist[] = "cache_hits_hist";
 }  // namespace metric
 
 }  // namespace msq::obs

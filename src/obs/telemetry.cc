@@ -1,0 +1,92 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <utility>
+
+namespace msq::obs {
+namespace {
+
+std::uint64_t LatencyMicros(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
+ServingTelemetry::ServingTelemetry(const TelemetryConfig& config)
+    : config_(config),
+      registry_(config.registry != nullptr ? config.registry
+                                           : &GlobalMetrics()),
+      flight_(config.flight_capacity),
+      queries_(registry_->counter(metric::kExecQueries)),
+      slow_queries_(registry_->counter(metric::kExecSlowQueries)),
+      slow_captured_(
+          registry_->counter(metric::kExecSlowQueriesCaptured)) {}
+
+const ServingTelemetry::AlgoHistograms& ServingTelemetry::HistogramsFor(
+    std::string_view algorithm) {
+  std::lock_guard<std::mutex> lock(algos_mu_);
+  auto it = algos_.find(algorithm);
+  if (it == algos_.end()) {
+    const std::string prefix = "exec." + std::string(algorithm) + ".";
+    AlgoHistograms histograms;
+    histograms.latency_us =
+        registry_->histogram(prefix + metric::kLatencyUsHist);
+    histograms.network_page_accesses =
+        registry_->histogram(prefix + metric::kNetworkPageAccessesHist);
+    histograms.index_page_accesses =
+        registry_->histogram(prefix + metric::kIndexPageAccessesHist);
+    histograms.settled_nodes =
+        registry_->histogram(prefix + metric::kSettledNodesHist);
+    histograms.cache_hits =
+        registry_->histogram(prefix + metric::kCacheHitsHist);
+    it = algos_.emplace(std::string(algorithm), histograms).first;
+  }
+  return it->second;
+}
+
+std::uint64_t ServingTelemetry::RecordQuery(std::string_view algorithm,
+                                            const FlightRecord& record) {
+  if (!config_.enabled) return 0;
+  const AlgoHistograms& histograms = HistogramsFor(algorithm);
+  histograms.latency_us->Observe(LatencyMicros(record.wall_seconds));
+  histograms.network_page_accesses->Observe(record.network_hits +
+                                            record.network_misses);
+  histograms.index_page_accesses->Observe(record.index_hits +
+                                          record.index_misses);
+  histograms.settled_nodes->Observe(record.settled_nodes);
+  histograms.cache_hits->Observe(record.cache_hits);
+  queries_->Inc();
+  return flight_.Record(record);
+}
+
+bool ServingTelemetry::ShouldCaptureSlow(const FlightRecord& record) {
+  if (!config_.enabled) return false;
+  const bool wall_slow = config_.slow_wall_seconds > 0.0 &&
+                         record.wall_seconds > config_.slow_wall_seconds;
+  const std::uint64_t accesses = record.network_hits +
+                                 record.network_misses + record.index_hits +
+                                 record.index_misses;
+  const bool pages_slow = config_.slow_page_accesses > 0 &&
+                          accesses > config_.slow_page_accesses;
+  if (!wall_slow && !pages_slow) return false;
+  slow_queries_->Inc();
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  // Once the log is full, stop re-running queries: detection stays counted,
+  // capture cost stays bounded.
+  return slow_log_.size() < config_.slow_log_capacity;
+}
+
+void ServingTelemetry::RetainSlowQuery(SlowQueryRecord record) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  if (slow_log_.size() >= config_.slow_log_capacity) return;
+  slow_log_.push_back(std::move(record));
+  slow_captured_->Inc();
+}
+
+std::vector<SlowQueryRecord> ServingTelemetry::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return std::vector<SlowQueryRecord>(slow_log_.begin(), slow_log_.end());
+}
+
+}  // namespace msq::obs

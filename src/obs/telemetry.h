@@ -1,0 +1,121 @@
+// Always-on serving telemetry: the layer QueryExecutor reports every query
+// completion into. Three consumers hang off one RecordQuery call:
+//
+//   1. Distribution histograms (obs/histogram.h) in a MetricsRegistry,
+//      per algorithm: latency, network/index page accesses, settled
+//      nodes, cache hits — `exec.<algo>.<event>_hist`. Their
+//      count/sum reconcile exactly with the counter registry and with
+//      QueryStats totals once the batch is quiescent.
+//   2. The flight recorder (obs/flight_recorder.h): the last N query
+//      summaries, always reconstructible.
+//   3. Slow-query detection: when a completion crosses the configured
+//      wall-time or page-access threshold, ShouldCaptureSlow tells the
+//      executor to re-run the query once with a TraceSession attached;
+//      the resulting QueryProfile lands in a bounded slow-query log.
+//
+// This file stays core-independent like the rest of src/obs: the executor
+// translates its SkylineResult/ThreadCounters into a plain FlightRecord
+// before reporting. Everything here is thread-safe; RecordQuery is two
+// atomic bumps, one small mutex-guarded pointer-cache lookup, and a ring
+// write — cheap enough to stay on for every query (< 2% of bench_throughput
+// cold QPS, measured in BENCH_throughput.json).
+#ifndef MSQ_OBS_TELEMETRY_H_
+#define MSQ_OBS_TELEMETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace msq::obs {
+
+struct TelemetryConfig {
+  // false turns every telemetry call into a no-op (the baseline mode the
+  // throughput bench measures overhead against).
+  bool enabled = true;
+  std::size_t flight_capacity = FlightRecorder::kDefaultCapacity;
+  // Slow-query auto-capture triggers; 0 disables the respective trigger.
+  // A query is slow when wall time exceeds `slow_wall_seconds` or total
+  // buffer page accesses (network + index) exceed `slow_page_accesses`.
+  double slow_wall_seconds = 0.0;
+  std::uint64_t slow_page_accesses = 0;
+  // Retained slow-query profiles; once full, capture stops (no re-runs).
+  std::size_t slow_log_capacity = 16;
+  // Histogram/counter registry; null means GlobalMetrics(). Tests pass an
+  // isolated registry.
+  MetricsRegistry* registry = nullptr;
+};
+
+// One auto-captured slow query: the completion record that tripped the
+// threshold plus the profile of the traced re-run.
+struct SlowQueryRecord {
+  FlightRecord summary;
+  // Wall seconds of the traced re-run (the profile's own window; the
+  // original, untraced timing is summary.wall_seconds).
+  double recapture_wall_seconds = 0.0;
+  QueryProfile profile;
+};
+
+class ServingTelemetry {
+ public:
+  explicit ServingTelemetry(const TelemetryConfig& config = {});
+
+  ServingTelemetry(const ServingTelemetry&) = delete;
+  ServingTelemetry& operator=(const ServingTelemetry&) = delete;
+
+  bool enabled() const { return config_.enabled; }
+  const TelemetryConfig& config() const { return config_; }
+  MetricsRegistry* registry() const { return registry_; }
+
+  // Reports one query completion: observes the per-algorithm histograms
+  // and appends to the flight recorder. `algorithm` is the stable
+  // AlgorithmName. Returns the ring-assigned sequence (0 when disabled)
+  // so the caller can stamp its own copy of the record.
+  std::uint64_t RecordQuery(std::string_view algorithm,
+                            const FlightRecord& record);
+
+  // True when `record` crosses a slow threshold and the slow log still has
+  // room — the executor then re-runs the query traced and calls
+  // RetainSlowQuery. Also counts the detection (exec.slow_queries).
+  bool ShouldCaptureSlow(const FlightRecord& record);
+
+  void RetainSlowQuery(SlowQueryRecord record);
+
+  const FlightRecorder& flight_recorder() const { return flight_; }
+  std::vector<SlowQueryRecord> SlowQueries() const;
+
+ private:
+  struct AlgoHistograms {
+    Histogram* latency_us = nullptr;
+    Histogram* network_page_accesses = nullptr;
+    Histogram* index_page_accesses = nullptr;
+    Histogram* settled_nodes = nullptr;
+    Histogram* cache_hits = nullptr;
+  };
+  const AlgoHistograms& HistogramsFor(std::string_view algorithm);
+
+  const TelemetryConfig config_;
+  MetricsRegistry* const registry_;
+  FlightRecorder flight_;
+  Counter* const queries_;
+  Counter* const slow_queries_;
+  Counter* const slow_captured_;
+
+  std::mutex algos_mu_;
+  std::map<std::string, AlgoHistograms, std::less<>> algos_;
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQueryRecord> slow_log_;
+};
+
+}  // namespace msq::obs
+
+#endif  // MSQ_OBS_TELEMETRY_H_

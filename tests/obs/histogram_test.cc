@@ -1,0 +1,242 @@
+// obs::Histogram: bucket layout, exact count/sum, merging, the quantile
+// error bound (within one log2 bucket of the exact order statistic over
+// adversarial distributions), and relaxed-atomic concurrency (the
+// HistogramConcurrencyTest suite runs under TSan via tools/check.sh).
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/histogram.h"
+
+namespace msq::obs {
+namespace {
+
+// ---------------------------------------------------------- bucket layout
+
+TEST(HistogramTest, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(
+      Histogram::BucketIndex(std::numeric_limits<std::uint64_t>::max()),
+      64u);
+}
+
+TEST(HistogramTest, BucketBoundsPartitionTheDomain) {
+  EXPECT_EQ(Histogram::BucketLower(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpper(0), 0u);
+  EXPECT_EQ(Histogram::BucketLower(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpper(1), 1u);
+  // Buckets tile [0, 2^64) with no gaps or overlaps, and every bound maps
+  // back into its own bucket.
+  for (std::size_t i = 1; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::BucketLower(i), Histogram::BucketUpper(i - 1) + 1);
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLower(i)), i);
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpper(i)), i);
+  }
+  EXPECT_EQ(Histogram::BucketUpper(64),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+// ------------------------------------------------------- count/sum exact
+
+TEST(HistogramTest, CountAndSumAreExact) {
+  Histogram h;
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t v : {0ull, 1ull, 1ull, 7ull, 8ull, 1000ull, 123456ull}) {
+    h.Observe(v);
+    expected_sum += v;
+  }
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), expected_sum);
+  const Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_EQ(s.sum, expected_sum);
+  EXPECT_EQ(s.buckets[0], 1u);  // the 0
+  EXPECT_EQ(s.buckets[1], 2u);  // the 1s
+  EXPECT_EQ(s.buckets[3], 1u);  // 7
+  EXPECT_EQ(s.buckets[4], 1u);  // 8
+}
+
+TEST(HistogramTest, MergeAddsBucketwise) {
+  Histogram a;
+  Histogram b;
+  for (std::uint64_t v = 0; v < 100; ++v) a.Observe(v);
+  for (std::uint64_t v = 100; v < 300; ++v) b.Observe(v);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 300u);
+  EXPECT_EQ(a.sum(), 299u * 300u / 2u);
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    std::uint64_t expect = 0;
+    for (std::uint64_t v = 0; v < 300; ++v) {
+      if (Histogram::BucketIndex(v) == i) ++expect;
+    }
+    EXPECT_EQ(a.bucket(i), expect) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+// -------------------------------------------------- quantile error bound
+
+// The exact order statistic with the histogram's own rank convention.
+std::uint64_t ExactQuantile(std::vector<std::uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[rank];
+}
+
+// Asserts the contract: the estimate lies within the log2 bucket of the
+// exact order statistic, i.e. in [BucketLower(i), BucketUpper(i)] for the
+// exact value's bucket i.
+void CheckQuantiles(const std::vector<std::uint64_t>& values) {
+  Histogram h;
+  for (std::uint64_t v : values) h.Observe(v);
+  const Histogram::Snapshot s = h.TakeSnapshot();
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t exact = ExactQuantile(values, q);
+    const std::size_t bucket = Histogram::BucketIndex(exact);
+    const double estimate = s.Quantile(q);
+    EXPECT_GE(estimate, static_cast<double>(Histogram::BucketLower(bucket)))
+        << "q=" << q << " exact=" << exact;
+    EXPECT_LE(estimate, static_cast<double>(Histogram::BucketUpper(bucket)))
+        << "q=" << q << " exact=" << exact;
+  }
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketUniform) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 10000; ++v) values.push_back(v);
+  CheckQuantiles(values);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketHeavyTail) {
+  // Pareto-ish: many tiny values, a few enormous ones — the distribution
+  // latency histograms actually see.
+  std::vector<std::uint64_t> values;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextBounded(16));
+  for (int i = 0; i < 50; ++i) values.push_back(1000000 + rng.NextBounded(1000));
+  for (int i = 0; i < 3; ++i) {
+    values.push_back(std::uint64_t{1} << 40);
+  }
+  CheckQuantiles(values);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketPointMass) {
+  // All mass on one value: every quantile must land in that value's bucket.
+  std::vector<std::uint64_t> values(1000, 777);
+  CheckQuantiles(values);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketBimodal) {
+  // Two spikes at opposite ends with a cliff between them — adversarial
+  // for interpolation.
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(2);
+  for (int i = 0; i < 500; ++i) values.push_back(1u << 30);
+  CheckQuantiles(values);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketPowersOfTwo) {
+  // One observation per bucket boundary: rank arithmetic has no slack.
+  std::vector<std::uint64_t> values;
+  for (std::size_t i = 0; i < 63; ++i) {
+    values.push_back(std::uint64_t{1} << i);
+    values.push_back((std::uint64_t{1} << i) + ((std::uint64_t{1} << i) - 1));
+  }
+  CheckQuantiles(values);
+}
+
+TEST(HistogramTest, QuantileMatchesSortedVectorOnSmallValues) {
+  // For values 0 and 1 the buckets are exact singletons, so the histogram
+  // quantile must equal the sorted-vector percentile it replaced.
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 90; ++i) values.push_back(0);
+  for (int i = 0; i < 10; ++i) values.push_back(1);
+  Histogram h;
+  for (std::uint64_t v : values) h.Observe(v);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 1.0);
+}
+
+// ------------------------------------------------------------ concurrency
+
+// Runs under TSan via tools/check.sh tsan (suite name matches its -R
+// filter). Observers hammer one histogram; totals must conserve.
+TEST(HistogramConcurrencyTest, ConcurrentObservesConserveCountAndSum) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.Observe(rng.NextBounded(1u << 20));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  const Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    bucket_total += s.buckets[i];
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(HistogramConcurrencyTest, SnapshotDuringWritesStaysConsistent) {
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop] {
+      std::uint64_t v = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Observe(v++ & 0xfff);
+      }
+    });
+  }
+  // Snapshots taken mid-write: bucket total must always equal the snapshot
+  // count (TakeSnapshot derives count from the buckets), and successive
+  // snapshot counts must be monotone.
+  std::uint64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Histogram::Snapshot s = h.TakeSnapshot();
+    std::uint64_t bucket_total = 0;
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      bucket_total += s.buckets[b];
+    }
+    ASSERT_EQ(bucket_total, s.count);
+    ASSERT_GE(s.count, last_count);
+    last_count = s.count;
+    if (s.count > 0) {
+      const double mid = s.Quantile(0.5);
+      ASSERT_GE(mid, 0.0);
+      ASSERT_LE(mid, 4096.0);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& writer : writers) writer.join();
+}
+
+}  // namespace
+}  // namespace msq::obs

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/buffer_manager.h"
@@ -61,6 +63,112 @@ TEST(JsonEscapeTest, EscapesSpecialCharacters) {
   EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
   EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
   EXPECT_EQ(JsonEscape("\b\f"), "\\b\\f");
+}
+
+TEST(JsonEscapeTest, EscapesEveryControlCharacterExactlyOnce) {
+  for (int c = 0; c < 0x20; ++c) {
+    const char raw = static_cast<char>(c);
+    const std::string escaped = JsonEscape(std::string_view(&raw, 1));
+    // Every C0 control gets an escape (named or \u00XX) — never raw.
+    ASSERT_GE(escaped.size(), 2u) << "control 0x" << std::hex << c;
+    EXPECT_EQ(escaped[0], '\\') << "control 0x" << std::hex << c;
+  }
+  // NUL is a control character, not a terminator.
+  EXPECT_EQ(JsonEscape(std::string_view("a\0b", 3)), "a\\u0000b");
+  // 0x20 and 0x7f are not C0 controls; they pass through.
+  EXPECT_EQ(JsonEscape(" "), " ");
+  EXPECT_EQ(JsonEscape("\x7f"), "\x7f");
+}
+
+TEST(JsonEscapeTest, MultiByteUtf8PassesThroughUnchanged) {
+  // JSON strings are UTF-8; bytes >= 0x80 must be copied verbatim, never
+  // treated as controls (char may be signed — a naive `c < 0x20` breaks).
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");          // é (2-byte)
+  EXPECT_EQ(JsonEscape("\xe2\x86\x92"), "\xe2\x86\x92");        // → (3-byte)
+  EXPECT_EQ(JsonEscape("\xf0\x9f\x9a\x80"), "\xf0\x9f\x9a\x80");  // 🚀 (4)
+  // Mixed: escapes apply to the ASCII part only.
+  EXPECT_EQ(JsonEscape("\xc3\xa9\n\"\xf0\x9f\x9a\x80"),
+            "\xc3\xa9\\n\\\"\xf0\x9f\x9a\x80");
+}
+
+// --------------------------------------------------------------- exporters
+
+TEST(PrometheusNameTest, PrefixesAndMangles) {
+  // DESIGN.md §9: prefix msq_, any char outside [a-zA-Z0-9_] becomes '_'.
+  EXPECT_EQ(PrometheusName("exec.ce.latency_us_hist"),
+            "msq_exec_ce_latency_us_hist");
+  EXPECT_EQ(PrometheusName("buffer.network.hits"),
+            "msq_buffer_network_hits");
+  EXPECT_EQ(PrometheusName("weird-name with/chars"),
+            "msq_weird_name_with_chars");
+  EXPECT_EQ(PrometheusName(""), "msq_");
+}
+
+TEST(PrometheusTextTest, EmitsCountersGaugesAndBuildInfo) {
+  MetricsRegistry registry;
+  registry.counter("exec.queries")->Inc(5);
+  registry.gauge("heap.bytes")->Update(42.0);
+  const std::string text = PrometheusText(registry);
+
+  EXPECT_NE(text.find("# TYPE msq_build_info gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("msq_build_info{git_sha=\""), std::string::npos);
+  EXPECT_NE(text.find("# TYPE msq_exec_queries counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("msq_exec_queries 5\n"), std::string::npos);
+  EXPECT_NE(text.find("msq_heap_bytes 42\n"), std::string::npos);
+  EXPECT_NE(text.find("msq_heap_bytes_peak 42\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("exec.ce.latency_us_hist");
+  h->Observe(0);  // bucket 0 (le="0")
+  h->Observe(1);  // bucket 1 (le="1")
+  h->Observe(1);
+  h->Observe(5);  // bucket 3 (le="7")
+  const std::string text = PrometheusText(registry);
+
+  const char* expected =
+      "# TYPE msq_exec_ce_latency_us_hist histogram\n"
+      "msq_exec_ce_latency_us_hist_bucket{le=\"0\"} 1\n"
+      "msq_exec_ce_latency_us_hist_bucket{le=\"1\"} 3\n"
+      "msq_exec_ce_latency_us_hist_bucket{le=\"3\"} 3\n"
+      "msq_exec_ce_latency_us_hist_bucket{le=\"7\"} 4\n"
+      "msq_exec_ce_latency_us_hist_bucket{le=\"+Inf\"} 4\n"
+      "msq_exec_ce_latency_us_hist_sum 7\n"
+      "msq_exec_ce_latency_us_hist_count 4\n";
+  EXPECT_NE(text.find(expected), std::string::npos) << text;
+}
+
+TEST(MetricsJsonlTest, StartsWithBuildInfoAndListsHistograms) {
+  MetricsRegistry registry;
+  registry.counter("a.events")->Inc(2);
+  registry.histogram("a.sizes_hist")->Observe(9);
+  const std::string jsonl = MetricsJsonl(registry);
+
+  EXPECT_EQ(jsonl.rfind("{\"type\":\"build_info\",\"git_sha\":\"", 0), 0u);
+  EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":\"a.events\","
+                       "\"value\":2}\n"),
+            std::string::npos);
+  // 9 lands in bucket 4 = [8, 15]; buckets export as [upper, count] pairs.
+  EXPECT_NE(jsonl.find("{\"type\":\"histogram\",\"name\":\"a.sizes_hist\","
+                       "\"count\":1,\"sum\":9,\"buckets\":[[15,1]]}\n"),
+            std::string::npos);
+}
+
+TEST(BuildInfoTest, StampIsPopulatedAndJsonWellFormed) {
+  const BuildInfo& build = GetBuildInfo();
+  EXPECT_FALSE(build.git_sha.empty());
+  EXPECT_FALSE(build.compiler.empty());
+  EXPECT_FALSE(build.build_type.empty());
+
+  const std::string json = BuildInfoJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"git_sha\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"flags\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":\""), std::string::npos);
 }
 
 // ----------------------------------------------------------- TraceSession

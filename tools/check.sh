@@ -12,8 +12,9 @@
 #                   code paths)
 #
 # Also validates that the committed BENCH_throughput.json carries its host
-# metadata (hardware_concurrency), so benchmark numbers are never read
-# without knowing the core count they were measured on.
+# metadata (hardware_concurrency) and its build-info stamp (git sha,
+# compiler, flags), so benchmark numbers are never read without knowing
+# what produced them.
 #
 # The build dir defaults to build-asan/ or build-tsan/ next to the source
 # tree, so `tools/check.sh build-asan` (the CI invocation) keeps working.
@@ -44,6 +45,11 @@ bench_json="$repo_root/BENCH_throughput.json"
 if [[ -f "$bench_json" ]] && \
    ! grep -q '"hardware_concurrency"' "$bench_json"; then
   echo "check.sh: $bench_json lacks \"hardware_concurrency\" —" \
+       "re-run bench_throughput to regenerate it" >&2
+  exit 1
+fi
+if [[ -f "$bench_json" ]] && ! grep -q '"build_info"' "$bench_json"; then
+  echo "check.sh: $bench_json lacks the \"build_info\" stamp —" \
        "re-run bench_throughput to regenerate it" >&2
   exit 1
 fi

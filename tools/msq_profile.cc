@@ -104,6 +104,42 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
   return true;
 }
 
+// Checks the tracer's defining invariant: the profile's self-counter sums
+// must equal the query's top-level QueryStats exactly. Prints every
+// mismatching measure; returns false on any mismatch so main can exit
+// non-zero (the CI gate).
+bool ReconcileProfile(const obs::QueryProfile& profile,
+                      const QueryStats& stats) {
+  const obs::SpanCounters total = profile.TotalCounters();
+  bool ok = true;
+  auto check = [&ok](const char* what, std::uint64_t from_spans,
+                     std::uint64_t from_stats) {
+    if (from_spans == from_stats) return;
+    std::fprintf(stderr,
+                 "reconciliation FAILED: %s — span self-sum %llu != "
+                 "QueryStats %llu\n",
+                 what, static_cast<unsigned long long>(from_spans),
+                 static_cast<unsigned long long>(from_stats));
+    ok = false;
+  };
+  check("network pages (misses)", total.network_misses,
+        stats.network_pages);
+  check("network page accesses", total.network_hits + total.network_misses,
+        stats.network_page_accesses);
+  check("index pages (misses)", total.index_misses, stats.index_pages);
+  check("index page accesses", total.index_hits + total.index_misses,
+        stats.index_page_accesses);
+  check("settled nodes", total.settled_nodes, stats.settled_nodes);
+  check("cache wavefront hits", total.cache_wavefront_hits,
+        stats.cache_wavefront_hits);
+  check("cache wavefront misses", total.cache_wavefront_misses,
+        stats.cache_wavefront_misses);
+  check("cache memo hits", total.cache_memo_hits, stats.cache_memo_hits);
+  check("cache memo misses", total.cache_memo_misses,
+        stats.cache_memo_misses);
+  return ok;
+}
+
 bool WriteFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -164,6 +200,13 @@ int main(int argc, char** argv) {
         !WriteFile(opts.trace_out, obs::ToChromeTrace(*result.profile))) {
       return 1;
     }
+    // Span-vs-QueryStats reconciliation is the tracer's core invariant
+    // (DESIGN.md §9); a mismatch is a bug, so fail the run for CI.
+    if (!ReconcileProfile(*result.profile, result.stats)) return 1;
+    std::printf("\nprofile reconciles with QueryStats\n");
+  } else {
+    std::fprintf(stderr, "traced query returned no profile\n");
+    return 1;
   }
   if (!opts.metrics_out.empty() &&
       !WriteFile(opts.metrics_out, obs::MetricsJsonl(obs::GlobalMetrics()))) {
