@@ -49,6 +49,9 @@ Status ValidateQuery(const Dataset& dataset, const SkylineQuerySpec& spec) {
   if (spec.limits.max_seconds < 0.0) {
     return Status::InvalidArgument("negative query deadline");
   }
+  if (spec.limits.deadline_at < 0.0) {
+    return Status::InvalidArgument("negative absolute deadline");
+  }
   if (dataset.static_attributes != nullptr &&
       !dataset.static_attributes->empty()) {
     MSQ_CHECK(dataset.static_attributes->size() == dataset.object_count());
@@ -115,6 +118,11 @@ bool QueryGuard::Exceeded() {
   }
   if (limits_.max_seconds > 0.0 &&
       MonotonicSeconds() - start_ > limits_.max_seconds) {
+    reason_ = StatusCode::kDeadlineExceeded;
+    return true;
+  }
+  if (limits_.deadline_at > 0.0 &&
+      MonotonicSeconds() >= limits_.deadline_at) {
     reason_ = StatusCode::kDeadlineExceeded;
     return true;
   }

@@ -72,11 +72,21 @@ struct QueryLimits {
   // off with kResourceExhausted.
   std::uint64_t max_page_accesses = 0;
   // Wall-clock deadline in seconds before the query is cut off with
-  // kDeadlineExceeded.
+  // kDeadlineExceeded. Relative to query start (not submission), so time
+  // spent queued in an executor does not count against it.
   double max_seconds = 0.0;
+  // Absolute deadline on the MonotonicSeconds() clock (0 = unset). Set by
+  // the serving layer from the client deadline at admission, so queue wait
+  // *does* count: a query that starts after the deadline passed returns an
+  // immediate truncated-empty result (RunQueryBody short-circuits it
+  // before the algorithm runs), and one that starts with little time left
+  // is cut off that much sooner. Excluded from QuerySpecDigest — it is
+  // per-run wall-clock state, not query identity.
+  double deadline_at = 0.0;
 
   bool unlimited() const {
-    return max_page_accesses == 0 && max_seconds == 0.0;
+    return max_page_accesses == 0 && max_seconds == 0.0 &&
+           deadline_at == 0.0;
   }
 };
 
@@ -180,6 +190,10 @@ class QueryGuard {
   StatusCode reason_ = StatusCode::kOk;
 };
 
+// Monotonic wall-clock seconds (declared ahead of RunQueryBody, which
+// polls it for the expired-at-start short-circuit).
+double MonotonicSeconds();
+
 // Shared query boundary: validates the spec, runs `body`, converts a
 // StorageFault escaping it into an error result, and collects the trace
 // profile when the spec carries a TraceSession. All Run* entry points
@@ -190,6 +204,17 @@ SkylineResult RunQueryBody(const Dataset& dataset,
   SkylineResult result;
   result.status = ValidateQuery(dataset, spec);
   if (!result.status.ok()) return result;
+  // An absolute deadline that already passed (queue wait ate the whole
+  // client budget) short-circuits to the well-defined truncated-empty
+  // result without running the algorithm: no pages touched, no hang, same
+  // shape a mid-run deadline cut produces for a batch algorithm.
+  if (spec.limits.deadline_at > 0.0 &&
+      MonotonicSeconds() >= spec.limits.deadline_at) {
+    result.truncated = true;
+    result.truncation_reason = StatusCode::kDeadlineExceeded;
+    if (spec.trace != nullptr) result.profile = spec.trace->Take();
+    return result;
+  }
   try {
     result = std::forward<Body>(body)();
   } catch (const StorageFault& fault) {
@@ -232,9 +257,6 @@ class StatsScope {
   double start_ = 0.0;
   double initial_ = -1.0;
 };
-
-// Monotonic wall-clock seconds.
-double MonotonicSeconds();
 
 }  // namespace msq
 

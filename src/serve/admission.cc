@@ -1,0 +1,153 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace msq::serve {
+
+double EstimateCost(const ServeRequest& request) {
+  // Each source drives one network wavefront; the algorithm weight
+  // captures how much of the network each wavefront touches relative to
+  // LBC (the pruned, instance-optimal baseline).
+  double weight = 1.0;
+  switch (request.algorithm) {
+    case Algorithm::kNaive:
+      weight = 8.0;  // full |Q| x |D| distance matrix
+      break;
+    case Algorithm::kCe:
+      weight = 2.0;  // expands every source to the last candidate
+      break;
+    case Algorithm::kEdc:
+    case Algorithm::kEdcIncremental:
+      weight = 1.5;  // Euclidean-pruned probes
+      break;
+    case Algorithm::kLbc:
+    case Algorithm::kLbcNoPlb:
+      weight = 1.0;
+      break;
+  }
+  return weight * static_cast<double>(std::max<std::size_t>(
+                      request.sources.size(), 1));
+}
+
+namespace {
+
+obs::MetricsRegistry* ResolveRegistry(const AdmissionConfig& config) {
+  return config.registry != nullptr ? config.registry
+                                    : &obs::GlobalMetrics();
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config),
+      received_(ResolveRegistry(config)->counter(metric::kServeReceived)),
+      rejected_(ResolveRegistry(config)->counter(metric::kServeRejected)),
+      shed_(ResolveRegistry(config)->counter(metric::kServeShed)),
+      admitted_(ResolveRegistry(config)->counter(metric::kServeAdmitted)),
+      completed_(ResolveRegistry(config)->counter(metric::kServeCompleted)),
+      truncated_(ResolveRegistry(config)->counter(metric::kServeTruncated)),
+      failed_(ResolveRegistry(config)->counter(metric::kServeFailed)),
+      pending_gauge_(ResolveRegistry(config)->gauge(metric::kServePending)),
+      pending_cost_gauge_(
+          ResolveRegistry(config)->gauge(metric::kServePendingCost)) {
+  MSQ_CHECK(config_.max_pending > 0);
+  MSQ_CHECK(config_.max_pending_cost > 0.0);
+}
+
+void AdmissionController::CountReceived() { received_->Inc(); }
+
+void AdmissionController::CountRejected() { rejected_->Inc(); }
+
+void AdmissionController::CountShed() { shed_->Inc(); }
+
+bool AdmissionController::TryAdmit(double cost, double* retry_after_ms) {
+  MSQ_CHECK(cost >= 0.0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_ < config_.max_pending &&
+        pending_cost_ + cost <= config_.max_pending_cost) {
+      ++pending_;
+      pending_cost_ += cost;
+      pending_gauge_->Update(static_cast<double>(pending_));
+      pending_cost_gauge_->Update(pending_cost_);
+      admitted_->Inc();
+      return true;
+    }
+    if (retry_after_ms != nullptr) {
+      // Scale the hint with the overload ratio: at the watermark the hint
+      // is the base; at 2x overload it doubles.
+      const double depth_ratio =
+          static_cast<double>(pending_) /
+          static_cast<double>(config_.max_pending);
+      const double cost_ratio = pending_cost_ / config_.max_pending_cost;
+      *retry_after_ms = config_.retry_after_base_ms *
+                        std::max(1.0, std::max(depth_ratio, cost_ratio));
+    }
+  }
+  shed_->Inc();
+  return false;
+}
+
+void AdmissionController::Finish(RequestOutcome outcome, double cost) {
+  switch (outcome) {
+    case RequestOutcome::kCompleted:
+      completed_->Inc();
+      break;
+    case RequestOutcome::kTruncated:
+      truncated_->Inc();
+      break;
+    case RequestOutcome::kFailed:
+      failed_->Inc();
+      break;
+    case RequestOutcome::kRejected:
+    case RequestOutcome::kShed:
+      MSQ_CHECK_MSG(false, "Finish() outcome must be terminal for an "
+                           "admitted request");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  MSQ_CHECK(pending_ > 0);
+  --pending_;
+  pending_cost_ = std::max(0.0, pending_cost_ - cost);
+  pending_gauge_->Update(static_cast<double>(pending_));
+  pending_cost_gauge_->Update(pending_cost_);
+}
+
+RequestOutcome AdmissionController::Classify(const SkylineResult& result) {
+  if (!result.status.ok()) return RequestOutcome::kFailed;
+  if (result.truncated) return RequestOutcome::kTruncated;
+  return RequestOutcome::kCompleted;
+}
+
+std::size_t AdmissionController::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+std::string AdmissionController::CheckConservation() const {
+  const std::uint64_t received = received_->value();
+  const std::uint64_t rejected = rejected_->value();
+  const std::uint64_t shed = shed_->value();
+  const std::uint64_t admitted = admitted_->value();
+  const std::uint64_t completed = completed_->value();
+  const std::uint64_t truncated = truncated_->value();
+  const std::uint64_t failed = failed_->value();
+  if (received != rejected + shed + completed + truncated + failed) {
+    return "received " + std::to_string(received) +
+           " != rejected " + std::to_string(rejected) + " + shed " +
+           std::to_string(shed) + " + completed " +
+           std::to_string(completed) + " + truncated " +
+           std::to_string(truncated) + " + failed " +
+           std::to_string(failed);
+  }
+  if (admitted != completed + truncated + failed) {
+    return "admitted " + std::to_string(admitted) + " != completed " +
+           std::to_string(completed) + " + truncated " +
+           std::to_string(truncated) + " + failed " +
+           std::to_string(failed);
+  }
+  return "";
+}
+
+}  // namespace msq::serve

@@ -1,0 +1,140 @@
+// Admission control and request accounting for the serving front door.
+//
+// The controller guards the executor's queue with two watermarks — pending
+// request count and pending estimated cost — and sheds anything beyond
+// them immediately: a shed request costs one counter bump and one small
+// response instead of queuing until its deadline dies. The Retry-After
+// hint scales with how far past the watermark the server is.
+//
+// Accounting is the part the chaos harness gates on: every received
+// request finishes in exactly one of five outcome buckets, and
+//
+//   received == rejected + shed + completed + truncated + failed
+//   admitted == completed + truncated + failed
+//
+// hold at any quiescent point (asserted by CheckConservation, the serve
+// tests, and bench_soak against the live Prometheus export).
+#ifndef MSQ_SERVE_ADMISSION_H_
+#define MSQ_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/skyline_query.h"
+#include "obs/metrics.h"
+#include "serve/request.h"
+
+namespace msq::serve {
+
+struct AdmissionConfig {
+  // Watermark on admitted-but-unfinished requests (queue + in-flight).
+  std::size_t max_pending = 64;
+  // Watermark on the summed cost estimate of pending requests.
+  double max_pending_cost = 512.0;
+  // Base Retry-After hint; the emitted hint is this scaled by the overload
+  // ratio, so deeper overload pushes clients back harder.
+  double retry_after_base_ms = 25.0;
+  // Metrics registry for the serve.* counters; null = GlobalMetrics().
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+// How one received request ended. Exactly one per request.
+enum class RequestOutcome {
+  kRejected,   // malformed or invalid (4xx) — never admitted
+  kShed,       // admission refused under overload (RESOURCE_EXHAUSTED)
+  kCompleted,  // ran to completion, status OK, not truncated
+  kTruncated,  // ran, cut by deadline/budget; prefix (possibly empty)
+  kFailed,     // ran, error status (storage fault etc.)
+};
+
+// Cost estimate for admission: roughly "wavefronts the query will run",
+// scaled by an algorithm weight (naive pays a full distance matrix; CE
+// expands every source; EDC/LBC prune). Units are arbitrary but stable —
+// watermarks are configured in the same units.
+double EstimateCost(const ServeRequest& request);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Every request read off a connection reports in exactly once, before
+  // any outcome is decided.
+  void CountReceived();
+
+  // A request that never reaches admission (parse/validation failure).
+  void CountRejected();
+
+  // A request shed without consulting the watermarks (server draining).
+  void CountShed();
+
+  // Attempts to admit a request of estimated `cost`. On success the
+  // pending gauges rise and the caller MUST later call Finish() with the
+  // terminal outcome. On refusal the shed counter bumps and
+  // *retry_after_ms receives the backoff hint.
+  bool TryAdmit(double cost, double* retry_after_ms);
+
+  // Terminal outcome of an admitted request (kCompleted/kTruncated/
+  // kFailed only); releases the pending slot and cost.
+  void Finish(RequestOutcome outcome, double cost);
+
+  // Classifies an executor result into its outcome bucket.
+  static RequestOutcome Classify(const SkylineResult& result);
+
+  // Verifies both conservation identities over the live counters; returns
+  // a description of the first violation, or empty when exact. Only
+  // meaningful at quiescent points (no request mid-flight).
+  std::string CheckConservation() const;
+
+  std::uint64_t received() const { return received_->value(); }
+  std::uint64_t rejected() const { return rejected_->value(); }
+  std::uint64_t shed() const { return shed_->value(); }
+  std::uint64_t admitted() const { return admitted_->value(); }
+  std::uint64_t completed() const { return completed_->value(); }
+  std::uint64_t truncated() const { return truncated_->value(); }
+  std::uint64_t failed() const { return failed_->value(); }
+  std::size_t pending() const;
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  const AdmissionConfig config_;
+  obs::Counter* const received_;
+  obs::Counter* const rejected_;
+  obs::Counter* const shed_;
+  obs::Counter* const admitted_;
+  obs::Counter* const completed_;
+  obs::Counter* const truncated_;
+  obs::Counter* const failed_;
+  obs::Gauge* const pending_gauge_;
+  obs::Gauge* const pending_cost_gauge_;
+
+  mutable std::mutex mu_;
+  std::size_t pending_ = 0;
+  double pending_cost_ = 0.0;
+};
+
+// serve.* metric names (DESIGN.md §13 taxonomy).
+namespace metric {
+inline constexpr char kServeReceived[] = "serve.requests_received";
+inline constexpr char kServeRejected[] = "serve.requests_rejected";
+inline constexpr char kServeShed[] = "serve.requests_shed";
+inline constexpr char kServeAdmitted[] = "serve.requests_admitted";
+inline constexpr char kServeCompleted[] = "serve.requests_completed";
+inline constexpr char kServeTruncated[] = "serve.requests_truncated";
+inline constexpr char kServeFailed[] = "serve.requests_failed";
+inline constexpr char kServePending[] = "serve.pending";
+inline constexpr char kServePendingCost[] = "serve.pending_cost";
+inline constexpr char kServeConnections[] = "serve.connections";
+inline constexpr char kServeConnShed[] = "serve.connections_shed";
+inline constexpr char kServeReadTimeouts[] = "serve.read_timeouts";
+inline constexpr char kServeWriteErrors[] = "serve.write_errors";
+inline constexpr char kServeQueueUsHist[] = "serve.queue_us_hist";
+inline constexpr char kServeWallUsHist[] = "serve.admitted_wall_us_hist";
+}  // namespace metric
+
+}  // namespace msq::serve
+
+#endif  // MSQ_SERVE_ADMISSION_H_

@@ -1,0 +1,95 @@
+// Strict, bounded JSON parser for the serving front door.
+//
+// Requests arrive over the network, so the parser treats its input as
+// hostile: every parse is bounded in bytes and nesting depth, rejects
+// anything RFC 8259 rejects (trailing garbage, duplicate object keys,
+// unescaped control characters, lone surrogates, leading zeros,
+// non-finite numbers), and reports failures as kInvalidArgument Status
+// values carrying the byte offset — never a crash, never a silently
+// misread value. The corpus under tests/serve/corpus/ plus the
+// fuzz_repro --json mode keep it that way.
+//
+// The value model is deliberately small: null/bool/number/string/array/
+// object, numbers as double (the request schema has no 64-bit-exact
+// integer fields; integral range checks happen in request.cc).
+#ifndef MSQ_SERVE_JSON_H_
+#define MSQ_SERVE_JSON_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msq::serve {
+
+struct JsonLimits {
+  // Hard cap on input size; longer inputs fail without being scanned.
+  std::size_t max_bytes = 1 << 16;
+  // Maximum array/object nesting depth.
+  std::size_t max_depth = 32;
+  // Maximum total number of values (DoS guard for flat megabyte arrays).
+  std::size_t max_values = 1 << 14;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  // Insertion-ordered; the parser rejects duplicate keys so lookup by
+  // linear scan is unambiguous.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(Array a);
+  static JsonValue MakeObject(Object o);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; calling the wrong one is a programming error (the
+  // request mapper checks kind() first).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+
+  // Object member lookup; null when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<const Array> array_;
+  std::shared_ptr<const Object> object_;
+};
+
+// Parses exactly one JSON value spanning all of `text` (leading/trailing
+// RFC whitespace allowed, nothing else). kInvalidArgument on any
+// violation, with the byte offset in the message.
+StatusOr<JsonValue> ParseJson(std::string_view text,
+                              const JsonLimits& limits = {});
+
+// Serialization helpers for building response bodies. AppendJsonString
+// writes a quoted, escaped string literal; AppendJsonNumber writes the
+// shortest round-trip double representation (integers without exponent).
+void AppendJsonString(std::string* out, std::string_view s);
+void AppendJsonNumber(std::string* out, double value);
+
+}  // namespace msq::serve
+
+#endif  // MSQ_SERVE_JSON_H_

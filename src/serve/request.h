@@ -1,0 +1,83 @@
+// Serving request schema and response encoding.
+//
+// One request is one JSON object:
+//
+//   {"algo":"lbc",
+//    "sources":[{"edge":12,"offset":0.5}, ...],
+//    "limits":{"deadline_ms":100,"page_budget":20000},
+//    "k":16,                       // optional: cap returned entries
+//    "lbc_source":0,               // optional: LBC expansion origin
+//    "id":"client-tag"}            // optional: echoed in the response
+//
+// ParseServeRequest maps a parsed JsonValue onto ServeRequest with strict
+// validation (unknown fields rejected, every field type- and
+// range-checked) so a malformed request yields a structured
+// INVALID_ARGUMENT response, never a crash or a silently defaulted field.
+// Responses are single-line JSON; the error taxonomy mirrors StatusCode
+// with an HTTP-style numeric status for the dual-protocol front door
+// (serve/server.h).
+#ifndef MSQ_SERVE_REQUEST_H_
+#define MSQ_SERVE_REQUEST_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/query.h"
+#include "core/skyline_query.h"
+#include "serve/json.h"
+
+namespace msq::serve {
+
+// Schema caps: requests beyond these are hostile or misconfigured, and
+// admission-cost estimation relies on them being bounded.
+inline constexpr std::size_t kMaxSources = 64;
+inline constexpr std::size_t kMaxK = 4096;
+inline constexpr std::size_t kMaxIdBytes = 128;
+inline constexpr double kMaxDeadlineMs = 600'000.0;
+
+struct ServeRequest {
+  Algorithm algorithm = Algorithm::kLbc;
+  std::vector<Location> sources;
+  std::size_t lbc_source_index = 0;
+  // Client deadline in milliseconds (0 = none given; the server applies
+  // its default). Mapped to QueryLimits::deadline_at at admission so queue
+  // wait counts against it.
+  double deadline_ms = 0.0;
+  // Page-access budget (0 = unlimited), mapped to
+  // QueryLimits::max_page_accesses.
+  std::uint64_t page_budget = 0;
+  // Cap on returned skyline entries (0 = all). Response-side only — the
+  // query still computes the full (possibly truncated-by-limits) skyline.
+  std::size_t k = 0;
+  std::string id;
+};
+
+// Validates and maps a parsed JSON value. kInvalidArgument with a
+// field-specific message on any violation.
+StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json);
+
+// Convenience: ParseJson + ParseServeRequest with the serving limits.
+StatusOr<ServeRequest> ParseServeRequestText(std::string_view text);
+
+// HTTP-style status for a StatusCode: 400 for invalid input, 404 not
+// found, 408 read timeout, 413 oversized frame, 503 shed/unavailable,
+// 500 otherwise.
+int HttpStatusFor(StatusCode code);
+
+// Single-line JSON success response. `returned` entries of
+// `result.skyline` are encoded (the k cap already applied by the caller);
+// `queue_ms`/`wall_ms` report server-side queue wait and execution time.
+std::string EncodeResultResponse(const ServeRequest& request,
+                                 const SkylineResult& result,
+                                 std::size_t returned, double queue_ms,
+                                 double wall_ms);
+
+// Single-line JSON error response. `retry_after_ms` > 0 adds the
+// load-shedding hint ({"retry_after_ms":N}).
+std::string EncodeErrorResponse(const std::string& id, StatusCode code,
+                                const std::string& message,
+                                double retry_after_ms = 0.0);
+
+}  // namespace msq::serve
+
+#endif  // MSQ_SERVE_REQUEST_H_

@@ -1,0 +1,424 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/export.h"
+
+namespace msq::serve {
+
+namespace {
+
+const char* HttpReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string HttpResponse(int status, const std::string& content_type,
+                         const std::string& body,
+                         double retry_after_ms = 0.0) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    HttpReason(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  if (retry_after_ms > 0.0) {
+    out += "Retry-After: " +
+           std::to_string(static_cast<long>(
+               std::ceil(retry_after_ms / 1000.0))) +
+           "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+bool LooksLikeHttp(const std::string& line) {
+  return line.rfind("GET ", 0) == 0 || line.rfind("POST ", 0) == 0 ||
+         line.rfind("HEAD ", 0) == 0 || line.rfind("PUT ", 0) == 0 ||
+         line.rfind("DELETE ", 0) == 0 || line.rfind("OPTIONS ", 0) == 0;
+}
+
+}  // namespace
+
+MsqServer::MsqServer(QueryExecutor* executor, const ServerConfig& config)
+    : executor_(executor),
+      config_(config),
+      registry_(config.registry != nullptr ? config.registry
+                                           : &obs::GlobalMetrics()),
+      admission_([&] {
+        AdmissionConfig admission = config.admission;
+        if (admission.registry == nullptr) admission.registry = registry_;
+        return admission;
+      }()),
+      connections_gauge_(registry_->gauge(metric::kServeConnections)),
+      conn_shed_(registry_->counter(metric::kServeConnShed)),
+      read_timeouts_(registry_->counter(metric::kServeReadTimeouts)),
+      write_errors_(registry_->counter(metric::kServeWriteErrors)),
+      queue_us_hist_(registry_->histogram(metric::kServeQueueUsHist)),
+      wall_us_hist_(registry_->histogram(metric::kServeWallUsHist)) {
+  MSQ_CHECK(executor_ != nullptr);
+}
+
+MsqServer::~MsqServer() { Shutdown(); }
+
+Status MsqServer::Start() {
+  MSQ_CHECK(!running_.load());
+  IgnoreSigpipe();
+  StatusOr<int> listener =
+      ListenTcp(config_.host, config_.port, config_.backlog, &port_);
+  if (!listener.ok()) return listener.status();
+  listener_ = listener.value();
+  running_.store(true);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status();
+}
+
+void MsqServer::Shutdown() {
+  if (!running_.exchange(false)) return;
+  draining_.store(true, std::memory_order_relaxed);
+  // Wake the blocked accept; the loop sees running_ == false and exits.
+  ::shutdown(listener_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listener_);
+  listener_ = -1;
+  // Unblock idle connections (recv returns EOF). In-flight requests keep
+  // their write half: responses still go out, deadlines still truncate.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Conn& conn : conns_) {
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RD);
+    }
+  }
+  ReapConnections(/*join_all=*/true);
+  // Settle slow-query captures and queued work so a post-drain telemetry
+  // flush reads stable, fully-accounted numbers.
+  executor_->Quiesce();
+}
+
+void MsqServer::AcceptLoop() {
+  for (;;) {
+    int fd;
+    do {
+      fd = ::accept(listener_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (!running_.load()) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) continue;
+    ReapConnections(/*join_all=*/false);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (open_connections_ >= config_.max_connections) {
+      // Connection-level shed: one line that both a raw client and a
+      // human can read, then close. Never queue sockets we cannot serve.
+      conn_shed_->Inc();
+      const std::string line =
+          EncodeErrorResponse(
+              "", StatusCode::kResourceExhausted,
+              "connection limit reached",
+              config_.admission.retry_after_base_ms) +
+          "\n";
+      (void)WriteAll(fd, line);
+      ::close(fd);
+      continue;
+    }
+    ++open_connections_;
+    connections_gauge_->Update(static_cast<double>(open_connections_));
+    conns_.emplace_back();
+    Conn* conn = &conns_.back();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void MsqServer::ReapConnections(bool join_all) {
+  std::list<Conn> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      auto next = std::next(it);
+      if (join_all || it->done.load(std::memory_order_acquire)) {
+        to_join.splice(to_join.end(), conns_, it);
+      }
+      it = next;
+    }
+  }
+  for (Conn& conn : to_join) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+}
+
+void MsqServer::HandleConnection(Conn* conn) {
+  const int fd = conn->fd;
+  (void)SetSocketTimeouts(fd, config_.read_timeout_seconds,
+                          config_.write_timeout_seconds);
+  FrameReader reader(fd, config_.max_request_bytes);
+  for (;;) {
+    StatusOr<std::string> line = reader.ReadLine();
+    if (!line.ok()) {
+      switch (line.status().code()) {
+        case StatusCode::kNotFound:
+          // Clean EOF between frames: the peer (or drain) closed us.
+          break;
+        case StatusCode::kDeadlineExceeded:
+          // Idle connections close quietly; a peer stalled mid-frame is a
+          // slow client — tell it, then close.
+          read_timeouts_->Inc();
+          if (reader.partial_frame()) {
+            const std::string reply =
+                EncodeErrorResponse("", StatusCode::kDeadlineExceeded,
+                                    "timed out reading request frame") +
+                "\n";
+            if (!WriteAll(fd, reply).ok()) write_errors_->Inc();
+          }
+          break;
+        case StatusCode::kResourceExhausted: {
+          // Oversized frame: a full request was attempted, so it enters
+          // the accounting as received+rejected before the close.
+          admission_.CountReceived();
+          admission_.CountRejected();
+          const std::string reply =
+              EncodeErrorResponse("", StatusCode::kResourceExhausted,
+                                  line.status().message()) +
+              "\n";
+          if (!WriteAll(fd, reply).ok()) write_errors_->Inc();
+          break;
+        }
+        default:
+          break;  // reset / EOF mid-frame: nothing to say to a dead peer
+      }
+      break;
+    }
+    const std::string& text = line.value();
+    if (LooksLikeHttp(text)) {
+      bool close_connection = true;
+      Reply reply = HandleHttp(text, &reader, &close_connection);
+      if (!WriteAll(fd, reply.body).ok()) write_errors_->Inc();
+      if (close_connection) break;
+      continue;
+    }
+    Reply reply = HandleQuery(text);
+    reply.body += "\n";
+    if (!WriteAll(fd, reply.body).ok()) {
+      write_errors_->Inc();
+      break;
+    }
+    if (draining_.load(std::memory_order_relaxed)) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ::close(conn->fd);
+    conn->fd = -1;
+    MSQ_CHECK(open_connections_ > 0);
+    --open_connections_;
+    connections_gauge_->Update(static_cast<double>(open_connections_));
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+MsqServer::Reply MsqServer::HandleQuery(const std::string& text) {
+  admission_.CountReceived();
+  StatusOr<ServeRequest> parsed =
+      ParseServeRequestText(std::string_view(text));
+  if (!parsed.ok()) {
+    admission_.CountRejected();
+    return {EncodeErrorResponse("", parsed.status().code(),
+                                parsed.status().message()),
+            HttpStatusFor(parsed.status().code())};
+  }
+  const ServeRequest& request = parsed.value();
+  const double cost = EstimateCost(request);
+  if (draining_.load(std::memory_order_relaxed)) {
+    // Drain counts as shed, not failure: the request was well-formed and
+    // a retry against a healthy replica would succeed.
+    admission_.CountShed();
+    return {EncodeErrorResponse(request.id, StatusCode::kResourceExhausted,
+                                "server draining",
+                                config_.admission.retry_after_base_ms),
+            503};
+  }
+  double retry_after_ms = 0.0;
+  if (!admission_.TryAdmit(cost, &retry_after_ms)) {
+    return {EncodeErrorResponse(request.id, StatusCode::kResourceExhausted,
+                                "admission queue full", retry_after_ms),
+            503};
+  }
+  QueryRequest query;
+  query.algorithm = request.algorithm;
+  query.spec.sources = request.sources;
+  query.spec.lbc_source_index = request.lbc_source_index;
+  query.spec.limits.max_page_accesses = request.page_budget;
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : config_.default_deadline_ms;
+  const double admit_at = MonotonicSeconds();
+  if (deadline_ms > 0.0) {
+    query.spec.limits.deadline_at = admit_at + deadline_ms / 1e3;
+  }
+  SkylineResult result = executor_->Submit(std::move(query)).get();
+  const double total_seconds = MonotonicSeconds() - admit_at;
+  const double queue_seconds =
+      std::max(0.0, total_seconds - result.stats.total_seconds);
+  const RequestOutcome outcome = AdmissionController::Classify(result);
+  admission_.Finish(outcome, cost);
+  queue_us_hist_->Observe(
+      static_cast<std::uint64_t>(queue_seconds * 1e6));
+  wall_us_hist_->Observe(
+      static_cast<std::uint64_t>(total_seconds * 1e6));
+  if (outcome == RequestOutcome::kFailed) {
+    return {EncodeErrorResponse(request.id, result.status.code(),
+                                result.status.message()),
+            HttpStatusFor(result.status.code())};
+  }
+  const std::size_t returned =
+      request.k > 0 ? std::min(request.k, result.skyline.size())
+                    : result.skyline.size();
+  return {EncodeResultResponse(request, result, returned,
+                               queue_seconds * 1e3, total_seconds * 1e3),
+          200};
+}
+
+MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
+                                       FrameReader* reader,
+                                       bool* close_connection) {
+  *close_connection = true;  // HTTP mode is one-shot; NDJSON persists
+  const std::size_t method_end = request_line.find(' ');
+  const std::size_t path_end = request_line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || path_end == std::string::npos ||
+      request_line.compare(path_end + 1, 5, "HTTP/") != 0) {
+    return {HttpResponse(400, "application/json",
+                         EncodeErrorResponse(
+                             "", StatusCode::kInvalidArgument,
+                             "malformed HTTP request line")),
+            400};
+  }
+  const std::string method = request_line.substr(0, method_end);
+  const std::string path =
+      request_line.substr(method_end + 1, path_end - method_end - 1);
+  // Headers: bounded in count and (via FrameReader) per-line size. Only
+  // Content-Length matters to this server.
+  std::size_t content_length = 0;
+  for (int i = 0; i < 64; ++i) {
+    StatusOr<std::string> header = reader->ReadLine();
+    if (!header.ok()) {
+      const int status =
+          header.status().code() == StatusCode::kResourceExhausted ? 413
+                                                                   : 408;
+      return {HttpResponse(status, "application/json",
+                           EncodeErrorResponse("", header.status().code(),
+                                               header.status().message())),
+              status};
+    }
+    const std::string& h = header.value();
+    if (h.empty()) break;  // end of headers
+    const std::size_t colon = h.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = h.substr(0, colon);
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (name == "content-length") {
+      std::size_t value_start = colon + 1;
+      while (value_start < h.size() && h[value_start] == ' ') ++value_start;
+      char* end = nullptr;
+      const unsigned long long n =
+          std::strtoull(h.c_str() + value_start, &end, 10);
+      if (end == h.c_str() + value_start ||
+          n > config_.max_request_bytes) {
+        return {HttpResponse(413, "application/json",
+                             EncodeErrorResponse(
+                                 "", StatusCode::kResourceExhausted,
+                                 "content-length exceeds limit")),
+                413};
+      }
+      content_length = static_cast<std::size_t>(n);
+    }
+  }
+  if (method == "GET" && path == "/metrics") {
+    return {HttpResponse(200, "text/plain; version=0.0.4",
+                         obs::PrometheusText(*registry_)),
+            200};
+  }
+  if (method == "GET" && path == "/healthz") {
+    std::string body = "{\"status\":\"ok\",\"draining\":";
+    body += draining_.load(std::memory_order_relaxed) ? "true" : "false";
+    body += "}";
+    return {HttpResponse(200, "application/json", body), 200};
+  }
+  if (method == "GET" && path == "/statz") {
+    return {HttpResponse(200, "application/json", StatzJson()), 200};
+  }
+  if (method == "POST" && path == "/query") {
+    StatusOr<std::string> body = reader->ReadExact(content_length);
+    if (!body.ok()) {
+      const int status =
+          body.status().code() == StatusCode::kResourceExhausted ? 413
+                                                                 : 408;
+      return {HttpResponse(status, "application/json",
+                           EncodeErrorResponse("", body.status().code(),
+                                               body.status().message())),
+              status};
+    }
+    Reply reply = HandleQuery(body.value());
+    // Reuse the JSON body; lift the retry hint into the HTTP header.
+    double retry_after_ms = 0.0;
+    if (reply.http_status == 503) {
+      retry_after_ms = config_.admission.retry_after_base_ms;
+    }
+    return {HttpResponse(reply.http_status, "application/json", reply.body,
+                         retry_after_ms),
+            reply.http_status};
+  }
+  if (path == "/metrics" || path == "/healthz" || path == "/statz" ||
+      path == "/query") {
+    return {HttpResponse(405, "application/json",
+                         EncodeErrorResponse(
+                             "", StatusCode::kInvalidArgument,
+                             "method not allowed for " + path)),
+            405};
+  }
+  return {HttpResponse(404, "application/json",
+                       EncodeErrorResponse("", StatusCode::kNotFound,
+                                           "unknown path " + path)),
+          404};
+}
+
+std::string MsqServer::StatzJson() const {
+  std::string out = "{\"received\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.received()));
+  out += ",\"rejected\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.rejected()));
+  out += ",\"shed\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.shed()));
+  out += ",\"admitted\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.admitted()));
+  out += ",\"completed\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.completed()));
+  out += ",\"truncated\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.truncated()));
+  out += ",\"failed\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.failed()));
+  out += ",\"pending\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.pending()));
+  out += ",\"draining\":";
+  out += draining_.load(std::memory_order_relaxed) ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+}  // namespace msq::serve

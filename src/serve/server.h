@@ -1,0 +1,141 @@
+// The serving front door: a persistent-connection TCP server running
+// skyline queries through a QueryExecutor with admission control, load
+// shedding, deadline propagation, and graceful drain.
+//
+// Two protocols share one port, sniffed per connection from the first
+// frame:
+//
+//   * NDJSON (persistent): each request is one JSON object on one line
+//     (serve/request.h schema), each response one JSON line. A malformed
+//     request gets a structured error response and the connection lives
+//     on — framing resynchronizes at the next newline.
+//   * Minimal HTTP/1.1 (curl/Prometheus-friendly, Connection: close):
+//     POST /query with the same JSON body; GET /metrics (Prometheus text
+//     exposition), GET /healthz, GET /statz (accounting snapshot).
+//
+// Overload behavior, in order of the degradation ladder:
+//   1. deadline propagation — the client deadline becomes
+//      QueryLimits::deadline_at, so queue wait counts and an overloaded
+//      server produces truncated-prefix results instead of late full ones;
+//   2. load shedding — beyond the admission watermarks new requests get an
+//      immediate RESOURCE_EXHAUSTED response with a retry_after_ms hint;
+//   3. connection cap — beyond max_connections new sockets get a shed
+//      response and close, so accept backlog cannot hoard fds.
+//
+// Slow or hostile peers are bounded in every direction: per-connection
+// read/write timeouts, a frame-size cap enforced mid-read, EINTR/partial
+// -write-safe I/O that never raises SIGPIPE (serve/socket.h).
+#ifndef MSQ_SERVE_SERVER_H_
+#define MSQ_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "exec/query_executor.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+#include "serve/socket.h"
+
+namespace msq::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; port() reports the actual one.
+  std::uint16_t port = 0;
+  int backlog = 64;
+  // Concurrent connections; beyond this, new sockets are shed and closed.
+  std::size_t max_connections = 64;
+  // Per-frame (request line or HTTP body) byte cap.
+  std::size_t max_request_bytes = 64 * 1024;
+  // Per-recv timeout. For an idle persistent connection this is the idle
+  // timeout (closed quietly); mid-frame it is the slow-client bound
+  // (error + close).
+  double read_timeout_seconds = 10.0;
+  // Per-send stall bound: a reader that stops draining its socket for
+  // this long gets disconnected.
+  double write_timeout_seconds = 5.0;
+  // Applied when a request carries no deadline (0 = unlimited).
+  double default_deadline_ms = 0.0;
+  AdmissionConfig admission;
+  // Registry served by GET /metrics; null = GlobalMetrics(). Should match
+  // the executor's telemetry registry so one scrape sees everything.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+class MsqServer {
+ public:
+  // `executor` is borrowed and must outlive the server.
+  MsqServer(QueryExecutor* executor, const ServerConfig& config);
+  ~MsqServer();  // calls Shutdown() if still running
+
+  MsqServer(const MsqServer&) = delete;
+  MsqServer& operator=(const MsqServer&) = delete;
+
+  // Binds, listens, and starts the acceptor thread.
+  Status Start();
+
+  // Graceful drain, idempotent: stop accepting, unblock idle connections,
+  // let in-flight requests finish (their deadlines still truncate them),
+  // join every connection thread, and quiesce the executor so telemetry
+  // is stable for a final flush. Returns when fully drained.
+  void Shutdown();
+
+  std::uint16_t port() const { return port_; }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  const AdmissionController& admission() const { return admission_; }
+  QueryExecutor& executor() const { return *executor_; }
+
+  // Accounting snapshot as one JSON object (the GET /statz body).
+  std::string StatzJson() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Conn* conn);
+  // One NDJSON line or HTTP POST body -> response body + HTTP status.
+  struct Reply {
+    std::string body;
+    int http_status = 200;
+  };
+  Reply HandleQuery(const std::string& text);
+  Reply HandleHttp(const std::string& request_line, FrameReader* reader,
+                   bool* close_connection);
+  // Joins finished connection threads (called from the acceptor between
+  // accepts and from Shutdown for the stragglers).
+  void ReapConnections(bool join_all);
+
+  QueryExecutor* const executor_;
+  const ServerConfig config_;
+  obs::MetricsRegistry* const registry_;
+  AdmissionController admission_;
+  obs::Gauge* const connections_gauge_;
+  obs::Counter* const conn_shed_;
+  obs::Counter* const read_timeouts_;
+  obs::Counter* const write_errors_;
+  obs::Histogram* const queue_us_hist_;
+  obs::Histogram* const wall_us_hist_;
+
+  int listener_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::list<Conn> conns_;
+  std::size_t open_connections_ = 0;
+};
+
+}  // namespace msq::serve
+
+#endif  // MSQ_SERVE_SERVER_H_

@@ -1,0 +1,206 @@
+#include "serve/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <mutex>
+
+namespace msq::serve {
+
+void IgnoreSigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+namespace {
+
+Status ParseHost(const std::string& host, in_addr* out) {
+  if (::inet_pton(AF_INET, host.c_str(), out) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status();
+}
+
+}  // namespace
+
+StatusOr<int> ListenTcp(const std::string& host, std::uint16_t port,
+                        int backlog, std::uint16_t* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  Status parsed = ParseHost(host, &addr.sin_addr);
+  if (!parsed.ok()) return parsed;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoErrorFromErrno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = IoErrorFromErrno("bind " + host + ":" +
+                                     std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) < 0) {
+    Status status = IoErrorFromErrno("listen");
+    ::close(fd);
+    return status;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) < 0) {
+      Status status = IoErrorFromErrno("getsockname");
+      ::close(fd);
+      return status;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  Status parsed = ParseHost(host, &addr.sin_addr);
+  if (!parsed.ok()) return parsed;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoErrorFromErrno("socket");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status = IoErrorFromErrno("connect " + host + ":" +
+                                     std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Status SetSocketTimeouts(int fd, double recv_seconds, double send_seconds) {
+  auto set = [fd](int option, double seconds, const char* name) -> Status {
+    timeval tv{};
+    if (seconds > 0.0) {
+      tv.tv_sec = static_cast<time_t>(seconds);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (seconds - std::floor(seconds)) * 1e6);
+      // A strictly positive timeout must not round down to "disabled".
+      if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+    }
+    if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) < 0) {
+      return IoErrorFromErrno(name);
+    }
+    return Status();
+  };
+  Status status = set(SO_RCVTIMEO, recv_seconds, "setsockopt(SO_RCVTIMEO)");
+  if (!status.ok()) return status;
+  return set(SO_SNDTIMEO, send_seconds, "setsockopt(SO_SNDTIMEO)");
+}
+
+Status WriteAll(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    // MSG_NOSIGNAL belt-and-braces with IgnoreSigpipe: neither path may
+    // raise SIGPIPE on a closed peer.
+    const ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("write timed out (slow reader)");
+      }
+      return IoErrorFromErrno("send");
+    }
+    if (n == 0) return Status::Unavailable("send made no progress");
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+Status FrameReader::FillOnce() {
+  if (eof_) return Status::NotFound("eof");
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("read timed out");
+    }
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("connection reset by peer");
+    }
+    return IoErrorFromErrno("recv");
+  }
+  if (n == 0) {
+    eof_ = true;
+    return Status::NotFound("eof");
+  }
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return Status();
+}
+
+StatusOr<std::string> FrameReader::ReadLine() {
+  std::size_t scanned = 0;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', scanned);
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > max_frame_bytes_) {
+        return Status::ResourceExhausted(
+            "frame of " + std::to_string(line.size()) +
+            " bytes exceeds limit " + std::to_string(max_frame_bytes_));
+      }
+      return line;
+    }
+    if (buffer_.size() > max_frame_bytes_) {
+      return Status::ResourceExhausted(
+          "unterminated frame exceeds limit " +
+          std::to_string(max_frame_bytes_));
+    }
+    scanned = buffer_.size();
+    Status filled = FillOnce();
+    if (!filled.ok()) {
+      if (filled.code() == StatusCode::kNotFound && !buffer_.empty()) {
+        return Status::Unavailable("eof mid-frame");
+      }
+      return filled;
+    }
+  }
+}
+
+StatusOr<std::string> FrameReader::ReadExact(std::size_t n) {
+  if (n > max_frame_bytes_) {
+    return Status::ResourceExhausted(
+        "frame of " + std::to_string(n) + " bytes exceeds limit " +
+        std::to_string(max_frame_bytes_));
+  }
+  while (buffer_.size() < n) {
+    Status filled = FillOnce();
+    if (!filled.ok()) {
+      if (filled.code() == StatusCode::kNotFound) {
+        return Status::Unavailable("eof mid-frame");
+      }
+      return filled;
+    }
+  }
+  std::string frame = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  return frame;
+}
+
+}  // namespace msq::serve

@@ -1,0 +1,179 @@
+// AdmissionController — watermarks, retry hints, outcome classification,
+// and the conservation identities the soak harness gates on.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve/admission.h"
+
+namespace msq::serve {
+namespace {
+
+AdmissionConfig TestConfig(obs::MetricsRegistry* registry,
+                           std::size_t max_pending = 4,
+                           double max_cost = 16.0) {
+  AdmissionConfig config;
+  config.max_pending = max_pending;
+  config.max_pending_cost = max_cost;
+  config.registry = registry;
+  return config;
+}
+
+TEST(AdmissionTest, CostEstimateScalesWithAlgorithmAndSources) {
+  ServeRequest lbc;
+  lbc.algorithm = Algorithm::kLbc;
+  lbc.sources.resize(3);
+  ServeRequest naive = lbc;
+  naive.algorithm = Algorithm::kNaive;
+  ServeRequest ce = lbc;
+  ce.algorithm = Algorithm::kCe;
+  EXPECT_GT(EstimateCost(naive), EstimateCost(ce));
+  EXPECT_GT(EstimateCost(ce), EstimateCost(lbc));
+  ServeRequest wide = lbc;
+  wide.sources.resize(6);
+  EXPECT_GT(EstimateCost(wide), EstimateCost(lbc));
+}
+
+TEST(AdmissionTest, PendingWatermarkSheds) {
+  obs::MetricsRegistry registry;
+  AdmissionController admission(TestConfig(&registry, /*max_pending=*/2,
+                                           /*max_cost=*/1e9));
+  double retry = 0.0;
+  admission.CountReceived();
+  EXPECT_TRUE(admission.TryAdmit(1.0, &retry));
+  admission.CountReceived();
+  EXPECT_TRUE(admission.TryAdmit(1.0, &retry));
+  admission.CountReceived();
+  EXPECT_FALSE(admission.TryAdmit(1.0, &retry));  // over the watermark
+  EXPECT_GT(retry, 0.0);
+  EXPECT_EQ(admission.shed(), 1u);
+  EXPECT_EQ(admission.pending(), 2u);
+
+  // Finishing one frees the slot.
+  admission.Finish(RequestOutcome::kCompleted, 1.0);
+  admission.CountReceived();
+  EXPECT_TRUE(admission.TryAdmit(1.0, &retry));
+  admission.Finish(RequestOutcome::kCompleted, 1.0);
+  admission.Finish(RequestOutcome::kTruncated, 1.0);
+  EXPECT_EQ(admission.pending(), 0u);
+  EXPECT_EQ(admission.CheckConservation(), "");
+}
+
+TEST(AdmissionTest, CostWatermarkSheds) {
+  obs::MetricsRegistry registry;
+  AdmissionController admission(TestConfig(&registry, /*max_pending=*/100,
+                                           /*max_cost=*/10.0));
+  double retry = 0.0;
+  admission.CountReceived();
+  EXPECT_TRUE(admission.TryAdmit(6.0, &retry));
+  admission.CountReceived();
+  EXPECT_FALSE(admission.TryAdmit(6.0, &retry));  // 12 > 10
+  admission.CountReceived();
+  EXPECT_TRUE(admission.TryAdmit(3.0, &retry));  // 9 <= 10 still fits
+  admission.Finish(RequestOutcome::kCompleted, 6.0);
+  admission.Finish(RequestOutcome::kFailed, 3.0);
+  EXPECT_EQ(admission.CheckConservation(), "");
+}
+
+TEST(AdmissionTest, RetryHintGrowsWithOverload) {
+  obs::MetricsRegistry registry;
+  AdmissionController admission(TestConfig(&registry, /*max_pending=*/1,
+                                           /*max_cost=*/1.0));
+  double retry_light = 0.0;
+  double retry_heavy = 0.0;
+  admission.CountReceived();
+  ASSERT_TRUE(admission.TryAdmit(1.0, &retry_light));
+  admission.CountReceived();
+  EXPECT_FALSE(admission.TryAdmit(1.0, &retry_light));
+  admission.CountReceived();
+  EXPECT_FALSE(admission.TryAdmit(100.0, &retry_heavy));
+  EXPECT_GE(retry_heavy, retry_light);
+  admission.Finish(RequestOutcome::kCompleted, 1.0);
+}
+
+TEST(AdmissionTest, ClassifyCoversEveryOutcome) {
+  SkylineResult ok;
+  EXPECT_EQ(AdmissionController::Classify(ok), RequestOutcome::kCompleted);
+
+  SkylineResult truncated;
+  truncated.truncated = true;
+  truncated.truncation_reason = StatusCode::kDeadlineExceeded;
+  EXPECT_EQ(AdmissionController::Classify(truncated),
+            RequestOutcome::kTruncated);
+
+  SkylineResult failed;
+  failed.status = Status::IoError("disk");
+  EXPECT_EQ(AdmissionController::Classify(failed), RequestOutcome::kFailed);
+
+  // A failed result that also carries the truncated flag counts as failed:
+  // the error status is the stronger statement.
+  SkylineResult failed_truncated;
+  failed_truncated.status = Status::IoError("disk");
+  failed_truncated.truncated = true;
+  EXPECT_EQ(AdmissionController::Classify(failed_truncated),
+            RequestOutcome::kFailed);
+}
+
+TEST(AdmissionTest, ConservationDetectsViolation) {
+  obs::MetricsRegistry registry;
+  AdmissionController admission(TestConfig(&registry));
+  admission.CountReceived();
+  // Received but never resolved: the identity must flag it.
+  EXPECT_NE(admission.CheckConservation(), "");
+}
+
+TEST(AdmissionTest, ConservationHoldsUnderConcurrency) {
+  obs::MetricsRegistry registry;
+  AdmissionController admission(TestConfig(&registry, /*max_pending=*/8,
+                                           /*max_cost=*/24.0));
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&admission, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        admission.CountReceived();
+        if (i % 7 == 6) {  // a slice never reaches admission
+          admission.CountRejected();
+          continue;
+        }
+        const double cost = 1.0 + static_cast<double>((t + i) % 3);
+        double retry = 0.0;
+        if (!admission.TryAdmit(cost, &retry)) continue;  // counted shed
+        switch ((t + i) % 3) {
+          case 0:
+            admission.Finish(RequestOutcome::kCompleted, cost);
+            break;
+          case 1:
+            admission.Finish(RequestOutcome::kTruncated, cost);
+            break;
+          default:
+            admission.Finish(RequestOutcome::kFailed, cost);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admission.received(), kThreads * kPerThread);
+  EXPECT_EQ(admission.pending(), 0u);
+  EXPECT_EQ(admission.CheckConservation(), "");
+}
+
+TEST(AdmissionTest, MetricsRegistryCarriesTheCounters) {
+  obs::MetricsRegistry registry;
+  AdmissionController admission(TestConfig(&registry));
+  admission.CountReceived();
+  double retry = 0.0;
+  ASSERT_TRUE(admission.TryAdmit(2.0, &retry));
+  admission.Finish(RequestOutcome::kCompleted, 2.0);
+  EXPECT_EQ(registry.counter(metric::kServeReceived)->value(), 1u);
+  EXPECT_EQ(registry.counter(metric::kServeAdmitted)->value(), 1u);
+  EXPECT_EQ(registry.counter(metric::kServeCompleted)->value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge(metric::kServePending)->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace msq::serve

@@ -1,0 +1,155 @@
+// Deterministic replay of the seed corpus in tests/serve/corpus/: every
+// ok_* file must parse into a cap-respecting ServeRequest, every bad_*
+// file must be rejected with kInvalidArgument, and every raw_* file must
+// be handled without tripping the parser's bounds-check machinery. The
+// same corpus seeds the mutation fuzzer (tools/fuzz_repro json); this
+// test keeps the expectations honest in CI without fuzz iterations.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+#include "serve/request.h"
+
+#ifndef MSQ_SERVE_CORPUS_DIR
+#error "MSQ_SERVE_CORPUS_DIR must be defined by the build"
+#endif
+
+#define MSQ_STRINGIFY_INNER(x) #x
+#define MSQ_STRINGIFY(x) MSQ_STRINGIFY_INNER(x)
+
+namespace msq::serve {
+namespace {
+
+std::string CorpusDir() { return MSQ_STRINGIFY(MSQ_SERVE_CORPUS_DIR); }
+
+std::vector<std::string> ListCorpus() {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(CorpusDir().c_str());
+  if (dir == nullptr) return names;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (!name.empty() && name[0] != '.') names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::string data;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return data;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.append(chunk, n);
+  }
+  std::fclose(f);
+  return data;
+}
+
+// Same cap checks the fuzzer enforces: anything the strict parser accepts
+// must already sit inside the serving-layer resource bounds.
+testing::AssertionResult RespectsCaps(const ServeRequest& request) {
+  if (request.sources.empty() || request.sources.size() > kMaxSources) {
+    return testing::AssertionFailure()
+           << "source count " << request.sources.size();
+  }
+  for (const Location& source : request.sources) {
+    if (source.edge >= kInvalidEdge) {
+      return testing::AssertionFailure() << "edge " << source.edge;
+    }
+    if (!(source.offset >= 0.0)) {  // also catches NaN
+      return testing::AssertionFailure() << "offset " << source.offset;
+    }
+  }
+  if (request.lbc_source_index >= request.sources.size() &&
+      request.lbc_source_index != 0) {
+    return testing::AssertionFailure()
+           << "lbc_source " << request.lbc_source_index;
+  }
+  if (request.k > kMaxK) {
+    return testing::AssertionFailure() << "k " << request.k;
+  }
+  if (request.id.size() > kMaxIdBytes) {
+    return testing::AssertionFailure() << "id bytes " << request.id.size();
+  }
+  if (request.deadline_ms < 0.0 || request.deadline_ms > kMaxDeadlineMs) {
+    return testing::AssertionFailure()
+           << "deadline_ms " << request.deadline_ms;
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(CorpusTest, CorpusIsPresentAndCoversAllThreeClasses) {
+  const std::vector<std::string> names = ListCorpus();
+  ASSERT_GE(names.size(), 20u) << "corpus missing at " << CorpusDir();
+  std::size_t ok = 0, bad = 0, raw = 0;
+  for (const std::string& name : names) {
+    if (name.rfind("ok_", 0) == 0) ++ok;
+    if (name.rfind("bad_", 0) == 0) ++bad;
+    if (name.rfind("raw_", 0) == 0) ++raw;
+  }
+  EXPECT_GE(ok, 3u);
+  EXPECT_GE(bad, 10u);
+  EXPECT_GE(raw, 3u);
+  EXPECT_EQ(ok + bad + raw, names.size()) << "unclassified corpus file";
+}
+
+TEST(CorpusTest, EveryFileMeetsItsPrefixExpectation) {
+  for (const std::string& name : ListCorpus()) {
+    const std::string data = ReadFileBytes(CorpusDir() + "/" + name);
+    SCOPED_TRACE(name);
+    ASSERT_FALSE(data.empty()) << "unreadable corpus file";
+    const StatusOr<ServeRequest> request =
+        ParseServeRequestText(std::string_view(data));
+    if (name.rfind("ok_", 0) == 0) {
+      ASSERT_TRUE(request.ok()) << request.status().ToString();
+      EXPECT_TRUE(RespectsCaps(request.value()));
+    } else if (name.rfind("bad_", 0) == 0) {
+      ASSERT_FALSE(request.ok());
+      EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+    } else {
+      // raw_*: outcome unconstrained, but an accepted request must still
+      // respect the caps, and an error must be a structured 4xx-class
+      // status, not a crash or a success smuggling invalid state.
+      if (request.ok()) {
+        EXPECT_TRUE(RespectsCaps(request.value()));
+      } else {
+        EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+      }
+    }
+  }
+}
+
+TEST(CorpusTest, OkFilesSurviveTighterLimitsOrFailCleanly) {
+  // Shrinking the parse limits must never change an accept into anything
+  // other than a clean kInvalidArgument rejection.
+  JsonLimits tight;
+  tight.max_bytes = 96;
+  tight.max_depth = 4;
+  tight.max_values = 24;
+  for (const std::string& name : ListCorpus()) {
+    if (name.rfind("ok_", 0) != 0) continue;
+    const std::string data = ReadFileBytes(CorpusDir() + "/" + name);
+    const StatusOr<JsonValue> json = ParseJson(data, tight);
+    if (!json.ok()) {
+      EXPECT_EQ(json.status().code(), StatusCode::kInvalidArgument) << name;
+      continue;
+    }
+    const StatusOr<ServeRequest> request = ParseServeRequest(json.value());
+    if (!request.ok()) {
+      EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument)
+          << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msq::serve

@@ -1,0 +1,180 @@
+// serve::ParseServeRequest — the strict request schema over the JSON
+// parser: unknown fields rejected at every level, integrality and range
+// enforced, and the response encoders emit JSON the parser accepts.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+#include "serve/request.h"
+
+namespace msq::serve {
+namespace {
+
+StatusOr<ServeRequest> P(const std::string& text) {
+  return ParseServeRequestText(text);
+}
+
+TEST(RequestTest, MinimalRequest) {
+  const ServeRequest request = P("{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}]}").value();
+  EXPECT_EQ(request.algorithm, Algorithm::kLbc);
+  ASSERT_EQ(request.sources.size(), 1u);
+  EXPECT_EQ(request.sources[0].edge, 0u);
+  EXPECT_DOUBLE_EQ(request.sources[0].offset, 0.0);
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 0.0);
+  EXPECT_EQ(request.page_budget, 0u);
+  EXPECT_EQ(request.k, 0u);
+  EXPECT_TRUE(request.id.empty());
+}
+
+TEST(RequestTest, FullRequest) {
+  const ServeRequest request =
+      P("{\"algo\":\"ce\",\"sources\":[{\"edge\":3,\"offset\":0.5},"
+        "{\"edge\":9,\"offset\":0.25}],\"lbc_source\":1,"
+        "\"limits\":{\"deadline_ms\":250,\"page_budget\":1000},"
+        "\"k\":16,\"id\":\"req-1\"}")
+          .value();
+  EXPECT_EQ(request.algorithm, Algorithm::kCe);
+  ASSERT_EQ(request.sources.size(), 2u);
+  EXPECT_EQ(request.sources[1].edge, 9u);
+  EXPECT_DOUBLE_EQ(request.sources[1].offset, 0.25);
+  EXPECT_EQ(request.lbc_source_index, 1u);
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 250.0);
+  EXPECT_EQ(request.page_budget, 1000u);
+  EXPECT_EQ(request.k, 16u);
+  EXPECT_EQ(request.id, "req-1");
+}
+
+TEST(RequestTest, AllAlgorithmsParse) {
+  const struct {
+    const char* name;
+    Algorithm algorithm;
+  } cases[] = {{"naive", Algorithm::kNaive},
+               {"ce", Algorithm::kCe},
+               {"edc", Algorithm::kEdc},
+               {"lbc", Algorithm::kLbc}};
+  for (const auto& c : cases) {
+    const std::string text = std::string("{\"algo\":\"") + c.name +
+                             "\",\"sources\":[{\"edge\":0}]}";
+    EXPECT_EQ(P(text).value().algorithm, c.algorithm) << c.name;
+  }
+}
+
+TEST(RequestTest, Rejections) {
+  const char* cases[] = {
+      "{}",                                           // missing everything
+      "{\"algo\":\"lbc\"}",                           // missing sources
+      "{\"sources\":[{\"edge\":0}]}",                 // missing algo
+      "{\"algo\":\"lbc\",\"sources\":[]}",            // empty sources
+      "{\"algo\":\"zzz\",\"sources\":[{\"edge\":0}]}",    // unknown algo
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],\"x\":1}",  // unknown field
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0,\"y\":1}]}",  // unknown entry field
+      "{\"algo\":\"lbc\",\"sources\":[{\"offset\":1}]}",        // missing edge
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":1.5}]}",        // fractional edge
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":-1}]}",         // negative edge
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0,\"offset\":-0.1}]}",
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],\"k\":1.5}",
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],\"k\":4097}",  // > kMaxK
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],"
+      "\"limits\":{\"deadline_ms\":0}}",                          // zero deadline
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],"
+      "\"limits\":{\"deadline_ms\":-5}}",
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],"
+      "\"limits\":{\"deadline_ms\":600001}}",                     // > max
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],"
+      "\"limits\":{\"nope\":1}}",                                 // unknown limit
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],\"lbc_source\":1}",
+      "[\"algo\",\"lbc\"]",                                       // not an object
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}]",             // bad JSON
+  };
+  for (const char* text : cases) {
+    const StatusOr<ServeRequest> result = P(text);
+    EXPECT_FALSE(result.ok()) << "accepted: " << text;
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << text;
+    }
+  }
+}
+
+TEST(RequestTest, SourceCountCap) {
+  std::string many = "{\"algo\":\"lbc\",\"sources\":[";
+  for (std::size_t i = 0; i <= kMaxSources; ++i) {
+    if (i > 0) many += ",";
+    many += "{\"edge\":0}";
+  }
+  many += "]}";
+  EXPECT_FALSE(P(many).ok());  // kMaxSources + 1 entries
+}
+
+TEST(RequestTest, IdLengthCap) {
+  const std::string id(kMaxIdBytes + 1, 'x');
+  EXPECT_FALSE(
+      P("{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],\"id\":\"" + id +
+        "\"}")
+          .ok());
+}
+
+TEST(RequestTest, HttpStatusMapping) {
+  EXPECT_EQ(HttpStatusFor(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kDeadlineExceeded), 408);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kResourceExhausted), 503);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kUnavailable), 503);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kIoError), 500);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kCorruption), 500);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInternal), 500);
+}
+
+TEST(RequestTest, ResultResponseRoundTripsThroughParser) {
+  ServeRequest request;
+  request.id = "round \"trip\"";
+  SkylineResult result;
+  result.truncated = true;
+  result.truncation_reason = StatusCode::kDeadlineExceeded;
+  SkylineEntry entry;
+  entry.object = 7;
+  entry.vector = {0.125, 2.5};
+  result.skyline.push_back(entry);
+  result.stats.network_pages = 3;
+  result.stats.index_pages = 1;
+  result.stats.settled_nodes = 42;
+
+  const std::string body =
+      EncodeResultResponse(request, result, /*returned=*/1,
+                           /*queue_ms=*/0.5, /*wall_ms=*/1.5);
+  const JsonValue json = ParseJson(body).value();
+  EXPECT_EQ(json.Find("id")->AsString(), "round \"trip\"");
+  EXPECT_EQ(json.Find("status")->AsString(), "OK");
+  EXPECT_TRUE(json.Find("truncated")->AsBool());
+  EXPECT_EQ(json.Find("truncation_reason")->AsString(),
+            "DEADLINE_EXCEEDED");
+  ASSERT_EQ(json.Find("skyline")->AsArray().size(), 1u);
+  const JsonValue& first = json.Find("skyline")->AsArray()[0];
+  EXPECT_DOUBLE_EQ(first.Find("object")->AsNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(first.Find("vector")->AsArray()[0].AsNumber(), 0.125);
+  EXPECT_DOUBLE_EQ(json.Find("count")->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(json.Find("total")->AsNumber(), 1.0);
+  const JsonValue* stats = json.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->Find("network_pages")->AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(stats->Find("settled_nodes")->AsNumber(), 42.0);
+}
+
+TEST(RequestTest, ErrorResponseRoundTripsThroughParser) {
+  const std::string body = EncodeErrorResponse(
+      "id-1", StatusCode::kResourceExhausted, "overloaded",
+      /*retry_after_ms=*/75.0);
+  const JsonValue json = ParseJson(body).value();
+  EXPECT_EQ(json.Find("id")->AsString(), "id-1");
+  const JsonValue* error = json.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->AsString(), "RESOURCE_EXHAUSTED");
+  EXPECT_DOUBLE_EQ(error->Find("http")->AsNumber(), 503.0);
+  EXPECT_EQ(error->Find("message")->AsString(), "overloaded");
+  EXPECT_DOUBLE_EQ(json.Find("retry_after_ms")->AsNumber(), 75.0);
+}
+
+}  // namespace
+}  // namespace msq::serve

@@ -1,0 +1,356 @@
+// MsqServer end to end over real loopback sockets: both protocols, the
+// overload ladder (deadline propagation, shedding, connection cap), slow
+// and hostile clients, graceful drain, and exact accounting afterwards.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/query_executor.h"
+#include "gen/workloads.h"
+#include "obs/metrics.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "testing_support.h"
+
+namespace msq::serve {
+namespace {
+
+// One server stack over a small generated workload. Each fixture instance
+// owns a private MetricsRegistry so tests do not share counters.
+struct ServerStack {
+  explicit ServerStack(ServerConfig config = {}, std::size_t workers = 2) {
+    WorkloadConfig workload_config;
+    workload_config.network = NetworkGenConfig{120, 160, 5, 0.0};
+    workload_config.object_density = 1.0;
+    workload = std::make_unique<Workload>(workload_config);
+    obs::TelemetryConfig telemetry;
+    telemetry.registry = &registry;
+    executor = std::make_unique<QueryExecutor>(workload->dataset(), workers,
+                                               telemetry);
+    config.registry = &registry;
+    config.admission.registry = &registry;
+    server = std::make_unique<MsqServer>(executor.get(), config);
+    start_status = server->Start();
+  }
+
+  ~ServerStack() { server->Shutdown(); }
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<QueryExecutor> executor;
+  std::unique_ptr<MsqServer> server;
+  Status start_status;
+};
+
+// Blocking NDJSON round trip on an existing connection.
+StatusOr<std::string> RoundTrip(int fd, const std::string& request) {
+  Status written = WriteAll(fd, request + "\n");
+  if (!written.ok()) return written;
+  FrameReader reader(fd, 1 << 20);
+  return reader.ReadLine();
+}
+
+StatusOr<int> Connect(const ServerStack& stack) {
+  StatusOr<int> fd = ConnectTcp("127.0.0.1", stack.server->port());
+  if (fd.ok()) {
+    (void)SetSocketTimeouts(fd.value(), /*recv_seconds=*/10.0,
+                            /*send_seconds=*/5.0);
+  }
+  return fd;
+}
+
+TEST(ServerTest, NdjsonQueryRoundTrip) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok()) << stack.start_status.ToString();
+  const int fd = Connect(stack).value();
+  const StatusOr<std::string> reply = RoundTrip(
+      fd, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0},{\"edge\":5}],"
+          "\"id\":\"rt-1\"}");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const JsonValue json = ParseJson(reply.value()).value();
+  EXPECT_EQ(json.Find("id")->AsString(), "rt-1");
+  EXPECT_EQ(json.Find("status")->AsString(), "OK");
+  EXPECT_FALSE(json.Find("truncated")->AsBool());
+  EXPECT_GT(json.Find("skyline")->AsArray().size(), 0u);
+  ::close(fd);
+}
+
+TEST(ServerTest, PersistentConnectionSurvivesMalformedFrames) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  // Garbage first: a structured error, and the connection stays usable.
+  const StatusOr<std::string> error_reply = RoundTrip(fd, "not json");
+  ASSERT_TRUE(error_reply.ok());
+  const JsonValue error_json = ParseJson(error_reply.value()).value();
+  EXPECT_EQ(error_json.Find("error")->Find("code")->AsString(),
+            "INVALID_ARGUMENT");
+  // Then a valid request on the same connection.
+  const StatusOr<std::string> ok_reply =
+      RoundTrip(fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":1}]}");
+  ASSERT_TRUE(ok_reply.ok());
+  EXPECT_EQ(ParseJson(ok_reply.value()).value().Find("status")->AsString(),
+            "OK");
+  ::close(fd);
+  // Accounting: one rejected, one completed, nothing lost.
+  stack.server->Shutdown();
+  EXPECT_EQ(stack.server->admission().rejected(), 1u);
+  EXPECT_EQ(stack.server->admission().completed(), 1u);
+  EXPECT_EQ(stack.server->admission().CheckConservation(), "");
+}
+
+TEST(ServerTest, KLimitsReturnedPrefix) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  const StatusOr<std::string> reply = RoundTrip(
+      fd, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0},{\"edge\":7}],"
+          "\"k\":1}");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = ParseJson(reply.value()).value();
+  EXPECT_EQ(json.Find("count")->AsNumber(), 1.0);
+  EXPECT_EQ(json.Find("skyline")->AsArray().size(), 1u);
+  EXPECT_GE(json.Find("total")->AsNumber(), 1.0);
+  ::close(fd);
+}
+
+TEST(ServerTest, PageBudgetPropagatesAsTruncation) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  const StatusOr<std::string> reply = RoundTrip(
+      fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":0},{\"edge\":3}],"
+          "\"limits\":{\"page_budget\":1}}");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = ParseJson(reply.value()).value();
+  EXPECT_EQ(json.Find("status")->AsString(), "OK");
+  ASSERT_TRUE(json.Find("truncated")->AsBool());
+  EXPECT_EQ(json.Find("truncation_reason")->AsString(),
+            "RESOURCE_EXHAUSTED");
+  ::close(fd);
+}
+
+TEST(ServerTest, TinyDeadlineProducesTruncatedNotHung) {
+  // A 1 ms deadline on a cold query: whether it expires in the queue or
+  // mid-run, the reply must come back promptly as a truncated prefix.
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  for (int i = 0; i < 5; ++i) {
+    const StatusOr<std::string> reply = RoundTrip(
+        fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":2},{\"edge\":9}],"
+            "\"limits\":{\"deadline_ms\":1}}");
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    const JsonValue json = ParseJson(reply.value()).value();
+    // Fast machines may finish inside 1 ms; then it's a full result.
+    if (json.Find("truncated")->AsBool()) {
+      EXPECT_EQ(json.Find("truncation_reason")->AsString(),
+                "DEADLINE_EXCEEDED");
+    }
+  }
+  ::close(fd);
+}
+
+TEST(ServerTest, OverloadShedsWithRetryAfter) {
+  ServerConfig config;
+  config.admission.max_pending = 1;
+  config.admission.max_pending_cost = 1e9;
+  ServerStack stack(config, /*workers=*/1);
+  ASSERT_TRUE(stack.start_status.ok());
+
+  // Fill the single admission slot with a slow request from one
+  // connection, then hit the watermark from another.
+  const int slow_fd = Connect(stack).value();
+  ASSERT_TRUE(
+      WriteAll(slow_fd,
+               std::string("{\"algo\":\"naive\",\"sources\":[{\"edge\":0},"
+                           "{\"edge\":1},{\"edge\":2}]}\n"))
+          .ok());
+  // Give the server a moment to admit it.
+  usleep(50 * 1000);
+
+  const int shed_fd = Connect(stack).value();
+  const StatusOr<std::string> reply = RoundTrip(
+      shed_fd, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":4}]}");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = ParseJson(reply.value()).value();
+  const JsonValue* error = json.Find("error");
+  // The slow query may have finished already on a fast machine; only
+  // assert the shed shape when the shed actually happened.
+  if (error != nullptr) {
+    EXPECT_EQ(error->Find("code")->AsString(), "RESOURCE_EXHAUSTED");
+    EXPECT_DOUBLE_EQ(error->Find("http")->AsNumber(), 503.0);
+    EXPECT_GT(json.Find("retry_after_ms")->AsNumber(), 0.0);
+  }
+  ::close(shed_fd);
+  // Drain the slow reply so its connection finishes cleanly.
+  FrameReader slow_reader(slow_fd, 1 << 20);
+  (void)slow_reader.ReadLine();
+  ::close(slow_fd);
+  stack.server->Shutdown();
+  EXPECT_EQ(stack.server->admission().CheckConservation(), "");
+}
+
+TEST(ServerTest, ConnectionCapShedsNewSockets) {
+  ServerConfig config;
+  config.max_connections = 1;
+  ServerStack stack(config);
+  ASSERT_TRUE(stack.start_status.ok());
+  const int held = Connect(stack).value();
+  // Park a request so the connection is definitely registered.
+  const StatusOr<std::string> first = RoundTrip(
+      held, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}]}");
+  ASSERT_TRUE(first.ok());
+
+  const StatusOr<int> second = Connect(stack);
+  ASSERT_TRUE(second.ok());
+  FrameReader reader(second.value(), 1 << 20);
+  const StatusOr<std::string> reply = reader.ReadLine();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const JsonValue json = ParseJson(reply.value()).value();
+  EXPECT_EQ(json.Find("error")->Find("code")->AsString(),
+            "RESOURCE_EXHAUSTED");
+  ::close(second.value());
+  ::close(held);
+}
+
+TEST(ServerTest, OversizedFrameRejectedNotBuffered) {
+  ServerConfig config;
+  config.max_request_bytes = 1024;
+  ServerStack stack(config);
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  const std::string big(8192, 'x');  // no newline — cap must cut it off
+  ASSERT_TRUE(WriteAll(fd, big).ok());
+  FrameReader reader(fd, 1 << 20);
+  const StatusOr<std::string> reply = reader.ReadLine();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const JsonValue json = ParseJson(reply.value()).value();
+  EXPECT_EQ(json.Find("error")->Find("code")->AsString(),
+            "RESOURCE_EXHAUSTED");
+  ::close(fd);
+  stack.server->Shutdown();
+  EXPECT_EQ(stack.server->admission().rejected(), 1u);
+  EXPECT_EQ(stack.server->admission().CheckConservation(), "");
+}
+
+TEST(ServerTest, MidRequestDisconnectIsQuietlyDropped) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  // Half a frame, then vanish. Never becomes a received request.
+  ASSERT_TRUE(WriteAll(fd, std::string("{\"algo\":\"lb")).ok());
+  ::close(fd);
+  // A second, healthy connection still works.
+  const int fd2 = Connect(stack).value();
+  const StatusOr<std::string> reply = RoundTrip(
+      fd2, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}]}");
+  ASSERT_TRUE(reply.ok());
+  ::close(fd2);
+  stack.server->Shutdown();
+  EXPECT_EQ(stack.server->admission().received(), 1u);
+  EXPECT_EQ(stack.server->admission().CheckConservation(), "");
+}
+
+TEST(ServerTest, HttpEndpoints) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+
+  auto http = [&](const std::string& request) {
+    const int fd = Connect(stack).value();
+    EXPECT_TRUE(WriteAll(fd, request).ok());
+    // Raw drain until EOF (Connection: close) — the body has no trailing
+    // newline, so line framing would drop its last chunk.
+    std::string response;
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      response.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string healthz = http("GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
+
+  const std::string metrics = http("GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("msq_serve_requests_received"),
+            std::string::npos);
+
+  const std::string body =
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}]}";
+  const std::string query =
+      http("POST /query HTTP/1.1\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(query.find("200 OK"), std::string::npos);
+  EXPECT_NE(query.find("\"status\":\"OK\""), std::string::npos);
+
+  const std::string missing = http("GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  const std::string bad = http("POST /query HTTP/1.1\r\nContent-Length: "
+                               "2\r\n\r\n{}");
+  EXPECT_NE(bad.find("400"), std::string::npos);
+
+  const std::string statz = http("GET /statz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(statz.find("\"received\""), std::string::npos);
+}
+
+TEST(ServerTest, GracefulDrainFinishesInFlightWork) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 8;
+  std::vector<std::thread> clients;
+  std::atomic<std::uint64_t> answered{0};
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&stack, &answered, c] {
+      const StatusOr<int> fd = Connect(stack);
+      if (!fd.ok()) return;
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::string request =
+            "{\"algo\":\"lbc\",\"sources\":[{\"edge\":" +
+            std::to_string((c * kPerClient + i) % 20) + "}]}";
+        const StatusOr<std::string> reply = RoundTrip(fd.value(), request);
+        if (!reply.ok()) break;
+        answered.fetch_add(1);
+      }
+      ::close(fd.value());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stack.server->Shutdown();  // must return; double-shutdown is a no-op
+  stack.server->Shutdown();
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  EXPECT_EQ(stack.server->admission().completed(), kClients * kPerClient);
+  EXPECT_EQ(stack.server->admission().CheckConservation(), "");
+  // Flight recorder saw exactly the admitted queries.
+  EXPECT_EQ(stack.executor->telemetry().flight_recorder().total_recorded(),
+            stack.server->admission().admitted());
+}
+
+TEST(ServerTest, ShutdownUnblocksIdleConnections) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  // An idle persistent connection with no traffic must not stall drain.
+  const int fd = Connect(stack).value();
+  const double start = MonotonicSeconds();
+  stack.server->Shutdown();
+  EXPECT_LT(MonotonicSeconds() - start, 5.0);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace msq::serve

@@ -65,7 +65,7 @@ if [[ "$mode" == "tsan" ]]; then
   # actually run threads. second_deadlock_stack aids lock-order reports.
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
     ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-      -R "Concurrency|Executor|Hammer|Cache"
+      -R "Concurrency|Executor|Hammer|Cache|ServerTest|AdmissionTest|DeadlineRace"
 else
   # halt_on_error makes UBSan findings fail the run instead of just logging.
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \

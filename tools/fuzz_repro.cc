@@ -1,12 +1,35 @@
-// Replays FuzzTest.AllAlgorithmsMatchOracleOnAdversarialInstances for a
-// given seed, printing full instance details on any divergence.
+// Fuzz reproduction driver, two modes:
+//
+//   fuzz_repro [SEED]
+//     Replays FuzzTest.AllAlgorithmsMatchOracleOnAdversarialInstances for
+//     the seed, printing full instance details on any divergence.
+//
+//   fuzz_repro json PATH [ITERS] [SEED]
+//     Corpus-driven fuzz of the serving JSON/request parser. PATH is a
+//     corpus file or directory (tests/serve/corpus/ in-tree). Every seed
+//     input runs through ParseJson and ParseServeRequestText with
+//     filename-prefix expectations (ok_* must parse, bad_* must be
+//     rejected, raw_* must merely not crash), then ITERS seeded mutants
+//     (byte flips, splices, truncations, token injections) stress both
+//     parsers under randomized JsonLimits. Invariants checked on every
+//     accepted parse: request caps hold (sources/k/id/deadline ranges).
+//     Exit 0 = no violation; any parser crash surfaces as the crash.
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/skyline_query.h"
 #include "gen/network_gen.h"
 #include "gen/workloads.h"
+#include "serve/json.h"
+#include "serve/request.h"
 
 using namespace msq;
 
@@ -35,7 +58,229 @@ static std::vector<ObjectId> Ids(const SkylineResult& r) {
   return ids;
 }
 
+namespace {
+
+struct CorpusEntry {
+  std::string name;
+  std::string data;
+};
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  out->clear();
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+std::vector<CorpusEntry> LoadCorpus(const std::string& path) {
+  std::vector<CorpusEntry> corpus;
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return corpus;
+  if (!S_ISDIR(st.st_mode)) {
+    CorpusEntry entry;
+    entry.name = path;
+    if (ReadFileBytes(path, &entry.data)) corpus.push_back(entry);
+    return corpus;
+  }
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return corpus;
+  for (dirent* de = ::readdir(dir); de != nullptr; de = ::readdir(dir)) {
+    if (de->d_name[0] == '.') continue;
+    CorpusEntry entry;
+    entry.name = de->d_name;
+    if (ReadFileBytes(path + "/" + de->d_name, &entry.data)) {
+      corpus.push_back(entry);
+    }
+  }
+  ::closedir(dir);
+  std::sort(corpus.begin(), corpus.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.name < b.name;
+            });
+  return corpus;
+}
+
+// Invariants any *accepted* request must satisfy — an accepting parse that
+// violates a cap is a parser bug even if nothing crashed.
+bool CheckRequestCaps(const serve::ServeRequest& request, std::string* why) {
+  if (request.sources.empty() ||
+      request.sources.size() > serve::kMaxSources) {
+    *why = "sources count out of range";
+    return false;
+  }
+  if (request.lbc_source_index >= request.sources.size()) {
+    *why = "lbc_source out of range";
+    return false;
+  }
+  if (request.k > serve::kMaxK) {
+    *why = "k above cap";
+    return false;
+  }
+  if (request.id.size() > serve::kMaxIdBytes) {
+    *why = "id above cap";
+    return false;
+  }
+  if (request.deadline_ms < 0.0 ||
+      request.deadline_ms > serve::kMaxDeadlineMs) {
+    *why = "deadline out of range";
+    return false;
+  }
+  for (const Location& source : request.sources) {
+    if (!(source.offset >= 0.0)) {  // also catches NaN
+      *why = "negative/NaN offset";
+      return false;
+    }
+  }
+  return true;
+}
+
+// One parser probe: raw JSON under `limits`, then the request schema.
+// Returns false (with *why) only on an invariant violation.
+bool Probe(const std::string& data, const serve::JsonLimits& limits,
+           std::string* why) {
+  (void)serve::ParseJson(data, limits);  // must not crash; outcome free
+  StatusOr<serve::ServeRequest> request = serve::ParseServeRequestText(data);
+  if (request.ok()) return CheckRequestCaps(request.value(), why);
+  return true;
+}
+
+std::string Mutate(const std::vector<CorpusEntry>& corpus, Rng& rng) {
+  static const char* kTokens[] = {
+      "{",     "}",       "[",    "]",        ":",       ",",
+      "\"",    "\\u0000", "\\",   "1e308",    "-0",      "0.5",
+      "null",  "true",    "false", "\"algo\"", "\"ce\"",  "\"sources\"",
+      "\"edge\"", "\"limits\"", "\"deadline_ms\"", "\"k\"", "\"id\"",
+      "\xff",  "\x00",    "  ",   "\n"};
+  std::string data = corpus[rng.NextBounded(corpus.size())].data;
+  const std::size_t rounds = 1 + rng.NextBounded(8);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    switch (rng.NextBounded(6)) {
+      case 0:  // flip a byte
+        if (!data.empty()) {
+          data[rng.NextBounded(data.size())] =
+              static_cast<char>(rng.NextBounded(256));
+        }
+        break;
+      case 1: {  // insert a dictionary token
+        const char* token = kTokens[rng.NextBounded(std::size(kTokens))];
+        data.insert(rng.NextBounded(data.size() + 1), token);
+        break;
+      }
+      case 2:  // delete a span
+        if (!data.empty()) {
+          const std::size_t at = rng.NextBounded(data.size());
+          data.erase(at, 1 + rng.NextBounded(16));
+        }
+        break;
+      case 3:  // truncate
+        if (!data.empty()) data.resize(rng.NextBounded(data.size()));
+        break;
+      case 4: {  // duplicate a span in place
+        if (!data.empty()) {
+          const std::size_t at = rng.NextBounded(data.size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng.NextBounded(32),
+                                    data.size() - at);
+          data.insert(at, data.substr(at, len));
+        }
+        break;
+      }
+      default: {  // splice with another corpus entry
+        const std::string& other =
+            corpus[rng.NextBounded(corpus.size())].data;
+        if (!other.empty()) {
+          data.insert(rng.NextBounded(data.size() + 1),
+                      other.substr(rng.NextBounded(other.size())));
+        }
+        break;
+      }
+    }
+    if (data.size() > (1u << 17)) data.resize(1u << 17);
+  }
+  return data;
+}
+
+int RunJsonFuzz(const std::string& path, std::size_t iters,
+                std::uint64_t seed) {
+  const std::vector<CorpusEntry> corpus = LoadCorpus(path);
+  if (corpus.empty()) {
+    std::fprintf(stderr, "no corpus inputs under %s\n", path.c_str());
+    return 2;
+  }
+
+  // Phase 1: seed inputs with filename-prefix expectations.
+  for (const CorpusEntry& entry : corpus) {
+    const StatusOr<serve::ServeRequest> request =
+        serve::ParseServeRequestText(entry.data);
+    std::string why;
+    if (request.ok() && !CheckRequestCaps(request.value(), &why)) {
+      std::fprintf(stderr, "%s: accepted but %s\n", entry.name.c_str(),
+                   why.c_str());
+      return 1;
+    }
+    const bool expect_ok = entry.name.rfind("ok_", 0) == 0;
+    const bool expect_bad = entry.name.rfind("bad_", 0) == 0;
+    if (expect_ok && !request.ok()) {
+      std::fprintf(stderr, "%s: expected to parse, got: %s\n",
+                   entry.name.c_str(),
+                   request.status().ToString().c_str());
+      return 1;
+    }
+    if (expect_bad && request.ok()) {
+      std::fprintf(stderr, "%s: expected rejection, parsed fine\n",
+                   entry.name.c_str());
+      return 1;
+    }
+    (void)serve::ParseJson(entry.data);  // raw parser must not crash either
+  }
+
+  // Phase 2: seeded mutation storm over both parsers, with randomized
+  // (sometimes tiny) JsonLimits so the cap paths get hit constantly.
+  Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::string mutant = Mutate(corpus, rng);
+    serve::JsonLimits limits;
+    if (rng.NextBounded(2) == 0) {
+      limits.max_bytes = 1 + rng.NextBounded(1u << 17);
+      limits.max_depth = 1 + rng.NextBounded(64);
+      limits.max_values = 1 + rng.NextBounded(1u << 15);
+    }
+    std::string why;
+    if (!Probe(mutant, limits, &why)) {
+      std::fprintf(stderr, "iteration %zu (seed %llu): %s\nmutant (%zu "
+                   "bytes): %.200s\n",
+                   i, (unsigned long long)seed, why.c_str(), mutant.size(),
+                   mutant.c_str());
+      return 1;
+    }
+  }
+  std::printf("json fuzz: %zu seed inputs, %zu mutants, no violations "
+              "(seed %llu)\n",
+              corpus.size(), iters, (unsigned long long)seed);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "json") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: %s json CORPUS_PATH [ITERS] [SEED]\n", argv[0]);
+      return 2;
+    }
+    const std::size_t iters =
+        argc > 3 ? static_cast<std::size_t>(std::strtoull(argv[3], nullptr,
+                                                          10))
+                 : 2000;
+    const std::uint64_t fuzz_seed =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    return RunJsonFuzz(argv[2], iters, fuzz_seed);
+  }
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2;
   Rng rng(seed * 7919 + 13);
   for (int instance = 0; instance < 12; ++instance) {

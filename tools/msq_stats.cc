@@ -14,11 +14,10 @@
 // --serve binds 127.0.0.1:PORT and answers every GET with the current
 // Prometheus snapshot (scrape target shape); --max-requests bounds the
 // loop for smoke tests, 0 serves until killed.
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +26,7 @@
 #include <vector>
 
 #include "core/skyline_query.h"
+#include "serve/socket.h"
 #include "exec/query_executor.h"
 #include "gen/workloads.h"
 #include "obs/build_info.h"
@@ -186,35 +186,42 @@ std::string FlightJson(const std::vector<obs::FlightRecord>& records) {
 
 // Minimal scrape endpoint: answers every request on 127.0.0.1:`port` with
 // the current Prometheus snapshot. Single-threaded accept loop; good
-// enough for a scraper or `curl`, not a general web server.
+// enough for a scraper or `curl`, not a general web server — but robust
+// against hostile peers via the serve/socket helpers: SIGPIPE ignored,
+// partial writes and EINTR retried, reads bounded in bytes and time so a
+// stalled or garbage-streaming client cannot wedge the loop.
 int ServeMetrics(obs::MetricsRegistry& registry, int port,
                  std::size_t max_requests) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("socket");
+  serve::IgnoreSigpipe();
+  std::uint16_t bound_port = 0;
+  StatusOr<int> listener = serve::ListenTcp(
+      "127.0.0.1", static_cast<std::uint16_t>(port), /*backlog=*/8,
+      &bound_port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "msq_stats: %s\n",
+                 listener.status().ToString().c_str());
     return 1;
   }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listener, 8) < 0) {
-    std::perror("bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  std::printf("serving Prometheus metrics on http://127.0.0.1:%d/metrics\n",
-              port);
+  std::printf("serving Prometheus metrics on http://127.0.0.1:%u/metrics\n",
+              bound_port);
+  std::fflush(stdout);
   for (std::size_t served = 0;
        max_requests == 0 || served < max_requests; ++served) {
-    const int conn = ::accept(listener, nullptr, nullptr);
+    int conn = -1;
+    do {
+      conn = ::accept(listener.value(), nullptr, nullptr);
+    } while (conn < 0 && errno == EINTR);
     if (conn < 0) continue;
-    char request[1024];
-    (void)::read(conn, request, sizeof(request));  // headers ignored
+    // A scrape client has 5 s to present its request line and 5 s of
+    // cumulative stall budget to drain the snapshot.
+    (void)serve::SetSocketTimeouts(conn, /*recv_seconds=*/5.0,
+                                   /*send_seconds=*/5.0);
+    serve::FrameReader reader(conn, /*max_frame_bytes=*/4096);
+    const StatusOr<std::string> request = reader.ReadLine();
+    if (!request.ok()) {  // stalled, reset, or oversized request line
+      ::close(conn);
+      continue;
+    }
     const std::string body = obs::PrometheusText(registry);
     char header[160];
     const int n = std::snprintf(
@@ -222,11 +229,12 @@ int ServeMetrics(obs::MetricsRegistry& registry, int port,
         "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
         "Content-Length: %zu\r\nConnection: close\r\n\r\n",
         body.size());
-    (void)!::write(conn, header, static_cast<std::size_t>(n));
-    (void)!::write(conn, body.data(), body.size());
+    if (serve::WriteAll(conn, header, static_cast<std::size_t>(n)).ok()) {
+      (void)serve::WriteAll(conn, body);  // peer may vanish mid-body
+    }
     ::close(conn);
   }
-  ::close(listener);
+  ::close(listener.value());
   return 0;
 }
 
