@@ -35,7 +35,18 @@
 //   MSQ_SOAK_OUT         JSON report path (default BENCH_soak.json;
 //                        empty string disables)
 //   MSQ_SOAK_PROM_OUT    Prometheus snapshot dump after drain (optional)
+//   MSQ_SOAK_WIDE_OUT    wide-event JSONL dump after drain (optional)
+//   MSQ_SOAK_TRACE_OUT   retained-trace Chrome-JSON dump after drain
+//   MSQ_SOAK_RSS_GROWTH_MAX  resource gate: max RSS ratio last/first
+//                        phase (default 1.5; plus a 32 MB absolute slack)
+//   MSQ_SOAK_FD_SLACK    resource gate: open fds after drain may exceed
+//                        the pre-serve baseline by this many (default 16)
 //   MSQ_SOAK_NO_CHAOS    set to disable the chaos thread (load-only runs)
+//
+// Each phase samples the process RSS (/proc/self/status VmRSS) and the
+// open-fd count (/proc/self/fd) at phase end; the report embeds them and
+// two gates bound growth: a leaky server fails the run, not a dashboard.
+#include <dirent.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -71,6 +82,10 @@ struct SoakEnv {
   double slo_ms = 1500.0;
   std::string out = "BENCH_soak.json";
   std::string prom_out;
+  std::string wide_out;
+  std::string trace_out;
+  double rss_growth_max = 1.5;
+  std::size_t fd_slack = 16;
   bool chaos = true;
 };
 
@@ -96,8 +111,44 @@ SoakEnv GetSoakEnv() {
   }
   if (const char* s = std::getenv("MSQ_SOAK_OUT")) env.out = s;
   if (const char* s = std::getenv("MSQ_SOAK_PROM_OUT")) env.prom_out = s;
+  if (const char* s = std::getenv("MSQ_SOAK_WIDE_OUT")) env.wide_out = s;
+  if (const char* s = std::getenv("MSQ_SOAK_TRACE_OUT")) env.trace_out = s;
+  if (const char* s = std::getenv("MSQ_SOAK_RSS_GROWTH_MAX")) {
+    if (std::atof(s) > 0.0) env.rss_growth_max = std::atof(s);
+  }
+  if (const char* s = std::getenv("MSQ_SOAK_FD_SLACK")) {
+    if (std::atol(s) >= 0) env.fd_slack = static_cast<std::size_t>(std::atol(s));
+  }
   if (std::getenv("MSQ_SOAK_NO_CHAOS") != nullptr) env.chaos = false;
   return env;
+}
+
+// Resident set in KiB from /proc/self/status (0 if unreadable — the gates
+// then pass vacuously rather than fail on an exotic /proc).
+std::size_t ReadRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// Open descriptors from /proc/self/fd (".", "..", and the scan's own
+// dirfd subtracted).
+std::size_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  while (readdir(dir) != nullptr) ++n;
+  closedir(dir);
+  return n > 3 ? n - 3 : 0;
 }
 
 // Client-side ledger, shared across the paced clients of one phase.
@@ -334,6 +385,8 @@ struct PhaseReport {
   double p99_ms = 0.0;
   double shed_rate = 0.0;
   double truncation_rate = 0.0;
+  std::size_t rss_kb = 0;
+  std::size_t open_fds = 0;
 };
 
 PhaseReport RunPhase(const char* name, std::uint16_t port,
@@ -376,6 +429,8 @@ PhaseReport RunPhase(const char* name, std::uint16_t port,
     report.truncation_rate =
         static_cast<double>(report.truncated) / answered;
   }
+  report.rss_kb = ReadRssKb();
+  report.open_fds = CountOpenFds();
   return report;
 }
 
@@ -408,7 +463,13 @@ int main() {
   workload.graph_faults()->Arm();
   workload.index_faults()->Arm();
 
-  QueryExecutor executor(workload.dataset(), env.workers);
+  // Tracing on for the whole soak: requests past the deadline count as
+  // slow (100% tail-retained), plus 1-in-64 head sampling so the retained
+  // set and the wide-event dump are non-empty even on an all-fast run.
+  obs::TelemetryConfig telemetry_config;
+  telemetry_config.slow_wall_seconds = env.deadline_ms / 1e3;
+  telemetry_config.head_sample_every = 64;
+  QueryExecutor executor(workload.dataset(), env.workers, telemetry_config);
   serve::ServerConfig server_config;
   // max_pending sits between the 1x concurrency (env.clients) and the 2x
   // concurrency (2 * env.clients): no shedding at 1x, real shedding at 2x
@@ -433,6 +494,10 @@ int main() {
 
   const std::vector<std::string> pool = BuildRequestPool(workload, env);
   ChaosLedger chaos_ledger;
+
+  // Resource baseline: after the listener and worker pool exist, before
+  // any client traffic. Phase samples are compared against this.
+  const std::size_t baseline_fds = CountOpenFds();
 
   // Calibration: unpaced closed-loop traffic, no chaos, measures capacity.
   const PhaseReport calibration =
@@ -535,6 +600,42 @@ int main() {
     gate(p.p99_ms <= env.slo_ms, what, detail);
   }
 
+  // Resource gates. RSS may grow with load (buffers, per-connection
+  // state) but must stay within a ratio of the first loaded phase — a
+  // per-request leak compounds across the 2x and 4x phases and blows
+  // straight through it. The small absolute slack keeps tiny-scale runs
+  // (a few MB of RSS) from failing on allocator noise. Fds are checked
+  // after Shutdown: every connection is closed, so the count must return
+  // to the pre-traffic baseline give or take the configured slack.
+  {
+    const std::size_t first_rss = calibration.rss_kb;
+    const std::size_t last_rss = phases.empty() ? first_rss
+                                                : phases.back().rss_kb;
+    const double rss_limit_kb =
+        static_cast<double>(first_rss) * env.rss_growth_max + 32.0 * 1024.0;
+    char what[64];
+    std::snprintf(what, sizeof(what), "rss growth <= %.2fx",
+                  env.rss_growth_max);
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "rss %zu KB -> %zu KB (limit %.0f KB)", first_rss,
+                  last_rss, rss_limit_kb);
+    gate(first_rss == 0 ||
+             static_cast<double>(last_rss) <= rss_limit_kb,
+         what, detail);
+  }
+  const std::size_t final_fds = CountOpenFds();
+  {
+    char what[64];
+    std::snprintf(what, sizeof(what), "open fds <= baseline + %zu",
+                  env.fd_slack);
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "fds %zu -> %zu after drain",
+                  baseline_fds, final_fds);
+    gate(baseline_fds == 0 || final_fds <= baseline_fds + env.fd_slack,
+         what, detail);
+  }
+
   std::printf("\nserver totals: received %" PRIu64 " rejected %" PRIu64
               " shed %" PRIu64 " completed %" PRIu64 " truncated %" PRIu64
               " failed %" PRIu64 "\n",
@@ -562,19 +663,27 @@ int main() {
     json += buf;
     for (std::size_t i = 0; i < phases.size(); ++i) {
       const PhaseReport& p = phases[i];
+      char line[384];
       std::snprintf(
-          buf, sizeof(buf),
+          line, sizeof(line),
           "    {\"phase\": \"%s\", \"offered_qps\": %.1f, "
           "\"achieved_qps\": %.1f, \"ok\": %" PRIu64 ", \"truncated\": %"
           PRIu64 ", \"shed\": %" PRIu64 ", \"errors\": %" PRIu64
           ", \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"shed_rate\": %.4f, "
-          "\"truncation_rate\": %.4f}%s\n",
+          "\"truncation_rate\": %.4f, \"rss_kb\": %zu, \"open_fds\": %zu}"
+          "%s\n",
           p.name.c_str(), p.offered_qps, p.achieved_qps, p.ok, p.truncated,
           p.shed, p.errors, p.p50_ms, p.p99_ms, p.shed_rate,
-          p.truncation_rate, i + 1 < phases.size() ? "," : "");
-      json += buf;
+          p.truncation_rate, p.rss_kb, p.open_fds,
+          i + 1 < phases.size() ? "," : "");
+      json += line;
     }
     json += "  ],\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"baseline_rss_kb\": %zu, \"baseline_fds\": %zu, "
+                  "\"final_fds\": %zu,\n",
+                  calibration.rss_kb, baseline_fds, final_fds);
+    json += buf;
     std::snprintf(buf, sizeof(buf),
                   "  \"received\": %" PRIu64 ", \"rejected\": %" PRIu64
                   ", \"shed\": %" PRIu64 ", \"completed\": %" PRIu64
@@ -591,7 +700,28 @@ int main() {
   }
   if (!env.prom_out.empty()) {
     (void)WriteFile(env.prom_out,
-                    obs::PrometheusText(*executor.telemetry().registry()));
+                    obs::PrometheusText(*executor.telemetry().registry(),
+                                        &executor.telemetry().exemplars()));
+  }
+  if (!env.wide_out.empty()) {
+    (void)WriteFile(env.wide_out, server.wide_events().Jsonl());
+  }
+  if (!env.trace_out.empty()) {
+    // Same shape msq_server --trace-out writes (and
+    // tools/validate_telemetry.py checks): retained traces wrapping their
+    // Chrome-trace event arrays.
+    std::string out = "{\"traces\":[";
+    bool first = true;
+    for (const obs::RetainedTrace& trace :
+         executor.telemetry().trace_store().Snapshot()) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n{\"trace_id\":\"" + trace.TraceIdHex() + "\",\"reason\":\"";
+      out += obs::RetainReasonName(trace.reason);
+      out += "\",\"events\":" + obs::RetainedTraceChromeJson(trace) + "}";
+    }
+    out += "\n]}\n";
+    (void)WriteFile(env.trace_out, out);
   }
 
   if (violations > 0) {

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace msq {
 namespace {
@@ -206,6 +207,8 @@ void QueryCache::Insert(const Key& key, Entry entry) {
 }
 
 QueryCache::WavefrontPtr QueryCache::FindWavefront(const Location& source) {
+  // Detail span (head-sampled queries only): shard lock + LRU touch.
+  obs::Span probe_span = obs::DetailSpan("cache.wavefront_probe");
   const Key key = Canonical(source, kInvalidObject);
   Shard& shard = ShardFor(key);
   WavefrontPtr snapshot;
@@ -242,6 +245,7 @@ void QueryCache::StoreWavefront(const Location& source,
 
 std::optional<Dist> QueryCache::FindDistance(const Location& source,
                                              ObjectId object) {
+  obs::Span probe_span = obs::DetailSpan("cache.memo_probe");
   MSQ_CHECK(object != kInvalidObject);
   const Key key = Canonical(source, object);
   Shard& shard = ShardFor(key);

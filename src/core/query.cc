@@ -136,7 +136,8 @@ double MonotonicSeconds() {
 
 StatsScope::StatsScope(const Dataset& dataset, obs::TraceSession* trace,
                        std::string_view root_name)
-    : dataset_(dataset), root_span_(trace, root_name) {
+    : dataset_(dataset), current_session_(trace),
+      root_span_(trace, root_name) {
   if (dataset.graph_buffer != nullptr) {
     ThreadBufferCounts(*dataset.graph_buffer, &graph_misses_0_,
                        &graph_accesses_0_);

@@ -154,6 +154,17 @@ struct SkylineResult {
   bool truncated = false;
   // kResourceExhausted or kDeadlineExceeded when truncated; kOk otherwise.
   StatusCode truncation_reason = StatusCode::kOk;
+  // MonotonicSeconds() marks of when the query started and finished
+  // executing on a QueryExecutor worker (0.0 for synchronous runs). The
+  // serving layer derives true queue wait (accept -> execute start) and
+  // the execute stage of the wide event from these instead of inferring
+  // them from timing differences.
+  double exec_started_at = 0.0;
+  double exec_finished_at = 0.0;
+  // Flight-recorder sequence assigned to this query's completion record
+  // (0 for synchronous runs or disabled telemetry); lets a wide event
+  // point back at the flight ring.
+  std::uint64_t flight_sequence = 0;
 };
 
 // Progressive reporting hook: invoked as each skyline point is confirmed.
@@ -245,6 +256,10 @@ class StatsScope {
 
  private:
   const Dataset& dataset_;
+  // Registers the query's session as the thread-current one for the scope's
+  // lifetime, so layers below the algorithm (buffer manager, query cache)
+  // can attach detail spans via obs::DetailSpan without a plumbed pointer.
+  obs::ScopedCurrentSession current_session_;
   obs::Span root_span_;
   std::uint64_t graph_misses_0_ = 0;
   std::uint64_t graph_accesses_0_ = 0;

@@ -1,5 +1,6 @@
 #include "exec/query_executor.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -16,10 +17,13 @@ namespace {
 obs::FlightRecord MakeFlightRecord(Algorithm algorithm,
                                    const SkylineQuerySpec& spec,
                                    const SkylineResult& result,
+                                   const obs::TraceContext& ctx,
                                    const obs::ThreadCounters& before,
                                    const obs::ThreadCounters& after) {
   obs::FlightRecord record;
   record.spec_digest = QuerySpecDigest(algorithm, spec);
+  record.trace_id_hi = ctx.trace_id_hi;
+  record.trace_id_lo = ctx.trace_id_lo;
   record.algorithm = static_cast<std::uint32_t>(algorithm);
   record.status_code = static_cast<std::int32_t>(result.status.code());
   record.truncation =
@@ -100,6 +104,7 @@ std::future<SkylineResult> QueryExecutor::Submit(QueryRequest request) {
   MSQ_CHECK(request.spec.trace == nullptr);
   Job job;
   job.request = std::move(request);
+  job.enqueued_at = MonotonicSeconds();
   std::future<SkylineResult> future = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -151,50 +156,58 @@ void QueryExecutor::WorkerLoop() {
       ++active_;
     }
     SkylineQuerySpec spec = std::move(job.request.spec);
-    if (job.request.collect_profile) spec.trace = &trace;
+    const bool telemetry_on = telemetry_->enabled();
+    // With telemetry on every query runs traced: the coarse phase spans
+    // land in the worker's bounded span buffer and either feed tail
+    // retention at completion or are dropped on the spot. The caller only
+    // sees a profile when it asked for one.
+    if (job.request.collect_profile || telemetry_on) spec.trace = &trace;
+    obs::TraceContext ctx = job.request.trace_context;
+    if (telemetry_on && !ctx.valid()) {
+      ctx = obs::TraceContext::Mint(telemetry_->HeadSample());
+    }
+    // Head-sampled requests get detail spans (per-miss storage reads,
+    // cache probes); everything else stays on coarse phase spans.
+    trace.set_detail(telemetry_on && ctx.sampled);
     // RunSkylineQuery funnels every failure into the result's status, so
     // nothing throws across the promise. Anything unexpected still must not
     // kill the process via a promise left unset.
     try {
-      const bool telemetry_on = telemetry_->enabled();
       obs::ThreadCounters before;
       if (telemetry_on) before = obs::ThreadLocalCounters();
+      const double exec_started_at = MonotonicSeconds();
       SkylineResult result =
           RunSkylineQuery(job.request.algorithm, dataset_, spec);
-      obs::FlightRecord record;
-      std::optional<obs::QueryProfile> caller_profile;
+      result.exec_started_at = exec_started_at;
+      result.exec_finished_at = MonotonicSeconds();
       if (telemetry_on) {
-        record = MakeFlightRecord(job.request.algorithm, spec, result,
-                                  before, obs::ThreadLocalCounters());
-        caller_profile = result.profile;
+        obs::FlightRecord record =
+            MakeFlightRecord(job.request.algorithm, spec, result, ctx,
+                             before, obs::ThreadLocalCounters());
         record.sequence = telemetry_->RecordQuery(
             AlgorithmName(job.request.algorithm), record);
-      }
-      job.promise.set_value(std::move(result));
-      // Slow-query auto-capture runs after the caller is unblocked: the
-      // re-run (or the profile the caller already requested) only costs
-      // this worker's time.
-      if (telemetry_on && telemetry_->ShouldCaptureSlow(record)) {
-        obs::SlowQueryRecord slow;
-        slow.summary = record;
-        if (caller_profile.has_value()) {
-          // The slow query was already traced; retain that profile
-          // instead of paying for a re-run.
-          slow.recapture_wall_seconds = record.wall_seconds;
-          slow.profile = *std::move(caller_profile);
-          telemetry_->RetainSlowQuery(std::move(slow));
-        } else {
-          SkylineQuerySpec traced = spec;
-          traced.trace = &trace;
-          const SkylineResult rerun =
-              RunSkylineQuery(job.request.algorithm, dataset_, traced);
-          if (rerun.profile.has_value()) {
-            slow.recapture_wall_seconds = rerun.stats.total_seconds;
-            slow.profile = *rerun.profile;
-            telemetry_->RetainSlowQuery(std::move(slow));
+        result.flight_sequence = record.sequence;
+        // Hand the profile to tail sampling; detach it from the result
+        // unless the caller requested it (a copy is only paid when the
+        // query is both slow/sampled and profiled by the caller).
+        obs::QueryProfile profile;
+        if (result.profile.has_value()) {
+          if (job.request.collect_profile) {
+            profile = *result.profile;
+          } else {
+            profile = *std::move(result.profile);
+            result.profile.reset();
           }
         }
+        const double queue_seconds =
+            job.enqueued_at > 0.0
+                ? std::max(0.0, exec_started_at - job.enqueued_at)
+                : 0.0;
+        telemetry_->CompleteRequest(ctx, record, queue_seconds,
+                                    AlgorithmName(job.request.algorithm),
+                                    std::move(profile));
       }
+      job.promise.set_value(std::move(result));
     } catch (...) {
       job.promise.set_exception(std::current_exception());
     }

@@ -41,13 +41,20 @@ namespace msq {
 // One unit of work for the executor.
 struct QueryRequest {
   Algorithm algorithm = Algorithm::kCe;
-  // The query to run. `spec.trace` must be null — tracing is requested via
-  // `collect_profile`, and the executor supplies the worker's own session
-  // (a caller-held session would be shared across threads).
+  // The query to run. `spec.trace` must be null — the executor supplies
+  // the worker's own session (a caller-held session would be shared across
+  // threads).
   SkylineQuerySpec spec;
   // When true the result carries a QueryProfile recorded by the worker's
-  // private TraceSession.
+  // private TraceSession. With telemetry enabled every query is traced
+  // regardless (the profile feeds tail sampling); this flag only controls
+  // whether the caller gets a copy on the result.
   bool collect_profile = false;
+  // Request trace identity (obs/request_context.h). Invalid (the default)
+  // makes the executor mint one at dispatch, with the head-sampling coin
+  // deciding `sampled`. A sampled context additionally enables detail
+  // spans (storage page reads, cache probes) for this query.
+  obs::TraceContext trace_context;
 };
 
 // Fixed-size worker pool running skyline queries concurrently against one
@@ -97,11 +104,9 @@ class QueryExecutor {
   // Queued-but-unstarted jobs (diagnostics; racy by nature).
   std::size_t pending() const;
 
-  // Blocks until no queued or in-flight work remains — including the
-  // post-completion slow-query captures, which outlive the futures that
-  // RunBatch waits on. Telemetry reads (flight recorder, slow log,
-  // histograms) are stable afterwards, provided no other thread is still
-  // submitting.
+  // Blocks until no queued or in-flight work remains. Telemetry reads
+  // (flight recorder, slow log, trace store, histograms) are stable
+  // afterwards, provided no other thread is still submitting.
   void Quiesce() const;
 
   // The executor-owned cross-query cache, or null when constructed without
@@ -117,6 +122,9 @@ class QueryExecutor {
   struct Job {
     QueryRequest request;
     std::promise<SkylineResult> promise;
+    // MonotonicSeconds() at Submit; execute start minus this is the
+    // queue-wait stage of the request's trace.
+    double enqueued_at = 0.0;
   };
 
   QueryExecutor(Dataset dataset, std::size_t workers,

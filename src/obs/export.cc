@@ -227,7 +227,30 @@ std::string PromLabelEscape(std::string_view s) {
 
 }  // namespace
 
+namespace {
+
+// OpenMetrics-style exemplar suffix for one bucket line (empty when the
+// store has none for this bucket). 0.0.4 scrapers treat it as a comment.
+std::string ExemplarSuffix(const ExemplarStore* exemplars,
+                           const std::string& name, std::size_t bucket) {
+  if (exemplars == nullptr) return "";
+  std::optional<ExemplarStore::Exemplar> exemplar =
+      exemplars->Find(name, bucket);
+  if (!exemplar.has_value()) return "";
+  std::string out = " # {trace_id=\"" + PromLabelEscape(exemplar->trace_id) +
+                    "\"} ";
+  AppendF(&out, "%" PRIu64, exemplar->value);
+  return out;
+}
+
+}  // namespace
+
 std::string PrometheusText(const MetricsRegistry& registry) {
+  return PrometheusText(registry, nullptr);
+}
+
+std::string PrometheusText(const MetricsRegistry& registry,
+                           const ExemplarStore* exemplars) {
   const BuildInfo& build = GetBuildInfo();
   std::string out = "# TYPE msq_build_info gauge\n";
   out += "msq_build_info{git_sha=\"" + PromLabelEscape(build.git_sha) +
@@ -263,11 +286,13 @@ std::string PrometheusText(const MetricsRegistry& registry) {
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i <= top; ++i) {
           cumulative += snapshot.buckets[i];
-          AppendF(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
-                  prom.c_str(), Histogram::BucketUpper(i), cumulative);
+          AppendF(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "%s\n",
+                  prom.c_str(), Histogram::BucketUpper(i), cumulative,
+                  ExemplarSuffix(exemplars, name, i).c_str());
         }
-        AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", prom.c_str(),
-                snapshot.count);
+        AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "%s\n",
+                prom.c_str(), snapshot.count,
+                ExemplarSuffix(exemplars, name, 64).c_str());
         AppendF(&out, "%s_sum %" PRIu64 "\n", prom.c_str(), snapshot.sum);
         AppendF(&out, "%s_count %" PRIu64 "\n", prom.c_str(),
                 snapshot.count);

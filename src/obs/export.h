@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_store.h"
 
 namespace msq::obs {
 
@@ -41,6 +42,15 @@ std::string PrometheusName(std::string_view name);
 // `msq_build_info` gauge carrying the build stamp as labels, counters,
 // gauges (the peak as a separate `<name>_peak` family), and histograms as
 // cumulative `<name>_bucket{le="..."}` series with `_sum` and `_count`.
+//
+// With a non-null ExemplarStore, bucket lines whose (histogram, bucket)
+// has a retained-trace exemplar get an OpenMetrics-style suffix:
+//   msq_..._bucket{le="1024"} 17 # {trace_id="<32 hex>"} 812
+// Prometheus ignores everything after '#' in the 0.0.4 text format, so
+// the exposition stays scrapeable by plain scrapers while exemplar-aware
+// ones can link a p99 bucket to a /tracez trace.
+std::string PrometheusText(const MetricsRegistry& registry,
+                           const ExemplarStore* exemplars);
 std::string PrometheusText(const MetricsRegistry& registry);
 
 }  // namespace msq::obs

@@ -19,6 +19,8 @@ std::uint64_t FlightRecorder::Record(const FlightRecord& record) {
   // with a half-written payload.
   slot.committed.store(0, std::memory_order_release);
   slot.spec_digest.store(record.spec_digest, std::memory_order_relaxed);
+  slot.trace_id_hi.store(record.trace_id_hi, std::memory_order_relaxed);
+  slot.trace_id_lo.store(record.trace_id_lo, std::memory_order_relaxed);
   slot.algorithm.store(record.algorithm, std::memory_order_relaxed);
   slot.status_code.store(record.status_code, std::memory_order_relaxed);
   slot.truncation.store(record.truncation, std::memory_order_relaxed);
@@ -50,6 +52,8 @@ std::vector<FlightRecord> FlightRecorder::Snapshot() const {
     FlightRecord record;
     record.sequence = sequence;
     record.spec_digest = slot.spec_digest.load(std::memory_order_relaxed);
+    record.trace_id_hi = slot.trace_id_hi.load(std::memory_order_relaxed);
+    record.trace_id_lo = slot.trace_id_lo.load(std::memory_order_relaxed);
     record.algorithm = slot.algorithm.load(std::memory_order_relaxed);
     record.status_code = slot.status_code.load(std::memory_order_relaxed);
     record.truncation = slot.truncation.load(std::memory_order_relaxed);

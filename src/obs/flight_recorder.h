@@ -31,6 +31,10 @@ namespace msq::obs {
 struct FlightRecord {
   std::uint64_t sequence = 0;     // 1-based completion order, assigned by Record
   std::uint64_t spec_digest = 0;  // core::QuerySpecDigest of (algorithm, spec)
+  // 128-bit request trace id (obs/request_context.h); zero when the query
+  // was submitted without telemetry.
+  std::uint64_t trace_id_hi = 0;
+  std::uint64_t trace_id_lo = 0;
   std::uint32_t algorithm = 0;    // Algorithm enum value (opaque here)
   std::int32_t status_code = 0;   // StatusCode enum value; 0 == ok
   std::uint32_t truncation = 0;   // truncation StatusCode; 0 == not truncated
@@ -75,6 +79,8 @@ class FlightRecorder {
     // 0 = empty or write in flight; otherwise the committed sequence.
     std::atomic<std::uint64_t> committed{0};
     std::atomic<std::uint64_t> spec_digest{0};
+    std::atomic<std::uint64_t> trace_id_hi{0};
+    std::atomic<std::uint64_t> trace_id_lo{0};
     std::atomic<std::uint32_t> algorithm{0};
     std::atomic<std::int32_t> status_code{0};
     std::atomic<std::uint32_t> truncation{0};

@@ -205,6 +205,11 @@ inline constexpr char kExecQueries[] = "exec.queries";
 inline constexpr char kExecSlowQueries[] = "exec.slow_queries";
 inline constexpr char kExecSlowQueriesCaptured[] =
     "exec.slow_queries_captured";
+// Tail-based trace sampling (obs/trace_store.h): completions whose trace
+// survived the retention decision, and requests the head-rate coin picked
+// at ingress (which get detail spans and guaranteed retention).
+inline constexpr char kTracesRetained[] = "exec.traces_retained";
+inline constexpr char kTracesHeadSampled[] = "exec.traces_head_sampled";
 inline constexpr char kLatencyUsHist[] = "latency_us_hist";
 inline constexpr char kNetworkPageAccessesHist[] =
     "network_page_accesses_hist";

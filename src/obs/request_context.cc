@@ -1,0 +1,148 @@
+#include "obs/request_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <random>
+
+namespace msq::obs {
+namespace {
+
+// splitmix64: full-period 64-bit mixer — consecutive counter values map to
+// well-distributed ids.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ProcessSeed() {
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    std::uint64_t s = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    s ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return s | 1;  // never zero
+  }();
+  return seed;
+}
+
+std::uint64_t NextId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return Mix(ProcessSeed() +
+             counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+void AppendHex(std::string* out, std::uint64_t value, int digits) {
+  static const char kHex[] = "0123456789abcdef";
+  for (int shift = (digits - 1) * 4; shift >= 0; shift -= 4) {
+    out->push_back(kHex[(value >> shift) & 0xF]);
+  }
+}
+
+// Parses exactly `digits` lowercase hex chars. Uppercase is rejected: the
+// W3C grammar is lowercase-only and we don't normalize on behalf of a
+// broken propagator.
+bool ParseHex(std::string_view s, std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string TraceContext::TraceIdHex() const {
+  std::string out;
+  out.reserve(32);
+  AppendHex(&out, trace_id_hi, 16);
+  AppendHex(&out, trace_id_lo, 16);
+  return out;
+}
+
+std::string TraceContext::ToTraceparent() const {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  AppendHex(&out, trace_id_hi, 16);
+  AppendHex(&out, trace_id_lo, 16);
+  out += '-';
+  AppendHex(&out, parent_span_id, 16);
+  out += '-';
+  AppendHex(&out, sampled ? 1 : 0, 2);
+  return out;
+}
+
+TraceContext TraceContext::Mint(bool sampled) {
+  TraceContext ctx;
+  // Two mixer outputs for the 128-bit id; re-draw the (astronomically
+  // unlikely) all-zero id so valid() is unambiguous.
+  do {
+    ctx.trace_id_hi = NextId();
+    ctx.trace_id_lo = NextId();
+  } while (!ctx.valid());
+  do {
+    ctx.parent_span_id = NextId();
+  } while (ctx.parent_span_id == 0);
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+StatusOr<TraceContext> TraceContext::Parse(std::string_view traceparent) {
+  if (traceparent.size() != 55) {
+    return Status::InvalidArgument(
+        "traceparent must be exactly 55 bytes, got " +
+        std::to_string(traceparent.size()));
+  }
+  if (traceparent[2] != '-' || traceparent[35] != '-' ||
+      traceparent[52] != '-') {
+    return Status::InvalidArgument(
+        "traceparent separators must be '-' at offsets 2, 35, 52");
+  }
+  std::uint64_t version = 0;
+  (void)version;
+  if (!ParseHex(traceparent.substr(0, 2), &version)) {
+    return Status::InvalidArgument(
+        "traceparent version is not lowercase hex");
+  }
+  if (traceparent.substr(0, 2) != "00") {
+    return Status::InvalidArgument(
+        "unsupported traceparent version \"" +
+        std::string(traceparent.substr(0, 2)) + "\" (only 00)");
+  }
+  TraceContext ctx;
+  if (!ParseHex(traceparent.substr(3, 16), &ctx.trace_id_hi) ||
+      !ParseHex(traceparent.substr(19, 16), &ctx.trace_id_lo)) {
+    return Status::InvalidArgument(
+        "traceparent trace-id is not 32 lowercase hex chars");
+  }
+  if (!ctx.valid()) {
+    return Status::InvalidArgument("traceparent trace-id must be non-zero");
+  }
+  if (!ParseHex(traceparent.substr(36, 16), &ctx.parent_span_id)) {
+    return Status::InvalidArgument(
+        "traceparent parent-id is not 16 lowercase hex chars");
+  }
+  if (ctx.parent_span_id == 0) {
+    return Status::InvalidArgument(
+        "traceparent parent-id must be non-zero");
+  }
+  std::uint64_t flags = 0;
+  if (!ParseHex(traceparent.substr(53, 2), &flags)) {
+    return Status::InvalidArgument(
+        "traceparent flags are not lowercase hex");
+  }
+  ctx.sampled = (flags & 0x1) != 0;
+  return ctx;
+}
+
+}  // namespace msq::obs

@@ -1,0 +1,64 @@
+// Request-scoped trace context: the identity a request keeps across the
+// whole serving path (socket accept -> parse -> admission -> executor
+// queue -> CE/EDC/LBC -> cache probes -> storage page reads).
+//
+// The wire format is the W3C Trace Context `traceparent` header:
+//
+//   00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// e.g. 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// Parsing is strict — stricter than the W3C recommendation, matching the
+// serving schema's reject-don't-guess stance: only version 00, exactly 55
+// bytes, lowercase hex, non-zero trace and parent ids. A request carrying
+// a malformed traceparent is rejected with INVALID_ARGUMENT rather than
+// silently re-minted, so propagation bugs surface at the edge.
+//
+// The `sampled` bit is the *head* sampling decision (W3C flags bit 0, or
+// the server's own head-rate coin when minting). Head-sampled requests get
+// detail spans (per-miss storage reads, cache probes); every request —
+// sampled or not — still gets coarse phase spans and is a candidate for
+// tail retention (obs/trace_store.h) if it turns out slow, errored, or
+// truncated.
+#ifndef MSQ_OBS_REQUEST_CONTEXT_H_
+#define MSQ_OBS_REQUEST_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace msq::obs {
+
+struct TraceContext {
+  // 128-bit trace id, zero when the context is unset.
+  std::uint64_t trace_id_hi = 0;
+  std::uint64_t trace_id_lo = 0;
+  // The caller's span id (16 hex on the wire). We record it for the wide
+  // event but do not build spans under it — server-side spans are rooted
+  // at the request.
+  std::uint64_t parent_span_id = 0;
+  // Head-sampling decision: flags bit 0 of the incoming traceparent, or
+  // the mint-time coin. Grants detail spans; tail retention is independent.
+  bool sampled = false;
+
+  bool valid() const { return (trace_id_hi | trace_id_lo) != 0; }
+
+  // 32 lowercase hex chars (hi then lo).
+  std::string TraceIdHex() const;
+  // The full 55-byte traceparent value for this context.
+  std::string ToTraceparent() const;
+
+  // Mints a fresh context: a process-unique 128-bit trace id and a
+  // non-zero parent span id. Thread-safe, allocation-free, a few ns.
+  static TraceContext Mint(bool sampled);
+
+  // Strict parse of a traceparent value (see file comment for the exact
+  // accepted grammar). kInvalidArgument with a specific message otherwise.
+  static StatusOr<TraceContext> Parse(std::string_view traceparent);
+};
+
+}  // namespace msq::obs
+
+#endif  // MSQ_OBS_REQUEST_CONTEXT_H_

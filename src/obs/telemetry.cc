@@ -18,10 +18,13 @@ ServingTelemetry::ServingTelemetry(const TelemetryConfig& config)
       registry_(config.registry != nullptr ? config.registry
                                            : &GlobalMetrics()),
       flight_(config.flight_capacity),
+      traces_(config.trace_capacity),
       queries_(registry_->counter(metric::kExecQueries)),
       slow_queries_(registry_->counter(metric::kExecSlowQueries)),
       slow_captured_(
-          registry_->counter(metric::kExecSlowQueriesCaptured)) {}
+          registry_->counter(metric::kExecSlowQueriesCaptured)),
+      traces_retained_(registry_->counter(metric::kTracesRetained)),
+      head_sampled_(registry_->counter(metric::kTracesHeadSampled)) {}
 
 const ServingTelemetry::AlgoHistograms& ServingTelemetry::HistogramsFor(
     std::string_view algorithm) {
@@ -60,8 +63,7 @@ std::uint64_t ServingTelemetry::RecordQuery(std::string_view algorithm,
   return flight_.Record(record);
 }
 
-bool ServingTelemetry::ShouldCaptureSlow(const FlightRecord& record) {
-  if (!config_.enabled) return false;
+bool ServingTelemetry::IsSlow(const FlightRecord& record) const {
   const bool wall_slow = config_.slow_wall_seconds > 0.0 &&
                          record.wall_seconds > config_.slow_wall_seconds;
   const std::uint64_t accesses = record.network_hits +
@@ -69,12 +71,81 @@ bool ServingTelemetry::ShouldCaptureSlow(const FlightRecord& record) {
                                  record.index_misses;
   const bool pages_slow = config_.slow_page_accesses > 0 &&
                           accesses > config_.slow_page_accesses;
-  if (!wall_slow && !pages_slow) return false;
+  return wall_slow || pages_slow;
+}
+
+bool ServingTelemetry::ShouldCaptureSlow(const FlightRecord& record) {
+  if (!config_.enabled) return false;
+  if (!IsSlow(record)) return false;
   slow_queries_->Inc();
   std::lock_guard<std::mutex> lock(slow_mu_);
-  // Once the log is full, stop re-running queries: detection stays counted,
-  // capture cost stays bounded.
+  // Once the log is full, captures stop: detection stays counted, capture
+  // memory stays bounded.
   return slow_log_.size() < config_.slow_log_capacity;
+}
+
+bool ServingTelemetry::HeadSample() {
+  if (!config_.enabled || config_.head_sample_every == 0) return false;
+  const std::uint64_t n =
+      head_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n % config_.head_sample_every != 0) return false;
+  head_sampled_->Inc();
+  return true;
+}
+
+RetainReason ServingTelemetry::CompleteRequest(const TraceContext& ctx,
+                                               const FlightRecord& record,
+                                               double queue_seconds,
+                                               std::string_view algorithm,
+                                               QueryProfile profile) {
+  if (!config_.enabled) return RetainReason::kNone;
+  // Slow queries feed the bounded slow log from this run's profile — no
+  // re-execution, so nothing is double-counted anywhere.
+  const bool capture_slow = ShouldCaptureSlow(record);
+  if (capture_slow) {
+    SlowQueryRecord slow;
+    slow.summary = record;
+    slow.recapture_wall_seconds = record.wall_seconds;
+    slow.profile = profile;
+    RetainSlowQuery(std::move(slow));
+  }
+  // Retention priority: outcome anomalies first, then slowness, then the
+  // head-sampling coin. 100% of errored/truncated/slow traces are kept;
+  // fast healthy traces are kept at most at the head rate.
+  RetainReason reason = RetainReason::kNone;
+  if (record.status_code != 0) {
+    reason = RetainReason::kError;
+  } else if (record.truncation != 0) {
+    reason = RetainReason::kTruncated;
+  } else if (capture_slow || IsSlow(record)) {
+    reason = RetainReason::kSlow;
+  } else if (ctx.sampled) {
+    reason = RetainReason::kHeadSampled;
+  }
+  if (reason == RetainReason::kNone) return reason;
+  RetainedTrace trace;
+  trace.trace_id_hi = ctx.trace_id_hi;
+  trace.trace_id_lo = ctx.trace_id_lo;
+  trace.sequence = record.sequence;
+  trace.algorithm = std::string(algorithm);
+  trace.status_code = record.status_code;
+  trace.truncation = record.truncation;
+  trace.reason = reason;
+  trace.queue_seconds = queue_seconds;
+  trace.wall_seconds = record.wall_seconds;
+  trace.page_accesses = record.network_hits + record.network_misses +
+                        record.index_hits + record.index_misses;
+  trace.profile = std::move(profile);
+  const std::string trace_id = trace.TraceIdHex();
+  traces_.Retain(std::move(trace));
+  traces_retained_->Inc();
+  // Exemplar: link this latency observation's histogram bucket to the
+  // retained trace so the Prometheus exposition can point a p99 bucket at
+  // a /tracez trace_id.
+  exemplars_.Observe(
+      "exec." + std::string(algorithm) + "." + metric::kLatencyUsHist,
+      LatencyMicros(record.wall_seconds), trace_id);
+  return reason;
 }
 
 void ServingTelemetry::RetainSlowQuery(SlowQueryRecord record) {

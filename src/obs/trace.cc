@@ -204,4 +204,25 @@ QueryProfile TraceSession::Take() {
   return profile;
 }
 
+namespace {
+thread_local TraceSession* g_current_session = nullptr;
+}  // namespace
+
+TraceSession* CurrentTraceSession() { return g_current_session; }
+
+ScopedCurrentSession::ScopedCurrentSession(TraceSession* session)
+    : prev_(g_current_session) {
+  g_current_session = session;
+}
+
+ScopedCurrentSession::~ScopedCurrentSession() {
+  g_current_session = prev_;
+}
+
+Span DetailSpan(std::string_view name) {
+  TraceSession* session = g_current_session;
+  if (session == nullptr || !session->detail()) return Span();
+  return Span(session, name);
+}
+
 }  // namespace msq::obs

@@ -110,6 +110,13 @@ class TraceSession {
   bool idle() const { return stack_.empty(); }
   std::size_t open_depth() const { return stack_.size(); }
 
+  // Detail mode gates the optional fine-grained spans opened via
+  // DetailSpan() (per-miss storage page reads, cache probes). Off by
+  // default; the executor enables it only for head-sampled requests, so
+  // always-on coarse tracing pays nothing for it.
+  void set_detail(bool on) { detail_ = on; }
+  bool detail() const { return detail_; }
+
  private:
   struct Snapshot {
     std::uint64_t network_hits = 0, network_misses = 0;
@@ -152,6 +159,7 @@ class TraceSession {
   Snapshot last_;
   double epoch_ = 0.0;
   std::size_t dropped_ = 0;
+  bool detail_ = false;
 };
 
 // RAII handle for one span. All operations are no-ops when constructed with
@@ -191,6 +199,31 @@ class Span {
   TraceSession* session_ = nullptr;
   int id_ = -1;
 };
+
+// The session currently tracing the calling thread's query, or null.
+// StatsScope registers the query's session for exactly the window its
+// stats cover, which lets layers that have no session pointer of their own
+// (BufferManager, QueryCache) attach detail spans to the running query.
+TraceSession* CurrentTraceSession();
+
+// RAII registration of the calling thread's current session; restores the
+// previous pointer on destruction (nested queries are not a thing today,
+// but a fault unwind must not leave a dangling registration).
+class ScopedCurrentSession {
+ public:
+  explicit ScopedCurrentSession(TraceSession* session);
+  ~ScopedCurrentSession();
+  ScopedCurrentSession(const ScopedCurrentSession&) = delete;
+  ScopedCurrentSession& operator=(const ScopedCurrentSession&) = delete;
+
+ private:
+  TraceSession* prev_;
+};
+
+// A span on the calling thread's current session — but only when that
+// session is in detail mode. Otherwise (no session, or coarse tracing)
+// this is a no-op Span: one thread-local load and a branch.
+Span DetailSpan(std::string_view name);
 
 }  // namespace msq::obs
 

@@ -133,6 +133,15 @@ inline constexpr char kServeReadTimeouts[] = "serve.read_timeouts";
 inline constexpr char kServeWriteErrors[] = "serve.write_errors";
 inline constexpr char kServeQueueUsHist[] = "serve.queue_us_hist";
 inline constexpr char kServeWallUsHist[] = "serve.admitted_wall_us_hist";
+// True queue wait (accept -> execute start on a worker), split by the
+// admitted request's outcome. Unlike kServeQueueUsHist (derived as total
+// minus execution), these come from the executor's exec_started_at stamp.
+inline constexpr char kServeQueueWaitCompletedUsHist[] =
+    "serve.queue_wait_us_hist.completed";
+inline constexpr char kServeQueueWaitTruncatedUsHist[] =
+    "serve.queue_wait_us_hist.truncated";
+inline constexpr char kServeQueueWaitFailedUsHist[] =
+    "serve.queue_wait_us_hist.failed";
 }  // namespace metric
 
 }  // namespace msq::serve

@@ -132,6 +132,14 @@ StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json) {
                                  &index);
       if (!status.ok()) return status;
       request.lbc_source_index = static_cast<std::size_t>(index);
+    } else if (key == "traceparent") {
+      if (!value.is_string()) {
+        return FieldError("traceparent", "expected a string");
+      }
+      StatusOr<obs::TraceContext> ctx =
+          obs::TraceContext::Parse(value.AsString());
+      if (!ctx.ok()) return FieldError("traceparent", ctx.status().message());
+      request.trace_context = ctx.value();
     } else if (key == "id") {
       if (!value.is_string()) return FieldError("id", "expected a string");
       if (value.AsString().size() > kMaxIdBytes) {

@@ -7,7 +7,9 @@
 //    "limits":{"deadline_ms":100,"page_budget":20000},
 //    "k":16,                       // optional: cap returned entries
 //    "lbc_source":0,               // optional: LBC expansion origin
-//    "id":"client-tag"}            // optional: echoed in the response
+//    "id":"client-tag",            // optional: echoed in the response
+//    "traceparent":"00-<32 hex>-<16 hex>-01"}  // optional: W3C trace
+//                                  // context; flags bit 0 = sampled
 //
 // ParseServeRequest maps a parsed JsonValue onto ServeRequest with strict
 // validation (unknown fields rejected, every field type- and
@@ -24,6 +26,7 @@
 
 #include "core/query.h"
 #include "core/skyline_query.h"
+#include "obs/request_context.h"
 #include "serve/json.h"
 
 namespace msq::serve {
@@ -50,6 +53,10 @@ struct ServeRequest {
   // query still computes the full (possibly truncated-by-limits) skyline.
   std::size_t k = 0;
   std::string id;
+  // Parsed "traceparent" field (obs/request_context.h). Invalid (the
+  // default) when the request carried none; a present-but-malformed value
+  // is a parse error, not a silent re-mint.
+  obs::TraceContext trace_context;
 };
 
 // Validates and maps a parsed JSON value. kInvalidArgument with a

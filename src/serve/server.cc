@@ -71,7 +71,14 @@ MsqServer::MsqServer(QueryExecutor* executor, const ServerConfig& config)
       read_timeouts_(registry_->counter(metric::kServeReadTimeouts)),
       write_errors_(registry_->counter(metric::kServeWriteErrors)),
       queue_us_hist_(registry_->histogram(metric::kServeQueueUsHist)),
-      wall_us_hist_(registry_->histogram(metric::kServeWallUsHist)) {
+      wall_us_hist_(registry_->histogram(metric::kServeWallUsHist)),
+      queue_wait_completed_(
+          registry_->histogram(metric::kServeQueueWaitCompletedUsHist)),
+      queue_wait_truncated_(
+          registry_->histogram(metric::kServeQueueWaitTruncatedUsHist)),
+      queue_wait_failed_(
+          registry_->histogram(metric::kServeQueueWaitFailedUsHist)),
+      wide_events_(config.wide_event_capacity) {
   MSQ_CHECK(executor_ != nullptr);
 }
 
@@ -205,20 +212,26 @@ void MsqServer::HandleConnection(Conn* conn) {
       }
       break;
     }
+    const double received_at = MonotonicSeconds();
     const std::string& text = line.value();
     if (LooksLikeHttp(text)) {
       bool close_connection = true;
-      Reply reply = HandleHttp(text, &reader, &close_connection);
-      if (!WriteAll(fd, reply.body).ok()) write_errors_->Inc();
+      Reply reply = HandleHttp(text, &reader, received_at,
+                               &close_connection);
+      const double write_start = MonotonicSeconds();
+      const bool write_ok = WriteAll(fd, reply.body).ok();
+      if (!write_ok) write_errors_->Inc();
+      FinishWideEvent(&reply, MonotonicSeconds() - write_start);
       if (close_connection) break;
       continue;
     }
-    Reply reply = HandleQuery(text);
+    Reply reply = HandleQuery(text, received_at, obs::TraceContext{});
     reply.body += "\n";
-    if (!WriteAll(fd, reply.body).ok()) {
-      write_errors_->Inc();
-      break;
-    }
+    const double write_start = MonotonicSeconds();
+    const bool write_ok = WriteAll(fd, reply.body).ok();
+    if (!write_ok) write_errors_->Inc();
+    FinishWideEvent(&reply, MonotonicSeconds() - write_start);
+    if (!write_ok) break;
     if (draining_.load(std::memory_order_relaxed)) break;
   }
   {
@@ -232,38 +245,79 @@ void MsqServer::HandleConnection(Conn* conn) {
   conn->done.store(true, std::memory_order_release);
 }
 
-MsqServer::Reply MsqServer::HandleQuery(const std::string& text) {
+MsqServer::Reply MsqServer::HandleQuery(const std::string& text,
+                                        double received_at,
+                                        const obs::TraceContext& header_ctx) {
+  obs::ServingTelemetry& telemetry = executor_->telemetry();
   admission_.CountReceived();
+  Reply reply;
+  reply.has_event = telemetry.enabled();
+  obs::WideEvent& event = reply.event;
+  event.received_at_mono = received_at;
+  const double parse_start = MonotonicSeconds();
   StatusOr<ServeRequest> parsed =
       ParseServeRequestText(std::string_view(text));
+  event.parse_ms = (MonotonicSeconds() - parse_start) * 1e3;
+  // Trace context priority: request body field, then HTTP header, then a
+  // server mint with the head-sampling coin. Every request — even one
+  // about to be rejected — gets an identity so its wide event is
+  // correlatable.
+  obs::TraceContext ctx =
+      parsed.ok() && parsed.value().trace_context.valid()
+          ? parsed.value().trace_context
+          : header_ctx;
+  if (!ctx.valid() && telemetry.enabled()) {
+    ctx = obs::TraceContext::Mint(telemetry.HeadSample());
+  }
+  if (ctx.valid()) event.trace_id = ctx.TraceIdHex();
+  event.sampled = ctx.sampled;
   if (!parsed.ok()) {
     admission_.CountRejected();
-    return {EncodeErrorResponse("", parsed.status().code(),
-                                parsed.status().message()),
-            HttpStatusFor(parsed.status().code())};
+    event.outcome = "rejected";
+    event.status_code = static_cast<std::int32_t>(parsed.status().code());
+    reply.http_status = HttpStatusFor(parsed.status().code());
+    event.http_status = reply.http_status;
+    reply.body = EncodeErrorResponse("", parsed.status().code(),
+                                     parsed.status().message());
+    return reply;
   }
   const ServeRequest& request = parsed.value();
+  event.request_id = request.id;
+  event.algorithm = AlgorithmName(request.algorithm);
   const double cost = EstimateCost(request);
   if (draining_.load(std::memory_order_relaxed)) {
     // Drain counts as shed, not failure: the request was well-formed and
     // a retry against a healthy replica would succeed.
     admission_.CountShed();
-    return {EncodeErrorResponse(request.id, StatusCode::kResourceExhausted,
-                                "server draining",
-                                config_.admission.retry_after_base_ms),
-            503};
+    event.outcome = "shed";
+    event.status_code =
+        static_cast<std::int32_t>(StatusCode::kResourceExhausted);
+    event.http_status = 503;
+    reply.http_status = 503;
+    reply.body =
+        EncodeErrorResponse(request.id, StatusCode::kResourceExhausted,
+                            "server draining",
+                            config_.admission.retry_after_base_ms);
+    return reply;
   }
   double retry_after_ms = 0.0;
   if (!admission_.TryAdmit(cost, &retry_after_ms)) {
-    return {EncodeErrorResponse(request.id, StatusCode::kResourceExhausted,
-                                "admission queue full", retry_after_ms),
-            503};
+    event.outcome = "shed";
+    event.status_code =
+        static_cast<std::int32_t>(StatusCode::kResourceExhausted);
+    event.http_status = 503;
+    reply.http_status = 503;
+    reply.body =
+        EncodeErrorResponse(request.id, StatusCode::kResourceExhausted,
+                            "admission queue full", retry_after_ms);
+    return reply;
   }
   QueryRequest query;
   query.algorithm = request.algorithm;
   query.spec.sources = request.sources;
   query.spec.lbc_source_index = request.lbc_source_index;
   query.spec.limits.max_page_accesses = request.page_budget;
+  query.trace_context = ctx;
   const double deadline_ms = request.deadline_ms > 0.0
                                  ? request.deadline_ms
                                  : config_.default_deadline_ms;
@@ -281,21 +335,84 @@ MsqServer::Reply MsqServer::HandleQuery(const std::string& text) {
       static_cast<std::uint64_t>(queue_seconds * 1e6));
   wall_us_hist_->Observe(
       static_cast<std::uint64_t>(total_seconds * 1e6));
+  // True queue wait — accept to execute-start on a worker, from the
+  // executor's clock stamps — split by outcome. Falls back to the derived
+  // figure if the stamps are missing (disabled telemetry never clears
+  // them, so this is belt-and-braces).
+  const double queue_wait_seconds =
+      result.exec_started_at > 0.0
+          ? std::max(0.0, result.exec_started_at - received_at)
+          : queue_seconds;
+  obs::Histogram* queue_wait_hist =
+      outcome == RequestOutcome::kCompleted   ? queue_wait_completed_
+      : outcome == RequestOutcome::kTruncated ? queue_wait_truncated_
+                                              : queue_wait_failed_;
+  queue_wait_hist->Observe(
+      static_cast<std::uint64_t>(queue_wait_seconds * 1e6));
+  event.queue_ms = queue_wait_seconds * 1e3;
+  event.execute_ms =
+      (result.exec_finished_at > result.exec_started_at
+           ? result.exec_finished_at - result.exec_started_at
+           : result.stats.total_seconds) *
+      1e3;
+  event.network_page_accesses = result.stats.network_page_accesses;
+  event.index_page_accesses = result.stats.index_page_accesses;
+  event.cache_hits =
+      result.stats.cache_wavefront_hits + result.stats.cache_memo_hits;
+  event.settled_nodes = result.stats.settled_nodes;
+  event.skyline_size = result.skyline.size();
+  event.sequence = result.flight_sequence;
+  event.status_code = static_cast<std::int32_t>(result.status.code());
+  event.trace_retained =
+      telemetry.enabled() && ctx.valid() &&
+      telemetry.trace_store().Contains(ctx.trace_id_hi, ctx.trace_id_lo);
+  if (event.trace_retained) {
+    // Serve-level latency exemplar: the p99 bucket of the admitted-wall
+    // histogram points at a /tracez-retrievable trace.
+    telemetry.exemplars().Observe(
+        metric::kServeWallUsHist,
+        static_cast<std::uint64_t>(total_seconds * 1e6), event.trace_id);
+  }
+  const double serialize_start = MonotonicSeconds();
   if (outcome == RequestOutcome::kFailed) {
-    return {EncodeErrorResponse(request.id, result.status.code(),
-                                result.status.message()),
-            HttpStatusFor(result.status.code())};
+    event.outcome = "failed";
+    reply.http_status = HttpStatusFor(result.status.code());
+    event.http_status = reply.http_status;
+    reply.body = EncodeErrorResponse(request.id, result.status.code(),
+                                     result.status.message());
+    event.serialize_ms = (MonotonicSeconds() - serialize_start) * 1e3;
+    return reply;
   }
   const std::size_t returned =
       request.k > 0 ? std::min(request.k, result.skyline.size())
                     : result.skyline.size();
-  return {EncodeResultResponse(request, result, returned,
-                               queue_seconds * 1e3, total_seconds * 1e3),
-          200};
+  event.returned = returned;
+  event.outcome =
+      outcome == RequestOutcome::kTruncated ? "truncated" : "completed";
+  reply.http_status = 200;
+  event.http_status = 200;
+  reply.body =
+      EncodeResultResponse(request, result, returned, queue_seconds * 1e3,
+                           total_seconds * 1e3);
+  event.serialize_ms = (MonotonicSeconds() - serialize_start) * 1e3;
+  return reply;
+}
+
+void MsqServer::FinishWideEvent(Reply* reply, double write_seconds) {
+  if (!reply->has_event) return;
+  obs::WideEvent& event = reply->event;
+  event.write_ms = write_seconds * 1e3;
+  if (event.received_at_mono > 0.0) {
+    event.total_ms =
+        (MonotonicSeconds() - event.received_at_mono) * 1e3;
+  }
+  wide_events_.Append(std::move(event));
+  reply->has_event = false;
 }
 
 MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
                                        FrameReader* reader,
+                                       double received_at,
                                        bool* close_connection) {
   *close_connection = true;  // HTTP mode is one-shot; NDJSON persists
   const std::size_t method_end = request_line.find(' ');
@@ -312,8 +429,10 @@ MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
   const std::string path =
       request_line.substr(method_end + 1, path_end - method_end - 1);
   // Headers: bounded in count and (via FrameReader) per-line size. Only
-  // Content-Length matters to this server.
+  // Content-Length and (for POST /query) traceparent matter to this
+  // server.
   std::size_t content_length = 0;
+  std::string traceparent_header;
   for (int i = 0; i < 64; ++i) {
     StatusOr<std::string> header = reader->ReadLine();
     if (!header.ok()) {
@@ -347,11 +466,17 @@ MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
                 413};
       }
       content_length = static_cast<std::size_t>(n);
+    } else if (name == "traceparent") {
+      std::size_t value_start = colon + 1;
+      while (value_start < h.size() && h[value_start] == ' ') ++value_start;
+      traceparent_header = h.substr(value_start);
     }
   }
   if (method == "GET" && path == "/metrics") {
     return {HttpResponse(200, "text/plain; version=0.0.4",
-                         obs::PrometheusText(*registry_)),
+                         obs::PrometheusText(
+                             *registry_,
+                             &executor_->telemetry().exemplars())),
             200};
   }
   if (method == "GET" && path == "/healthz") {
@@ -362,6 +487,40 @@ MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
   }
   if (method == "GET" && path == "/statz") {
     return {HttpResponse(200, "application/json", StatzJson()), 200};
+  }
+  if (method == "GET" &&
+      (path == "/tracez" || path.rfind("/tracez?", 0) == 0)) {
+    const obs::TraceStore& store = executor_->telemetry().trace_store();
+    const std::string needle = "trace_id=";
+    const std::size_t query_start = path.find('?');
+    std::string trace_id;
+    if (query_start != std::string::npos) {
+      const std::size_t id_start = path.find(needle, query_start);
+      if (id_start != std::string::npos) {
+        trace_id = path.substr(id_start + needle.size());
+        const std::size_t amp = trace_id.find('&');
+        if (amp != std::string::npos) trace_id.resize(amp);
+      }
+    }
+    if (!trace_id.empty()) {
+      std::optional<obs::RetainedTrace> trace = store.Find(trace_id);
+      if (!trace.has_value()) {
+        return {HttpResponse(404, "application/json",
+                             EncodeErrorResponse(
+                                 "", StatusCode::kNotFound,
+                                 "no retained trace " + trace_id)),
+                404};
+      }
+      return {HttpResponse(200, "application/json",
+                           obs::RetainedTraceChromeJson(*trace)),
+              200};
+    }
+    return {HttpResponse(200, "application/json", obs::TracezJson(store)),
+            200};
+  }
+  if (method == "GET" && path == "/requestz") {
+    return {HttpResponse(200, "application/json", wide_events_.Json()),
+            200};
   }
   if (method == "POST" && path == "/query") {
     StatusOr<std::string> body = reader->ReadExact(content_length);
@@ -374,18 +533,39 @@ MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
                                                body.status().message())),
               status};
     }
-    Reply reply = HandleQuery(body.value());
+    // A traceparent header is held to the same strict grammar as the body
+    // field: malformed propagation is a client bug worth surfacing, not
+    // something to silently re-mint over.
+    obs::TraceContext header_ctx;
+    if (!traceparent_header.empty()) {
+      StatusOr<obs::TraceContext> ctx =
+          obs::TraceContext::Parse(traceparent_header);
+      if (!ctx.ok()) {
+        admission_.CountReceived();
+        admission_.CountRejected();
+        return {HttpResponse(400, "application/json",
+                             EncodeErrorResponse(
+                                 "", StatusCode::kInvalidArgument,
+                                 "traceparent header: " +
+                                     ctx.status().message())),
+                400};
+      }
+      header_ctx = ctx.value();
+    }
+    Reply reply = HandleQuery(body.value(), received_at, header_ctx);
     // Reuse the JSON body; lift the retry hint into the HTTP header.
     double retry_after_ms = 0.0;
     if (reply.http_status == 503) {
       retry_after_ms = config_.admission.retry_after_base_ms;
     }
-    return {HttpResponse(reply.http_status, "application/json", reply.body,
-                         retry_after_ms),
-            reply.http_status};
+    std::string http_body = HttpResponse(reply.http_status,
+                                         "application/json", reply.body,
+                                         retry_after_ms);
+    reply.body = std::move(http_body);
+    return reply;
   }
   if (path == "/metrics" || path == "/healthz" || path == "/statz" ||
-      path == "/query") {
+      path == "/query" || path == "/tracez" || path == "/requestz") {
     return {HttpResponse(405, "application/json",
                          EncodeErrorResponse(
                              "", StatusCode::kInvalidArgument,

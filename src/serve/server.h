@@ -11,7 +11,17 @@
 //     on — framing resynchronizes at the next newline.
 //   * Minimal HTTP/1.1 (curl/Prometheus-friendly, Connection: close):
 //     POST /query with the same JSON body; GET /metrics (Prometheus text
-//     exposition), GET /healthz, GET /statz (accounting snapshot).
+//     exposition with retained-trace exemplars), GET /healthz, GET /statz
+//     (accounting snapshot), GET /tracez (tail-retained traces; with
+//     ?trace_id= the Chrome-trace export of one), GET /requestz (recent
+//     canonical wide events).
+//
+// Request tracing: a trace context arrives as a "traceparent" request
+// field (NDJSON or POST body) or a traceparent HTTP header; absent one,
+// the server mints an id with the telemetry head-sampling coin. The
+// context flows through admission into the executor, and every request —
+// including rejected and shed ones — emits one wide-event line into a
+// bounded ring (DESIGN.md §14).
 //
 // Overload behavior, in order of the degradation ladder:
 //   1. deadline propagation — the client deadline becomes
@@ -36,6 +46,8 @@
 #include <thread>
 
 #include "exec/query_executor.h"
+#include "obs/request_context.h"
+#include "obs/trace_store.h"
 #include "serve/admission.h"
 #include "serve/request.h"
 #include "serve/socket.h"
@@ -64,6 +76,8 @@ struct ServerConfig {
   // Registry served by GET /metrics; null = GlobalMetrics(). Should match
   // the executor's telemetry registry so one scrape sees everything.
   obs::MetricsRegistry* registry = nullptr;
+  // Bounded ring of canonical wide events (GET /requestz).
+  std::size_t wide_event_capacity = obs::WideEventLog::kDefaultCapacity;
 };
 
 class MsqServer {
@@ -94,6 +108,9 @@ class MsqServer {
   // Accounting snapshot as one JSON object (the GET /statz body).
   std::string StatzJson() const;
 
+  // The wide-event ring (GET /requestz). Stable to read after Shutdown.
+  const obs::WideEventLog& wide_events() const { return wide_events_; }
+
  private:
   struct Conn {
     int fd = -1;
@@ -104,13 +121,25 @@ class MsqServer {
   void AcceptLoop();
   void HandleConnection(Conn* conn);
   // One NDJSON line or HTTP POST body -> response body + HTTP status.
+  // Query replies also carry the request's wide event; HandleConnection
+  // finalizes its write/total stages after the socket write and appends it
+  // to the ring.
   struct Reply {
     std::string body;
     int http_status = 200;
+    obs::WideEvent event;
+    bool has_event = false;
   };
-  Reply HandleQuery(const std::string& text);
+  // `received_at` is the MonotonicSeconds() mark of frame arrival (the
+  // wide event's epoch); `header_ctx` is the HTTP traceparent header
+  // context (invalid for NDJSON, where the body field carries it).
+  Reply HandleQuery(const std::string& text, double received_at,
+                    const obs::TraceContext& header_ctx);
   Reply HandleHttp(const std::string& request_line, FrameReader* reader,
-                   bool* close_connection);
+                   double received_at, bool* close_connection);
+  // Appends the reply's wide event (if any) after finalizing the
+  // write-stage and total latency.
+  void FinishWideEvent(Reply* reply, double write_seconds);
   // Joins finished connection threads (called from the acceptor between
   // accepts and from Shutdown for the stragglers).
   void ReapConnections(bool join_all);
@@ -125,6 +154,11 @@ class MsqServer {
   obs::Counter* const write_errors_;
   obs::Histogram* const queue_us_hist_;
   obs::Histogram* const wall_us_hist_;
+  // True queue wait (accept -> execute start), split by outcome.
+  obs::Histogram* const queue_wait_completed_;
+  obs::Histogram* const queue_wait_truncated_;
+  obs::Histogram* const queue_wait_failed_;
+  obs::WideEventLog wide_events_;
 
   int listener_ = -1;
   std::uint16_t port_ = 0;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace msq {
 
@@ -132,6 +133,9 @@ StatusOr<PageGuard> BufferManager::Fetch(PageId id, bool mark_dirty) {
     ++frame.pins;
     return PageGuard(this, shard_index, &frame, &frame.page, id);
   }
+  // Detail span (head-sampled queries only): one span per physical page
+  // read, covering evict + disk read + frame install.
+  obs::Span read_span = obs::DetailSpan("storage.page_read");
   CountMiss();
   if (Status status = EvictLocked(shard); !status.ok()) return status;
   // Read into a scratch frame first so a failed read leaves no stale entry

@@ -1,0 +1,117 @@
+// TraceContext: the strict W3C traceparent grammar, mint uniqueness, and
+// hex round-trips. Parsing is the serving edge's reject-don't-guess
+// surface, so the reject cases get the same weight as the happy path.
+#include "obs/request_context.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace msq::obs {
+namespace {
+
+constexpr char kGood[] =
+    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+
+TEST(RequestContextTest, ParsesWellFormedTraceparent) {
+  const StatusOr<TraceContext> parsed = TraceContext::Parse(kGood);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TraceContext& ctx = parsed.value();
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id_hi, 0x4bf92f3577b34da6ull);
+  EXPECT_EQ(ctx.trace_id_lo, 0xa3ce929d0e0e4736ull);
+  EXPECT_EQ(ctx.parent_span_id, 0x00f067aa0ba902b7ull);
+  EXPECT_TRUE(ctx.sampled);
+  EXPECT_EQ(ctx.TraceIdHex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+}
+
+TEST(RequestContextTest, FlagsBitZeroIsTheSamplingDecision) {
+  std::string unsampled = kGood;
+  unsampled.back() = '0';  // flags 00
+  ASSERT_TRUE(TraceContext::Parse(unsampled).ok());
+  EXPECT_FALSE(TraceContext::Parse(unsampled).value().sampled);
+  // Other flag bits may be set without affecting the decision.
+  std::string extra_flags = kGood;
+  extra_flags[extra_flags.size() - 2] = 'f';
+  extra_flags.back() = 'e';  // fe: bit 0 clear
+  ASSERT_TRUE(TraceContext::Parse(extra_flags).ok());
+  EXPECT_FALSE(TraceContext::Parse(extra_flags).value().sampled);
+}
+
+TEST(RequestContextTest, RejectsWrongLength) {
+  EXPECT_FALSE(TraceContext::Parse("").ok());
+  EXPECT_FALSE(TraceContext::Parse("00").ok());
+  EXPECT_FALSE(
+      TraceContext::Parse(std::string(kGood) + "0").ok());  // 56 bytes
+  EXPECT_FALSE(
+      TraceContext::Parse(std::string(kGood, sizeof(kGood) - 3)).ok());
+}
+
+TEST(RequestContextTest, RejectsMalformedStructure) {
+  // Separators in the wrong place.
+  std::string bad = kGood;
+  bad[2] = '_';
+  EXPECT_FALSE(TraceContext::Parse(bad).ok());
+  bad = kGood;
+  bad[35] = ' ';
+  EXPECT_FALSE(TraceContext::Parse(bad).ok());
+  // Unknown version.
+  bad = kGood;
+  bad[0] = '0';
+  bad[1] = '1';
+  EXPECT_FALSE(TraceContext::Parse(bad).ok());
+}
+
+TEST(RequestContextTest, RejectsBadHex) {
+  std::string bad = kGood;
+  bad[10] = 'g';  // not hex
+  EXPECT_FALSE(TraceContext::Parse(bad).ok());
+  bad = kGood;
+  bad[10] = 'A';  // uppercase hex is out per the strict grammar
+  EXPECT_FALSE(TraceContext::Parse(bad).ok());
+  bad = kGood;
+  bad[sizeof(kGood) - 2] = 'G';  // flags field
+  EXPECT_FALSE(TraceContext::Parse(bad).ok());
+}
+
+TEST(RequestContextTest, RejectsZeroIds) {
+  const std::string zero_trace =
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01";
+  EXPECT_FALSE(TraceContext::Parse(zero_trace).ok());
+  const std::string zero_parent =
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01";
+  EXPECT_FALSE(TraceContext::Parse(zero_parent).ok());
+}
+
+TEST(RequestContextTest, ToTraceparentRoundTrips) {
+  const TraceContext ctx = TraceContext::Parse(kGood).value();
+  EXPECT_EQ(ctx.ToTraceparent(), kGood);
+  const TraceContext minted = TraceContext::Mint(/*sampled=*/true);
+  const std::string wire = minted.ToTraceparent();
+  ASSERT_EQ(wire.size(), 55u);
+  const StatusOr<TraceContext> reparsed = TraceContext::Parse(wire);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().trace_id_hi, minted.trace_id_hi);
+  EXPECT_EQ(reparsed.value().trace_id_lo, minted.trace_id_lo);
+  EXPECT_TRUE(reparsed.value().sampled);
+}
+
+TEST(RequestContextTest, MintedContextsAreValidAndDistinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const TraceContext ctx = TraceContext::Mint(i % 2 == 0);
+    EXPECT_TRUE(ctx.valid());
+    EXPECT_NE(ctx.parent_span_id, 0u);
+    EXPECT_EQ(ctx.sampled, i % 2 == 0);
+    seen.insert(ctx.TraceIdHex());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(RequestContextTest, DefaultContextIsInvalid) {
+  EXPECT_FALSE(TraceContext{}.valid());
+}
+
+}  // namespace
+}  // namespace msq::obs

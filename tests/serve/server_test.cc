@@ -308,6 +308,163 @@ TEST(ServerTest, HttpEndpoints) {
   EXPECT_NE(statz.find("\"received\""), std::string::npos);
 }
 
+// Raw HTTP round trip on a fresh connection: write the request, drain
+// until EOF (the server closes HTTP connections after one response).
+std::string Http(const ServerStack& stack, const std::string& request) {
+  const int fd = Connect(stack).value();
+  EXPECT_TRUE(WriteAll(fd, request).ok());
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ServerTest, TraceparentRequestIsRetrievableFromTracez) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  // Sampled flags (01): head-sampled, so the trace is tail-retained and
+  // detail spans are recorded. Cold caches guarantee storage misses.
+  const std::string traceparent =
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  const int fd = Connect(stack).value();
+  const StatusOr<std::string> reply = RoundTrip(
+      fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":0},{\"edge\":5}],"
+          "\"traceparent\":\"" + traceparent + "\"}");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(ParseJson(reply.value()).value().Find("status")->AsString(),
+            "OK");
+  ::close(fd);
+
+  // The /tracez index lists it...
+  const std::string index = Http(stack, "GET /tracez HTTP/1.1\r\n\r\n");
+  EXPECT_NE(index.find("200 OK"), std::string::npos);
+  EXPECT_NE(index.find("4bf92f3577b34da6a3ce929d0e0e4736"),
+            std::string::npos);
+  EXPECT_NE(index.find("\"reason\":\"head_sampled\""), std::string::npos);
+
+  // ...and the per-trace Chrome export shows the full server-side
+  // timeline: queue wait, the algorithm phase, and at least one
+  // storage/cache detail span, all under the propagated trace id.
+  const std::string trace = Http(
+      stack,
+      "GET /tracez?trace_id=4bf92f3577b34da6a3ce929d0e0e4736 "
+      "HTTP/1.1\r\n\r\n");
+  EXPECT_NE(trace.find("200 OK"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"queue_wait\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"ce\""), std::string::npos);
+  EXPECT_TRUE(trace.find("storage.page_read") != std::string::npos ||
+              trace.find("cache.") != std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("4bf92f3577b34da6a3ce929d0e0e4736"),
+            std::string::npos);
+
+  // Unknown ids 404 instead of guessing.
+  const std::string missing = Http(
+      stack,
+      "GET /tracez?trace_id=ffffffffffffffffffffffffffffffff "
+      "HTTP/1.1\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+TEST(ServerTest, MalformedTraceparentFieldRejected) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  const StatusOr<std::string> reply = RoundTrip(
+      fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":0}],"
+          "\"traceparent\":\"00-BADHEX-01\"}");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = ParseJson(reply.value()).value();
+  EXPECT_EQ(json.Find("error")->Find("code")->AsString(),
+            "INVALID_ARGUMENT");
+  ::close(fd);
+  stack.server->Shutdown();
+  EXPECT_EQ(stack.server->admission().rejected(), 1u);
+}
+
+TEST(ServerTest, HttpTraceparentHeaderPropagates) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const std::string body = "{\"algo\":\"lbc\",\"sources\":[{\"edge\":2}]}";
+  const std::string response = Http(
+      stack,
+      "POST /query HTTP/1.1\r\n"
+      "traceparent: 00-aaaabbbbccccdddd1111222233334444-1234123412341234-"
+      "01\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
+      body);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const std::string index = Http(stack, "GET /tracez HTTP/1.1\r\n\r\n");
+  EXPECT_NE(index.find("aaaabbbbccccdddd1111222233334444"),
+            std::string::npos);
+  // A malformed header is rejected at the edge, not silently re-minted.
+  const std::string bad = Http(
+      stack,
+      "POST /query HTTP/1.1\r\ntraceparent: nonsense\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(bad.find("400"), std::string::npos);
+}
+
+TEST(ServerTest, RequestzServesWideEventsForEveryOutcome) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  // One completed, one rejected: both must appear as wide events.
+  ASSERT_TRUE(RoundTrip(fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":1}],"
+                            "\"id\":\"wide-1\"}")
+                  .ok());
+  ASSERT_TRUE(RoundTrip(fd, "not json").ok());
+  ::close(fd);
+
+  const std::string requestz =
+      Http(stack, "GET /requestz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(requestz.find("200 OK"), std::string::npos);
+  EXPECT_NE(requestz.find("\"outcome\":\"completed\""), std::string::npos);
+  EXPECT_NE(requestz.find("\"outcome\":\"rejected\""), std::string::npos);
+  EXPECT_NE(requestz.find("\"id\":\"wide-1\""), std::string::npos);
+  EXPECT_NE(requestz.find("\"queue_ms\""), std::string::npos);
+  EXPECT_NE(requestz.find("\"execute_ms\""), std::string::npos);
+  EXPECT_NE(requestz.find("\"total\":2"), std::string::npos);
+
+  // The wide-event log itself: completed events carry non-empty stages
+  // and a trace id; every event got one even though no client sent a
+  // traceparent.
+  const std::vector<obs::WideEvent> events =
+      stack.server->wide_events().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].outcome, "completed");
+  EXPECT_EQ(events[0].trace_id.size(), 32u);
+  EXPECT_GT(events[0].total_ms, 0.0);
+  EXPECT_GE(events[0].total_ms, events[0].execute_ms);
+  EXPECT_EQ(events[1].outcome, "rejected");
+  EXPECT_EQ(events[1].http_status, 400);
+  EXPECT_EQ(events[1].trace_id.size(), 32u);
+}
+
+TEST(ServerTest, QueueWaitHistogramSplitsByOutcome) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  ASSERT_TRUE(
+      RoundTrip(fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":3}]}").ok());
+  ::close(fd);
+  const obs::Histogram::Snapshot completed =
+      stack.registry.histogram(metric::kServeQueueWaitCompletedUsHist)
+          ->TakeSnapshot();
+  EXPECT_EQ(completed.count, 1u);
+  const obs::Histogram::Snapshot truncated =
+      stack.registry.histogram(metric::kServeQueueWaitTruncatedUsHist)
+          ->TakeSnapshot();
+  EXPECT_EQ(truncated.count, 0u);
+  const std::string metrics = Http(stack, "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(metrics.find("msq_serve_queue_wait_us_hist_completed"),
+            std::string::npos);
+}
+
 TEST(ServerTest, GracefulDrainFinishesInFlightWork) {
   ServerStack stack;
   ASSERT_TRUE(stack.start_status.ok());

@@ -14,7 +14,10 @@
 # Also validates that the committed BENCH_throughput.json carries its host
 # metadata (hardware_concurrency) and its build-info stamp (git sha,
 # compiler, flags), so benchmark numbers are never read without knowing
-# what produced them.
+# what produced them. In asan mode, a short chaos soak then writes the
+# wide-event JSONL and retained-trace dumps and runs them through
+# tools/validate_telemetry.py (skipped with a warning if python3 is
+# missing).
 #
 # The build dir defaults to build-asan/ or build-tsan/ next to the source
 # tree, so `tools/check.sh build-asan` (the CI invocation) keeps working.
@@ -59,6 +62,28 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DMSQ_SANITIZE="$sanitize"
 cmake --build "$build_dir" -j "$(nproc)"
 
+validate_telemetry() {
+  # Telemetry artifact schema gate (asan mode): a short soak with chaos on
+  # writes the wide-event JSONL and retained-trace Chrome dump, and the
+  # schema checker must accept both — a format regression fails here, not
+  # in whatever tool next tries to load a CI artifact.
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "check.sh: WARNING python3 not found — skipping telemetry" \
+         "artifact validation" >&2
+    return 0
+  fi
+  local out_dir="$build_dir/telemetry-check"
+  mkdir -p "$out_dir"
+  MSQ_SOAK_SCALE=0.05 MSQ_SOAK_PHASE_S=2 MSQ_SOAK_CLIENTS=2 \
+  MSQ_SOAK_OUT="$out_dir/BENCH_soak.json" \
+  MSQ_SOAK_WIDE_OUT="$out_dir/wide.jsonl" \
+  MSQ_SOAK_TRACE_OUT="$out_dir/traces.json" \
+    "$build_dir/bench/bench_soak"
+  python3 "$repo_root/tools/validate_telemetry.py" \
+    --wide-events "$out_dir/wide.jsonl" \
+    --trace-dump "$out_dir/traces.json"
+}
+
 if [[ "$mode" == "tsan" ]]; then
   # TSan's scheduler interleaving makes the full suite slow; the
   # single-threaded tests gain nothing from it, so gate on the suites that
@@ -70,6 +95,7 @@ else
   # halt_on_error makes UBSan findings fail the run instead of just logging.
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+  validate_telemetry
 fi
 
 echo "check.sh: $mode build + tests clean"

@@ -22,13 +22,22 @@
 //              [--default-deadline-ms F]
 //              [--fault-transient F] [--fault-persistent F]
 //              [--fault-corrupt F] [--fault-write F]
+//              [--slow-wall-ms F] [--slow-pages N]
+//              [--head-sample-every N]
 //              [--duration-s F] [--prom-out PATH] [--flight-out PATH]
+//              [--wide-out PATH] [--trace-out PATH]
 //
 // --port 0 (default) binds an ephemeral port; the chosen port is printed
 // as "listening on http://HOST:PORT" for scripts to parse. --duration-s
 // self-drains after the given wall time (smoke tests). The --fault-*
 // flags arm seeded storage-fault injection on both page stores — the
 // chaos configuration bench_soak drives.
+//
+// Tracing: --head-sample-every N head-samples every Nth request (detail
+// spans + guaranteed retention); --slow-wall-ms/--slow-pages set the tail
+// thresholds. At drain, --wide-out dumps the wide-event ring as JSONL and
+// --trace-out dumps every retained trace's Chrome-trace export as one
+// JSON document ({"traces":[{"trace_id":...,"events":[...]}]}).
 #include <unistd.h>
 
 #include <cerrno>
@@ -64,6 +73,11 @@ struct Options {
   double duration_s = 0.0;
   std::string prom_out;
   std::string flight_out;
+  std::string wide_out;
+  std::string trace_out;
+  double slow_wall_ms = 0.0;
+  std::size_t slow_pages = 0;
+  std::size_t head_sample_every = 0;
 };
 
 void Usage(const char* argv0) {
@@ -77,7 +91,10 @@ void Usage(const char* argv0) {
       "          [--default-deadline-ms F]\n"
       "          [--fault-transient F] [--fault-persistent F]\n"
       "          [--fault-corrupt F] [--fault-write F]\n"
-      "          [--duration-s F] [--prom-out PATH] [--flight-out PATH]\n",
+      "          [--slow-wall-ms F] [--slow-pages N]\n"
+      "          [--head-sample-every N]\n"
+      "          [--duration-s F] [--prom-out PATH] [--flight-out PATH]\n"
+      "          [--wide-out PATH] [--trace-out PATH]\n",
       argv0);
 }
 
@@ -172,6 +189,20 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     } else if (std::strcmp(arg, "--flight-out") == 0) {
       if ((v = value()) == nullptr) return false;
       opts->flight_out = v;
+    } else if (std::strcmp(arg, "--wide-out") == 0) {
+      if ((v = value()) == nullptr) return false;
+      opts->wide_out = v;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if ((v = value()) == nullptr) return false;
+      opts->trace_out = v;
+    } else if (std::strcmp(arg, "--slow-wall-ms") == 0) {
+      if (!next_double(&opts->slow_wall_ms) || opts->slow_wall_ms < 0.0) {
+        return false;
+      }
+    } else if (std::strcmp(arg, "--slow-pages") == 0) {
+      if (!next_size(&opts->slow_pages)) return false;
+    } else if (std::strcmp(arg, "--head-sample-every") == 0) {
+      if (!next_size(&opts->head_sample_every)) return false;
     } else {
       return false;
     }
@@ -234,15 +265,20 @@ int main(int argc, char** argv) {
     workload.index_faults()->Arm();
   }
 
+  obs::TelemetryConfig telemetry;
+  telemetry.slow_wall_seconds = opts.slow_wall_ms / 1e3;
+  telemetry.slow_page_accesses = opts.slow_pages;
+  telemetry.head_sample_every = opts.head_sample_every;
   std::unique_ptr<QueryExecutor> executor;
   if (opts.cache_mb > 0) {
     QueryCacheConfig cache;
     cache.max_bytes = opts.cache_mb * (1u << 20);
     executor = std::make_unique<QueryExecutor>(workload.dataset(),
-                                               opts.workers, cache);
+                                               opts.workers, cache,
+                                               telemetry);
   } else {
-    executor =
-        std::make_unique<QueryExecutor>(workload.dataset(), opts.workers);
+    executor = std::make_unique<QueryExecutor>(workload.dataset(),
+                                               opts.workers, telemetry);
   }
 
   opts.server.port = static_cast<std::uint16_t>(opts.port);
@@ -306,8 +342,28 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry& registry = *executor->telemetry().registry();
   if (!opts.prom_out.empty() &&
-      !WriteFile(opts.prom_out, obs::PrometheusText(registry))) {
+      !WriteFile(opts.prom_out,
+                 obs::PrometheusText(registry,
+                                     &executor->telemetry().exemplars()))) {
     return 1;
+  }
+  if (!opts.wide_out.empty() &&
+      !WriteFile(opts.wide_out, server.wide_events().Jsonl())) {
+    return 1;
+  }
+  if (!opts.trace_out.empty()) {
+    std::string out = "{\"traces\":[";
+    bool first = true;
+    for (const obs::RetainedTrace& trace :
+         executor->telemetry().trace_store().Snapshot()) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n{\"trace_id\":\"" + trace.TraceIdHex() + "\",\"reason\":\"";
+      out += obs::RetainReasonName(trace.reason);
+      out += "\",\"events\":" + obs::RetainedTraceChromeJson(trace) + "}";
+    }
+    out += "\n]}\n";
+    if (!WriteFile(opts.trace_out, out)) return 1;
   }
   if (!opts.flight_out.empty()) {
     // Flight dump shares the msq_stats JSON shape (one record per line is

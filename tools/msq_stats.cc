@@ -7,13 +7,17 @@
 // Usage:
 //   msq_stats [--network CA|AU|NA] [--scale F] [--density F] [--sources N]
 //             [--batch N] [--workers N] [--repeat N] [--seed N]
-//             [--slow-wall-ms F] [--slow-pages N]
+//             [--slow-wall-ms F] [--slow-pages N] [--head-sample-every N]
 //             [--prom-out PATH] [--jsonl-out PATH] [--flight-out PATH]
 //             [--serve PORT] [--max-requests N]
 //
-// --serve binds 127.0.0.1:PORT and answers every GET with the current
-// Prometheus snapshot (scrape target shape); --max-requests bounds the
-// loop for smoke tests, 0 serves until killed.
+// --serve binds 127.0.0.1:PORT and serves GET /metrics (Prometheus
+// snapshot with retained-trace exemplars), GET /tracez (tail-retained
+// traces; ?trace_id= for one Chrome-trace export), and GET /requestz
+// (the flight-recorder ring as JSON — executor-level request log; any
+// other path also answers with the Prometheus snapshot for backward
+// compatibility). --max-requests bounds the loop for smoke tests, 0
+// serves until killed.
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -49,6 +53,7 @@ struct Options {
   std::uint64_t seed = 1;
   double slow_wall_ms = 0.0;
   std::uint64_t slow_pages = 0;
+  std::uint64_t head_sample_every = 0;
   std::string prom_out;
   std::string jsonl_out;
   std::string flight_out;
@@ -62,6 +67,7 @@ void Usage(const char* argv0) {
       "usage: %s [--network CA|AU|NA] [--scale F] [--density F]\n"
       "          [--sources N] [--batch N] [--workers N] [--repeat N]\n"
       "          [--seed N] [--slow-wall-ms F] [--slow-pages N]\n"
+      "          [--head-sample-every N]\n"
       "          [--prom-out PATH] [--jsonl-out PATH] [--flight-out PATH]\n"
       "          [--serve PORT] [--max-requests N]\n",
       argv0);
@@ -122,6 +128,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       if ((v = value()) == nullptr) return false;
       opts->slow_pages =
           static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--head-sample-every") == 0) {
+      if ((v = value()) == nullptr) return false;
+      opts->head_sample_every =
+          static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
     } else if (std::strcmp(arg, "--prom-out") == 0) {
       if ((v = value()) == nullptr) return false;
       opts->prom_out = v;
@@ -164,13 +174,14 @@ std::string FlightJson(const std::vector<obs::FlightRecord>& records) {
     std::snprintf(
         buf, sizeof(buf),
         "{\"sequence\":%" PRIu64 ",\"spec_digest\":\"%016" PRIx64
+        "\",\"trace_id\":\"%016" PRIx64 "%016" PRIx64
         "\",\"algorithm\":\"%s\",\"status_code\":%d,\"truncation\":%u,"
         "\"source_count\":%u,\"skyline_size\":%" PRIu64
         ",\"wall_seconds\":%.6f,\"network_accesses\":%" PRIu64
         ",\"network_pages\":%" PRIu64 ",\"index_accesses\":%" PRIu64
         ",\"settled_nodes\":%" PRIu64 ",\"dominance_tests\":%" PRIu64
         ",\"cache_hits\":%" PRIu64 "}",
-        r.sequence, r.spec_digest,
+        r.sequence, r.spec_digest, r.trace_id_hi, r.trace_id_lo,
         std::string(AlgorithmName(static_cast<Algorithm>(r.algorithm)))
             .c_str(),
         r.status_code, r.truncation, r.source_count, r.skyline_size,
@@ -190,7 +201,8 @@ std::string FlightJson(const std::vector<obs::FlightRecord>& records) {
 // against hostile peers via the serve/socket helpers: SIGPIPE ignored,
 // partial writes and EINTR retried, reads bounded in bytes and time so a
 // stalled or garbage-streaming client cannot wedge the loop.
-int ServeMetrics(obs::MetricsRegistry& registry, int port,
+int ServeMetrics(obs::MetricsRegistry& registry,
+                 const obs::ServingTelemetry& telemetry, int port,
                  std::size_t max_requests) {
   serve::IgnoreSigpipe();
   std::uint16_t bound_port = 0;
@@ -222,12 +234,55 @@ int ServeMetrics(obs::MetricsRegistry& registry, int port,
       ::close(conn);
       continue;
     }
-    const std::string body = obs::PrometheusText(registry);
+    // Route on the request path; anything unrecognized answers with the
+    // Prometheus snapshot (the pre-introspection behavior).
+    std::string path;
+    {
+      const std::string& line = request.value();
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) {
+        path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      }
+    }
+    std::string body;
+    std::string content_type = "text/plain; version=0.0.4";
+    int status = 200;
+    if (path == "/tracez" || path.rfind("/tracez?", 0) == 0) {
+      content_type = "application/json";
+      const std::string needle = "trace_id=";
+      const std::size_t id_start = path.find(needle);
+      if (id_start != std::string::npos) {
+        std::string trace_id = path.substr(id_start + needle.size());
+        const std::size_t amp = trace_id.find('&');
+        if (amp != std::string::npos) trace_id.resize(amp);
+        std::optional<obs::RetainedTrace> trace =
+            telemetry.trace_store().Find(trace_id);
+        if (trace.has_value()) {
+          body = obs::RetainedTraceChromeJson(*trace);
+        } else {
+          status = 404;
+          body = "{\"error\":\"no retained trace " + trace_id + "\"}";
+        }
+      } else {
+        body = obs::TracezJson(telemetry.trace_store());
+      }
+    } else if (path == "/requestz") {
+      // Executor-level request log: the flight-recorder ring (msq_stats
+      // has no serving layer, so no wide events — this is the closest
+      // per-request view it owns).
+      content_type = "application/json";
+      body = FlightJson(telemetry.flight_recorder().Snapshot());
+    } else {
+      body = obs::PrometheusText(registry, &telemetry.exemplars());
+    }
     char header[160];
     const int n = std::snprintf(
         header, sizeof(header),
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
+        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
         "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        status, status == 200 ? "OK" : "Not Found", content_type.c_str(),
         body.size());
     if (serve::WriteAll(conn, header, static_cast<std::size_t>(n)).ok()) {
       (void)serve::WriteAll(conn, body);  // peer may vanish mid-body
@@ -255,6 +310,7 @@ int main(int argc, char** argv) {
   obs::TelemetryConfig telemetry;
   telemetry.slow_wall_seconds = opts.slow_wall_ms / 1e3;
   telemetry.slow_page_accesses = opts.slow_pages;
+  telemetry.head_sample_every = opts.head_sample_every;
   QueryExecutor executor(workload.dataset(), opts.workers, telemetry);
 
   constexpr Algorithm kMix[] = {Algorithm::kCe, Algorithm::kEdc,
@@ -341,8 +397,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::vector<obs::RetainedTrace> retained =
+      telem.trace_store().Snapshot();
+  if (!retained.empty()) {
+    std::printf("\n%zu traces tail-retained (of %" PRIu64 " total):\n",
+                retained.size(), telem.trace_store().retained_total());
+    for (const obs::RetainedTrace& trace : retained) {
+      std::printf("  %s %s reason=%s wall %.2f ms\n",
+                  trace.TraceIdHex().c_str(), trace.algorithm.c_str(),
+                  std::string(obs::RetainReasonName(trace.reason)).c_str(),
+                  trace.wall_seconds * 1e3);
+    }
+  }
+
   if (!opts.prom_out.empty() &&
-      !WriteFile(opts.prom_out, obs::PrometheusText(registry))) {
+      !WriteFile(opts.prom_out,
+                 obs::PrometheusText(registry, &telem.exemplars()))) {
     return 1;
   }
   if (!opts.jsonl_out.empty() &&
@@ -355,7 +425,8 @@ int main(int argc, char** argv) {
   }
 
   if (opts.serve_port > 0) {
-    return ServeMetrics(registry, opts.serve_port, opts.max_requests);
+    return ServeMetrics(registry, telem, opts.serve_port,
+                        opts.max_requests);
   }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Schema checkers for the telemetry artifacts CI uploads.
+
+Validates the three dump formats the serving stack writes so a format
+regression fails the build instead of silently producing artifacts no
+tool can load:
+
+  --chrome-trace FILE   Chrome trace_event JSON: a bare array of complete
+                        ("ph":"X") events with name/cat/ts/dur fields
+                        (msq_profile --trace-out).
+  --trace-dump FILE     Retained-trace dump: {"traces":[{"trace_id",
+                        "reason","events":[...]}]} where every wrapped
+                        event array is a valid Chrome trace and every
+                        event's args.trace_id matches its wrapper
+                        (msq_server --trace-out, MSQ_SOAK_TRACE_OUT).
+  --wide-events FILE    Canonical wide events, one JSON object per line
+                        (msq_server --wide-out, MSQ_SOAK_WIDE_OUT,
+                        GET /requestz bodies are the same objects).
+
+Stdlib only; exits non-zero with a pointed message on the first
+violation. Flags may be combined in one invocation.
+"""
+import argparse
+import json
+import re
+import sys
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+RETAIN_REASONS = {"error", "truncated", "slow", "head_sampled"}
+OUTCOMES = {"rejected", "shed", "completed", "truncated", "failed"}
+WIDE_STAGES = (
+    "queue_ms",
+    "parse_ms",
+    "execute_ms",
+    "serialize_ms",
+    "write_ms",
+    "total_ms",
+)
+WIDE_COUNTERS = (
+    "network_page_accesses",
+    "index_page_accesses",
+    "cache_hits",
+    "settled_nodes",
+    "skyline_size",
+    "returned",
+    "sequence",
+)
+
+
+def fail(path, message):
+    sys.exit(f"validate_telemetry: {path}: {message}")
+
+
+def check_chrome_events(path, events, expect_trace_id=None):
+    if not isinstance(events, list):
+        fail(path, f"expected a JSON array of events, got {type(events).__name__}")
+    if not events:
+        fail(path, "empty event array")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(path, f"event {i} is not an object")
+        for key, kind in (("name", str), ("cat", str), ("ph", str)):
+            if not isinstance(event.get(key), kind):
+                fail(path, f"event {i} missing/mistyped \"{key}\"")
+        if event["ph"] != "X":
+            fail(path, f"event {i}: unsupported phase {event['ph']!r}")
+        for key in ("ts", "dur"):
+            if not isinstance(event.get(key), (int, float)):
+                fail(path, f"event {i} missing/mistyped \"{key}\"")
+            if event[key] < 0:
+                fail(path, f"event {i}: negative \"{key}\"")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                fail(path, f"event {i} missing/mistyped \"{key}\"")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            fail(path, f"event {i}: \"args\" is not an object")
+        if expect_trace_id is not None:
+            got = (args or {}).get("trace_id")
+            if got != expect_trace_id:
+                fail(
+                    path,
+                    f"event {i}: args.trace_id {got!r} != wrapper "
+                    f"trace_id {expect_trace_id!r}",
+                )
+    return len(events)
+
+
+def check_chrome_trace(path):
+    with open(path) as f:
+        events = json.load(f)
+    n = check_chrome_events(path, events)
+    print(f"validate_telemetry: {path}: {n} chrome events OK")
+
+
+def check_trace_dump(path):
+    with open(path) as f:
+        dump = json.load(f)
+    if not isinstance(dump, dict) or not isinstance(dump.get("traces"), list):
+        fail(path, 'expected {"traces": [...]}')
+    total_events = 0
+    for i, trace in enumerate(dump["traces"]):
+        if not isinstance(trace, dict):
+            fail(path, f"trace {i} is not an object")
+        trace_id = trace.get("trace_id")
+        if not isinstance(trace_id, str) or not TRACE_ID_RE.match(trace_id):
+            fail(path, f"trace {i}: bad trace_id {trace_id!r}")
+        if trace.get("reason") not in RETAIN_REASONS:
+            fail(path, f"trace {i}: bad reason {trace.get('reason')!r}")
+        events = trace.get("events")
+        total_events += check_chrome_events(path, events, trace_id)
+        names = {event["name"] for event in events}
+        # The synthetic request/queue_wait pair is what makes the export a
+        # full server-side timeline; its absence means the wrapper broke.
+        for required in ("request", "queue_wait"):
+            if required not in names:
+                fail(path, f"trace {i}: missing \"{required}\" span")
+    print(
+        f"validate_telemetry: {path}: {len(dump['traces'])} traces, "
+        f"{total_events} events OK"
+    )
+
+
+def check_wide_events(path):
+    count = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(path, f"line {lineno}: not JSON ({e})")
+            if not isinstance(event, dict):
+                fail(path, f"line {lineno}: not an object")
+            trace_id = event.get("trace_id")
+            if not isinstance(trace_id, str) or not TRACE_ID_RE.match(trace_id):
+                fail(path, f"line {lineno}: bad trace_id {trace_id!r}")
+            if event.get("outcome") not in OUTCOMES:
+                fail(path, f"line {lineno}: bad outcome {event.get('outcome')!r}")
+            for key in ("id", "algo"):
+                if not isinstance(event.get(key), str):
+                    fail(path, f"line {lineno}: missing/mistyped \"{key}\"")
+            for key in ("sampled", "trace_retained"):
+                if not isinstance(event.get(key), bool):
+                    fail(path, f"line {lineno}: missing/mistyped \"{key}\"")
+            if not isinstance(event.get("http_status"), int):
+                fail(path, f"line {lineno}: missing/mistyped \"http_status\"")
+            for key in WIDE_STAGES:
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    fail(path, f"line {lineno}: missing/negative \"{key}\"")
+            for key in WIDE_COUNTERS:
+                value = event.get(key)
+                if not isinstance(value, int) or value < 0:
+                    fail(path, f"line {lineno}: missing/negative \"{key}\"")
+            # Stages never exceed the request's total span.
+            stage_sum = sum(event[k] for k in WIDE_STAGES[:-1])
+            if stage_sum > event["total_ms"] + 1.0:  # 1 ms timing slack
+                fail(
+                    path,
+                    f"line {lineno}: stage sum {stage_sum:.3f} ms exceeds "
+                    f"total_ms {event['total_ms']:.3f}",
+                )
+            count += 1
+    if count == 0:
+        fail(path, "no wide events")
+    print(f"validate_telemetry: {path}: {count} wide events OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chrome-trace", action="append", default=[])
+    parser.add_argument("--trace-dump", action="append", default=[])
+    parser.add_argument("--wide-events", action="append", default=[])
+    args = parser.parse_args()
+    if not (args.chrome_trace or args.trace_dump or args.wide_events):
+        parser.error("nothing to validate")
+    for path in args.chrome_trace:
+        check_chrome_trace(path)
+    for path in args.trace_dump:
+        check_trace_dump(path)
+    for path in args.wide_events:
+        check_wide_events(path)
+
+
+if __name__ == "__main__":
+    main()
