@@ -206,19 +206,35 @@ void QueryCache::Insert(const Key& key, Entry entry) {
   if (delta != 0) AccountBytesDelta(delta);
 }
 
-QueryCache::WavefrontPtr QueryCache::FindWavefront(const Location& source) {
+QueryCache::WavefrontPtr QueryCache::FindWavefront(const Location& source,
+                                                   std::uint64_t layout_epoch) {
   // Detail span (head-sampled queries only): shard lock + LRU touch.
   obs::Span probe_span = obs::DetailSpan("cache.wavefront_probe");
   const Key key = Canonical(source, kInvalidObject);
   Shard& shard = ShardFor(key);
   WavefrontPtr snapshot;
+  bool dropped_stale = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      snapshot = it->second->snapshot;
+      if (it->second->layout_epoch == layout_epoch) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        snapshot = it->second->snapshot;
+      } else {
+        // Stale layout: the snapshot's node numbering no longer matches
+        // the pager. Miss, and drop the entry so it can't linger.
+        shard.bytes -= it->second->bytes;
+        AccountBytesDelta(-static_cast<std::ptrdiff_t>(it->second->bytes));
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+        dropped_stale = true;
+      }
     }
+  }
+  if (dropped_stale) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().wavefront_evictions->Inc();
   }
   if (snapshot != nullptr) {
     wavefront_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -233,30 +249,46 @@ QueryCache::WavefrontPtr QueryCache::FindWavefront(const Location& source) {
 }
 
 void QueryCache::StoreWavefront(const Location& source,
-                                NetworkNnStream::Snapshot snapshot) {
+                                NetworkNnStream::Snapshot snapshot,
+                                std::uint64_t layout_epoch) {
   Entry entry;
   entry.key = Canonical(source, kInvalidObject);
   entry.snapshot = std::make_shared<const NetworkNnStream::Snapshot>(
       std::move(snapshot));
   entry.bytes = entry.snapshot->bytes() + kEntryOverhead;
+  entry.layout_epoch = layout_epoch;
   const Key key = entry.key;
   Insert(key, std::move(entry));
 }
 
 std::optional<Dist> QueryCache::FindDistance(const Location& source,
-                                             ObjectId object) {
+                                             ObjectId object,
+                                             std::uint64_t layout_epoch) {
   obs::Span probe_span = obs::DetailSpan("cache.memo_probe");
   MSQ_CHECK(object != kInvalidObject);
   const Key key = Canonical(source, object);
   Shard& shard = ShardFor(key);
   std::optional<Dist> found;
+  bool dropped_stale = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      found = it->second->dist;
+      if (it->second->layout_epoch == layout_epoch) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        found = it->second->dist;
+      } else {
+        shard.bytes -= it->second->bytes;
+        AccountBytesDelta(-static_cast<std::ptrdiff_t>(it->second->bytes));
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+        dropped_stale = true;
+      }
     }
+  }
+  if (dropped_stale) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().memo_evictions->Inc();
   }
   if (found.has_value()) {
     memo_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -271,12 +303,13 @@ std::optional<Dist> QueryCache::FindDistance(const Location& source,
 }
 
 void QueryCache::StoreDistance(const Location& source, ObjectId object,
-                               Dist dist) {
+                               Dist dist, std::uint64_t layout_epoch) {
   MSQ_CHECK(object != kInvalidObject);
   Entry entry;
   entry.key = Canonical(source, object);
   entry.dist = dist;
   entry.bytes = sizeof(Entry) + kEntryOverhead;
+  entry.layout_epoch = layout_epoch;
   const Key key = entry.key;
   Insert(key, std::move(entry));
 }

@@ -87,25 +87,41 @@ class QueryCache {
 
   explicit QueryCache(QueryCacheConfig config = QueryCacheConfig{});
 
+  // Every entry is stamped with the GraphPager layout epoch it was built
+  // against (`layout_epoch` parameters below; see
+  // GraphPager::layout_epoch()). A Find under a different epoch treats the
+  // entry as a miss AND drops it. Wavefront snapshots hold node-indexed
+  // state (settled bitmaps, frontier heaps), so resuming one against a
+  // renumbered graph would be silent corruption — its size even matches.
+  // Distance memos are edge-keyed and would survive a pure relabel, but
+  // they are stamped under the same rule: an epoch change marks "the paged
+  // graph was rebuilt", and one invalidation rule for both tiers is the
+  // safe one. The default 0 keeps single-layout callers (tests, direct use
+  // without a pager) on one consistent namespace.
+
   // --- Wavefront tier ---------------------------------------------------
 
   // Snapshot for `source`, or null on miss. Counts one wavefront hit or
   // miss (global metrics + calling thread's ThreadCounters).
-  WavefrontPtr FindWavefront(const Location& source);
+  WavefrontPtr FindWavefront(const Location& source,
+                             std::uint64_t layout_epoch = 0);
 
   // Stores (or replaces) the snapshot for `source`. A snapshot larger than
   // one shard's budget is rejected and counted as an eviction.
   void StoreWavefront(const Location& source,
-                      NetworkNnStream::Snapshot snapshot);
+                      NetworkNnStream::Snapshot snapshot,
+                      std::uint64_t layout_epoch = 0);
 
   // --- Distance memo tier -----------------------------------------------
 
   // Exact network distance for (source, object) if memoized. Counts one
   // memo hit or miss.
-  std::optional<Dist> FindDistance(const Location& source, ObjectId object);
+  std::optional<Dist> FindDistance(const Location& source, ObjectId object,
+                                   std::uint64_t layout_epoch = 0);
 
   // Memoizes an EXACT network distance. Callers must never store bounds.
-  void StoreDistance(const Location& source, ObjectId object, Dist dist);
+  void StoreDistance(const Location& source, ObjectId object, Dist dist,
+                     std::uint64_t layout_epoch = 0);
 
   // --- Lifecycle --------------------------------------------------------
 
@@ -160,6 +176,7 @@ class QueryCache {
     WavefrontPtr snapshot;  // null for memo entries
     Dist dist = 0;          // memo value
     std::size_t bytes = 0;
+    std::uint64_t layout_epoch = 0;  // pager layout the entry was built on
   };
 
   // front = most recently used.

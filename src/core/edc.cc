@@ -25,7 +25,8 @@ class EdcRunner {
       // without any A* expansion.
       CachedWavefront wavefront;
       if (dataset.cache != nullptr) {
-        wavefront.snapshot = dataset.cache->FindWavefront(source);
+        wavefront.snapshot = dataset.cache->FindWavefront(
+            source, dataset.graph_pager->layout_epoch());
         if (wavefront.snapshot != nullptr) {
           wavefront.radius = CheckpointRadius(wavefront.snapshot->search);
         }
@@ -45,7 +46,8 @@ class EdcRunner {
     QueryCache* const cache = dataset_.cache;
     if (cache == nullptr) return searches_[i]->DistanceTo(loc);
     if (const std::optional<Dist> memo =
-            cache->FindDistance(spec_.sources[i], id)) {
+            cache->FindDistance(spec_.sources[i], id,
+                                dataset_.graph_pager->layout_epoch())) {
       return *memo;
     }
     const CachedWavefront& wavefront = wavefronts_[i];
@@ -54,12 +56,14 @@ class EdcRunner {
           ProbeCheckpoint(*dataset_.network, wavefront.snapshot->search,
                           wavefront.radius, spec_.sources[i], loc);
       if (probe.exact) {
-        cache->StoreDistance(spec_.sources[i], id, probe.bound);
+        cache->StoreDistance(spec_.sources[i], id, probe.bound,
+                             dataset_.graph_pager->layout_epoch());
         return probe.bound;
       }
     }
     const Dist dist = searches_[i]->DistanceTo(loc);
-    cache->StoreDistance(spec_.sources[i], id, dist);
+    cache->StoreDistance(spec_.sources[i], id, dist,
+                         dataset_.graph_pager->layout_epoch());
     return dist;
   }
 

@@ -59,7 +59,8 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
   std::vector<Dist> wavefront_radius(n, 0.0);
   if (dataset.cache != nullptr) {
     for (std::size_t i = 0; i < n; ++i) {
-      wavefronts[i] = dataset.cache->FindWavefront(spec.sources[i]);
+      wavefronts[i] = dataset.cache->FindWavefront(
+          spec.sources[i], dataset.graph_pager->layout_epoch());
       if (wavefronts[i] != nullptr) {
         wavefront_radius[i] = CheckpointRadius(wavefronts[i]->search);
       }
@@ -73,7 +74,8 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     QueryCache* const cache = dataset.cache;
     if (cache == nullptr) return std::nullopt;
     if (const std::optional<Dist> memo =
-            cache->FindDistance(spec.sources[qi], id)) {
+            cache->FindDistance(spec.sources[qi], id,
+                                dataset.graph_pager->layout_epoch())) {
       return memo;
     }
     if (wavefronts[qi] != nullptr) {
@@ -81,7 +83,8 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
           ProbeCheckpoint(*dataset.network, wavefronts[qi]->search,
                           wavefront_radius[qi], spec.sources[qi], loc);
       if (probe.exact) {
-        cache->StoreDistance(spec.sources[qi], id, probe.bound);
+        cache->StoreDistance(spec.sources[qi], id, probe.bound,
+                             dataset.graph_pager->layout_epoch());
         return probe.bound;
       }
     }
@@ -97,7 +100,8 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     }
     const Dist dist = search_for(qi).DistanceTo(loc);
     if (dataset.cache != nullptr) {
-      dataset.cache->StoreDistance(spec.sources[qi], id, dist);
+      dataset.cache->StoreDistance(spec.sources[qi], id, dist,
+                                   dataset.graph_pager->layout_epoch());
     }
     return dist;
   };
@@ -359,7 +363,8 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
           // Probe completion yields an exact distance — harvest it (inf
           // included, so unreachability is also remembered).
           dataset.cache->StoreDistance(spec.sources[best_dim], cand.object,
-                                       bound[best_dim]);
+                                       bound[best_dim],
+                                       dataset.graph_pager->layout_epoch());
         }
         if (!std::isfinite(bound[best_dim])) {
           // Unreachable from some query point: excluded by the library's

@@ -1,0 +1,68 @@
+#include "exec/task_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace msq {
+
+TaskPool::TaskPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Destroying the pool with queued work would strand a RunAll caller;
+    // the owner must not tear the pool down mid-query.
+    MSQ_CHECK(queue_.empty());
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+bool TaskPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  task.fn();
+  lock.lock();
+  if (--task.batch->remaining == 0) task.batch->done_cv.notify_all();
+  return true;
+}
+
+void TaskPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    RunOneTask(lock);
+  }
+}
+
+void TaskPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+  std::unique_lock<std::mutex> lock(mu_);
+  MSQ_CHECK(!stopping_);
+  for (std::function<void()>& fn : tasks) {
+    queue_.push_back(Task{std::move(fn), batch});
+  }
+  if (!threads_.empty()) work_cv_.notify_all();
+  // Help: run queued tasks (own batch or another caller's — leaves by
+  // contract, so executing them here cannot block on this batch) until the
+  // queue drains, then wait for pool workers to finish the stragglers.
+  while (batch->remaining > 0) {
+    if (!RunOneTask(lock)) {
+      batch->done_cv.wait(lock, [&] { return batch->remaining == 0; });
+    }
+  }
+}
+
+}  // namespace msq

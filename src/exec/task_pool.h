@@ -1,0 +1,76 @@
+// Fork-join worker pool behind the TaskRunner interface (core/query.h).
+//
+// RunAll enqueues its batch and then HELPS: the calling thread executes
+// queued tasks alongside the pool workers until its own batch completes.
+// Helping gives two properties the intra-query parallelism needs:
+//
+//  * A 1-thread host (or a 0-worker pool) still makes progress — the
+//    caller just runs every task inline, so parallel-source CE degrades to
+//    sequential execution instead of deadlocking.
+//  * Concurrent RunAll calls (several executor workers parallelizing
+//    their own queries over one shared pool) interleave at task
+//    granularity; a caller may execute another batch's task while waiting,
+//    which is safe because TaskRunner tasks are leaves by contract.
+//
+// Completion is tracked per batch under the pool mutex, which also gives
+// the TaskRunner-required happens-before edge from every task body to the
+// RunAll return.
+#ifndef MSQ_EXEC_TASK_POOL_H_
+#define MSQ_EXEC_TASK_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+
+namespace msq {
+
+class TaskPool : public TaskRunner {
+ public:
+  // Spawns `threads` pool workers. 0 is valid: RunAll then executes every
+  // task on the calling thread (the degenerate sequential runner).
+  explicit TaskPool(std::size_t threads);
+  ~TaskPool() override;
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  void RunAll(std::vector<std::function<void()>> tasks) override;
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+ private:
+  // Completion state of one RunAll call; tasks hold a shared_ptr so a
+  // batch outlives RunAll only until its last task finishes.
+  struct Batch {
+    std::size_t remaining = 0;
+    std::condition_variable done_cv;
+  };
+  struct Task {
+    std::function<void()> fn;
+    std::shared_ptr<Batch> batch;
+  };
+
+  // Pops and runs one queued task (any batch). Returns false when the
+  // queue is empty. `lock` must hold mu_ and is released around the task
+  // body.
+  bool RunOneTask(std::unique_lock<std::mutex>& lock);
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_EXEC_TASK_POOL_H_

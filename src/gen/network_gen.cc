@@ -402,4 +402,78 @@ double MeasureDetourRatio(const RoadNetwork& network, std::size_t samples,
   return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
 }
 
+std::uint64_t HilbertIndex(std::uint32_t order, std::uint32_t x,
+                           std::uint32_t y) {
+  MSQ_CHECK(order >= 1 && order <= 16);
+  MSQ_CHECK(x < (1u << order) && y < (1u << order));
+  // Standard bottom-up rotate-and-accumulate formulation (Hilbert 1891 via
+  // the xy2d form): walk the quadrant levels from coarse to fine, rotating
+  // the frame so the curve stays continuous.
+  std::uint64_t index = 0;
+  const std::uint32_t grid = 1u << order;
+  for (std::uint32_t s = grid >> 1; s > 0; s >>= 1) {
+    const std::uint32_t rx = (x & s) ? 1 : 0;
+    const std::uint32_t ry = (y & s) ? 1 : 0;
+    index += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant (reflection spans the full grid).
+    if (ry == 0) {
+      if (rx == 1) {
+        x = grid - 1 - x;
+        y = grid - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return index;
+}
+
+std::vector<NodeId> HilbertNodeOrder(const RoadNetwork& network) {
+  const std::size_t n = network.node_count();
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  if (n == 0) return order;
+  const Mbr box = network.BoundingBox();
+  const double span_x = std::max(box.hi_x - box.lo_x, 1e-12);
+  const double span_y = std::max(box.hi_y - box.lo_y, 1e-12);
+  constexpr std::uint32_t kOrder = 16;
+  constexpr double kMaxCell = (1u << kOrder) - 1;
+  std::vector<std::uint64_t> key(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const Point& p = network.NodePosition(i);
+    const auto gx = static_cast<std::uint32_t>(
+        std::min(kMaxCell, (p.x - box.lo_x) / span_x * kMaxCell));
+    const auto gy = static_cast<std::uint32_t>(
+        std::min(kMaxCell, (p.y - box.lo_y) / span_y * kMaxCell));
+    key[i] = HilbertIndex(kOrder, gx, gy);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (key[a] != key[b]) return key[a] < key[b];
+    return a < b;  // co-located nodes: deterministic by id
+  });
+  return order;
+}
+
+RoadNetwork RelabelNodes(const RoadNetwork& network,
+                         const std::vector<NodeId>& order) {
+  MSQ_CHECK(order.size() == network.node_count());
+  RoadNetwork out;
+  std::vector<NodeId> inverse(order.size(), kInvalidNode);
+  for (NodeId k = 0; k < order.size(); ++k) {
+    MSQ_CHECK(order[k] < order.size() && inverse[order[k]] == kInvalidNode);
+    inverse[order[k]] = k;
+    out.AddNode(network.NodePosition(order[k]));
+  }
+  for (EdgeId e = 0; e < network.edge_count(); ++e) {
+    const RoadNetwork::Edge& edge = network.EdgeAt(e);
+    // Positions are copied verbatim, so AddEdge recomputes the identical
+    // Euclidean floor and never re-clamps: lengths survive bit-exactly and
+    // the new edge keeps id `e` with u/v orientation (hence offsets) intact.
+    const EdgeId mapped =
+        out.AddEdge(inverse[edge.u], inverse[edge.v], edge.length);
+    MSQ_CHECK(mapped == e);
+  }
+  out.Finalize();
+  return out;
+}
+
 }  // namespace msq

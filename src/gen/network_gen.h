@@ -48,6 +48,32 @@ RoadNetwork GenerateNetwork(const NetworkGenConfig& config);
 double MeasureDetourRatio(const RoadNetwork& network, std::size_t samples,
                           std::uint64_t seed);
 
+// --- locality-aware node relabeling (DESIGN.md §15) ----------------------
+//
+// A Dijkstra wavefront touches spatially adjacent nodes together, so paging
+// cost is minimized when consecutive node ids are spatially close. The
+// Hilbert curve preserves locality strictly better than the Morton (Z)
+// order the pager historically sorted by: it has no diagonal jumps, so a
+// wavefront's frontier spans fewer id ranges — and therefore fewer pages.
+
+// Hilbert-curve index of cell (x, y) on the 2^order x 2^order grid.
+// `order` <= 16; x, y < 2^order.
+std::uint64_t HilbertIndex(std::uint32_t order, std::uint32_t x,
+                           std::uint32_t y);
+
+// Node ids of `network` sorted by the Hilbert index of their position on a
+// 2^16 grid over the bounding box (ties by node id). order[k] is the node
+// that should receive id k in a Hilbert-relabeled network.
+std::vector<NodeId> HilbertNodeOrder(const RoadNetwork& network);
+
+// Renumbers nodes so that new id k is `order[k]` of `network` (a
+// permutation of all node ids). Edge ids, endpoint orientation, and edge
+// lengths are preserved, so every Location (edge, offset) — objects,
+// queries — remains valid unchanged and all network distances are
+// identical. The result is finalized.
+RoadNetwork RelabelNodes(const RoadNetwork& network,
+                         const std::vector<NodeId>& order);
+
 }  // namespace msq
 
 #endif  // MSQ_GEN_NETWORK_GEN_H_

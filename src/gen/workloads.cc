@@ -14,9 +14,37 @@ std::string NetworkClassName(NetworkClass cls) {
       return "AU";
     case NetworkClass::kNA:
       return "NA";
+    case NetworkClass::kCNT:
+      return "CNT";
   }
   MSQ_CHECK(false);
   return "";
+}
+
+std::string GraphLayoutName(GraphLayout layout) {
+  switch (layout) {
+    case GraphLayout::kSeed:
+      return "seed";
+    case GraphLayout::kHilbert:
+      return "hilbert";
+    case GraphLayout::kHilbertCsr:
+      return "hilbert_csr";
+  }
+  MSQ_CHECK(false);
+  return "";
+}
+
+GraphPagerOptions PagerOptionsFor(GraphLayout layout) {
+  switch (layout) {
+    case GraphLayout::kSeed:
+      return GraphPagerOptions{};
+    case GraphLayout::kHilbert:
+      return GraphPagerOptions{NodeOrdering::kAsIs, AdjacencyFormat::kRow};
+    case GraphLayout::kHilbertCsr:
+      return GraphPagerOptions{NodeOrdering::kAsIs, AdjacencyFormat::kCsr};
+  }
+  MSQ_CHECK(false);
+  return GraphPagerOptions{};
 }
 
 NetworkGenConfig PaperNetworkConfig(NetworkClass cls, double scale,
@@ -51,6 +79,14 @@ NetworkGenConfig PaperNetworkConfig(NetworkClass cls, double scale,
       config.curvature = 0.0;
       config.junction_edge_ratio = 1.8;
       break;
+    case NetworkClass::kCNT:
+      // Synthetic continental tier: NA's density profile at 5x its size
+      // (so scale=2.0 — ContinentalNetworkConfig — is a 10x-NA network).
+      nodes = 431590;
+      edges = 515210;
+      config.curvature = 0.0;
+      config.junction_edge_ratio = 1.8;
+      break;
   }
   config.node_count = std::max<std::size_t>(
       4, static_cast<std::size_t>(std::llround(scale * nodes)));
@@ -58,6 +94,10 @@ NetworkGenConfig PaperNetworkConfig(NetworkClass cls, double scale,
       config.node_count,
       static_cast<std::size_t>(std::llround(scale * edges)));
   return config;
+}
+
+NetworkGenConfig ContinentalNetworkConfig(std::uint64_t seed) {
+  return PaperNetworkConfig(NetworkClass::kCNT, 2.0, seed);
 }
 
 Workload::Workload(const WorkloadConfig& config)
@@ -83,6 +123,13 @@ Workload::Workload(const WorkloadConfig& config, RoadNetwork network,
 }
 
 void Workload::BuildStack(const WorkloadConfig& config) {
+  graph_layout_ = config.graph_layout;
+  if (graph_layout_ != GraphLayout::kSeed) {
+    // Hilbert layouts renumber nodes before anything node-keyed is built.
+    // Edge ids/orientation/lengths are preserved, so the edge R-tree,
+    // middle layer, objects, and queries are identical across layouts.
+    network_ = RelabelNodes(network_, HilbertNodeOrder(network_));
+  }
   DiskManager* graph_disk = &graph_disk_;
   DiskManager* index_disk = &index_disk_;
   if (!config.storage_dir.empty()) {
@@ -118,7 +165,8 @@ void Workload::BuildStack(const WorkloadConfig& config) {
                                obs::metric::kNetworkBufferPrefix);
   index_buffer_->AttachMetrics(&obs::GlobalMetrics(),
                                obs::metric::kIndexBufferPrefix);
-  graph_pager_ = std::make_unique<GraphPager>(&network_, graph_buffer_.get());
+  graph_pager_ = std::make_unique<GraphPager>(&network_, graph_buffer_.get(),
+                                              PagerOptionsFor(graph_layout_));
 
   // Edge R-tree (Section 6.1: "The edges are indexed by an R-tree on edge
   // MBRs"), bulk-loaded.
@@ -161,9 +209,11 @@ void Workload::BuildStack(const WorkloadConfig& config) {
                                       config.static_attr_dims,
                                       config.object_seed ^ 0x5eedf00dULL);
   }
-  if (config.landmark_count > 0) {
-    landmarks_ = std::make_unique<LandmarkIndex>(
-        &network_, config.landmark_count, config.network.seed ^ 0xa17aULL);
+  landmark_count_ = config.landmark_count;
+  landmark_seed_ = config.network.seed ^ 0xa17aULL;
+  if (landmark_count_ > 0) {
+    landmarks_ = std::make_unique<LandmarkIndex>(&network_, landmark_count_,
+                                                 landmark_seed_);
   }
   query_seed_mix_ = config.network.seed * 0x9e3779b97f4a7c15ULL;
   ResetBuffers();
@@ -188,6 +238,26 @@ SkylineQuerySpec Workload::SampleQuery(std::size_t count, std::uint64_t seed,
   spec.sources = GenerateQueries(network_, count, region_fraction,
                                  seed ^ query_seed_mix_);
   return spec;
+}
+
+void Workload::Relayout(GraphLayout layout) {
+  if (layout != GraphLayout::kSeed) {
+    network_ = RelabelNodes(network_, HilbertNodeOrder(network_));
+  }
+  graph_layout_ = layout;
+  // A fresh pager draws a fresh layout_epoch, so epoch-stamped cache
+  // entries from the old layout become unreachable. The old pager's pages
+  // stay allocated in the disk backend (build-time waste only; Relayout is
+  // a bench/test facility, not a serving-path operation).
+  graph_pager_ = std::make_unique<GraphPager>(&network_, graph_buffer_.get(),
+                                              PagerOptionsFor(layout));
+  if (landmark_count_ > 0) {
+    // Landmark distance tables are node-indexed; rebuild them against the
+    // new numbering.
+    landmarks_ = std::make_unique<LandmarkIndex>(&network_, landmark_count_,
+                                                 landmark_seed_);
+  }
+  ResetBuffers();
 }
 
 void Workload::ResetBuffers() {

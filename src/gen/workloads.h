@@ -11,6 +11,7 @@
 
 #include "core/query.h"
 #include "gen/network_gen.h"
+#include "graph/graph_pager.h"
 #include "graph/landmarks.h"
 #include "gen/object_gen.h"
 #include "gen/query_gen.h"
@@ -21,20 +22,47 @@
 
 namespace msq {
 
-// The paper's three real networks, by density class.
-enum class NetworkClass { kCA, kAU, kNA };
+// The paper's three real networks, by density class, plus kCNT — a
+// synthetic "continental" tier at 5x the NA counts (so the default
+// continental benchmark point, scale=2.0, is a 10x-NA network) used to
+// prove the storage layout holds beyond the paper's sizes.
+enum class NetworkClass { kCA, kAU, kNA, kCNT };
 
-// Name used in benchmark tables ("CA", "AU", "NA").
+// Name used in benchmark tables ("CA", "AU", "NA", "CNT").
 std::string NetworkClassName(NetworkClass cls);
 
 // Node/edge counts of the paper's dataset for `cls`, scaled by `scale`
 // (scale=1.0 reproduces the published sizes: CA 3,044/3,607;
-// AU 23,269/30,289; NA 86,318/103,042).
+// AU 23,269/30,289; NA 86,318/103,042; CNT is synthetic at
+// 431,590/515,210).
 NetworkGenConfig PaperNetworkConfig(NetworkClass cls, double scale = 1.0,
                                     std::uint64_t seed = 1);
 
+// The 10x-NA continental preset (kCNT at scale=2.0): 863,180 nodes /
+// 1,030,420 edges of straight, well-connected roads.
+NetworkGenConfig ContinentalNetworkConfig(std::uint64_t seed = 1);
+
+// How the adjacency pages of the workload's graph are laid out.
+//  kSeed       — insertion-order ids, Morton-sorted row pages (the
+//                original format; the oracle every other layout must match)
+//  kHilbert    — node ids relabeled in Hilbert-curve order at build time,
+//                row pages packed in id order
+//  kHilbertCsr — Hilbert relabel + CSR-compressed adjacency pages
+// Relabeling only renumbers nodes: edge ids, orientation, and lengths are
+// untouched, so objects and queries (edge-keyed Locations) and all results
+// are identical across layouts.
+enum class GraphLayout { kSeed, kHilbert, kHilbertCsr };
+
+// Name used in benchmark tables ("seed", "hilbert", "hilbert_csr").
+std::string GraphLayoutName(GraphLayout layout);
+
+// Pager options realizing `layout`.
+GraphPagerOptions PagerOptionsFor(GraphLayout layout);
+
 struct WorkloadConfig {
   NetworkGenConfig network;
+  // Storage layout for the adjacency pages (and the node numbering).
+  GraphLayout graph_layout = GraphLayout::kSeed;
   // ω = |D|/|E| (the paper sweeps {5%, 20%, 50%, 100%, 200%}).
   double object_density = 0.5;
   // Number of static attribute dimensions appended to distance vectors.
@@ -88,6 +116,16 @@ class Workload {
   // Benchmarks call this before each measured run.
   void ResetBuffers();
 
+  // Rebuilds the graph pager under `layout`, relabeling node ids when the
+  // layout calls for it (and rebuilding the node-keyed landmark index).
+  // Objects, queries, and results are unaffected — but node ids and the
+  // pager's layout_epoch() change, so callers must not hold NN streams or
+  // Datasets across the call, and epoch-stamped cache entries become
+  // unreachable (the invalidation property the regression tests pin down).
+  void Relayout(GraphLayout layout);
+
+  GraphLayout graph_layout() const { return graph_layout_; }
+
   const RoadNetwork& network() const { return network_; }
   const SpatialMapping& mapping() const { return *mapping_; }
   const RTree& object_rtree() const { return *object_rtree_; }
@@ -122,6 +160,9 @@ class Workload {
   std::unique_ptr<RTree> object_rtree_;
   std::unique_ptr<LandmarkIndex> landmarks_;
   std::vector<DistVector> attrs_;
+  GraphLayout graph_layout_ = GraphLayout::kSeed;
+  std::size_t landmark_count_ = 0;
+  std::uint64_t landmark_seed_ = 0;
   std::uint64_t query_seed_mix_ = 0;
   bool use_custom_objects_ = false;
   std::vector<Location> custom_objects_;

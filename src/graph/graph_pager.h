@@ -22,13 +22,43 @@
 
 namespace msq {
 
+// How adjacency records are assigned to pages. kMorton is the seed
+// behavior: the pager sorts nodes by Morton (Z-order) key of their
+// coordinates before packing. kAsIs packs in node-id order and trusts the
+// dataset builder to have already relabeled node ids in a
+// locality-preserving (Hilbert) order — see gen/network_gen.h.
+enum class NodeOrdering {
+  kMorton,
+  kAsIs,
+};
+
+// On-page record encoding. kRow is the seed format (u32 degree, then
+// fixed 16-byte neighbor triples). kCsr delta-encodes neighbor ids
+// (zigzag varints against the node id, then the previous neighbor),
+// delta-encodes edge ids (ascending within a list by construction), and
+// elides lengths that bit-equal the endpoints' Euclidean distance — a
+// CSR-style compressed row that fits 2-4x more nodes per page. Pages
+// carry a format-versioned header; the out-of-band CRC page trailer of
+// FileDiskManager applies to both formats unchanged.
+enum class AdjacencyFormat {
+  kRow,
+  kCsr,
+};
+
+struct GraphPagerOptions {
+  NodeOrdering ordering = NodeOrdering::kMorton;
+  AdjacencyFormat format = AdjacencyFormat::kRow;
+};
+
 class GraphPager {
  public:
   // Lays out `network` (must be finalized) into pages of `buffer`'s disk
   // space. Neither pointer is owned; both must outlive the pager.
   // Layout happens at build time, before faults are armed, so construction
-  // aborts on I/O failure rather than returning a status.
-  GraphPager(const RoadNetwork* network, BufferManager* buffer);
+  // aborts on I/O failure rather than returning a status. Default options
+  // reproduce the seed layout byte-for-byte.
+  GraphPager(const RoadNetwork* network, BufferManager* buffer,
+             GraphPagerOptions options = {});
 
   // Adjacency list of `node`, read through the buffer pool. Fails with the
   // buffer's read error, or kCorruption when the decoded record is
@@ -38,9 +68,18 @@ class GraphPager {
 
   const RoadNetwork& network() const { return *network_; }
   BufferManager* buffer() const { return buffer_; }
+  const GraphPagerOptions& options() const { return options_; }
 
   // Number of pages occupied by the adjacency data.
   std::size_t page_count() const { return page_count_; }
+
+  // Process-unique id of this pager's layout, drawn from a global counter
+  // at construction. Anything that memoizes traversal state over the
+  // paged graph (QueryCache wavefront snapshots, distance memos) stamps
+  // entries with this epoch: rebuilding a pager — even over the same
+  // network — yields a fresh epoch, so stale snapshots keyed to the old
+  // node numbering can never be resumed.
+  std::uint64_t layout_epoch() const { return layout_epoch_; }
 
  private:
   struct Slot {
@@ -49,9 +88,15 @@ class GraphPager {
   };
 
   void BuildLayout();
+  Status DecodeRow(NodeId node, Slot slot, const Page& page,
+                   std::vector<AdjacencyEntry>* out) const;
+  Status DecodeCsr(NodeId node, Slot slot, const Page& page,
+                   std::vector<AdjacencyEntry>* out) const;
 
   const RoadNetwork* network_;
   BufferManager* buffer_;
+  GraphPagerOptions options_;
+  std::uint64_t layout_epoch_;
   std::vector<Slot> directory_;  // per node
   std::size_t page_count_ = 0;
 };

@@ -155,7 +155,32 @@ std::string ProfileReport(const QueryProfile& profile) {
     AppendF(&out, "(%zu spans dropped at the session cap)\n",
             profile.dropped_spans);
   }
+  // Derived layout-locality figure: physical network page reads per
+  // settled node, per phase that settled anything. Lower is better — a
+  // locality-aware page layout (Hilbert + CSR) packs a wavefront's
+  // frontier into fewer pages, and this is where that shows up in a
+  // single-query profile.
+  out += "\npages_per_settled_node (network misses / settled nodes)\n";
+  for (const auto* row : rows) {
+    const Agg& agg = row->second;
+    if (agg.self.settled_nodes == 0) continue;
+    AppendF(&out, "%-28s %9.4f   (%" PRIu64 " pages / %" PRIu64
+            " settled)\n",
+            row->first.c_str(),
+            PagesPerSettledNode(agg.self.network_misses,
+                                agg.self.settled_nodes),
+            agg.self.network_misses, agg.self.settled_nodes);
+  }
+  AppendF(&out, "%-28s %9.4f\n", "total",
+          PagesPerSettledNode(total.network_misses, total.settled_nodes));
   return out;
+}
+
+double PagesPerSettledNode(std::uint64_t network_pages,
+                           std::uint64_t settled_nodes) {
+  if (settled_nodes == 0) return 0.0;
+  return static_cast<double>(network_pages) /
+         static_cast<double>(settled_nodes);
 }
 
 std::string MetricsJsonl(const MetricsRegistry& registry) {

@@ -24,8 +24,18 @@ std::string ToChromeTrace(const QueryProfile& profile);
 // Human-readable per-phase table: spans aggregated by name with call
 // counts, inclusive/self wall time, and self counter totals. The footer
 // line sums the self columns — by construction it equals the root span's
-// inclusive totals.
+// inclusive totals. A derived pages_per_settled_node section follows the
+// table: one line per phase that settled nodes, showing how many physical
+// network page reads each settled node cost (the storage-layout locality
+// figure of merit — DESIGN.md §15).
 std::string ProfileReport(const QueryProfile& profile);
+
+// The one shared derivation behind every pages_per_settled_node figure
+// (report, tools, benches): network page MISSES per settled node, 0 when
+// nothing settled. Single definition so independent recomputations can be
+// compared bit-for-bit in reconciliation checks.
+double PagesPerSettledNode(std::uint64_t network_pages,
+                           std::uint64_t settled_nodes);
 
 // One JSON object per line: a build-info stamp, then every counter, gauge,
 // and histogram in `registry` (histograms carry count/sum plus the

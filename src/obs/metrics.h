@@ -168,6 +168,46 @@ struct ThreadCounters {
     return network_hits + network_misses;
   }
   std::uint64_t index_accesses() const { return index_hits + index_misses; }
+
+  // Field-wise difference of this block against an earlier snapshot of the
+  // SAME thread's block. Counters subtract; the heap fields carry the
+  // current level and the window's high-water mark. The substrate for
+  // intra-query parallelism: a helper task snapshots its thread's block
+  // around the work, and the query thread Absorbs the delta so its own
+  // StatsScope/QueryGuard/TraceSession windows see the helper's work.
+  ThreadCounters Delta(const ThreadCounters& since) const {
+    ThreadCounters d;
+    d.network_hits = network_hits - since.network_hits;
+    d.network_misses = network_misses - since.network_misses;
+    d.index_hits = index_hits - since.index_hits;
+    d.index_misses = index_misses - since.index_misses;
+    d.settled_nodes = settled_nodes - since.settled_nodes;
+    d.dominance_tests = dominance_tests - since.dominance_tests;
+    d.cache_wavefront_hits = cache_wavefront_hits - since.cache_wavefront_hits;
+    d.cache_wavefront_misses =
+        cache_wavefront_misses - since.cache_wavefront_misses;
+    d.cache_memo_hits = cache_memo_hits - since.cache_memo_hits;
+    d.cache_memo_misses = cache_memo_misses - since.cache_memo_misses;
+    d.heap_value = heap_value;
+    d.heap_peak = heap_peak;
+    return d;
+  }
+
+  // Adds a Delta()-produced block into this one. Never absorb a delta into
+  // the thread that produced it — the work is already counted there.
+  void Absorb(const ThreadCounters& delta) {
+    network_hits += delta.network_hits;
+    network_misses += delta.network_misses;
+    index_hits += delta.index_hits;
+    index_misses += delta.index_misses;
+    settled_nodes += delta.settled_nodes;
+    dominance_tests += delta.dominance_tests;
+    cache_wavefront_hits += delta.cache_wavefront_hits;
+    cache_wavefront_misses += delta.cache_wavefront_misses;
+    cache_memo_hits += delta.cache_memo_hits;
+    cache_memo_misses += delta.cache_memo_misses;
+    MergeHeapPeak(delta.heap_peak);
+  }
 };
 
 // The calling thread's counter block.

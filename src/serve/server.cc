@@ -473,6 +473,14 @@ MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
     }
   }
   if (method == "GET" && path == "/metrics") {
+    // Level-style gauges refresh on read: bring the shard-balance gauges
+    // up to date before the registry is serialized.
+    if (executor_->dataset().graph_buffer != nullptr) {
+      executor_->dataset().graph_buffer->shard_balance();
+    }
+    if (executor_->dataset().index_buffer != nullptr) {
+      executor_->dataset().index_buffer->shard_balance();
+    }
     return {HttpResponse(200, "text/plain; version=0.0.4",
                          obs::PrometheusText(
                              *registry_,
@@ -597,6 +605,34 @@ std::string MsqServer::StatzJson() const {
   AppendJsonNumber(&out, static_cast<double>(admission_.pending()));
   out += ",\"draining\":";
   out += draining_.load(std::memory_order_relaxed) ? "true" : "false";
+  // Buffer-pool shard balance (storage/buffer_manager.h): the first place
+  // to look when multi-core throughput stalls on a hot lock stripe.
+  const auto append_pool = [&out](const char* name,
+                                  const BufferManager* pool) {
+    if (pool == nullptr) return;
+    const ShardBalanceStats balance = pool->shard_balance();
+    out += ",\"";
+    out += name;
+    out += "\":{\"shards\":";
+    AppendJsonNumber(&out, static_cast<double>(balance.shard_count));
+    out += ",\"resident_pages\":";
+    AppendJsonNumber(&out, static_cast<double>(pool->resident_pages()));
+    out += ",\"shard_occupancy_min\":";
+    AppendJsonNumber(&out, static_cast<double>(balance.min_occupancy));
+    out += ",\"shard_occupancy_max\":";
+    AppendJsonNumber(&out, static_cast<double>(balance.max_occupancy));
+    out += ",\"shard_occupancy_ratio\":";
+    AppendJsonNumber(&out, balance.occupancy_ratio);
+    out += ",\"shard_access_min\":";
+    AppendJsonNumber(&out, static_cast<double>(balance.min_accesses));
+    out += ",\"shard_access_max\":";
+    AppendJsonNumber(&out, static_cast<double>(balance.max_accesses));
+    out += ",\"shard_access_ratio\":";
+    AppendJsonNumber(&out, balance.access_ratio);
+    out += "}";
+  };
+  append_pool("network_buffer", executor_->dataset().graph_buffer);
+  append_pool("index_buffer", executor_->dataset().index_buffer);
   out += "}";
   return out;
 }

@@ -49,6 +49,8 @@ void BufferManager::AttachMetrics(obs::MetricsRegistry* registry,
   metric_misses_ = registry->counter(base + ".misses");
   metric_evictions_ = registry->counter(base + ".evictions");
   metric_writebacks_ = registry->counter(base + ".writebacks");
+  metric_occupancy_ratio_ = registry->gauge(base + ".shard_occupancy_ratio");
+  metric_access_ratio_ = registry->gauge(base + ".shard_access_ratio");
   if (prefix == obs::metric::kNetworkBufferPrefix) {
     role_ = BufferRole::kNetwork;
   } else if (prefix == obs::metric::kIndexBufferPrefix) {
@@ -123,6 +125,7 @@ StatusOr<PageGuard> BufferManager::Fetch(PageId id, bool mark_dirty) {
   const std::size_t shard_index = id % shard_count_;
   Shard& shard = shards_[shard_index];
   std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.accesses;
   if (auto it = shard.table.find(id); it != shard.table.end()) {
     CountHit();
     // Move to MRU position; list splice keeps the frame's address stable,
@@ -274,6 +277,46 @@ void BufferManager::ResetStats() {
   stats_.write_retries.store(0, std::memory_order_relaxed);
   stats_.failed_reads.store(0, std::memory_order_relaxed);
   stats_.failed_writebacks.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].accesses = 0;
+  }
+}
+
+ShardBalanceStats BufferManager::shard_balance() const {
+  ShardBalanceStats balance;
+  balance.shard_count = shard_count_;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::size_t occupancy = 0;
+    std::uint64_t accesses = 0;
+    {
+      std::lock_guard<std::mutex> lock(shards_[i].mu);
+      occupancy = shards_[i].table.size();
+      accesses = shards_[i].accesses;
+    }
+    if (i == 0) {
+      balance.min_occupancy = balance.max_occupancy = occupancy;
+      balance.min_accesses = balance.max_accesses = accesses;
+    } else {
+      balance.min_occupancy = std::min(balance.min_occupancy, occupancy);
+      balance.max_occupancy = std::max(balance.max_occupancy, occupancy);
+      balance.min_accesses = std::min(balance.min_accesses, accesses);
+      balance.max_accesses = std::max(balance.max_accesses, accesses);
+    }
+  }
+  balance.occupancy_ratio =
+      static_cast<double>(balance.max_occupancy) /
+      static_cast<double>(std::max<std::size_t>(1, balance.min_occupancy));
+  balance.access_ratio =
+      static_cast<double>(balance.max_accesses) /
+      static_cast<double>(std::max<std::uint64_t>(1, balance.min_accesses));
+  if (metric_occupancy_ratio_ != nullptr) {
+    metric_occupancy_ratio_->Update(balance.occupancy_ratio);
+  }
+  if (metric_access_ratio_ != nullptr) {
+    metric_access_ratio_->Update(balance.access_ratio);
+  }
+  return balance;
 }
 
 std::size_t BufferManager::resident_pages() const {

@@ -57,6 +57,22 @@ struct BufferStats {
   std::uint64_t accesses() const { return hits + misses; }
 };
 
+// Cross-shard balance snapshot (diagnostics for the lock-striping design:
+// a hot shard serializes its callers, so skew here is the first thing to
+// check when multi-core scaling stalls). Occupancy counts resident pages
+// per shard; accesses counts cumulative Fetch calls per shard. Ratios are
+// max over min with the min clamped to 1, so an empty pool reads as
+// perfectly balanced rather than dividing by zero.
+struct ShardBalanceStats {
+  std::size_t shard_count = 0;
+  std::size_t min_occupancy = 0;
+  std::size_t max_occupancy = 0;
+  std::uint64_t min_accesses = 0;
+  std::uint64_t max_accesses = 0;
+  double occupancy_ratio = 1.0;
+  double access_ratio = 1.0;
+};
+
 // How the pool reacts to transient (kUnavailable) disk errors. Permanent
 // errors (kIoError, kCorruption, kInvalidArgument) are never retried — a
 // checksum mismatch does not heal on re-read from the same cold medium.
@@ -179,6 +195,12 @@ class BufferManager {
   BufferStats stats() const;
   void ResetStats();
 
+  // Occupancy/traffic balance across the lock stripes. When the pool is
+  // metric-attached this also refreshes the `<prefix>.shard_occupancy_ratio`
+  // and `<prefix>.shard_access_ratio` gauges, so a /statz poll keeps the
+  // Prometheus view current.
+  ShardBalanceStats shard_balance() const;
+
   // Mirrors hit/miss/eviction/writeback counts into `registry` counters
   // named "<prefix>.hits" etc (prefix: obs::metric::kNetworkBufferPrefix or
   // kIndexBufferPrefix for the two query-stack roles; those two prefixes
@@ -215,6 +237,9 @@ class BufferManager {
     std::list<Frame> lru;  // most-recently-used at front
     std::unordered_map<PageId, std::list<Frame>::iterator> table;
     std::size_t capacity = 1;
+    // Cumulative Fetch calls landing on this stripe (guarded by mu; feeds
+    // ShardBalanceStats, reset by ResetStats).
+    std::uint64_t accesses = 0;
   };
 
   // Live atomic counters behind the BufferStats snapshot.
@@ -260,6 +285,8 @@ class BufferManager {
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_evictions_ = nullptr;
   obs::Counter* metric_writebacks_ = nullptr;
+  obs::Gauge* metric_occupancy_ratio_ = nullptr;
+  obs::Gauge* metric_access_ratio_ = nullptr;
 };
 
 }  // namespace msq

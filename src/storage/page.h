@@ -21,6 +21,66 @@ struct Page {
   std::array<std::byte, kPageSize> data{};
 };
 
+// --- varint / zigzag primitives -----------------------------------------
+//
+// LEB128 unsigned varints plus zigzag mapping for signed deltas. Used by
+// the CSR adjacency page format (graph_pager) where neighbor ids are
+// delta-encoded: after a space-filling-curve relabel the deltas are small,
+// so most neighbors cost 1-2 bytes instead of 4.
+
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+inline std::size_t VarintEncodedSize(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Writes `v` at `dst` (which must have kMaxVarintBytes available) and
+// returns the number of bytes written.
+inline std::size_t EncodeVarint(std::uint64_t v, std::byte* dst) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    dst[n++] = static_cast<std::byte>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  dst[n++] = static_cast<std::byte>(v);
+  return n;
+}
+
+// Bounded decode: reads a varint from [*cursor, end). On success advances
+// *cursor past it and returns true; returns false on truncation or a
+// varint longer than kMaxVarintBytes (corrupt input, never aborts).
+inline bool DecodeVarint(const std::byte** cursor, const std::byte* end,
+                         std::uint64_t* value) {
+  std::uint64_t result = 0;
+  std::uint32_t shift = 0;
+  const std::byte* p = *cursor;
+  while (p < end && shift < 7 * kMaxVarintBytes) {
+    const auto byte = static_cast<std::uint8_t>(*p++);
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *cursor = p;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
 // Sequential typed writer into a page. Aborts on overflow — callers size
 // their records to the page before writing (the pagers compute capacity
 // up front).

@@ -66,6 +66,40 @@ TEST(QueryCacheTest, MemoRoundTripCountsHitsAndMisses) {
   EXPECT_GT(cache.bytes(), 0u);
 }
 
+TEST(QueryCacheTest, LayoutEpochMismatchMissesAndDropsEntry) {
+  QueryCache cache;
+  const Location source{3, 0.25};
+  cache.StoreDistance(source, 7, 1.5, /*layout_epoch=*/4);
+  ASSERT_TRUE(cache.FindDistance(source, 7, 4).has_value());
+
+  // A find under a different layout epoch is a miss and evicts the entry.
+  const std::size_t bytes_before = cache.bytes();
+  EXPECT_FALSE(cache.FindDistance(source, 7, 5).has_value());
+  EXPECT_LT(cache.bytes(), bytes_before);
+  // The entry is gone even for its original epoch.
+  EXPECT_FALSE(cache.FindDistance(source, 7, 4).has_value());
+
+  const QueryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.memo_hits, 1u);
+  EXPECT_EQ(stats.memo_misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(QueryCacheTest, WavefrontLayoutEpochMismatchMissesAndDrops) {
+  StreamFixture f(testing::MakeGridNetwork(4),
+                  {Location{0, 0.0}, Location{5, 0.0}});
+  QueryCache cache;
+  const Location source{0, 0.0};
+  NetworkNnStream stream(&f.pager, &f.mapping, source);
+  stream.Next();
+  cache.StoreWavefront(source, stream.MakeSnapshot(), /*layout_epoch=*/9);
+  EXPECT_NE(cache.FindWavefront(source, 9), nullptr);
+  EXPECT_EQ(cache.FindWavefront(source, 10), nullptr);
+  EXPECT_EQ(cache.FindWavefront(source, 9), nullptr);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
 TEST(QueryCacheTest, NegativeZeroOffsetSharesEntry) {
   QueryCache cache;
   cache.StoreDistance(Location{2, 0.0}, 4, 2.0);

@@ -196,5 +196,148 @@ TEST(WorkloadsTest, StaticAttrsWired) {
   }
 }
 
+TEST(WorkloadsTest, ContinentalPresetSizes) {
+  const auto cnt = PaperNetworkConfig(NetworkClass::kCNT);
+  EXPECT_EQ(cnt.node_count, 431590u);
+  EXPECT_EQ(cnt.edge_count, 515210u);
+  EXPECT_EQ(NetworkClassName(NetworkClass::kCNT), "CNT");
+  const auto continental = ContinentalNetworkConfig();
+  EXPECT_EQ(continental.node_count, 863180u);
+  EXPECT_EQ(continental.edge_count, 1030420u);
+}
+
+TEST(WorkloadsTest, GraphLayoutsBuildAndNameCorrectly) {
+  EXPECT_EQ(GraphLayoutName(GraphLayout::kSeed), "seed");
+  EXPECT_EQ(GraphLayoutName(GraphLayout::kHilbert), "hilbert");
+  EXPECT_EQ(GraphLayoutName(GraphLayout::kHilbertCsr), "hilbert_csr");
+  for (const GraphLayout layout :
+       {GraphLayout::kSeed, GraphLayout::kHilbert, GraphLayout::kHilbertCsr}) {
+    WorkloadConfig config;
+    config.network = NetworkGenConfig{300, 400, 31, 0.3};
+    config.graph_layout = layout;
+    Workload workload(config);
+    EXPECT_EQ(workload.graph_layout(), layout);
+    Dataset d = workload.dataset();
+    std::vector<AdjacencyEntry> adj;
+    for (NodeId node = 0; node < workload.network().node_count(); ++node) {
+      ASSERT_TRUE(d.graph_pager->AdjacencyOf(node, &adj).ok());
+      ASSERT_EQ(adj.size(), workload.network().Adjacent(node).size());
+    }
+    // Edge-keyed structures are layout-invariant.
+    EXPECT_EQ(workload.objects().size(),
+              GenerateObjectsWithDensity(workload.network(), 0.5, 7).size());
+  }
+}
+
+TEST(WorkloadsTest, RelayoutSwapsPagerAndBumpsEpoch) {
+  WorkloadConfig config;
+  config.network = NetworkGenConfig{300, 400, 32, 0.0};
+  config.landmark_count = 2;
+  Workload workload(config);
+  const std::uint64_t seed_epoch = workload.dataset().graph_pager->layout_epoch();
+  const std::size_t seed_pages = workload.dataset().graph_pager->page_count();
+  workload.Relayout(GraphLayout::kHilbertCsr);
+  Dataset d = workload.dataset();
+  EXPECT_NE(d.graph_pager->layout_epoch(), seed_epoch);
+  EXPECT_LT(d.graph_pager->page_count(), seed_pages);
+  EXPECT_NE(d.landmarks, nullptr);
+  std::vector<AdjacencyEntry> adj;
+  ASSERT_TRUE(d.graph_pager->AdjacencyOf(0, &adj).ok());
+}
+
+TEST(HilbertTest, BijectionAndUnitStepsOnSmallGrids) {
+  for (std::uint32_t order = 1; order <= 5; ++order) {
+    const std::uint32_t n = 1u << order;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> cell_of(
+        static_cast<std::size_t>(n) * n, {n, n});
+    for (std::uint32_t y = 0; y < n; ++y) {
+      for (std::uint32_t x = 0; x < n; ++x) {
+        const std::uint64_t d = HilbertIndex(order, x, y);
+        ASSERT_LT(d, cell_of.size());
+        ASSERT_EQ(cell_of[d].first, n) << "duplicate index " << d;
+        cell_of[d] = {x, y};
+      }
+    }
+    // Consecutive indices are grid neighbors (the defining property that
+    // makes the curve locality-preserving; Morton order violates it).
+    for (std::size_t d = 1; d < cell_of.size(); ++d) {
+      const auto [x0, y0] = cell_of[d - 1];
+      const auto [x1, y1] = cell_of[d];
+      const std::uint32_t manhattan =
+          (x0 > x1 ? x0 - x1 : x1 - x0) + (y0 > y1 ? y0 - y1 : y1 - y0);
+      EXPECT_EQ(manhattan, 1u) << "order " << order << " step " << d;
+    }
+  }
+}
+
+TEST(HilbertTest, KnownOrder2Curve) {
+  // The canonical 4x4 curve starting at (0,0).
+  const std::pair<std::uint32_t, std::uint32_t> expected[16] = {
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 2}, {0, 3}, {1, 3}, {1, 2},
+      {2, 2}, {2, 3}, {3, 3}, {3, 2}, {3, 1}, {2, 1}, {2, 0}, {3, 0}};
+  for (std::uint64_t d = 0; d < 16; ++d) {
+    EXPECT_EQ(HilbertIndex(2, expected[d].first, expected[d].second), d);
+  }
+}
+
+TEST(HilbertTest, NodeOrderIsPermutation) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 300,
+                                               .edge_count = 400,
+                                               .seed = 11});
+  const std::vector<NodeId> order = HilbertNodeOrder(network);
+  ASSERT_EQ(order.size(), network.node_count());
+  std::vector<bool> seen(order.size(), false);
+  for (NodeId id : order) {
+    ASSERT_LT(id, order.size());
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+}
+
+TEST(HilbertTest, RelabelPreservesEdgesAndDistances) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 250,
+                                               .edge_count = 330,
+                                               .seed = 12,
+                                               .curvature = 0.8});
+  const std::vector<NodeId> order = HilbertNodeOrder(network);
+  std::vector<NodeId> inverse(order.size());
+  for (NodeId k = 0; k < order.size(); ++k) inverse[order[k]] = k;
+
+  const RoadNetwork relabeled = RelabelNodes(network, order);
+  ASSERT_EQ(relabeled.node_count(), network.node_count());
+  ASSERT_EQ(relabeled.edge_count(), network.edge_count());
+  for (EdgeId e = 0; e < network.edge_count(); ++e) {
+    const auto& old_edge = network.EdgeAt(e);
+    const auto& new_edge = relabeled.EdgeAt(e);
+    EXPECT_EQ(new_edge.u, inverse[old_edge.u]);
+    EXPECT_EQ(new_edge.v, inverse[old_edge.v]);
+    // Bit-exact: relabeling must not perturb any network distance.
+    EXPECT_EQ(new_edge.length, old_edge.length);
+  }
+  for (NodeId id = 0; id < network.node_count(); ++id) {
+    EXPECT_EQ(relabeled.NodePosition(inverse[id]).x, network.NodePosition(id).x);
+    EXPECT_EQ(relabeled.NodePosition(inverse[id]).y, network.NodePosition(id).y);
+  }
+}
+
+TEST(HilbertTest, RelabelImprovesIdLocality) {
+  // Average |id(u) - id(v)| over edges should shrink after the relabel:
+  // the generator's insertion order carries no spatial meaning.
+  const RoadNetwork network = GenerateNetwork({.node_count = 2000,
+                                               .edge_count = 2600,
+                                               .seed = 13});
+  const RoadNetwork relabeled =
+      RelabelNodes(network, HilbertNodeOrder(network));
+  auto id_span = [](const RoadNetwork& net) {
+    double total = 0.0;
+    for (EdgeId e = 0; e < net.edge_count(); ++e) {
+      const auto& edge = net.EdgeAt(e);
+      total += edge.u > edge.v ? edge.u - edge.v : edge.v - edge.u;
+    }
+    return total / static_cast<double>(net.edge_count());
+  };
+  EXPECT_LT(id_span(relabeled), 0.5 * id_span(network));
+}
+
 }  // namespace
 }  // namespace msq

@@ -114,5 +114,83 @@ TEST(GraphPagerTest, SingleNodeNetwork) {
   EXPECT_TRUE(adj.empty());
 }
 
+TEST(GraphPagerCsrTest, DecodesIdenticallyToRowFormat) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 1500,
+                                               .edge_count = 2000,
+                                               .seed = 7,
+                                               .curvature = 0.8});
+  InMemoryDiskManager row_disk, csr_disk;
+  BufferManager row_buffer(&row_disk, 256), csr_buffer(&csr_disk, 256);
+  GraphPager row(&network, &row_buffer);
+  GraphPager csr(&network, &csr_buffer,
+                 {NodeOrdering::kAsIs, AdjacencyFormat::kCsr});
+
+  std::vector<AdjacencyEntry> row_adj, csr_adj;
+  for (NodeId node = 0; node < network.node_count(); ++node) {
+    ASSERT_TRUE(row.AdjacencyOf(node, &row_adj).ok());
+    ASSERT_TRUE(csr.AdjacencyOf(node, &csr_adj).ok());
+    ASSERT_EQ(row_adj.size(), csr_adj.size()) << "node " << node;
+    for (std::size_t i = 0; i < row_adj.size(); ++i) {
+      EXPECT_EQ(csr_adj[i].neighbor, row_adj[i].neighbor);
+      EXPECT_EQ(csr_adj[i].edge, row_adj[i].edge);
+      // Bit-exact, including recomputed Euclidean lengths.
+      EXPECT_EQ(csr_adj[i].length, row_adj[i].length);
+    }
+  }
+}
+
+TEST(GraphPagerCsrTest, CompressesStraightEdgeNetworks) {
+  // curvature = 0 ⇒ every length bit-equals the Euclidean distance and is
+  // elided; CSR should cut the page count by well over half.
+  const RoadNetwork network = GenerateNetwork({.node_count = 4000,
+                                               .edge_count = 5200,
+                                               .seed = 8});
+  InMemoryDiskManager row_disk, csr_disk;
+  BufferManager row_buffer(&row_disk, 256), csr_buffer(&csr_disk, 256);
+  GraphPager row(&network, &row_buffer);
+  const RoadNetwork hilbert = RelabelNodes(network, HilbertNodeOrder(network));
+  GraphPager csr(&hilbert, &csr_buffer,
+                 {NodeOrdering::kAsIs, AdjacencyFormat::kCsr});
+  EXPECT_LT(csr.page_count() * 2, row.page_count())
+      << "csr=" << csr.page_count() << " row=" << row.page_count();
+}
+
+TEST(GraphPagerCsrTest, RejectsCorruptPages) {
+  const RoadNetwork network = GenerateNetwork({.node_count = 800,
+                                               .edge_count = 1000,
+                                               .seed = 9});
+  InMemoryDiskManager disk;
+  BufferManager buffer(&disk, 64);
+  GraphPager csr(&network, &buffer,
+                 {NodeOrdering::kAsIs, AdjacencyFormat::kCsr});
+  // Smash the header of page 0 behind the buffer pool's back.
+  buffer.Clear();
+  Page page;
+  ASSERT_TRUE(disk.Read(0, &page).ok());
+  page.data[0] = static_cast<std::byte>(0xff);
+  ASSERT_TRUE(disk.Write(0, page).ok());
+  std::vector<AdjacencyEntry> adj;
+  std::size_t corrupt = 0;
+  for (NodeId node = 0; node < network.node_count(); ++node) {
+    const Status s = csr.AdjacencyOf(node, &adj);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+      EXPECT_TRUE(adj.empty());
+      ++corrupt;
+    }
+  }
+  EXPECT_GT(corrupt, 0u);
+}
+
+TEST(GraphPagerTest, LayoutEpochsAreUnique) {
+  RoadNetwork network = testing::MakeGridNetwork(3);
+  InMemoryDiskManager disk_a, disk_b;
+  BufferManager buffer_a(&disk_a, 16), buffer_b(&disk_b, 16);
+  GraphPager a(&network, &buffer_a);
+  GraphPager b(&network, &buffer_b);
+  EXPECT_NE(a.layout_epoch(), b.layout_epoch());
+  EXPECT_NE(a.layout_epoch(), 0u);
+}
+
 }  // namespace
 }  // namespace msq

@@ -284,6 +284,17 @@ TEST(ProfileReconcileTest, ProfileReportAggregatesPhases) {
   EXPECT_NE(report.find("lbc"), std::string::npos);
   EXPECT_NE(report.find("lbc.filter"), std::string::npos);
   EXPECT_NE(report.find("total (self sum)"), std::string::npos);
+  // The derived layout-locality section follows the table, and its shared
+  // derivation reconciles exactly with QueryStats (same integers through
+  // the same function).
+  EXPECT_NE(report.find("pages_per_settled_node"), std::string::npos);
+  const obs::SpanCounters total = result.profile->TotalCounters();
+  EXPECT_EQ(
+      obs::PagesPerSettledNode(total.network_misses, total.settled_nodes),
+      obs::PagesPerSettledNode(result.stats.network_pages,
+                               result.stats.settled_nodes));
+  EXPECT_EQ(obs::PagesPerSettledNode(0, 0), 0.0);
+  EXPECT_EQ(obs::PagesPerSettledNode(6, 4), 1.5);
 }
 
 }  // namespace

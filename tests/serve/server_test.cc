@@ -306,6 +306,9 @@ TEST(ServerTest, HttpEndpoints) {
 
   const std::string statz = http("GET /statz HTTP/1.1\r\n\r\n");
   EXPECT_NE(statz.find("\"received\""), std::string::npos);
+  EXPECT_NE(statz.find("\"network_buffer\""), std::string::npos);
+  EXPECT_NE(statz.find("\"shard_occupancy_ratio\""), std::string::npos);
+  EXPECT_NE(statz.find("\"shard_access_ratio\""), std::string::npos);
 }
 
 // Raw HTTP round trip on a fresh connection: write the request, drain

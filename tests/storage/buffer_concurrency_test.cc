@@ -36,6 +36,51 @@ void StampPages(DiskManager* disk, std::size_t count) {
   }
 }
 
+TEST(BufferManagerConcurrencyTest, UniformHammerKeepsShardsBalanced) {
+  // Uniform page traffic from many threads must spread evenly over the
+  // lock stripes: ids map to shards by modulo, so both residency and
+  // access counts should stay within a 2x max/min bound — the invariant
+  // the /statz shard gauges exist to watch.
+  constexpr std::size_t kPages = 256;
+  constexpr std::size_t kFrames = 64;
+  constexpr std::size_t kShards = 8;
+  constexpr std::size_t kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+
+  InMemoryDiskManager disk;
+  StampPages(&disk, kPages);
+  BufferManager buffer(&disk, kFrames, RetryPolicy{}, kShards);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 101);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const auto id = static_cast<PageId>(rng.NextBounded(kPages));
+        PageGuard guard = buffer.Fetch(id).value();
+        EXPECT_EQ(ReadInt(*guard), static_cast<int>(id));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const ShardBalanceStats balance = buffer.shard_balance();
+  EXPECT_EQ(balance.shard_count, kShards);
+  // Saturated pool: every stripe holds its full capacity slice.
+  EXPECT_GE(balance.min_occupancy, 1u);
+  EXPECT_LE(balance.occupancy_ratio, 2.0);
+  // 16k uniform fetches over 8 stripes: traffic skew stays under 2x too.
+  EXPECT_GT(balance.min_accesses, 0u);
+  EXPECT_LE(balance.access_ratio, 2.0);
+
+  // ResetStats restarts the per-shard access counts with the residency
+  // intact — the cold-run discipline benchmarks rely on.
+  buffer.ResetStats();
+  const ShardBalanceStats reset = buffer.shard_balance();
+  EXPECT_EQ(reset.max_accesses, 0u);
+  EXPECT_EQ(reset.max_occupancy, balance.max_occupancy);
+}
+
 TEST(BufferManagerConcurrencyTest, ReadersSeeConsistentPagesAndExactCounts) {
   constexpr std::size_t kPages = 64;
   constexpr std::size_t kFrames = 16;

@@ -8,13 +8,13 @@
 #   asan (default)  address+undefined over the full test suite
 #   tsan            thread sanitizer over the concurrency suites
 #                   (BufferManagerConcurrency / QueryExecutor /
-#                   ConcurrentHammer / Cache tests — the multi-threaded
-#                   code paths)
+#                   ConcurrentHammer / Cache / parallel-source tests — the
+#                   multi-threaded code paths)
 #
-# Also validates that the committed BENCH_throughput.json carries its host
-# metadata (hardware_concurrency) and its build-info stamp (git sha,
-# compiler, flags), so benchmark numbers are never read without knowing
-# what produced them. In asan mode, a short chaos soak then writes the
+# Also validates that the committed BENCH_throughput.json and
+# BENCH_layout.json carry their host metadata (hardware_concurrency) and
+# build-info stamp (git sha, compiler, flags), so benchmark numbers are
+# never read without knowing what produced them. In asan mode, a short chaos soak then writes the
 # wide-event JSONL and retained-trace dumps and runs them through
 # tools/validate_telemetry.py (skipped with a warning if python3 is
 # missing).
@@ -41,21 +41,24 @@ case "$mode" in
     ;;
 esac
 
-# Bench metadata gate: the committed throughput numbers must state the core
-# count of the host that produced them (bench_throughput embeds it; a file
-# without it predates the field or was hand-edited).
-bench_json="$repo_root/BENCH_throughput.json"
-if [[ -f "$bench_json" ]] && \
-   ! grep -q '"hardware_concurrency"' "$bench_json"; then
-  echo "check.sh: $bench_json lacks \"hardware_concurrency\" —" \
-       "re-run bench_throughput to regenerate it" >&2
-  exit 1
-fi
-if [[ -f "$bench_json" ]] && ! grep -q '"build_info"' "$bench_json"; then
-  echo "check.sh: $bench_json lacks the \"build_info\" stamp —" \
-       "re-run bench_throughput to regenerate it" >&2
-  exit 1
-fi
+# Bench metadata gate: committed benchmark numbers must state the core
+# count of the host that produced them and carry a build-info stamp (the
+# bench binaries embed both; a file without them predates the fields or
+# was hand-edited).
+for bench_json in "$repo_root/BENCH_throughput.json" \
+                  "$repo_root/BENCH_layout.json"; do
+  [[ -f "$bench_json" ]] || continue
+  if ! grep -q '"hardware_concurrency"' "$bench_json"; then
+    echo "check.sh: $bench_json lacks \"hardware_concurrency\" —" \
+         "re-run its bench binary to regenerate it" >&2
+    exit 1
+  fi
+  if ! grep -q '"build_info"' "$bench_json"; then
+    echo "check.sh: $bench_json lacks the \"build_info\" stamp —" \
+         "re-run its bench binary to regenerate it" >&2
+    exit 1
+  fi
+done
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -90,7 +93,7 @@ if [[ "$mode" == "tsan" ]]; then
   # actually run threads. second_deadlock_stack aids lock-order reports.
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
     ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-      -R "Concurrency|Executor|Hammer|Cache|ServerTest|AdmissionTest|DeadlineRace"
+      -R "Concurrency|Executor|Hammer|Cache|ServerTest|AdmissionTest|DeadlineRace|Parallel"
 else
   # halt_on_error makes UBSan findings fail the run instead of just logging.
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \

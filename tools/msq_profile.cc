@@ -137,6 +137,20 @@ bool ReconcileProfile(const obs::QueryProfile& profile,
   check("cache memo hits", total.cache_memo_hits, stats.cache_memo_hits);
   check("cache memo misses", total.cache_memo_misses,
         stats.cache_memo_misses);
+  // The derived pages_per_settled_node figure must reconcile too: the
+  // span-side and QueryStats-side derivations divide the same integers
+  // through the same function, so they must agree bit-for-bit.
+  const double from_spans =
+      obs::PagesPerSettledNode(total.network_misses, total.settled_nodes);
+  const double from_stats = obs::PagesPerSettledNode(
+      stats.network_pages, stats.settled_nodes);
+  if (from_spans != from_stats) {
+    std::fprintf(stderr,
+                 "reconciliation FAILED: pages_per_settled_node — span "
+                 "derivation %.17g != QueryStats derivation %.17g\n",
+                 from_spans, from_stats);
+    ok = false;
+  }
   return ok;
 }
 
