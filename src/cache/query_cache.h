@@ -87,17 +87,19 @@ class QueryCache {
 
   explicit QueryCache(QueryCacheConfig config = QueryCacheConfig{});
 
-  // Every entry is stamped with the GraphPager layout epoch it was built
+  // Every entry is stamped with the GraphPager data epoch it was built
   // against (`layout_epoch` parameters below; see
-  // GraphPager::layout_epoch()). A Find under a different epoch treats the
-  // entry as a miss AND drops it. Wavefront snapshots hold node-indexed
+  // GraphPager::data_epoch(), which starts at layout_epoch() and advances
+  // past every committed mutation). A Find under a different epoch treats
+  // the entry as a miss AND drops it. Wavefront snapshots hold node-indexed
   // state (settled bitmaps, frontier heaps), so resuming one against a
-  // renumbered graph would be silent corruption — its size even matches.
+  // renumbered graph — or against a graph whose edge weights or resident
+  // objects changed — would be silent corruption; its size even matches.
   // Distance memos are edge-keyed and would survive a pure relabel, but
-  // they are stamped under the same rule: an epoch change marks "the paged
-  // graph was rebuilt", and one invalidation rule for both tiers is the
-  // safe one. The default 0 keeps single-layout callers (tests, direct use
-  // without a pager) on one consistent namespace.
+  // they are stamped under the same rule: an epoch change marks "the world
+  // the entry was computed in is gone", and one invalidation rule for both
+  // tiers is the safe one. The default 0 keeps single-layout callers
+  // (tests, direct use without a pager) on one consistent namespace.
 
   // --- Wavefront tier ---------------------------------------------------
 

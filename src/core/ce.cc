@@ -27,7 +27,7 @@ std::vector<std::unique_ptr<NetworkNnStream>> OpenStreams(
     QueryCache::WavefrontPtr resume;
     if (dataset.cache != nullptr) {
       resume = dataset.cache->FindWavefront(
-          source, dataset.graph_pager->layout_epoch());
+          source, dataset.graph_pager->data_epoch());
     }
     streams.push_back(std::make_unique<NetworkNnStream>(
         dataset.graph_pager, dataset.mapping, source, resume.get()));
@@ -51,7 +51,7 @@ void StoreStreams(
       continue;
     }
     dataset.cache->StoreWavefront(spec.sources[q], streams[q]->MakeSnapshot(),
-                                  dataset.graph_pager->layout_epoch());
+                                  dataset.graph_pager->data_epoch());
   }
 }
 
@@ -310,7 +310,7 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
       // the point-to-point paths EDC/LBC would otherwise recompute.
       dataset.cache->StoreDistance(spec.sources[qi], visit->object,
                                    visit->distance,
-                                   dataset.graph_pager->layout_epoch());
+                                   dataset.graph_pager->data_epoch());
     }
     ObjectState& obj = state[visit->object];
     if (!visited_once[visit->object]) {
@@ -474,7 +474,7 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
       // Exact emission distance — harvest into the cross-query memo.
       dataset.cache->StoreDistance(spec.sources[qi], visit->object,
                                    visit->distance,
-                                   dataset.graph_pager->layout_epoch());
+                                   dataset.graph_pager->data_epoch());
     }
 
     ObjectState& obj = state[visit->object];

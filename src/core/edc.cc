@@ -26,7 +26,7 @@ class EdcRunner {
       CachedWavefront wavefront;
       if (dataset.cache != nullptr) {
         wavefront.snapshot = dataset.cache->FindWavefront(
-            source, dataset.graph_pager->layout_epoch());
+            source, dataset.graph_pager->data_epoch());
         if (wavefront.snapshot != nullptr) {
           wavefront.radius = CheckpointRadius(wavefront.snapshot->search);
         }
@@ -47,7 +47,7 @@ class EdcRunner {
     if (cache == nullptr) return searches_[i]->DistanceTo(loc);
     if (const std::optional<Dist> memo =
             cache->FindDistance(spec_.sources[i], id,
-                                dataset_.graph_pager->layout_epoch())) {
+                                dataset_.graph_pager->data_epoch())) {
       return *memo;
     }
     const CachedWavefront& wavefront = wavefronts_[i];
@@ -57,13 +57,13 @@ class EdcRunner {
                           wavefront.radius, spec_.sources[i], loc);
       if (probe.exact) {
         cache->StoreDistance(spec_.sources[i], id, probe.bound,
-                             dataset_.graph_pager->layout_epoch());
+                             dataset_.graph_pager->data_epoch());
         return probe.bound;
       }
     }
     const Dist dist = searches_[i]->DistanceTo(loc);
     cache->StoreDistance(spec_.sources[i], id, dist,
-                         dataset_.graph_pager->layout_epoch());
+                         dataset_.graph_pager->data_epoch());
     return dist;
   }
 

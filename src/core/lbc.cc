@@ -60,7 +60,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
   if (dataset.cache != nullptr) {
     for (std::size_t i = 0; i < n; ++i) {
       wavefronts[i] = dataset.cache->FindWavefront(
-          spec.sources[i], dataset.graph_pager->layout_epoch());
+          spec.sources[i], dataset.graph_pager->data_epoch());
       if (wavefronts[i] != nullptr) {
         wavefront_radius[i] = CheckpointRadius(wavefronts[i]->search);
       }
@@ -75,7 +75,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     if (cache == nullptr) return std::nullopt;
     if (const std::optional<Dist> memo =
             cache->FindDistance(spec.sources[qi], id,
-                                dataset.graph_pager->layout_epoch())) {
+                                dataset.graph_pager->data_epoch())) {
       return memo;
     }
     if (wavefronts[qi] != nullptr) {
@@ -84,7 +84,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
                           wavefront_radius[qi], spec.sources[qi], loc);
       if (probe.exact) {
         cache->StoreDistance(spec.sources[qi], id, probe.bound,
-                             dataset.graph_pager->layout_epoch());
+                             dataset.graph_pager->data_epoch());
         return probe.bound;
       }
     }
@@ -101,7 +101,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     const Dist dist = search_for(qi).DistanceTo(loc);
     if (dataset.cache != nullptr) {
       dataset.cache->StoreDistance(spec.sources[qi], id, dist,
-                                   dataset.graph_pager->layout_epoch());
+                                   dataset.graph_pager->data_epoch());
     }
     return dist;
   };
@@ -364,7 +364,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
           // included, so unreachability is also remembered).
           dataset.cache->StoreDistance(spec.sources[best_dim], cand.object,
                                        bound[best_dim],
-                                       dataset.graph_pager->layout_epoch());
+                                       dataset.graph_pager->data_epoch());
         }
         if (!std::isfinite(bound[best_dim])) {
           // Unreachable from some query point: excluded by the library's

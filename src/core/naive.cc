@@ -66,6 +66,10 @@ SkylineResult RunNaiveBody(const Dataset& dataset,
   result.stats.candidate_count = dataset.object_count();
   bool first = true;
   for (const std::size_t idx : skyline) {
+    // Tombstoned objects have all-infinite network vectors, which never
+    // dominate anything but can survive the skyline pass when static
+    // attributes are appended — skip them explicitly.
+    if (!dataset.mapping->IsLive(static_cast<ObjectId>(idx))) continue;
     SkylineEntry entry;
     entry.object = static_cast<ObjectId>(idx);
     entry.vector = vectors[idx];

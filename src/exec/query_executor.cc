@@ -122,6 +122,23 @@ std::future<SkylineResult> QueryExecutor::Submit(QueryRequest request) {
   return future;
 }
 
+std::future<Status> QueryExecutor::SubmitExclusive(
+    std::function<Status()> fn) {
+  MSQ_CHECK(fn != nullptr);
+  ExclusiveJob job;
+  job.fn = std::move(fn);
+  std::future<Status> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MSQ_CHECK(!stopping_);
+    exclusive_queue_.push_back(std::move(job));
+  }
+  // All workers: one will claim the barrier, the rest must re-evaluate
+  // their dequeue predicate (normal dequeue is now barred).
+  cv_.notify_all();
+  return future;
+}
+
 std::vector<SkylineResult> QueryExecutor::RunBatch(
     std::vector<QueryRequest> requests) {
   std::vector<std::future<SkylineResult>> futures;
@@ -144,7 +161,9 @@ std::size_t QueryExecutor::pending() const {
 
 void QueryExecutor::Quiesce() const {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] {
+    return queue_.empty() && exclusive_queue_.empty() && active_ == 0;
+  });
 }
 
 void QueryExecutor::WorkerLoop() {
@@ -156,8 +175,23 @@ void QueryExecutor::WorkerLoop() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      cv_.wait(lock, [this] {
+        // Drained and stopping: exit. Otherwise nothing is claimable while
+        // an exclusive job holds the barrier; with the barrier down, an
+        // exclusive job outranks queued queries.
+        if (stopping_ && queue_.empty() && exclusive_queue_.empty()) {
+          return true;
+        }
+        if (exclusive_running_) return false;
+        return !exclusive_queue_.empty() || !queue_.empty();
+      });
+      if (queue_.empty() && exclusive_queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      if (!exclusive_queue_.empty()) {
+        RunExclusive(lock);
+        continue;
+      }
       job = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
@@ -222,9 +256,40 @@ void QueryExecutor::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      // Unconditional on active_ == 0: besides Quiesce (which re-checks
+      // the queues), a claimed exclusive job waits on this cv for the
+      // in-flight queries to drain.
+      if (active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+void QueryExecutor::RunExclusive(std::unique_lock<std::mutex>& lock) {
+  // Raise the barrier first: no worker dequeues anything (query or
+  // exclusive) past this point, so active_ can only drain.
+  exclusive_running_ = true;
+  idle_cv_.wait(lock, [this] { return active_ == 0; });
+  ExclusiveJob job = std::move(exclusive_queue_.front());
+  exclusive_queue_.pop_front();
+  ++active_;
+  lock.unlock();
+  // Sole active job: the mutation may allocate pages, rewrite records, and
+  // resweep in-memory tables with no reader in flight.
+  try {
+    job.promise.set_value(job.fn());
+  } catch (const StorageFault& fault) {
+    job.promise.set_value(fault.status());
+  } catch (...) {
+    job.promise.set_exception(std::current_exception());
+  }
+  lock.lock();
+  --active_;
+  exclusive_running_ = false;
+  if (active_ == 0) idle_cv_.notify_all();
+  lock.unlock();
+  // Barrier down: wake everyone for the queued queries (and any further
+  // exclusive jobs).
+  cv_.notify_all();
 }
 
 }  // namespace msq

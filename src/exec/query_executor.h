@@ -25,6 +25,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "cache/query_cache.h"
+#include "common/status.h"
 #include "core/query.h"
 #include "core/skyline_query.h"
 #include "exec/task_pool.h"
@@ -100,6 +102,16 @@ class QueryExecutor {
   // request order regardless of which worker finished when.
   std::vector<SkylineResult> RunBatch(std::vector<QueryRequest> requests);
 
+  // Enqueues `fn` as an exclusive write job. The worker that claims it
+  // first waits for every in-flight query to finish, then runs `fn` as the
+  // only active job in the pool; queries queued behind it (and further
+  // exclusive jobs) resume once it returns. This is the barrier the
+  // dynamic-world mutations (gen/workloads.h) run under: they allocate and
+  // rewrite pages that concurrent readers would otherwise race. Nothing
+  // throws across the queue — a StorageFault from `fn` resolves the future
+  // to its status.
+  std::future<Status> SubmitExclusive(std::function<Status()> fn);
+
   std::size_t worker_count() const { return workers_.size(); }
 
   // Queued-but-unstarted jobs (diagnostics; racy by nature).
@@ -143,11 +155,22 @@ class QueryExecutor {
     double enqueued_at = 0.0;
   };
 
+  struct ExclusiveJob {
+    std::function<Status()> fn;
+    std::promise<Status> promise;
+  };
+
   QueryExecutor(Dataset dataset, std::size_t workers,
                 std::unique_ptr<QueryCache> cache,
                 const obs::TelemetryConfig& telemetry_config);
 
   void WorkerLoop();
+
+  // Claims the front exclusive job. Entered with `lock` held and the
+  // barrier down; drains in-flight queries, runs the job unlocked as the
+  // only active one, then lowers the barrier. Returns with `lock`
+  // released.
+  void RunExclusive(std::unique_lock<std::mutex>& lock);
 
   // Declared before dataset_: the dataset view is rewired to point at the
   // owned cache during construction.
@@ -163,7 +186,11 @@ class QueryExecutor {
   // with nothing left queued or running; Quiesce waits on it.
   mutable std::condition_variable idle_cv_;
   std::deque<Job> queue_;
+  std::deque<ExclusiveJob> exclusive_queue_;
   std::size_t active_ = 0;  // jobs dequeued but not fully finished
+  // An exclusive job has been claimed and not yet finished; all other
+  // dequeuing (query or exclusive) is barred until it clears.
+  bool exclusive_running_ = false;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -201,13 +201,15 @@ void Workload::BuildStack(const WorkloadConfig& config) {
     object_rtree_->BulkLoad(std::move(entries));
   }
 
+  attr_seed_ = config.object_seed ^ 0x5eedf00dULL;
   if (!custom_attrs_.empty()) {
     MSQ_CHECK(custom_attrs_.size() == objects_.size());
     attrs_ = std::move(custom_attrs_);
+    static_attr_dims_ = attrs_.front().size();
   } else if (config.static_attr_dims > 0) {
+    static_attr_dims_ = config.static_attr_dims;
     attrs_ = GenerateStaticAttributes(objects_.size(),
-                                      config.static_attr_dims,
-                                      config.object_seed ^ 0x5eedf00dULL);
+                                      config.static_attr_dims, attr_seed_);
   }
   landmark_count_ = config.landmark_count;
   landmark_seed_ = config.network.seed ^ 0xa17aULL;
@@ -245,10 +247,16 @@ void Workload::Relayout(GraphLayout layout) {
     network_ = RelabelNodes(network_, HilbertNodeOrder(network_));
   }
   graph_layout_ = layout;
-  // A fresh pager draws a fresh layout_epoch, so epoch-stamped cache
-  // entries from the old layout become unreachable. The old pager's pages
-  // stay allocated in the disk backend (build-time waste only; Relayout is
-  // a bench/test facility, not a serving-path operation).
+  // Return the old pager's pages to the free list before building the new
+  // one, so the rebuild reuses the slots instead of growing the backing
+  // store (repeated relayouts stay bounded). Relayout runs with no queries
+  // in flight, so no frame is pinned and Free cannot fail.
+  for (const PageId page : graph_pager_->pages()) {
+    MSQ_CHECK(graph_buffer_->FreePage(page).ok());
+  }
+  // A fresh pager draws a fresh layout_epoch (and starts its data_epoch
+  // there), so epoch-stamped cache entries from the old layout become
+  // unreachable.
   graph_pager_ = std::make_unique<GraphPager>(&network_, graph_buffer_.get(),
                                               PagerOptionsFor(layout));
   if (landmark_count_ > 0) {
@@ -258,6 +266,108 @@ void Workload::Relayout(GraphLayout layout) {
                                                  landmark_seed_);
   }
   ResetBuffers();
+}
+
+StatusOr<Dist> Workload::UpdateEdgeWeight(EdgeId edge, Dist length) {
+  MSQ_CHECK(edge < network_.edge_count());
+  const Dist old_length = network_.EdgeAt(edge).length;
+  // The network commit is infallible; everything after converges to the
+  // new length even through storage errors.
+  const Dist applied = network_.UpdateEdgeLength(edge, length);
+  const double scale = old_length > 0.0 ? applied / old_length : 0.0;
+  Status status = mapping_->RefreshEdgeObjects(edge, scale);
+  if (!status.ok()) {
+    // The location table is already rescaled; restore tree agreement from
+    // it. A rebuild failure supersedes the refresh failure.
+    if (const Status rebuilt = mapping_->RebuildIndex(); !rebuilt.ok()) {
+      status = rebuilt;
+    }
+  }
+  if (const Status refreshed = graph_pager_->RefreshEdge(edge);
+      !refreshed.ok() && status.ok()) {
+    status = refreshed;
+  }
+  if (landmarks_ != nullptr) landmarks_->Resweep();
+  objects_ = mapping_->locations();
+  // Bump even on failure: it only costs cache warmth, while a missed bump
+  // after a partial change would serve stale results.
+  graph_pager_->BumpDataEpoch();
+  if (!status.ok()) return status;
+  return applied;
+}
+
+StatusOr<ObjectId> Workload::InsertObject(const Location& loc) {
+  if (!network_.IsValidLocation(loc)) {
+    return Status::InvalidArgument("object location invalid");
+  }
+  Status status;
+  ObjectId id = kInvalidObject;
+  StatusOr<ObjectId> inserted = mapping_->InsertObject(loc);
+  if (!inserted.ok()) {
+    status = inserted.status();
+    // A failed tree insert can leave the B+-tree mid-split; the location
+    // table (which does not yet contain the object) is the recovery source.
+    if (const Status rebuilt = mapping_->RebuildIndex(); !rebuilt.ok()) {
+      status = rebuilt;
+    }
+  } else {
+    id = *inserted;
+    if (static_attr_dims_ > 0) {
+      // One deterministic row per id, so reruns of the same churn schedule
+      // generate identical attributes.
+      attrs_.push_back(GenerateStaticAttributes(
+                           1, static_attr_dims_,
+                           attr_seed_ ^ (0x9e3779b97f4a7c15ULL * (id + 1)))
+                           .front());
+    }
+    status = object_rtree_->InsertChecked(
+        Mbr::FromPoint(mapping_->ObjectPosition(id)), id);
+    if (!status.ok()) {
+      // Undo the middle-layer registration; the id stays burned as a
+      // tombstone (its attribute row, if any, is retained — per-object
+      // arrays are sized by object_count()).
+      if (StatusOr<bool> undone = mapping_->DeleteObject(id); !undone.ok()) {
+        (void)mapping_->RebuildIndex();
+      }
+    }
+  }
+  objects_ = mapping_->locations();
+  graph_pager_->BumpDataEpoch();
+  if (!status.ok()) return status;
+  return id;
+}
+
+StatusOr<bool> Workload::DeleteObject(ObjectId id) {
+  if (id >= mapping_->object_count() || !mapping_->IsLive(id)) {
+    // Clean no-op: nothing changed, keep the caches warm.
+    return false;
+  }
+  const Mbr mbr = Mbr::FromPoint(mapping_->ObjectPosition(id));
+  // R-tree first: its checked delete is atomic, and a later middle-layer
+  // failure can undo it with an equally atomic insert. The reverse order
+  // could leave a live R-tree entry pointing at a tombstoned location,
+  // which crashes Euclidean browsers.
+  Status status;
+  StatusOr<bool> rtree_removed = object_rtree_->DeleteChecked(mbr, id);
+  if (!rtree_removed.ok()) {
+    status = rtree_removed.status();
+  } else {
+    MSQ_CHECK(*rtree_removed);
+    StatusOr<bool> removed = mapping_->DeleteObject(id);
+    if (!removed.ok()) {
+      status = removed.status();
+      // The object is still live in the location table; restore the tree
+      // and the R-tree entry to match.
+      (void)mapping_->RebuildIndex();
+      (void)object_rtree_->InsertChecked(mbr, id);
+    } else {
+      MSQ_CHECK(*removed);
+    }
+  }
+  objects_ = mapping_->locations();
+  graph_pager_->BumpDataEpoch();
+  if (!status.ok()) return status;
+  return true;
 }
 
 void Workload::ResetBuffers() {

@@ -116,6 +116,34 @@ class Workload {
   // Benchmarks call this before each measured run.
   void ResetBuffers();
 
+  // --- dynamic world ----------------------------------------------------
+  //
+  // The mutation orchestrators below run at build time or under the
+  // executor's exclusive write barrier (QueryExecutor::SubmitExclusive),
+  // never concurrently with queries. Every call — success or failure —
+  // bumps the pager's data_epoch(), so cached wavefronts, distance memos,
+  // and probe bounds from before the mutation are unreachable afterwards.
+  // On a storage error the stack converges to a consistent world (the
+  // in-memory tables are authoritative; the B+-tree is rebuilt from them)
+  // and the error is surfaced for accounting.
+
+  // Reassigns edge `edge`'s length end to end: network CSR mirrors, object
+  // offsets (rescaled proportionally, so planar positions and both R-trees
+  // are untouched), middle-layer endpoint distances, paged adjacency
+  // records, and the landmark tables when present. Returns the applied
+  // length (clamped up to the endpoint Euclidean distance).
+  StatusOr<Dist> UpdateEdgeWeight(EdgeId edge, Dist length);
+
+  // Adds an object at `loc` through the middle layer and object R-tree;
+  // returns its fresh id. A static-attribute row is generated when the
+  // workload carries static attributes.
+  StatusOr<ObjectId> InsertObject(const Location& loc);
+
+  // Tombstones object `id` (middle layer + object R-tree; the id stays
+  // allocated). Returns whether it was live. A clean "not live" no-op does
+  // not bump the data epoch.
+  StatusOr<bool> DeleteObject(ObjectId id);
+
   // Rebuilds the graph pager under `layout`, relabeling node ids when the
   // layout calls for it (and rebuilding the node-keyed landmark index).
   // Objects, queries, and results are unaffected — but node ids and the
@@ -161,6 +189,8 @@ class Workload {
   std::unique_ptr<LandmarkIndex> landmarks_;
   std::vector<DistVector> attrs_;
   GraphLayout graph_layout_ = GraphLayout::kSeed;
+  std::size_t static_attr_dims_ = 0;
+  std::uint64_t attr_seed_ = 0;
   std::size_t landmark_count_ = 0;
   std::uint64_t landmark_seed_ = 0;
   std::uint64_t query_seed_mix_ = 0;

@@ -26,6 +26,25 @@ std::size_t RowRecordBytes(std::size_t degree) {
   return kRecordHeaderBytes + degree * kNeighborBytes;
 }
 
+// Serializes `node`'s adjacency list in the fixed-size row format.
+void EncodeRowRecord(const RoadNetwork& network, NodeId node,
+                     std::vector<std::byte>* out) {
+  const auto adj = network.Adjacent(node);
+  out->resize(RowRecordBytes(adj.size()));
+  std::byte* dst = out->data();
+  const auto deg32 = static_cast<std::uint32_t>(adj.size());
+  std::memcpy(dst, &deg32, sizeof(deg32));
+  dst += sizeof(deg32);
+  for (const AdjacencyEntry& entry : adj) {
+    std::memcpy(dst, &entry.neighbor, sizeof(entry.neighbor));
+    dst += sizeof(entry.neighbor);
+    std::memcpy(dst, &entry.edge, sizeof(entry.edge));
+    dst += sizeof(entry.edge);
+    std::memcpy(dst, &entry.length, sizeof(entry.length));
+    dst += sizeof(entry.length);
+  }
+}
+
 // CSR pages open with a format-versioned header so a misdirected or
 // stale page is rejected before any varint is trusted. (Row pages are the
 // seed format and stay headerless for byte-compatibility.)
@@ -52,8 +71,14 @@ static_assert(std::is_trivially_copyable_v<CsrPageHeader>);
 // endpoints (every unclamped straight edge), which the decoder recomputes
 // instead of storing — with delta-coded ids this shrinks a degree-3
 // straight-edge record from 52 bytes to ~8.
+// `*elided_out` (optional) counts the elided lengths: the record can grow
+// by at most 8 bytes per elided length under future edge-weight updates,
+// which is how RefreshEdge sizes relocation slots.
 void EncodeCsrRecord(const RoadNetwork& network, NodeId node,
-                     std::vector<std::byte>* out) {
+                     std::vector<std::byte>* out,
+                     std::size_t* elided_out = nullptr) {
+  out->clear();
+  if (elided_out != nullptr) *elided_out = 0;
   const auto adj = network.Adjacent(node);
   std::byte scratch[kMaxVarintBytes];
   auto put = [&](std::uint64_t v) {
@@ -68,6 +93,7 @@ void EncodeCsrRecord(const RoadNetwork& network, NodeId node,
     const Dist euclid = EuclideanDistance(network.NodePosition(node),
                                           network.NodePosition(entry.neighbor));
     const bool euclid_length = entry.length == euclid;
+    if (euclid_length && elided_out != nullptr) ++*elided_out;
     const std::int64_t delta =
         static_cast<std::int64_t>(entry.neighbor) - prev_neighbor;
     put((ZigZagEncode(delta) << 1) | (euclid_length ? 1 : 0));
@@ -112,10 +138,15 @@ GraphPager::GraphPager(const RoadNetwork* network, BufferManager* buffer,
     : network_(network),
       buffer_(buffer),
       options_(options),
-      layout_epoch_(NextLayoutEpoch()) {
+      layout_epoch_(NextLayoutEpoch()),
+      data_epoch_(layout_epoch_) {
   MSQ_CHECK(network != nullptr && buffer != nullptr);
   MSQ_CHECK(network->finalized());
   BuildLayout();
+}
+
+void GraphPager::BumpDataEpoch() {
+  data_epoch_.store(NextLayoutEpoch(), std::memory_order_release);
 }
 
 void GraphPager::BuildLayout() {
@@ -163,20 +194,7 @@ void GraphPager::BuildLayout() {
     if (csr) {
       EncodeCsrRecord(*network_, node, &record);
     } else {
-      const auto adj = network_->Adjacent(node);
-      record.resize(RowRecordBytes(adj.size()));
-      std::byte* dst = record.data();
-      const auto deg32 = static_cast<std::uint32_t>(adj.size());
-      std::memcpy(dst, &deg32, sizeof(deg32));
-      dst += sizeof(deg32);
-      for (const AdjacencyEntry& entry : adj) {
-        std::memcpy(dst, &entry.neighbor, sizeof(entry.neighbor));
-        dst += sizeof(entry.neighbor);
-        std::memcpy(dst, &entry.edge, sizeof(entry.edge));
-        dst += sizeof(entry.edge);
-        std::memcpy(dst, &entry.length, sizeof(entry.length));
-        dst += sizeof(entry.length);
-      }
+      EncodeRowRecord(*network_, node, &record);
     }
     const std::size_t bytes = record.size();
     MSQ_CHECK_MSG(header_bytes + bytes <= kPageSize,
@@ -188,8 +206,10 @@ void GraphPager::BuildLayout() {
       used = header_bytes;
       header = CsrPageHeader{};
       ++page_count_;
+      pages_.push_back(current_page);
     }
-    directory_[node] = Slot{current_page, static_cast<std::uint16_t>(used)};
+    directory_[node] = Slot{current_page, static_cast<std::uint16_t>(used),
+                            static_cast<std::uint16_t>(bytes)};
     std::memcpy(guard.page()->data.data() + used, record.data(), bytes);
     used += bytes;
     if (csr) {
@@ -202,6 +222,103 @@ void GraphPager::BuildLayout() {
   }
   guard.Release();
   OkOrThrow(buffer_->FlushAll());
+}
+
+Status GraphPager::RefreshEdge(EdgeId edge) {
+  MSQ_CHECK(edge < network_->edge_count());
+  const RoadNetwork::Edge& e = network_->EdgeAt(edge);
+  const bool csr = options_.format == AdjacencyFormat::kCsr;
+  const std::size_t header_bytes = csr ? sizeof(CsrPageHeader) : 0;
+
+  struct Placement {
+    NodeId node = kInvalidNode;
+    std::vector<std::byte> record;
+    Slot slot;
+    bool relocated = false;
+    PageGuard guard;
+  };
+  Placement targets[2];
+  targets[0].node = e.u;
+  targets[1].node = e.v;
+
+  // Stage against provisional spill state; members commit only once every
+  // page is pinned, so a failure below leaves the layout untouched.
+  PageId spill_page = spill_page_;
+  std::size_t spill_used = spill_used_;
+  std::vector<PageId> new_pages;
+
+  try {
+    for (Placement& t : targets) {
+      std::size_t elided = 0;
+      if (csr) {
+        EncodeCsrRecord(*network_, t.node, &t.record, &elided);
+      } else {
+        EncodeRowRecord(*network_, t.node, &t.record);
+      }
+      const Slot current = directory_[t.node];
+      if (t.record.size() <= current.cap) {
+        t.slot = current;
+        continue;
+      }
+      // Only CSR records change size: the row format is fixed per degree
+      // and the topology never changes under a weight update.
+      MSQ_CHECK(csr);
+      // Reserve headroom for every still-elided length so later updates
+      // touching this record rewrite in place instead of relocating again.
+      const std::size_t cap = std::min(
+          t.record.size() + sizeof(double) * elided, kPageSize - header_bytes);
+      MSQ_CHECK(t.record.size() <= cap);
+      if (spill_page == kInvalidPage || spill_used + cap > kPageSize) {
+        PageGuard fresh = ValueOrThrow(buffer_->AllocatePage());
+        spill_page = fresh.id();
+        spill_used = header_bytes;
+        new_pages.push_back(spill_page);
+        // Stamp an empty header immediately so the page is format-tagged
+        // even if it is evicted before the commit below.
+        CsrPageHeader header;
+        header.used_bytes = static_cast<std::uint32_t>(spill_used);
+        std::memcpy(fresh.page()->data.data(), &header, sizeof(header));
+      }
+      t.slot = Slot{spill_page, static_cast<std::uint16_t>(spill_used),
+                    static_cast<std::uint16_t>(cap)};
+      t.relocated = true;
+      spill_used += cap;
+    }
+    // Pin every target page for writing before the first byte moves.
+    for (Placement& t : targets) {
+      t.guard = ValueOrThrow(buffer_->Fetch(t.slot.page, /*mark_dirty=*/true));
+    }
+  } catch (const StorageFault& fault) {
+    // Nothing was modified; return freshly allocated spill pages (now
+    // unpinned) to the free list. A failed free only leaks a slot.
+    for (const PageId page : new_pages) (void)buffer_->FreePage(page);
+    return fault.status();
+  }
+
+  // Commit phase: pure memory writes into pinned dirty pages, no failures.
+  // Writeback happens at eviction/flush like every other dirty page; until
+  // then the pooled image is the authoritative copy.
+  for (Placement& t : targets) {
+    std::byte* base = t.guard.page()->data.data();
+    std::memcpy(base + t.slot.offset, t.record.data(), t.record.size());
+    if (csr) {
+      CsrPageHeader header;
+      std::memcpy(&header, base, sizeof(header));
+      if (t.relocated) ++header.record_count;
+      // Relocations extend the used region by their full reservation so
+      // future in-place growth stays inside it; in-place rewrites keep it.
+      header.used_bytes = std::max<std::uint32_t>(
+          header.used_bytes,
+          static_cast<std::uint32_t>(t.slot.offset) + t.slot.cap);
+      std::memcpy(base, &header, sizeof(header));
+    }
+    directory_[t.node] = t.slot;
+  }
+  page_count_ += new_pages.size();
+  for (const PageId page : new_pages) pages_.push_back(page);
+  spill_page_ = spill_page;
+  spill_used_ = spill_used;
+  return Status();
 }
 
 Status GraphPager::AdjacencyOf(NodeId node,

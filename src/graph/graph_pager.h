@@ -14,6 +14,8 @@
 #ifndef MSQ_GRAPH_GRAPH_PAGER_H_
 #define MSQ_GRAPH_GRAPH_PAGER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -81,10 +83,43 @@ class GraphPager {
   // node numbering can never be resumed.
   std::uint64_t layout_epoch() const { return layout_epoch_; }
 
+  // Epoch of the *data* served through this pager. Starts equal to
+  // layout_epoch() and advances past every committed mutation (edge-weight
+  // update, object churn), drawing from the same process-global counter so
+  // epochs never collide across pagers. Cached traversal state stamps
+  // entries with this value instead of the layout epoch: a bump makes every
+  // pre-mutation snapshot, distance memo, and probe bound unreachable.
+  std::uint64_t data_epoch() const {
+    return data_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Advances data_epoch() to a fresh process-unique value. Called by the
+  // mutation orchestrator after (attempting) a mutation; bumping on a
+  // failed mutation is deliberate — it only costs cache warmth, while a
+  // missed bump after a partial change would serve stale results.
+  void BumpDataEpoch();
+
+  // Re-encodes the adjacency records of `edge`'s two endpoints after the
+  // network's edge length changed (RoadNetwork::UpdateEdgeLength). The
+  // rewrite is all-or-nothing: every needed page is pinned (and any spill
+  // page allocated) before the first byte moves, so a read fault or
+  // allocation failure surfaces here with the layout untouched. A CSR
+  // record that outgrew its build-time slot relocates to a pager-owned
+  // spill page sized so later growth of the same record stays in place;
+  // row records are fixed-size and always rewrite in place. Same
+  // concurrency contract as every mutation: build time or the executor's
+  // exclusive write barrier.
+  Status RefreshEdge(EdgeId edge);
+
+  // Every page this pager allocated (layout + spill), so the owner can
+  // return them to the free list when the pager is rebuilt.
+  const std::vector<PageId>& pages() const { return pages_; }
+
  private:
   struct Slot {
     PageId page = kInvalidPage;
     std::uint16_t offset = 0;  // byte offset of the record inside the page
+    std::uint16_t cap = 0;     // bytes reserved for the record at `offset`
   };
 
   void BuildLayout();
@@ -97,8 +132,15 @@ class GraphPager {
   BufferManager* buffer_;
   GraphPagerOptions options_;
   std::uint64_t layout_epoch_;
+  std::atomic<std::uint64_t> data_epoch_;
   std::vector<Slot> directory_;  // per node
   std::size_t page_count_ = 0;
+  std::vector<PageId> pages_;    // every page allocated by this pager
+
+  // CSR spill area for records that outgrew their build-time slot:
+  // the page currently being filled and its next free byte.
+  PageId spill_page_ = kInvalidPage;
+  std::size_t spill_used_ = 0;
 };
 
 }  // namespace msq

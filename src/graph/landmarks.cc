@@ -74,6 +74,12 @@ LandmarkIndex::LandmarkIndex(const RoadNetwork* network, std::size_t count,
   }
 }
 
+void LandmarkIndex::Resweep() {
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    distances_[i] = Sweep(*network_, landmarks_[i]);
+  }
+}
+
 Dist LandmarkIndex::LandmarkDistance(std::size_t i, NodeId node) const {
   MSQ_CHECK(i < distances_.size());
   MSQ_CHECK(node < distances_[i].size());

@@ -33,6 +33,12 @@ class LandmarkIndex {
   LandmarkIndex(const RoadNetwork* network, std::size_t count,
                 std::uint64_t seed = 1);
 
+  // Recomputes every landmark's distance array against the network's
+  // current edge weights, keeping the landmark set. Pointer-stable — the
+  // serving path re-sweeps in place after an edge-weight update because
+  // Datasets hold raw pointers to this index.
+  void Resweep();
+
   std::size_t landmark_count() const { return landmarks_.size(); }
   NodeId landmark(std::size_t i) const { return landmarks_[i]; }
 

@@ -52,6 +52,28 @@ void RoadNetwork::Finalize() {
   finalized_ = true;
 }
 
+Dist RoadNetwork::UpdateEdgeLength(EdgeId id, Dist length) {
+  MSQ_CHECK(finalized_);
+  MSQ_CHECK(id < edges_.size());
+  Edge& e = edges_[id];
+  const Dist euclid = EuclideanDistance(nodes_[e.u], nodes_[e.v]);
+  Dist final_length = length;
+  if (final_length <= 0.0) {
+    final_length = euclid;
+  } else if (final_length < euclid) {
+    final_length = euclid;
+    ++clamped_edges_;
+  }
+  e.length = final_length;
+  for (const NodeId endpoint : {e.u, e.v}) {
+    for (std::uint32_t i = adj_offsets_[endpoint];
+         i < adj_offsets_[endpoint + 1]; ++i) {
+      if (adj_entries_[i].edge == id) adj_entries_[i].length = final_length;
+    }
+  }
+  return final_length;
+}
+
 const Point& RoadNetwork::NodePosition(NodeId id) const {
   MSQ_CHECK(id < nodes_.size());
   return nodes_[id];

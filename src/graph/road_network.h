@@ -67,6 +67,17 @@ class RoadNetwork {
   void Finalize();
   bool finalized() const { return finalized_; }
 
+  // --- dynamic updates --------------------------------------------------
+
+  // Reassigns edge `id`'s length (<= 0 means "use the Euclidean distance").
+  // Lengths below the endpoint Euclidean distance are clamped up to it —
+  // the same A* admissibility rule as AddEdge — and counted in
+  // clamped_edge_count(). Both CSR adjacency mirrors are updated; requires
+  // Finalize(). Returns the applied length. Derived state (paged layouts,
+  // object offsets, landmark tables) belongs to the caller and must be
+  // refreshed by the caller.
+  Dist UpdateEdgeLength(EdgeId id, Dist length);
+
   // --- basic accessors --------------------------------------------------
 
   std::size_t node_count() const { return nodes_.size(); }

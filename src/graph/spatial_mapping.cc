@@ -23,7 +23,10 @@ BpTree::Key MakeKey(EdgeId edge, std::uint32_t seq) {
 SpatialMapping::SpatialMapping(const RoadNetwork* network,
                                BufferManager* buffer,
                                const std::vector<Location>& objects)
-    : network_(network), locations_(objects), index_(buffer) {
+    : network_(network),
+      locations_(objects),
+      live_count_(objects.size()),
+      index_(buffer) {
   MSQ_CHECK(network != nullptr);
   positions_.reserve(objects.size());
   for (const Location& loc : objects) {
@@ -79,6 +82,132 @@ Status SpatialMapping::ObjectsOnEdge(EdgeId edge,
                                 std::to_string(record.object));
     }
     out->push_back(EdgeObject{record.object, record.dist_u, record.dist_v});
+  }
+  return Status();
+}
+
+bool SpatialMapping::IsLive(ObjectId id) const {
+  return id < locations_.size() && locations_[id].edge != kInvalidEdge;
+}
+
+StatusOr<ObjectId> SpatialMapping::InsertObject(const Location& loc) {
+  MSQ_CHECK(network_->IsValidLocation(loc));
+  // Next sequence on this edge: one past the highest existing key's low
+  // word, so the "duplicate keys stored adjacent" range stays dense and
+  // keys are never reused within an edge while its objects live.
+  std::vector<BpTree::Item> items;
+  if (Status status = index_.ScanRange(
+          MakeKey(loc.edge, 0), MakeKey(loc.edge, 0xffffffffu), &items);
+      !status.ok()) {
+    return status;
+  }
+  std::uint32_t seq = 0;
+  if (!items.empty()) {
+    seq = static_cast<std::uint32_t>(items.back().first & 0xffffffffu) + 1;
+  }
+  const ObjectId id = static_cast<ObjectId>(locations_.size());
+  const auto [du, dv] = network_->EndpointDistances(loc);
+  try {
+    index_.Insert(MakeKey(loc.edge, seq),
+                  BpTreeValue::Pack(PackedEdgeObject{id, du, dv}));
+  } catch (const StorageFault& fault) {
+    return fault.status();
+  }
+  // The id is allocated only after the tree accepted the record, so a
+  // failed insert leaves no half-registered object.
+  locations_.push_back(loc);
+  positions_.push_back(network_->LocationPosition(loc));
+  ++live_count_;
+  return id;
+}
+
+StatusOr<bool> SpatialMapping::DeleteObject(ObjectId id) {
+  if (!IsLive(id)) return false;
+  const Location loc = locations_[id];
+  std::vector<BpTree::Item> items;
+  if (Status status = index_.ScanRange(
+          MakeKey(loc.edge, 0), MakeKey(loc.edge, 0xffffffffu), &items);
+      !status.ok()) {
+    return status;
+  }
+  for (const BpTree::Item& item : items) {
+    if (item.second.Unpack<PackedEdgeObject>().object != id) continue;
+    StatusOr<bool> removed = index_.Delete(item.first);
+    if (!removed.ok()) return removed.status();
+    MSQ_CHECK(*removed);
+    locations_[id] = Location{kInvalidEdge, 0.0};
+    --live_count_;
+    return true;
+  }
+  return Status::Corruption("object " + std::to_string(id) +
+                            " is live but missing from the middle layer");
+}
+
+Status SpatialMapping::RefreshEdgeObjects(EdgeId edge, double scale) {
+  const Dist new_length = network_->EdgeAt(edge).length;
+  // Phase 1 — infallible: rescale the authoritative location table first,
+  // so a storage failure below always recovers to the *new* world through
+  // RebuildIndex() instead of leaving a half-scaled mix.
+  for (Location& loc : locations_) {
+    if (loc.edge != edge) continue;
+    loc.offset = std::clamp(loc.offset * scale, 0.0, new_length);
+  }
+  // Phase 2 — fallible: rewrite the middle-layer records in place.
+  std::vector<BpTree::Item> items;
+  if (Status status = index_.ScanRange(MakeKey(edge, 0),
+                                       MakeKey(edge, 0xffffffffu), &items);
+      !status.ok()) {
+    return status;
+  }
+  for (const BpTree::Item& item : items) {
+    const auto record = item.second.Unpack<PackedEdgeObject>();
+    if (record.object >= locations_.size()) {
+      return Status::Corruption("middle-layer record on edge " +
+                                std::to_string(edge) +
+                                " references unknown object " +
+                                std::to_string(record.object));
+    }
+    const Location& loc = locations_[record.object];
+    PackedEdgeObject updated_record{record.object, loc.offset,
+                                    new_length - loc.offset};
+    StatusOr<bool> updated =
+        index_.UpdateValue(item.first, BpTreeValue::Pack(updated_record));
+    if (!updated.ok()) return updated.status();
+    MSQ_CHECK(*updated);
+  }
+  return Status();
+}
+
+Status SpatialMapping::RebuildIndex() {
+  std::vector<ObjectId> order;
+  order.reserve(live_count_);
+  for (ObjectId id = 0; id < locations_.size(); ++id) {
+    if (IsLive(id)) order.push_back(id);
+  }
+  std::sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+    if (locations_[a].edge != locations_[b].edge) {
+      return locations_[a].edge < locations_[b].edge;
+    }
+    return a < b;
+  });
+  std::vector<BpTree::Item> items;
+  items.reserve(order.size());
+  EdgeId current_edge = kInvalidEdge;
+  std::uint32_t seq = 0;
+  for (const ObjectId id : order) {
+    const Location& loc = locations_[id];
+    if (loc.edge != current_edge) {
+      current_edge = loc.edge;
+      seq = 0;
+    }
+    const auto [du, dv] = network_->EndpointDistances(loc);
+    items.emplace_back(MakeKey(loc.edge, seq++),
+                       BpTreeValue::Pack(PackedEdgeObject{id, du, dv}));
+  }
+  try {
+    index_.BulkLoad(items);
+  } catch (const StorageFault& fault) {
+    return fault.status();
   }
   return Status();
 }

@@ -40,17 +40,55 @@ class SpatialMapping {
   // object. `*out` is cleared on failure.
   Status ObjectsOnEdge(EdgeId edge, std::vector<EdgeObject>* out) const;
 
+  // Total ids ever allocated, including tombstones — per-object arrays in
+  // the algorithms are sized by this, so ids stay stable across churn.
   std::size_t object_count() const { return locations_.size(); }
+  // Ids currently resident on the network (excludes tombstones).
+  std::size_t live_object_count() const { return live_count_; }
   const Location& ObjectLocation(ObjectId id) const;
   Point ObjectPosition(ObjectId id) const;
   const std::vector<Location>& locations() const { return locations_; }
 
   const RoadNetwork& network() const { return *network_; }
 
+  // --- dynamic churn ----------------------------------------------------
+  //
+  // All mutators run at build time or under the executor's exclusive write
+  // barrier, never concurrently with readers. On a storage error the
+  // in-memory location table stays authoritative; callers recover the
+  // B+-tree with RebuildIndex().
+
+  // Adds a new object at `loc` (must be a valid location) and returns its
+  // id (always a fresh id, one past the previous object_count()).
+  StatusOr<ObjectId> InsertObject(const Location& loc);
+
+  // Tombstones `id`: removes its middle-layer record and parks its
+  // location at kInvalidEdge so the id stays allocated (ids are never
+  // reused). Returns whether the object existed and was live.
+  StatusOr<bool> DeleteObject(ObjectId id);
+
+  // Whether `id` names a live (non-tombstoned) object.
+  bool IsLive(ObjectId id) const;
+
+  // Rescales every object on `edge` after its length changed to
+  // `scale` times the old length: offsets scale proportionally, so each
+  // object keeps its planar position (LocationPosition parameterizes by
+  // offset/length) and spatial indexes need no update. Endpoint distances
+  // are recomputed against the network's current edge length, which must
+  // already be updated.
+  Status RefreshEdgeObjects(EdgeId edge, double scale);
+
+  // Bulk-reloads the B+-tree from the live locations. Fault recovery: a
+  // storage error mid-mutation can leave the tree behind the authoritative
+  // location table, and this restores agreement. The old tree's pages are
+  // orphaned — bounded, since recovery only runs after a fault.
+  Status RebuildIndex();
+
  private:
   const RoadNetwork* network_;
   std::vector<Location> locations_;
   std::vector<Point> positions_;
+  std::size_t live_count_ = 0;
   BpTree index_;
 };
 

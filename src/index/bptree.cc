@@ -190,11 +190,15 @@ void BpTree::BulkLoad(const std::vector<Item>& items) {
 }
 
 PageId BpTree::FindLeaf(Key key) const {
+  // lower_bound descent: a leaf split puts the separator at the right
+  // sibling's front, but duplicates of it can remain in the LEFT sibling,
+  // so the first subtree whose separator is >= key must be searched.
+  // Readers compensate for landing one leaf early by following next_leaf.
   PageId page = root_;
   while (!IsLeafPage(page)) {
     const InternalNode node = ReadInternal(page);
     const auto it =
-        std::upper_bound(node.keys.begin(), node.keys.end(), key);
+        std::lower_bound(node.keys.begin(), node.keys.end(), key);
     const std::size_t idx =
         static_cast<std::size_t>(it - node.keys.begin());
     page = node.children[idx];
@@ -281,14 +285,202 @@ void BpTree::Insert(Key key, const BpTreeValue& value) {
 
 StatusOr<bool> BpTree::Lookup(Key key, BpTreeValue* value) const {
   try {
-    const PageId page = FindLeaf(key);
-    const LeafNode leaf = ReadLeaf(page);
+    // FindLeaf may land one leaf early (lower_bound descent); follow the
+    // leaf chain until an item >= key decides the answer.
+    PageId page = FindLeaf(key);
+    while (page != kInvalidPage) {
+      const LeafNode leaf = ReadLeaf(page);
+      for (const Item& item : leaf.items) {
+        if (item.first == key) {
+          *value = item.second;
+          return true;
+        }
+        if (item.first > key) return false;
+      }
+      page = leaf.next_leaf;
+    }
+    return false;
+  } catch (const StorageFault& fault) {
+    return fault.status();
+  }
+}
+
+namespace {
+
+// Minimum fill for non-root nodes; borrow-then-merge keeps every node at or
+// above this. Bulk-loaded rightmost nodes may start below it — merges still
+// fit because no node ever exceeds capacity.
+std::size_t LeafMinFill() { return BpTree::LeafCapacity() / 2; }
+std::size_t InternalMinFill() { return BpTree::InternalCapacity() / 2; }
+
+}  // namespace
+
+bool BpTree::DeleteInSubtree(PageId page, std::uint32_t level_from_leaf,
+                             Key key, bool* underfull,
+                             std::vector<PageId>* freed) {
+  if (level_from_leaf == 0) {
+    LeafNode leaf = ReadLeaf(page);
     const auto it = std::lower_bound(
         leaf.items.begin(), leaf.items.end(), key,
         [](const Item& item, Key k) { return item.first < k; });
-    if (it == leaf.items.end() || it->first != key) return false;
-    *value = it->second;
+    if (it == leaf.items.end() || it->first != key) {
+      *underfull = false;
+      return false;
+    }
+    leaf.items.erase(it);
+    WriteLeaf(page, leaf);
+    *underfull = leaf.items.size() < LeafMinFill();
     return true;
+  }
+  InternalNode node = ReadInternal(page);
+  std::size_t idx = static_cast<std::size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin());
+  bool deleted = false;
+  bool child_underfull = false;
+  // upper_bound picks the rightmost candidate subtree. With duplicates a
+  // copy equal to the separator can survive in the subtree to its left
+  // after the right-side copies were deleted, so walk left across equal
+  // separators until a subtree yields the key.
+  for (;;) {
+    deleted = DeleteInSubtree(node.children[idx], level_from_leaf - 1, key,
+                              &child_underfull, freed);
+    if (deleted || idx == 0 || node.keys[idx - 1] != key) break;
+    --idx;
+  }
+  if (!deleted) {
+    *underfull = false;
+    return false;
+  }
+  if (child_underfull) {
+    RebalanceChild(&node, idx, level_from_leaf - 1, freed);
+  }
+  WriteInternal(page, node);
+  *underfull = node.keys.size() < InternalMinFill();
+  return true;
+}
+
+void BpTree::RebalanceChild(InternalNode* parent, std::size_t child_index,
+                            std::uint32_t child_level,
+                            std::vector<PageId>* freed) {
+  // Pair the underfull child with a sibling: the left one when it exists,
+  // else the right one. `left_index` names the left node of the pair.
+  const std::size_t left_index =
+      child_index > 0 ? child_index - 1 : child_index;
+  const std::size_t right_index = left_index + 1;
+  MSQ_CHECK(right_index < parent->children.size());
+  const PageId left_page = parent->children[left_index];
+  const PageId right_page = parent->children[right_index];
+  if (child_level == 0) {
+    LeafNode left = ReadLeaf(left_page);
+    LeafNode right = ReadLeaf(right_page);
+    const bool right_is_short = child_index == right_index;
+    if (right_is_short && left.items.size() > LeafMinFill()) {
+      right.items.insert(right.items.begin(), left.items.back());
+      left.items.pop_back();
+    } else if (!right_is_short && right.items.size() > LeafMinFill()) {
+      left.items.push_back(right.items.front());
+      right.items.erase(right.items.begin());
+    } else if (left.items.size() + right.items.size() <= LeafCapacity()) {
+      // Merge right into left, preserving the leaf chain.
+      left.items.insert(left.items.end(), right.items.begin(),
+                        right.items.end());
+      left.next_leaf = right.next_leaf;
+      WriteLeaf(left_page, left);
+      parent->keys.erase(parent->keys.begin() +
+                         static_cast<std::ptrdiff_t>(left_index));
+      parent->children.erase(parent->children.begin() +
+                             static_cast<std::ptrdiff_t>(right_index));
+      freed->push_back(right_page);
+      return;
+    }
+    // Borrowed (or both siblings too full to merge — possible only with
+    // bulk-loaded skew, where the short node is simply left short).
+    WriteLeaf(left_page, left);
+    WriteLeaf(right_page, right);
+    if (!right.items.empty()) {
+      parent->keys[left_index] = right.items.front().first;
+    }
+    return;
+  }
+  InternalNode left = ReadInternal(left_page);
+  InternalNode right = ReadInternal(right_page);
+  const bool right_is_short = child_index == right_index;
+  if (right_is_short && left.keys.size() > InternalMinFill()) {
+    // Rotate through the parent: separator comes down, left's last key up.
+    right.keys.insert(right.keys.begin(), parent->keys[left_index]);
+    right.children.insert(right.children.begin(), left.children.back());
+    parent->keys[left_index] = left.keys.back();
+    left.keys.pop_back();
+    left.children.pop_back();
+  } else if (!right_is_short && right.keys.size() > InternalMinFill()) {
+    left.keys.push_back(parent->keys[left_index]);
+    left.children.push_back(right.children.front());
+    parent->keys[left_index] = right.keys.front();
+    right.keys.erase(right.keys.begin());
+    right.children.erase(right.children.begin());
+  } else if (left.keys.size() + 1 + right.keys.size() <=
+             InternalCapacity()) {
+    left.keys.push_back(parent->keys[left_index]);
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    left.children.insert(left.children.end(), right.children.begin(),
+                         right.children.end());
+    WriteInternal(left_page, left);
+    parent->keys.erase(parent->keys.begin() +
+                       static_cast<std::ptrdiff_t>(left_index));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<std::ptrdiff_t>(right_index));
+    freed->push_back(right_page);
+    return;
+  }
+  WriteInternal(left_page, left);
+  WriteInternal(right_page, right);
+}
+
+StatusOr<bool> BpTree::Delete(Key key) {
+  try {
+    bool underfull = false;
+    std::vector<PageId> freed;
+    const bool deleted =
+        DeleteInSubtree(root_, height_ - 1, key, &underfull, &freed);
+    if (deleted) {
+      // Root collapse: an internal root left with a single child hands the
+      // root role down a level.
+      while (height_ > 1) {
+        const InternalNode root = ReadInternal(root_);
+        if (!root.keys.empty()) break;
+        freed.push_back(root_);
+        root_ = root.children.front();
+        --height_;
+      }
+      --size_;
+    }
+    // Pages leave the tree before they leave the allocator: every parent
+    // update above is already buffered, so recycling cannot be observed
+    // through a live pointer.
+    for (const PageId page : freed) OkOrThrow(buffer_->FreePage(page));
+    return deleted;
+  } catch (const StorageFault& fault) {
+    return fault.status();
+  }
+}
+
+StatusOr<bool> BpTree::UpdateValue(Key key, const BpTreeValue& value) {
+  try {
+    PageId page = FindLeaf(key);
+    while (page != kInvalidPage) {
+      LeafNode leaf = ReadLeaf(page);
+      for (Item& item : leaf.items) {
+        if (item.first == key) {
+          item.second = value;
+          WriteLeaf(page, leaf);
+          return true;
+        }
+        if (item.first > key) return false;
+      }
+      page = leaf.next_leaf;
+    }
+    return false;
   } catch (const StorageFault& fault) {
     return fault.status();
   }

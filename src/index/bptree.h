@@ -63,6 +63,18 @@ class BpTree {
   // and all returned by range scans. Throws StorageFault on I/O failure.
   void Insert(Key key, const BpTreeValue& value);
 
+  // Removes one item with `key` (with duplicates, an arbitrary copy),
+  // rebalancing underfull nodes by borrow-then-merge and returning merged
+  // pages to the buffer's free list. Returns whether an item was removed;
+  // fails with the underlying storage error. Same concurrency contract as
+  // Insert: mutations run at build time or under the executor's exclusive
+  // write barrier, never concurrently with readers.
+  StatusOr<bool> Delete(Key key);
+
+  // Overwrites the payload of the first item with `key` in place (no
+  // structural change). Returns whether an item was found.
+  StatusOr<bool> UpdateValue(Key key, const BpTreeValue& value);
+
   // Returns whether some item with `key` exists; fills `*value` with the
   // first one when found. Fails with the underlying read error or
   // kCorruption for a structurally invalid node.
@@ -95,7 +107,9 @@ class BpTree {
   PageId NewLeaf(const LeafNode& node);
   PageId NewInternal(const InternalNode& node);
 
-  // Descends to the leaf that should contain `key`.
+  // Descends to the leftmost leaf that may contain `key`; duplicates equal
+  // to a split separator can sit in the left sibling, so readers continue
+  // across next_leaf links from here.
   PageId FindLeaf(Key key) const;
 
   // Recursive insert; on child split returns true and fills the separator
@@ -103,6 +117,21 @@ class BpTree {
   bool InsertRecursive(PageId page, std::uint32_t level_from_leaf, Key key,
                        const BpTreeValue& value, Key* up_key,
                        PageId* up_page);
+
+  // Recursive delete of the first match in the subtree at `page`. Returns
+  // whether an item was removed; *underfull reports whether this node fell
+  // below its minimum fill, for the parent to rebalance. Merged-away pages
+  // are appended to *freed (released by Delete after the parent's page is
+  // durable, so a mid-rebalance fault never leaves a live parent pointing
+  // at a recycled page).
+  bool DeleteInSubtree(PageId page, std::uint32_t level_from_leaf, Key key,
+                       bool* underfull, std::vector<PageId>* freed);
+
+  // Borrow-then-merge rebalance of `parent`'s child at `child_index`
+  // (`child_level` 0 = leaf). Mutates *parent in memory; the caller writes
+  // it back.
+  void RebalanceChild(InternalNode* parent, std::size_t child_index,
+                      std::uint32_t child_level, std::vector<PageId>* freed);
 
   BufferManager* buffer_;
   PageId root_;

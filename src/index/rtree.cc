@@ -332,6 +332,215 @@ bool RTree::Delete(const Mbr& mbr, std::uint32_t id) {
   return true;
 }
 
+PageId RTree::CowWriteNode(const RTreeNode& node, std::vector<PageId>* fresh) {
+  const PageId page_id = ValueOrThrow(buffer_->AllocatePage()).id();
+  fresh->push_back(page_id);
+  WriteNode(page_id, node);
+  return page_id;
+}
+
+PageId RTree::CowInsertRecursive(PageId page, std::uint32_t level_from_leaf,
+                                 std::uint32_t target_level,
+                                 const RTreeEntry& entry, bool* did_split,
+                                 RTreeEntry* split_entry, Mbr* updated_mbr,
+                                 std::vector<PageId>* fresh,
+                                 std::vector<PageId>* replaced) {
+  RTreeNode node = ReadNode(page);
+  if (level_from_leaf == target_level) {
+    MSQ_CHECK(target_level == 0 ? node.is_leaf : !node.is_leaf);
+    node.entries.push_back(entry);
+  } else {
+    MSQ_CHECK(!node.is_leaf);
+    const std::size_t child = ChooseSubtree(node, entry.mbr);
+    bool child_split = false;
+    RTreeEntry child_split_entry;
+    Mbr child_mbr;
+    const PageId new_child = CowInsertRecursive(
+        node.entries[child].id, level_from_leaf - 1, target_level, entry,
+        &child_split, &child_split_entry, &child_mbr, fresh, replaced);
+    node.entries[child].id = new_child;
+    node.entries[child].mbr = child_mbr;
+    if (child_split) node.entries.push_back(child_split_entry);
+  }
+  // The original is dead once the mutation commits; until then it is the
+  // live copy and is never written.
+  replaced->push_back(page);
+
+  if (node.entries.size() <= MaxEntriesPerNode()) {
+    *did_split = false;
+    *updated_mbr = node.BoundingBox();
+    return CowWriteNode(node, fresh);
+  }
+
+  std::vector<RTreeEntry> group_a, group_b;
+  QuadraticSplit(&node.entries, &group_a, &group_b);
+  RTreeNode sibling;
+  sibling.is_leaf = node.is_leaf;
+  sibling.entries = std::move(group_b);
+  node.entries = std::move(group_a);
+  const PageId left_page = CowWriteNode(node, fresh);
+  const PageId sibling_page = CowWriteNode(sibling, fresh);
+  *did_split = true;
+  *updated_mbr = node.BoundingBox();
+  split_entry->mbr = sibling.BoundingBox();
+  split_entry->id = sibling_page;
+  return left_page;
+}
+
+void RTree::CowInsertAtLevel(const RTreeEntry& entry,
+                             std::uint32_t target_level, PageId* root,
+                             std::uint32_t* height,
+                             std::vector<PageId>* fresh,
+                             std::vector<PageId>* replaced) {
+  MSQ_CHECK(target_level < *height);
+  bool did_split = false;
+  RTreeEntry split;
+  Mbr updated;
+  *root = CowInsertRecursive(*root, *height - 1, target_level, entry,
+                             &did_split, &split, &updated, fresh, replaced);
+  if (did_split) {
+    RTreeNode grown;
+    grown.is_leaf = false;
+    grown.entries.push_back(RTreeEntry{updated, *root});
+    grown.entries.push_back(split);
+    *root = CowWriteNode(grown, fresh);
+    ++*height;
+  }
+}
+
+Status RTree::InsertChecked(const Mbr& mbr, std::uint32_t id) {
+  std::vector<PageId> fresh;
+  std::vector<PageId> replaced;
+  PageId root = root_;
+  std::uint32_t height = height_;
+  try {
+    CowInsertAtLevel(RTreeEntry{mbr, id}, 0, &root, &height, &fresh,
+                     &replaced);
+  } catch (const StorageFault& fault) {
+    // The live tree never saw a write, so dropping the fresh pages restores
+    // the exact pre-call state. A failed free merely leaks a slot, so the
+    // rollback ignores its status.
+    for (const PageId page : fresh) (void)buffer_->FreePage(page);
+    return fault.status();
+  }
+  root_ = root;
+  height_ = height;
+  ++size_;
+  for (const PageId page : replaced) (void)buffer_->FreePage(page);
+  return Status();
+}
+
+bool RTree::CowDeleteRecursive(PageId page, std::uint32_t level_from_leaf,
+                               const Mbr& mbr, std::uint32_t id,
+                               std::vector<Orphan>* orphans, bool* empty,
+                               Mbr* updated_mbr, PageId* new_page,
+                               std::vector<PageId>* fresh,
+                               std::vector<PageId>* replaced) {
+  RTreeNode node = ReadNode(page);
+  const std::size_t min_fill =
+      std::max<std::size_t>(1, MaxEntriesPerNode() * 2 / 5);
+  *empty = false;
+  *new_page = page;
+  bool found = false;
+
+  if (node.is_leaf) {
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      if (node.entries[i].id == id && node.entries[i].mbr == mbr) {
+        node.entries.erase(node.entries.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        found = true;
+        break;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < node.entries.size() && !found; ++i) {
+      if (!node.entries[i].mbr.Contains(mbr)) continue;
+      bool child_empty = false;
+      Mbr child_mbr;
+      PageId child_page = node.entries[i].id;
+      found = CowDeleteRecursive(node.entries[i].id, level_from_leaf - 1,
+                                 mbr, id, orphans, &child_empty, &child_mbr,
+                                 &child_page, fresh, replaced);
+      if (!found) continue;
+      if (child_empty) {
+        node.entries.erase(node.entries.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      } else {
+        node.entries[i].id = child_page;
+        node.entries[i].mbr = child_mbr;
+      }
+    }
+  }
+
+  if (!found) {
+    *updated_mbr = node.BoundingBox();
+    return false;
+  }
+  replaced->push_back(page);
+
+  if (page != root_ && node.entries.size() < min_fill) {
+    for (const RTreeEntry& e : node.entries) {
+      orphans->push_back(Orphan{e, level_from_leaf});
+    }
+    *empty = true;
+    return true;
+  }
+
+  *updated_mbr = node.BoundingBox();
+  *new_page = CowWriteNode(node, fresh);
+  return true;
+}
+
+StatusOr<bool> RTree::DeleteChecked(const Mbr& mbr, std::uint32_t id) {
+  std::vector<PageId> fresh;
+  std::vector<PageId> replaced;
+  PageId root = root_;
+  std::uint32_t height = height_;
+  try {
+    std::vector<Orphan> orphans;
+    bool empty = false;
+    Mbr updated;
+    PageId new_root = root_;
+    const bool found =
+        CowDeleteRecursive(root_, height_ - 1, mbr, id, &orphans, &empty,
+                           &updated, &new_root, &fresh, &replaced);
+    if (!found) {
+      // Pure read phase: nothing was allocated or replaced.
+      MSQ_CHECK(fresh.empty() && replaced.empty());
+      return false;
+    }
+    root = new_root;
+
+    // Reinsert condensed entries against the provisional root, deepest
+    // level first, exactly like the unchecked Delete.
+    std::sort(orphans.begin(), orphans.end(),
+              [](const Orphan& a, const Orphan& b) { return a.level < b.level; });
+    for (const Orphan& orphan : orphans) {
+      CowInsertAtLevel(orphan.entry, orphan.level, &root, &height, &fresh,
+                       &replaced);
+    }
+
+    // Shrink the provisional root while it is a single-child internal node.
+    // The abandoned page is dead once we commit, whether it was freshly
+    // written this call or an original the delete path never touched.
+    for (;;) {
+      const RTreeNode top = ReadNode(root);
+      if (top.is_leaf || top.entries.size() != 1) break;
+      replaced.push_back(root);
+      root = top.entries[0].id;
+      --height;
+    }
+  } catch (const StorageFault& fault) {
+    for (const PageId page : fresh) (void)buffer_->FreePage(page);
+    return fault.status();
+  }
+  root_ = root;
+  height_ = height;
+  --size_;
+  for (const PageId page : replaced) (void)buffer_->FreePage(page);
+  return true;
+}
+
 Status RTree::KnnQuery(const Point& query, std::size_t k,
                        std::vector<std::uint32_t>* out) const {
   try {

@@ -52,14 +52,29 @@ class RTree {
   // tree does not own the buffer manager.
   explicit RTree(BufferManager* buffer);
 
-  // Inserts one rectangle (Guttman insert, quadratic split). Construction
-  // paths (Insert/Delete/BulkLoad) run at build time, before faults are
-  // armed, and throw StorageFault on I/O failure.
+  // Inserts one rectangle (Guttman insert, quadratic split). The throwing
+  // construction paths (Insert/Delete/BulkLoad) run at build time, before
+  // faults are armed; runtime mutations go through the checked variants
+  // below, which tolerate armed faults.
   void Insert(const Mbr& mbr, std::uint32_t id);
 
   // Removes the entry with this exact (mbr, id) pair (Guttman delete with
   // tree condensation and orphan reinsertion). Returns whether it existed.
   bool Delete(const Mbr& mbr, std::uint32_t id);
+
+  // Fault-safe mutations for the dynamic-world path. The checked variants
+  // are copy-on-write: every modified node is written to a freshly
+  // allocated page and the in-memory root swings only after every write
+  // succeeded, so an injected fault mid-split surfaces as a storage error
+  // while the tree stays byte-identical to its pre-call state (the fresh
+  // pages go back to the free list). On success the replaced pages are
+  // freed. Mutations run at build time or under the executor's exclusive
+  // write barrier, never concurrently with readers.
+  Status InsertChecked(const Mbr& mbr, std::uint32_t id);
+
+  // Checked Delete. Returns whether the entry existed; on error the tree is
+  // unchanged and the entry (if present) is still present.
+  StatusOr<bool> DeleteChecked(const Mbr& mbr, std::uint32_t id);
 
   // Appends the ids of the k nearest entries to `query` (by MBR MinDist;
   // exact distance for point entries), nearest first. Fewer than k when
@@ -128,6 +143,38 @@ class RTree {
                        const Mbr& mbr, std::uint32_t id,
                        std::vector<Orphan>* orphans, bool* empty,
                        Mbr* updated_mbr);
+
+  // Copy-on-write page writer for the checked mutations: allocates the
+  // page and records it in *fresh before writing, so a fault mid-write
+  // still leaves the page on the rollback list.
+  PageId CowWriteNode(const RTreeNode& node, std::vector<PageId>* fresh);
+
+  // Copy-on-write InsertRecursive: rewrites the root-to-target path into
+  // fresh pages and returns the fresh subtree root. Replaced originals are
+  // recorded in *replaced; they stay untouched until the caller commits.
+  PageId CowInsertRecursive(PageId page, std::uint32_t level_from_leaf,
+                            std::uint32_t target_level,
+                            const RTreeEntry& entry, bool* did_split,
+                            RTreeEntry* split_entry, Mbr* updated_mbr,
+                            std::vector<PageId>* fresh,
+                            std::vector<PageId>* replaced);
+
+  // Copy-on-write InsertAtLevel against a provisional *root / *height
+  // (orphan reinsertion during DeleteChecked runs on the uncommitted tree).
+  void CowInsertAtLevel(const RTreeEntry& entry, std::uint32_t target_level,
+                        PageId* root, std::uint32_t* height,
+                        std::vector<PageId>* fresh,
+                        std::vector<PageId>* replaced);
+
+  // Copy-on-write DeleteRecursive: surviving modified nodes are rewritten
+  // to fresh pages (*new_page); dissolved and replaced originals land in
+  // *replaced.
+  bool CowDeleteRecursive(PageId page, std::uint32_t level_from_leaf,
+                          const Mbr& mbr, std::uint32_t id,
+                          std::vector<Orphan>* orphans, bool* empty,
+                          Mbr* updated_mbr, PageId* new_page,
+                          std::vector<PageId>* fresh,
+                          std::vector<PageId>* replaced);
 
   // Quadratic split of an overflowing entry set into two groups.
   static void QuadraticSplit(std::vector<RTreeEntry>* entries,

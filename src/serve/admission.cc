@@ -7,6 +7,19 @@
 namespace msq::serve {
 
 double EstimateCost(const ServeRequest& request) {
+  // Mutations are flat-cost: each runs once under the exclusive write
+  // barrier, and the barrier's drain (not the op itself) is the expensive
+  // part — object churn pays more because it walks the middle layer and
+  // COW-rewrites an R-tree path.
+  switch (request.op) {
+    case ServeOp::kUpdateEdge:
+      return 4.0;
+    case ServeOp::kInsertObject:
+    case ServeOp::kDeleteObject:
+      return 6.0;
+    case ServeOp::kQuery:
+      break;
+  }
   // Each source drives one network wavefront; the algorithm weight
   // captures how much of the network each wavefront touches relative to
   // LBC (the pruned, instance-optimal baseline).
@@ -54,6 +67,7 @@ AdmissionController::AdmissionController(const AdmissionConfig& config)
           ResolveRegistry(config)->gauge(metric::kServePendingCost)) {
   MSQ_CHECK(config_.max_pending > 0);
   MSQ_CHECK(config_.max_pending_cost > 0.0);
+  MSQ_CHECK(config_.retry_after_max_ms >= config_.retry_after_base_ms);
 }
 
 void AdmissionController::CountReceived() { received_->Inc(); }
@@ -76,14 +90,21 @@ bool AdmissionController::TryAdmit(double cost, double* retry_after_ms) {
       return true;
     }
     if (retry_after_ms != nullptr) {
-      // Scale the hint with the overload ratio: at the watermark the hint
-      // is the base; at 2x overload it doubles.
+      // Scale the hint with the overload ratio, counting the shed request
+      // itself (admitted load alone never exceeds the watermark, so the
+      // incoming demand is the signal): at the watermark the hint is the
+      // base; at 2x overload it doubles. Clamped to the configured ceiling
+      // — unbounded, a deep overload spiral would push clients out to
+      // hints longer than any deadline they could carry.
       const double depth_ratio =
-          static_cast<double>(pending_) /
+          static_cast<double>(pending_ + 1) /
           static_cast<double>(config_.max_pending);
-      const double cost_ratio = pending_cost_ / config_.max_pending_cost;
-      *retry_after_ms = config_.retry_after_base_ms *
-                        std::max(1.0, std::max(depth_ratio, cost_ratio));
+      const double cost_ratio =
+          (pending_cost_ + cost) / config_.max_pending_cost;
+      *retry_after_ms =
+          std::min(config_.retry_after_max_ms,
+                   config_.retry_after_base_ms *
+                       std::max(1.0, std::max(depth_ratio, cost_ratio)));
     }
   }
   shed_->Inc();

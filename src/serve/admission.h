@@ -35,6 +35,10 @@ struct AdmissionConfig {
   // Base Retry-After hint; the emitted hint is this scaled by the overload
   // ratio, so deeper overload pushes clients back harder.
   double retry_after_base_ms = 25.0;
+  // Ceiling on the emitted hint: however deep the overload, clients are
+  // never pushed back further than this (an unbounded exponential hint
+  // outlives any deadline the retry could carry).
+  double retry_after_max_ms = 5000.0;
   // Metrics registry for the serve.* counters; null = GlobalMetrics().
   obs::MetricsRegistry* registry = nullptr;
 };
@@ -142,6 +146,12 @@ inline constexpr char kServeQueueWaitTruncatedUsHist[] =
     "serve.queue_wait_us_hist.truncated";
 inline constexpr char kServeQueueWaitFailedUsHist[] =
     "serve.queue_wait_us_hist.failed";
+// Dynamic-world mutations through the front door.
+inline constexpr char kServeMutationsApplied[] = "serve.mutations_applied";
+inline constexpr char kServeMutationsFailed[] = "serve.mutations_failed";
+// Last data_epoch reported by a successful mutation — the world-version
+// gauge dashboards join query anomalies against.
+inline constexpr char kServeDataEpoch[] = "serve.data_epoch";
 }  // namespace metric
 
 }  // namespace msq::serve

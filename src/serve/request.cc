@@ -30,6 +30,16 @@ Status ParseIndex(const JsonValue& v, const char* field, double max,
 
 }  // namespace
 
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kQuery: return "query";
+    case ServeOp::kUpdateEdge: return "update_edge";
+    case ServeOp::kInsertObject: return "insert_object";
+    case ServeOp::kDeleteObject: return "delete_object";
+  }
+  return "query";
+}
+
 StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json) {
   if (!json.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
@@ -37,8 +47,60 @@ StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json) {
   ServeRequest request;
   bool saw_algo = false;
   bool saw_sources = false;
+  bool saw_query_extras = false;  // limits / k / lbc_source
+  bool saw_edge = false;
+  bool saw_length = false;
+  bool saw_offset = false;
+  bool saw_object = false;
   for (const auto& [key, value] : json.AsObject()) {
-    if (key == "algo") {
+    if (key == "op") {
+      if (!value.is_string()) return FieldError("op", "expected a string");
+      const std::string& op = value.AsString();
+      if (op == "update_edge") {
+        request.op = ServeOp::kUpdateEdge;
+      } else if (op == "insert_object") {
+        request.op = ServeOp::kInsertObject;
+      } else if (op == "delete_object") {
+        request.op = ServeOp::kDeleteObject;
+      } else {
+        return FieldError("op", "unknown op \"" + op +
+                                    "\" (expected one of: update_edge, "
+                                    "insert_object, delete_object)");
+      }
+    } else if (key == "edge") {
+      double edge_value = 0.0;
+      Status status = ParseIndex(
+          value, "edge", static_cast<double>(kInvalidEdge) - 1.0,
+          &edge_value);
+      if (!status.ok()) return status;
+      request.edge = static_cast<EdgeId>(edge_value);
+      saw_edge = true;
+    } else if (key == "length") {
+      if (!value.is_number()) {
+        return FieldError("length", "expected a number");
+      }
+      request.length = value.AsNumber();
+      if (request.length < 0.0 || request.length > kMaxEdgeLength) {
+        return FieldError("length",
+                          "out of range [0, " +
+                              std::to_string(kMaxEdgeLength) + "]");
+      }
+      saw_length = true;
+    } else if (key == "offset") {
+      if (!value.is_number()) {
+        return FieldError("offset", "expected a number");
+      }
+      request.offset = value.AsNumber();
+      if (request.offset < 0.0) return FieldError("offset", "negative");
+      saw_offset = true;
+    } else if (key == "object") {
+      double object_value = 0.0;
+      Status status = ParseIndex(value, "object", 4294967294.0,
+                                 &object_value);
+      if (!status.ok()) return status;
+      request.object = static_cast<ObjectId>(object_value);
+      saw_object = true;
+    } else if (key == "algo") {
       if (!value.is_string()) return FieldError("algo", "expected a string");
       if (!ParseAlgorithm(value.AsString(), &request.algorithm)) {
         return FieldError("algo", "unknown algorithm \"" + value.AsString() +
@@ -96,6 +158,7 @@ StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json) {
       if (!value.is_object()) {
         return FieldError("limits", "expected an object");
       }
+      saw_query_extras = true;
       for (const auto& [limit_key, limit_value] : value.AsObject()) {
         if (limit_key == "deadline_ms") {
           if (!limit_value.is_number()) {
@@ -125,6 +188,7 @@ StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json) {
           ParseIndex(value, "k", static_cast<double>(kMaxK), &k);
       if (!status.ok()) return status;
       request.k = static_cast<std::size_t>(k);
+      saw_query_extras = true;
     } else if (key == "lbc_source") {
       double index = 0.0;
       Status status = ParseIndex(value, "lbc_source",
@@ -132,6 +196,7 @@ StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json) {
                                  &index);
       if (!status.ok()) return status;
       request.lbc_source_index = static_cast<std::size_t>(index);
+      saw_query_extras = true;
     } else if (key == "traceparent") {
       if (!value.is_string()) {
         return FieldError("traceparent", "expected a string");
@@ -152,15 +217,65 @@ StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json) {
                                      "\"");
     }
   }
-  if (!saw_algo) return Status::InvalidArgument("request missing \"algo\"");
-  if (!saw_sources) {
-    return Status::InvalidArgument("request missing \"sources\"");
+  // Cross-field validation: each op has exactly its own required fields,
+  // so a half-query-half-mutation never silently executes one side.
+  if (request.op == ServeOp::kQuery) {
+    if (saw_edge || saw_length || saw_offset || saw_object) {
+      return Status::InvalidArgument(
+          "mutation field present without \"op\"");
+    }
+    if (!saw_algo) {
+      return Status::InvalidArgument("request missing \"algo\"");
+    }
+    if (!saw_sources) {
+      return Status::InvalidArgument("request missing \"sources\"");
+    }
+    if (request.lbc_source_index >= request.sources.size()) {
+      return FieldError("lbc_source", "out of range for " +
+                                          std::to_string(
+                                              request.sources.size()) +
+                                          " sources");
+    }
+    return request;
   }
-  if (request.lbc_source_index >= request.sources.size()) {
-    return FieldError("lbc_source", "out of range for " +
-                                        std::to_string(
-                                            request.sources.size()) +
-                                        " sources");
+  if (saw_algo || saw_sources || saw_query_extras) {
+    return Status::InvalidArgument(
+        std::string("query field not allowed with op \"") +
+        ServeOpName(request.op) + "\"");
+  }
+  const char* op_name = ServeOpName(request.op);
+  auto require = [&](bool saw, const char* field) {
+    return saw ? Status()
+               : Status::InvalidArgument(std::string("op \"") + op_name +
+                                         "\" missing \"" + field + "\"");
+  };
+  auto forbid = [&](bool saw, const char* field) {
+    return saw ? Status::InvalidArgument(std::string("op \"") + op_name +
+                                         "\" does not take \"" + field +
+                                         "\"")
+               : Status();
+  };
+  Status status;
+  switch (request.op) {
+    case ServeOp::kUpdateEdge:
+      if (!(status = require(saw_edge, "edge")).ok()) return status;
+      if (!(status = require(saw_length, "length")).ok()) return status;
+      if (!(status = forbid(saw_offset, "offset")).ok()) return status;
+      if (!(status = forbid(saw_object, "object")).ok()) return status;
+      break;
+    case ServeOp::kInsertObject:
+      if (!(status = require(saw_edge, "edge")).ok()) return status;
+      if (!(status = forbid(saw_length, "length")).ok()) return status;
+      if (!(status = forbid(saw_object, "object")).ok()) return status;
+      break;
+    case ServeOp::kDeleteObject:
+      if (!(status = require(saw_object, "object")).ok()) return status;
+      if (!(status = forbid(saw_edge, "edge")).ok()) return status;
+      if (!(status = forbid(saw_length, "length")).ok()) return status;
+      if (!(status = forbid(saw_offset, "offset")).ok()) return status;
+      break;
+    case ServeOp::kQuery:
+      break;  // handled above
   }
   return request;
 }
@@ -262,6 +377,41 @@ std::string EncodeErrorResponse(const std::string& id, StatusCode code,
     AppendJsonNumber(&out, retry_after_ms);
   }
   out += "}";
+  return out;
+}
+
+std::string EncodeMutationResponse(const ServeRequest& request,
+                                   const MutationResult& result,
+                                   double wall_ms) {
+  std::string out = "{";
+  if (!request.id.empty()) {
+    out += "\"id\":";
+    AppendJsonString(&out, request.id);
+    out += ",";
+  }
+  out += "\"status\":\"OK\",\"op\":\"";
+  out += ServeOpName(request.op);
+  out += "\",\"data_epoch\":";
+  AppendJsonNumber(&out, static_cast<double>(result.data_epoch));
+  switch (request.op) {
+    case ServeOp::kUpdateEdge:
+      out += ",\"applied_length\":";
+      AppendJsonNumber(&out, result.applied_length);
+      break;
+    case ServeOp::kInsertObject:
+      out += ",\"object\":";
+      AppendJsonNumber(&out, static_cast<double>(result.object));
+      break;
+    case ServeOp::kDeleteObject:
+      out += ",\"removed\":";
+      out += result.removed ? "true" : "false";
+      break;
+    case ServeOp::kQuery:
+      break;
+  }
+  out += ",\"stats\":{\"wall_ms\":";
+  AppendJsonNumber(&out, wall_ms);
+  out += "}}";
   return out;
 }
 

@@ -1,6 +1,6 @@
 // Serving request schema and response encoding.
 //
-// One request is one JSON object:
+// One request is one JSON object. A query:
 //
 //   {"algo":"lbc",
 //    "sources":[{"edge":12,"offset":0.5}, ...],
@@ -10,6 +10,19 @@
 //    "id":"client-tag",            // optional: echoed in the response
 //    "traceparent":"00-<32 hex>-<16 hex>-01"}  // optional: W3C trace
 //                                  // context; flags bit 0 = sampled
+//
+// Or a mutation, selected by the "op" field (absent = query, so the
+// original query corpus keeps parsing unchanged):
+//
+//   {"op":"update_edge",   "edge":12, "length":3.5}   // 0 = reset to
+//                                                     // Euclidean
+//   {"op":"insert_object", "edge":12, "offset":0.5}
+//   {"op":"delete_object", "object":7}
+//
+// Mutations take "id"/"traceparent" like queries; mixing query fields
+// ("algo", "sources", ...) with an op — or op fields without "op" — is a
+// parse error. Mutations run under the executor's exclusive write barrier
+// and respond with the new data_epoch (EncodeMutationResponse).
 //
 // ParseServeRequest maps a parsed JsonValue onto ServeRequest with strict
 // validation (unknown fields rejected, every field type- and
@@ -22,6 +35,8 @@
 #define MSQ_SERVE_REQUEST_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/query.h"
@@ -37,8 +52,29 @@ inline constexpr std::size_t kMaxSources = 64;
 inline constexpr std::size_t kMaxK = 4096;
 inline constexpr std::size_t kMaxIdBytes = 128;
 inline constexpr double kMaxDeadlineMs = 600'000.0;
+inline constexpr double kMaxEdgeLength = 1e15;
+
+// What one request asks for: a skyline query (the default) or one of the
+// dynamic-world mutations.
+enum class ServeOp { kQuery, kUpdateEdge, kInsertObject, kDeleteObject };
+
+// Wire name of an op ("query", "update_edge", ...).
+const char* ServeOpName(ServeOp op);
 
 struct ServeRequest {
+  ServeOp op = ServeOp::kQuery;
+  // --- mutation fields (unused when op == kQuery) ---
+  // Target edge of update_edge / insert_object.
+  EdgeId edge = 0;
+  // update_edge: requested length; 0 resets to the endpoint Euclidean
+  // distance, and any positive value below it is clamped up server-side.
+  double length = 0.0;
+  // insert_object: offset along the edge (validated against the edge
+  // length at execution, not parse — the schema doesn't know the network).
+  double offset = 0.0;
+  // delete_object: target object id.
+  ObjectId object = 0;
+  // --- query fields ---
   Algorithm algorithm = Algorithm::kLbc;
   std::vector<Location> sources;
   std::size_t lbc_source_index = 0;
@@ -84,6 +120,33 @@ std::string EncodeResultResponse(const ServeRequest& request,
 std::string EncodeErrorResponse(const std::string& id, StatusCode code,
                                 const std::string& message,
                                 double retry_after_ms = 0.0);
+
+// Result of one executed mutation, produced by the embedder's handler
+// (ServerConfig::mutation_handler) under the executor's write barrier.
+struct MutationResult {
+  Status status;
+  // The pager's data_epoch() after the mutation — the stamp that makes
+  // pre-mutation cache entries unreachable. Clients use it to correlate
+  // "my query ran against at least this world".
+  std::uint64_t data_epoch = 0;
+  // insert_object: the id assigned.
+  ObjectId object = 0;
+  // update_edge: the applied (possibly clamped) length.
+  double applied_length = 0.0;
+  // delete_object: whether the object was live (false = clean no-op).
+  bool removed = false;
+};
+
+// Runs one parsed mutation request; set by the embedder (the server core
+// doesn't know the workload). Must be thread-safe — connection threads
+// call it concurrently.
+using MutationHandler = std::function<MutationResult(const ServeRequest&)>;
+
+// Single-line JSON success response for a mutation: status, op, the new
+// data_epoch, and the op-specific payload field.
+std::string EncodeMutationResponse(const ServeRequest& request,
+                                   const MutationResult& result,
+                                   double wall_ms);
 
 }  // namespace msq::serve
 

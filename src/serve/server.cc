@@ -78,6 +78,10 @@ MsqServer::MsqServer(QueryExecutor* executor, const ServerConfig& config)
           registry_->histogram(metric::kServeQueueWaitTruncatedUsHist)),
       queue_wait_failed_(
           registry_->histogram(metric::kServeQueueWaitFailedUsHist)),
+      mutations_applied_(
+          registry_->counter(metric::kServeMutationsApplied)),
+      mutations_failed_(registry_->counter(metric::kServeMutationsFailed)),
+      data_epoch_gauge_(registry_->gauge(metric::kServeDataEpoch)),
       wide_events_(config.wide_event_capacity) {
   MSQ_CHECK(executor_ != nullptr);
 }
@@ -283,7 +287,11 @@ MsqServer::Reply MsqServer::HandleQuery(const std::string& text,
   }
   const ServeRequest& request = parsed.value();
   event.request_id = request.id;
-  event.algorithm = AlgorithmName(request.algorithm);
+  // Mutations report under their op name — "update_edge" latency belongs
+  // in a different bucket than any query algorithm.
+  event.algorithm = request.op == ServeOp::kQuery
+                        ? AlgorithmName(request.algorithm)
+                        : std::string_view(ServeOpName(request.op));
   const double cost = EstimateCost(request);
   if (draining_.load(std::memory_order_relaxed)) {
     // Drain counts as shed, not failure: the request was well-formed and
@@ -311,6 +319,9 @@ MsqServer::Reply MsqServer::HandleQuery(const std::string& text,
         EncodeErrorResponse(request.id, StatusCode::kResourceExhausted,
                             "admission queue full", retry_after_ms);
     return reply;
+  }
+  if (request.op != ServeOp::kQuery) {
+    return HandleMutation(std::move(reply), request, cost);
   }
   QueryRequest query;
   query.algorithm = request.algorithm;
@@ -394,6 +405,56 @@ MsqServer::Reply MsqServer::HandleQuery(const std::string& text,
   reply.body =
       EncodeResultResponse(request, result, returned, queue_seconds * 1e3,
                            total_seconds * 1e3);
+  event.serialize_ms = (MonotonicSeconds() - serialize_start) * 1e3;
+  return reply;
+}
+
+MsqServer::Reply MsqServer::HandleMutation(Reply reply,
+                                           const ServeRequest& request,
+                                           double cost) {
+  obs::WideEvent& event = reply.event;
+  const double started_at = MonotonicSeconds();
+  MutationResult result;
+  if (config_.mutation_handler) {
+    result = config_.mutation_handler(request);
+  } else {
+    result.status =
+        Status::InvalidArgument("this server does not accept mutations");
+  }
+  const double wall_seconds = MonotonicSeconds() - started_at;
+  // A mutation either applies or fails — there is no truncated prefix —
+  // so the conservation identities hold with the same Finish() discipline
+  // as queries.
+  const RequestOutcome outcome = result.status.ok()
+                                     ? RequestOutcome::kCompleted
+                                     : RequestOutcome::kFailed;
+  admission_.Finish(outcome, cost);
+  wall_us_hist_->Observe(static_cast<std::uint64_t>(wall_seconds * 1e6));
+  if (result.status.ok()) {
+    mutations_applied_->Inc();
+    data_epoch_gauge_->Update(static_cast<double>(result.data_epoch));
+  } else {
+    mutations_failed_->Inc();
+  }
+  // The exclusive-barrier drain happens inside the handler, so it counts
+  // as execution here: mutation latency *is* dominated by waiting out the
+  // in-flight queries.
+  event.execute_ms = wall_seconds * 1e3;
+  event.status_code = static_cast<std::int32_t>(result.status.code());
+  const double serialize_start = MonotonicSeconds();
+  if (outcome == RequestOutcome::kFailed) {
+    event.outcome = "failed";
+    reply.http_status = HttpStatusFor(result.status.code());
+    event.http_status = reply.http_status;
+    reply.body = EncodeErrorResponse(request.id, result.status.code(),
+                                     result.status.message());
+  } else {
+    event.outcome = "completed";
+    reply.http_status = 200;
+    event.http_status = 200;
+    reply.body =
+        EncodeMutationResponse(request, result, wall_seconds * 1e3);
+  }
   event.serialize_ms = (MonotonicSeconds() - serialize_start) * 1e3;
   return reply;
 }

@@ -73,6 +73,11 @@ struct ServerConfig {
   // Applied when a request carries no deadline (0 = unlimited).
   double default_deadline_ms = 0.0;
   AdmissionConfig admission;
+  // Executes parsed mutation requests ("op" field, serve/request.h) —
+  // typically a closure over the owning Workload that runs the mutation
+  // through QueryExecutor::SubmitExclusive. Null (the default) rejects
+  // every mutation with INVALID_ARGUMENT; queries are unaffected.
+  MutationHandler mutation_handler;
   // Registry served by GET /metrics; null = GlobalMetrics(). Should match
   // the executor's telemetry registry so one scrape sees everything.
   obs::MetricsRegistry* registry = nullptr;
@@ -135,6 +140,10 @@ class MsqServer {
   // context (invalid for NDJSON, where the body field carries it).
   Reply HandleQuery(const std::string& text, double received_at,
                     const obs::TraceContext& header_ctx);
+  // Runs one already-admitted mutation through the configured handler and
+  // finishes its accounting (HandleQuery branches here after TryAdmit).
+  Reply HandleMutation(Reply reply, const ServeRequest& request,
+                       double cost);
   Reply HandleHttp(const std::string& request_line, FrameReader* reader,
                    double received_at, bool* close_connection);
   // Appends the reply's wide event (if any) after finalizing the
@@ -158,6 +167,9 @@ class MsqServer {
   obs::Histogram* const queue_wait_completed_;
   obs::Histogram* const queue_wait_truncated_;
   obs::Histogram* const queue_wait_failed_;
+  obs::Counter* const mutations_applied_;
+  obs::Counter* const mutations_failed_;
+  obs::Gauge* const data_epoch_gauge_;
   obs::WideEventLog wide_events_;
 
   int listener_ = -1;

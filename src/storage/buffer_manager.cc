@@ -172,6 +172,25 @@ StatusOr<PageGuard> BufferManager::AllocatePage() {
   return PageGuard(this, shard_index, &frame, &frame.page, *id);
 }
 
+Status BufferManager::FreePage(PageId id) {
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto it = shard.table.find(id); it != shard.table.end()) {
+      if (it->second->pins > 0) {
+        return Status::InvalidArgument("free of pinned page " +
+                                       std::to_string(id));
+      }
+      // Drop the image without writeback: a freed page's contents are dead,
+      // and leaving the frame resident would let a recycled id serve stale
+      // bytes from the pool.
+      shard.lru.erase(it->second);
+      shard.table.erase(it);
+    }
+  }
+  return disk_->Free(id);
+}
+
 void BufferManager::Unpin(std::size_t shard_index, void* frame) {
   Shard& shard = shards_[shard_index];
   std::lock_guard<std::mutex> lock(shard.mu);

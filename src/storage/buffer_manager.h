@@ -176,9 +176,16 @@ class BufferManager {
 
   // Allocates a fresh page on disk and returns a pinned guard on its pooled
   // image (dirty); guard.id() is the new page's id. Not thread-safe against
-  // other AllocatePage calls — allocation happens at build time, before
-  // queries run.
+  // other AllocatePage calls — allocation happens at build time or under
+  // the executor's exclusive write barrier, never concurrently with queries.
   StatusOr<PageGuard> AllocatePage();
+
+  // Returns page `id` to the disk free list, dropping its pooled image
+  // first (without writeback — a freed page's contents are dead) so a later
+  // reuse of the id can never serve stale pooled bytes. Refuses with
+  // kInvalidArgument while the frame is pinned. Same concurrency contract
+  // as AllocatePage.
+  Status FreePage(PageId id);
 
   // Writes back every dirty page (pool keeps its contents). On failure the
   // affected frame stays dirty and the first error is returned after

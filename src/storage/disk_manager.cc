@@ -16,7 +16,15 @@ std::string PageContext(const std::string& path, PageId id,
 }  // namespace
 
 StatusOr<PageId> InMemoryDiskManager::Allocate() {
+  if (!free_.empty()) {
+    const PageId id = free_.back();
+    free_.pop_back();
+    freed_[id] = false;
+    *pages_[id] = Page{};  // a recycled slot starts zeroed, like a fresh one
+    return id;
+  }
   pages_.push_back(std::make_unique<Page>());
+  if (freed_.size() < pages_.size()) freed_.resize(pages_.size(), false);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
@@ -39,6 +47,21 @@ Status InMemoryDiskManager::Write(PageId id, const Page& page) {
   }
   *pages_[id] = page;
   writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status();
+}
+
+Status InMemoryDiskManager::Free(PageId id) {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("free of unallocated page " +
+                                   std::to_string(id));
+  }
+  if (id < freed_.size() && freed_[id]) {
+    return Status::InvalidArgument("double free of page " +
+                                   std::to_string(id));
+  }
+  if (freed_.size() < pages_.size()) freed_.resize(pages_.size(), false);
+  freed_[id] = true;
+  free_.push_back(id);
   return Status();
 }
 
@@ -111,6 +134,15 @@ Status FileDiskManager::WriteSlot(PageId id, const Page& page) {
 StatusOr<PageId> FileDiskManager::Allocate() {
   std::lock_guard<std::mutex> lock(io_mu_);
   const Page zero{};
+  if (!free_.empty()) {
+    const PageId id = free_.back();
+    // Zero the recycled slot first; only a clean write takes it off the
+    // free list, so a failed reuse can be retried.
+    if (Status status = WriteSlot(id, zero); !status.ok()) return status;
+    free_.pop_back();
+    freed_[id] = false;
+    return id;
+  }
   const PageId id =
       static_cast<PageId>(page_count_.load(std::memory_order_relaxed));
   if (Status status = WriteSlot(id, zero); !status.ok()) return status;
@@ -172,6 +204,28 @@ Status FileDiskManager::Write(PageId id, const Page& page) {
   if (Status status = WriteSlot(id, page); !status.ok()) return status;
   writes_.fetch_add(1, std::memory_order_relaxed);
   return Status();
+}
+
+Status FileDiskManager::Free(PageId id) {
+  if (id >= page_count_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("free of unallocated page " +
+                                   std::to_string(id) + " of " + path_);
+  }
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (id < freed_.size() && freed_[id]) {
+    return Status::InvalidArgument("double free of page " +
+                                   std::to_string(id) + " of " + path_);
+  }
+  const std::size_t count = page_count_.load(std::memory_order_relaxed);
+  if (freed_.size() < count) freed_.resize(count, false);
+  freed_[id] = true;
+  free_.push_back(id);
+  return Status();
+}
+
+std::size_t FileDiskManager::FreeCount() const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return free_.size();
 }
 
 }  // namespace msq

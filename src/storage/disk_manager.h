@@ -29,20 +29,31 @@ namespace msq {
 
 // Abstract page store. Concurrent Read/Write calls on distinct pages are
 // safe (the sharded BufferManager above serializes same-page access);
-// Allocate happens at build time, before queries run concurrently.
+// Allocate/Free happen at build time or under the executor's exclusive
+// write barrier, never concurrently with queries.
 class DiskManager {
  public:
   virtual ~DiskManager() = default;
 
-  // Appends a zeroed page and returns its id.
+  // Returns a zeroed page id: a recycled one from the free list when
+  // available, otherwise a freshly appended page. Reusing freed slots
+  // bounds file growth under repeated relayout/mutation churn.
   virtual StatusOr<PageId> Allocate() = 0;
   // Reads page `id` into `*out`. Fails with kInvalidArgument for an
   // unallocated id, kIoError/kCorruption for environmental failures.
   virtual Status Read(PageId id, Page* out) = 0;
   // Writes `page` at `id`. Same failure taxonomy as Read.
   virtual Status Write(PageId id, const Page& page) = 0;
-  // Number of allocated pages.
+  // Returns page `id` to the free list for reuse by a later Allocate.
+  // kInvalidArgument for an unallocated or already-free id. The slot stays
+  // readable (zeroed on reuse) — callers must drop their own references
+  // (and any buffered copies) first.
+  virtual Status Free(PageId id) = 0;
+  // Number of allocated slots (freed-but-not-reused slots included — this
+  // is the file-size metric the churn bench bounds).
   virtual std::size_t PageCount() const = 0;
+  // Slots currently on the free list.
+  virtual std::size_t FreeCount() const = 0;
 
   // Cumulative successful physical read/write counters (for I/O accounting
   // tests; the benchmark metric is buffer-miss counts from BufferManager,
@@ -69,10 +80,15 @@ class InMemoryDiskManager final : public DiskManager {
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) override;
   Status Write(PageId id, const Page& page) override;
+  Status Free(PageId id) override;
   std::size_t PageCount() const override { return pages_.size(); }
+  std::size_t FreeCount() const override { return free_.size(); }
 
  private:
   std::vector<std::unique_ptr<Page>> pages_;
+  // Recycled ids, popped LIFO by Allocate. `freed_[id]` guards double-free.
+  std::vector<PageId> free_;
+  std::vector<bool> freed_;
 };
 
 // File-backed page store. The file is created (truncated) on construction
@@ -109,9 +125,11 @@ class FileDiskManager final : public DiskManager {
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) override;
   Status Write(PageId id, const Page& page) override;
+  Status Free(PageId id) override;
   std::size_t PageCount() const override {
     return page_count_.load(std::memory_order_relaxed);
   }
+  std::size_t FreeCount() const override;
 
  private:
   FileDiskManager(std::FILE* file, std::string path, std::size_t page_count);
@@ -121,10 +139,14 @@ class FileDiskManager final : public DiskManager {
 
   // The single FILE* carries one seek position, so concurrent page I/O from
   // different buffer shards must serialize around seek+read/write pairs.
-  std::mutex io_mu_;
+  mutable std::mutex io_mu_;
   std::FILE* file_;
   std::string path_;  // for error messages
   std::atomic<std::size_t> page_count_;
+  // In-memory only: the free list is not persisted, so an adopted file
+  // starts with every slot considered live. Guarded by io_mu_.
+  std::vector<PageId> free_;
+  std::vector<bool> freed_;
 };
 
 }  // namespace msq

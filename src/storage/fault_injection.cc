@@ -42,8 +42,16 @@ StatusOr<PageId> FaultInjectingDiskManager::Allocate() {
   return inner_->Allocate();
 }
 
+Status FaultInjectingDiskManager::Free(PageId id) {
+  return inner_->Free(id);
+}
+
 std::size_t FaultInjectingDiskManager::PageCount() const {
   return inner_->PageCount();
+}
+
+std::size_t FaultInjectingDiskManager::FreeCount() const {
+  return inner_->FreeCount();
 }
 
 Status FaultInjectingDiskManager::Read(PageId id, Page* out) {

@@ -94,7 +94,11 @@ class FaultInjectingDiskManager final : public DiskManager {
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) override;
   Status Write(PageId id, const Page& page) override;
+  // Free passes through untouched, like Allocate: free-list bookkeeping is
+  // metadata the fault model does not cover.
+  Status Free(PageId id) override;
   std::size_t PageCount() const override;
+  std::size_t FreeCount() const override;
 
  private:
   static Status MakeFault(StatusCode code, const char* op, PageId id);

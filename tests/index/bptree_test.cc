@@ -214,5 +214,128 @@ TEST_F(BpTreeTest, EdgeKeyCompositeRangeConvention) {
   EXPECT_EQ(items[1].second.Unpack<Payload>().a, 51u);
 }
 
+TEST_F(BpTreeTest, DeleteSingleAndMissing) {
+  BpTree tree(&buffer_);
+  tree.Insert(7, Val(70));
+  tree.Insert(9, Val(90));
+  EXPECT_TRUE(tree.Delete(7).value());
+  BpTreeValue out;
+  EXPECT_FALSE(tree.Lookup(7, &out).value());
+  EXPECT_TRUE(tree.Lookup(9, &out).value());
+  EXPECT_FALSE(tree.Delete(7).value());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(BpTreeTest, DeleteEverythingDrainsTreeThenReinserts) {
+  BpTree tree(&buffer_);
+  const std::size_t n = BpTree::LeafCapacity() * 6;
+  for (std::size_t i = 0; i < n; ++i) tree.Insert(i, Val(i));
+  EXPECT_GT(tree.height(), 1u);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Delete(i).value()) << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  BpTreeValue out;
+  EXPECT_FALSE(tree.Lookup(0, &out).value());
+  // The drained tree accepts fresh inserts (freed pages get recycled).
+  for (std::size_t i = 0; i < n; ++i) tree.Insert(i * 2, Val(i));
+  EXPECT_EQ(tree.size(), n);
+  ASSERT_TRUE(tree.Lookup(2, &out).value());
+  EXPECT_EQ(out.Unpack<Payload>().a, 1u);
+}
+
+TEST_F(BpTreeTest, RandomChurnMatchesTruthWithRebalances) {
+  // Interleaved inserts and deletes heavy enough to force leaf underflow,
+  // borrow, merge, and root collapse, checked against a std::map oracle
+  // after every phase.
+  BpTree tree(&buffer_);
+  Rng rng(1234);
+  std::map<std::uint64_t, std::uint32_t> truth;
+  auto check_all = [&] {
+    ASSERT_EQ(tree.size(), truth.size());
+    std::vector<BpTree::Item> items;
+    ASSERT_TRUE(tree.ScanRange(0, ~0ull, &items).ok());
+    ASSERT_EQ(items.size(), truth.size());
+    std::size_t i = 0;
+    for (const auto& [key, value] : truth) {
+      ASSERT_EQ(items[i].first, key);
+      ASSERT_EQ(items[i].second.Unpack<Payload>().a, value);
+      ++i;
+    }
+  };
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t key = rng.NextBounded(4000);
+      if (rng.NextBounded(100) < 55) {
+        if (truth.count(key)) continue;
+        truth[key] = static_cast<std::uint32_t>(i);
+        tree.Insert(key, Val(static_cast<std::uint32_t>(i)));
+      } else {
+        const bool removed = tree.Delete(key).value();
+        ASSERT_EQ(removed, truth.erase(key) > 0) << key;
+      }
+    }
+    check_all();
+  }
+  // Drain-heavy phase: shrink far enough to collapse internal levels.
+  while (truth.size() > 8) {
+    const std::uint64_t key = truth.begin()->first;
+    ASSERT_TRUE(tree.Delete(key).value());
+    truth.erase(key);
+  }
+  check_all();
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST_F(BpTreeTest, DuplicateKeysStayAdjacentUnderChurn) {
+  // The middle-layer invariant: all items of one key come back adjacent in
+  // a range scan, across splits and delete-driven rebalances. Duplicates
+  // are hammered around one hot key while neighbors churn.
+  BpTree tree(&buffer_);
+  const std::uint64_t hot = 500;
+  std::size_t hot_count = 0;
+  Rng rng(77);
+  for (int i = 0; i < 4000; ++i) {
+    const int coin = static_cast<int>(rng.NextBounded(100));
+    if (coin < 30) {
+      tree.Insert(hot, Val(static_cast<std::uint32_t>(hot_count)));
+      ++hot_count;
+    } else if (coin < 45 && hot_count > 0) {
+      ASSERT_TRUE(tree.Delete(hot).value());
+      --hot_count;
+    } else {
+      const std::uint64_t key = rng.NextBounded(1000);
+      if (key == hot) continue;
+      if (coin < 80) {
+        tree.Insert(key, Val(static_cast<std::uint32_t>(i)));
+      } else {
+        (void)tree.Delete(key).value();
+      }
+    }
+    if (i % 500 != 499) continue;
+    // All duplicates of the hot key are returned by its point range, and
+    // they sit adjacent in a full scan.
+    std::vector<BpTree::Item> items;
+    ASSERT_TRUE(tree.ScanRange(hot, hot, &items).ok());
+    ASSERT_EQ(items.size(), hot_count) << "after op " << i;
+    items.clear();
+    ASSERT_TRUE(tree.ScanRange(0, ~0ull, &items).ok());
+    std::size_t first = items.size();
+    std::size_t last = 0;
+    std::size_t seen = 0;
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      if (items[j].first != hot) continue;
+      first = std::min(first, j);
+      last = j;
+      ++seen;
+    }
+    ASSERT_EQ(seen, hot_count);
+    if (seen > 0) {
+      EXPECT_EQ(last - first + 1, seen)
+          << "duplicates of key " << hot << " not adjacent after op " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace msq

@@ -175,5 +175,51 @@ TEST(AdmissionTest, MetricsRegistryCarriesTheCounters) {
   EXPECT_DOUBLE_EQ(registry.gauge(metric::kServePending)->value(), 0.0);
 }
 
+TEST(AdmissionTest, MutationCostsAreFlatAndOutweighLbc) {
+  ServeRequest update;
+  update.op = ServeOp::kUpdateEdge;
+  ServeRequest insert;
+  insert.op = ServeOp::kInsertObject;
+  ServeRequest del;
+  del.op = ServeOp::kDeleteObject;
+  ServeRequest lbc;
+  lbc.algorithm = Algorithm::kLbc;
+  lbc.sources.resize(1);
+  // Object churn COW-rewrites an R-tree path; an edge update only touches
+  // the graph. Both cost more than the cheapest query.
+  EXPECT_GT(EstimateCost(insert), EstimateCost(update));
+  EXPECT_DOUBLE_EQ(EstimateCost(insert), EstimateCost(del));
+  EXPECT_GT(EstimateCost(update), EstimateCost(lbc));
+  // Flat: the query-side source fan-out does not apply to mutations.
+  ServeRequest update_with_junk = update;
+  EXPECT_DOUBLE_EQ(EstimateCost(update_with_junk), EstimateCost(update));
+}
+
+TEST(AdmissionTest, RetryHintIsCappedUnderDeepOverload) {
+  obs::MetricsRegistry registry;
+  AdmissionConfig config = TestConfig(&registry, /*max_pending=*/1,
+                                      /*max_cost=*/1.0);
+  config.retry_after_base_ms = 25.0;
+  config.retry_after_max_ms = 500.0;
+  AdmissionController admission(config);
+  double retry = 0.0;
+  admission.CountReceived();
+  ASSERT_TRUE(admission.TryAdmit(1.0, &retry));
+  // A shed request whose cost alone is 1000x the watermark would, unclamped,
+  // get a 25s hint; the cap holds it at the ceiling.
+  admission.CountReceived();
+  EXPECT_FALSE(admission.TryAdmit(1000.0, &retry));
+  EXPECT_DOUBLE_EQ(retry, 500.0);
+  // Mild overload stays below the cap and above the base.
+  double mild = 0.0;
+  admission.CountReceived();
+  EXPECT_FALSE(admission.TryAdmit(2.0, &mild));
+  EXPECT_GE(mild, config.retry_after_base_ms);
+  EXPECT_LE(mild, 500.0);
+  EXPECT_LT(mild, 500.0);
+  admission.Finish(RequestOutcome::kCompleted, 1.0);
+  EXPECT_EQ(admission.CheckConservation(), "");
+}
+
 }  // namespace
 }  // namespace msq::serve

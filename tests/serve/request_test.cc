@@ -176,5 +176,121 @@ TEST(RequestTest, ErrorResponseRoundTripsThroughParser) {
   EXPECT_DOUBLE_EQ(json.Find("retry_after_ms")->AsNumber(), 75.0);
 }
 
+TEST(RequestTest, ParsesUpdateEdgeMutation) {
+  const ServeRequest request =
+      P("{\"op\":\"update_edge\",\"edge\":3,\"length\":12.5,"
+        "\"id\":\"m-1\"}")
+          .value();
+  EXPECT_EQ(request.op, ServeOp::kUpdateEdge);
+  EXPECT_EQ(request.edge, 3u);
+  EXPECT_DOUBLE_EQ(request.length, 12.5);
+  EXPECT_EQ(request.id, "m-1");
+  // length 0 is the explicit "reset to Euclidean" sentinel, not an error.
+  EXPECT_DOUBLE_EQ(
+      P("{\"op\":\"update_edge\",\"edge\":0,\"length\":0}")
+          .value()
+          .length,
+      0.0);
+}
+
+TEST(RequestTest, ParsesInsertObjectMutation) {
+  const ServeRequest request =
+      P("{\"op\":\"insert_object\",\"edge\":7,\"offset\":0.25}")
+          .value();
+  EXPECT_EQ(request.op, ServeOp::kInsertObject);
+  EXPECT_EQ(request.edge, 7u);
+  EXPECT_DOUBLE_EQ(request.offset, 0.25);
+  // offset defaults to 0 (the edge head).
+  EXPECT_DOUBLE_EQ(
+      P("{\"op\":\"insert_object\",\"edge\":7}").value().offset, 0.0);
+}
+
+TEST(RequestTest, ParsesDeleteObjectMutation) {
+  const ServeRequest request =
+      P("{\"op\":\"delete_object\",\"object\":42}").value();
+  EXPECT_EQ(request.op, ServeOp::kDeleteObject);
+  EXPECT_EQ(request.object, 42u);
+}
+
+TEST(RequestTest, MutationRejections) {
+  const char* cases[] = {
+      // op must be a known string.
+      "{\"op\":\"compact\",\"edge\":0}",
+      "{\"op\":7,\"edge\":0}",
+      // Missing required fields per op.
+      "{\"op\":\"update_edge\",\"edge\":0}",           // no length
+      "{\"op\":\"update_edge\",\"length\":1}",         // no edge
+      "{\"op\":\"insert_object\",\"offset\":0.5}",     // no edge
+      "{\"op\":\"delete_object\"}",                      // no object
+      // Forbidden fields per op.
+      "{\"op\":\"update_edge\",\"edge\":0,\"length\":1,"
+      "\"offset\":0.5}",
+      "{\"op\":\"update_edge\",\"edge\":0,\"length\":1,"
+      "\"object\":1}",
+      "{\"op\":\"insert_object\",\"edge\":0,\"length\":1}",
+      "{\"op\":\"delete_object\",\"object\":1,\"edge\":0}",
+      "{\"op\":\"delete_object\",\"object\":1,\"offset\":0.5}",
+      // Half-query-half-mutation must never execute either side.
+      "{\"op\":\"update_edge\",\"edge\":0,\"length\":1,"
+      "\"algo\":\"lbc\"}",
+      "{\"op\":\"update_edge\",\"edge\":0,\"length\":1,"
+      "\"sources\":[{\"edge\":0}]}",
+      "{\"op\":\"delete_object\",\"object\":1,\"k\":4}",
+      "{\"op\":\"insert_object\",\"edge\":0,"
+      "\"limits\":{\"deadline_ms\":100}}",
+      // Mutation fields without an op: not a valid query either.
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],"
+      "\"length\":5}",
+      "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0}],"
+      "\"object\":1}",
+      // Range checks.
+      "{\"op\":\"update_edge\",\"edge\":0,\"length\":-1}",
+      "{\"op\":\"update_edge\",\"edge\":1.5,\"length\":1}",
+      "{\"op\":\"insert_object\",\"edge\":0,\"offset\":-0.1}",
+      "{\"op\":\"delete_object\",\"object\":-1}",
+      "{\"op\":\"delete_object\",\"object\":1.5}",
+  };
+  for (const char* text : cases) {
+    const StatusOr<ServeRequest> result = P(text);
+    EXPECT_FALSE(result.ok()) << "accepted: " << text;
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << text;
+    }
+  }
+}
+
+TEST(RequestTest, MutationResponseRoundTripsThroughParser) {
+  ServeRequest request;
+  request.op = ServeOp::kInsertObject;
+  request.id = "mut-7";
+  MutationResult result;
+  result.data_epoch = 12;
+  result.object = 99;
+  const std::string body =
+      EncodeMutationResponse(request, result, /*wall_ms=*/2.5);
+  const JsonValue json = ParseJson(body).value();
+  EXPECT_EQ(json.Find("id")->AsString(), "mut-7");
+  EXPECT_EQ(json.Find("status")->AsString(), "OK");
+  EXPECT_EQ(json.Find("op")->AsString(), "insert_object");
+  EXPECT_DOUBLE_EQ(json.Find("data_epoch")->AsNumber(), 12.0);
+  EXPECT_DOUBLE_EQ(json.Find("object")->AsNumber(), 99.0);
+  EXPECT_DOUBLE_EQ(json.Find("stats")->Find("wall_ms")->AsNumber(), 2.5);
+
+  request.op = ServeOp::kDeleteObject;
+  result.removed = true;
+  const JsonValue del =
+      ParseJson(EncodeMutationResponse(request, result, 0.5)).value();
+  EXPECT_EQ(del.Find("op")->AsString(), "delete_object");
+  EXPECT_TRUE(del.Find("removed")->AsBool());
+
+  request.op = ServeOp::kUpdateEdge;
+  result.applied_length = 7.75;
+  const JsonValue upd =
+      ParseJson(EncodeMutationResponse(request, result, 0.5)).value();
+  EXPECT_EQ(upd.Find("op")->AsString(), "update_edge");
+  EXPECT_DOUBLE_EQ(upd.Find("applied_length")->AsNumber(), 7.75);
+}
+
 }  // namespace
 }  // namespace msq::serve

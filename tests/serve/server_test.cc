@@ -26,7 +26,8 @@ namespace {
 // One server stack over a small generated workload. Each fixture instance
 // owns a private MetricsRegistry so tests do not share counters.
 struct ServerStack {
-  explicit ServerStack(ServerConfig config = {}, std::size_t workers = 2) {
+  explicit ServerStack(ServerConfig config = {}, std::size_t workers = 2,
+                       bool with_mutations = false) {
     WorkloadConfig workload_config;
     workload_config.network = NetworkGenConfig{120, 160, 5, 0.0};
     workload_config.object_density = 1.0;
@@ -37,6 +38,57 @@ struct ServerStack {
                                                telemetry);
     config.registry = &registry;
     config.admission.registry = &registry;
+    if (with_mutations) {
+      // The production wiring (tools/msq_server.cc): mutations run under
+      // the executor's exclusive barrier against the owning Workload.
+      QueryExecutor* exec = executor.get();
+      Workload* wl = workload.get();
+      config.mutation_handler = [exec, wl](const ServeRequest& req) {
+        MutationResult out;
+        out.status =
+            exec->SubmitExclusive([wl, &req, &out] {
+                  switch (req.op) {
+                    case ServeOp::kUpdateEdge: {
+                      if (req.edge >= wl->network().edge_count()) {
+                        return Status::InvalidArgument("edge out of range");
+                      }
+                      StatusOr<Dist> applied =
+                          wl->UpdateEdgeWeight(req.edge, req.length);
+                      if (!applied.ok()) return applied.status();
+                      out.applied_length = applied.value();
+                      return Status();
+                    }
+                    case ServeOp::kInsertObject: {
+                      if (req.edge >= wl->network().edge_count()) {
+                        return Status::InvalidArgument("edge out of range");
+                      }
+                      if (req.offset >
+                          wl->network().EdgeAt(req.edge).length) {
+                        return Status::InvalidArgument(
+                            "offset beyond edge length");
+                      }
+                      StatusOr<ObjectId> id =
+                          wl->InsertObject(Location{req.edge, req.offset});
+                      if (!id.ok()) return id.status();
+                      out.object = id.value();
+                      return Status();
+                    }
+                    case ServeOp::kDeleteObject: {
+                      StatusOr<bool> removed = wl->DeleteObject(req.object);
+                      if (!removed.ok()) return removed.status();
+                      out.removed = removed.value();
+                      return Status();
+                    }
+                    case ServeOp::kQuery:
+                      break;
+                  }
+                  return Status::InvalidArgument("not a mutation");
+                })
+                .get();
+        out.data_epoch = wl->dataset().graph_pager->data_epoch();
+        return out;
+      };
+    }
     server = std::make_unique<MsqServer>(executor.get(), config);
     start_status = server->Start();
   }
@@ -510,6 +562,129 @@ TEST(ServerTest, ShutdownUnblocksIdleConnections) {
   stack.server->Shutdown();
   EXPECT_LT(MonotonicSeconds() - start, 5.0);
   ::close(fd);
+}
+
+TEST(ServerTest, MutationWithoutHandlerFailsCleanly) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  const StatusOr<std::string> reply = RoundTrip(
+      fd, "{\"op\":\"update_edge\",\"edge\":0,\"length\":5}");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = ParseJson(reply.value()).value();
+  EXPECT_EQ(json.Find("error")->Find("code")->AsString(),
+            "INVALID_ARGUMENT");
+  ::close(fd);
+  stack.server->Shutdown();
+  // The request was well-formed, so it was admitted and failed — not
+  // rejected at parse time — and accounting still balances.
+  EXPECT_EQ(stack.server->admission().admitted(), 1u);
+  EXPECT_EQ(stack.server->admission().failed(), 1u);
+  EXPECT_EQ(stack.server->admission().CheckConservation(), "");
+  EXPECT_EQ(stack.registry.counter(metric::kServeMutationsFailed)->value(),
+            1u);
+}
+
+TEST(ServerTest, MutationsRoundTripAndAdvanceDataEpoch) {
+  ServerStack stack({}, /*workers=*/2, /*with_mutations=*/true);
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+
+  const StatusOr<std::string> update = RoundTrip(
+      fd, "{\"op\":\"update_edge\",\"edge\":3,\"length\":123.5,"
+          "\"id\":\"m-1\"}");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  const JsonValue update_json = ParseJson(update.value()).value();
+  EXPECT_EQ(update_json.Find("status")->AsString(), "OK");
+  EXPECT_EQ(update_json.Find("op")->AsString(), "update_edge");
+  EXPECT_EQ(update_json.Find("id")->AsString(), "m-1");
+  EXPECT_DOUBLE_EQ(update_json.Find("applied_length")->AsNumber(), 123.5);
+  const double epoch1 = update_json.Find("data_epoch")->AsNumber();
+  EXPECT_GT(epoch1, 0.0);
+
+  const StatusOr<std::string> insert = RoundTrip(
+      fd, "{\"op\":\"insert_object\",\"edge\":5,\"offset\":0}");
+  ASSERT_TRUE(insert.ok());
+  const JsonValue insert_json = ParseJson(insert.value()).value();
+  EXPECT_EQ(insert_json.Find("op")->AsString(), "insert_object");
+  const double epoch2 = insert_json.Find("data_epoch")->AsNumber();
+  EXPECT_GT(epoch2, epoch1);
+  const std::uint64_t inserted =
+      static_cast<std::uint64_t>(insert_json.Find("object")->AsNumber());
+
+  const StatusOr<std::string> del = RoundTrip(
+      fd, "{\"op\":\"delete_object\",\"object\":" +
+              std::to_string(inserted) + "}");
+  ASSERT_TRUE(del.ok());
+  const JsonValue del_json = ParseJson(del.value()).value();
+  EXPECT_EQ(del_json.Find("op")->AsString(), "delete_object");
+  EXPECT_TRUE(del_json.Find("removed")->AsBool());
+  const double epoch3 = del_json.Find("data_epoch")->AsNumber();
+  EXPECT_GT(epoch3, epoch2);
+
+  // Queries still run on the mutated world over the same connection.
+  const StatusOr<std::string> query = RoundTrip(
+      fd, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":3}]}");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(ParseJson(query.value()).value().Find("status")->AsString(),
+            "OK");
+  ::close(fd);
+  stack.server->Shutdown();
+
+  EXPECT_EQ(stack.registry.counter(metric::kServeMutationsApplied)->value(),
+            3u);
+  EXPECT_DOUBLE_EQ(stack.registry.gauge(metric::kServeDataEpoch)->value(),
+                   epoch3);
+  EXPECT_EQ(stack.server->admission().completed(), 4u);
+  EXPECT_EQ(stack.server->admission().CheckConservation(), "");
+}
+
+TEST(ServerTest, InvalidMutationTargetFailsWithoutCrash) {
+  ServerStack stack({}, /*workers=*/2, /*with_mutations=*/true);
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  // Out-of-range edge: a clean structured error, not an MSQ_CHECK abort.
+  const StatusOr<std::string> bad_edge = RoundTrip(
+      fd, "{\"op\":\"update_edge\",\"edge\":999999,\"length\":1}");
+  ASSERT_TRUE(bad_edge.ok());
+  EXPECT_EQ(ParseJson(bad_edge.value())
+                .value()
+                .Find("error")
+                ->Find("code")
+                ->AsString(),
+            "INVALID_ARGUMENT");
+  // Deleting an id that never existed reports removed:false, status OK —
+  // idempotent deletes are not errors.
+  const StatusOr<std::string> missing = RoundTrip(
+      fd, "{\"op\":\"delete_object\",\"object\":4000000000}");
+  ASSERT_TRUE(missing.ok());
+  const JsonValue missing_json = ParseJson(missing.value()).value();
+  EXPECT_EQ(missing_json.Find("status")->AsString(), "OK");
+  EXPECT_FALSE(missing_json.Find("removed")->AsBool());
+  ::close(fd);
+  stack.server->Shutdown();
+  EXPECT_EQ(stack.registry.counter(metric::kServeMutationsFailed)->value(),
+            1u);
+  EXPECT_EQ(stack.registry.counter(metric::kServeMutationsApplied)->value(),
+            1u);
+  EXPECT_EQ(stack.server->admission().CheckConservation(), "");
+}
+
+TEST(ServerTest, HttpPostCarriesMutations) {
+  ServerStack stack({}, /*workers=*/2, /*with_mutations=*/true);
+  ASSERT_TRUE(stack.start_status.ok());
+  const std::string body =
+      "{\"op\":\"update_edge\",\"edge\":1,\"length\":9}";
+  const std::string response = Http(
+      stack, "POST /query HTTP/1.1\r\nContent-Length: " +
+                 std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"op\":\"update_edge\""), std::string::npos);
+  EXPECT_NE(response.find("\"data_epoch\""), std::string::npos);
+  const std::string requestz =
+      Http(stack, "GET /requestz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(requestz.find("\"algo\":\"update_edge\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -17,7 +17,9 @@
 # never read without knowing what produced them. In asan mode, a short chaos soak then writes the
 # wide-event JSONL and retained-trace dumps and runs them through
 # tools/validate_telemetry.py (skipped with a warning if python3 is
-# missing).
+# missing), followed by a short bench_churn run (mutations interleaved
+# with queries; the binary gates on conservation, epoch monotonicity, the
+# warm-vs-cold oracle, and bounded page growth).
 #
 # The build dir defaults to build-asan/ or build-tsan/ next to the source
 # tree, so `tools/check.sh build-asan` (the CI invocation) keeps working.
@@ -87,6 +89,19 @@ validate_telemetry() {
     --trace-dump "$out_dir/traces.json"
 }
 
+run_churn() {
+  # Dynamic-world gate (asan mode): a short churn run — edge-weight
+  # updates and object insert/delete interleaved with CE/EDC/LBC queries
+  # over live connections, storage faults armed. bench_churn exits
+  # non-zero on any gate failure: conservation, per-connection data_epoch
+  # monotonicity, warm-vs-cold oracle mismatch, or live-page growth
+  # beyond the net-insert bound.
+  mkdir -p "$build_dir/telemetry-check"
+  MSQ_CHURN_PHASE_S=2 \
+  MSQ_CHURN_OUT="$build_dir/telemetry-check/BENCH_churn.json" \
+    "$build_dir/bench/bench_churn"
+}
+
 if [[ "$mode" == "tsan" ]]; then
   # TSan's scheduler interleaving makes the full suite slow; the
   # single-threaded tests gain nothing from it, so gate on the suites that
@@ -99,6 +114,7 @@ else
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
   validate_telemetry
+  run_churn
 fi
 
 echo "check.sh: $mode build + tests clean"
