@@ -25,9 +25,18 @@
 //          prefixes return fast) even while it cannot be *complete*
 //      Any violation exits nonzero; any crash is its own verdict.
 //
+// Usage:
+//   bench_soak [--duration-s F]
+//
+// --duration-s sets the TOTAL loaded-soak wall time, split evenly across
+// the three load phases (1x/2x/4x) — the long-soak entry point (e.g.
+// --duration-s 600 for a ten-minute soak). Without it the per-phase
+// default below keeps CI runs short.
+//
 // Environment:
 //   MSQ_SOAK_SCALE       dataset scale          (default 0.05)
-//   MSQ_SOAK_PHASE_S     seconds per load phase (default 3)
+//   MSQ_SOAK_PHASE_S     seconds per load phase (default 3;
+//                        --duration-s wins when both are given)
 //   MSQ_SOAK_CLIENTS     paced client threads   (default 3)
 //   MSQ_SOAK_WORKERS     executor workers       (default 2)
 //   MSQ_SOAK_DEADLINE_MS per-request deadline   (default 200)
@@ -445,10 +454,25 @@ bool WriteFile(const std::string& path, const std::string& content) {
 }  // namespace
 }  // namespace msq::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msq;
   using namespace msq::bench;
-  const SoakEnv env = GetSoakEnv();
+  SoakEnv env = GetSoakEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--duration-s") == 0 && i + 1 < argc) {
+      const double total = std::atof(argv[++i]);
+      if (total <= 0.0) {
+        std::fprintf(stderr, "bench_soak: --duration-s must be > 0\n");
+        return 2;
+      }
+      // Three loaded phases (1x/2x/4x) share the budget; calibration is
+      // capped separately and stays short.
+      env.phase_seconds = total / 3.0;
+    } else {
+      std::fprintf(stderr, "usage: %s [--duration-s F]\n", argv[0]);
+      return 2;
+    }
+  }
 
   WorkloadConfig config;
   config.network = PaperNetworkConfig(NetworkClass::kCA, env.scale,

@@ -9,8 +9,9 @@
 // Each worker count is measured three ways: cold with default always-on
 // telemetry (the serving configuration), cold with telemetry disabled
 // (the PR-4-equivalent baseline the <2% overhead budget is measured
-// against; both cold passes take the best of kTimedReps timed batches to
-// damp scheduler noise), and warm (executor-owned QueryCache populated by
+// against; the two cold passes run as interleaved timed repetitions and
+// each reports its min wall, so ambient-load drift cancels out of the
+// comparison), and warm (executor-owned QueryCache populated by
 // an untimed pass, then the same batch timed) — the warm columns quantify
 // the cross-query cache's page-access reduction and QPS gain on repeated
 // queries, with results still checked byte-for-byte against the oracle.
@@ -44,8 +45,15 @@ constexpr Algorithm kAlgorithms[] = {Algorithm::kCe, Algorithm::kEdc,
 constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
 // Timed batch repetitions per cold mode; the best (min-wall) repetition is
 // reported, damping one-off scheduler hiccups that would otherwise swamp
-// the sub-2% telemetry-overhead comparison.
+// the sub-2% telemetry-overhead comparison. kTimedReps is the floor —
+// TimedBatches keeps repeating until the cumulative timed window reaches
+// kMinTimedSeconds (or kMaxTimedReps), because a single CA batch runs in
+// ~35 ms and a best-of-3 over windows that short is pure scheduler noise
+// on a shared host; the min over ~20 reps converges to the cost floor on
+// both sides of the telemetry-on/off comparison.
 constexpr std::size_t kTimedReps = 3;
+constexpr std::size_t kMaxTimedReps = 40;
+constexpr double kMinTimedSeconds = 6.0;
 
 struct Point {
   std::size_t workers = 0;
@@ -84,25 +92,55 @@ struct WorkloadReport {
 // (it used to dominate p99).
 constexpr std::size_t kWarmupBatches = 1;
 
-// Runs kWarmupBatches untimed batches, then `reps` timed ones, returning
-// the minimum timed wall seconds; `results` receives the last timed
-// repetition's results.
-double TimedBatches(QueryExecutor& executor,
-                    const std::vector<QueryRequest>& requests,
-                    std::size_t reps,
-                    std::vector<SkylineResult>* results) {
+// Warms both executors with kWarmupBatches untimed batches each, then
+// alternates timed repetitions between them — at least `kTimedReps` pairs,
+// continuing until each side's cumulative timed window reaches
+// kMinTimedSeconds or kMaxTimedReps pairs have run. Returns each side's
+// minimum timed wall seconds (the cost floor) through `wall_a`/`wall_b`;
+// `results_a`/`results_b` receive each side's final repetition results.
+void TimedBatchesPaired(QueryExecutor& a, QueryExecutor& b,
+                        const std::vector<QueryRequest>& requests,
+                        double* wall_a, double* wall_b,
+                        std::vector<SkylineResult>* results_a,
+                        std::vector<SkylineResult>* results_b) {
   for (std::size_t warm = 0; warm < kWarmupBatches; ++warm) {
-    executor.RunBatch(requests);
+    a.RunBatch(requests);
+    b.RunBatch(requests);
   }
-  double best = 0.0;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    const double start = MonotonicSeconds();
-    std::vector<SkylineResult> batch = executor.RunBatch(requests);
-    const double wall = MonotonicSeconds() - start;
-    if (rep == 0 || wall < best) best = wall;
-    if (rep + 1 == reps) *results = std::move(batch);
+  double best_a = 0.0, best_b = 0.0;
+  double total_a = 0.0, total_b = 0.0;
+  for (std::size_t rep = 0; rep < kMaxTimedReps; ++rep) {
+    // Alternate which side goes first within the pair so a position
+    // effect (cache residue, decaying transients) cannot bias one side.
+    QueryExecutor& first = (rep % 2 == 0) ? a : b;
+    QueryExecutor& second = (rep % 2 == 0) ? b : a;
+    double start = MonotonicSeconds();
+    std::vector<SkylineResult> batch_first = first.RunBatch(requests);
+    const double seconds_first = MonotonicSeconds() - start;
+    start = MonotonicSeconds();
+    std::vector<SkylineResult> batch_second = second.RunBatch(requests);
+    const double seconds_second = MonotonicSeconds() - start;
+    const double seconds_a = (rep % 2 == 0) ? seconds_first : seconds_second;
+    const double seconds_b = (rep % 2 == 0) ? seconds_second : seconds_first;
+    std::vector<SkylineResult>& batch_a =
+        (rep % 2 == 0) ? batch_first : batch_second;
+    std::vector<SkylineResult>& batch_b =
+        (rep % 2 == 0) ? batch_second : batch_first;
+    total_a += seconds_a;
+    total_b += seconds_b;
+    if (rep == 0 || seconds_a < best_a) best_a = seconds_a;
+    if (rep == 0 || seconds_b < best_b) best_b = seconds_b;
+    const bool enough = rep + 1 >= kTimedReps &&
+                        total_a >= kMinTimedSeconds &&
+                        total_b >= kMinTimedSeconds;
+    if (enough || rep + 1 == kMaxTimedReps) {
+      *results_a = std::move(batch_a);
+      *results_b = std::move(batch_b);
+      break;
+    }
   }
-  return best;
+  *wall_a = best_a;
+  *wall_b = best_b;
 }
 
 bool SameSkyline(const SkylineResult& a, const SkylineResult& b) {
@@ -152,14 +190,26 @@ WorkloadReport RunOne(NetworkClass cls, const BenchEnv& env,
     Point point;
     point.workers = workers;
     {
-      // Cold, serving configuration: default always-on telemetry, no
-      // cross-query reuse; TimedBatches warms the buffer pools untimed
-      // before its timed repetitions.
+      // Cold, serving configuration (default always-on telemetry) against
+      // the telemetry-off baseline, as a PAIRED comparison: both executors
+      // are warmed, then timed repetitions alternate between them so slow
+      // ambient-load drift on a shared host hits both sides equally
+      // instead of biasing whichever pass ran first. The min wall of each
+      // side is the reported cost floor; their QPS delta is the always-on
+      // overhead the <2% budget in ISSUE/DESIGN refers to.
       QueryExecutor executor(workload.dataset(), workers);
+      obs::TelemetryConfig off_config;
+      off_config.enabled = false;
+      QueryExecutor executor_off(workload.dataset(), workers, off_config);
 
       std::vector<SkylineResult> results;
-      const double wall =
-          TimedBatches(executor, requests, kTimedReps, &results);
+      std::vector<SkylineResult> results_off;
+      double wall = 0.0;
+      TimedBatchesPaired(executor, executor_off, requests, &wall,
+                         &point.telemetry_off_wall_seconds, &results,
+                         &results_off);
+      point.qps_telemetry_off = static_cast<double>(results_off.size()) /
+                                point.telemetry_off_wall_seconds;
 
       point.wall_seconds = wall;
       point.qps = static_cast<double>(results.size()) / wall;
@@ -182,22 +232,8 @@ WorkloadReport RunOne(NetworkClass cls, const BenchEnv& env,
                           ? 1.0
                           : report.points.front().wall_seconds / wall;
     }
-    {
-      // Cold again with telemetry disabled — the PR-4-equivalent baseline.
-      // The QPS delta against the pass above is the always-on overhead the
-      // <2% budget in ISSUE/DESIGN refers to.
-      obs::TelemetryConfig off;
-      off.enabled = false;
-      QueryExecutor executor(workload.dataset(), workers, off);
-
-      std::vector<SkylineResult> results;
-      point.telemetry_off_wall_seconds =
-          TimedBatches(executor, requests, kTimedReps, &results);
-      point.qps_telemetry_off = static_cast<double>(results.size()) /
-                                point.telemetry_off_wall_seconds;
-      point.telemetry_overhead_pct =
-          100.0 * (1.0 - point.qps / point.qps_telemetry_off);
-    }
+    point.telemetry_overhead_pct =
+        100.0 * (1.0 - point.qps / point.qps_telemetry_off);
     {
       // Warm: same batch, executor-owned cache populated by an untimed
       // pass; the timed pass resumes wavefronts and memoized distances.
@@ -269,9 +305,10 @@ void WriteJson(const std::vector<WorkloadReport>& reports,
                "  \"note\": \"latency = per-query wall clock inside the "
                "worker (log-bucketed histogram quantiles); speedup relative "
                "to the 1-worker batch; qps vs qps_telemetry_off = always-on "
-               "serving telemetry vs disabled, best-of-%zu batches "
+               "serving telemetry vs disabled, interleaved timed reps "
+               "(>=%zu, until each side accumulates %.2fs timed), min wall "
                "each\",\n",
-               kTimedReps);
+               kTimedReps, kMinTimedSeconds);
   std::fprintf(out, "  \"workloads\": [\n");
   for (std::size_t w = 0; w < reports.size(); ++w) {
     const WorkloadReport& report = reports[w];

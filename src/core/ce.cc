@@ -231,6 +231,17 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
   std::vector<QueryCache::WavefrontPtr> resumes;
   std::vector<std::unique_ptr<NetworkNnStream>> streams =
       OpenStreams(dataset, spec, &resumes);
+  // Radius each resumed wavefront had already reached: emissions at or
+  // inside it were answered by the cached snapshot, not fresh expansion
+  // (plan cache-tier attribution; only consulted when a plan is taken).
+  std::vector<Dist> resume_radius(n, -1.0);
+  if (spec.plan != nullptr) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (resumes[q] != nullptr) {
+        resume_radius[q] = CheckpointRadius(resumes[q]->search);
+      }
+    }
+  }
   EmissionFeed feed(&streams, spec.runner);
   std::vector<bool> exhausted(n, false);
   // Emission radius per stream: a lower bound on every unvisited object's
@@ -278,6 +289,8 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
         if (provably_dominated(s, id)) {
           state[id].determined = true;
           --undetermined;
+          // Pruned on radius lower bounds before its vector was complete.
+          CountBoundPruned();
           break;
         }
       }
@@ -305,6 +318,13 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
       continue;
     }
     radius[qi] = visit->distance;
+    if (spec.plan != nullptr) {
+      if (visit->distance <= resume_radius[qi]) {
+        spec.plan->RecordWavefrontExact();
+      } else {
+        spec.plan->RecordComputed();
+      }
+    }
     if (dataset.cache != nullptr) {
       // Emissions are exact network distances — harvest into the memo for
       // the point-to-point paths EDC/LBC would otherwise recompute.
@@ -323,10 +343,13 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
     if (obj.visit_count == n) {
       obj.determined = true;
       --undetermined;
+      // All n distances were resolved exactly: fully examined.
+      CountBoundExamined();
       const DistVector vec = full_vector(visit->object);
       bool dominated = false;
-      for (const DistVector& s : skyline_vectors) {
-        if (Dominates(s, vec)) {
+      for (std::size_t si = 0; si < skyline_vectors.size(); ++si) {
+        if (Dominates(skyline_vectors[si], vec)) {
+          CountDominanceAvoided(skyline_vectors.size() - si - 1);
           dominated = true;
           break;
         }
@@ -355,9 +378,11 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
   std::vector<SkylineEntry> filtered;
   for (const SkylineEntry& entry : result.skyline) {
     bool dominated = false;
-    for (const SkylineEntry& other : result.skyline) {
+    for (std::size_t oi = 0; oi < result.skyline.size(); ++oi) {
+      const SkylineEntry& other = result.skyline[oi];
       if (other.object != entry.object &&
           Dominates(other.vector, entry.vector)) {
+        CountDominanceAvoided(result.skyline.size() - oi - 1);
         dominated = true;
         break;
       }
@@ -368,9 +393,18 @@ SkylineResult RunCeGeneralized(const Dataset& dataset,
   finalize_span.Close();
 
   result.stats.skyline_size = result.skyline.size();
+  // Cost accounting counts only this run's expansion: a stream resumed
+  // from a cached wavefront inherits the snapshot's settled set without
+  // paying for it (the plan's per-source view reports the total extent).
   std::size_t settled = 0;
-  for (const auto& stream : streams) settled += stream->settled_count();
+  for (const auto& stream : streams) settled += stream->fresh_settled_count();
   result.stats.settled_nodes = settled;
+  if (spec.plan != nullptr) {
+    for (std::size_t q = 0; q < n; ++q) {
+      spec.plan->RecordSource(q, streams[q]->settled_count(), radius[q],
+                              resumes[q] != nullptr);
+    }
+  }
   StoreStreams(dataset, spec, streams, resumes);
   scope.Finish(&result.stats);
   return result;
@@ -392,6 +426,16 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
   std::vector<QueryCache::WavefrontPtr> resumes;
   std::vector<std::unique_ptr<NetworkNnStream>> streams =
       OpenStreams(dataset, spec, &resumes);
+  // See RunCeGeneralized: cached-wavefront radius per resumed stream for
+  // plan cache-tier attribution.
+  std::vector<Dist> resume_radius(n, -1.0);
+  if (spec.plan != nullptr) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (resumes[q] != nullptr) {
+        resume_radius[q] = CheckpointRadius(resumes[q]->search);
+      }
+    }
+  }
   EmissionFeed feed(&streams, spec.runner);
   std::vector<bool> exhausted(n, false);
 
@@ -423,9 +467,14 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
     MSQ_CHECK(obj.candidate && !obj.determined);
     obj.determined = true;
     --candidates_open;
+    // Determination means every distance was resolved: fully examined.
+    CountBoundExamined();
     const DistVector vec = full_vector(id);
-    for (const DistVector& s : skyline_vectors) {
-      if (Dominates(s, vec)) return;  // dominated: silently pruned
+    for (std::size_t si = 0; si < skyline_vectors.size(); ++si) {
+      if (Dominates(skyline_vectors[si], vec)) {
+        CountDominanceAvoided(skyline_vectors.size() - si - 1);
+        return;  // dominated: silently pruned
+      }
     }
     scope.MarkInitial();
     SkylineEntry entry;
@@ -442,6 +491,8 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
       if (ProvablyDominates(vec, cand, dataset.StaticAttributesOf(c), n)) {
         cand.determined = true;
         --candidates_open;
+        // Pruned on partial distances + emission-order lower bounds.
+        CountBoundPruned();
       }
     }
   };
@@ -470,6 +521,13 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
       continue;
     }
     last_emit[qi] = visit->distance;
+    if (spec.plan != nullptr) {
+      if (visit->distance <= resume_radius[qi]) {
+        spec.plan->RecordWavefrontExact();
+      } else {
+        spec.plan->RecordComputed();
+      }
+    }
     if (dataset.cache != nullptr) {
       // Exact emission distance — harvest into the cross-query memo.
       dataset.cache->StoreDistance(spec.sources[qi], visit->object,
@@ -490,7 +548,18 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
       // skyline point, so unless this visit ties that point's distance it
       // is strictly dominated and discarded (the paper's rule); exact ties
       // stay live so co-located duplicates are not lost.
-      if (visit->distance != first_skyline_vec[qi]) continue;
+      if (visit->distance != first_skyline_vec[qi]) {
+        if (!obj.determined) {
+          // First discard of this object: pruned on the emission-order
+          // lower bound without ever becoming a candidate.
+          obj.determined = true;
+          CountBoundPruned();
+        }
+        continue;
+      }
+      // Already discarded through another stream: the strict-dominance
+      // proof stands, an exact tie elsewhere cannot undo it.
+      if (obj.determined) continue;
       obj.candidate = true;
       ++candidates_open;
     } else if (obj.determined) {
@@ -553,9 +622,18 @@ SkylineResult RunCeFiltering(const Dataset& dataset,
     result.skyline = std::move(filtered);
   }
   result.stats.skyline_size = result.skyline.size();
+  // As in the generalized path: stats count only this run's settles, the
+  // plan's per-source view reports the full wavefront extent.
   std::size_t settled = 0;
-  for (const auto& stream : streams) settled += stream->settled_count();
+  for (const auto& stream : streams) settled += stream->fresh_settled_count();
   result.stats.settled_nodes = settled;
+  if (spec.plan != nullptr) {
+    for (std::size_t q = 0; q < n; ++q) {
+      spec.plan->RecordSource(q, streams[q]->settled_count(),
+                              std::max(last_emit[q], 0.0),
+                              resumes[q] != nullptr);
+    }
+  }
   StoreStreams(dataset, spec, streams, resumes);
   scope.Finish(&result.stats);
   return result;

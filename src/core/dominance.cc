@@ -13,6 +13,18 @@ namespace {
 // so the count costs one load + increment per call.
 obs::Counter* const g_dominance_tests = obs::GlobalMetrics().counter(
     obs::metric::kDominanceTests);
+obs::Counter* const g_dominance_avoided = obs::GlobalMetrics().counter(
+    obs::metric::kDominanceAvoided);
+obs::Counter* const g_bound_pruned = obs::GlobalMetrics().counter(
+    obs::metric::kBoundPruned);
+obs::Counter* const g_bound_examined = obs::GlobalMetrics().counter(
+    obs::metric::kBoundExamined);
+obs::Counter* const g_bound_samples = obs::GlobalMetrics().counter(
+    obs::metric::kBoundSamples);
+obs::Counter* const g_bound_pct_sum = obs::GlobalMetrics().counter(
+    obs::metric::kBoundPctSum);
+obs::Histogram* const g_bound_tightness = obs::GlobalMetrics().histogram(
+    obs::metric::kBoundTightnessHist);
 
 }  // namespace
 
@@ -26,6 +38,40 @@ inline void CountDominanceTest() {
 }
 
 }  // namespace
+
+void CountDominanceAvoided(std::uint64_t n) {
+  if (n == 0) return;
+  g_dominance_avoided->Inc(n);
+  obs::ThreadLocalCounters().dominance_avoided += n;
+}
+
+void CountBoundPruned(std::uint64_t n) {
+  if (n == 0) return;
+  g_bound_pruned->Inc(n);
+  obs::ThreadLocalCounters().bound_pruned += n;
+}
+
+void CountBoundExamined(std::uint64_t n) {
+  if (n == 0) return;
+  g_bound_examined->Inc(n);
+  obs::ThreadLocalCounters().bound_examined += n;
+}
+
+unsigned RecordBoundTightness(Dist bound, Dist exact) {
+  // A zero exact distance (object on the query point) is only reachable
+  // with a zero bound; call that perfectly tight rather than dividing.
+  double ratio = exact > 0.0 ? static_cast<double>(bound) / exact : 1.0;
+  if (ratio < 0.0) ratio = 0.0;
+  if (ratio > 1.0) ratio = 1.0;  // FP drift: a bound never exceeds exact
+  const unsigned pct = static_cast<unsigned>(ratio * 100.0 + 0.5);
+  g_bound_samples->Inc();
+  g_bound_pct_sum->Inc(pct);
+  g_bound_tightness->Observe(pct);
+  obs::ThreadCounters& tc = obs::ThreadLocalCounters();
+  ++tc.bound_samples;
+  tc.bound_pct_sum += pct;
+  return pct;
+}
 
 bool Dominates(const DistVector& a, const DistVector& b) {
   MSQ_CHECK(a.size() == b.size());
@@ -101,6 +147,9 @@ std::vector<std::size_t> SkylineIndices(
       if (DominatesWithSummary(vectors[window[w]], window_summaries[w],
                                vectors[i], si)) {
         dominated = true;
+        // Early exit: the rest of the window never gets compared against
+        // this candidate.
+        CountDominanceAvoided(window.size() - w - 1);
         break;
       }
       if (DominatesWithSummary(vectors[i], si, vectors[window[w]],

@@ -8,6 +8,7 @@
 #ifndef MSQ_CORE_DOMINANCE_H_
 #define MSQ_CORE_DOMINANCE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.h"
@@ -60,6 +61,27 @@ DistSummary Summarize(const DistVector& v);
 // unaffected by which path resolves it.
 bool DominatesWithSummary(const DistVector& a, const DistSummary& sa,
                           const DistVector& b, const DistSummary& sb);
+
+// Pruning-power accounting (DESIGN.md §17). Each helper bumps the global
+// registry counter and the calling thread's obs::ThreadCounters block, the
+// same double-write CountDominanceTest uses, so per-query deltas stay
+// exact under the concurrent executor.
+//
+// `CountDominanceAvoided(n)` records `n` pairwise tests made unnecessary —
+// the rest of a window skipped after an early dominance exit, or an
+// incumbent window a bound-pruned object never met.
+void CountDominanceAvoided(std::uint64_t n);
+// Partition of candidate objects: eliminated by a plb/Euclid/ALT lower
+// bound alone vs. carried to exact network distances.
+void CountBoundPruned(std::uint64_t n = 1);
+void CountBoundExamined(std::uint64_t n = 1);
+// Records one bound-tightness observation at an exact-completion site:
+// the lower bound the search held for this distance vs. the exact network
+// distance it resolved to. Returns the ratio as an integer percent in
+// [0, 100] (100 = the bound was exact) so callers can also feed a
+// per-plan histogram; bumps the sample/percent-sum counters and the
+// global `bound_tightness` histogram.
+unsigned RecordBoundTightness(Dist bound, Dist exact);
 
 // Block-nested-loops skyline of `vectors`: returns the indices (into
 // `vectors`) of the undominated entries, in input order. Entries with a

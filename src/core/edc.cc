@@ -1,5 +1,6 @@
 #include "core/edc.h"
 
+#include <cmath>
 #include <memory>
 #include <unordered_map>
 
@@ -44,26 +45,45 @@ class EdcRunner {
   // then the A* search.
   Dist SourceDistance(std::size_t i, ObjectId id, const Location& loc) {
     QueryCache* const cache = dataset_.cache;
-    if (cache == nullptr) return searches_[i]->DistanceTo(loc);
-    if (const std::optional<Dist> memo =
-            cache->FindDistance(spec_.sources[i], id,
-                                dataset_.graph_pager->data_epoch())) {
-      return *memo;
-    }
-    const CachedWavefront& wavefront = wavefronts_[i];
-    if (wavefront.snapshot != nullptr) {
-      const WavefrontProbe probe =
-          ProbeCheckpoint(*dataset_.network, wavefront.snapshot->search,
-                          wavefront.radius, spec_.sources[i], loc);
-      if (probe.exact) {
-        cache->StoreDistance(spec_.sources[i], id, probe.bound,
-                             dataset_.graph_pager->data_epoch());
-        return probe.bound;
+    if (cache != nullptr) {
+      if (const std::optional<Dist> memo =
+              cache->FindDistance(spec_.sources[i], id,
+                                  dataset_.graph_pager->data_epoch())) {
+        if (spec_.plan != nullptr) spec_.plan->RecordMemoHit();
+        return *memo;
+      }
+      const CachedWavefront& wavefront = wavefronts_[i];
+      if (wavefront.snapshot != nullptr) {
+        const WavefrontProbe probe =
+            ProbeCheckpoint(*dataset_.network, wavefront.snapshot->search,
+                            wavefront.radius, spec_.sources[i], loc);
+        if (probe.exact) {
+          cache->StoreDistance(spec_.sources[i], id, probe.bound,
+                               dataset_.graph_pager->data_epoch());
+          if (spec_.plan != nullptr) spec_.plan->RecordWavefrontExact();
+          return probe.bound;
+        }
       }
     }
+    // Lower bound EDC's Euclid-constraint reasoning had for this pair
+    // before paying for the exact computation — sampled as bound tightness
+    // once A* resolves the true distance.
+    Dist lower = EuclideanDistance(query_points_[i],
+                                   dataset_.mapping->ObjectPosition(id));
+    if (dataset_.landmarks != nullptr) {
+      lower = std::max(lower,
+                       dataset_.landmarks->LowerBound(spec_.sources[i], loc));
+    }
     const Dist dist = searches_[i]->DistanceTo(loc);
-    cache->StoreDistance(spec_.sources[i], id, dist,
-                         dataset_.graph_pager->data_epoch());
+    if (spec_.plan != nullptr) spec_.plan->RecordComputed();
+    if (std::isfinite(dist)) {
+      const unsigned pct = RecordBoundTightness(lower, dist);
+      if (spec_.plan != nullptr) spec_.plan->RecordTightness(pct);
+    }
+    if (cache != nullptr) {
+      cache->StoreDistance(spec_.sources[i], id, dist,
+                           dataset_.graph_pager->data_epoch());
+    }
     return dist;
   }
 
@@ -72,6 +92,8 @@ class EdcRunner {
   const DistVector& NetworkVector(ObjectId id) {
     auto it = network_vectors_.find(id);
     if (it != network_vectors_.end()) return it->second;
+    // First full resolution of this object's vector: fully examined.
+    CountBoundExamined();
     DistVector vec;
     vec.reserve(n() + attr_dims());
     const Location& loc = dataset_.mapping->ObjectLocation(id);
@@ -205,10 +227,11 @@ class EdcRunner {
           lb.insert(lb.end(), attrs.begin(), attrs.end());
         }
         bool dominated = false;
-        for (const DistVector& s : skyline_estimate) {
+        for (std::size_t si = 0; si < skyline_estimate.size(); ++si) {
           // Margin-strict: lb is a Euclidean bound compared against
           // network distances (see dominance.h).
-          if (DominatesWithMargin(s, lb, kFpTieMargin)) {
+          if (DominatesWithMargin(skyline_estimate[si], lb, kFpTieMargin)) {
+            CountDominanceAvoided(skyline_estimate.size() - si - 1);
             dominated = true;
             break;
           }
@@ -249,6 +272,17 @@ class EdcRunner {
     return total;
   }
 
+  // Final wavefront progress of every source (ExecutionPlan). No-op
+  // without a plan collector.
+  void RecordSources() const {
+    if (spec_.plan == nullptr) return;
+    for (std::size_t i = 0; i < searches_.size(); ++i) {
+      spec_.plan->RecordSource(i, searches_[i]->settled_count(),
+                               searches_[i]->max_settled_distance(),
+                               wavefronts_[i].snapshot != nullptr);
+    }
+  }
+
   struct CachedWavefront {
     QueryCache::WavefrontPtr snapshot;
     Dist radius = 0;
@@ -280,6 +314,7 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
     result.truncated = true;
     result.truncation_reason = guard.reason();
     result.stats.settled_nodes = runner.TotalSettled();
+    runner.RecordSources();
     scope.Finish(&result.stats);
     return result;
   };
@@ -349,6 +384,10 @@ SkylineResult RunEdcBatch(const Dataset& dataset,
   result.stats.candidate_count = order.size();
   result.stats.skyline_size = result.skyline.size();
   result.stats.settled_nodes = runner.TotalSettled();
+  // Everything never fetched was excluded by the Euclid-constraint
+  // region bounds without any network work.
+  CountBoundPruned(dataset.object_count() - order.size());
+  runner.RecordSources();
   scope.Finish(&result.stats);
   return result;
 }
@@ -405,16 +444,19 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
         }
         if (!covered) continue;
         bool dominated = false;
-        for (const DistVector& s : reported_vectors) {
-          if (Dominates(s, vec)) {
+        for (std::size_t si = 0; si < reported_vectors.size(); ++si) {
+          if (Dominates(reported_vectors[si], vec)) {
+            CountDominanceAvoided(reported_vectors.size() - si - 1);
             dominated = true;
             break;
           }
         }
         if (!dominated) {
-          for (const ObjectId other : order) {
+          for (std::size_t oi = 0; oi < order.size(); ++oi) {
+            const ObjectId other = order[oi];
             if (other != id &&
                 Dominates(runner.NetworkVector(other), vec)) {
+              CountDominanceAvoided(order.size() - oi - 1);
               dominated = true;
               break;
             }
@@ -464,6 +506,7 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
     result.stats.candidate_count = order.size();
     result.stats.skyline_size = result.skyline.size();
     result.stats.settled_nodes = runner.TotalSettled();
+    runner.RecordSources();
     scope.Finish(&result.stats);
     return result;
   }
@@ -483,15 +526,18 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
     if (determined[id]) continue;
     const DistVector& vec = runner.NetworkVector(id);
     bool dominated = false;
-    for (const DistVector& s : reported_vectors) {
-      if (Dominates(s, vec)) {
+    for (std::size_t si = 0; si < reported_vectors.size(); ++si) {
+      if (Dominates(reported_vectors[si], vec)) {
+        CountDominanceAvoided(reported_vectors.size() - si - 1);
         dominated = true;
         break;
       }
     }
     if (!dominated) {
-      for (const ObjectId other : order) {
+      for (std::size_t oi = 0; oi < order.size(); ++oi) {
+        const ObjectId other = order[oi];
         if (other != id && Dominates(runner.NetworkVector(other), vec)) {
+          CountDominanceAvoided(order.size() - oi - 1);
           dominated = true;
           break;
         }
@@ -511,6 +557,10 @@ SkylineResult RunEdcIncremental(const Dataset& dataset,
   result.stats.candidate_count = order.size();
   result.stats.skyline_size = result.skyline.size();
   result.stats.settled_nodes = runner.TotalSettled();
+  // See RunEdcBatch: never-fetched objects were pruned by the
+  // Euclid-constraint region bounds.
+  CountBoundPruned(dataset.object_count() - order.size());
+  runner.RecordSources();
   scope.Finish(&result.stats);
   return result;
 }

@@ -76,6 +76,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     if (const std::optional<Dist> memo =
             cache->FindDistance(spec.sources[qi], id,
                                 dataset.graph_pager->data_epoch())) {
+      if (spec.plan != nullptr) spec.plan->RecordMemoHit();
       return memo;
     }
     if (wavefronts[qi] != nullptr) {
@@ -85,6 +86,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
       if (probe.exact) {
         cache->StoreDistance(spec.sources[qi], id, probe.bound,
                              dataset.graph_pager->data_epoch());
+        if (spec.plan != nullptr) spec.plan->RecordWavefrontExact();
         return probe.bound;
       }
     }
@@ -99,6 +101,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
       return *cached;
     }
     const Dist dist = search_for(qi).DistanceTo(loc);
+    if (spec.plan != nullptr) spec.plan->RecordComputed();
     if (dataset.cache != nullptr) {
       dataset.cache->StoreDistance(spec.sources[qi], id, dist,
                                    dataset.graph_pager->data_epoch());
@@ -129,8 +132,12 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
         lb.insert(lb.end(), min_attrs.begin(), min_attrs.end());
       }
     }
-    for (const DistVector& s : skyline_vectors) {
-      if (DominatesWithMargin(s, lb, kFpTieMargin)) return true;
+    for (std::size_t si = 0; si < skyline_vectors.size(); ++si) {
+      if (DominatesWithMargin(skyline_vectors[si], lb, kFpTieMargin)) {
+        // Early exit: the remaining skyline vectors were never tested.
+        CountDominanceAvoided(skyline_vectors.size() - si - 1);
+        return true;
+      }
     }
     return false;
   };
@@ -213,6 +220,17 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
   // already holds. Bounds only grow, so when a dimension advances only
   // that dimension's bit needs re-checking — O(|S|) per expansion instead
   // of O(|S| * n), which dominates at large |Q| where skylines are big.
+  // Pruning-power classification (ExecutionPlan): an object rejected while
+  // some distance dimension was still only a lower bound was pruned *by*
+  // the bound; one whose every dimension was resolved exactly (skyline
+  // point, dominated after full resolution, or excluded as unreachable)
+  // was fully examined.
+  auto all_exact = [](const std::vector<bool>& exact) {
+    for (const bool e : exact) {
+      if (!e) return false;
+    }
+    return true;
+  };
   auto screen = [&](const SourceCandidate& cand,
                     std::size_t src) -> DistVector {
     const Location& loc = dataset.mapping->ObjectLocation(cand.object);
@@ -239,6 +257,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
           if (!std::isfinite(bound[i])) {
             // Unreachable from some query point (the cold run would learn
             // this at probe completion): excluded by skyline semantics.
+            CountBoundExamined();
             return {};
           }
           continue;
@@ -307,11 +326,23 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
       }
       dominators.push_back(d);
     }
+    // Initial bounds, before any probe expansion: the tightness a plb/ALT
+    // bound achieved for a dimension is judged against these once the
+    // probe completes with the exact distance.
+    const DistVector initial_bound = bound;
+
     auto is_dominating = [&](const Dominator& d) {
       return d.satisfied == n && d.strict;
     };
     for (const Dominator& d : dominators) {
-      if (is_dominating(d)) return {};
+      if (is_dominating(d)) {
+        if (all_exact(exact)) {
+          CountBoundExamined();
+        } else {
+          CountBoundPruned();
+        }
+        return {};
+      }
     }
 
     // Re-checks dominators against a grown bound in dimension `dim`.
@@ -359,6 +390,7 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
       if (probe.done()) {
         bound[best_dim] = probe.distance();
         exact[best_dim] = true;
+        if (spec.plan != nullptr) spec.plan->RecordComputed();
         if (dataset.cache != nullptr) {
           // Probe completion yields an exact distance — harvest it (inf
           // included, so unreachability is also remembered).
@@ -369,14 +401,26 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
         if (!std::isfinite(bound[best_dim])) {
           // Unreachable from some query point: excluded by the library's
           // skyline semantics.
+          CountBoundExamined();
           return {};
         }
+        // Probe completion is the exact-resolution site: sample how tight
+        // the initial plb was against the true network distance.
+        const unsigned pct = RecordBoundTightness(initial_bound[best_dim],
+                                                  bound[best_dim]);
+        if (spec.plan != nullptr) spec.plan->RecordTightness(pct);
       }
       if (bound[best_dim] > old_bound && update_dim(best_dim)) {
+        if (all_exact(exact)) {
+          CountBoundExamined();
+        } else {
+          CountBoundPruned();
+        }
         return {};  // dominated
       }
     }
 
+    CountBoundExamined();
     DistVector vec = bound;
     vec.insert(vec.end(), attrs.begin(), attrs.end());
     return vec;
@@ -433,9 +477,11 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     std::vector<SkylineEntry> filtered;
     for (const SkylineEntry& entry : result.skyline) {
       bool dominated = false;
-      for (const SkylineEntry& other : result.skyline) {
+      for (std::size_t oi = 0; oi < result.skyline.size(); ++oi) {
+        const SkylineEntry& other = result.skyline[oi];
         if (other.object != entry.object &&
             Dominates(other.vector, entry.vector)) {
+          CountDominanceAvoided(result.skyline.size() - oi - 1);
           dominated = true;
           break;
         }
@@ -451,6 +497,14 @@ SkylineResult RunLbcBody(const Dataset& dataset, const SkylineQuerySpec& spec,
     if (search != nullptr) settled += search->settled_count();
   }
   result.stats.settled_nodes = settled;
+  if (spec.plan != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      spec.plan->RecordSource(
+          i, searches[i] != nullptr ? searches[i]->settled_count() : 0,
+          searches[i] != nullptr ? searches[i]->max_settled_distance() : 0.0,
+          wavefronts[i] != nullptr);
+    }
+  }
   scope.Finish(&result.stats);
   return result;
 }

@@ -17,14 +17,24 @@ std::vector<DistVector> ComputeAllNetworkVectors(
     // every reachable object with its exact distance.
     NetworkNnStream stream(dataset.graph_pager, dataset.mapping,
                            spec.sources[qi]);
+    Dist radius = 0.0;
+    std::uint64_t emissions = 0;
     while (const auto visit = stream.Next()) {
       vectors[visit->object][qi] = visit->distance;
+      radius = visit->distance;
+      ++emissions;
       if (guard != nullptr && guard->Exceeded()) {
         cut = true;
         break;
       }
     }
     settled += stream.settled_count();
+    if (spec.plan != nullptr) {
+      // Naive computes every distance from scratch — all lookups land in
+      // the "computed" tier and no bound ever prunes.
+      spec.plan->RecordComputed(emissions);
+      spec.plan->RecordSource(qi, stream.settled_count(), radius, false);
+    }
   }
   if (settled_out != nullptr) *settled_out = settled;
   if (truncated != nullptr) *truncated = cut;
@@ -62,7 +72,9 @@ SkylineResult RunNaiveBody(const Dataset& dataset,
   }
 
   const std::vector<std::size_t> skyline = SkylineIndices(vectors);
-  // Everything was a candidate: the naive algorithm inspects all of D.
+  // Everything was a candidate: the naive algorithm inspects all of D —
+  // every object fully examined, nothing pruned by a bound.
+  CountBoundExamined(dataset.object_count());
   result.stats.candidate_count = dataset.object_count();
   bool first = true;
   for (const std::size_t idx : skyline) {

@@ -151,6 +151,12 @@ StatsScope::StatsScope(const Dataset& dataset, obs::TraceSession* trace,
   cache_wf_misses_0_ = tc.cache_wavefront_misses;
   cache_memo_hits_0_ = tc.cache_memo_hits;
   cache_memo_misses_0_ = tc.cache_memo_misses;
+  dominance_tests_0_ = tc.dominance_tests;
+  dominance_avoided_0_ = tc.dominance_avoided;
+  bound_pruned_0_ = tc.bound_pruned;
+  bound_examined_0_ = tc.bound_examined;
+  bound_samples_0_ = tc.bound_samples;
+  bound_pct_sum_0_ = tc.bound_pct_sum;
   start_ = MonotonicSeconds();
 }
 
@@ -186,6 +192,13 @@ void StatsScope::Finish(QueryStats* stats) {
       tc.cache_wavefront_misses - cache_wf_misses_0_;
   stats->cache_memo_hits = tc.cache_memo_hits - cache_memo_hits_0_;
   stats->cache_memo_misses = tc.cache_memo_misses - cache_memo_misses_0_;
+  stats->dominance_tests = tc.dominance_tests - dominance_tests_0_;
+  stats->dominance_tests_avoided =
+      tc.dominance_avoided - dominance_avoided_0_;
+  stats->bound_pruned = tc.bound_pruned - bound_pruned_0_;
+  stats->bound_examined = tc.bound_examined - bound_examined_0_;
+  stats->bound_tightness_samples = tc.bound_samples - bound_samples_0_;
+  stats->bound_tightness_pct_sum = tc.bound_pct_sum - bound_pct_sum_0_;
 }
 
 }  // namespace msq

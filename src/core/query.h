@@ -15,6 +15,7 @@
 #include "graph/landmarks.h"
 #include "graph/spatial_mapping.h"
 #include "index/rtree.h"
+#include "obs/plan.h"
 #include "obs/trace.h"
 #include "storage/buffer_manager.h"
 
@@ -122,6 +123,13 @@ struct SkylineQuerySpec {
   // (the default) expands sequentially. Excluded from QuerySpecDigest —
   // execution strategy, not query identity.
   TaskRunner* runner = nullptr;
+  // Optional execution-plan collection (not owned). When set, the
+  // algorithms record per-source wavefront progress, distance-lookup tier
+  // attribution, and bound-tightness samples into it; the executor (or
+  // msq_profile) folds the collector plus QueryStats/QueryProfile into the
+  // result's ExecutionPlan. Null (the default) collects nothing. Excluded
+  // from QuerySpecDigest — observability, not query identity.
+  obs::PlanCollector* plan = nullptr;
 };
 
 // One skyline answer entry. `vector` holds the network distances to each
@@ -156,6 +164,21 @@ struct QueryStats {
   std::uint64_t cache_wavefront_misses = 0;
   std::uint64_t cache_memo_hits = 0;
   std::uint64_t cache_memo_misses = 0;
+  // Pruning-power accounting (DESIGN.md §17): thread-local counter deltas
+  // over the query window, like the cache fields. `dominance_tests` is the
+  // paper's canonical cost metric; `dominance_tests_avoided` counts
+  // pairwise comparisons early exits and bound prunes made unnecessary.
+  // `bound_pruned`/`bound_examined` partition candidates by whether a
+  // lower bound eliminated them without exact distances.
+  // `bound_tightness_samples`/`bound_tightness_pct_sum` summarize the
+  // plb/dN ratios observed at exact-completion sites (mean tightness =
+  // pct_sum / samples, in percent).
+  std::uint64_t dominance_tests = 0;
+  std::uint64_t dominance_tests_avoided = 0;
+  std::uint64_t bound_pruned = 0;
+  std::uint64_t bound_examined = 0;
+  std::uint64_t bound_tightness_samples = 0;
+  std::uint64_t bound_tightness_pct_sum = 0;
 };
 
 struct SkylineResult {
@@ -165,6 +188,11 @@ struct SkylineResult {
   // of the spans' self counters reconciles exactly with `stats` (the root
   // span covers the whole StatsScope window).
   std::optional<obs::QueryProfile> profile;
+  // Structured execution plan, present when the caller asked for one
+  // (QueryRequest::collect_plan, msq_profile, or a served request with
+  // `explain: true`). Its counters reconcile exactly with `stats`
+  // (obs/plan.h ReconcilePlan).
+  std::optional<obs::ExecutionPlan> plan;
   // Overall outcome. !ok() means the query failed cleanly (bad input or a
   // storage fault survived retries); `skyline` is empty then.
   Status status;
@@ -290,6 +318,12 @@ class StatsScope {
   std::uint64_t cache_wf_misses_0_ = 0;
   std::uint64_t cache_memo_hits_0_ = 0;
   std::uint64_t cache_memo_misses_0_ = 0;
+  std::uint64_t dominance_tests_0_ = 0;
+  std::uint64_t dominance_avoided_0_ = 0;
+  std::uint64_t bound_pruned_0_ = 0;
+  std::uint64_t bound_examined_0_ = 0;
+  std::uint64_t bound_samples_0_ = 0;
+  std::uint64_t bound_pct_sum_0_ = 0;
   double start_ = 0.0;
   double initial_ = -1.0;
 };

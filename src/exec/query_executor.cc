@@ -39,6 +39,10 @@ obs::FlightRecord MakeFlightRecord(Algorithm algorithm,
   record.index_misses = after.index_misses - before.index_misses;
   record.settled_nodes = after.settled_nodes - before.settled_nodes;
   record.dominance_tests = after.dominance_tests - before.dominance_tests;
+  record.dominance_avoided =
+      after.dominance_avoided - before.dominance_avoided;
+  record.bound_samples = after.bound_samples - before.bound_samples;
+  record.bound_pct_sum = after.bound_pct_sum - before.bound_pct_sum;
   record.cache_hits = (after.cache_wavefront_hits + after.cache_memo_hits) -
                       (before.cache_wavefront_hits + before.cache_memo_hits);
   record.cache_misses =
@@ -171,6 +175,9 @@ void QueryExecutor::WorkerLoop() {
   // it snapshots this thread's ThreadCounters (obs/trace.h) — per-query
   // span deltas stay exact while other workers share the pools.
   obs::TraceSession trace;
+  // The worker's reusable plan collector: a query runs entirely on this
+  // thread, so the collector needs no synchronization.
+  obs::PlanCollector plan_collector;
   for (;;) {
     Job job;
     {
@@ -204,6 +211,16 @@ void QueryExecutor::WorkerLoop() {
     // retention at completion or are dropped on the spot. The caller only
     // sees a profile when it asked for one.
     if (job.request.collect_profile || telemetry_on) spec.trace = &trace;
+    // Full plan collection (and the fold below) runs only when the caller
+    // asked (explain / collect_plan): building an ExecutionPlan per query
+    // costs real allocations, which fast queries would pay on every
+    // completion. The always-on /explainz pruning rollup is fed from the
+    // QueryStats scalars instead (PlanStore::Account, below).
+    const bool plan_on = job.request.collect_plan;
+    if (plan_on) {
+      plan_collector.Reset();
+      spec.plan = &plan_collector;
+    }
     obs::TraceContext ctx = job.request.trace_context;
     if (telemetry_on && !ctx.valid()) {
       ctx = obs::TraceContext::Mint(telemetry_->HeadSample());
@@ -222,6 +239,16 @@ void QueryExecutor::WorkerLoop() {
           RunSkylineQuery(job.request.algorithm, dataset_, spec);
       result.exec_started_at = exec_started_at;
       result.exec_finished_at = MonotonicSeconds();
+      // Fold the plan before the profile can be detached below: the phase
+      // rollup comes from this run's span tree.
+      std::optional<obs::ExecutionPlan> plan;
+      if (plan_on) {
+        plan = obs::BuildExecutionPlan(
+            AlgorithmName(job.request.algorithm), result.stats,
+            result.profile.has_value() ? &*result.profile : nullptr,
+            &plan_collector, result.truncated);
+        result.plan = *plan;
+      }
       if (telemetry_on) {
         obs::FlightRecord record =
             MakeFlightRecord(job.request.algorithm, spec, result, ctx,
@@ -248,6 +275,17 @@ void QueryExecutor::WorkerLoop() {
         telemetry_->CompleteRequest(ctx, record, queue_seconds,
                                     AlgorithmName(job.request.algorithm),
                                     std::move(profile));
+        // Every completion feeds the per-algorithm pruning rollup (scalar
+        // adds); only explain-requested plans enter the /explainz ring.
+        telemetry_->plans().Account(AlgorithmName(job.request.algorithm),
+                                    result.stats);
+        if (plan.has_value()) {
+          obs::RetainedPlan retained;
+          retained.sequence = record.sequence;
+          retained.trace_id = ctx.valid() ? ctx.TraceIdHex() : std::string();
+          retained.plan = *std::move(plan);
+          telemetry_->plans().Retain(std::move(retained));
+        }
       }
       job.promise.set_value(std::move(result));
     } catch (...) {

@@ -53,6 +53,12 @@ struct QueryRequest {
   // regardless (the profile feeds tail sampling); this flag only controls
   // whether the caller gets a copy on the result.
   bool collect_profile = false;
+  // When true the result carries an ExecutionPlan (the EXPLAIN view): the
+  // per-phase/pruning/cache breakdown built from this run's stats, profile,
+  // and plan collector. With telemetry enabled plans are collected and
+  // retained for /explainz regardless; this flag only controls whether the
+  // caller's result includes a copy.
+  bool collect_plan = false;
   // Request trace identity (obs/request_context.h). Invalid (the default)
   // makes the executor mint one at dispatch, with the head-sampling coin
   // deciding `sampled`. A sampled context additionally enables detail

@@ -43,6 +43,7 @@ void AStarSearch::Settle(NodeId node, Dist dist) {
   MSQ_CHECK(!settled_[node]);
   settled_[node] = 1;
   ++settled_count_;
+  max_settled_dist_ = std::max(max_settled_dist_, dist);
   g_settled->Inc();
   ++obs::ThreadLocalCounters().settled_nodes;
   OkOrThrow(pager_->AdjacencyOf(node, &scratch_adjacency_));

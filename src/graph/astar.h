@@ -124,6 +124,10 @@ class AStarSearch {
   // node access measure for A*-based search).
   std::size_t settled_count() const { return settled_count_; }
 
+  // Largest exact distance settled so far — the radius the wavefront has
+  // verifiably reached (0 when nothing was settled).
+  Dist max_settled_distance() const { return max_settled_dist_; }
+
   const Location& source() const { return source_; }
   const GraphPager& pager() const { return *pager_; }
 
@@ -155,6 +159,7 @@ class AStarSearch {
   // LBC's probe-per-(candidate, query point) pattern.
   std::vector<NodeId> labeled_nodes_;
   std::size_t settled_count_ = 0;
+  Dist max_settled_dist_ = 0.0;
   std::vector<AdjacencyEntry> scratch_adjacency_;
 };
 

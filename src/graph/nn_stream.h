@@ -65,8 +65,15 @@ class NetworkNnStream {
   // point all of its distance twins are guaranteed discovered too.
   std::optional<Visit> Next();
 
-  // Nodes settled by the underlying wavefront so far.
+  // Nodes settled by the underlying wavefront so far (total extent —
+  // includes a resumed snapshot's settles).
   std::size_t settled_count() const { return search_.settled_count(); }
+
+  // Settles this stream instance paid for itself (excludes the resumed
+  // snapshot's), matching the graph.settled_nodes counter window.
+  std::size_t fresh_settled_count() const {
+    return search_.fresh_settled_count();
+  }
 
   // Snapshot of the current stream state for the cross-query cache.
   Snapshot MakeSnapshot() const;

@@ -35,6 +35,10 @@ std::uint64_t FlightRecorder::Record(const FlightRecord& record) {
   slot.settled_nodes.store(record.settled_nodes, std::memory_order_relaxed);
   slot.dominance_tests.store(record.dominance_tests,
                              std::memory_order_relaxed);
+  slot.dominance_avoided.store(record.dominance_avoided,
+                               std::memory_order_relaxed);
+  slot.bound_samples.store(record.bound_samples, std::memory_order_relaxed);
+  slot.bound_pct_sum.store(record.bound_pct_sum, std::memory_order_relaxed);
   slot.cache_hits.store(record.cache_hits, std::memory_order_relaxed);
   slot.cache_misses.store(record.cache_misses, std::memory_order_relaxed);
   slot.committed.store(sequence, std::memory_order_release);
@@ -69,6 +73,10 @@ std::vector<FlightRecord> FlightRecorder::Snapshot() const {
         slot.settled_nodes.load(std::memory_order_relaxed);
     record.dominance_tests =
         slot.dominance_tests.load(std::memory_order_relaxed);
+    record.dominance_avoided =
+        slot.dominance_avoided.load(std::memory_order_relaxed);
+    record.bound_samples = slot.bound_samples.load(std::memory_order_relaxed);
+    record.bound_pct_sum = slot.bound_pct_sum.load(std::memory_order_relaxed);
     record.cache_hits = slot.cache_hits.load(std::memory_order_relaxed);
     record.cache_misses = slot.cache_misses.load(std::memory_order_relaxed);
     // A writer that claimed this slot mid-copy invalidated or replaced the

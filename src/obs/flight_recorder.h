@@ -47,6 +47,9 @@ struct FlightRecord {
   std::uint64_t index_misses = 0;
   std::uint64_t settled_nodes = 0;
   std::uint64_t dominance_tests = 0;
+  std::uint64_t dominance_avoided = 0;  // tests skipped by early exit
+  std::uint64_t bound_samples = 0;      // bound-tightness samples taken
+  std::uint64_t bound_pct_sum = 0;      // sum of sampled tightness percents
   std::uint64_t cache_hits = 0;    // wavefront + memo
   std::uint64_t cache_misses = 0;  // wavefront + memo
 };
@@ -93,6 +96,9 @@ class FlightRecorder {
     std::atomic<std::uint64_t> index_misses{0};
     std::atomic<std::uint64_t> settled_nodes{0};
     std::atomic<std::uint64_t> dominance_tests{0};
+    std::atomic<std::uint64_t> dominance_avoided{0};
+    std::atomic<std::uint64_t> bound_samples{0};
+    std::atomic<std::uint64_t> bound_pct_sum{0};
     std::atomic<std::uint64_t> cache_hits{0};
     std::atomic<std::uint64_t> cache_misses{0};
   };

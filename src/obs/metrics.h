@@ -143,6 +143,20 @@ struct ThreadCounters {
   std::uint64_t index_misses = 0;     // buffer.index.misses
   std::uint64_t settled_nodes = 0;    // graph.settled_nodes
   std::uint64_t dominance_tests = 0;  // core.dominance_tests
+  // Pruning-power accounting (DESIGN.md §17). `dominance_avoided` counts
+  // pairwise tests a window early-exit or a bound-based prune made
+  // unnecessary; `bound_pruned`/`bound_examined` partition candidate
+  // objects by whether a plb/Euclid/ALT lower bound eliminated them or
+  // exact distances had to be computed; `bound_samples` counts
+  // bound-tightness ratios (plb/dN) observed at exact-completion sites.
+  std::uint64_t dominance_avoided = 0;  // core.dominance_avoided
+  std::uint64_t bound_pruned = 0;       // core.bound_pruned
+  std::uint64_t bound_examined = 0;     // core.bound_examined
+  std::uint64_t bound_samples = 0;      // core.bound_tightness_samples
+  // Sum of the rounded tightness percents over those samples, so any
+  // delta window can report a mean tightness (sum / samples) without
+  // carrying the sample list.
+  std::uint64_t bound_pct_sum = 0;      // core.bound_tightness_pct_sum
   // Cross-query cache consultations (src/cache). A distinct access class
   // from the buffer counters: a cache hit never touches a buffer pool, so
   // it must never be folded into page accesses.
@@ -183,6 +197,11 @@ struct ThreadCounters {
     d.index_misses = index_misses - since.index_misses;
     d.settled_nodes = settled_nodes - since.settled_nodes;
     d.dominance_tests = dominance_tests - since.dominance_tests;
+    d.dominance_avoided = dominance_avoided - since.dominance_avoided;
+    d.bound_pruned = bound_pruned - since.bound_pruned;
+    d.bound_examined = bound_examined - since.bound_examined;
+    d.bound_samples = bound_samples - since.bound_samples;
+    d.bound_pct_sum = bound_pct_sum - since.bound_pct_sum;
     d.cache_wavefront_hits = cache_wavefront_hits - since.cache_wavefront_hits;
     d.cache_wavefront_misses =
         cache_wavefront_misses - since.cache_wavefront_misses;
@@ -202,6 +221,11 @@ struct ThreadCounters {
     index_misses += delta.index_misses;
     settled_nodes += delta.settled_nodes;
     dominance_tests += delta.dominance_tests;
+    dominance_avoided += delta.dominance_avoided;
+    bound_pruned += delta.bound_pruned;
+    bound_examined += delta.bound_examined;
+    bound_samples += delta.bound_samples;
+    bound_pct_sum += delta.bound_pct_sum;
     cache_wavefront_hits += delta.cache_wavefront_hits;
     cache_wavefront_misses += delta.cache_wavefront_misses;
     cache_memo_hits += delta.cache_memo_hits;
@@ -225,6 +249,11 @@ inline constexpr char kIndexBufferMisses[] = "buffer.index.misses";
 inline constexpr char kAdjacencyReads[] = "graph.pager.adjacency_reads";
 inline constexpr char kSettledNodes[] = "graph.settled_nodes";
 inline constexpr char kDominanceTests[] = "core.dominance_tests";
+inline constexpr char kDominanceAvoided[] = "core.dominance_avoided";
+inline constexpr char kBoundPruned[] = "core.bound_pruned";
+inline constexpr char kBoundExamined[] = "core.bound_examined";
+inline constexpr char kBoundSamples[] = "core.bound_tightness_samples";
+inline constexpr char kBoundPctSum[] = "core.bound_tightness_pct_sum";
 inline constexpr char kHeapPeak[] = "core.heap_peak";
 // Cross-query cache (src/cache/query_cache.h).
 inline constexpr char kCacheWavefrontHits[] = "cache.wavefront.hits";
@@ -256,6 +285,15 @@ inline constexpr char kNetworkPageAccessesHist[] =
 inline constexpr char kIndexPageAccessesHist[] = "index_page_accesses_hist";
 inline constexpr char kSettledNodesHist[] = "settled_nodes_hist";
 inline constexpr char kCacheHitsHist[] = "cache_hits_hist";
+// Pruning-power distributions (ISSUE: msq_bound_tightness and
+// msq_dominance_tests_{performed,avoided} after Prometheus mangling).
+// bound_tightness is fed one observation per sample at the
+// instrumentation site; the dominance pair is per-query, observed by
+// ServingTelemetry::RecordQuery.
+inline constexpr char kBoundTightnessHist[] = "bound_tightness";
+inline constexpr char kDominancePerformedHist[] =
+    "dominance_tests.performed";
+inline constexpr char kDominanceAvoidedHist[] = "dominance_tests.avoided";
 }  // namespace metric
 
 }  // namespace msq::obs

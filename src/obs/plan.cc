@@ -1,0 +1,399 @@
+#include "obs/plan.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "core/query.h"
+
+namespace msq::obs {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<std::size_t>(n));
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(out, "\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// The span-tracked measures a phase rollup must partition exactly.
+struct PhaseTotals {
+  std::uint64_t network_accesses = 0;
+  std::uint64_t index_accesses = 0;
+  std::uint64_t settled_nodes = 0;
+  std::uint64_t dominance_tests = 0;
+  std::uint64_t dominance_avoided = 0;
+  std::uint64_t bound_pruned = 0;
+  std::uint64_t bound_examined = 0;
+  std::uint64_t bound_samples = 0;
+  std::uint64_t bound_pct_sum = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  void Add(const SpanCounters& c) {
+    network_accesses += c.network_hits + c.network_misses;
+    index_accesses += c.index_hits + c.index_misses;
+    settled_nodes += c.settled_nodes;
+    dominance_tests += c.dominance_tests;
+    dominance_avoided += c.dominance_avoided;
+    bound_pruned += c.bound_pruned;
+    bound_examined += c.bound_examined;
+    bound_samples += c.bound_samples;
+    bound_pct_sum += c.bound_pct_sum;
+    cache_hits += c.cache_wavefront_hits + c.cache_memo_hits;
+    cache_misses += c.cache_wavefront_misses + c.cache_memo_misses;
+  }
+};
+
+}  // namespace
+
+void PlanCollector::RecordSource(std::size_t source,
+                                 std::uint64_t settled_nodes, double radius,
+                                 bool resumed_from_cache) {
+  for (PlanSourceProgress& existing : sources_) {
+    if (existing.source == source) {
+      existing.settled_nodes = settled_nodes;
+      existing.radius = radius;
+      existing.resumed_from_cache = resumed_from_cache;
+      return;
+    }
+  }
+  PlanSourceProgress progress;
+  progress.source = source;
+  progress.settled_nodes = settled_nodes;
+  progress.radius = radius;
+  progress.resumed_from_cache = resumed_from_cache;
+  sources_.push_back(progress);
+}
+
+ExecutionPlan BuildExecutionPlan(std::string_view algorithm,
+                                 const msq::QueryStats& stats,
+                                 const QueryProfile* profile,
+                                 const PlanCollector* collector,
+                                 bool truncated) {
+  ExecutionPlan plan;
+  plan.algorithm = std::string(algorithm);
+  plan.total_seconds = stats.total_seconds;
+  plan.truncated = truncated;
+  plan.dominance_tests = stats.dominance_tests;
+  plan.dominance_tests_avoided = stats.dominance_tests_avoided;
+  plan.bound_pruned = stats.bound_pruned;
+  plan.bound_examined = stats.bound_examined;
+  plan.bound_tightness_samples = stats.bound_tightness_samples;
+  plan.bound_tightness_pct_sum = stats.bound_tightness_pct_sum;
+  plan.network_page_accesses = stats.network_page_accesses;
+  plan.index_page_accesses = stats.index_page_accesses;
+  plan.settled_nodes = stats.settled_nodes;
+  plan.cache_hits = stats.cache_wavefront_hits + stats.cache_memo_hits;
+  plan.cache_misses =
+      stats.cache_wavefront_misses + stats.cache_memo_misses;
+  plan.candidate_count = stats.candidate_count;
+  plan.skyline_size = stats.skyline_size;
+  if (collector != nullptr) {
+    plan.bound_tightness = collector->tightness();
+    plan.sources = collector->sources();
+    plan.tiers = collector->tiers();
+  }
+  if (profile != nullptr && !profile->spans.empty()) {
+    // Depth-1 spans (inclusive) plus the root's self counters partition
+    // the root's inclusive totals — i.e. the query's totals — exactly.
+    for (std::size_t i = 1; i < profile->spans.size(); ++i) {
+      const SpanRecord& span = profile->spans[i];
+      if (span.depth != 1) continue;
+      PlanPhase phase;
+      phase.name = span.name;
+      phase.seconds = span.duration_seconds();
+      phase.counters = profile->InclusiveCounters(i);
+      plan.phases.push_back(std::move(phase));
+    }
+    PlanPhase rest;
+    rest.name = "unattributed";
+    rest.seconds = profile->spans[0].self_seconds();
+    rest.counters = profile->spans[0].self;
+    plan.phases.push_back(std::move(rest));
+  }
+  return plan;
+}
+
+std::string ReconcilePlan(const ExecutionPlan& plan,
+                          const msq::QueryStats& stats) {
+  char buf[256];
+  auto mismatch = [&buf](const char* what, std::uint64_t plan_value,
+                         std::uint64_t stats_value) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s: plan %" PRIu64 " != expected %" PRIu64, what,
+                  plan_value, stats_value);
+    return std::string(buf);
+  };
+  const struct {
+    const char* name;
+    std::uint64_t plan_value;
+    std::uint64_t stats_value;
+  } scalars[] = {
+      {"dominance_tests", plan.dominance_tests, stats.dominance_tests},
+      {"dominance_tests_avoided", plan.dominance_tests_avoided,
+       stats.dominance_tests_avoided},
+      {"bound_pruned", plan.bound_pruned, stats.bound_pruned},
+      {"bound_examined", plan.bound_examined, stats.bound_examined},
+      {"bound_tightness_samples", plan.bound_tightness_samples,
+       stats.bound_tightness_samples},
+      {"bound_tightness_pct_sum", plan.bound_tightness_pct_sum,
+       stats.bound_tightness_pct_sum},
+      {"network_page_accesses", plan.network_page_accesses,
+       stats.network_page_accesses},
+      {"index_page_accesses", plan.index_page_accesses,
+       stats.index_page_accesses},
+      {"settled_nodes", plan.settled_nodes, stats.settled_nodes},
+      {"cache_hits", plan.cache_hits,
+       stats.cache_wavefront_hits + stats.cache_memo_hits},
+      {"cache_misses", plan.cache_misses,
+       stats.cache_wavefront_misses + stats.cache_memo_misses},
+      {"candidate_count", plan.candidate_count, stats.candidate_count},
+      {"skyline_size", plan.skyline_size, stats.skyline_size},
+  };
+  for (const auto& s : scalars) {
+    if (s.plan_value != s.stats_value) {
+      return mismatch(s.name, s.plan_value, s.stats_value);
+    }
+  }
+  // The histogram was filled by the collector, the sample counters by the
+  // thread-local substrate — two independent paths that must agree.
+  if (plan.bound_tightness.count != stats.bound_tightness_samples) {
+    return mismatch("tightness histogram count", plan.bound_tightness.count,
+                    stats.bound_tightness_samples);
+  }
+  if (plan.bound_tightness.sum != stats.bound_tightness_pct_sum) {
+    return mismatch("tightness histogram sum", plan.bound_tightness.sum,
+                    stats.bound_tightness_pct_sum);
+  }
+  if (!plan.phases.empty()) {
+    PhaseTotals totals;
+    for (const PlanPhase& phase : plan.phases) totals.Add(phase.counters);
+    const struct {
+      const char* name;
+      std::uint64_t phase_value;
+      std::uint64_t stats_value;
+    } rollup[] = {
+        {"phase network_page_accesses", totals.network_accesses,
+         stats.network_page_accesses},
+        {"phase index_page_accesses", totals.index_accesses,
+         stats.index_page_accesses},
+        {"phase settled_nodes", totals.settled_nodes, stats.settled_nodes},
+        {"phase dominance_tests", totals.dominance_tests,
+         stats.dominance_tests},
+        {"phase dominance_avoided", totals.dominance_avoided,
+         stats.dominance_tests_avoided},
+        {"phase bound_pruned", totals.bound_pruned, stats.bound_pruned},
+        {"phase bound_examined", totals.bound_examined,
+         stats.bound_examined},
+        {"phase bound_samples", totals.bound_samples,
+         stats.bound_tightness_samples},
+        {"phase bound_pct_sum", totals.bound_pct_sum,
+         stats.bound_tightness_pct_sum},
+        {"phase cache_hits", totals.cache_hits,
+         stats.cache_wavefront_hits + stats.cache_memo_hits},
+        {"phase cache_misses", totals.cache_misses,
+         stats.cache_wavefront_misses + stats.cache_memo_misses},
+    };
+    for (const auto& r : rollup) {
+      if (r.phase_value != r.stats_value) {
+        return mismatch(r.name, r.phase_value, r.stats_value);
+      }
+    }
+  }
+  return std::string();
+}
+
+std::string PlanJson(const ExecutionPlan& plan) {
+  std::string out = "{\"algorithm\":\"";
+  AppendEscaped(&out, plan.algorithm);
+  AppendF(&out, "\",\"total_seconds\":%.6f,\"truncated\":%s",
+          plan.total_seconds, plan.truncated ? "true" : "false");
+  AppendF(&out,
+          ",\"dominance_tests\":{\"performed\":%" PRIu64
+          ",\"avoided\":%" PRIu64 "}",
+          plan.dominance_tests, plan.dominance_tests_avoided);
+  AppendF(&out,
+          ",\"bounds\":{\"pruned\":%" PRIu64 ",\"examined\":%" PRIu64
+          ",\"tightness\":{\"samples\":%" PRIu64 ",\"mean_pct\":%.1f,"
+          "\"histogram\":[",
+          plan.bound_pruned, plan.bound_examined,
+          plan.bound_tightness_samples, plan.mean_tightness_pct());
+  bool first = true;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    if (plan.bound_tightness.buckets[i] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out, "{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+            Histogram::BucketUpper(i), plan.bound_tightness.buckets[i]);
+  }
+  out += "]}}";
+  AppendF(&out,
+          ",\"pages\":{\"network_accesses\":%" PRIu64
+          ",\"index_accesses\":%" PRIu64 "},\"settled_nodes\":%" PRIu64,
+          plan.network_page_accesses, plan.index_page_accesses,
+          plan.settled_nodes);
+  AppendF(&out,
+          ",\"cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+          ",\"lookup_tiers\":{\"memo\":%" PRIu64 ",\"wavefront\":%" PRIu64
+          ",\"computed\":%" PRIu64 "}}",
+          plan.cache_hits, plan.cache_misses, plan.tiers.memo_hits,
+          plan.tiers.wavefront_exact, plan.tiers.computed);
+  AppendF(&out, ",\"candidates\":%" PRIu64 ",\"skyline_size\":%" PRIu64,
+          plan.candidate_count, plan.skyline_size);
+  out += ",\"phases\":[";
+  for (std::size_t i = 0; i < plan.phases.size(); ++i) {
+    const PlanPhase& phase = plan.phases[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    AppendEscaped(&out, phase.name);
+    AppendF(&out,
+            "\",\"seconds\":%.6f,\"network_page_accesses\":%" PRIu64
+            ",\"index_page_accesses\":%" PRIu64 ",\"settled_nodes\":%" PRIu64
+            ",\"dominance_tests\":%" PRIu64 ",\"dominance_avoided\":%" PRIu64
+            ",\"bound_pruned\":%" PRIu64 ",\"bound_examined\":%" PRIu64
+            ",\"cache_hits\":%" PRIu64 "}",
+            phase.seconds,
+            phase.counters.network_hits + phase.counters.network_misses,
+            phase.counters.index_hits + phase.counters.index_misses,
+            phase.counters.settled_nodes, phase.counters.dominance_tests,
+            phase.counters.dominance_avoided, phase.counters.bound_pruned,
+            phase.counters.bound_examined,
+            phase.counters.cache_wavefront_hits +
+                phase.counters.cache_memo_hits);
+  }
+  out += "],\"sources\":[";
+  for (std::size_t i = 0; i < plan.sources.size(); ++i) {
+    const PlanSourceProgress& source = plan.sources[i];
+    if (i > 0) out += ",";
+    AppendF(&out,
+            "{\"source\":%zu,\"settled_nodes\":%" PRIu64
+            ",\"radius\":%.6f,\"resumed_from_cache\":%s}",
+            source.source, source.settled_nodes, source.radius,
+            source.resumed_from_cache ? "true" : "false");
+  }
+  out += "]}";
+  return out;
+}
+
+void PlanStore::Retain(RetainedPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.push_back(std::move(plan));
+  ++retained_total_;
+  while (plans_.size() > capacity_) plans_.pop_front();
+}
+
+std::vector<RetainedPlan> PlanStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RetainedPlan>(plans_.begin(), plans_.end());
+}
+
+void PlanStore::Account(std::string_view algorithm,
+                        const msq::QueryStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = aggregates_.find(algorithm);
+  if (it == aggregates_.end()) {
+    it = aggregates_.emplace(std::string(algorithm), PlanAggregate{}).first;
+  }
+  PlanAggregate& agg = it->second;
+  ++agg.queries;
+  agg.dominance_tests += stats.dominance_tests;
+  agg.dominance_avoided += stats.dominance_tests_avoided;
+  agg.bound_pruned += stats.bound_pruned;
+  agg.bound_examined += stats.bound_examined;
+  agg.bound_samples += stats.bound_tightness_samples;
+  agg.bound_pct_sum += stats.bound_tightness_pct_sum;
+  ++accounted_total_;
+}
+
+std::vector<std::pair<std::string, PlanAggregate>> PlanStore::Aggregates()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::pair<std::string, PlanAggregate>>(
+      aggregates_.begin(), aggregates_.end());
+}
+
+std::uint64_t PlanStore::retained_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_total_;
+}
+
+std::uint64_t PlanStore::accounted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accounted_total_;
+}
+
+std::string ExplainzJson(const PlanStore& store) {
+  const std::vector<std::pair<std::string, PlanAggregate>> aggregates =
+      store.Aggregates();
+  const std::vector<RetainedPlan> plans = store.Snapshot();
+  std::string out = "{\"pruning_efficiency\":[";
+  bool first = true;
+  for (const auto& [algo, agg] : aggregates) {
+    if (!first) out += ",";
+    first = false;
+    const double avoided_ratio =
+        agg.dominance_tests + agg.dominance_avoided == 0
+            ? 0.0
+            : static_cast<double>(agg.dominance_avoided) /
+                  static_cast<double>(agg.dominance_tests +
+                                      agg.dominance_avoided);
+    const double prune_ratio =
+        agg.bound_pruned + agg.bound_examined == 0
+            ? 0.0
+            : static_cast<double>(agg.bound_pruned) /
+                  static_cast<double>(agg.bound_pruned + agg.bound_examined);
+    const double mean_tightness =
+        agg.bound_samples == 0
+            ? 0.0
+            : static_cast<double>(agg.bound_pct_sum) /
+                  static_cast<double>(agg.bound_samples);
+    out += "{\"algorithm\":\"";
+    AppendEscaped(&out, algo);
+    AppendF(&out,
+            "\",\"queries\":%" PRIu64 ",\"dominance_tests\":%" PRIu64
+            ",\"dominance_avoided\":%" PRIu64 ",\"avoided_ratio\":%.4f"
+            ",\"bound_pruned\":%" PRIu64 ",\"bound_examined\":%" PRIu64
+            ",\"prune_ratio\":%.4f,\"mean_tightness_pct\":%.1f}",
+            agg.queries, agg.dominance_tests, agg.dominance_avoided,
+            avoided_ratio, agg.bound_pruned, agg.bound_examined, prune_ratio,
+            mean_tightness);
+  }
+  out += "],\"plans\":[";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendF(&out, "{\"sequence\":%" PRIu64 ",\"trace_id\":\"",
+            plans[i].sequence);
+    AppendEscaped(&out, plans[i].trace_id);
+    out += "\",\"plan\":";
+    out += PlanJson(plans[i].plan);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace msq::obs

@@ -19,6 +19,7 @@ ServingTelemetry::ServingTelemetry(const TelemetryConfig& config)
                                            : &GlobalMetrics()),
       flight_(config.flight_capacity),
       traces_(config.trace_capacity),
+      plans_(config.plan_capacity),
       queries_(registry_->counter(metric::kExecQueries)),
       slow_queries_(registry_->counter(metric::kExecSlowQueries)),
       slow_captured_(
@@ -59,6 +60,18 @@ std::uint64_t ServingTelemetry::RecordQuery(std::string_view algorithm,
                                           record.index_misses);
   histograms.settled_nodes->Observe(record.settled_nodes);
   histograms.cache_hits->Observe(record.cache_hits);
+  Histogram* performed = dominance_performed_.load(std::memory_order_acquire);
+  if (performed == nullptr) {
+    performed = registry_->histogram(metric::kDominancePerformedHist);
+    dominance_performed_.store(performed, std::memory_order_release);
+  }
+  Histogram* avoided = dominance_avoided_.load(std::memory_order_acquire);
+  if (avoided == nullptr) {
+    avoided = registry_->histogram(metric::kDominanceAvoidedHist);
+    dominance_avoided_.store(avoided, std::memory_order_release);
+  }
+  performed->Observe(record.dominance_tests);
+  avoided->Observe(record.dominance_avoided);
   queries_->Inc();
   return flight_.Record(record);
 }
@@ -145,6 +158,16 @@ RetainReason ServingTelemetry::CompleteRequest(const TraceContext& ctx,
   exemplars_.Observe(
       "exec." + std::string(algorithm) + "." + metric::kLatencyUsHist,
       LatencyMicros(record.wall_seconds), trace_id);
+  // Pruning-power exemplars: point the dominance/bound-tightness series at
+  // the same retained trace.
+  exemplars_.Observe(metric::kDominancePerformedHist, record.dominance_tests,
+                     trace_id);
+  exemplars_.Observe(metric::kDominanceAvoidedHist, record.dominance_avoided,
+                     trace_id);
+  if (record.bound_samples > 0) {
+    exemplars_.Observe(metric::kBoundTightnessHist,
+                       record.bound_pct_sum / record.bound_samples, trace_id);
+  }
   return reason;
 }
 

@@ -39,6 +39,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/plan.h"
 #include "obs/request_context.h"
 #include "obs/trace.h"
 #include "obs/trace_store.h"
@@ -65,6 +66,8 @@ struct TelemetryConfig {
   // errored, and truncated queries are always retained.
   std::size_t trace_capacity = TraceStore::kDefaultCapacity;
   std::uint64_t head_sample_every = 0;
+  // Recent execution plans retained for GET /explainz.
+  std::size_t plan_capacity = PlanStore::kDefaultCapacity;
   // Histogram/counter registry; null means GlobalMetrics(). Tests pass an
   // isolated registry.
   MetricsRegistry* registry = nullptr;
@@ -127,6 +130,8 @@ class ServingTelemetry {
   const FlightRecorder& flight_recorder() const { return flight_; }
   std::vector<SlowQueryRecord> SlowQueries() const;
   const TraceStore& trace_store() const { return traces_; }
+  PlanStore& plans() { return plans_; }
+  const PlanStore& plans() const { return plans_; }
   ExemplarStore& exemplars() { return exemplars_; }
   const ExemplarStore& exemplars() const { return exemplars_; }
 
@@ -147,6 +152,14 @@ class ServingTelemetry {
   FlightRecorder flight_;
   TraceStore traces_;
   ExemplarStore exemplars_;
+  PlanStore plans_;
+  // Per-query pruning-power distributions (msq_dominance_tests_performed /
+  // msq_dominance_tests_avoided in the Prometheus exposition). Registered
+  // lazily on the first RecordQuery so a disabled telemetry instance adds
+  // no histograms to the registry; the registry hands back one stable
+  // pointer per name, so a racing double-init stores the same value.
+  std::atomic<Histogram*> dominance_performed_{nullptr};
+  std::atomic<Histogram*> dominance_avoided_{nullptr};
   Counter* const queries_;
   Counter* const slow_queries_;
   Counter* const slow_captured_;

@@ -23,6 +23,11 @@ SpanCounters& SpanCounters::operator+=(const SpanCounters& other) {
   index_misses += other.index_misses;
   settled_nodes += other.settled_nodes;
   dominance_tests += other.dominance_tests;
+  dominance_avoided += other.dominance_avoided;
+  bound_pruned += other.bound_pruned;
+  bound_examined += other.bound_examined;
+  bound_samples += other.bound_samples;
+  bound_pct_sum += other.bound_pct_sum;
   cache_wavefront_hits += other.cache_wavefront_hits;
   cache_wavefront_misses += other.cache_wavefront_misses;
   cache_memo_hits += other.cache_memo_hits;
@@ -56,6 +61,11 @@ TraceSession::TraceSession(MetricsRegistry* registry)
       index_misses_(registry->counter(metric::kIndexBufferMisses)),
       settled_nodes_(registry->counter(metric::kSettledNodes)),
       dominance_tests_(registry->counter(metric::kDominanceTests)),
+      dominance_avoided_(registry->counter(metric::kDominanceAvoided)),
+      bound_pruned_(registry->counter(metric::kBoundPruned)),
+      bound_examined_(registry->counter(metric::kBoundExamined)),
+      bound_samples_(registry->counter(metric::kBoundSamples)),
+      bound_pct_sum_(registry->counter(metric::kBoundPctSum)),
       cache_wavefront_hits_(
           registry->counter(metric::kCacheWavefrontHits)),
       cache_wavefront_misses_(
@@ -77,6 +87,11 @@ TraceSession::Snapshot TraceSession::Read() const {
     snap.index_misses = tc.index_misses;
     snap.settled_nodes = tc.settled_nodes;
     snap.dominance_tests = tc.dominance_tests;
+    snap.dominance_avoided = tc.dominance_avoided;
+    snap.bound_pruned = tc.bound_pruned;
+    snap.bound_examined = tc.bound_examined;
+    snap.bound_samples = tc.bound_samples;
+    snap.bound_pct_sum = tc.bound_pct_sum;
     snap.cache_wavefront_hits = tc.cache_wavefront_hits;
     snap.cache_wavefront_misses = tc.cache_wavefront_misses;
     snap.cache_memo_hits = tc.cache_memo_hits;
@@ -89,6 +104,11 @@ TraceSession::Snapshot TraceSession::Read() const {
   snap.index_misses = index_misses_->value();
   snap.settled_nodes = settled_nodes_->value();
   snap.dominance_tests = dominance_tests_->value();
+  snap.dominance_avoided = dominance_avoided_->value();
+  snap.bound_pruned = bound_pruned_->value();
+  snap.bound_examined = bound_examined_->value();
+  snap.bound_samples = bound_samples_->value();
+  snap.bound_pct_sum = bound_pct_sum_->value();
   snap.cache_wavefront_hits = cache_wavefront_hits_->value();
   snap.cache_wavefront_misses = cache_wavefront_misses_->value();
   snap.cache_memo_hits = cache_memo_hits_->value();
@@ -126,6 +146,12 @@ void TraceSession::Attribute() {
     self.index_misses += now.index_misses - last_.index_misses;
     self.settled_nodes += now.settled_nodes - last_.settled_nodes;
     self.dominance_tests += now.dominance_tests - last_.dominance_tests;
+    self.dominance_avoided +=
+        now.dominance_avoided - last_.dominance_avoided;
+    self.bound_pruned += now.bound_pruned - last_.bound_pruned;
+    self.bound_examined += now.bound_examined - last_.bound_examined;
+    self.bound_samples += now.bound_samples - last_.bound_samples;
+    self.bound_pct_sum += now.bound_pct_sum - last_.bound_pct_sum;
     self.cache_wavefront_hits +=
         now.cache_wavefront_hits - last_.cache_wavefront_hits;
     self.cache_wavefront_misses +=

@@ -32,6 +32,12 @@ struct SpanCounters {
   std::uint64_t index_misses = 0;    // buffer.index.misses
   std::uint64_t settled_nodes = 0;   // graph.settled_nodes
   std::uint64_t dominance_tests = 0;  // core.dominance_tests
+  // Pruning-power deltas (obs/metrics.h ThreadCounters for semantics).
+  std::uint64_t dominance_avoided = 0;  // core.dominance_avoided
+  std::uint64_t bound_pruned = 0;       // core.bound_pruned
+  std::uint64_t bound_examined = 0;     // core.bound_examined
+  std::uint64_t bound_samples = 0;      // core.bound_tightness_samples
+  std::uint64_t bound_pct_sum = 0;      // core.bound_tightness_pct_sum
   // Cross-query cache consultations — a distinct access class, never part
   // of the page-access counters above.
   std::uint64_t cache_wavefront_hits = 0;    // cache.wavefront.hits
@@ -122,6 +128,9 @@ class TraceSession {
     std::uint64_t network_hits = 0, network_misses = 0;
     std::uint64_t index_hits = 0, index_misses = 0;
     std::uint64_t settled_nodes = 0, dominance_tests = 0;
+    std::uint64_t dominance_avoided = 0, bound_pruned = 0;
+    std::uint64_t bound_examined = 0, bound_samples = 0;
+    std::uint64_t bound_pct_sum = 0;
     std::uint64_t cache_wavefront_hits = 0, cache_wavefront_misses = 0;
     std::uint64_t cache_memo_hits = 0, cache_memo_misses = 0;
   };
@@ -147,6 +156,11 @@ class TraceSession {
   Counter* index_misses_;
   Counter* settled_nodes_;
   Counter* dominance_tests_;
+  Counter* dominance_avoided_;
+  Counter* bound_pruned_;
+  Counter* bound_examined_;
+  Counter* bound_samples_;
+  Counter* bound_pct_sum_;
   Counter* cache_wavefront_hits_;
   Counter* cache_wavefront_misses_;
   Counter* cache_memo_hits_;

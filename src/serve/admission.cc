@@ -146,6 +146,11 @@ std::size_t AdmissionController::pending() const {
   return pending_;
 }
 
+double AdmissionController::pending_cost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_cost_;
+}
+
 std::string AdmissionController::CheckConservation() const {
   const std::uint64_t received = received_->value();
   const std::uint64_t rejected = rejected_->value();

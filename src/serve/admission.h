@@ -101,6 +101,9 @@ class AdmissionController {
   std::uint64_t truncated() const { return truncated_->value(); }
   std::uint64_t failed() const { return failed_->value(); }
   std::size_t pending() const;
+  // Summed cost estimate of pending requests (the second watermark's
+  // current level — /healthz reports it against max_pending_cost).
+  double pending_cost() const;
   const AdmissionConfig& config() const { return config_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "obs/plan.h"
 
 namespace msq::serve {
 
@@ -197,6 +198,12 @@ StatusOr<ServeRequest> ParseServeRequest(const JsonValue& json) {
       if (!status.ok()) return status;
       request.lbc_source_index = static_cast<std::size_t>(index);
       saw_query_extras = true;
+    } else if (key == "explain") {
+      if (!value.is_bool()) {
+        return FieldError("explain", "expected a boolean");
+      }
+      request.explain = value.AsBool();
+      saw_query_extras = true;
     } else if (key == "traceparent") {
       if (!value.is_string()) {
         return FieldError("traceparent", "expected a string");
@@ -352,7 +359,12 @@ std::string EncodeResultResponse(const ServeRequest& request,
   AppendJsonNumber(&out, static_cast<double>(result.stats.index_pages));
   out += ",\"settled_nodes\":";
   AppendJsonNumber(&out, static_cast<double>(result.stats.settled_nodes));
-  out += "}}";
+  out += "}";
+  if (request.explain && result.plan.has_value()) {
+    out += ",\"plan\":";
+    out += obs::PlanJson(*result.plan);
+  }
+  out += "}";
   return out;
 }
 

@@ -7,6 +7,9 @@
 //    "limits":{"deadline_ms":100,"page_budget":20000},
 //    "k":16,                       // optional: cap returned entries
 //    "lbc_source":0,               // optional: LBC expansion origin
+//    "explain":true,               // optional: attach the execution plan
+//                                  // (obs/plan.h) to the response
+
 //    "id":"client-tag",            // optional: echoed in the response
 //    "traceparent":"00-<32 hex>-<16 hex>-01"}  // optional: W3C trace
 //                                  // context; flags bit 0 = sampled
@@ -88,6 +91,9 @@ struct ServeRequest {
   // Cap on returned skyline entries (0 = all). Response-side only — the
   // query still computes the full (possibly truncated-by-limits) skyline.
   std::size_t k = 0;
+  // EXPLAIN: ask the executor to collect this query's ExecutionPlan and
+  // encode it as the response's "plan" field.
+  bool explain = false;
   std::string id;
   // Parsed "traceparent" field (obs/request_context.h). Invalid (the
   // default) when the request carried none; a present-but-malformed value
@@ -110,6 +116,8 @@ int HttpStatusFor(StatusCode code);
 // Single-line JSON success response. `returned` entries of
 // `result.skyline` are encoded (the k cap already applied by the caller);
 // `queue_ms`/`wall_ms` report server-side queue wait and execution time.
+// When the request asked for an explain and `result.plan` is present, the
+// response carries it as a "plan" object (obs/plan.h PlanJson).
 std::string EncodeResultResponse(const ServeRequest& request,
                                  const SkylineResult& result,
                                  std::size_t returned, double queue_ms,

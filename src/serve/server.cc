@@ -10,7 +10,11 @@
 #include <cstdlib>
 #include <utility>
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "common/check.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 
 namespace msq::serve {
@@ -328,6 +332,7 @@ MsqServer::Reply MsqServer::HandleQuery(const std::string& text,
   query.spec.sources = request.sources;
   query.spec.lbc_source_index = request.lbc_source_index;
   query.spec.limits.max_page_accesses = request.page_budget;
+  query.collect_plan = request.explain;
   query.trace_context = ctx;
   const double deadline_ms = request.deadline_ms > 0.0
                                  ? request.deadline_ms
@@ -549,10 +554,15 @@ MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
             200};
   }
   if (method == "GET" && path == "/healthz") {
-    std::string body = "{\"status\":\"ok\",\"draining\":";
-    body += draining_.load(std::memory_order_relaxed) ? "true" : "false";
-    body += "}";
-    return {HttpResponse(200, "application/json", body), 200};
+    return {HttpResponse(200, "application/json", HealthzJson()), 200};
+  }
+  if (method == "GET" && path == "/explainz") {
+    return {HttpResponse(200, "application/json",
+                         obs::ExplainzJson(executor_->telemetry().plans())),
+            200};
+  }
+  if (method == "GET" && path == "/debugz") {
+    return {HttpResponse(200, "application/json", DebugzJson()), 200};
   }
   if (method == "GET" && path == "/statz") {
     return {HttpResponse(200, "application/json", StatzJson()), 200};
@@ -634,7 +644,8 @@ MsqServer::Reply MsqServer::HandleHttp(const std::string& request_line,
     return reply;
   }
   if (path == "/metrics" || path == "/healthz" || path == "/statz" ||
-      path == "/query" || path == "/tracez" || path == "/requestz") {
+      path == "/query" || path == "/tracez" || path == "/requestz" ||
+      path == "/explainz" || path == "/debugz") {
     return {HttpResponse(405, "application/json",
                          EncodeErrorResponse(
                              "", StatusCode::kInvalidArgument,
@@ -694,6 +705,160 @@ std::string MsqServer::StatzJson() const {
   };
   append_pool("network_buffer", executor_->dataset().graph_buffer);
   append_pool("index_buffer", executor_->dataset().index_buffer);
+  out += "}";
+  return out;
+}
+
+std::string MsqServer::HealthzJson() const {
+  // "status":"ok" stays first and literal: liveness probes (and the CI
+  // smoke) grep for it.
+  std::string out = "{\"status\":\"ok\",\"draining\":";
+  out += draining_.load(std::memory_order_relaxed) ? "true" : "false";
+  out += ",\"data_epoch\":";
+  AppendJsonNumber(&out, data_epoch_gauge_->value());
+  out += ",\"admission\":{\"pending\":";
+  AppendJsonNumber(&out, static_cast<double>(admission_.pending()));
+  out += ",\"max_pending\":";
+  AppendJsonNumber(&out,
+                   static_cast<double>(config_.admission.max_pending));
+  out += ",\"pending_cost\":";
+  AppendJsonNumber(&out, admission_.pending_cost());
+  out += ",\"max_pending_cost\":";
+  AppendJsonNumber(&out, config_.admission.max_pending_cost);
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+// One flight-ring record for the /debugz bundle. Counters keep the
+// FlightRecord field names so the bundle joins against DESIGN.md §12.
+void AppendFlightRecordJson(std::string* out,
+                            const obs::FlightRecord& record) {
+  char buf[64];
+  *out += "{\"sequence\":";
+  AppendJsonNumber(out, static_cast<double>(record.sequence));
+  *out += ",\"algo\":\"";
+  *out += AlgorithmName(static_cast<Algorithm>(record.algorithm));
+  *out += "\"";
+  if (record.trace_id_hi != 0 || record.trace_id_lo != 0) {
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64,
+                  record.trace_id_hi, record.trace_id_lo);
+    *out += ",\"trace_id\":\"";
+    *out += buf;
+    *out += "\"";
+  }
+  *out += ",\"status_code\":";
+  AppendJsonNumber(out, record.status_code);
+  *out += ",\"truncated\":";
+  *out += record.truncation != 0 ? "true" : "false";
+  *out += ",\"sources\":";
+  AppendJsonNumber(out, record.source_count);
+  *out += ",\"skyline_size\":";
+  AppendJsonNumber(out, static_cast<double>(record.skyline_size));
+  *out += ",\"wall_ms\":";
+  AppendJsonNumber(out, record.wall_seconds * 1e3);
+  *out += ",\"network_pages\":";
+  AppendJsonNumber(
+      out, static_cast<double>(record.network_hits + record.network_misses));
+  *out += ",\"index_pages\":";
+  AppendJsonNumber(
+      out, static_cast<double>(record.index_hits + record.index_misses));
+  *out += ",\"settled_nodes\":";
+  AppendJsonNumber(out, static_cast<double>(record.settled_nodes));
+  *out += ",\"dominance_tests\":";
+  AppendJsonNumber(out, static_cast<double>(record.dominance_tests));
+  *out += ",\"dominance_avoided\":";
+  AppendJsonNumber(out, static_cast<double>(record.dominance_avoided));
+  *out += ",\"bound_samples\":";
+  AppendJsonNumber(out, static_cast<double>(record.bound_samples));
+  *out += ",\"bound_pct_sum\":";
+  AppendJsonNumber(out, static_cast<double>(record.bound_pct_sum));
+  *out += ",\"cache_hits\":";
+  AppendJsonNumber(out, static_cast<double>(record.cache_hits));
+  *out += ",\"cache_misses\":";
+  AppendJsonNumber(out, static_cast<double>(record.cache_misses));
+  *out += "}";
+}
+
+// MetricsJsonl emits one JSON object per line; the bundle wants them as
+// one array value.
+std::string JsonlToArray(const std::string& jsonl) {
+  std::string out = "[";
+  bool first = true;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    if (end > start) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n";
+      out.append(jsonl, start, end - start);
+    }
+    start = end + 1;
+  }
+  out += "\n]";
+  return out;
+}
+
+}  // namespace
+
+std::string MsqServer::DebugzJson() const {
+  // Refresh level-style gauges the same way GET /metrics does, so the
+  // bundle's snapshot is current rather than last-scrape.
+  if (executor_->dataset().graph_buffer != nullptr) {
+    executor_->dataset().graph_buffer->shard_balance();
+  }
+  if (executor_->dataset().index_buffer != nullptr) {
+    executor_->dataset().index_buffer->shard_balance();
+  }
+  obs::ServingTelemetry& telemetry = executor_->telemetry();
+  std::string out = "{\"build\":";
+  out += obs::BuildInfoJson();
+  out += ",\n\"config\":{\"host\":";
+  AppendJsonString(&out, config_.host);
+  out += ",\"port\":";
+  AppendJsonNumber(&out, port_);
+  out += ",\"max_connections\":";
+  AppendJsonNumber(&out, static_cast<double>(config_.max_connections));
+  out += ",\"max_request_bytes\":";
+  AppendJsonNumber(&out, static_cast<double>(config_.max_request_bytes));
+  out += ",\"read_timeout_s\":";
+  AppendJsonNumber(&out, config_.read_timeout_seconds);
+  out += ",\"write_timeout_s\":";
+  AppendJsonNumber(&out, config_.write_timeout_seconds);
+  out += ",\"default_deadline_ms\":";
+  AppendJsonNumber(&out, config_.default_deadline_ms);
+  out += ",\"workers\":";
+  AppendJsonNumber(&out, static_cast<double>(executor_->worker_count()));
+  out += "}";
+  out += ",\n\"healthz\":";
+  out += HealthzJson();
+  out += ",\n\"statz\":";
+  out += StatzJson();
+  out += ",\n\"flight\":{\"total\":";
+  AppendJsonNumber(
+      &out,
+      static_cast<double>(telemetry.flight_recorder().total_recorded()));
+  out += ",\"records\":[";
+  bool first = true;
+  for (const obs::FlightRecord& record :
+       telemetry.flight_recorder().Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    AppendFlightRecordJson(&out, record);
+  }
+  out += "\n]}";
+  out += ",\n\"traces\":";
+  out += obs::TracezJson(telemetry.trace_store());
+  out += ",\n\"requests\":";
+  out += wide_events_.Json();
+  out += ",\n\"metrics\":";
+  out += JsonlToArray(obs::MetricsJsonl(*registry_));
+  out += ",\n\"explain\":";
+  out += obs::ExplainzJson(telemetry.plans());
   out += "}";
   return out;
 }

@@ -11,10 +11,19 @@
 //     on — framing resynchronizes at the next newline.
 //   * Minimal HTTP/1.1 (curl/Prometheus-friendly, Connection: close):
 //     POST /query with the same JSON body; GET /metrics (Prometheus text
-//     exposition with retained-trace exemplars), GET /healthz, GET /statz
-//     (accounting snapshot), GET /tracez (tail-retained traces; with
-//     ?trace_id= the Chrome-trace export of one), GET /requestz (recent
-//     canonical wide events).
+//     exposition with retained-trace exemplars), GET /healthz (live
+//     readiness: draining flag, data epoch, admission watermark
+//     occupancy), GET /statz (accounting snapshot), GET /tracez
+//     (tail-retained traces; with ?trace_id= the Chrome-trace export of
+//     one), GET /requestz (recent canonical wide events), GET /explainz
+//     (recent execution plans + per-algorithm pruning efficiency,
+//     DESIGN.md §17), GET /debugz (the one-shot postmortem bundle:
+//     build info, config, epochs, shard balance, admission accounting,
+//     flight ring, retained traces, metric snapshots, recent plans).
+//
+// EXPLAIN: a query carrying "explain":true runs with plan collection and
+// its response carries the structured ExecutionPlan as a "plan" field —
+// the same plan /explainz retains for recent queries.
 //
 // Request tracing: a trace context arrives as a "traceparent" request
 // field (NDJSON or POST body) or a traceparent HTTP header; absent one,
@@ -112,6 +121,18 @@ class MsqServer {
 
   // Accounting snapshot as one JSON object (the GET /statz body).
   std::string StatzJson() const;
+
+  // Readiness snapshot as one JSON object (the GET /healthz body):
+  // status, draining, data_epoch, and the admission watermark occupancy.
+  std::string HealthzJson() const;
+
+  // The postmortem bundle as one JSON object (the GET /debugz body).
+  // Everything a debugging session starts from, in one fetch: build
+  // stamp, server config, data epoch, accounting + shard balance
+  // (StatzJson), the flight ring, retained traces, every counter/gauge/
+  // histogram snapshot, and the recent execution plans. msq_server also
+  // writes this to disk on SIGUSR1.
+  std::string DebugzJson() const;
 
   // The wide-event ring (GET /requestz). Stable to read after Shutdown.
   const obs::WideEventLog& wide_events() const { return wide_events_; }

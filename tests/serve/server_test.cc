@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -475,6 +476,14 @@ TEST(ServerTest, RequestzServesWideEventsForEveryOutcome) {
   ASSERT_TRUE(RoundTrip(fd, "not json").ok());
   ::close(fd);
 
+  // The wide event is appended after the reply write (so write_ms can be
+  // measured), so the log can trail the reply the client just read by one
+  // scheduling quantum — wait for it before asserting.
+  for (int i = 0; i < 200 && stack.server->wide_events().Snapshot().size() < 2;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
   const std::string requestz =
       Http(stack, "GET /requestz HTTP/1.1\r\n\r\n");
   EXPECT_NE(requestz.find("200 OK"), std::string::npos);
@@ -685,6 +694,185 @@ TEST(ServerTest, HttpPostCarriesMutations) {
       Http(stack, "GET /requestz HTTP/1.1\r\n\r\n");
   EXPECT_NE(requestz.find("\"algo\":\"update_edge\""),
             std::string::npos);
+}
+
+TEST(ServerTest, HealthzReportsReadinessAndAdmissionOccupancy) {
+  ServerConfig config;
+  config.admission.max_pending = 7;
+  config.admission.max_pending_cost = 1234.5;
+  ServerStack stack(config);
+  ASSERT_TRUE(stack.start_status.ok());
+
+  const std::string healthz = Http(stack, "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  // The literal the CI smoke greps for stays first...
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
+  // ...and the real readiness facts follow.
+  const std::size_t body_at = healthz.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const JsonValue json =
+      ParseJson(healthz.substr(body_at + 4)).value();
+  EXPECT_FALSE(json.Find("draining")->AsBool());
+  EXPECT_GE(json.Find("data_epoch")->AsNumber(), 0.0);
+  const JsonValue* admission = json.Find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_EQ(admission->Find("pending")->AsNumber(), 0.0);
+  EXPECT_EQ(admission->Find("max_pending")->AsNumber(), 7.0);
+  EXPECT_EQ(admission->Find("pending_cost")->AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(admission->Find("max_pending_cost")->AsNumber(), 1234.5);
+
+  // After drain the same endpoint flips draining, so a load balancer can
+  // see the instance leaving.
+  stack.server->Shutdown();
+  const JsonValue drained = ParseJson(stack.server->HealthzJson()).value();
+  EXPECT_TRUE(drained.Find("draining")->AsBool());
+}
+
+TEST(ServerTest, ExplainFlagReturnsPlanMatchingTheResult) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+
+  // Without the flag: no plan in the response.
+  const StatusOr<std::string> plain = RoundTrip(
+      fd, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0},{\"edge\":5}]}");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(ParseJson(plain.value()).value().Find("plan"), nullptr);
+
+  // With "explain":true the same query carries its ExecutionPlan.
+  const StatusOr<std::string> explained = RoundTrip(
+      fd, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":0},{\"edge\":5}],"
+          "\"explain\":true,\"id\":\"ex-1\"}");
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  const JsonValue json = ParseJson(explained.value()).value();
+  EXPECT_EQ(json.Find("status")->AsString(), "OK");
+  const JsonValue* plan = json.Find("plan");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Find("algorithm")->AsString(), "lbc");
+  // The plan's totals are the same query's QueryStats: its skyline size
+  // must equal the response's own count.
+  EXPECT_EQ(plan->Find("skyline_size")->AsNumber(),
+            json.Find("count")->AsNumber());
+  EXPECT_GT(plan->Find("dominance_tests")->Find("performed")->AsNumber(),
+            0.0);
+  ASSERT_NE(plan->Find("bounds"), nullptr);
+  ASSERT_NE(plan->Find("cache")->Find("lookup_tiers"), nullptr);
+  EXPECT_GT(
+      plan->Find("cache")->Find("lookup_tiers")->Find("computed")
+          ->AsNumber(),
+      0.0);
+  EXPECT_GT(plan->Find("phases")->AsArray().size(), 0u);
+  EXPECT_EQ(plan->Find("sources")->AsArray().size(), 2u);
+
+  // A non-boolean explain value is rejected at parse time.
+  const StatusOr<std::string> bad = RoundTrip(
+      fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":1}],\"explain\":1}");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(ParseJson(bad.value()).value()
+                .Find("error")->Find("code")->AsString(),
+            "INVALID_ARGUMENT");
+  ::close(fd);
+}
+
+TEST(ServerTest, ExplainzAggregatesRetainedPlans) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  // The pruning rollup accounts every completion; full plans are retained
+  // only for explain-requested queries (here: the lbc one).
+  ASSERT_TRUE(RoundTrip(fd, "{\"algo\":\"ce\",\"sources\":[{\"edge\":0},"
+                            "{\"edge\":4}]}")
+                  .ok());
+  ASSERT_TRUE(RoundTrip(fd, "{\"algo\":\"lbc\",\"sources\":[{\"edge\":2}],"
+                            "\"explain\":true}")
+                  .ok());
+  ::close(fd);
+
+  const std::string explainz =
+      Http(stack, "GET /explainz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(explainz.find("200 OK"), std::string::npos);
+  const std::size_t body_at = explainz.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const JsonValue json = ParseJson(explainz.substr(body_at + 4)).value();
+  const JsonValue* efficiency = json.Find("pruning_efficiency");
+  ASSERT_NE(efficiency, nullptr);
+  ASSERT_EQ(efficiency->AsArray().size(), 2u);  // ce and lbc rows
+  for (const JsonValue& row : efficiency->AsArray()) {
+    const std::string algo = row.Find("algorithm")->AsString();
+    EXPECT_TRUE(algo == "ce" || algo == "lbc") << algo;
+    EXPECT_EQ(row.Find("queries")->AsNumber(), 1.0);
+    EXPECT_GE(row.Find("prune_ratio")->AsNumber(), 0.0);
+    EXPECT_LE(row.Find("prune_ratio")->AsNumber(), 1.0);
+  }
+  ASSERT_EQ(json.Find("plans")->AsArray().size(), 1u);
+  for (const JsonValue& entry : json.Find("plans")->AsArray()) {
+    EXPECT_GT(entry.Find("sequence")->AsNumber(), 0.0);
+    ASSERT_NE(entry.Find("plan"), nullptr);
+    ASSERT_NE(entry.Find("plan")->Find("algorithm"), nullptr);
+    EXPECT_EQ(entry.Find("plan")->Find("algorithm")->AsString(), "lbc");
+  }
+}
+
+TEST(ServerTest, DebugzBundlesEverySection) {
+  ServerStack stack;
+  ASSERT_TRUE(stack.start_status.ok());
+  const int fd = Connect(stack).value();
+  ASSERT_TRUE(RoundTrip(fd, "{\"algo\":\"edc\",\"sources\":[{\"edge\":1},"
+                            "{\"edge\":6}],\"explain\":true}")
+                  .ok());
+  ::close(fd);
+
+  // The wide event lands after the reply write — wait for it so the
+  // bundle's requests section is deterministic.
+  for (int i = 0; i < 200 && stack.server->wide_events().Snapshot().empty();
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const std::string debugz = Http(stack, "GET /debugz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(debugz.find("200 OK"), std::string::npos);
+  const std::size_t body_at = debugz.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  // The bundle is a response, not a hostile request — parse it with
+  // limits sized for its metric/trace payload.
+  JsonLimits limits;
+  limits.max_bytes = 8u << 20;
+  limits.max_values = 1u << 20;
+  const StatusOr<JsonValue> parsed =
+      ParseJson(debugz.substr(body_at + 4), limits);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& json = parsed.value();
+  // One fetch, every section a postmortem starts from.
+  ASSERT_NE(json.Find("build"), nullptr);
+  EXPECT_NE(json.Find("build")->Find("compiler"), nullptr);
+  const JsonValue* config_json = json.Find("config");
+  ASSERT_NE(config_json, nullptr);
+  EXPECT_EQ(config_json->Find("workers")->AsNumber(), 2.0);
+  ASSERT_NE(json.Find("healthz"), nullptr);
+  EXPECT_FALSE(json.Find("healthz")->Find("draining")->AsBool());
+  ASSERT_NE(json.Find("statz"), nullptr);
+  EXPECT_NE(json.Find("statz")->Find("received"), nullptr);
+  const JsonValue* flight = json.Find("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->Find("total")->AsNumber(), 1.0);
+  ASSERT_EQ(flight->Find("records")->AsArray().size(), 1u);
+  const JsonValue& record = flight->Find("records")->AsArray()[0];
+  EXPECT_EQ(record.Find("algo")->AsString(), "edc");
+  EXPECT_NE(record.Find("dominance_tests"), nullptr);
+  ASSERT_NE(json.Find("traces"), nullptr);
+  ASSERT_NE(json.Find("requests"), nullptr);
+  EXPECT_EQ(json.Find("requests")->Find("total")->AsNumber(), 1.0);
+  // The metrics snapshot is the registry's JSONL re-framed as an array.
+  ASSERT_NE(json.Find("metrics"), nullptr);
+  EXPECT_GT(json.Find("metrics")->AsArray().size(), 0u);
+  ASSERT_NE(json.Find("explain"), nullptr);
+  EXPECT_EQ(json.Find("explain")->Find("plans")->AsArray().size(), 1u);
+
+  // The bundle is also directly exportable (the SIGUSR1 path in
+  // msq_server writes exactly this string to disk).
+  const std::string direct = stack.server->DebugzJson();
+  EXPECT_EQ(direct.front(), '{');
+  EXPECT_NE(direct.find("\"build\":"), std::string::npos);
 }
 
 }  // namespace

@@ -7,7 +7,14 @@
 // Usage:
 //   msq_profile [--algo NAME] [--network CA|AU|NA] [--scale F]
 //               [--density F] [--sources N] [--seed N]
-//               [--trace-out PATH] [--metrics-out PATH] [--check]
+//               [--trace-out PATH] [--metrics-out PATH]
+//               [--plan-out PATH] [--check]
+//
+// Every run also collects the query's ExecutionPlan (obs/plan.h) and holds
+// it to the ReconcilePlan oracle — plan totals must equal QueryStats
+// exactly or the run exits non-zero, same as the span reconciliation gate.
+// --plan-out writes the plan's JSON (the same shape a served
+// "explain":true response carries).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +26,7 @@
 #include "gen/workloads.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/plan.h"
 #include "obs/trace.h"
 
 using namespace msq;
@@ -34,6 +42,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::string trace_out;
   std::string metrics_out;
+  std::string plan_out;
   bool check = false;
 };
 
@@ -42,7 +51,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--algo NAME] [--network CA|AU|NA] [--scale F]\n"
       "          [--density F] [--sources N] [--seed N]\n"
-      "          [--trace-out PATH] [--metrics-out PATH] [--check]\n"
+      "          [--trace-out PATH] [--metrics-out PATH]\n"
+      "          [--plan-out PATH] [--check]\n"
       "algorithms: %s\n",
       argv0, AlgorithmNames().c_str());
 }
@@ -95,6 +105,9 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     } else if (std::strcmp(arg, "--metrics-out") == 0) {
       if ((v = value()) == nullptr) return false;
       opts->metrics_out = v;
+    } else if (std::strcmp(arg, "--plan-out") == 0) {
+      if ((v = value()) == nullptr) return false;
+      opts->plan_out = v;
     } else if (std::strcmp(arg, "--check") == 0) {
       opts->check = true;
     } else {
@@ -183,6 +196,8 @@ int main(int argc, char** argv) {
 
   obs::TraceSession trace;
   spec.trace = &trace;
+  obs::PlanCollector plan_collector;
+  spec.plan = &plan_collector;
   const SkylineResult result =
       RunSkylineQuery(opts.algo, workload.dataset(), spec);
   if (!result.status.ok()) {
@@ -220,6 +235,38 @@ int main(int argc, char** argv) {
     std::printf("\nprofile reconciles with QueryStats\n");
   } else {
     std::fprintf(stderr, "traced query returned no profile\n");
+    return 1;
+  }
+
+  // EXPLAIN plan: build it from this run's stats/profile/collector and
+  // hold it to the plan oracle (DESIGN.md §17) — the CI gate for the
+  // pruning-power counters.
+  const obs::ExecutionPlan plan = obs::BuildExecutionPlan(
+      AlgorithmName(opts.algo), result.stats,
+      result.profile.has_value() ? &*result.profile : nullptr,
+      &plan_collector, result.truncated);
+  const std::string plan_mismatch = obs::ReconcilePlan(plan, result.stats);
+  if (!plan_mismatch.empty()) {
+    std::fprintf(stderr, "plan reconciliation FAILED: %s\n",
+                 plan_mismatch.c_str());
+    return 1;
+  }
+  std::printf(
+      "plan reconciles: dominance %llu performed / %llu avoided, "
+      "bounds pruned %llu / examined %llu, mean tightness %.1f%% "
+      "(%llu samples), lookups memo %llu / wavefront %llu / computed "
+      "%llu\n",
+      static_cast<unsigned long long>(plan.dominance_tests),
+      static_cast<unsigned long long>(plan.dominance_tests_avoided),
+      static_cast<unsigned long long>(plan.bound_pruned),
+      static_cast<unsigned long long>(plan.bound_examined),
+      plan.mean_tightness_pct(),
+      static_cast<unsigned long long>(plan.bound_tightness_samples),
+      static_cast<unsigned long long>(plan.tiers.memo_hits),
+      static_cast<unsigned long long>(plan.tiers.wavefront_exact),
+      static_cast<unsigned long long>(plan.tiers.computed));
+  if (!opts.plan_out.empty() &&
+      !WriteFile(opts.plan_out, obs::PlanJson(plan) + "\n")) {
     return 1;
   }
   if (!opts.metrics_out.empty() &&

@@ -13,6 +13,10 @@
 // truncate in-flight queries, then flush telemetry (optional --prom-out /
 // --flight-out snapshots) and exit 0. A second signal aborts.
 //
+// SIGUSR1 writes the /debugz postmortem bundle to --debug-out (default
+// msq_debugz.json) without disturbing serving — the "grab everything
+// before the operator restarts it" hook.
+//
 // Usage:
 //   msq_server [--port N] [--network CA|AU|NA] [--scale F] [--density F]
 //              [--workers N] [--cache-mb N] [--seed N]
@@ -25,7 +29,7 @@
 //              [--slow-wall-ms F] [--slow-pages N]
 //              [--head-sample-every N]
 //              [--duration-s F] [--prom-out PATH] [--flight-out PATH]
-//              [--wide-out PATH] [--trace-out PATH]
+//              [--wide-out PATH] [--trace-out PATH] [--debug-out PATH]
 //
 // --port 0 (default) binds an ephemeral port; the chosen port is printed
 // as "listening on http://HOST:PORT" for scripts to parse. --duration-s
@@ -75,6 +79,7 @@ struct Options {
   std::string flight_out;
   std::string wide_out;
   std::string trace_out;
+  std::string debug_out = "msq_debugz.json";
   double slow_wall_ms = 0.0;
   std::size_t slow_pages = 0;
   std::size_t head_sample_every = 0;
@@ -94,7 +99,7 @@ void Usage(const char* argv0) {
       "          [--slow-wall-ms F] [--slow-pages N]\n"
       "          [--head-sample-every N]\n"
       "          [--duration-s F] [--prom-out PATH] [--flight-out PATH]\n"
-      "          [--wide-out PATH] [--trace-out PATH]\n",
+      "          [--wide-out PATH] [--trace-out PATH] [--debug-out PATH]\n",
       argv0);
 }
 
@@ -195,6 +200,9 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       if ((v = value()) == nullptr) return false;
       opts->trace_out = v;
+    } else if (std::strcmp(arg, "--debug-out") == 0) {
+      if ((v = value()) == nullptr) return false;
+      opts->debug_out = v;
     } else if (std::strcmp(arg, "--slow-wall-ms") == 0) {
       if (!next_double(&opts->slow_wall_ms) || opts->slow_wall_ms < 0.0) {
         return false;
@@ -220,6 +228,17 @@ void OnSignal(int) {
   g_signal_count = g_signal_count + 1;
   if (g_signal_count > 1) _exit(130);
   const char byte = 1;
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+// SIGUSR1: request a debugz dump. Counted separately from the drain
+// signals (a dump must never escalate to the hard-exit escape hatch);
+// the pipe byte distinguishes dump (2) from drain (1).
+volatile sig_atomic_t g_debug_requests = 0;
+
+void OnDebugSignal(int) {
+  g_debug_requests = g_debug_requests + 1;
+  const char byte = 2;
   (void)!write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -366,16 +385,39 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
+  std::signal(SIGUSR1, OnDebugSignal);
+
+  // Drains pending SIGUSR1 requests: one bundle per signal, written off
+  // the signal handler on this (the main) thread.
+  int debug_dumps_written = 0;
+  auto write_debug_dumps = [&] {
+    while (debug_dumps_written < g_debug_requests) {
+      ++debug_dumps_written;
+      if (WriteFile(opts.debug_out, server.DebugzJson() + "\n")) {
+        std::printf("debugz bundle written to %s\n",
+                    opts.debug_out.c_str());
+        std::fflush(stdout);
+      }
+    }
+  };
 
   if (opts.duration_s > 0.0) {
     // Smoke mode: serve for the given wall time, then drain.
     const double until = MonotonicSeconds() + opts.duration_s;
     while (MonotonicSeconds() < until && g_signal_count == 0) {
+      write_debug_dumps();
       usleep(50 * 1000);
     }
   } else {
-    char byte;
-    while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    for (;;) {
+      char byte = 0;
+      const ssize_t n = read(g_signal_pipe[0], &byte, 1);
+      if (n < 0 && errno == EINTR) continue;
+      if (n > 0 && byte == 2) {
+        write_debug_dumps();
+        continue;
+      }
+      break;  // drain signal (or pipe gone): fall through to shutdown
     }
   }
 

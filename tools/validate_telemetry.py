@@ -16,6 +16,14 @@ tool can load:
   --wide-events FILE    Canonical wide events, one JSON object per line
                         (msq_server --wide-out, MSQ_SOAK_WIDE_OUT,
                         GET /requestz bodies are the same objects).
+  --explain FILE        One ExecutionPlan JSON object (msq_profile
+                        --plan-out; also the "plan" field of a served
+                        "explain":true response and each plans[].plan
+                        entry of GET /explainz).
+  --debugz FILE         The /debugz postmortem bundle (GET /debugz,
+                        msq_server --debug-out on SIGUSR1): every
+                        section present, internally consistent flight/
+                        explain rings, metrics re-framed as an array.
 
 Stdlib only; exits non-zero with a pointed message on the first
 violation. Flags may be combined in one invocation.
@@ -169,13 +177,192 @@ def check_wide_events(path):
     print(f"validate_telemetry: {path}: {count} wide events OK")
 
 
+ALGORITHMS = {"naive", "ce", "edc", "edc-inc", "lbc", "lbc-noplb"}
+PLAN_COUNTERS = (
+    "settled_nodes",
+    "candidates",
+    "skyline_size",
+)
+
+
+def check_plan_object(path, plan, where):
+    """One ExecutionPlan object (the --plan-out file, a served "plan"
+    field, or an /explainz plans[].plan entry)."""
+    if not isinstance(plan, dict):
+        fail(path, f"{where}: plan is not an object")
+    if plan.get("algorithm") not in ALGORITHMS:
+        fail(path, f"{where}: bad algorithm {plan.get('algorithm')!r}")
+    if not isinstance(plan.get("truncated"), bool):
+        fail(path, f"{where}: missing/mistyped \"truncated\"")
+    if not isinstance(plan.get("total_seconds"), (int, float)):
+        fail(path, f"{where}: missing/mistyped \"total_seconds\"")
+    dom = plan.get("dominance_tests")
+    if not isinstance(dom, dict):
+        fail(path, f"{where}: missing \"dominance_tests\"")
+    for key in ("performed", "avoided"):
+        if not isinstance(dom.get(key), int) or dom[key] < 0:
+            fail(path, f"{where}: missing/negative dominance_tests.{key}")
+    bounds = plan.get("bounds")
+    if not isinstance(bounds, dict):
+        fail(path, f"{where}: missing \"bounds\"")
+    for key in ("pruned", "examined"):
+        if not isinstance(bounds.get(key), int) or bounds[key] < 0:
+            fail(path, f"{where}: missing/negative bounds.{key}")
+    tightness = bounds.get("tightness")
+    if not isinstance(tightness, dict):
+        fail(path, f"{where}: missing bounds.tightness")
+    samples = tightness.get("samples")
+    if not isinstance(samples, int) or samples < 0:
+        fail(path, f"{where}: missing/negative tightness.samples")
+    histogram = tightness.get("histogram")
+    if not isinstance(histogram, list):
+        fail(path, f"{where}: tightness.histogram is not an array")
+    bucket_total = 0
+    for b, bucket in enumerate(histogram):
+        for key in ("le", "count"):
+            if not isinstance(bucket.get(key), int):
+                fail(path, f"{where}: histogram bucket {b} missing \"{key}\"")
+        bucket_total += bucket["count"]
+    # The histogram and the independently counted samples must agree —
+    # the same invariant ReconcilePlan enforces in-process.
+    if bucket_total != samples:
+        fail(
+            path,
+            f"{where}: histogram buckets sum to {bucket_total}, "
+            f"tightness.samples is {samples}",
+        )
+    mean = tightness.get("mean_pct")
+    if not isinstance(mean, (int, float)) or mean < 0 or mean > 100:
+        fail(path, f"{where}: tightness.mean_pct {mean!r} outside [0,100]")
+    pages = plan.get("pages")
+    if not isinstance(pages, dict):
+        fail(path, f"{where}: missing \"pages\"")
+    for key in ("network_accesses", "index_accesses"):
+        if not isinstance(pages.get(key), int) or pages[key] < 0:
+            fail(path, f"{where}: missing/negative pages.{key}")
+    cache = plan.get("cache")
+    if not isinstance(cache, dict) or not isinstance(
+        cache.get("lookup_tiers"), dict
+    ):
+        fail(path, f"{where}: missing cache.lookup_tiers")
+    for key in ("memo", "wavefront", "computed"):
+        tier = cache["lookup_tiers"].get(key)
+        if not isinstance(tier, int) or tier < 0:
+            fail(path, f"{where}: missing/negative lookup_tiers.{key}")
+    for key in PLAN_COUNTERS:
+        if not isinstance(plan.get(key), int) or plan[key] < 0:
+            fail(path, f"{where}: missing/negative \"{key}\"")
+    for section, item_keys in (
+        ("phases", ("name", "seconds")),
+        ("sources", ("source", "settled_nodes", "radius")),
+    ):
+        items = plan.get(section)
+        if not isinstance(items, list):
+            fail(path, f"{where}: \"{section}\" is not an array")
+        for i, item in enumerate(items):
+            for key in item_keys:
+                if key not in item:
+                    fail(path, f"{where}: {section}[{i}] missing \"{key}\"")
+
+
+def check_explain(path):
+    with open(path) as f:
+        plan = json.load(f)
+    check_plan_object(path, plan, "plan")
+    print(
+        f"validate_telemetry: {path}: {plan['algorithm']} plan OK "
+        f"({len(plan['phases'])} phases, {len(plan['sources'])} sources)"
+    )
+
+
+def check_debugz(path):
+    with open(path) as f:
+        bundle = json.load(f)
+    if not isinstance(bundle, dict):
+        fail(path, "bundle is not an object")
+    for section in (
+        "build",
+        "config",
+        "healthz",
+        "statz",
+        "flight",
+        "traces",
+        "requests",
+        "metrics",
+        "explain",
+    ):
+        if section not in bundle:
+            fail(path, f"missing \"{section}\" section")
+    healthz = bundle["healthz"]
+    if healthz.get("status") != "ok":
+        fail(path, f"healthz.status {healthz.get('status')!r}")
+    if not isinstance(healthz.get("draining"), bool):
+        fail(path, "healthz missing \"draining\"")
+    admission = healthz.get("admission")
+    if not isinstance(admission, dict) or "pending" not in admission:
+        fail(path, "healthz missing admission occupancy")
+    config = bundle["config"]
+    for key in ("host", "port", "workers"):
+        if key not in config:
+            fail(path, f"config missing \"{key}\"")
+    flight = bundle["flight"]
+    records = flight.get("records")
+    if not isinstance(records, list):
+        fail(path, "flight.records is not an array")
+    if not isinstance(flight.get("total"), int) or flight["total"] < len(
+        records
+    ):
+        fail(path, "flight.total smaller than the ring snapshot")
+    for i, record in enumerate(records):
+        if record.get("algo") not in ALGORITHMS:
+            fail(path, f"flight record {i}: bad algo {record.get('algo')!r}")
+        for key in ("sequence", "dominance_tests", "settled_nodes"):
+            if not isinstance(record.get(key), (int, float)):
+                fail(path, f"flight record {i}: missing \"{key}\"")
+    metrics = bundle["metrics"]
+    if not isinstance(metrics, list) or not metrics:
+        fail(path, "metrics is not a non-empty array")
+    for i, metric in enumerate(metrics):
+        if not isinstance(metric, dict):
+            fail(path, f"metrics[{i}] is not an object")
+        # The registry snapshot leads with a build_info line that carries
+        # identity fields instead of a series name.
+        if metric.get("type") == "build_info":
+            continue
+        if "name" not in metric:
+            fail(path, f"metrics[{i}] missing \"name\"")
+    explain = bundle["explain"]
+    if not isinstance(explain.get("pruning_efficiency"), list):
+        fail(path, "explain.pruning_efficiency is not an array")
+    plans = explain.get("plans")
+    if not isinstance(plans, list):
+        fail(path, "explain.plans is not an array")
+    for i, entry in enumerate(plans):
+        if not isinstance(entry.get("sequence"), int):
+            fail(path, f"explain.plans[{i}] missing \"sequence\"")
+        check_plan_object(path, entry.get("plan"), f"explain.plans[{i}]")
+    print(
+        f"validate_telemetry: {path}: debugz bundle OK "
+        f"({len(records)} flight records, {len(plans)} plans, "
+        f"{len(metrics)} metrics)"
+    )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--chrome-trace", action="append", default=[])
     parser.add_argument("--trace-dump", action="append", default=[])
     parser.add_argument("--wide-events", action="append", default=[])
+    parser.add_argument("--explain", action="append", default=[])
+    parser.add_argument("--debugz", action="append", default=[])
     args = parser.parse_args()
-    if not (args.chrome_trace or args.trace_dump or args.wide_events):
+    if not (
+        args.chrome_trace
+        or args.trace_dump
+        or args.wide_events
+        or args.explain
+        or args.debugz
+    ):
         parser.error("nothing to validate")
     for path in args.chrome_trace:
         check_chrome_trace(path)
@@ -183,6 +370,10 @@ def main():
         check_trace_dump(path)
     for path in args.wide_events:
         check_wide_events(path)
+    for path in args.explain:
+        check_explain(path)
+    for path in args.debugz:
+        check_debugz(path)
 
 
 if __name__ == "__main__":
